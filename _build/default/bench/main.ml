@@ -1,0 +1,230 @@
+(* Reproduction harness: regenerates every table and figure of the
+   paper's evaluation (§V).
+
+     dune exec bench/main.exe              — everything
+     dune exec bench/main.exe -- fig3      — one artifact
+     dune exec bench/main.exe -- quick     — reduced CPU sweep
+
+   Absolute numbers come from the virtual-time cost model (see
+   DESIGN.md); the paper's shapes — who wins, by what factor, where the
+   curves flatten — are the reproduction target (EXPERIMENTS.md). *)
+
+module E = Mutls.Experiments
+module W = Mutls.Workloads
+
+let quick = ref false
+
+let cpus () = if !quick then [ 1; 4; 16; 64 ] else E.default_cpus
+
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let table1 () =
+  heading "Table I: comparison of TLS systems";
+  Printf.printf "%-22s %-10s %-10s %-16s %s\n" "System" "Type" "Language"
+    "Forking model" "Speculative region";
+  List.iter
+    (fun (name, typ, lang, model, region) ->
+      Printf.printf "%-22s %-10s %-10s %-16s %s\n" name typ lang model region)
+    (E.table1 ())
+
+let table2 () =
+  heading "Table II: benchmarks";
+  Printf.printf "%-11s %-42s %-14s %-10s %s\n" "Benchmark" "Description"
+    "Pattern" "Language" "Characteristics";
+  List.iter
+    (fun (name, desc, _amount, pattern, lang, cls) ->
+      Printf.printf "%-11s %-42s %-14s %-10s %s\n" name desc pattern lang cls)
+    (E.table2 ())
+
+let fig3 () =
+  E.print_series ~title:"Fig. 3: speedup, computation-intensive applications"
+    ~ylabel:"speedup" (E.fig3 ~cpus:(cpus ()) ())
+
+let fig4 () =
+  E.print_series ~title:"Fig. 4: speedup, memory-intensive applications"
+    ~ylabel:"speedup" (E.fig4 ~cpus:(cpus ()) ())
+
+let fig5 () =
+  E.print_series ~title:"Fig. 5: critical path efficiency" ~ylabel:"ncrit"
+    (E.fig5 ~cpus:(cpus ()) ())
+
+let fig6 () =
+  E.print_series ~title:"Fig. 6: speculative path efficiency" ~ylabel:"nsp"
+    (E.fig6 ~cpus:(cpus ()) ())
+
+let fig7 () =
+  E.print_series ~title:"Fig. 7: power efficiency" ~ylabel:"npower"
+    (E.fig7 ~cpus:(cpus ()) ())
+
+let coverage () =
+  heading "Parallel execution coverage C at 64 CPUs (paper: 23.1 - 60.7)";
+  List.iter
+    (fun (name, c) -> Printf.printf "%-12s %6.1f\n" name c)
+    (E.coverage ())
+
+let fig8 () =
+  E.print_breakdowns ~title:"Fig. 8: critical path breakdown (fft, md)"
+    (E.fig8 ~cpus:(cpus ()) ())
+
+let fig9 () =
+  E.print_breakdowns ~title:"Fig. 9: speculative path breakdown (fft, matmult)"
+    (E.fig9 ~cpus:(cpus ()) ())
+
+let fig10 () =
+  E.print_series
+    ~title:"Fig. 10: forking model comparison (normalised to the mixed model)"
+    ~ylabel:"norm. speedup" (E.fig10 ~cpus:(cpus ()) ())
+
+let fig11 () =
+  heading "Fig. 11: rollback sensitivity (slowdown vs no-rollback run)";
+  let rows = E.fig11 ~ncpus:(if !quick then 16 else 32) () in
+  (match rows with
+  | (_, ps) :: _ ->
+    Printf.printf "%-12s %s\n" "benchmark"
+      (String.concat " "
+         (List.map (fun (p, _) -> Printf.sprintf "%5.0f%%" (100. *. p)) ps))
+  | [] -> ());
+  List.iter
+    (fun (name, ps) ->
+      Printf.printf "%-12s %s\n" name
+        (String.concat " "
+           (List.map (fun (_, v) -> Printf.sprintf "%6.2f" v) ps)))
+    rows
+
+(* --- Bechamel microbenchmarks of the runtime primitives -------------- *)
+
+let micro () =
+  heading "Microbenchmarks: TLS runtime primitives (host wall-clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let mem_backing = Bytes.make (1 lsl 20) '\000' in
+  let memio =
+    {
+      Mutls_runtime.Memio.read_word =
+        (fun a -> Bytes.get_int64_le mem_backing (a land 0xFFFF8));
+      write_word = (fun a v -> Bytes.set_int64_le mem_backing (a land 0xFFFF8) v);
+      read_byte = (fun a -> Char.code (Bytes.get mem_backing (a land 0xFFFFF)));
+      write_byte =
+        (fun a v -> Bytes.set mem_backing (a land 0xFFFFF) (Char.chr (v land 0xff)));
+    }
+  in
+  let make_buffer () =
+    Mutls_runtime.Global_buffer.create ~slots:(1 lsl 12) ~temp_slots:64
+  in
+  let test_write =
+    Test.make ~name:"globalbuffer-write-512"
+      (Staged.stage (fun () ->
+           let gb = make_buffer () in
+           for i = 0 to 511 do
+             ignore
+               (Mutls_runtime.Global_buffer.write gb memio (0x1000 + (8 * i)) 8
+                  (Int64.of_int i))
+           done;
+           ignore (Mutls_runtime.Global_buffer.finalize gb)))
+  in
+  let test_read_hit =
+    Test.make ~name:"globalbuffer-read-hit-512"
+      (Staged.stage
+         (let gb = make_buffer () in
+          for i = 0 to 511 do
+            ignore (Mutls_runtime.Global_buffer.read gb memio (0x1000 + (8 * i)) 8)
+          done;
+          fun () ->
+            for i = 0 to 511 do
+              ignore
+                (Mutls_runtime.Global_buffer.read gb memio (0x1000 + (8 * i)) 8)
+            done))
+  in
+  let test_validate =
+    Test.make ~name:"globalbuffer-validate-512"
+      (Staged.stage
+         (let gb = make_buffer () in
+          for i = 0 to 511 do
+            ignore (Mutls_runtime.Global_buffer.read gb memio (0x1000 + (8 * i)) 8)
+          done;
+          fun () -> ignore (Mutls_runtime.Global_buffer.validate gb memio)))
+  in
+  let test_commit =
+    Test.make ~name:"globalbuffer-commit-512"
+      (Staged.stage
+         (let gb = make_buffer () in
+          for i = 0 to 511 do
+            ignore
+              (Mutls_runtime.Global_buffer.write gb memio (0x1000 + (8 * i)) 8 7L)
+          done;
+          fun () -> ignore (Mutls_runtime.Global_buffer.commit gb memio)))
+  in
+  List.iter
+    (fun t ->
+      let instances = [ Instance.monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+      let results = Benchmark.all cfg instances t in
+      Hashtbl.iter
+        (fun name raw ->
+          let ols =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Instance.monotonic_clock
+              raw
+          in
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-30s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-30s (no estimate)\n" name)
+        results)
+    [ test_write; test_read_hit; test_validate; test_commit ]
+
+(* --- driver ----------------------------------------------------------- *)
+
+let artifacts =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("coverage", coverage);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("ablation-cascade", Mutls.Ablations.print_cascade);
+    ("ablation-vp", Mutls.Ablations.print_value_prediction);
+    ("ablation-auto", Mutls.Ablations.print_auto);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> List.map fst artifacts
+    | names ->
+      List.iter
+        (fun n ->
+          if not (List.mem_assoc n artifacts) then begin
+            Printf.eprintf "unknown artifact %s; available: %s\n" n
+              (String.concat " " (List.map fst artifacts));
+            exit 1
+          end)
+        names;
+      names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun n -> (List.assoc n artifacts) ()) selected;
+  Printf.printf "\n[%d artifact(s) regenerated in %.0f s]\n"
+    (List.length selected)
+    (Unix.gettimeofday () -. t0)

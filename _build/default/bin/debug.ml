@@ -1,0 +1,21 @@
+(* Developer scratchpad: dump the speculator pass output for one
+   built-in benchmark and run it at a few machine sizes.
+
+     dune exec bin/debug.exe [benchmark] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "nqueen" in
+  let w = Mutls.Workloads.find name in
+  let m = Mutls.compile Mutls.C (w.Mutls.Workloads.small ()) in
+  let seq = Mutls.run_sequential m in
+  let t = Mutls.speculate m in
+  print_string (Mutls.Printer.module_to_string t);
+  Printf.printf "\n=== %s (small): Ts = %.0f ===\n" name seq.Mutls.Eval.scost;
+  List.iter
+    (fun ncpus ->
+      let r = Mutls.run_tls { Mutls.Config.default with ncpus } t in
+      assert (r.Mutls.Eval.toutput = seq.Mutls.Eval.soutput);
+      Printf.printf "ncpus=%2d  TN=%8.0f  speedup=%5.2f\n" ncpus
+        r.Mutls.Eval.tfinish
+        (seq.Mutls.Eval.scost /. r.Mutls.Eval.tfinish))
+    [ 1; 2; 4; 8 ]

@@ -1,0 +1,182 @@
+(* mutlsc: command-line driver for the MUTLS system.
+
+     mutlsc run prog.mc --cpus 8            compile + speculate + run
+     mutlsc run prog.f90 --lang fortran --seq
+     mutlsc dump prog.mc --transformed      print MIR before/after the pass
+     mutlsc bench 3x+1 --cpus 64            run a built-in benchmark *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type input_lang = Lang of Mutls.language | Mir
+
+let lang_of_string path = function
+  | Some "c" -> Lang Mutls.C
+  | Some "fortran" | Some "f" -> Lang Mutls.Fortran
+  | Some "mir" -> Mir
+  | Some other -> invalid_arg ("unknown language " ^ other)
+  | None ->
+    if Filename.check_suffix path ".f" || Filename.check_suffix path ".f90"
+       || Filename.check_suffix path ".mf"
+    then Lang Mutls.Fortran
+    else if Filename.check_suffix path ".mir" then Mir
+    else Lang Mutls.C
+
+(* .mir files are textual IR dumps (mutlsc dump); anything else goes
+   through a front-end *)
+let compile_input ~optimize path lang source =
+  match lang_of_string path lang with
+  | Lang l -> Mutls.compile ~optimize l source
+  | Mir ->
+    let m =
+      try Mutls_mir.Parse.parse source
+      with Mutls_mir.Parse.Error e -> raise (Mutls.Compile_error e)
+    in
+    (try Mutls.Verify.check_module m
+     with Mutls.Verify.Invalid e -> raise (Mutls.Compile_error e));
+    if optimize then Mutls.Opt.run_module m;
+    m
+
+let model_conv = function
+  | "mixed" -> Mutls.Config.Mixed
+  | "inorder" | "in-order" -> Mutls.Config.In_order
+  | "outoforder" | "out-of-order" -> Mutls.Config.Out_of_order
+  | other -> invalid_arg ("unknown model " ^ other)
+
+(* --- shared options ---------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Source file.")
+
+let lang_arg =
+  Arg.(value & opt (some string) None & info [ "lang" ] ~docv:"LANG"
+         ~doc:"Source language: c, fortran or mir (default: from extension).")
+
+let cpus_arg =
+  Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N" ~doc:"Virtual CPUs.")
+
+let model_arg =
+  Arg.(value & opt (some string) None & info [ "model" ]
+         ~doc:"Force all fork points to one model: mixed, inorder, outoforder.")
+
+let rollback_arg =
+  Arg.(value & opt float 0.0 & info [ "rollback" ]
+         ~doc:"Injected rollback probability (paper Fig. 11).")
+
+let seq_arg =
+  Arg.(value & flag & info [ "seq" ] ~doc:"Run sequentially (no speculation).")
+
+let opt_arg =
+  Arg.(value & flag & info [ "O" ] ~doc:"Run the scalar optimizer first.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print TLS metrics after the run.")
+
+let make_cfg cpus model rollback =
+  { Mutls.Config.default with
+    ncpus = cpus;
+    model_override = Option.map model_conv model;
+    rollback_probability = rollback }
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let run file lang cpus model rollback seq stats optimize =
+    try
+      let source = read_file file in
+      let m = compile_input ~optimize file lang source in
+      if seq then begin
+        let r = Mutls.run_sequential m in
+        print_string r.Mutls.Eval.soutput;
+        Printf.printf "[sequential: %.0f virtual cycles]\n" r.Mutls.Eval.scost;
+        `Ok ()
+      end
+      else begin
+        let cfg = make_cfg cpus model rollback in
+        let seq_r = Mutls.run_sequential ~cost:cfg.Mutls.Config.cost m in
+        let t = Mutls.speculate m in
+        let r = Mutls.run_tls cfg t in
+        print_string r.Mutls.Eval.toutput;
+        let metrics = Mutls.Metrics.compute ~ts:seq_r.Mutls.Eval.scost r in
+        Printf.printf "[TLS on %d CPUs: %.0f cycles, speedup %.2f]\n" cpus
+          r.Mutls.Eval.tfinish metrics.Mutls.Metrics.speedup;
+        if stats then Format.printf "%a@." Mutls.Metrics.pp metrics;
+        if r.Mutls.Eval.toutput <> seq_r.Mutls.Eval.soutput then begin
+          Printf.eprintf "error: TLS output diverged from sequential run\n";
+          exit 2
+        end;
+        `Ok ()
+      end
+    with
+    | Mutls.Compile_error e -> `Error (false, "compile error: " ^ e)
+    | Invalid_argument e -> `Error (false, e)
+  in
+  let info = Cmd.info "run" ~doc:"Compile a program and run it under TLS." in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ file_arg $ lang_arg $ cpus_arg $ model_arg $ rollback_arg
+       $ seq_arg $ stats_arg $ opt_arg))
+
+(* --- dump --------------------------------------------------------------- *)
+
+let dump_cmd =
+  let dump file lang transformed optimize =
+    try
+      let source = read_file file in
+      let m = compile_input ~optimize file lang source in
+      let m = if transformed then Mutls.speculate m else m in
+      print_string (Mutls.Printer.module_to_string m);
+      `Ok ()
+    with
+    | Mutls.Compile_error e -> `Error (false, "compile error: " ^ e)
+    | Invalid_argument e -> `Error (false, e)
+  in
+  let transformed_arg =
+    Arg.(value & flag & info [ "transformed" ]
+           ~doc:"Print the IR after the speculator pass.")
+  in
+  let info = Cmd.info "dump" ~doc:"Print the MIR of a program." in
+  Cmd.v info
+    Term.(ret (const dump $ file_arg $ lang_arg $ transformed_arg $ opt_arg))
+
+(* --- bench -------------------------------------------------------------- *)
+
+let bench_cmd =
+  let bench name cpus model rollback stats =
+    try
+      let w = Mutls.Workloads.find name in
+      let metrics =
+        Mutls.Experiments.run
+          ~model_override:(Option.map model_conv model)
+          ~rollback ~ncpus:cpus w
+      in
+      Format.printf "%s on %d CPUs: %a@." name cpus Mutls.Metrics.pp metrics;
+      if stats then
+        List.iter
+          (fun (c, v) -> Printf.printf "  critical %-10s %5.1f%%\n" c (100. *. v))
+          metrics.Mutls.Metrics.crit_breakdown;
+      `Ok ()
+    with Invalid_argument e -> `Error (false, e)
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"One of the paper's benchmarks (Table II), e.g. 3x+1, fft.")
+  in
+  let info = Cmd.info "bench" ~doc:"Run a built-in benchmark under TLS." in
+  Cmd.v info
+    Term.(
+      ret (const bench $ name_arg $ cpus_arg $ model_arg $ rollback_arg $ stats_arg))
+
+let () =
+  let info =
+    Cmd.info "mutlsc" ~version:"1.0"
+      ~doc:"Mixed-model universal software thread-level speculation"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; dump_cmd; bench_cmd ]))

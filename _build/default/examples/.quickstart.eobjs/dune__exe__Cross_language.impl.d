@@ -1,0 +1,1 @@
+examples/cross_language.ml: Mutls Mutls_workloads Printf String

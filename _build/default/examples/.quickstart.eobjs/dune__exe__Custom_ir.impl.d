@@ -1,0 +1,1 @@
+examples/custom_ir.ml: Int64 List Mutls Mutls_interp Mutls_mir Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mutls Printf String

@@ -1,0 +1,37 @@
+(* Tree-form recursion under the three forking models — the paper's
+   core claim (§II, Fig. 10): depth-first search parallelises under the
+   mixed model, while in-order only extracts top-level parallelism and
+   out-of-order descends a single branch.
+
+     dune exec examples/tree_search.exe *)
+
+let () =
+  print_endline "=== forking models on depth-first search (nqueen) ===\n";
+  let w = Mutls.Workloads.find "nqueen" in
+  let m = Mutls.compile Mutls.C (w.Mutls.Workloads.c_source ()) in
+  let seq = Mutls.run_sequential m in
+  Printf.printf "solutions: %s" seq.Mutls.Eval.soutput;
+  Printf.printf "Ts = %.0f cycles\n\n" seq.Mutls.Eval.scost;
+  let transformed = Mutls.speculate m in
+  Printf.printf "%-14s" "CPUs";
+  List.iter (fun n -> Printf.printf "%8d" n) [ 2; 4; 8; 16; 32 ];
+  print_newline ();
+  List.iter
+    (fun model ->
+      Printf.printf "%-14s" (Mutls.Config.model_to_string model);
+      List.iter
+        (fun ncpus ->
+          let cfg =
+            { Mutls.Config.default with ncpus; model_override = Some model }
+          in
+          let r = Mutls.run_tls cfg transformed in
+          assert (r.Mutls.Eval.toutput = seq.Mutls.Eval.soutput);
+          Printf.printf "%8.2f" (seq.Mutls.Eval.scost /. r.Mutls.Eval.tfinish))
+        [ 2; 4; 8; 16; 32 ];
+      print_newline ())
+    [ Mutls.Config.Mixed; Mutls.Config.In_order; Mutls.Config.Out_of_order ];
+  print_endline
+    "\nThe mixed model forks a *tree* of threads (each speculative thread\n\
+     speculates further down the search tree); in-order forms a single\n\
+     chain; out-of-order lets only the non-speculative thread fork, which\n\
+     bounds it near 2 regardless of the machine size."

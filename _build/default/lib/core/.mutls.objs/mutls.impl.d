@@ -1,0 +1,1 @@
+lib/core/mutls.ml: Ablations Experiments Metrics Mutls_interp Mutls_minic Mutls_minifortran Mutls_mir Mutls_runtime Mutls_speculator Mutls_workloads Printf

@@ -1,0 +1,1 @@
+lib/core/mutls.mli: Ablations Experiments Metrics Mutls_interp Mutls_mir Mutls_runtime Mutls_speculator Mutls_workloads

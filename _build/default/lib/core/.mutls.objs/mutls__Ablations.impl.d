@@ -1,0 +1,1 @@
+lib/core/ablations.ml: List Metrics Mutls_interp Mutls_minic Mutls_runtime Mutls_speculator Mutls_workloads Printf

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Metrics Mutls_runtime Mutls_workloads

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Float Format List Mutls_interp Mutls_runtime

@@ -1,0 +1,177 @@
+(* Ablation studies for the design choices DESIGN.md calls out, plus
+   the paper's §VI future-work features implemented in this repo:
+
+   1. tree-form vs linear mixed-model cascading (the paper's central
+      novelty over Mitosis/POSH/Safe futures);
+   2. stride value prediction for fork-time locals;
+   3. automatic fork heuristics vs manual annotation. *)
+
+module Config = Mutls_runtime.Config
+module Eval = Mutls_interp.Eval
+module W = Mutls_workloads.Workloads
+
+let run_with cfg m =
+  let seq = Eval.run_sequential ~cost:cfg.Config.cost m in
+  let t = Mutls_speculator.Pass.run m in
+  let r = Eval.run_tls cfg t in
+  if r.Eval.toutput <> seq.Eval.soutput then
+    invalid_arg "Ablations: TLS output diverged";
+  Metrics.compute ~ts:seq.Eval.scost r
+
+(* --- 1. cascading rollback strategy ---------------------------------- *)
+
+(* Under rollback pressure, the tree model preserves a rolled-back
+   child's children (they are re-joined by the parent), while the
+   linear model squashes the whole subtree.  matmult provides natural
+   rollbacks; the other benchmarks get them injected. *)
+let cascade ?(cpus = [ 4; 8; 16; 32 ]) () =
+  List.map
+    (fun (name, rollback) ->
+      let w = W.find name in
+      let rows =
+        List.map
+          (fun ncpus ->
+            let base cascade =
+              let cfg =
+                { Config.default with
+                  ncpus;
+                  cascade;
+                  rollback_probability = rollback }
+              in
+              (run_with cfg (Mutls_minic.Codegen.compile (w.W.c_source ())))
+                .Metrics.speedup
+            in
+            (ncpus, base Config.Tree_cascade, base Config.Linear_cascade))
+          cpus
+      in
+      (name, rollback, rows))
+    [ ("matmult", 0.0); ("nqueen", 0.1); ("fft", 0.1) ]
+
+(* --- 2. value prediction --------------------------------------------- *)
+
+(* A loop whose accumulator is live at the join point: without
+   prediction every speculation mispredicts the accumulator and rolls
+   back; with stride prediction the runtime learns the +10 per
+   iteration and speculation commits. *)
+let accumulator_src =
+  {|
+int chunk[32];
+int heavy(int c) {
+  int s = 0;
+  for (int k = 1; k < 500; k++) s = s + (c * k) % 17;
+  return s;
+}
+int main() {
+  int acc = 0;
+  for (int c = 0; c < 32; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    chunk[c] = heavy(c);
+    acc = acc + 10;
+    __builtin_MUTLS_join(0);
+  }
+  int t = acc;
+  for (int c = 0; c < 32; c++) t = t + chunk[c];
+  print_int(t);
+  print_newline();
+  return 0;
+}
+|}
+
+let value_prediction ?(cpus = [ 2; 4; 8; 16 ]) () =
+  List.map
+    (fun ncpus ->
+      let m vp =
+        run_with
+          { Config.default with ncpus; value_prediction = vp }
+          (Mutls_minic.Codegen.compile accumulator_src)
+      in
+      let off = m false and on = m true in
+      ( ncpus,
+        (off.Metrics.speedup, off.Metrics.rollbacks),
+        (on.Metrics.speedup, on.Metrics.rollbacks) ))
+    cpus
+
+(* --- 3. automatic fork heuristics ------------------------------------ *)
+
+(* A plain (unannotated) mandelbrot: Auto_annotate finds the outer
+   pixel-row loop by itself. *)
+let plain_mandelbrot =
+  {|
+int rows[64];
+int pixel(double cr, double ci, int maxit) {
+  double zr = 0.0;
+  double zi = 0.0;
+  int it = 0;
+  while (it < maxit) {
+    double zr2 = zr * zr;
+    double zi2 = zi * zi;
+    if (zr2 + zi2 > 4.0) return it;
+    double nzr = zr2 - zi2 + cr;
+    zi = 2.0 * zr * zi + ci;
+    zr = nzr;
+    it = it + 1;
+  }
+  return it;
+}
+int main() {
+  for (int y = 0; y < 64; y++) {
+    double ci = -1.25 + 2.5 * (double)y / 64.0;
+    int acc = 0;
+    for (int x = 0; x < 64; x++)
+      acc = acc + pixel(-2.0 + 3.0 * (double)x / 64.0, ci, 150);
+    rows[y] = acc;
+  }
+  int t = 0;
+  for (int y = 0; y < 64; y++) t = t + rows[y];
+  print_int(t);
+  print_newline();
+  return 0;
+}
+|}
+
+let auto ?(cpus = [ 2; 4; 8; 16; 32 ]) () =
+  let m = Mutls_minic.Codegen.compile plain_mandelbrot in
+  let npoints = Mutls_speculator.Auto_annotate.run m in
+  let rows =
+    List.map
+      (fun ncpus ->
+        let metrics = run_with { Config.default with ncpus } m in
+        (ncpus, metrics.Metrics.speedup))
+      cpus
+  in
+  (npoints, rows)
+
+(* --- rendering -------------------------------------------------------- *)
+
+let print_cascade () =
+  Printf.printf
+    "\n== Ablation: tree-form vs linear mixed-model cascading ==\n";
+  List.iter
+    (fun (name, rollback, rows) ->
+      Printf.printf "-- %s%s --\n" name
+        (if rollback > 0.0 then
+           Printf.sprintf " (%.0f%% injected rollbacks)" (100. *. rollback)
+         else " (natural rollbacks)");
+      Printf.printf "%6s %10s %10s %8s\n" "CPUs" "tree" "linear" "gain";
+      List.iter
+        (fun (n, tree, linear) ->
+          Printf.printf "%6d %10.2f %10.2f %7.2fx\n" n tree linear
+            (if linear > 0.0 then tree /. linear else nan))
+        rows)
+    (cascade ())
+
+let print_value_prediction () =
+  Printf.printf "\n== Ablation: stride value prediction (paper end VI) ==\n";
+  Printf.printf "%6s %22s %22s\n" "CPUs" "off: speedup/rollbacks"
+    "on: speedup/rollbacks";
+  List.iter
+    (fun (n, (s0, r0), (s1, r1)) ->
+      Printf.printf "%6d %15.2f / %-4d %16.2f / %-4d\n" n s0 r0 s1 r1)
+    (value_prediction ())
+
+let print_auto () =
+  Printf.printf "\n== Ablation: automatic fork heuristics (paper end VI) ==\n";
+  let npoints, rows = auto () in
+  Printf.printf "speculation points auto-inserted: %d\n" npoints;
+  Printf.printf "%6s %10s\n" "CPUs" "speedup";
+  List.iter (fun (n, s) -> Printf.printf "%6d %10.2f\n" n s) rows

@@ -1,0 +1,27 @@
+(** Ablation studies for the design choices DESIGN.md calls out, plus
+    the paper's §VI future-work features implemented in this repo:
+    tree-form vs linear cascading, stride value prediction, and
+    automatic fork heuristics. *)
+
+val accumulator_src : string
+(** A loop whose accumulator is live at the join point: every
+    speculation mispredicts without value prediction. *)
+
+val plain_mandelbrot : string
+(** An entirely unannotated program for the auto-annotation study. *)
+
+val cascade :
+  ?cpus:int list -> unit -> (string * float * (int * float * float) list) list
+(** (benchmark, injected rollback probability,
+    (cpus, tree speedup, linear speedup) rows). *)
+
+val value_prediction :
+  ?cpus:int list -> unit -> (int * (float * int) * (float * int)) list
+(** (cpus, (speedup, rollbacks) without, (speedup, rollbacks) with). *)
+
+val auto : ?cpus:int list -> unit -> int * (int * float) list
+(** (points inserted, (cpus, speedup) rows). *)
+
+val print_cascade : unit -> unit
+val print_value_prediction : unit -> unit
+val print_auto : unit -> unit

@@ -1,0 +1,270 @@
+(* Reproduction harness: one generator per table and figure of the
+   paper's evaluation (§V).  Results are structured (so tests can
+   assert on shapes) and printable (so `bench/main.exe` regenerates the
+   paper's rows). *)
+
+module Config = Mutls_runtime.Config
+module Workloads = Mutls_workloads.Workloads
+module Eval = Mutls_interp.Eval
+
+(* CPU counts swept; the paper plots 1..64. *)
+let default_cpus = [ 1; 2; 4; 8; 16; 24; 32; 48; 64 ]
+
+type lang = C | Fortran
+
+(* ------------------------------------------------------------------ *)
+(* Cached compile/transform/run                                        *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = {
+  p_seq_cost : float;
+  p_transformed : Mutls_mir.Ir.modul;
+  p_seq_output : string;
+}
+
+let prepared_cache : (string * lang, prepared) Hashtbl.t = Hashtbl.create 32
+let metrics_cache : (string * lang * int * int * int, Metrics.t) Hashtbl.t =
+  Hashtbl.create 256
+(* key: name, lang, ncpus, model override (-1 none), rollback pct *)
+
+let compile_of lang (w : Workloads.t) =
+  match lang with
+  | C -> Mutls_minic.Codegen.compile (w.Workloads.c_source ())
+  | Fortran -> (
+    match w.Workloads.fortran_source with
+    | Some f -> Mutls_minifortran.Fcodegen.compile (f ())
+    | None -> invalid_arg (w.Workloads.name ^ " has no Fortran version"))
+
+let prepare lang (w : Workloads.t) =
+  let key = (w.Workloads.name, lang) in
+  match Hashtbl.find_opt prepared_cache key with
+  | Some p -> p
+  | None ->
+    let m = compile_of lang w in
+    let seq = Eval.run_sequential m in
+    let transformed = Mutls_speculator.Pass.run m in
+    let p =
+      { p_seq_cost = seq.Eval.scost;
+        p_transformed = transformed;
+        p_seq_output = seq.Eval.soutput }
+    in
+    Hashtbl.replace prepared_cache key p;
+    p
+
+exception Divergence of string
+
+(* Run one benchmark under TLS and compute its metrics. *)
+let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0) ~ncpus
+    (w : Workloads.t) =
+  let mkey =
+    ( w.Workloads.name,
+      lang,
+      ncpus,
+      (match model_override with
+      | None -> -1
+      | Some m -> Config.model_to_int m),
+      int_of_float (rollback *. 100.0) )
+  in
+  match Hashtbl.find_opt metrics_cache mkey with
+  | Some m -> m
+  | None ->
+    let p = prepare lang w in
+    let cfg =
+      { Config.default with
+        ncpus;
+        model_override;
+        rollback_probability = rollback }
+    in
+    let r = Eval.run_tls cfg p.p_transformed in
+    if rollback = 0.0 && r.Eval.toutput <> p.p_seq_output then
+      raise
+        (Divergence
+           (Printf.sprintf "%s/%s@%d: %S <> %S" w.Workloads.name
+              (match lang with C -> "C" | Fortran -> "F")
+              ncpus r.Eval.toutput p.p_seq_output));
+    if rollback > 0.0 && r.Eval.toutput <> p.p_seq_output then
+      raise
+        (Divergence
+           (Printf.sprintf "%s rollback-injected run diverged" w.Workloads.name));
+    let m = Metrics.compute ~ts:p.p_seq_cost r in
+    Hashtbl.replace metrics_cache mkey m;
+    m
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  [
+    ("Jrpm [4]", "hardware", "Java", "in-order", "loop iteration");
+    ("SPT [7]", "hardware", "C", "in-order", "loop iteration");
+    ("STAMPede [17]", "hardware", "C", "in-order", "loop iteration");
+    ("Mitosis [16]", "hardware", "C", "mixed (linear)", "arbitrary");
+    ("POSH [9]", "hardware", "C", "mixed (linear)", "nested structure");
+    ("SableSpMT [12]", "software", "Java", "out-of-order", "method call");
+    ("Safe futures [19]", "software", "Java", "mixed (linear)", "method call");
+    ("BOP [6]", "software", "C", "in-order", "arbitrary");
+    ("SpLSC/SpLIP [10,11]", "software", "C++", "in-order", "loop iteration");
+    ("MUTLS", "software", "arbitrary", "mixed (tree)", "arbitrary");
+  ]
+
+let table2 () =
+  List.map
+    (fun (w : Workloads.t) ->
+      ( w.Workloads.name,
+        w.Workloads.description,
+        w.Workloads.amount,
+        Workloads.pattern_to_string w.Workloads.pattern,
+        (match w.Workloads.fortran_source with
+        | Some _ -> "C/Fortran"
+        | None -> "C"),
+        Workloads.class_to_string w.Workloads.wclass ))
+    Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type series = { label : string; points : (int * float) list }
+
+let sweep ?(cpus = default_cpus) ?(lang = C) ?(model_override = None)
+    ?(rollback = 0.0) metric (w : Workloads.t) =
+  List.map
+    (fun n -> (n, metric (run ~lang ~model_override ~rollback ~ncpus:n w)))
+    cpus
+
+(* Fig. 3: speedup of computation-intensive applications, C and
+   Fortran. *)
+let fig3 ?cpus () =
+  List.concat_map
+    (fun (w : Workloads.t) ->
+      let c =
+        { label = w.Workloads.name ^ " c";
+          points = sweep ?cpus (fun m -> m.Metrics.speedup) w }
+      in
+      match w.Workloads.fortran_source with
+      | Some _ ->
+        [ c;
+          { label = w.Workloads.name ^ " fortran";
+            points = sweep ?cpus ~lang:Fortran (fun m -> m.Metrics.speedup) w } ]
+      | None -> [ c ])
+    Workloads.compute_intensive
+
+(* Fig. 4: speedup of memory-intensive applications. *)
+let fig4 ?cpus () =
+  List.map
+    (fun (w : Workloads.t) ->
+      { label = w.Workloads.name;
+        points = sweep ?cpus (fun m -> m.Metrics.speedup) w })
+    Workloads.memory_intensive
+
+(* Figs. 5-7: efficiency metrics across all benchmarks. *)
+let efficiency_fig ?cpus metric =
+  List.map
+    (fun (w : Workloads.t) ->
+      { label = w.Workloads.name; points = sweep ?cpus metric w })
+    Workloads.all
+
+let fig5 ?cpus () = efficiency_fig ?cpus (fun m -> m.Metrics.crit_efficiency)
+let fig6 ?cpus () = efficiency_fig ?cpus (fun m -> m.Metrics.spec_efficiency)
+let fig7 ?cpus () = efficiency_fig ?cpus (fun m -> m.Metrics.power_efficiency)
+
+(* Parallel execution coverage (§V-B). *)
+let coverage ?(ncpus = 64) () =
+  List.map
+    (fun (w : Workloads.t) ->
+      (w.Workloads.name, (run ~ncpus w).Metrics.coverage))
+    Workloads.all
+
+(* Fig. 8: critical path breakdown for fft and md. *)
+let fig8 ?(cpus = default_cpus) () =
+  List.map
+    (fun name ->
+      let w = Workloads.find name in
+      ( name,
+        List.map (fun n -> (n, (run ~ncpus:n w).Metrics.crit_breakdown)) cpus ))
+    [ "fft"; "md" ]
+
+(* Fig. 9: speculative path breakdown for fft and matmult. *)
+let fig9 ?(cpus = default_cpus) () =
+  List.map
+    (fun name ->
+      let w = Workloads.find name in
+      ( name,
+        List.map (fun n -> (n, (run ~ncpus:n w).Metrics.spec_breakdown)) cpus ))
+    [ "fft"; "matmult" ]
+
+(* Fig. 10: in-order and out-of-order forking models on the tree-form
+   recursion benchmarks, normalised to the mixed model. *)
+let fig10 ?(cpus = default_cpus) () =
+  List.concat_map
+    (fun name ->
+      let w = Workloads.find name in
+      let normalised model =
+        List.map
+          (fun n ->
+            let mixed = (run ~ncpus:n w).Metrics.speedup in
+            let other =
+              (run ~model_override:(Some model) ~ncpus:n w).Metrics.speedup
+            in
+            (n, if mixed > 0.0 then other /. mixed else 1.0))
+          cpus
+      in
+      [ { label = name ^ " inorder"; points = normalised Config.In_order };
+        { label = name ^ " outoforder";
+          points = normalised Config.Out_of_order } ])
+    [ "fft"; "matmult"; "nqueen"; "tsp" ]
+
+(* Fig. 11: rollback sensitivity — relative slowdown when validation is
+   made to fail with a given probability. *)
+let fig11 ?(ncpus = 32) ?(probabilities = [ 0.01; 0.05; 0.10; 0.20; 0.50; 1.0 ])
+    () =
+  List.map
+    (fun name ->
+      let w = Workloads.find name in
+      let base = (run ~ncpus w).Metrics.speedup in
+      ( name,
+        List.map
+          (fun p ->
+            let s = (run ~rollback:p ~ncpus w).Metrics.speedup in
+            (p, if base > 0.0 then s /. base else 1.0))
+          probabilities ))
+    [ "mandelbrot"; "md"; "fft"; "matmult"; "nqueen"; "tsp"; "bh" ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_series ~title ~ylabel (series : series list) =
+  Printf.printf "\n== %s ==\n" title;
+  let cpus =
+    match series with [] -> [] | s :: _ -> List.map fst s.points
+  in
+  Printf.printf "%-22s %s\n" (ylabel ^ " \\ CPUs")
+    (String.concat " " (List.map (Printf.sprintf "%6d") cpus));
+  List.iter
+    (fun s ->
+      Printf.printf "%-22s %s\n" s.label
+        (String.concat " "
+           (List.map (fun (_, v) -> Printf.sprintf "%6.2f" v) s.points)))
+    series
+
+let print_breakdowns ~title (rows : (string * (int * Metrics.breakdown) list) list)
+    =
+  Printf.printf "\n== %s ==\n" title;
+  List.iter
+    (fun (bench, per_cpu) ->
+      Printf.printf "-- %s --\n" bench;
+      (match per_cpu with
+      | (_, bd) :: _ ->
+        Printf.printf "%6s %s\n" "CPUs"
+          (String.concat " "
+             (List.map (fun (c, _) -> Printf.sprintf "%11s" c) bd))
+      | [] -> ());
+      List.iter
+        (fun (n, bd) ->
+          Printf.printf "%6d %s\n" n
+            (String.concat " "
+               (List.map (fun (_, v) -> Printf.sprintf "%10.1f%%" (100. *. v)) bd)))
+        per_cpu)
+    rows

@@ -1,0 +1,75 @@
+(** Reproduction harness: one generator per table and figure of the
+    paper's evaluation (§V).  Results are structured (tests assert on
+    shapes) and printable ([bench/main.exe] regenerates the paper's
+    rows).  Compilation, transformation and runs are cached, so sweeps
+    that share configurations are cheap. *)
+
+type lang = C | Fortran
+
+val default_cpus : int list
+(** The CPU counts swept (the paper plots 1..64). *)
+
+exception Divergence of string
+(** A TLS run's program output differed from the sequential run's. *)
+
+val run :
+  ?lang:lang ->
+  ?model_override:Mutls_runtime.Config.model option ->
+  ?rollback:float ->
+  ncpus:int ->
+  Mutls_workloads.Workloads.t ->
+  Metrics.t
+(** Run one benchmark under TLS (cached) and compute its metrics.
+    @raise Divergence if outputs mismatch. *)
+
+(** {1 Tables} *)
+
+val table1 : unit -> (string * string * string * string * string) list
+(** (system, hardware/software, language, forking model, region). *)
+
+val table2 :
+  unit -> (string * string * string * string * string * string) list
+(** (name, description, paper data amount, pattern, language, class). *)
+
+(** {1 Figures} *)
+
+type series = { label : string; points : (int * float) list }
+
+val fig3 : ?cpus:int list -> unit -> series list
+(** Speedup, computation-intensive applications, C and Fortran. *)
+
+val fig4 : ?cpus:int list -> unit -> series list
+(** Speedup, memory-intensive applications. *)
+
+val fig5 : ?cpus:int list -> unit -> series list
+(** Critical path efficiency, all benchmarks. *)
+
+val fig6 : ?cpus:int list -> unit -> series list
+(** Speculative path efficiency. *)
+
+val fig7 : ?cpus:int list -> unit -> series list
+(** Power efficiency. *)
+
+val coverage : ?ncpus:int -> unit -> (string * float) list
+(** Parallel execution coverage C (§V-B; paper: 23.1-60.7). *)
+
+val fig8 : ?cpus:int list -> unit -> (string * (int * Metrics.breakdown) list) list
+(** Critical path breakdown for fft and md. *)
+
+val fig9 : ?cpus:int list -> unit -> (string * (int * Metrics.breakdown) list) list
+(** Speculative path breakdown for fft and matmult. *)
+
+val fig10 : ?cpus:int list -> unit -> series list
+(** In-order and out-of-order speedups on the tree-form recursion
+    benchmarks, normalised to the mixed model. *)
+
+val fig11 :
+  ?ncpus:int -> ?probabilities:float list -> unit -> (string * (float * float) list) list
+(** Rollback sensitivity: relative slowdown under injected validation
+    failures. *)
+
+(** {1 Rendering} *)
+
+val print_series : title:string -> ylabel:string -> series list -> unit
+val print_breakdowns :
+  title:string -> (string * (int * Metrics.breakdown) list) list -> unit

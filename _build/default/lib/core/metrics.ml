@@ -1,0 +1,123 @@
+(* Metrics from §V of the paper.
+
+   - absolute speedup          Ts / TN
+   - critical path efficiency  ηcrit  = Twork_nonsp / Truntime_nonsp
+   - speculative path eff.     ηsp    = ΣTwork_sp / ΣTruntime_sp
+   - power efficiency          ηpower = Ts / (Truntime_nonsp + ΣTruntime_sp)
+   - parallel coverage         C      = ΣTruntime_sp / Truntime_nonsp
+   plus the critical/speculative path breakdowns of Figures 8 and 9. *)
+
+module Stats = Mutls_runtime.Stats
+module Eval = Mutls_interp.Eval
+module TM = Mutls_runtime.Thread_manager
+
+type breakdown = (string * float) list (* category -> fraction of runtime *)
+
+type t = {
+  ts : float;
+  tn : float;
+  speedup : float;
+  crit_efficiency : float;
+  spec_efficiency : float;
+  power_efficiency : float;
+  coverage : float;
+  crit_breakdown : breakdown;
+  spec_breakdown : breakdown;
+  commits : int;
+  rollbacks : int;
+  forks : int;
+  rollback_rate : float; (* rollbacks / (commits + rollbacks) *)
+}
+
+let fraction total v = if total <= 0.0 then 0.0 else v /. total
+
+(* Critical path categories (Figure 8): work, join, idle, fork, find
+   CPU.  Residual unaccounted time is reported as idle. *)
+let crit_breakdown_of (stats : Stats.t) runtime =
+  let get c = Stats.get stats c in
+  let work = get Stats.Work in
+  let join =
+    get Stats.Join +. get Stats.Validation +. get Stats.Commit
+    +. get Stats.Finalize
+  in
+  let fork = get Stats.Fork in
+  let find = get Stats.Find_cpu in
+  let idle = get Stats.Idle +. Float.max 0.0 (runtime -. (work +. join +. fork +. find +. get Stats.Idle)) in
+  [
+    ("work", fraction runtime work);
+    ("join", fraction runtime join);
+    ("idle", fraction runtime idle);
+    ("fork", fraction runtime fork);
+    ("find CPU", fraction runtime find);
+  ]
+
+(* Speculative path categories (Figure 9). *)
+let spec_breakdown_of (merged : Stats.t) total_runtime =
+  let get c = Stats.get merged c in
+  let work = get Stats.Work in
+  let wasted = get Stats.Wasted_work in
+  let finalize = get Stats.Finalize in
+  let commit = get Stats.Commit in
+  let validation = get Stats.Validation in
+  let overflow = get Stats.Overflow in
+  let fork = get Stats.Fork in
+  let find = get Stats.Find_cpu in
+  let accounted =
+    work +. wasted +. finalize +. commit +. validation +. overflow +. fork
+    +. find +. get Stats.Idle +. get Stats.Join
+  in
+  let idle =
+    get Stats.Idle +. get Stats.Join
+    +. Float.max 0.0 (total_runtime -. accounted)
+  in
+  [
+    ("work", fraction total_runtime work);
+    ("wasted work", fraction total_runtime wasted);
+    ("finalize", fraction total_runtime finalize);
+    ("commit", fraction total_runtime commit);
+    ("validation", fraction total_runtime validation);
+    ("overflow", fraction total_runtime overflow);
+    ("idle", fraction total_runtime idle);
+    ("fork", fraction total_runtime fork);
+    ("find CPU", fraction total_runtime find);
+  ]
+
+let compute ~ts (r : Eval.tls_result) =
+  let tn = r.Eval.tfinish in
+  let main = r.Eval.tmain_stats in
+  let retired = r.Eval.tretired in
+  let spec_runtime =
+    List.fold_left (fun acc t -> acc +. t.TM.r_runtime) 0.0 retired
+  in
+  let merged = Stats.create () in
+  List.iter (fun t -> Stats.merge ~into:merged t.TM.r_stats) retired;
+  let spec_work = Stats.get merged Stats.Work in
+  let commits =
+    List.length (List.filter (fun t -> t.TM.r_committed) retired)
+  in
+  let rollbacks = List.length retired - commits in
+  let forks = main.Stats.n_forks + merged.Stats.n_forks in
+  {
+    ts;
+    tn;
+    speedup = (if tn > 0.0 then ts /. tn else 1.0);
+    crit_efficiency = fraction tn (Stats.get main Stats.Work);
+    spec_efficiency = fraction spec_runtime spec_work;
+    power_efficiency = fraction (tn +. spec_runtime) ts;
+    coverage = fraction tn spec_runtime;
+    crit_breakdown = crit_breakdown_of main tn;
+    spec_breakdown = spec_breakdown_of merged spec_runtime;
+    commits;
+    rollbacks;
+    forks;
+    rollback_rate =
+      (if commits + rollbacks = 0 then 0.0
+       else float_of_int rollbacks /. float_of_int (commits + rollbacks));
+  }
+
+let pp fmt (m : t) =
+  Format.fprintf fmt
+    "speedup %.2f (Ts=%.0f TN=%.0f)  ηcrit=%.2f ηsp=%.2f ηpower=%.2f C=%.1f  \
+     commits=%d rollbacks=%d"
+    m.speedup m.ts m.tn m.crit_efficiency m.spec_efficiency m.power_efficiency
+    m.coverage m.commits m.rollbacks

@@ -1,0 +1,31 @@
+(** Metrics from §V of the paper:
+
+    - absolute speedup          Ts / TN
+    - critical path efficiency  ncrit  = Twork_nonsp / Truntime_nonsp
+    - speculative path eff.     nsp    = sum Twork_sp / sum Truntime_sp
+    - power efficiency          npower = Ts / (Truntime_nonsp + sum Truntime_sp)
+    - parallel coverage         C      = sum Truntime_sp / Truntime_nonsp
+
+    plus the critical/speculative path breakdowns of Figures 8 and 9. *)
+
+type breakdown = (string * float) list
+(** Category -> fraction of the relevant runtime; fractions sum to 1. *)
+
+type t = {
+  ts : float;
+  tn : float;
+  speedup : float;
+  crit_efficiency : float;
+  spec_efficiency : float;
+  power_efficiency : float;
+  coverage : float;
+  crit_breakdown : breakdown;
+  spec_breakdown : breakdown;
+  commits : int;
+  rollbacks : int;
+  forks : int;
+  rollback_rate : float;
+}
+
+val compute : ts:float -> Mutls_interp.Eval.tls_result -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(* Top-level MUTLS API: compile a source program (MiniC or
+   MiniFortran), run the speculator pass, and execute sequentially or
+   under thread-level speculation on N virtual CPUs. *)
+
+module Ir = Mutls_mir.Ir
+module Printer = Mutls_mir.Printer
+module Verify = Mutls_mir.Verify
+module Config = Mutls_runtime.Config
+module Stats = Mutls_runtime.Stats
+module Pass = Mutls_speculator.Pass
+module Eval = Mutls_interp.Eval
+module Workloads = Mutls_workloads.Workloads
+module Opt = Mutls_mir.Opt
+module Metrics = Metrics
+module Experiments = Experiments
+module Ablations = Ablations
+module Auto_annotate = Mutls_speculator.Auto_annotate
+
+type language = C | Fortran
+
+let language_to_string = function C -> "C" | Fortran -> "Fortran"
+
+exception Compile_error of string
+
+(* Compile source text to a verified MIR module. *)
+let compile ?(optimize = false) lang source =
+  let m =
+    match lang with
+    | C -> (
+      try Mutls_minic.Codegen.compile source with
+      | Mutls_minic.Lexer.Error e | Mutls_minic.Parser.Error e
+      | Mutls_minic.Codegen.Error e ->
+        raise (Compile_error e))
+    | Fortran -> (
+      try Mutls_minifortran.Fcodegen.compile source with
+      | Mutls_minifortran.Fparser.Error e | Mutls_minifortran.Fcodegen.Error e ->
+        raise (Compile_error e))
+  in
+  if optimize then Mutls_mir.Opt.run_module m;
+  m
+
+(* Apply the speculator transformation pass (paper §IV). *)
+let speculate ?opts m = Pass.run ?opts m
+
+(* Sequential baseline run: Ts in virtual cycles. *)
+let run_sequential = Eval.run_sequential
+
+(* TLS run of a transformed module. *)
+let run_tls = Eval.run_tls
+
+(* Convenience: compile, transform, and run both ways. *)
+type execution = {
+  seq : Eval.seq_result;
+  tls : Eval.tls_result;
+  metrics : Metrics.t;
+}
+
+let execute ?(cfg = Config.default) ?optimize lang source =
+  let m = compile ?optimize lang source in
+  let seq = run_sequential ~cost:cfg.Config.cost m in
+  let transformed = speculate m in
+  let tls = run_tls cfg transformed in
+  if seq.Eval.soutput <> tls.Eval.toutput then
+    invalid_arg
+      (Printf.sprintf
+         "Mutls.execute: TLS output diverged from sequential (%S vs %S)"
+         seq.Eval.soutput tls.Eval.toutput);
+  { seq; tls; metrics = Metrics.compute ~ts:seq.Eval.scost tls }

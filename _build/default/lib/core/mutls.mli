@@ -1,0 +1,66 @@
+(** MUTLS: Mixed-model Universal software Thread-Level Speculation — an
+    OCaml implementation of Cao & Verbrugge, ICPP 2013.
+
+    Typical use:
+
+    {[
+      let m           = Mutls.compile Mutls.C source in
+      let transformed = Mutls.speculate m in
+      let result      = Mutls.run_tls { Mutls.Config.default with ncpus = 16 } transformed
+    ]}
+
+    or in one step, with paper-§V metrics and an output-equivalence
+    check: {!execute}. *)
+
+(** {1 Re-exported subsystems} *)
+
+module Ir = Mutls_mir.Ir
+module Printer = Mutls_mir.Printer
+module Verify = Mutls_mir.Verify
+module Config = Mutls_runtime.Config
+module Stats = Mutls_runtime.Stats
+module Pass = Mutls_speculator.Pass
+module Eval = Mutls_interp.Eval
+module Workloads = Mutls_workloads.Workloads
+module Opt = Mutls_mir.Opt
+module Metrics = Metrics
+module Experiments = Experiments
+module Ablations = Ablations
+module Auto_annotate = Mutls_speculator.Auto_annotate
+
+(** {1 Compilation} *)
+
+type language = C | Fortran
+
+val language_to_string : language -> string
+
+exception Compile_error of string
+
+val compile : ?optimize:bool -> language -> string -> Ir.modul
+(** Compile source text to a verified MIR module; [optimize] runs the
+    classic scalar passes ({!Opt}) before returning.
+    @raise Compile_error with a line-numbered message. *)
+
+val speculate : ?opts:Pass.options -> Ir.modul -> Ir.modul
+(** Apply the speculator transformation pass (paper §IV); the input
+    module is untouched. *)
+
+(** {1 Execution} *)
+
+val run_sequential :
+  ?cost:Config.cost -> ?heap_size:int -> ?globals_size:int -> Ir.modul ->
+  Eval.seq_result
+
+val run_tls :
+  ?heap_size:int -> ?globals_size:int -> Config.t -> Ir.modul -> Eval.tls_result
+
+type execution = {
+  seq : Eval.seq_result;
+  tls : Eval.tls_result;
+  metrics : Metrics.t;
+}
+
+val execute : ?cfg:Config.t -> ?optimize:bool -> language -> string -> execution
+(** Compile, transform, run both ways, and verify that the TLS output
+    equals the sequential output.
+    @raise Invalid_argument on divergence (a runtime bug). *)

@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Array Buffer Char Config Externs Hashtbl Int64 Ir List Local_buffer Memory Mutls_mir Mutls_runtime Mutls_sim Option Printf Stats Thread_data Thread_manager Value

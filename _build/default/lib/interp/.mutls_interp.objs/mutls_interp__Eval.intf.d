@@ -1,0 +1,1 @@
+lib/interp/eval.mli: Mutls_mir Mutls_runtime Value

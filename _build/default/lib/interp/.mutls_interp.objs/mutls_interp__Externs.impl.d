@@ -1,0 +1,1 @@
+lib/interp/externs.ml: Float Int64 List Mutls_mir Value

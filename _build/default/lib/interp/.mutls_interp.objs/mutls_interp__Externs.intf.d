@@ -1,0 +1,1 @@
+lib/interp/externs.mli: Mutls_mir Value

@@ -1,0 +1,1 @@
+lib/interp/memory.ml: Array Bytes Char Hashtbl Int64 List Mutls_mir Mutls_runtime String

@@ -1,0 +1,1 @@
+lib/interp/memory.mli: Bytes Hashtbl Mutls_mir Mutls_runtime

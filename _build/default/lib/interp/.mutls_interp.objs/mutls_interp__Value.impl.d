@@ -1,0 +1,1 @@
+lib/interp/value.ml: Int64 Mutls_mir Mutls_runtime Printf

@@ -1,0 +1,1 @@
+lib/interp/value.mli: Mutls_mir Mutls_runtime

@@ -1,0 +1,46 @@
+(** The MIR interpreter.  Runs either the untransformed module
+    (sequential baseline; MUTLS source intrinsics are no-ops) or the
+    speculator-pass output under the TLS runtime on the discrete-event
+    engine.  All MUTLS_* runtime-library calls are dispatched to
+    {!Mutls_runtime.Thread_manager}. *)
+
+exception Trap of string
+(** Runtime error in the interpreted program (division by zero, stack
+    overflow, unknown callee, executed [unreachable], ...). *)
+
+(** {1 Sequential baseline} *)
+
+type seq_result = {
+  sret : Value.v option;  (** main's return value *)
+  soutput : string;  (** everything printed *)
+  scost : float;  (** Ts in virtual cycles, under the same cost model *)
+}
+
+val default_heap : int
+val default_stack : int
+val default_globals : int
+
+val run_sequential :
+  ?cost:Mutls_runtime.Config.cost ->
+  ?heap_size:int ->
+  ?globals_size:int ->
+  Mutls_mir.Ir.modul ->
+  seq_result
+
+(** {1 TLS execution} *)
+
+type tls_result = {
+  tret : Value.v option;
+  toutput : string;
+  tfinish : float;  (** virtual time when the main thread completed *)
+  tmain_stats : Mutls_runtime.Stats.t;
+  tretired : Mutls_runtime.Thread_manager.retired list;
+}
+
+val run_tls :
+  ?heap_size:int ->
+  ?globals_size:int ->
+  Mutls_runtime.Config.t ->
+  Mutls_mir.Ir.modul ->
+  tls_result
+(** Run the speculator-pass output on [cfg.ncpus] virtual CPUs. *)

@@ -1,0 +1,76 @@
+(* External functions callable from MIR programs.  The pure math
+   functions are "known, safe external calls" (paper §IV-C) and may run
+   speculatively; the I/O and allocation functions are unsafe and force
+   terminate points in speculative code. *)
+
+open Value
+
+type outcome = Ret of v | Ret_void
+
+(* Names that never require speculation to stop. *)
+let safe_names =
+  [ "abs"; "labs"; "fabs"; "sqrt"; "sin"; "cos"; "tan"; "exp"; "log";
+    "pow"; "floor"; "ceil"; "fmod"; "min_i64"; "max_i64"; "fmin"; "fmax" ]
+
+let is_safe name = List.mem name safe_names
+
+(* Declarations every front-end injects. *)
+let declarations : Mutls_mir.Ir.edecl list =
+  let open Mutls_mir.Ir in
+  [
+    { ename = "abs"; eret = I64; eparams = [ I64 ] };
+    { ename = "labs"; eret = I64; eparams = [ I64 ] };
+    { ename = "fabs"; eret = F64; eparams = [ F64 ] };
+    { ename = "sqrt"; eret = F64; eparams = [ F64 ] };
+    { ename = "sin"; eret = F64; eparams = [ F64 ] };
+    { ename = "cos"; eret = F64; eparams = [ F64 ] };
+    { ename = "tan"; eret = F64; eparams = [ F64 ] };
+    { ename = "exp"; eret = F64; eparams = [ F64 ] };
+    { ename = "log"; eret = F64; eparams = [ F64 ] };
+    { ename = "pow"; eret = F64; eparams = [ F64; F64 ] };
+    { ename = "floor"; eret = F64; eparams = [ F64 ] };
+    { ename = "ceil"; eret = F64; eparams = [ F64 ] };
+    { ename = "fmod"; eret = F64; eparams = [ F64; F64 ] };
+    { ename = "fmin"; eret = F64; eparams = [ F64; F64 ] };
+    { ename = "fmax"; eret = F64; eparams = [ F64; F64 ] };
+    { ename = "min_i64"; eret = I64; eparams = [ I64; I64 ] };
+    { ename = "max_i64"; eret = I64; eparams = [ I64; I64 ] };
+    { ename = "print_int"; eret = Void; eparams = [ I64 ] };
+    { ename = "print_float"; eret = Void; eparams = [ F64 ] };
+    { ename = "print_char"; eret = Void; eparams = [ I64 ] };
+    { ename = "print_newline"; eret = Void; eparams = [] };
+    { ename = "malloc"; eret = Ptr; eparams = [ I64 ] };
+    { ename = "free"; eret = Void; eparams = [ Ptr ] };
+  ]
+
+let f1 f args =
+  match args with
+  | [ a ] -> Ret (VF (f (to_f64 a)))
+  | _ -> invalid_arg "extern: arity"
+
+let f2 f args =
+  match args with
+  | [ a; b ] -> Ret (VF (f (to_f64 a) (to_f64 b)))
+  | _ -> invalid_arg "extern: arity"
+
+(* Pure externs; I/O and allocation are handled by the evaluator, which
+   owns the output buffer and the heap. *)
+let eval_pure name args =
+  match (name, args) with
+  | ("abs" | "labs"), [ a ] -> Some (Ret (VI (Int64.abs (to_i64 a))))
+  | "min_i64", [ a; b ] -> Some (Ret (VI (min (to_i64 a) (to_i64 b))))
+  | "max_i64", [ a; b ] -> Some (Ret (VI (max (to_i64 a) (to_i64 b))))
+  | "fabs", _ -> Some (f1 Float.abs args)
+  | "sqrt", _ -> Some (f1 sqrt args)
+  | "sin", _ -> Some (f1 sin args)
+  | "cos", _ -> Some (f1 cos args)
+  | "tan", _ -> Some (f1 tan args)
+  | "exp", _ -> Some (f1 exp args)
+  | "log", _ -> Some (f1 log args)
+  | "floor", _ -> Some (f1 floor args)
+  | "ceil", _ -> Some (f1 ceil args)
+  | "pow", _ -> Some (f2 ( ** ) args)
+  | "fmod", _ -> Some (f2 Float.rem args)
+  | "fmin", _ -> Some (f2 Float.min args)
+  | "fmax", _ -> Some (f2 Float.max args)
+  | _ -> None

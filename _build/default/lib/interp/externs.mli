@@ -1,0 +1,16 @@
+(** External functions callable from MIR programs.  The pure math
+    functions are "known, safe external calls" (paper §IV-C) and may
+    run speculatively; I/O and allocation are unsafe and force
+    terminate points in speculative code. *)
+
+type outcome = Ret of Value.v | Ret_void
+
+val safe_names : string list
+val is_safe : string -> bool
+
+val declarations : Mutls_mir.Ir.edecl list
+(** The declarations every front-end injects. *)
+
+val eval_pure : string -> Value.v list -> outcome option
+(** Evaluate a pure extern; [None] for names the evaluator itself
+    handles (I/O, allocation) or unknown names. *)

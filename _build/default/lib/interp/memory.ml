@@ -1,0 +1,146 @@
+(* Flat byte-addressable main memory shared by every simulated thread:
+   a globals region, a bump-allocated heap and one fixed-size stack
+   slot per virtual CPU (rank 0 = the non-speculative thread).  Word
+   operations are little-endian; floats travel as their IEEE bits. *)
+
+let null_guard = 0x1000 (* addresses below this always fault *)
+
+type t = {
+  data : Bytes.t;
+  globals_base : int;
+  globals_end : int;
+  heap_base : int;
+  heap_end : int;
+  mutable heap_ptr : int;
+  stack_base : int;
+  stack_size : int;
+  nstacks : int;
+  symbols : (string, int) Hashtbl.t; (* global name -> address *)
+  mutable allocations : (int * int) list; (* live heap blocks *)
+}
+
+exception Fault of int
+
+let align8 n = (n + 7) land lnot 7
+
+let create ~globals_size ~heap_size ~stack_size ~nstacks =
+  let globals_base = null_guard in
+  let globals_end = globals_base + align8 globals_size in
+  let heap_base = globals_end in
+  let heap_end = heap_base + align8 heap_size in
+  let stack_base = heap_end in
+  let total = stack_base + (nstacks * stack_size) in
+  {
+    data = Bytes.make total '\000';
+    globals_base;
+    globals_end;
+    heap_base;
+    heap_end;
+    heap_ptr = heap_base;
+    stack_base;
+    stack_size;
+    nstacks;
+    symbols = Hashtbl.create 32;
+    allocations = [];
+  }
+
+let check t addr size =
+  if addr < null_guard || addr + size > Bytes.length t.data then raise (Fault addr)
+
+let read_i64 t addr =
+  check t addr 8;
+  Bytes.get_int64_le t.data addr
+
+let write_i64 t addr v =
+  check t addr 8;
+  Bytes.set_int64_le t.data addr v
+
+let read_i32 t addr =
+  check t addr 4;
+  Int64.of_int32 (Bytes.get_int32_le t.data addr)
+
+let write_i32 t addr v =
+  check t addr 4;
+  Bytes.set_int32_le t.data addr (Int64.to_int32 v)
+
+let read_i8 t addr =
+  check t addr 1;
+  Int64.of_int (Char.code (Bytes.get t.data addr))
+
+let write_i8 t addr v =
+  check t addr 1;
+  Bytes.set t.data addr (Char.chr (Int64.to_int v land 0xff))
+
+let read_f64 t addr = Int64.float_of_bits (read_i64 t addr)
+let write_f64 t addr x = write_i64 t addr (Int64.bits_of_float x)
+
+let read_byte t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.data addr)
+
+let write_byte t addr v =
+  check t addr 1;
+  Bytes.set t.data addr (Char.chr (v land 0xff))
+
+(* Runtime-facing view for validation, commit and stack copies. *)
+let memio t =
+  {
+    Mutls_runtime.Memio.read_word = read_i64 t;
+    write_word = write_i64 t;
+    read_byte = read_byte t;
+    write_byte = write_byte t;
+  }
+
+(* --- globals --------------------------------------------------------- *)
+
+(* Lay out the module's globals; returns the registered size. *)
+let install_globals t (m : Mutls_mir.Ir.modul) =
+  let cursor = ref t.globals_base in
+  List.iter
+    (fun (g : Mutls_mir.Ir.gdef) ->
+      let addr = !cursor in
+      if addr + g.gsize > t.globals_end then
+        invalid_arg ("Memory: globals region too small at @" ^ g.gname);
+      Hashtbl.replace t.symbols g.gname addr;
+      (match g.ginit with
+      | Mutls_mir.Ir.Zero -> ()
+      | Mutls_mir.Ir.Bytes_init s ->
+        String.iteri (fun i c -> Bytes.set t.data (addr + i) c) s
+      | Mutls_mir.Ir.Words_init ws ->
+        Array.iteri (fun i w -> write_i64 t (addr + (8 * i)) w) ws
+      | Mutls_mir.Ir.Floats_init fs ->
+        Array.iteri (fun i x -> write_f64 t (addr + (8 * i)) x) fs);
+      cursor := addr + align8 g.gsize)
+    m.globals;
+  !cursor - t.globals_base
+
+let symbol t name =
+  match Hashtbl.find_opt t.symbols name with
+  | Some a -> a
+  | None -> invalid_arg ("Memory.symbol: unknown global " ^ name)
+
+(* --- heap ------------------------------------------------------------ *)
+
+let malloc t size =
+  let size = align8 (max 8 size) in
+  let addr = t.heap_ptr in
+  if addr + size > t.heap_end then raise (Fault addr);
+  t.heap_ptr <- addr + size;
+  t.allocations <- (addr, size) :: t.allocations;
+  addr
+
+let free t addr =
+  (* bump allocator: space is not recycled, but the block is dropped
+     from the live list (and callers unregister its address range) *)
+  match List.assoc_opt addr t.allocations with
+  | Some size ->
+    t.allocations <- List.filter (fun (a, _) -> a <> addr) t.allocations;
+    Some size
+  | None -> None
+
+(* --- stacks ---------------------------------------------------------- *)
+
+let stack_slot t rank =
+  if rank < 0 || rank >= t.nstacks then invalid_arg "Memory.stack_slot";
+  let base = t.stack_base + (rank * t.stack_size) in
+  (base, base + t.stack_size)

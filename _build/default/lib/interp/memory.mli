@@ -1,0 +1,63 @@
+(** Flat byte-addressable main memory shared by every simulated thread:
+    a globals region, a bump-allocated heap, and one fixed-size stack
+    slot per virtual CPU (rank 0 = the non-speculative thread).  Word
+    operations are little-endian; floats travel as their IEEE bits. *)
+
+val null_guard : int
+(** Addresses below this always fault. *)
+
+exception Fault of int
+
+type t = {
+  data : Bytes.t;
+  globals_base : int;
+  globals_end : int;
+  heap_base : int;
+  heap_end : int;
+  mutable heap_ptr : int;
+  stack_base : int;
+  stack_size : int;
+  nstacks : int;
+  symbols : (string, int) Hashtbl.t;
+  mutable allocations : (int * int) list;
+}
+
+val align8 : int -> int
+
+val create :
+  globals_size:int -> heap_size:int -> stack_size:int -> nstacks:int -> t
+
+(** {1 Typed access} *)
+
+val read_i64 : t -> int -> int64
+val write_i64 : t -> int -> int64 -> unit
+val read_i32 : t -> int -> int64
+val write_i32 : t -> int -> int64 -> unit
+val read_i8 : t -> int -> int64
+val write_i8 : t -> int -> int64 -> unit
+val read_f64 : t -> int -> float
+val write_f64 : t -> int -> float -> unit
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+
+val memio : t -> Mutls_runtime.Memio.t
+(** The runtime-facing view used for validation, commit and stack
+    copies. *)
+
+(** {1 Globals, heap, stacks} *)
+
+val install_globals : t -> Mutls_mir.Ir.modul -> int
+(** Lay out and initialize the module's globals; returns the number of
+    bytes used (for address-space registration). *)
+
+val symbol : t -> string -> int
+
+val malloc : t -> int -> int
+(** Bump allocation, 8-aligned.  @raise Fault when the heap is full. *)
+
+val free : t -> int -> int option
+(** Drops the block from the live list and returns its size (the bump
+    allocator does not recycle space). *)
+
+val stack_slot : t -> int -> int * int
+(** [(base, limit)] of a rank's stack. *)

@@ -1,0 +1,55 @@
+(* Interpreter values.  Pointers are integer addresses; i1/i8/i32
+   values are kept zero-extended in the int64 payload and truncated on
+   store. *)
+
+type v = VI of int64 | VF of float
+
+let to_i64 = function
+  | VI n -> n
+  | VF _ -> invalid_arg "Value.to_i64: float"
+
+let to_f64 = function
+  | VF x -> x
+  | VI _ -> invalid_arg "Value.to_f64: int"
+
+let to_addr v = Int64.to_int (to_i64 v)
+let to_bool v = to_i64 v <> 0L
+let of_bool b = VI (if b then 1L else 0L)
+let of_int n = VI (Int64.of_int n)
+
+(* Truncate an int64 payload to the bit width of [ty], keeping the
+   stored representation canonical (zero-extended). *)
+let truncate_to ty n =
+  match ty with
+  | Mutls_mir.Ir.I1 -> Int64.logand n 1L
+  | Mutls_mir.Ir.I8 -> Int64.logand n 0xFFL
+  | Mutls_mir.Ir.I32 -> Int64.logand n 0xFFFFFFFFL
+  | _ -> n
+
+(* Sign-extend the low bits of [n] according to [ty]. *)
+let sext_of ty n =
+  match ty with
+  | Mutls_mir.Ir.I1 -> if Int64.logand n 1L = 1L then -1L else 0L
+  | Mutls_mir.Ir.I8 -> Int64.shift_right (Int64.shift_left n 56) 56
+  | Mutls_mir.Ir.I32 -> Int64.shift_right (Int64.shift_left n 32) 32
+  | _ -> n
+
+let of_const (c : Mutls_mir.Ir.const) =
+  match c with
+  | Mutls_mir.Ir.Cint (n, t) -> VI (truncate_to t n)
+  | Mutls_mir.Ir.Cfloat x -> VF x
+  | Mutls_mir.Ir.Cnull -> VI 0L
+
+(* Runtime <-> interpreter value conversion (same shape, different
+   libraries to avoid a dependency cycle). *)
+let to_runtime = function
+  | VI n -> Mutls_runtime.Local_buffer.Vi n
+  | VF x -> Mutls_runtime.Local_buffer.Vf x
+
+let of_runtime = function
+  | Mutls_runtime.Local_buffer.Vi n -> VI n
+  | Mutls_runtime.Local_buffer.Vf x -> VF x
+
+let to_string = function
+  | VI n -> Int64.to_string n
+  | VF x -> Printf.sprintf "%g" x

@@ -1,0 +1,24 @@
+(** Interpreter values.  Pointers are integer addresses; i1/i8/i32
+    values are kept zero-extended in the int64 payload and truncated on
+    store. *)
+
+type v = VI of int64 | VF of float
+
+val to_i64 : v -> int64
+val to_f64 : v -> float
+val to_addr : v -> int
+val to_bool : v -> bool
+val of_bool : bool -> v
+val of_int : int -> v
+
+val truncate_to : Mutls_mir.Ir.ty -> int64 -> int64
+(** Truncate a payload to the bit width of the type, keeping the stored
+    representation canonical (zero-extended). *)
+
+val sext_of : Mutls_mir.Ir.ty -> int64 -> int64
+(** Sign-extend the low bits according to the type. *)
+
+val of_const : Mutls_mir.Ir.const -> v
+val to_runtime : v -> Mutls_runtime.Local_buffer.v
+val of_runtime : Mutls_runtime.Local_buffer.v -> v
+val to_string : v -> string

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Ast Char Hashtbl Int64 List Mutls_interp Mutls_mir Parser Printf

@@ -1,0 +1,81 @@
+(* Abstract syntax of MiniC. *)
+
+type cty =
+  | Tint (* 64-bit *)
+  | Tint32
+  | Tchar
+  | Tdouble
+  | Tvoid
+  | Tptr of cty
+  | Tarray of cty * int
+
+let rec cty_to_string = function
+  | Tint -> "int"
+  | Tint32 -> "int32"
+  | Tchar -> "char"
+  | Tdouble -> "double"
+  | Tvoid -> "void"
+  | Tptr t -> cty_to_string t ^ "*"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (cty_to_string t) n
+
+type unop = Neg | Not | Bnot
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | Band | Bor | Bxor | Shl | Shr
+  | Land | Lor
+
+type expr = { desc : expr_desc; eline : int }
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Char_lit of char
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr (* lvalue, value *)
+  | Op_assign of binop * expr * expr
+  | Incr of bool * expr (* prefix?, lvalue; ++ *)
+  | Decr of bool * expr
+  | Call of string * expr list
+  | Index of expr * expr (* base, index *)
+  | Deref of expr
+  | Addr_of of expr
+  | Cast of cty * expr
+  | Ternary of expr * expr * expr
+
+type stmt = { sdesc : stmt_desc; sline : int }
+
+and stmt_desc =
+  | Expr of expr
+  | Decl of cty * string * expr option
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+  | Fork of int * int (* point id, model *)
+  | Join of int
+  | Barrier of int
+
+type global = {
+  g_ty : cty;
+  g_name : string;
+  g_init : init option;
+}
+
+and init = Init_scalar of expr | Init_list of expr list
+
+type fundef = {
+  f_ret : cty;
+  f_name : string;
+  f_params : (cty * string) list;
+  f_body : stmt list;
+}
+
+type decl = Global of global | Function of fundef
+
+type program = decl list

@@ -1,0 +1,21 @@
+(** MiniC -> MIR code generation.  Clang -O0 style: every local
+    variable lives in an alloca and is promoted to SSA registers by a
+    final mem2reg pass — the same pipeline the paper's LLVM front-ends
+    produce before the speculator pass runs.
+
+    The language is the C subset the paper's benchmarks need: [int]
+    (64-bit), [int32], [char], [double], multi-dimensional arrays,
+    pointers, [malloc]/[free], functions with forward references,
+    full expression/statement syntax, and the three MUTLS builtins
+    ([__builtin_MUTLS_fork(p, model)], [__builtin_MUTLS_join(p)],
+    [__builtin_MUTLS_barrier(p)]).  No structs or varargs; I/O through
+    [print_int]/[print_float]/[print_char]/[print_newline]. *)
+
+exception Error of string
+
+val sizeof : Ast.cty -> int
+val ir_ty : Ast.cty -> Mutls_mir.Ir.ty
+
+val compile : string -> Mutls_mir.Ir.modul
+(** Parse, type-check, generate and verify a whole program.
+    @raise Error with a line-numbered message on bad input. *)

@@ -1,0 +1,184 @@
+(* Hand-written lexer for MiniC.  Tracks line numbers for error
+   messages; supports // and /* */ comments. *)
+
+exception Error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let keywords =
+  [ ("int", Token.KW_INT); ("int32", Token.KW_INT32); ("char", Token.KW_CHAR);
+    ("double", Token.KW_DOUBLE); ("float", Token.KW_DOUBLE);
+    ("void", Token.KW_VOID); ("if", Token.KW_IF); ("else", Token.KW_ELSE);
+    ("while", Token.KW_WHILE); ("for", Token.KW_FOR);
+    ("return", Token.KW_RETURN); ("break", Token.KW_BREAK);
+    ("continue", Token.KW_CONTINUE); ("long", Token.KW_INT) ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do advance st done;
+    skip_ws st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec go () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> fail st.line "unterminated comment"
+      | _ ->
+        advance st;
+        go ()
+    in
+    go ();
+    skip_ws st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do advance st done;
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | Some '.', _ -> true
+    | Some ('e' | 'E'), _ -> true
+    | _ -> false
+  in
+  if is_float then begin
+    if peek st = Some '.' then begin
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+    end;
+    (match peek st with
+    | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+    | _ -> ());
+    Token.FLOAT_LIT (float_of_string (String.sub st.src start (st.pos - start)))
+  end
+  else Token.INT_LIT (Int64.of_string (String.sub st.src start (st.pos - start)))
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_alnum c | None -> false) do advance st done;
+  let s = String.sub st.src start (st.pos - start) in
+  match List.assoc_opt s keywords with
+  | Some kw -> kw
+  | None -> Token.IDENT s
+
+let lex_char st =
+  advance st;
+  (* opening quote *)
+  let c =
+    match peek st with
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' -> '\n'
+      | Some 't' -> '\t'
+      | Some '0' -> '\000'
+      | Some '\\' -> '\\'
+      | Some '\'' -> '\''
+      | _ -> fail st.line "bad escape")
+    | Some c -> c
+    | None -> fail st.line "unterminated char literal"
+  in
+  advance st;
+  if peek st <> Some '\'' then fail st.line "unterminated char literal";
+  advance st;
+  Token.CHAR_LIT c
+
+let next_token st =
+  skip_ws st;
+  let line = st.line in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_alpha c -> lex_ident st
+    | Some '\'' -> lex_char st
+    | Some c ->
+      let two rest tok1 tok2 =
+        if peek2 st = Some rest then begin
+          advance st;
+          advance st;
+          tok2
+        end
+        else begin
+          advance st;
+          tok1
+        end
+      in
+      (match c with
+      | '(' -> advance st; Token.LPAREN
+      | ')' -> advance st; Token.RPAREN
+      | '{' -> advance st; Token.LBRACE
+      | '}' -> advance st; Token.RBRACE
+      | '[' -> advance st; Token.LBRACKET
+      | ']' -> advance st; Token.RBRACKET
+      | ';' -> advance st; Token.SEMI
+      | ',' -> advance st; Token.COMMA
+      | '~' -> advance st; Token.TILDE
+      | '^' -> advance st; Token.CARET
+      | '?' -> advance st; Token.QUESTION
+      | ':' -> advance st; Token.COLON
+      | '+' ->
+        if peek2 st = Some '+' then (advance st; advance st; Token.PLUSPLUS)
+        else two '=' Token.PLUS Token.PLUS_ASSIGN
+      | '-' ->
+        if peek2 st = Some '-' then (advance st; advance st; Token.MINUSMINUS)
+        else two '=' Token.MINUS Token.MINUS_ASSIGN
+      | '*' -> two '=' Token.STAR Token.STAR_ASSIGN
+      | '/' -> two '=' Token.SLASH Token.SLASH_ASSIGN
+      | '%' -> advance st; Token.PERCENT
+      | '&' -> two '&' Token.AMP Token.ANDAND
+      | '|' -> two '|' Token.PIPE Token.OROR
+      | '!' -> two '=' Token.BANG Token.NE
+      | '=' -> two '=' Token.ASSIGN Token.EQ
+      | '<' ->
+        if peek2 st = Some '<' then (advance st; advance st; Token.SHL)
+        else two '=' Token.LT Token.LE
+      | '>' ->
+        if peek2 st = Some '>' then (advance st; advance st; Token.SHR)
+        else two '=' Token.GT Token.GE
+      | c -> fail line "unexpected character %c" c)
+  in
+  (tok, line)
+
+(* Tokenize the whole source. *)
+let tokenize src =
+  let st = { src; pos = 0; line = 1 } in
+  let rec go acc =
+    let tok, line = next_token st in
+    if tok = Token.EOF then List.rev ((tok, line) :: acc)
+    else go ((tok, line) :: acc)
+  in
+  go []

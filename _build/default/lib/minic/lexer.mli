@@ -1,0 +1,8 @@
+(** Hand-written MiniC lexer with line tracking and [//], [/* */]
+    comments. *)
+
+exception Error of string
+
+val tokenize : string -> (Token.t * int) list
+(** Token with its source line; ends with [EOF].
+    @raise Error on malformed input. *)

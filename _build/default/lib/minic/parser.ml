@@ -1,0 +1,422 @@
+(* Recursive-descent parser for MiniC with precedence climbing. *)
+
+open Ast
+
+exception Error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+type state = {
+  toks : (Token.t * int) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail (line st) "expected %s, found %s" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> fail (line st) "expected identifier, found %s" (Token.to_string t)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+(* --- types ----------------------------------------------------------- *)
+
+let base_type st =
+  match peek st with
+  | Token.KW_INT -> advance st; Some Tint
+  | Token.KW_INT32 -> advance st; Some Tint32
+  | Token.KW_CHAR -> advance st; Some Tchar
+  | Token.KW_DOUBLE -> advance st; Some Tdouble
+  | Token.KW_VOID -> advance st; Some Tvoid
+  | _ -> None
+
+let with_stars st t =
+  let t = ref t in
+  while accept st Token.STAR do
+    t := Tptr !t
+  done;
+  !t
+
+let is_type_start st =
+  match peek st with
+  | Token.KW_INT | Token.KW_INT32 | Token.KW_CHAR | Token.KW_DOUBLE
+  | Token.KW_VOID ->
+    true
+  | _ -> false
+
+(* --- expressions ------------------------------------------------------ *)
+
+let model_of_name ln = function
+  | "mixed" -> 0
+  | "inorder" | "in_order" -> 1
+  | "outoforder" | "out_of_order" -> 2
+  | s -> fail ln "unknown forking model %s" s
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  let ln = line st in
+  match peek st with
+  | Token.ASSIGN ->
+    advance st;
+    let rhs = parse_assign st in
+    { desc = Assign (lhs, rhs); eline = ln }
+  | Token.PLUS_ASSIGN ->
+    advance st;
+    let rhs = parse_assign st in
+    { desc = Op_assign (Add, lhs, rhs); eline = ln }
+  | Token.MINUS_ASSIGN ->
+    advance st;
+    let rhs = parse_assign st in
+    { desc = Op_assign (Sub, lhs, rhs); eline = ln }
+  | Token.STAR_ASSIGN ->
+    advance st;
+    let rhs = parse_assign st in
+    { desc = Op_assign (Mul, lhs, rhs); eline = ln }
+  | Token.SLASH_ASSIGN ->
+    advance st;
+    let rhs = parse_assign st in
+    { desc = Op_assign (Div, lhs, rhs); eline = ln }
+  | _ -> lhs
+
+and parse_ternary st =
+  let c = parse_binary st 0 in
+  if peek st = Token.QUESTION then begin
+    let ln = line st in
+    advance st;
+    let a = parse_assign st in
+    expect st Token.COLON;
+    let b = parse_assign st in
+    { desc = Ternary (c, a, b); eline = ln }
+  end
+  else c
+
+(* precedence climbing; higher binds tighter *)
+and binop_of_token = function
+  | Token.OROR -> Some (Lor, 1)
+  | Token.ANDAND -> Some (Land, 2)
+  | Token.PIPE -> Some (Bor, 3)
+  | Token.CARET -> Some (Bxor, 4)
+  | Token.AMP -> Some (Band, 5)
+  | Token.EQ -> Some (Eq, 6)
+  | Token.NE -> Some (Ne, 6)
+  | Token.LT -> Some (Lt, 7)
+  | Token.GT -> Some (Gt, 7)
+  | Token.LE -> Some (Le, 7)
+  | Token.GE -> Some (Ge, 7)
+  | Token.SHL -> Some (Shl, 8)
+  | Token.SHR -> Some (Shr, 8)
+  | Token.PLUS -> Some (Add, 9)
+  | Token.MINUS -> Some (Sub, 9)
+  | Token.STAR -> Some (Mul, 10)
+  | Token.SLASH -> Some (Div, 10)
+  | Token.PERCENT -> Some (Mod, 10)
+  | _ -> None
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+      let ln = line st in
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := { desc = Binop (op, !lhs, rhs); eline = ln }
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let ln = line st in
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    { desc = Unop (Neg, parse_unary st); eline = ln }
+  | Token.BANG ->
+    advance st;
+    { desc = Unop (Not, parse_unary st); eline = ln }
+  | Token.TILDE ->
+    advance st;
+    { desc = Unop (Bnot, parse_unary st); eline = ln }
+  | Token.STAR ->
+    advance st;
+    { desc = Deref (parse_unary st); eline = ln }
+  | Token.AMP ->
+    advance st;
+    { desc = Addr_of (parse_unary st); eline = ln }
+  | Token.PLUSPLUS ->
+    advance st;
+    { desc = Incr (true, parse_unary st); eline = ln }
+  | Token.MINUSMINUS ->
+    advance st;
+    { desc = Decr (true, parse_unary st); eline = ln }
+  | Token.LPAREN when is_type_start { st with pos = st.pos + 1 } ->
+    (* cast *)
+    advance st;
+    let t =
+      match base_type st with Some t -> with_stars st t | None -> assert false
+    in
+    expect st Token.RPAREN;
+    { desc = Cast (t, parse_unary st); eline = ln }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    let ln = line st in
+    match peek st with
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      e := { desc = Index (!e, idx); eline = ln }
+    | Token.PLUSPLUS ->
+      advance st;
+      e := { desc = Incr (false, !e); eline = ln }
+    | Token.MINUSMINUS ->
+      advance st;
+      e := { desc = Decr (false, !e); eline = ln }
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary st =
+  let ln = line st in
+  match peek st with
+  | Token.INT_LIT n ->
+    advance st;
+    { desc = Int_lit n; eline = ln }
+  | Token.FLOAT_LIT x ->
+    advance st;
+    { desc = Float_lit x; eline = ln }
+  | Token.CHAR_LIT c ->
+    advance st;
+    { desc = Char_lit c; eline = ln }
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let args = ref [] in
+      if peek st <> Token.RPAREN then begin
+        args := [ parse_expr st ];
+        while accept st Token.COMMA do
+          args := parse_expr st :: !args
+        done
+      end;
+      expect st Token.RPAREN;
+      { desc = Call (name, List.rev !args); eline = ln }
+    end
+    else { desc = Var name; eline = ln }
+  | t -> fail ln "unexpected token %s in expression" (Token.to_string t)
+
+(* --- statements ------------------------------------------------------- *)
+
+let const_int_expr (e : expr) =
+  match e.desc with
+  | Int_lit n -> Int64.to_int n
+  | _ -> fail e.eline "expected an integer constant"
+
+let rec parse_stmt st : stmt =
+  let ln = line st in
+  match peek st with
+  | Token.LBRACE ->
+    advance st;
+    let body = parse_block st in
+    { sdesc = Block body; sline = ln }
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let c = parse_expr st in
+    expect st Token.RPAREN;
+    let thn = parse_stmt_as_block st in
+    let els = if accept st Token.KW_ELSE then parse_stmt_as_block st else [] in
+    { sdesc = If (c, thn, els); sline = ln }
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let c = parse_expr st in
+    expect st Token.RPAREN;
+    let body = parse_stmt_as_block st in
+    { sdesc = While (c, body); sline = ln }
+  | Token.KW_FOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init =
+      if peek st = Token.SEMI then None else Some (parse_simple_stmt st)
+    in
+    expect st Token.SEMI;
+    let cond = if peek st = Token.SEMI then None else Some (parse_expr st) in
+    expect st Token.SEMI;
+    let step =
+      if peek st = Token.RPAREN then None
+      else
+        Some { sdesc = Expr (parse_expr st); sline = line st }
+    in
+    expect st Token.RPAREN;
+    let body = parse_stmt_as_block st in
+    { sdesc = For (init, cond, step, body); sline = ln }
+  | Token.KW_RETURN ->
+    advance st;
+    let v = if peek st = Token.SEMI then None else Some (parse_expr st) in
+    expect st Token.SEMI;
+    { sdesc = Return v; sline = ln }
+  | Token.KW_BREAK ->
+    advance st;
+    expect st Token.SEMI;
+    { sdesc = Break; sline = ln }
+  | Token.KW_CONTINUE ->
+    advance st;
+    expect st Token.SEMI;
+    { sdesc = Continue; sline = ln }
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect st Token.SEMI;
+    s
+
+and parse_stmt_as_block st =
+  match parse_stmt st with
+  | { sdesc = Block b; _ } -> b
+  | s -> [ s ]
+
+(* declaration or expression, without the trailing semicolon *)
+and parse_simple_stmt st : stmt =
+  let ln = line st in
+  if is_type_start st then begin
+    let t = match base_type st with Some t -> with_stars st t | None -> assert false in
+    let name = expect_ident st in
+    (* array dimensions *)
+    let dims = ref [] in
+    while accept st Token.LBRACKET do
+      let n = const_int_expr (parse_expr st) in
+      expect st Token.RBRACKET;
+      dims := n :: !dims
+    done;
+    let t = List.fold_left (fun acc n -> Tarray (acc, n)) t !dims in
+    let init = if accept st Token.ASSIGN then Some (parse_expr st) else None in
+    { sdesc = Decl (t, name, init); sline = ln }
+  end
+  else
+    let e = parse_expr st in
+    match e.desc with
+    | Call ("__builtin_MUTLS_fork", [ p; m ]) ->
+      let model =
+        match m.desc with
+        | Var name -> model_of_name m.eline name
+        | _ -> const_int_expr m
+      in
+      { sdesc = Fork (const_int_expr p, model); sline = ln }
+    | Call ("__builtin_MUTLS_join", [ p ]) ->
+      { sdesc = Join (const_int_expr p); sline = ln }
+    | Call ("__builtin_MUTLS_barrier", [ p ]) ->
+      { sdesc = Barrier (const_int_expr p); sline = ln }
+    | _ -> { sdesc = Expr e; sline = ln }
+
+and parse_block st : stmt list =
+  let stmts = ref [] in
+  while peek st <> Token.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st Token.RBRACE;
+  List.rev !stmts
+
+(* --- top level ---------------------------------------------------------- *)
+
+let parse_decl st : decl =
+  let ln = line st in
+  let t =
+    match base_type st with
+    | Some t -> with_stars st t
+    | None -> fail ln "expected a declaration"
+  in
+  let name = expect_ident st in
+  if peek st = Token.LPAREN then begin
+    advance st;
+    let params = ref [] in
+    if peek st <> Token.RPAREN then begin
+      let parse_param () =
+        let pt =
+          match base_type st with
+          | Some t -> with_stars st t
+          | None -> fail (line st) "expected a parameter type"
+        in
+        let pn = expect_ident st in
+        (* array parameters decay to pointers *)
+        let pt = ref pt in
+        while accept st Token.LBRACKET do
+          (match peek st with
+          | Token.INT_LIT _ -> advance st
+          | _ -> ());
+          expect st Token.RBRACKET;
+          pt := Tptr !pt
+        done;
+        (!pt, pn)
+      in
+      params := [ parse_param () ];
+      while accept st Token.COMMA do
+        params := parse_param () :: !params
+      done
+    end;
+    expect st Token.RPAREN;
+    expect st Token.LBRACE;
+    let body = parse_block st in
+    Function { f_ret = t; f_name = name; f_params = List.rev !params; f_body = body }
+  end
+  else begin
+    let dims = ref [] in
+    while accept st Token.LBRACKET do
+      let n = const_int_expr (parse_expr st) in
+      expect st Token.RBRACKET;
+      dims := n :: !dims
+    done;
+    let t = List.fold_left (fun acc n -> Tarray (acc, n)) t !dims in
+    let init =
+      if accept st Token.ASSIGN then begin
+        if accept st Token.LBRACE then begin
+          let items = ref [ parse_expr st ] in
+          while accept st Token.COMMA do
+            items := parse_expr st :: !items
+          done;
+          expect st Token.RBRACE;
+          Some (Init_list (List.rev !items))
+        end
+        else Some (Init_scalar (parse_expr st))
+      end
+      else None
+    in
+    expect st Token.SEMI;
+    Global { g_ty = t; g_name = name; g_init = init }
+  end
+
+let parse_program src : program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let decls = ref [] in
+  while peek st <> Token.EOF do
+    decls := parse_decl st :: !decls
+  done;
+  List.rev !decls

@@ -1,0 +1,6 @@
+(** Recursive-descent MiniC parser with precedence climbing. *)
+
+exception Error of string
+
+val parse_program : string -> Ast.program
+(** @raise Error (or {!Lexer.Error}) with a line-numbered message. *)

@@ -1,0 +1,117 @@
+(* Tokens of the MiniC language: the C subset the MUTLS benchmarks are
+   written in (paper Table II). *)
+
+type t =
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | CHAR_LIT of char
+  | IDENT of string
+  (* keywords *)
+  | KW_INT
+  | KW_INT32
+  | KW_CHAR
+  | KW_DOUBLE
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | SHL
+  | SHR
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PLUSPLUS
+  | MINUSMINUS
+  | QUESTION
+  | COLON
+  | EOF
+
+let to_string = function
+  | INT_LIT n -> Printf.sprintf "int(%Ld)" n
+  | FLOAT_LIT x -> Printf.sprintf "float(%g)" x
+  | CHAR_LIT c -> Printf.sprintf "char(%c)" c
+  | IDENT s -> Printf.sprintf "ident(%s)" s
+  | KW_INT -> "int"
+  | KW_INT32 -> "int32"
+  | KW_CHAR -> "char"
+  | KW_DOUBLE -> "double"
+  | KW_VOID -> "void"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | EOF -> "<eof>"

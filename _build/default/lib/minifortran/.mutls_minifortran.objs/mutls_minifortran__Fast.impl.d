@@ -1,0 +1,1 @@
+lib/minifortran/fast.ml:

@@ -1,0 +1,1 @@
+lib/minifortran/fcodegen.ml: Fast Fparser Hashtbl List Mutls_interp Mutls_mir Option Printf String

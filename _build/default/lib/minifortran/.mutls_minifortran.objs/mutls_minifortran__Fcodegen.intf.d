@@ -1,0 +1,1 @@
+lib/minifortran/fcodegen.mli: Mutls_mir

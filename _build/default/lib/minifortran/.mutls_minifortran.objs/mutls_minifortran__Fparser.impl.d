@@ -1,0 +1,1 @@
+lib/minifortran/fparser.ml: Array Fast Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/minifortran/fparser.mli: Fast

@@ -1,0 +1,60 @@
+(* Abstract syntax of MiniFortran: a free-form Fortran-77-ish subset
+   sufficient for the paper's Fortran benchmarks (3x+1, mandelbrot,
+   md).  Arrays are 1-based and column-major; arguments are passed by
+   reference, as in real Fortran. *)
+
+type fty = Finteger | Freal (* real*8 *)
+
+type var_decl = {
+  v_ty : fty;
+  v_name : string;
+  v_dims : int list; (* [] = scalar; column-major *)
+}
+
+type expr = { desc : expr_desc; eline : int }
+
+and expr_desc =
+  | Int_lit of int64
+  | Real_lit of float
+  | Var of string
+  | Ref of string * expr list (* array element or function call *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+and unop = Neg | Not
+
+and binop =
+  | Add | Sub | Mul | Div | Pow
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type stmt = { sdesc : stmt_desc; sline : int }
+
+and stmt_desc =
+  | Assign of string * expr list * expr (* name, indices ([] = scalar), value *)
+  | If of expr * stmt list * stmt list
+  | Do of string * expr * expr * expr option * stmt list (* var, lo, hi, step *)
+  | Do_while of expr * stmt list
+  | Call of string * expr list
+  | Print of expr list
+  | Return
+  | Exit_loop
+  | Cycle
+  | Fork of int * int
+  | Join of int
+  | Barrier of int
+
+type unit_kind =
+  | Subroutine
+  | Function of fty
+  | Program
+
+type punit = {
+  u_kind : unit_kind;
+  u_name : string;
+  u_params : string list; (* types come from declarations *)
+  u_decls : var_decl list;
+  u_body : stmt list;
+}
+
+type program = punit list

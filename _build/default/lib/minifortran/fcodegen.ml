@@ -1,0 +1,596 @@
+(* MiniFortran -> MIR.  Fortran semantics: arguments by reference,
+   1-based column-major arrays, implicit typing (i..n integer),
+   function results through a variable named after the function. *)
+
+open Fast
+module I = Mutls_mir.Ir
+
+exception Error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+type vkind = Fint | Freal_v
+
+let ir_of_fty = function Finteger -> I.I64 | Freal -> I.F64
+let vkind_of_fty = function Finteger -> Fint | Freal -> Freal_v
+
+let implicit_fty name =
+  if name = "" then Finteger
+  else
+    let c = name.[0] in
+    if c >= 'i' && c <= 'n' then Finteger else Freal
+
+type sym = {
+  s_alloca : I.reg; (* Ptr cell for params, data alloca for locals *)
+  s_ty : fty;
+  s_dims : int list;
+  s_is_param : bool;
+}
+
+type usig = { us_kind : unit_kind; us_params : string list }
+
+type env = {
+  m : I.modul;
+  units : (string, usig) Hashtbl.t;
+  f : I.func;
+  entry : I.block;
+  mutable cur : I.block;
+  mutable syms : (string * sym) list;
+  mutable label_counter : int;
+  mutable loop_stack : (string * string) list;
+  ret_var : I.reg option; (* function result alloca *)
+  ret_ty : fty;
+  decls : (string, var_decl) Hashtbl.t; (* declared names for this unit *)
+}
+
+let fresh_label env stem =
+  let n = env.label_counter in
+  env.label_counter <- n + 1;
+  Printf.sprintf "%s.%d" stem n
+
+let add_block env stem =
+  let b =
+    { I.bname = fresh_label env stem; phis = []; insts = []; term = I.Unreachable }
+  in
+  env.f.I.blocks <- env.f.I.blocks @ [ b ];
+  b
+
+let emit env ity kind =
+  let id = if ity = I.Void then -1 else I.fresh_reg env.f ity in
+  env.cur.I.insts <- env.cur.I.insts @ [ { I.id; ity; kind } ];
+  if ity = I.Void then I.i64 0 else I.Reg id
+
+let set_term env t = env.cur.I.term <- t
+
+let alloca_in_entry env size =
+  let id = I.fresh_reg env.f I.Ptr in
+  env.entry.I.insts <-
+    env.entry.I.insts @ [ { I.id; ity = I.Ptr; kind = I.Alloca size } ];
+  id
+
+(* --- symbols -------------------------------------------------------------- *)
+
+let elem_count dims = List.fold_left ( * ) 1 dims
+
+let declare env (d : var_decl) ~is_param ~arg_index =
+  let sym =
+    if is_param then begin
+      (* parameter cell holds the caller's address *)
+      let cell = alloca_in_entry env 8 in
+      (match arg_index with
+      | Some i ->
+        ignore (emit env I.Void (I.Store (I.Ptr, I.Arg i, I.Reg cell)))
+      | None -> assert false);
+      { s_alloca = cell; s_ty = d.v_ty; s_dims = d.v_dims; s_is_param = true }
+    end
+    else begin
+      let size = max 8 (8 * elem_count d.v_dims) in
+      let a = alloca_in_entry env size in
+      { s_alloca = a; s_ty = d.v_ty; s_dims = d.v_dims; s_is_param = false }
+    end
+  in
+  env.syms <- (d.v_name, sym) :: env.syms;
+  sym
+
+let lookup env line name =
+  match List.assoc_opt name env.syms with
+  | Some s -> Some s
+  | None ->
+    ignore line;
+    None
+
+(* Auto-declare an implicit scalar local. *)
+let implicit_declare env name =
+  declare env
+    { v_ty = implicit_fty name; v_name = name; v_dims = [] }
+    ~is_param:false ~arg_index:None
+
+let get_sym env line name =
+  match lookup env line name with
+  | Some s -> s
+  | None -> implicit_declare env name
+
+(* Base address of a symbol's storage. *)
+let base_addr env (s : sym) =
+  if s.s_is_param then emit env I.Ptr (I.Load (I.Ptr, I.Reg s.s_alloca))
+  else I.Reg s.s_alloca
+
+(* Address of an element: 1-based, column-major. *)
+let elem_addr env line (s : sym) (indices : I.value list) =
+  match (s.s_dims, indices) with
+  | [], [] -> base_addr env s
+  | dims, idxs when List.length dims = List.length idxs ->
+    let rec offset dims idxs =
+      match (dims, idxs) with
+      | [], [] -> I.i64 0
+      | d :: drest, i :: irest ->
+        let i0 = emit env I.I64 (I.Binop (I.Sub, I.I64, i, I.i64 1)) in
+        let rest = offset drest irest in
+        let scaled = emit env I.I64 (I.Binop (I.Mul, I.I64, rest, I.i64 d)) in
+        emit env I.I64 (I.Binop (I.Add, I.I64, i0, scaled))
+      | _ -> assert false
+    in
+    let off = offset dims idxs in
+    let bytes = emit env I.I64 (I.Binop (I.Mul, I.I64, off, I.i64 8)) in
+    emit env I.Ptr (I.Ptradd (base_addr env s, bytes))
+  | dims, idxs ->
+    fail line "wrong number of indices (%d for %d dimensions)" (List.length idxs)
+      (List.length dims)
+
+(* --- conversions ------------------------------------------------------------ *)
+
+let to_real env v = function
+  | Freal_v -> v
+  | Fint -> emit env I.F64 (I.Cast (I.Sitofp, I.I64, I.F64, v))
+
+let to_int env v = function
+  | Fint -> v
+  | Freal_v -> emit env I.I64 (I.Cast (I.Fptosi, I.F64, I.I64, v))
+
+let coerce env v vk fty =
+  match fty with
+  | Finteger -> to_int env v vk
+  | Freal -> to_real env v vk
+
+let condition env (v, vk) =
+  match vk with
+  | Fint -> emit env I.I1 (I.Icmp (I.Ine, I.I64, v, I.i64 0))
+  | Freal_v -> emit env I.I1 (I.Fcmp (I.Fne, v, I.f64 0.0))
+
+(* --- intrinsics --------------------------------------------------------------- *)
+
+let intrinsics =
+  [ "sqrt"; "sin"; "cos"; "tan"; "exp"; "log"; "abs"; "mod"; "dble"; "int";
+    "min"; "max"; "nint" ]
+
+let is_intrinsic name = List.mem name intrinsics
+
+(* --- expressions ---------------------------------------------------------------- *)
+
+let rec gen_expr env (e : expr) : I.value * vkind =
+  match e.desc with
+  | Int_lit n -> (I.i64' n, Fint)
+  | Real_lit x -> (I.f64 x, Freal_v)
+  | Var name ->
+    let s = get_sym env e.eline name in
+    if s.s_dims <> [] then fail e.eline "array %s used as a scalar" name;
+    let addr = base_addr env s in
+    let v = emit env (ir_of_fty s.s_ty) (I.Load (ir_of_fty s.s_ty, addr)) in
+    (v, vkind_of_fty s.s_ty)
+  | Ref (name, args) -> (
+    match lookup env e.eline name with
+    | Some s when s.s_dims <> [] ->
+      (* array element *)
+      let idxs = List.map (fun a -> fst (gen_int env a)) args in
+      let addr = elem_addr env e.eline s idxs in
+      let v = emit env (ir_of_fty s.s_ty) (I.Load (ir_of_fty s.s_ty, addr)) in
+      (v, vkind_of_fty s.s_ty)
+    | _ ->
+      (* a parenthesised reference to a scalar symbol is a call — in
+         particular the recursive use of a function's own name *)
+      if is_intrinsic name then gen_intrinsic env e.eline name args
+      else gen_call env e.eline name args)
+  | Unop (Neg, a) -> (
+    let v, vk = gen_expr env a in
+    match vk with
+    | Fint -> (emit env I.I64 (I.Binop (I.Sub, I.I64, I.i64 0, v)), Fint)
+    | Freal_v -> (emit env I.F64 (I.Binop (I.Fsub, I.F64, I.f64 0.0, v)), Freal_v))
+  | Unop (Not, a) ->
+    let c = condition env (gen_expr env a) in
+    let x = emit env I.I1 (I.Binop (I.Xor, I.I1, c, I.i1 true)) in
+    (emit env I.I64 (I.Cast (I.Zext, I.I1, I.I64, x)), Fint)
+  | Binop (op, a, b) -> gen_binop env e.eline op a b
+
+and gen_int env e =
+  let v, vk = gen_expr env e in
+  (to_int env v vk, Fint)
+
+and gen_binop env line op a b : I.value * vkind =
+  let av, avk = gen_expr env a in
+  let bv, bvk = gen_expr env b in
+  let both_int = avk = Fint && bvk = Fint in
+  match op with
+  | And | Or ->
+    let ca = condition env (av, avk) in
+    let cb = condition env (bv, bvk) in
+    let k = match op with And -> I.And | _ -> I.Or in
+    let r = emit env I.I1 (I.Binop (k, I.I1, ca, cb)) in
+    (emit env I.I64 (I.Cast (I.Zext, I.I1, I.I64, r)), Fint)
+  | Lt | Le | Gt | Ge | Eq | Ne ->
+    if both_int then begin
+      let iop =
+        match op with
+        | Lt -> I.Islt | Le -> I.Isle | Gt -> I.Isgt | Ge -> I.Isge
+        | Eq -> I.Ieq | Ne -> I.Ine
+        | _ -> assert false
+      in
+      let c = emit env I.I1 (I.Icmp (iop, I.I64, av, bv)) in
+      (emit env I.I64 (I.Cast (I.Zext, I.I1, I.I64, c)), Fint)
+    end
+    else begin
+      let fa = to_real env av avk and fb = to_real env bv bvk in
+      let fop =
+        match op with
+        | Lt -> I.Flt | Le -> I.Fle | Gt -> I.Fgt | Ge -> I.Fge
+        | Eq -> I.Feq | Ne -> I.Fne
+        | _ -> assert false
+      in
+      let c = emit env I.I1 (I.Fcmp (fop, fa, fb)) in
+      (emit env I.I64 (I.Cast (I.Zext, I.I1, I.I64, c)), Fint)
+    end
+  | Pow ->
+    (* a ** b via pow(); integer results are rounded back *)
+    let fa = to_real env av avk and fb = to_real env bv bvk in
+    let r = emit env I.F64 (I.Call ("pow", [ fa; fb ])) in
+    if both_int then
+      (emit env I.I64 (I.Cast (I.Fptosi, I.F64, I.I64,
+         emit env I.F64 (I.Call ("floor", [
+           emit env I.F64 (I.Binop (I.Fadd, I.F64, r, I.f64 0.5)) ])))), Fint)
+    else (r, Freal_v)
+  | Add | Sub | Mul | Div ->
+    if both_int then begin
+      let iop =
+        match op with
+        | Add -> I.Add | Sub -> I.Sub | Mul -> I.Mul | Div -> I.Sdiv
+        | _ -> assert false
+      in
+      (emit env I.I64 (I.Binop (iop, I.I64, av, bv)), Fint)
+    end
+    else begin
+      let fa = to_real env av avk and fb = to_real env bv bvk in
+      let fop =
+        match op with
+        | Add -> I.Fadd | Sub -> I.Fsub | Mul -> I.Fmul | Div -> I.Fdiv
+        | _ -> assert false
+      in
+      ignore line;
+      (emit env I.F64 (I.Binop (fop, I.F64, fa, fb)), Freal_v)
+    end
+
+and gen_intrinsic env line name args : I.value * vkind =
+  let one () =
+    match args with
+    | [ a ] -> gen_expr env a
+    | _ -> fail line "%s expects one argument" name
+  in
+  let two () =
+    match args with
+    | [ a; b ] -> (gen_expr env a, gen_expr env b)
+    | _ -> fail line "%s expects two arguments" name
+  in
+  match name with
+  | "sqrt" | "sin" | "cos" | "tan" | "exp" | "log" ->
+    let v, vk = one () in
+    (emit env I.F64 (I.Call (name, [ to_real env v vk ])), Freal_v)
+  | "abs" -> (
+    let v, vk = one () in
+    match vk with
+    | Fint -> (emit env I.I64 (I.Call ("abs", [ v ])), Fint)
+    | Freal_v -> (emit env I.F64 (I.Call ("fabs", [ v ])), Freal_v))
+  | "mod" -> (
+    let (av, avk), (bv, bvk) = two () in
+    if avk = Fint && bvk = Fint then
+      (emit env I.I64 (I.Binop (I.Srem, I.I64, av, bv)), Fint)
+    else
+      ( emit env I.F64
+          (I.Call ("fmod", [ to_real env av avk; to_real env bv bvk ])),
+        Freal_v ))
+  | "dble" ->
+    let v, vk = one () in
+    (to_real env v vk, Freal_v)
+  | "int" ->
+    let v, vk = one () in
+    (to_int env v vk, Fint)
+  | "nint" -> (
+    let v, vk = one () in
+    match vk with
+    | Fint -> (v, Fint)
+    | Freal_v ->
+      let shifted = emit env I.F64 (I.Binop (I.Fadd, I.F64, v, I.f64 0.5)) in
+      let fl = emit env I.F64 (I.Call ("floor", [ shifted ])) in
+      (emit env I.I64 (I.Cast (I.Fptosi, I.F64, I.I64, fl)), Fint))
+  | "min" | "max" -> (
+    let (av, avk), (bv, bvk) = two () in
+    if avk = Fint && bvk = Fint then
+      (emit env I.I64 (I.Call ((if name = "min" then "min_i64" else "max_i64"),
+                               [ av; bv ])), Fint)
+    else
+      ( emit env I.F64
+          (I.Call ((if name = "min" then "fmin" else "fmax"),
+                   [ to_real env av avk; to_real env bv bvk ])),
+        Freal_v ))
+  | _ -> fail line "unknown intrinsic %s" name
+
+(* By-reference argument: lvalues pass their address, other expressions
+   are materialised into a temporary. *)
+and gen_arg env (a : expr) : I.value =
+  match a.desc with
+  | Var name when not (is_intrinsic name) -> (
+    match lookup env a.eline name with
+    | Some s -> base_addr env s
+    | None ->
+      let s = implicit_declare env name in
+      base_addr env s)
+  | Ref (name, idxs) when lookup env a.eline name <> None ->
+    let s = Option.get (lookup env a.eline name) in
+    let ivs = List.map (fun i -> fst (gen_int env i)) idxs in
+    elem_addr env a.eline s ivs
+  | _ ->
+    let v, vk = gen_expr env a in
+    let tmp = alloca_in_entry env 8 in
+    let ity = match vk with Fint -> I.I64 | Freal_v -> I.F64 in
+    ignore (emit env I.Void (I.Store (ity, v, I.Reg tmp)));
+    I.Reg tmp
+
+and gen_call env line name args : I.value * vkind =
+  match Hashtbl.find_opt env.units name with
+  | Some { us_kind = Function fty; us_params } ->
+    if List.length args <> List.length us_params then
+      fail line "call to %s with %d args, expected %d" name (List.length args)
+        (List.length us_params);
+    let vs = List.map (gen_arg env) args in
+    let r = emit env (ir_of_fty fty) (I.Call (name, vs)) in
+    (r, vkind_of_fty fty)
+  | Some { us_kind = Subroutine; _ } ->
+    fail line "subroutine %s used as a function" name
+  | Some { us_kind = Program; _ } -> fail line "cannot call the main program"
+  | None -> fail line "unknown function %s" name
+
+(* --- statements -------------------------------------------------------------------- *)
+
+let rec gen_stmt env (s : stmt) =
+  let line = s.sline in
+  match s.sdesc with
+  | Assign (name, [], value) ->
+    (* function-result variable or scalar *)
+    let sym = get_sym env line name in
+    if sym.s_dims <> [] then fail line "array %s needs indices" name;
+    let v, vk = gen_expr env value in
+    let v = coerce env v vk sym.s_ty in
+    let addr = base_addr env sym in
+    ignore (emit env I.Void (I.Store (ir_of_fty sym.s_ty, v, addr)))
+  | Assign (name, idxs, value) ->
+    let sym =
+      match lookup env line name with
+      | Some s -> s
+      | None -> fail line "unknown array %s" name
+    in
+    let ivs = List.map (fun i -> fst (gen_int env i)) idxs in
+    let addr = elem_addr env line sym ivs in
+    let v, vk = gen_expr env value in
+    let v = coerce env v vk sym.s_ty in
+    ignore (emit env I.Void (I.Store (ir_of_fty sym.s_ty, v, addr)))
+  | If (c, thn, els) ->
+    let cv = condition env (gen_expr env c) in
+    let bt = add_block env "if.t" in
+    let bf = add_block env "if.f" in
+    let fin = add_block env "if.end" in
+    set_term env (I.Cbr (cv, bt.I.bname, (if els = [] then fin else bf).I.bname));
+    env.cur <- bt;
+    List.iter (gen_stmt env) thn;
+    set_term env (I.Br fin.I.bname);
+    if els <> [] then begin
+      env.cur <- bf;
+      List.iter (gen_stmt env) els;
+      set_term env (I.Br fin.I.bname)
+    end
+    else bf.I.term <- I.Br fin.I.bname;
+    env.cur <- fin
+  | Do (v, lo, hi, step, body) ->
+    let sym = get_sym env line v in
+    let addr () = base_addr env sym in
+    let lov, lovk = gen_expr env lo in
+    ignore (emit env I.Void (I.Store (I.I64, to_int env lov lovk, addr ())));
+    let hiv = fst (gen_int env hi) in
+    (* loop bound and step are evaluated once *)
+    let hi_cell = alloca_in_entry env 8 in
+    ignore (emit env I.Void (I.Store (I.I64, hiv, I.Reg hi_cell)));
+    let stepv =
+      match step with Some e -> fst (gen_int env e) | None -> I.i64 1
+    in
+    let step_cell = alloca_in_entry env 8 in
+    ignore (emit env I.Void (I.Store (I.I64, stepv, I.Reg step_cell)));
+    let hdr = add_block env "do.hdr" in
+    let bdy = add_block env "do.body" in
+    let stp = add_block env "do.step" in
+    let fin = add_block env "do.end" in
+    set_term env (I.Br hdr.I.bname);
+    env.cur <- hdr;
+    (* direction-aware bound test: (hi - i) * step >= 0 *)
+    let iv = emit env I.I64 (I.Load (I.I64, addr ())) in
+    let hv = emit env I.I64 (I.Load (I.I64, I.Reg hi_cell)) in
+    let sv = emit env I.I64 (I.Load (I.I64, I.Reg step_cell)) in
+    let diff = emit env I.I64 (I.Binop (I.Sub, I.I64, hv, iv)) in
+    let prod = emit env I.I64 (I.Binop (I.Mul, I.I64, diff, sv)) in
+    let c = emit env I.I1 (I.Icmp (I.Isge, I.I64, prod, I.i64 0)) in
+    set_term env (I.Cbr (c, bdy.I.bname, fin.I.bname));
+    env.cur <- bdy;
+    env.loop_stack <- (fin.I.bname, stp.I.bname) :: env.loop_stack;
+    List.iter (gen_stmt env) body;
+    env.loop_stack <- List.tl env.loop_stack;
+    set_term env (I.Br stp.I.bname);
+    env.cur <- stp;
+    let iv2 = emit env I.I64 (I.Load (I.I64, addr ())) in
+    let sv2 = emit env I.I64 (I.Load (I.I64, I.Reg step_cell)) in
+    let next = emit env I.I64 (I.Binop (I.Add, I.I64, iv2, sv2)) in
+    ignore (emit env I.Void (I.Store (I.I64, next, addr ())));
+    set_term env (I.Br hdr.I.bname);
+    env.cur <- fin
+  | Do_while (c, body) ->
+    let hdr = add_block env "while.hdr" in
+    let bdy = add_block env "while.body" in
+    let fin = add_block env "while.end" in
+    set_term env (I.Br hdr.I.bname);
+    env.cur <- hdr;
+    let cv = condition env (gen_expr env c) in
+    set_term env (I.Cbr (cv, bdy.I.bname, fin.I.bname));
+    env.cur <- bdy;
+    env.loop_stack <- (fin.I.bname, hdr.I.bname) :: env.loop_stack;
+    List.iter (gen_stmt env) body;
+    env.loop_stack <- List.tl env.loop_stack;
+    set_term env (I.Br hdr.I.bname);
+    env.cur <- fin
+  | Call (name, args) -> (
+    match Hashtbl.find_opt env.units name with
+    | Some { us_kind = Subroutine; us_params } ->
+      if List.length args <> List.length us_params then
+        fail line "call to %s with %d args, expected %d" name (List.length args)
+          (List.length us_params);
+      let vs = List.map (gen_arg env) args in
+      ignore (emit env I.Void (I.Call (name, vs)))
+    | _ -> fail line "unknown subroutine %s" name)
+  | Print args ->
+    List.iteri
+      (fun i a ->
+        if i > 0 then
+          ignore (emit env I.Void (I.Call ("print_char", [ I.i64 32 ])));
+        let v, vk = gen_expr env a in
+        match vk with
+        | Fint -> ignore (emit env I.Void (I.Call ("print_int", [ v ])))
+        | Freal_v -> ignore (emit env I.Void (I.Call ("print_float", [ v ]))))
+      args;
+    ignore (emit env I.Void (I.Call ("print_newline", [])))
+  | Return ->
+    emit_return env;
+    env.cur <- add_block env "dead"
+  | Exit_loop -> (
+    match env.loop_stack with
+    | (brk, _) :: _ ->
+      set_term env (I.Br brk);
+      env.cur <- add_block env "dead"
+    | [] -> fail line "exit outside a loop")
+  | Cycle -> (
+    match env.loop_stack with
+    | (_, cont) :: _ ->
+      set_term env (I.Br cont);
+      env.cur <- add_block env "dead"
+    | [] -> fail line "cycle outside a loop")
+  | Fork (p, model) ->
+    ignore (emit env I.Void (I.Call (I.fork_intrinsic, [ I.i64 p; I.i64 model ])))
+  | Join p -> ignore (emit env I.Void (I.Call (I.join_intrinsic, [ I.i64 p ])))
+  | Barrier p ->
+    ignore (emit env I.Void (I.Call (I.barrier_intrinsic, [ I.i64 p ])))
+
+and emit_return env =
+  match env.ret_var with
+  | Some a ->
+    let v = emit env (ir_of_fty env.ret_ty) (I.Load (ir_of_fty env.ret_ty, I.Reg a)) in
+    set_term env (I.Ret (Some v))
+  | None ->
+    if env.f.I.fname = "main" then set_term env (I.Ret (Some (I.i64 0)))
+    else set_term env (I.Ret None)
+
+(* --- reachability pruning (same as the MiniC front-end) --------------------- *)
+
+let prune_unreachable (f : I.func) =
+  let reachable = Hashtbl.create 32 in
+  let rec visit name =
+    if not (Hashtbl.mem reachable name) then begin
+      Hashtbl.replace reachable name ();
+      let b = I.find_block_exn f name in
+      List.iter visit (I.term_succs b.I.term)
+    end
+  in
+  (match f.I.blocks with b :: _ -> visit b.I.bname | [] -> ());
+  f.I.blocks <- List.filter (fun b -> Hashtbl.mem reachable b.I.bname) f.I.blocks
+
+(* --- top level ------------------------------------------------------------------ *)
+
+let compile src : I.modul =
+  let prog = Fparser.parse_program src in
+  let m = I.create_module () in
+  List.iter (I.add_extern m) Mutls_interp.Externs.declarations;
+  let units = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      Hashtbl.replace units u.u_name { us_kind = u.u_kind; us_params = u.u_params })
+    prog;
+  List.iter
+    (fun u ->
+      let fname = match u.u_kind with Program -> "main" | _ -> u.u_name in
+      let ret_ty, ir_ret =
+        match u.u_kind with
+        | Program -> (Finteger, I.I64)
+        | Subroutine -> (Finteger, I.Void)
+        | Function fty -> (fty, ir_of_fty fty)
+      in
+      let f =
+        { I.fname;
+          params = List.map (fun p -> (p, I.Ptr)) u.u_params;
+          ret = ir_ret;
+          blocks = [];
+          next_reg = 0;
+          reg_tys = Hashtbl.create 32 }
+      in
+      m.I.funcs <- m.I.funcs @ [ f ];
+      let entry = { I.bname = "entry"; phis = []; insts = []; term = I.Br "body" } in
+      let body = { I.bname = "body"; phis = []; insts = []; term = I.Unreachable } in
+      f.I.blocks <- [ entry; body ];
+      let decls = Hashtbl.create 16 in
+      List.iter (fun d -> Hashtbl.replace decls d.v_name d) u.u_decls;
+      let env =
+        { m; units; f; entry; cur = body; syms = []; label_counter = 0;
+          loop_stack = []; ret_var = None; ret_ty; decls }
+      in
+      (* parameters (typed by declarations, implicit otherwise) *)
+      List.iteri
+        (fun i p ->
+          let d =
+            match Hashtbl.find_opt decls p with
+            | Some d -> d
+            | None -> { v_ty = implicit_fty p; v_name = p; v_dims = [] }
+          in
+          ignore (declare env d ~is_param:true ~arg_index:(Some i)))
+        u.u_params;
+      (* non-parameter declarations *)
+      List.iter
+        (fun d ->
+          if not (List.mem d.v_name u.u_params) && d.v_name <> u.u_name then
+            ignore (declare env d ~is_param:false ~arg_index:None))
+        u.u_decls;
+      (* function result variable *)
+      let env =
+        match u.u_kind with
+        | Function fty ->
+          let d =
+            match Hashtbl.find_opt decls u.u_name with
+            | Some d -> d
+            | None -> { v_ty = fty; v_name = u.u_name; v_dims = [] }
+          in
+          let s = declare env d ~is_param:false ~arg_index:None in
+          { env with ret_var = Some s.s_alloca; ret_ty = d.v_ty }
+        | _ -> env
+      in
+      List.iter (gen_stmt env) u.u_body;
+      (match env.cur.I.term with
+      | I.Unreachable -> emit_return env
+      | _ -> ());
+      prune_unreachable f)
+    prog;
+  Mutls_mir.Mem2reg.run_module m;
+  (match Mutls_mir.Verify.check_module m with
+  | () -> ()
+  | exception Mutls_mir.Verify.Invalid msg ->
+    raise (Error ("internal: generated IR does not verify: " ^ msg)));
+  m

@@ -1,0 +1,10 @@
+(** MiniFortran -> MIR, with real Fortran semantics: arguments passed
+    by reference, 1-based column-major arrays, implicit typing (names
+    starting i..n are integers), and function results assigned through
+    a variable named after the function. *)
+
+exception Error of string
+
+val compile : string -> Mutls_mir.Ir.modul
+(** Parse, generate and verify a whole program.
+    @raise Error with a line-numbered message on bad input. *)

@@ -1,0 +1,471 @@
+(* Lexer and parser for MiniFortran.  Free-form source, one statement
+   per line (no continuation lines), `!` comments, case-insensitive
+   keywords and identifiers. *)
+
+open Fast
+
+exception Error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* --- tokens ------------------------------------------------------------ *)
+
+type tok =
+  | INT of int64
+  | REAL of float
+  | ID of string (* lower-cased *)
+  | LP
+  | RP
+  | COMMA
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW (* ** *)
+  | ASSIGN
+  | CMP of binop (* relational / logical *)
+  | NOT
+  | COLONCOLON
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+(* Tokenize one source line. *)
+let tokenize_line ln line =
+  let n = String.length line in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some line.[!pos + k] else None in
+  let push t = toks := t :: !toks in
+  (try
+     while !pos < n do
+       let c = line.[!pos] in
+       if c = '!' then raise Exit
+       else if c = ' ' || c = '\t' || c = '\r' then incr pos
+       else if is_digit c || (c = '.' && peek 1 <> None && is_digit (Option.get (peek 1)))
+       then begin
+         let start = !pos in
+         let is_real = ref false in
+         while !pos < n && is_digit line.[!pos] do incr pos done;
+         (* a '.' starts a fraction only if not a dotted operator like .lt. *)
+         if !pos < n && line.[!pos] = '.'
+            && not (!pos + 1 < n && is_alpha line.[!pos + 1])
+         then begin
+           is_real := true;
+           incr pos;
+           while !pos < n && is_digit line.[!pos] do incr pos done
+         end;
+         (match if !pos < n then Some line.[!pos] else None with
+         | Some ('e' | 'E' | 'd' | 'D') ->
+           is_real := true;
+           incr pos;
+           (match if !pos < n then Some line.[!pos] else None with
+           | Some ('+' | '-') -> incr pos
+           | _ -> ());
+           while !pos < n && is_digit line.[!pos] do incr pos done
+         | _ -> ());
+         let s = String.sub line start (!pos - start) in
+         if !is_real then
+           let s = String.map (fun c -> if c = 'd' || c = 'D' then 'e' else c) s in
+           push (REAL (float_of_string s))
+         else push (INT (Int64.of_string s))
+       end
+       else if is_alpha c then begin
+         let start = !pos in
+         while !pos < n && is_alnum line.[!pos] do incr pos done;
+         push (ID (String.lowercase_ascii (String.sub line start (!pos - start))))
+       end
+       else if c = '.' then begin
+         (* dotted operator: .lt. .le. .gt. .ge. .eq. .ne. .and. .or. .not. *)
+         let close = try String.index_from line (!pos + 1) '.' with Not_found -> -1 in
+         if close < 0 then fail ln "unterminated dotted operator";
+         let word =
+           String.lowercase_ascii (String.sub line (!pos + 1) (close - !pos - 1))
+         in
+         pos := close + 1;
+         match word with
+         | "lt" -> push (CMP Lt)
+         | "le" -> push (CMP Le)
+         | "gt" -> push (CMP Gt)
+         | "ge" -> push (CMP Ge)
+         | "eq" -> push (CMP Eq)
+         | "ne" -> push (CMP Ne)
+         | "and" -> push (CMP And)
+         | "or" -> push (CMP Or)
+         | "not" -> push NOT
+         | w -> fail ln "unknown operator .%s." w
+       end
+       else begin
+         let two a b t =
+           if peek 1 = Some b then begin
+             pos := !pos + 2;
+             push t;
+             true
+           end
+           else begin
+             ignore a;
+             false
+           end
+         in
+         match c with
+         | '(' -> incr pos; push LP
+         | ')' -> incr pos; push RP
+         | ',' -> incr pos; push COMMA
+         | '+' -> incr pos; push PLUS
+         | '-' -> incr pos; push MINUS
+         | '*' -> if not (two '*' '*' POW) then (incr pos; push STAR)
+         | '/' -> if not (two '/' '=' (CMP Ne)) then (incr pos; push SLASH)
+         | '=' -> if not (two '=' '=' (CMP Eq)) then (incr pos; push ASSIGN)
+         | '<' -> if not (two '<' '=' (CMP Le)) then (incr pos; push (CMP Lt))
+         | '>' -> if not (two '>' '=' (CMP Ge)) then (incr pos; push (CMP Gt))
+         | ':' -> if not (two ':' ':' COLONCOLON) then fail ln "unexpected :"
+         | c -> fail ln "unexpected character %c" c
+       end
+     done
+   with Exit -> ());
+  List.rev !toks
+
+(* --- expression parser --------------------------------------------------- *)
+
+type estate = { mutable toks : tok list; ln : int }
+
+let epeek st = match st.toks with t :: _ -> Some t | [] -> None
+let eadvance st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let eexpect st t =
+  match st.toks with
+  | t' :: r when t' = t -> st.toks <- r
+  | _ -> fail st.ln "malformed expression"
+
+let prec_of = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div -> 5
+  | Pow -> 7
+
+let binop_of_tok = function
+  | PLUS -> Some Add
+  | MINUS -> Some Sub
+  | STAR -> Some Mul
+  | SLASH -> Some Div
+  | POW -> Some Pow
+  | CMP op -> Some op
+  | _ -> None
+
+let rec parse_expr st = parse_bin st 0
+
+and parse_bin st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match epeek st with
+    | Some t -> (
+      match binop_of_tok t with
+      | Some op when prec_of op >= min_prec ->
+        eadvance st;
+        (* ** is right-associative *)
+        let next = if op = Pow then prec_of op else prec_of op + 1 in
+        let rhs = parse_bin st next in
+        lhs := { desc = Binop (op, !lhs, rhs); eline = st.ln }
+      | _ -> continue := false)
+    | None -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match epeek st with
+  | Some MINUS ->
+    eadvance st;
+    { desc = Unop (Neg, parse_unary st); eline = st.ln }
+  | Some NOT ->
+    eadvance st;
+    { desc = Unop (Not, parse_unary st); eline = st.ln }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match epeek st with
+  | Some (INT n) ->
+    eadvance st;
+    { desc = Int_lit n; eline = st.ln }
+  | Some (REAL x) ->
+    eadvance st;
+    { desc = Real_lit x; eline = st.ln }
+  | Some LP ->
+    eadvance st;
+    let e = parse_expr st in
+    eexpect st RP;
+    e
+  | Some (ID name) ->
+    eadvance st;
+    if epeek st = Some LP then begin
+      eadvance st;
+      let args = ref [] in
+      if epeek st <> Some RP then begin
+        args := [ parse_expr st ];
+        while epeek st = Some COMMA do
+          eadvance st;
+          args := parse_expr st :: !args
+        done
+      end;
+      eexpect st RP;
+      { desc = Ref (name, List.rev !args); eline = st.ln }
+    end
+    else { desc = Var name; eline = st.ln }
+  | _ -> fail st.ln "malformed expression"
+
+let parse_expr_toks ln toks =
+  let st = { toks; ln } in
+  let e = parse_expr st in
+  if st.toks <> [] then fail ln "trailing tokens in expression";
+  e
+
+(* --- statement-level parser ----------------------------------------------- *)
+
+type line = { l_no : int; l_toks : tok list }
+
+let model_of ln = function
+  | INT n -> Int64.to_int n
+  | ID "mixed" -> 0
+  | ID ("inorder" | "in_order") -> 1
+  | ID ("outoforder" | "out_of_order") -> 2
+  | _ -> fail ln "unknown forking model"
+
+let const_int ln = function
+  | INT n :: [] -> Int64.to_int n
+  | _ -> fail ln "expected an integer constant"
+
+(* splits a token list on top-level commas *)
+let split_commas ln toks =
+  let rec go depth cur acc = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | LP :: r -> go (depth + 1) (LP :: cur) acc r
+    | RP :: r ->
+      if depth = 0 then fail ln "unbalanced parentheses";
+      go (depth - 1) (RP :: cur) acc r
+    | COMMA :: r when depth = 0 -> go 0 [] (List.rev cur :: acc) r
+    | t :: r -> go depth (t :: cur) acc r
+  in
+  match toks with [] -> [] | _ -> go 0 [] [] toks
+
+type pstate = { lines : line array; mutable idx : int }
+
+let peek_line ps = if ps.idx < Array.length ps.lines then Some ps.lines.(ps.idx) else None
+let next_line ps =
+  match peek_line ps with
+  | Some l ->
+    ps.idx <- ps.idx + 1;
+    l
+  | None -> raise (Error "unexpected end of file")
+
+let starts_with toks ids =
+  let rec go toks ids =
+    match (toks, ids) with
+    | _, [] -> true
+    | ID a :: tr, b :: ir when a = b -> go tr ir
+    | _ -> false
+  in
+  go toks ids
+
+let fty_of_decl toks =
+  (* integer / real / real*8 / double precision, optional :: *)
+  match toks with
+  | ID "integer" :: rest -> Some (Finteger, rest)
+  | ID "real" :: STAR :: INT 8L :: rest -> Some (Freal, rest)
+  | ID "real" :: rest -> Some (Freal, rest)
+  | ID "double" :: ID "precision" :: rest -> Some (Freal, rest)
+  | _ -> None
+
+let parse_decl_names ln ty rest =
+  let rest = match rest with COLONCOLON :: r -> r | r -> r in
+  let groups = split_commas ln rest in
+  List.map
+    (fun g ->
+      match g with
+      | ID name :: LP :: dims_toks ->
+        (* dims up to closing paren *)
+        let dims_toks =
+          match List.rev dims_toks with
+          | RP :: r -> List.rev r
+          | _ -> fail ln "malformed array declaration"
+        in
+        let dims =
+          split_commas ln dims_toks
+          |> List.map (fun g ->
+                 match g with
+                 | [ INT n ] -> Int64.to_int n
+                 | _ -> fail ln "array dimensions must be integer constants")
+        in
+        { v_ty = ty; v_name = name; v_dims = dims }
+      | [ ID name ] -> { v_ty = ty; v_name = name; v_dims = [] }
+      | _ -> fail ln "malformed declaration")
+    groups
+
+let rec parse_stmts ps stops =
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek_line ps with
+    | None -> raise (Error (Printf.sprintf "missing %s" (String.concat "/" (List.map (String.concat " ") stops))))
+    | Some l ->
+      if List.exists (starts_with l.l_toks) stops then continue := false
+      else out := parse_stmt ps :: !out
+  done;
+  List.rev !out
+
+and parse_stmt ps : stmt =
+  let l = next_line ps in
+  let ln = l.l_no in
+  let mk d = { sdesc = d; sline = ln } in
+  match l.l_toks with
+  | ID "call" :: ID "mutls_fork" :: LP :: rest -> (
+    match split_commas ln (strip_rp ln rest) with
+    | [ [ INT p ]; [ m ] ] -> mk (Fork (Int64.to_int p, model_of ln m))
+    | _ -> fail ln "MUTLS_FORK(point, model)")
+  | ID "call" :: ID "mutls_join" :: LP :: rest ->
+    mk (Join (const_int ln (strip_rp ln rest)))
+  | ID "call" :: ID "mutls_barrier" :: LP :: rest ->
+    mk (Barrier (const_int ln (strip_rp ln rest)))
+  | ID "call" :: ID name :: LP :: rest ->
+    let args =
+      split_commas ln (strip_rp ln rest) |> List.map (parse_expr_toks ln)
+    in
+    mk (Call (name, args))
+  | ID "call" :: ID name :: [] -> mk (Call (name, []))
+  | ID "print" :: STAR :: COMMA :: rest ->
+    let args = split_commas ln rest |> List.map (parse_expr_toks ln) in
+    mk (Print args)
+  | ID "print" :: STAR :: [] -> mk (Print [])
+  | ID "return" :: [] -> mk Return
+  | ID "exit" :: [] -> mk Exit_loop
+  | ID "cycle" :: [] -> mk Cycle
+  | ID "do" :: ID "while" :: LP :: rest ->
+    let cond = parse_expr_toks ln (strip_rp ln rest) in
+    let body = parse_stmts ps [ [ "end"; "do" ]; [ "enddo" ] ] in
+    ignore (next_line ps);
+    mk (Do_while (cond, body))
+  | ID "do" :: ID v :: ASSIGN :: rest -> (
+    let parts = split_commas ln rest in
+    match parts with
+    | [ lo; hi ] ->
+      let body = parse_stmts ps [ [ "end"; "do" ]; [ "enddo" ] ] in
+      ignore (next_line ps);
+      mk (Do (v, parse_expr_toks ln lo, parse_expr_toks ln hi, None, body))
+    | [ lo; hi; step ] ->
+      let body = parse_stmts ps [ [ "end"; "do" ]; [ "enddo" ] ] in
+      ignore (next_line ps);
+      mk
+        (Do
+           ( v, parse_expr_toks ln lo, parse_expr_toks ln hi,
+             Some (parse_expr_toks ln step), body ))
+    | _ -> fail ln "malformed do")
+  | ID "if" :: LP :: rest -> parse_if ps ln rest
+  | ID name :: ASSIGN :: rest ->
+    mk (Assign (name, [], parse_expr_toks ln rest))
+  | ID name :: LP :: rest ->
+    (* indexed assignment: name(idx...) = expr *)
+    let idx_toks, rest = find_close ln 0 [] rest in
+    let idxs = split_commas ln idx_toks |> List.map (parse_expr_toks ln) in
+    (match rest with
+    | ASSIGN :: value -> mk (Assign (name, idxs, parse_expr_toks ln value))
+    | _ -> fail ln "expected = after indexed variable")
+  | _ -> fail ln "unrecognised statement"
+
+and find_close ln depth acc = function
+  | [] -> fail ln "unbalanced parentheses"
+  | LP :: r -> find_close ln (depth + 1) (LP :: acc) r
+  | RP :: r ->
+    if depth = 0 then (List.rev acc, r) else find_close ln (depth - 1) (RP :: acc) r
+  | t :: r -> find_close ln depth (t :: acc) r
+
+and strip_rp ln toks =
+  match List.rev toks with
+  | RP :: r -> List.rev r
+  | _ -> fail ln "expected )"
+
+and parse_if ps ln rest : stmt =
+  let cond_toks, rest = find_close ln 0 [] rest in
+  let cond = parse_expr_toks ln cond_toks in
+  match rest with
+  | [ ID "then" ] -> (
+    let thn = parse_stmts ps [ [ "else" ]; [ "end"; "if" ]; [ "endif" ] ] in
+    let l = next_line ps in
+    if starts_with l.l_toks [ "else" ] then begin
+      let els = parse_stmts ps [ [ "end"; "if" ]; [ "endif" ] ] in
+      ignore (next_line ps);
+      { sdesc = If (cond, thn, els); sline = ln }
+    end
+    else { sdesc = If (cond, thn, []); sline = ln })
+  | [] -> fail ln "if without a statement"
+  | _ ->
+    (* one-line if *)
+    let sub = { lines = [| { l_no = ln; l_toks = rest } |]; idx = 0 } in
+    let s = parse_stmt sub in
+    { sdesc = If (cond, [ s ], []); sline = ln }
+
+(* --- program units ---------------------------------------------------------- *)
+
+let parse_unit ps : punit =
+  let l = next_line ps in
+  let ln = l.l_no in
+  let kind, name, params =
+    match l.l_toks with
+    | ID "program" :: ID name :: [] -> (Program, name, [])
+    | ID "subroutine" :: ID name :: rest ->
+      let params =
+        match rest with
+        | [] -> []
+        | LP :: r ->
+          split_commas ln (strip_rp ln r)
+          |> List.map (function
+               | [ ID p ] -> p
+               | _ -> fail ln "malformed parameter list")
+        | _ -> fail ln "malformed subroutine header"
+      in
+      (Subroutine, name, params)
+    | toks -> (
+      match fty_of_decl toks with
+      | Some (ty, ID "function" :: ID name :: LP :: r) ->
+        let params =
+          split_commas ln (strip_rp ln r)
+          |> List.map (function
+               | [ ID p ] -> p
+               | _ -> fail ln "malformed parameter list")
+        in
+        (Function ty, name, params)
+      | _ -> fail ln "expected program, subroutine or function")
+  in
+  (* declarations *)
+  let decls = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek_line ps with
+    | Some l -> (
+      match fty_of_decl l.l_toks with
+      | Some (ty, rest) when not (starts_with rest [ "function" ]) ->
+        ignore (next_line ps);
+        decls := !decls @ parse_decl_names l.l_no ty rest
+      | _ -> continue := false)
+    | None -> continue := false
+  done;
+  (* body until "end" *)
+  let body = parse_stmts ps [ [ "end" ] ] in
+  ignore (next_line ps);
+  { u_kind = kind; u_name = name; u_params = params; u_decls = !decls; u_body = body }
+
+let parse_program src : program =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.mapi (fun i s -> { l_no = i + 1; l_toks = tokenize_line (i + 1) s })
+    |> List.filter (fun l -> l.l_toks <> [])
+    |> Array.of_list
+  in
+  let ps = { lines; idx = 0 } in
+  let units = ref [] in
+  while peek_line ps <> None do
+    units := parse_unit ps :: !units
+  done;
+  List.rev !units

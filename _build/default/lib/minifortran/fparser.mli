@@ -1,0 +1,10 @@
+(** Lexer and parser for MiniFortran: free-form source, one statement
+    per line, [!] comments, case-insensitive keywords, dotted operators
+    ([.lt.] etc.), [do]/[end do], [if]/[then]/[else]/[end if],
+    subroutines, functions, and [call MUTLS_FORK(p, model)] /
+    [MUTLS_JOIN(p)] / [MUTLS_BARRIER(p)]. *)
+
+exception Error of string
+
+val parse_program : string -> Fast.program
+(** @raise Error with a line-numbered message. *)

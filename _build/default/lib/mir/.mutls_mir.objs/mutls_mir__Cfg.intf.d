@@ -1,0 +1,1 @@
+lib/mir/cfg.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/mir/dom.ml: Array Cfg List

@@ -1,0 +1,1 @@
+lib/mir/ir.ml: Hashtbl Int64 List Printf String

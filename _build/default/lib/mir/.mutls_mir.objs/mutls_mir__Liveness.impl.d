@@ -1,0 +1,1 @@
+lib/mir/liveness.ml: Array Cfg Hashtbl Int Ir List Set

@@ -1,0 +1,1 @@
+lib/mir/mem2reg.ml: Array Cfg Dom Hashtbl Int Ir List Option Queue Set

@@ -1,0 +1,1 @@
+lib/mir/mem2reg.mli: Ir

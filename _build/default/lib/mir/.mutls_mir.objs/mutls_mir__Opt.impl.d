@@ -1,0 +1,1 @@
+lib/mir/opt.ml: Array Cfg Hashtbl Int64 Ir List Option Verify

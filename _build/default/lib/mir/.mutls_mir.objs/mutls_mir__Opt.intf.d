@@ -1,0 +1,1 @@
+lib/mir/opt.mli: Ir

@@ -1,0 +1,1 @@
+lib/mir/parse.ml: Array Char Filename Hashtbl Int64 Ir List Option Printf String

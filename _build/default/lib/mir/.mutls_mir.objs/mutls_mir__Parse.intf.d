@@ -1,0 +1,1 @@
+lib/mir/parse.mli: Ir

@@ -1,0 +1,1 @@
+lib/mir/printer.ml: Array Buffer Char Int64 Ir List Printf String

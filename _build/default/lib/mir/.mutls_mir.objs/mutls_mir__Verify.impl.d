@@ -1,0 +1,1 @@
+lib/mir/verify.ml: Array Cfg Dom Hashtbl Int Ir List Printf Set String

@@ -1,0 +1,1 @@
+lib/mir/verify.mli: Ir

@@ -1,0 +1,85 @@
+(* Imperative construction of MIR functions, in the style of LLVM's
+   IRBuilder: a cursor points at a block; emitted instructions are
+   appended there. *)
+
+open Ir
+
+type t = {
+  m : modul;
+  f : func;
+  mutable cur : block option;
+  mutable label_counter : int;
+}
+
+let create m ~name ~params ~ret =
+  let f =
+    { fname = name; params; ret; blocks = []; next_reg = 0;
+      reg_tys = Hashtbl.create 64 }
+  in
+  m.funcs <- m.funcs @ [ f ];
+  { m; f; cur = None; label_counter = 0 }
+
+let func b = b.f
+
+let fresh_label b stem =
+  let n = b.label_counter in
+  b.label_counter <- n + 1;
+  Printf.sprintf "%s.%d" stem n
+
+(* Creates (but does not position on) a new block. *)
+let add_block b name =
+  let blk = { bname = name; phis = []; insts = []; term = Unreachable } in
+  b.f.blocks <- b.f.blocks @ [ blk ];
+  blk
+
+let new_block b stem = add_block b (fresh_label b stem)
+
+let position b blk = b.cur <- Some blk
+
+let current b =
+  match b.cur with
+  | Some blk -> blk
+  | None -> invalid_arg "Builder: no current block"
+
+let emit b ity kind =
+  let blk = current b in
+  let id = if ity = Void then -1 else fresh_reg b.f ity in
+  blk.insts <- blk.insts @ [ { id; ity; kind } ];
+  if ity = Void then Const (Cint (0L, I64)) else Reg id
+
+let binop b op ty a v = emit b ty (Binop (op, ty, a, v))
+let add_ b a v = binop b Add I64 a v
+let sub_ b a v = binop b Sub I64 a v
+let mul_ b a v = binop b Mul I64 a v
+let icmp b op ty a v = emit b I1 (Icmp (op, ty, a, v))
+let fcmp b op a v = emit b I1 (Fcmp (op, a, v))
+let alloca b size = emit b Ptr (Alloca size)
+let load b ty addr = emit b ty (Load (ty, addr))
+let store b ty v addr = ignore (emit b Void (Store (ty, v, addr)))
+let ptradd b base off = emit b Ptr (Ptradd (base, off))
+let select b c x y ty = emit b ty (Select (c, x, y))
+let cast b c ~from ~into v = emit b into (Cast (c, from, into, v))
+
+(* Direct call; the result type must be supplied by the caller (the
+   builder does not resolve callees, which may not exist yet). *)
+let call b ~ret name args = emit b ret (Call (name, args))
+
+let phi b ty incoming =
+  let blk = current b in
+  let id = fresh_reg b.f ty in
+  blk.phis <- blk.phis @ [ { pid = id; pty = ty; incoming } ];
+  Reg id
+
+let set_term b t = (current b).term <- t
+let br b l = set_term b (Br l)
+let cbr b c l1 l2 = set_term b (Cbr (c, l1, l2))
+let ret b v = set_term b (Ret v)
+let switch b v d cases = set_term b (Switch (v, d, cases))
+
+(* MUTLS source-level annotations (Figure 1 of the paper). *)
+let mutls_fork b ~point ~model =
+  ignore (call b ~ret:Void fork_intrinsic [ i64 point; i64 model ])
+
+let mutls_join b ~point = ignore (call b ~ret:Void join_intrinsic [ i64 point ])
+let mutls_barrier b ~point =
+  ignore (call b ~ret:Void barrier_intrinsic [ i64 point ])

@@ -1,0 +1,69 @@
+(** Imperative construction of MIR functions, in the style of LLVM's
+    IRBuilder: a cursor points at a block and emitted instructions are
+    appended there.  Used by both front-ends, by tests, and by clients
+    doing arbitrary-point speculation straight at the IR level (see
+    [examples/custom_ir.ml]). *)
+
+type t
+
+val create :
+  Ir.modul -> name:string -> params:(string * Ir.ty) list -> ret:Ir.ty -> t
+(** Create a function, register it in the module, and return a builder
+    positioned nowhere (call {!position} first). *)
+
+val func : t -> Ir.func
+
+val fresh_label : t -> string -> string
+(** A fresh block label derived from the given stem. *)
+
+val add_block : t -> string -> Ir.block
+(** Create a block with exactly this name (no uniquification). *)
+
+val new_block : t -> string -> Ir.block
+(** Create a block with a fresh name derived from the stem. *)
+
+val position : t -> Ir.block -> unit
+(** Subsequent emissions append to this block. *)
+
+val current : t -> Ir.block
+
+val emit : t -> Ir.ty -> Ir.instr_kind -> Ir.value
+(** Append an instruction; returns its result value ([Void]
+    instructions return a dummy). *)
+
+(** {1 Typed emission helpers} *)
+
+val binop : t -> Ir.binop -> Ir.ty -> Ir.value -> Ir.value -> Ir.value
+val add_ : t -> Ir.value -> Ir.value -> Ir.value
+val sub_ : t -> Ir.value -> Ir.value -> Ir.value
+val mul_ : t -> Ir.value -> Ir.value -> Ir.value
+val icmp : t -> Ir.icmp -> Ir.ty -> Ir.value -> Ir.value -> Ir.value
+val fcmp : t -> Ir.fcmp -> Ir.value -> Ir.value -> Ir.value
+val alloca : t -> int -> Ir.value
+val load : t -> Ir.ty -> Ir.value -> Ir.value
+val store : t -> Ir.ty -> Ir.value -> Ir.value -> unit
+val ptradd : t -> Ir.value -> Ir.value -> Ir.value
+val select : t -> Ir.value -> Ir.value -> Ir.value -> Ir.ty -> Ir.value
+val cast : t -> Ir.cast -> from:Ir.ty -> into:Ir.ty -> Ir.value -> Ir.value
+
+val call : t -> ret:Ir.ty -> string -> Ir.value list -> Ir.value
+(** Direct call; the result type must be supplied (the callee may not
+    exist yet). *)
+
+val phi : t -> Ir.ty -> (string * Ir.value) list -> Ir.value
+
+(** {1 Terminators} *)
+
+val set_term : t -> Ir.terminator -> unit
+val br : t -> string -> unit
+val cbr : t -> Ir.value -> string -> string -> unit
+val ret : t -> Ir.value option -> unit
+val switch : t -> Ir.value -> string -> (int64 * string) list -> unit
+
+(** {1 MUTLS source-level annotations (paper Fig. 1)} *)
+
+val mutls_fork : t -> point:int -> model:int -> unit
+(** [model]: 0 = mixed, 1 = in-order, 2 = out-of-order. *)
+
+val mutls_join : t -> point:int -> unit
+val mutls_barrier : t -> point:int -> unit

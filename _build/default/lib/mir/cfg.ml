@@ -1,0 +1,61 @@
+(* Control-flow graph utilities over a function's block list. *)
+
+open Ir
+
+type t = {
+  blocks : block array;
+  index : (string, int) Hashtbl.t; (* label -> array index *)
+  succs : int list array;
+  preds : int list array;
+}
+
+let of_func (f : func) =
+  let blocks = Array.of_list f.blocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i b -> Hashtbl.replace index b.bname i) blocks;
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      let ss =
+        term_succs b.term
+        |> List.map (fun l ->
+               match Hashtbl.find_opt index l with
+               | Some j -> j
+               | None -> invalid_arg ("Cfg: branch to unknown block " ^ l))
+      in
+      succs.(i) <- ss;
+      List.iter (fun j -> preds.(j) <- i :: preds.(j)) ss)
+    blocks;
+  Array.iteri (fun j ps -> preds.(j) <- List.rev ps) preds;
+  { blocks; index; succs; preds }
+
+let block_index t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> invalid_arg ("Cfg.block_index: unknown block " ^ name)
+
+let nblocks t = Array.length t.blocks
+
+(* Reverse postorder from the entry (index 0). Unreachable blocks are
+   appended at the end in arbitrary order so analyses still see them. *)
+let reverse_postorder t =
+  let n = nblocks t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs t.succs.(i);
+      order := i :: !order
+    end
+  in
+  if n > 0 then dfs 0;
+  let reachable = !order in
+  let unreachable =
+    List.filter (fun i -> not visited.(i)) (List.init n Fun.id)
+  in
+  reachable @ unreachable
+
+let postorder t = List.rev (reverse_postorder t)

@@ -1,0 +1,21 @@
+(** Control-flow graph over a function's block list, with block
+    indices, successor/predecessor arrays, and traversal orders. *)
+
+type t = {
+  blocks : Ir.block array;
+  index : (string, int) Hashtbl.t;  (** label -> array index *)
+  succs : int list array;
+  preds : int list array;
+}
+
+val of_func : Ir.func -> t
+(** @raise Invalid_argument on a branch to an unknown block. *)
+
+val block_index : t -> string -> int
+val nblocks : t -> int
+
+val reverse_postorder : t -> int list
+(** Reverse postorder from the entry; unreachable blocks are appended
+    at the end so analyses still see them. *)
+
+val postorder : t -> int list

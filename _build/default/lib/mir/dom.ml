@@ -1,0 +1,69 @@
+(* Dominator tree and dominance frontiers, using the Cooper-Harvey-
+   Kennedy iterative algorithm.  Needed by mem2reg for phi placement. *)
+
+type t = {
+  idom : int array; (* immediate dominator; entry maps to itself; -1 = unreachable *)
+  frontiers : int list array;
+  children : int list array; (* dominator-tree children *)
+}
+
+let compute (cfg : Cfg.t) =
+  let n = Cfg.nblocks cfg in
+  let rpo = Cfg.reverse_postorder cfg in
+  let rpo_pos = Array.make n (-1) in
+  List.iteri (fun pos i -> rpo_pos.(i) <- pos) rpo;
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_pos.(!f1) > rpo_pos.(!f2) do f1 := idom.(!f1) done;
+      while rpo_pos.(!f2) > rpo_pos.(!f1) do f2 := idom.(!f2) done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> 0 then begin
+          let preds = cfg.Cfg.preds.(b) in
+          let processed = List.filter (fun p -> idom.(p) <> -1) preds in
+          match processed with
+          | [] -> () (* unreachable *)
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  let frontiers = Array.make n [] in
+  for b = 0 to n - 1 do
+    let preds = cfg.Cfg.preds.(b) in
+    if List.length preds >= 2 && idom.(b) <> -1 then
+      List.iter
+        (fun p ->
+          if idom.(p) <> -1 then begin
+            let runner = ref p in
+            while !runner <> idom.(b) do
+              if not (List.mem b frontiers.(!runner)) then
+                frontiers.(!runner) <- b :: frontiers.(!runner);
+              runner := idom.(!runner)
+            done
+          end)
+        preds
+  done;
+  let children = Array.make n [] in
+  for b = n - 1 downto 1 do
+    if idom.(b) <> -1 then children.(idom.(b)) <- b :: children.(idom.(b))
+  done;
+  { idom; frontiers; children }
+
+(* Does block [a] dominate block [b]? *)
+let dominates t a b =
+  let rec walk x = if x = a then true else if x = 0 || t.idom.(x) = -1 then a = x else walk t.idom.(x) in
+  if t.idom.(b) = -1 then false else walk b

@@ -1,0 +1,14 @@
+(** Dominator tree and dominance frontiers (Cooper-Harvey-Kennedy),
+    used by mem2reg for pruned phi placement. *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator; the entry maps to itself; -1 = unreachable *)
+  frontiers : int list array;  (** dominance frontier of each block *)
+  children : int list array;  (** dominator-tree children *)
+}
+
+val compute : Cfg.t -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — does block [a] dominate block [b]? *)

@@ -1,0 +1,235 @@
+(* MIR: a small SSA intermediate representation modeled on the subset of
+   LLVM IR that the MUTLS speculator pass (Cao & Verbrugge, ICPP 2013)
+   relies on: typed loads/stores, SSA registers with phi nodes, direct
+   calls, switch dispatch, and entry-block allocas. *)
+
+type ty = I1 | I8 | I32 | I64 | F64 | Ptr | Void
+
+let ty_size = function
+  | I1 | I8 -> 1
+  | I32 -> 4
+  | I64 | F64 | Ptr -> 8
+  | Void -> 0
+
+let ty_to_string = function
+  | I1 -> "i1"
+  | I8 -> "i8"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F64 -> "f64"
+  | Ptr -> "ptr"
+  | Void -> "void"
+
+type const =
+  | Cint of int64 * ty
+  | Cfloat of float
+  | Cnull
+
+(* SSA register id, unique within a function. *)
+type reg = int
+
+type value =
+  | Const of const
+  | Reg of reg
+  | Arg of int
+  | Global of string (* address of a global definition *)
+  | Funcref of string (* address of a function *)
+
+let i64 n = Const (Cint (Int64.of_int n, I64))
+let i64' n = Const (Cint (n, I64))
+let i32 n = Const (Cint (Int64.of_int n, I32))
+let i8 n = Const (Cint (Int64.of_int n, I8))
+let i1 b = Const (Cint ((if b then 1L else 0L), I1))
+let f64 x = Const (Cfloat x)
+let null = Const Cnull
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Ieq | Ine | Islt | Isle | Isgt | Isge
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+
+type cast = Trunc | Zext | Sext | Fptosi | Sitofp | Ptrtoint | Inttoptr | Bitcast
+
+type instr_kind =
+  | Binop of binop * ty * value * value
+  | Icmp of icmp * ty * value * value (* result I1; ty is operand type *)
+  | Fcmp of fcmp * value * value (* result I1 *)
+  | Alloca of int (* byte size; result Ptr; entry block only *)
+  | Load of ty * value (* result ty; operand is address *)
+  | Store of ty * value * value (* stored value, address; result Void *)
+  | Ptradd of value * value (* base ptr, byte offset (I64); result Ptr *)
+  | Call of string * value list (* direct call; result = callee ret ty *)
+  | Cast of cast * ty * ty * value (* from-ty, to-ty, operand *)
+  | Select of value * value * value (* cond, if-true, if-false *)
+
+type instr = {
+  id : reg; (* destination register; meaningful iff ity <> Void *)
+  ity : ty; (* result type *)
+  kind : instr_kind;
+}
+
+type phi = {
+  pid : reg;
+  pty : ty;
+  mutable incoming : (string * value) list; (* predecessor label, value *)
+}
+
+type terminator =
+  | Br of string
+  | Cbr of value * string * string
+  | Switch of value * string * (int64 * string) list
+  | Ret of value option
+  | Unreachable
+
+type block = {
+  bname : string;
+  mutable phis : phi list;
+  mutable insts : instr list;
+  mutable term : terminator;
+}
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty;
+  mutable blocks : block list; (* head = entry *)
+  mutable next_reg : int;
+  reg_tys : (reg, ty) Hashtbl.t;
+}
+
+type ginit =
+  | Zero
+  | Bytes_init of string
+  | Words_init of int64 array
+  | Floats_init of float array
+
+type gdef = { gname : string; gsize : int; ginit : ginit }
+
+(* Extern declaration: name, return type, parameter types. *)
+type edecl = { ename : string; eret : ty; eparams : ty list }
+
+type modul = {
+  mutable globals : gdef list;
+  mutable funcs : func list;
+  mutable externs : edecl list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Accessors and small helpers                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create_module () = { globals = []; funcs = []; externs = [] }
+
+let add_global m g = m.globals <- m.globals @ [ g ]
+let add_extern m e =
+  if not (List.exists (fun d -> d.ename = e.ename) m.externs) then
+    m.externs <- m.externs @ [ e ]
+
+let find_func m name = List.find_opt (fun f -> f.fname = name) m.funcs
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg ("Ir.find_func_exn: no function " ^ name)
+
+let find_extern m name = List.find_opt (fun e -> e.ename = name) m.externs
+let find_global m name = List.find_opt (fun g -> g.gname = name) m.globals
+
+let entry_block f =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg ("Ir.entry_block: empty function " ^ f.fname)
+
+let find_block f name = List.find_opt (fun b -> b.bname = name) f.blocks
+let find_block_exn f name =
+  match find_block f name with
+  | Some b -> b
+  | None -> invalid_arg ("Ir.find_block_exn: no block " ^ name ^ " in " ^ f.fname)
+
+let fresh_reg f ty =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  Hashtbl.replace f.reg_tys r ty;
+  r
+
+let reg_ty f r =
+  match Hashtbl.find_opt f.reg_tys r with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ir.reg_ty: unknown reg %%%d in %s" r f.fname)
+
+(* Type of a value in the context of function [f] within module [m]. *)
+let value_ty m f = function
+  | Const (Cint (_, t)) -> t
+  | Const (Cfloat _) -> F64
+  | Const Cnull -> Ptr
+  | Reg r -> reg_ty f r
+  | Arg i ->
+    (try snd (List.nth f.params i)
+     with _ -> invalid_arg (Printf.sprintf "Ir.value_ty: bad arg %d in %s" i f.fname))
+  | Global _ -> Ptr
+  | Funcref _ -> Ptr |> fun t -> ignore m; t
+
+let term_succs = function
+  | Br l -> [ l ]
+  | Cbr (_, l1, l2) -> [ l1; l2 ]
+  | Switch (_, d, cases) -> d :: List.map snd cases
+  | Ret _ | Unreachable -> []
+
+(* Values used by an instruction kind, in order. *)
+let instr_uses = function
+  | Binop (_, _, a, b) | Icmp (_, _, a, b) | Fcmp (_, a, b) | Ptradd (a, b) ->
+    [ a; b ]
+  | Alloca _ -> []
+  | Load (_, a) -> [ a ]
+  | Store (_, v, a) -> [ v; a ]
+  | Call (_, args) -> args
+  | Cast (_, _, _, v) -> [ v ]
+  | Select (c, a, b) -> [ c; a; b ]
+
+let term_uses = function
+  | Br _ | Unreachable -> []
+  | Cbr (c, _, _) -> [ c ]
+  | Switch (v, _, _) -> [ v ]
+  | Ret (Some v) -> [ v ]
+  | Ret None -> []
+
+(* Rewrite every value in an instruction with [fv]. *)
+let map_instr_values fv k =
+  match k with
+  | Binop (op, t, a, b) -> Binop (op, t, fv a, fv b)
+  | Icmp (op, t, a, b) -> Icmp (op, t, fv a, fv b)
+  | Fcmp (op, a, b) -> Fcmp (op, fv a, fv b)
+  | Alloca n -> Alloca n
+  | Load (t, a) -> Load (t, fv a)
+  | Store (t, v, a) -> Store (t, fv v, fv a)
+  | Ptradd (a, b) -> Ptradd (fv a, fv b)
+  | Call (f, args) -> Call (f, List.map fv args)
+  | Cast (c, t1, t2, v) -> Cast (c, t1, t2, fv v)
+  | Select (c, a, b) -> Select (fv c, fv a, fv b)
+
+let map_term_values fv = function
+  | Br l -> Br l
+  | Cbr (c, l1, l2) -> Cbr (fv c, l1, l2)
+  | Switch (v, d, cs) -> Switch (fv v, d, cs)
+  | Ret (Some v) -> Ret (Some (fv v))
+  | Ret None -> Ret None
+  | Unreachable -> Unreachable
+
+(* Names of the MUTLS source-level intrinsics inserted by front-ends.
+   The speculator pass consumes these; they must not survive into the
+   executed program (the sequential interpreter treats them as no-ops). *)
+let fork_intrinsic = "mutls.fork"
+let join_intrinsic = "mutls.join"
+let barrier_intrinsic = "mutls.barrier"
+
+let is_source_intrinsic name =
+  name = fork_intrinsic || name = join_intrinsic || name = barrier_intrinsic
+
+(* Runtime-library calls inserted by the speculator pass are ordinary
+   Call instructions whose callee starts with this prefix; the
+   interpreter dispatches them to the TLS runtime. *)
+let runtime_prefix = "MUTLS_"
+let is_runtime_call name =
+  String.length name >= 6 && String.sub name 0 6 = runtime_prefix

@@ -1,0 +1,169 @@
+(** MIR: a small SSA intermediate representation modeled on the subset
+    of LLVM IR that the MUTLS speculator pass relies on — typed loads
+    and stores, SSA registers with phi nodes, direct calls, switch
+    dispatch, and entry-block allocas.  It is deliberately language-
+    and target-neutral: both front-ends (MiniC, MiniFortran) lower to
+    it, and the interpreter executes it directly. *)
+
+(** {1 Types} *)
+
+(** Value types.  [Ptr] is an untyped byte address; [I1] is a boolean. *)
+type ty = I1 | I8 | I32 | I64 | F64 | Ptr | Void
+
+val ty_size : ty -> int
+(** Size in bytes of a value of this type ([Void] is 0). *)
+
+val ty_to_string : ty -> string
+
+(** Constants.  Integer constants carry their type; [Cnull] is the null
+    pointer. *)
+type const = Cint of int64 * ty | Cfloat of float | Cnull
+
+type reg = int
+(** SSA register id, unique within a function. *)
+
+(** Operand values. *)
+type value =
+  | Const of const
+  | Reg of reg  (** result of an instruction or phi *)
+  | Arg of int  (** function parameter, by position *)
+  | Global of string  (** address of a global definition *)
+  | Funcref of string  (** address of a function (for MUTLS_speculate) *)
+
+(** {2 Convenience constructors} *)
+
+val i64 : int -> value
+val i64' : int64 -> value
+val i32 : int -> value
+val i8 : int -> value
+val i1 : bool -> value
+val f64 : float -> value
+val null : value
+
+(** {1 Instructions} *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Ieq | Ine | Islt | Isle | Isgt | Isge
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+
+type cast =
+  | Trunc | Zext | Sext | Fptosi | Sitofp | Ptrtoint | Inttoptr | Bitcast
+
+type instr_kind =
+  | Binop of binop * ty * value * value
+  | Icmp of icmp * ty * value * value  (** result [I1]; [ty] is the operand type *)
+  | Fcmp of fcmp * value * value  (** result [I1] *)
+  | Alloca of int  (** byte size; result [Ptr]; entry block only *)
+  | Load of ty * value  (** result [ty]; the operand is an address *)
+  | Store of ty * value * value  (** stored value, address; result [Void] *)
+  | Ptradd of value * value  (** base pointer + byte offset (I64); result [Ptr] *)
+  | Call of string * value list  (** direct call *)
+  | Cast of cast * ty * ty * value  (** from-type, to-type, operand *)
+  | Select of value * value * value  (** condition, if-true, if-false *)
+
+type instr = {
+  id : reg;  (** destination register; meaningful iff [ity <> Void] *)
+  ity : ty;  (** result type *)
+  kind : instr_kind;
+}
+
+type phi = {
+  pid : reg;
+  pty : ty;
+  mutable incoming : (string * value) list;  (** predecessor label, value *)
+}
+
+type terminator =
+  | Br of string
+  | Cbr of value * string * string
+  | Switch of value * string * (int64 * string) list
+  | Ret of value option
+  | Unreachable
+
+type block = {
+  bname : string;
+  mutable phis : phi list;
+  mutable insts : instr list;
+  mutable term : terminator;
+}
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty;
+  mutable blocks : block list;  (** head = entry block *)
+  mutable next_reg : int;
+  reg_tys : (reg, ty) Hashtbl.t;
+}
+
+(** Global initializers. *)
+type ginit =
+  | Zero
+  | Bytes_init of string
+  | Words_init of int64 array
+  | Floats_init of float array
+
+type gdef = { gname : string; gsize : int; ginit : ginit }
+
+type edecl = { ename : string; eret : ty; eparams : ty list }
+(** External function declaration. *)
+
+type modul = {
+  mutable globals : gdef list;
+  mutable funcs : func list;
+  mutable externs : edecl list;
+}
+
+(** {1 Module and function accessors} *)
+
+val create_module : unit -> modul
+val add_global : modul -> gdef -> unit
+
+val add_extern : modul -> edecl -> unit
+(** Idempotent: re-adding a declaration with the same name is a no-op. *)
+
+val find_func : modul -> string -> func option
+val find_func_exn : modul -> string -> func
+val find_extern : modul -> string -> edecl option
+val find_global : modul -> string -> gdef option
+
+val entry_block : func -> block
+(** @raise Invalid_argument on an empty function. *)
+
+val find_block : func -> string -> block option
+val find_block_exn : func -> string -> block
+
+val fresh_reg : func -> ty -> reg
+(** Allocate a new SSA register of the given type. *)
+
+val reg_ty : func -> reg -> ty
+val value_ty : modul -> func -> value -> ty
+
+(** {1 Structural helpers} *)
+
+val term_succs : terminator -> string list
+val instr_uses : instr_kind -> value list
+val term_uses : terminator -> value list
+
+val map_instr_values : (value -> value) -> instr_kind -> instr_kind
+(** Rewrite every operand of an instruction. *)
+
+val map_term_values : (value -> value) -> terminator -> terminator
+
+(** {1 MUTLS intrinsics}
+
+    Front-ends lower the paper's [__builtin_MUTLS_*] builtins to calls
+    of these names; the speculator pass consumes them.  Calls whose
+    callee starts with ["MUTLS_"] are runtime-library calls inserted by
+    the pass and dispatched by the interpreter. *)
+
+val fork_intrinsic : string
+val join_intrinsic : string
+val barrier_intrinsic : string
+val is_source_intrinsic : string -> bool
+val runtime_prefix : string
+val is_runtime_call : string -> bool

@@ -1,0 +1,101 @@
+(* Per-block liveness of SSA registers.  The speculator pass needs the
+   set of local (register) variables live at the beginning of each
+   synchronization block to decide what to save/restore across the
+   speculative/non-speculative boundary (paper §IV-C step 4). *)
+
+open Ir
+module IntSet = Set.Make (Int)
+
+type t = {
+  live_in : (string, IntSet.t) Hashtbl.t;
+  live_out : (string, IntSet.t) Hashtbl.t;
+}
+
+let regs_of_values vs =
+  List.fold_left
+    (fun acc v -> match v with Reg r -> IntSet.add r acc | _ -> acc)
+    IntSet.empty vs
+
+let compute (f : func) =
+  let cfg = Cfg.of_func f in
+  let nb = Cfg.nblocks cfg in
+  (* gen = upward-exposed register uses; kill = registers defined. *)
+  let gen = Array.make nb IntSet.empty in
+  let kill = Array.make nb IntSet.empty in
+  let phi_defs = Array.make nb IntSet.empty in
+  Array.iteri
+    (fun bi b ->
+      let defined = ref IntSet.empty in
+      List.iter
+        (fun p ->
+          defined := IntSet.add p.pid !defined;
+          phi_defs.(bi) <- IntSet.add p.pid phi_defs.(bi))
+        b.phis;
+      List.iter
+        (fun i ->
+          let uses = regs_of_values (instr_uses i.kind) in
+          gen.(bi) <- IntSet.union gen.(bi) (IntSet.diff uses !defined);
+          if i.ity <> Void then defined := IntSet.add i.id !defined)
+        b.insts;
+      let tuses = regs_of_values (term_uses b.term) in
+      gen.(bi) <- IntSet.union gen.(bi) (IntSet.diff tuses !defined);
+      kill.(bi) <- !defined)
+    cfg.Cfg.blocks;
+  (* A phi's incoming value is live at the end of the corresponding
+     predecessor, not at the head of the phi's own block. *)
+  let phi_uses_from = Array.make nb IntSet.empty in
+  (* phi_uses_from.(pred) = regs consumed by any successor's phis via pred *)
+  Array.iteri
+    (fun _bi b ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun (pred_label, v) ->
+              match v with
+              | Reg r ->
+                let pi = Cfg.block_index cfg pred_label in
+                phi_uses_from.(pi) <- IntSet.add r phi_uses_from.(pi)
+              | _ -> ())
+            p.incoming)
+        b.phis)
+    cfg.Cfg.blocks;
+  let live_in = Array.make nb IntSet.empty in
+  let live_out = Array.make nb IntSet.empty in
+  let changed = ref true in
+  let order = Cfg.postorder cfg in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bi ->
+        let out =
+          List.fold_left
+            (fun acc si ->
+              IntSet.union acc (IntSet.diff live_in.(si) phi_defs.(si)))
+            phi_uses_from.(bi) cfg.Cfg.succs.(bi)
+        in
+        let inn = IntSet.union gen.(bi) (IntSet.diff out kill.(bi)) in
+        if not (IntSet.equal out live_out.(bi) && IntSet.equal inn live_in.(bi))
+        then begin
+          live_out.(bi) <- out;
+          live_in.(bi) <- inn;
+          changed := true
+        end)
+      order
+  done;
+  let tin = Hashtbl.create nb and tout = Hashtbl.create nb in
+  Array.iteri
+    (fun bi b ->
+      Hashtbl.replace tin b.bname live_in.(bi);
+      Hashtbl.replace tout b.bname live_out.(bi))
+    cfg.Cfg.blocks;
+  { live_in = tin; live_out = tout }
+
+let live_in t label =
+  match Hashtbl.find_opt t.live_in label with
+  | Some s -> s
+  | None -> IntSet.empty
+
+let live_out t label =
+  match Hashtbl.find_opt t.live_out label with
+  | Some s -> s
+  | None -> IntSet.empty

@@ -1,0 +1,15 @@
+(** Per-block liveness of SSA registers.  The speculator pass needs
+    the set of locals live at the beginning of each synchronization
+    block (paper IV-C step 4) to decide what to save and restore
+    across the speculative/non-speculative boundary. *)
+
+module IntSet : Set.S with type elt = int
+
+type t
+
+val compute : Ir.func -> t
+(** Backward dataflow; a phi's incoming value is live at the end of the
+    corresponding predecessor, not at the head of the phi's block. *)
+
+val live_in : t -> string -> IntSet.t
+val live_out : t -> string -> IntSet.t

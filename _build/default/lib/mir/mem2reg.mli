@@ -1,0 +1,14 @@
+(** Promotion of entry-block allocas to SSA registers (LLVM's mem2reg)
+    with {e pruned} phi placement: a phi is only inserted where the
+    variable is live-in.  Pruning matters beyond code size — the
+    speculator pass derives its save/validate sets from liveness of the
+    demoted slots, and dead phis would make dead variables look live at
+    synchronization blocks, causing systematic misprediction
+    rollbacks.
+
+    An alloca is promoted when it is scalar-sized (1, 4 or 8 bytes),
+    accessed with a single uniform type, and its address never escapes
+    (no ptradd, call argument, store of the address, or cast). *)
+
+val run : Ir.func -> unit
+val run_module : Ir.modul -> unit

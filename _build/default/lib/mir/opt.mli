@@ -1,0 +1,18 @@
+(** Classic scalar optimizations over MIR: constant folding with
+    algebraic simplification, dead code elimination, and CFG
+    simplification (constant branches, unreachable-block removal,
+    linear block merging).  Optional in the MUTLS pipeline
+    ([mutlsc -O]); the paper's LLVM context runs the equivalents before
+    the speculator pass. *)
+
+val fold_once : Ir.func -> bool
+(** One constant-folding sweep; true if anything changed. *)
+
+val dce_once : Ir.func -> bool
+val simplify_cfg_once : Ir.func -> bool
+
+val run_func : Ir.func -> unit
+(** Iterate the three passes to a fixpoint (bounded). *)
+
+val run_module : Ir.modul -> unit
+(** Optimize every function and re-verify the module. *)

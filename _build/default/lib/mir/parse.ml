@@ -1,0 +1,417 @@
+(* Parser for the textual MIR form emitted by {!Printer}: the two
+   round-trip (print -> parse -> print is the identity on verified
+   modules), so IR dumps can be edited and re-run through mutlsc. *)
+
+open Ir
+
+exception Error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Small string scanners                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ty_of_string ln = function
+  | "i1" -> I1
+  | "i8" -> I8
+  | "i32" -> I32
+  | "i64" -> I64
+  | "f64" -> F64
+  | "ptr" -> Ptr
+  | "void" -> Void
+  | s -> fail ln "unknown type %s" s
+
+let binop_of_string = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "sdiv" -> Some Sdiv | "srem" -> Some Srem
+  | "and" -> Some And | "or" -> Some Or | "xor" -> Some Xor
+  | "shl" -> Some Shl | "lshr" -> Some Lshr | "ashr" -> Some Ashr
+  | "fadd" -> Some Fadd | "fsub" -> Some Fsub | "fmul" -> Some Fmul
+  | "fdiv" -> Some Fdiv
+  | _ -> None
+
+let icmp_of_string ln = function
+  | "eq" -> Ieq | "ne" -> Ine | "slt" -> Islt | "sle" -> Isle
+  | "sgt" -> Isgt | "sge" -> Isge
+  | s -> fail ln "unknown icmp predicate %s" s
+
+let fcmp_of_string ln = function
+  | "feq" -> Feq | "fne" -> Fne | "flt" -> Flt | "fle" -> Fle
+  | "fgt" -> Fgt | "fge" -> Fge
+  | s -> fail ln "unknown fcmp predicate %s" s
+
+let cast_of_string = function
+  | "trunc" -> Some Trunc | "zext" -> Some Zext | "sext" -> Some Sext
+  | "fptosi" -> Some Fptosi | "sitofp" -> Some Sitofp
+  | "ptrtoint" -> Some Ptrtoint | "inttoptr" -> Some Inttoptr
+  | "bitcast" -> Some Bitcast
+  | _ -> None
+
+(* Split on top-level ", " (no nesting in this format). *)
+let split_commas s =
+  if String.trim s = "" then []
+  else String.split_on_char ',' s |> List.map String.trim
+
+let value_of_string ln s =
+  let s = String.trim s in
+  if s = "null" then Const Cnull
+  else if String.length s > 4 && String.sub s 0 4 = "%arg" then
+    Arg (int_of_string (String.sub s 4 (String.length s - 4)))
+  else if String.length s > 1 && s.[0] = '%' then
+    Reg (int_of_string (String.sub s 1 (String.length s - 1)))
+  else if String.length s > 4 && String.sub s 0 4 = "@fn:" then
+    Funcref (String.sub s 4 (String.length s - 4))
+  else if String.length s > 1 && s.[0] = '@' then
+    Global (String.sub s 1 (String.length s - 1))
+  else
+    match String.index_opt s ':' with
+    | Some i ->
+      let n = Int64.of_string (String.sub s 0 i) in
+      let t = ty_of_string ln (String.sub s (i + 1) (String.length s - i - 1)) in
+      Const (Cint (n, t))
+    | None -> (
+      try Const (Cfloat (float_of_string s))
+      with _ -> fail ln "malformed value %S" s)
+
+(* ------------------------------------------------------------------ *)
+(* Line-level parsing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* "call @name(a, b)" -> name, "a, b" *)
+let split_call ln s =
+  match (String.index_opt s '(', String.rindex_opt s ')') with
+  | Some o, Some c when c > o ->
+    let name = String.trim (String.sub s 0 o) in
+    (name, String.sub s (o + 1) (c - o - 1))
+  | _ -> fail ln "malformed call %S" s
+
+let parse_instr_rhs ln (rhs : string) : instr_kind =
+  let v = value_of_string ln in
+  match words rhs with
+  | "icmp" :: pred :: ty :: rest ->
+    let ops = split_commas (String.concat " " rest) in
+    (match ops with
+    | [ a; b ] -> Icmp (icmp_of_string ln pred, ty_of_string ln ty, v a, v b)
+    | _ -> fail ln "icmp arity")
+  | "fcmp" :: pred :: rest -> (
+    match split_commas (String.concat " " rest) with
+    | [ a; b ] -> Fcmp (fcmp_of_string ln pred, v a, v b)
+    | _ -> fail ln "fcmp arity")
+  | [ "alloca"; n ] -> Alloca (int_of_string n)
+  | "load" :: ty :: rest -> (
+    (* "load ty, addr" — the comma may stick to the type *)
+    let ty = if String.length ty > 0 && ty.[String.length ty - 1] = ',' then
+        String.sub ty 0 (String.length ty - 1) else ty in
+    match split_commas (String.concat " " rest) with
+    | [ a ] -> Load (ty_of_string ln ty, v a)
+    | _ -> fail ln "load arity")
+  | "store" :: ty :: rest -> (
+    match split_commas (String.concat " " rest) with
+    | [ x; a ] -> Store (ty_of_string ln ty, v x, v a)
+    | _ -> fail ln "store arity")
+  | "ptradd" :: rest -> (
+    match split_commas (String.concat " " rest) with
+    | [ a; o ] -> Ptradd (v a, v o)
+    | _ -> fail ln "ptradd arity")
+  | "select" :: rest -> (
+    match split_commas (String.concat " " rest) with
+    | [ c; a; b ] -> Select (v c, v a, v b)
+    | _ -> fail ln "select arity")
+  | "call" :: _ ->
+    let callee, args = split_call ln rhs in
+    let name =
+      match words callee with
+      | [ "call"; n ] when String.length n > 1 && n.[0] = '@' ->
+        String.sub n 1 (String.length n - 1)
+      | _ -> fail ln "malformed call head %S" callee
+    in
+    Call (name, List.map v (split_commas args))
+  | op :: ty :: rest when binop_of_string op <> None -> (
+    match split_commas (String.concat " " rest) with
+    | [ a; b ] ->
+      Binop (Option.get (binop_of_string op), ty_of_string ln ty, v a, v b)
+    | _ -> fail ln "binop arity")
+  | op :: t1 :: rest when cast_of_string op <> None -> (
+    (* "<cast> t1 v to t2" *)
+    match rest with
+    | [ x; "to"; t2 ] ->
+      Cast (Option.get (cast_of_string op), ty_of_string ln t1,
+            ty_of_string ln t2, v x)
+    | _ -> fail ln "cast shape")
+  | _ -> fail ln "unrecognised instruction %S" rhs
+
+let parse_term ln (s : string) : terminator =
+  let v = value_of_string ln in
+  match words s with
+  | [ "br"; l ] -> Br l
+  | "cbr" :: rest -> (
+    match split_commas (String.concat " " rest) with
+    | [ c; l1; l2 ] -> Cbr (v c, l1, l2)
+    | _ -> fail ln "cbr arity")
+  | [ "ret"; "void" ] -> Ret None
+  | "ret" :: rest -> Ret (Some (v (String.concat " " rest)))
+  | [ "unreachable" ] -> Unreachable
+  | "switch" :: _ -> (
+    (* switch V, default D [n -> l; ...] *)
+    match (String.index_opt s '[', String.rindex_opt s ']') with
+    | Some o, Some c ->
+      let head = String.sub s 0 o in
+      let body = String.sub s (o + 1) (c - o - 1) in
+      let value, default =
+        match split_commas (String.sub head 6 (String.length head - 6)) with
+        | [ x; d ] -> (
+          match words d with
+          | [ "default"; dl ] -> (v x, dl)
+          | _ -> fail ln "switch default")
+        | _ -> fail ln "switch head"
+      in
+      let cases =
+        String.split_on_char ';' body
+        |> List.filter (fun p -> String.trim p <> "")
+        |> List.map (fun p ->
+               match words p with
+               | [ n; "->"; l ] -> (Int64.of_string n, l)
+               | _ -> fail ln "switch case %S" p)
+      in
+      Switch (value, default, cases)
+    | _ -> fail ln "switch shape")
+  | _ -> fail ln "unrecognised terminator %S" s
+
+(* "%5 = phi i64 [%3, a], [0:i64, b]" *)
+let parse_phi ln (lhs : reg) (rhs : string) : phi =
+  match words rhs with
+  | "phi" :: ty :: rest ->
+    let pty = ty_of_string ln ty in
+    let body = String.concat " " rest in
+    (* split "[v, l], [v, l]" on "], " *)
+    let parts =
+      String.split_on_char '[' body
+      |> List.filter_map (fun p ->
+             let p = String.trim p in
+             if p = "" then None
+             else
+               let p =
+                 match String.index_opt p ']' with
+                 | Some i -> String.sub p 0 i
+                 | None -> fail ln "phi incoming %S" p
+               in
+               match split_commas p with
+               | [ v; l ] -> Some (l, value_of_string ln v)
+               | _ -> fail ln "phi incoming %S" p)
+    in
+    { pid = lhs; pty; incoming = parts }
+  | _ -> fail ln "malformed phi %S" rhs
+
+(* ------------------------------------------------------------------ *)
+(* Module-level parsing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ginit ln (s : string) =
+  match words s with
+  | [] -> Zero
+  | "words" :: ws -> Words_init (Array.of_list (List.map Int64.of_string ws))
+  | "floats" :: fs -> Floats_init (Array.of_list (List.map float_of_string fs))
+  | [ "bytes"; hex ] ->
+    let n = String.length hex / 2 in
+    Bytes_init
+      (String.init n (fun i ->
+           Char.chr (int_of_string ("0x" ^ String.sub hex (2 * i) 2))))
+  | _ -> fail ln "malformed global initializer %S" s
+
+let parse (src : string) : modul =
+  let m = create_module () in
+  let lines = String.split_on_char '\n' src in
+  let cur_func : func option ref = ref None in
+  let cur_block : block option ref = ref None in
+  let finish_func () =
+    (match !cur_func with
+    | Some f ->
+      (* reconstruct next_reg *)
+      let maxr = ref (-1) in
+      List.iter
+        (fun b ->
+          List.iter (fun p -> if p.pid > !maxr then maxr := p.pid) b.phis;
+          List.iter (fun i -> if i.id > !maxr then maxr := i.id) b.insts)
+        f.blocks;
+      f.next_reg <- !maxr + 1
+    | None -> ());
+    cur_func := None;
+    cur_block := None
+  in
+  List.iteri
+    (fun idx raw ->
+      let ln = idx + 1 in
+      let line = String.trim raw in
+      if line = "" then ()
+      else if String.length line > 7 && String.sub line 0 7 = "global " then begin
+        (* global @name [N bytes][ = init] *)
+        match (String.index_opt line '[', String.index_opt line ']') with
+        | Some o, Some c ->
+          let name =
+            match words (String.sub line 7 (o - 7)) with
+            | [ n ] when n.[0] = '@' -> String.sub n 1 (String.length n - 1)
+            | _ -> fail ln "malformed global name"
+          in
+          let size =
+            match words (String.sub line (o + 1) (c - o - 1)) with
+            | [ n; "bytes" ] -> int_of_string n
+            | _ -> fail ln "malformed global size"
+          in
+          let init =
+            let rest = String.trim (String.sub line (c + 1) (String.length line - c - 1)) in
+            if rest = "" then Zero
+            else if String.length rest > 1 && rest.[0] = '=' then
+              parse_ginit ln (String.trim (String.sub rest 1 (String.length rest - 1)))
+            else fail ln "malformed global tail %S" rest
+          in
+          add_global m { gname = name; gsize = size; ginit = init }
+        | _ -> fail ln "malformed global"
+      end
+      else if String.length line > 8 && String.sub line 0 8 = "declare " then begin
+        let head, args = split_call ln line in
+        match words head with
+        | [ "declare"; ret; n ] when n.[0] = '@' ->
+          add_extern m
+            { ename = String.sub n 1 (String.length n - 1);
+              eret = ty_of_string ln ret;
+              eparams = List.map (ty_of_string ln) (split_commas args) }
+        | _ -> fail ln "malformed declare"
+      end
+      else if String.length line > 7 && String.sub line 0 7 = "define " then begin
+        finish_func ();
+        let head, args = split_call ln line in
+        match words head with
+        | [ "define"; ret; n ] when n.[0] = '@' ->
+          let params =
+            split_commas args
+            |> List.map (fun p ->
+                   (* "%argK name:ty" *)
+                   match words p with
+                   | [ _; nt ] -> (
+                     match String.index_opt nt ':' with
+                     | Some i ->
+                       ( String.sub nt 0 i,
+                         ty_of_string ln
+                           (String.sub nt (i + 1) (String.length nt - i - 1)) )
+                     | None -> fail ln "malformed parameter %S" p)
+                   | _ -> fail ln "malformed parameter %S" p)
+          in
+          let f =
+            { fname = String.sub n 1 (String.length n - 1);
+              params;
+              ret = ty_of_string ln ret;
+              blocks = [];
+              next_reg = 0;
+              reg_tys = Hashtbl.create 32 }
+          in
+          m.funcs <- m.funcs @ [ f ];
+          cur_func := Some f
+        | _ -> fail ln "malformed define"
+      end
+      else if line = "}" then finish_func ()
+      else if String.length line > 1 && line.[String.length line - 1] = ':' then begin
+        match !cur_func with
+        | None -> fail ln "block label outside a function"
+        | Some f ->
+          let b =
+            { bname = String.sub line 0 (String.length line - 1);
+              phis = []; insts = []; term = Unreachable }
+          in
+          f.blocks <- f.blocks @ [ b ];
+          cur_block := Some b
+      end
+      else begin
+        match (!cur_func, !cur_block) with
+        | Some f, Some b -> (
+          (* "%N = rhs" | instruction | terminator *)
+          let lhs, rhs =
+            if String.length line > 1 && line.[0] = '%' then
+              match String.index_opt line '=' with
+              | Some i
+                when (* avoid matching "==" — not produced by the printer *)
+                     i + 1 < String.length line && line.[i + 1] = ' ' ->
+                let l = String.trim (String.sub line 0 i) in
+                let r = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+                (Some (int_of_string (String.sub l 1 (String.length l - 1))), r)
+              | _ -> (None, line)
+            else (None, line)
+          in
+          match (lhs, words rhs) with
+          | Some r, "phi" :: _ ->
+            let p = parse_phi ln r rhs in
+            Hashtbl.replace f.reg_tys r p.pty;
+            b.phis <- b.phis @ [ p ]
+          | Some r, _ ->
+            let kind = parse_instr_rhs ln rhs in
+            (* result type: recover from the instruction shape *)
+            let ity =
+              match kind with
+              | Binop (_, t, _, _) -> t
+              | Icmp _ | Fcmp _ -> I1
+              | Alloca _ | Ptradd _ -> Ptr
+              | Load (t, _) -> t
+              | Cast (_, _, t, _) -> t
+              | Select (_, a, _) -> (
+                (* infer from an operand we can type *)
+                match a with
+                | Const (Cint (_, t)) -> t
+                | Const (Cfloat _) -> F64
+                | Const Cnull | Global _ | Funcref _ -> Ptr
+                | Reg rr -> (
+                  match Hashtbl.find_opt f.reg_tys rr with
+                  | Some t -> t
+                  | None -> fail ln "cannot type select result")
+                | Arg i -> snd (List.nth f.params i))
+              | Call (name, _) -> (
+                (* known at the end of the module; for runtime calls use
+                   a suffix heuristic matching the pass conventions *)
+                match find_func m name with
+                | Some callee -> callee.ret
+                | None -> (
+                  match find_extern m name with
+                  | Some e -> e.eret
+                  | None ->
+                    if Filename.check_suffix name "_f64" then F64
+                    else if Filename.check_suffix name "_ptr" then Ptr
+                    else I64))
+              | Store _ -> Void
+            in
+            Hashtbl.replace f.reg_tys r ity;
+            b.insts <- b.insts @ [ { id = r; ity; kind } ]
+          | None, _ -> (
+            (* a terminator or a void instruction *)
+            match words rhs with
+            | ("br" | "cbr" | "ret" | "switch" | "unreachable") :: _ ->
+              b.term <- parse_term ln rhs
+            | _ ->
+              b.insts <- b.insts @ [ { id = -1; ity = Void; kind = parse_instr_rhs ln rhs } ]))
+        | _ -> fail ln "statement outside a function body: %S" line
+      end)
+    lines;
+  finish_func ();
+  (* Second phase: calls parsed before their callee's definition were
+     typed by heuristic; now every function is known, fix them up. *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          b.insts <-
+            List.map
+              (fun i ->
+                match i.kind with
+                | Call (name, _) when i.ity <> Void -> (
+                  match find_func m name with
+                  | Some callee when callee.ret <> i.ity && callee.ret <> Void ->
+                    Hashtbl.replace f.reg_tys i.id callee.ret;
+                    { i with ity = callee.ret }
+                  | _ -> i)
+                | _ -> i)
+              b.insts)
+        f.blocks)
+    m.funcs;
+  m

@@ -1,0 +1,9 @@
+(** Parser for the textual MIR form emitted by {!Printer}; the two
+    round-trip (print -> parse -> print is the identity on verified
+    modules), so IR dumps can be edited and fed back through mutlsc. *)
+
+exception Error of string
+
+val parse : string -> Ir.modul
+(** @raise Error with a line-numbered message on malformed input.  The
+    result is not implicitly verified — run {!Verify.check_module}. *)

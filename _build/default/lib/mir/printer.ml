@@ -1,0 +1,131 @@
+(* Human-readable textual form of MIR, LLVM-flavoured. Used by the
+   `mutlsc --dump-ir` CLI and by tests that snapshot pass output. *)
+
+open Ir
+
+let const_to_string = function
+  | Cint (n, t) -> Printf.sprintf "%Ld:%s" n (ty_to_string t)
+  | Cfloat x ->
+    (* prefer the readable form when it is exact, hex-floats otherwise *)
+    let g = Printf.sprintf "%g" x in
+    if float_of_string g = x then g else Printf.sprintf "%h" x
+  | Cnull -> "null" 
+
+let value_to_string = function
+  | Const c -> const_to_string c
+  | Reg r -> Printf.sprintf "%%%d" r
+  | Arg i -> Printf.sprintf "%%arg%d" i
+  | Global g -> "@" ^ g
+  | Funcref f -> "@fn:" ^ f
+
+let binop_to_string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv" | Srem -> "srem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let icmp_to_string = function
+  | Ieq -> "eq" | Ine -> "ne" | Islt -> "slt" | Isle -> "sle"
+  | Isgt -> "sgt" | Isge -> "sge"
+
+let fcmp_to_string = function
+  | Feq -> "feq" | Fne -> "fne" | Flt -> "flt" | Fle -> "fle"
+  | Fgt -> "fgt" | Fge -> "fge"
+
+let cast_to_string = function
+  | Trunc -> "trunc" | Zext -> "zext" | Sext -> "sext"
+  | Fptosi -> "fptosi" | Sitofp -> "sitofp"
+  | Ptrtoint -> "ptrtoint" | Inttoptr -> "inttoptr" | Bitcast -> "bitcast"
+
+let instr_to_string i =
+  let v = value_to_string in
+  let lhs = if i.ity = Void then "" else Printf.sprintf "%%%d = " i.id in
+  let rhs =
+    match i.kind with
+    | Binop (op, t, a, b) ->
+      Printf.sprintf "%s %s %s, %s" (binop_to_string op) (ty_to_string t) (v a) (v b)
+    | Icmp (op, t, a, b) ->
+      Printf.sprintf "icmp %s %s %s, %s" (icmp_to_string op) (ty_to_string t) (v a) (v b)
+    | Fcmp (op, a, b) -> Printf.sprintf "fcmp %s %s, %s" (fcmp_to_string op) (v a) (v b)
+    | Alloca n -> Printf.sprintf "alloca %d" n
+    | Load (t, a) -> Printf.sprintf "load %s, %s" (ty_to_string t) (v a)
+    | Store (t, x, a) -> Printf.sprintf "store %s %s, %s" (ty_to_string t) (v x) (v a)
+    | Ptradd (a, o) -> Printf.sprintf "ptradd %s, %s" (v a) (v o)
+    | Call (f, args) ->
+      Printf.sprintf "call @%s(%s)" f (String.concat ", " (List.map v args))
+    | Cast (c, t1, t2, x) ->
+      Printf.sprintf "%s %s %s to %s" (cast_to_string c) (ty_to_string t1) (v x)
+        (ty_to_string t2)
+    | Select (c, a, b) -> Printf.sprintf "select %s, %s, %s" (v c) (v a) (v b)
+  in
+  lhs ^ rhs
+
+let term_to_string t =
+  let v = value_to_string in
+  match t with
+  | Br l -> "br " ^ l
+  | Cbr (c, l1, l2) -> Printf.sprintf "cbr %s, %s, %s" (v c) l1 l2
+  | Switch (x, d, cases) ->
+    let cs =
+      List.map (fun (n, l) -> Printf.sprintf "%Ld -> %s" n l) cases
+      |> String.concat "; "
+    in
+    Printf.sprintf "switch %s, default %s [%s]" (v x) d cs
+  | Ret (Some x) -> "ret " ^ v x
+  | Ret None -> "ret void"
+  | Unreachable -> "unreachable"
+
+let phi_to_string p =
+  let inc =
+    List.map (fun (l, x) -> Printf.sprintf "[%s, %s]" (value_to_string x) l) p.incoming
+    |> String.concat ", "
+  in
+  Printf.sprintf "%%%d = phi %s %s" p.pid (ty_to_string p.pty) inc
+
+let block_to_buffer buf b =
+  Buffer.add_string buf (b.bname ^ ":\n");
+  List.iter (fun p -> Buffer.add_string buf ("  " ^ phi_to_string p ^ "\n")) b.phis;
+  List.iter (fun i -> Buffer.add_string buf ("  " ^ instr_to_string i ^ "\n")) b.insts;
+  Buffer.add_string buf ("  " ^ term_to_string b.term ^ "\n")
+
+let func_to_string f =
+  let buf = Buffer.create 1024 in
+  let params =
+    List.mapi (fun i (n, t) -> Printf.sprintf "%%arg%d %s:%s" i n (ty_to_string t)) f.params
+    |> String.concat ", "
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "define %s @%s(%s) {\n" (ty_to_string f.ret) f.fname params);
+  List.iter (fun b -> block_to_buffer buf b) f.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let ginit_to_string = function
+  | Zero -> ""
+  | Words_init ws ->
+    " = words "
+    ^ String.concat " " (Array.to_list (Array.map Int64.to_string ws))
+  | Floats_init fs ->
+    " = floats "
+    ^ String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") fs))
+  | Bytes_init s ->
+    " = bytes "
+    ^ String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+        (List.of_seq (String.to_seq s)))
+
+let module_to_string m =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "global @%s [%d bytes]%s\n" g.gname g.gsize
+           (ginit_to_string g.ginit)))
+    m.globals;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "declare %s @%s(%s)\n" (ty_to_string e.eret) e.ename
+           (String.concat ", " (List.map ty_to_string e.eparams))))
+    m.externs;
+  List.iter (fun f -> Buffer.add_string buf ("\n" ^ func_to_string f)) m.funcs;
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Human-readable textual form of MIR, LLVM-flavoured.  Used by
+    [mutlsc dump] and by tests that snapshot pass output. *)
+
+val value_to_string : Ir.value -> string
+val instr_to_string : Ir.instr -> string
+val term_to_string : Ir.terminator -> string
+val phi_to_string : Ir.phi -> string
+val ginit_to_string : Ir.ginit -> string
+val func_to_string : Ir.func -> string
+val module_to_string : Ir.modul -> string

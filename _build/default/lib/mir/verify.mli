@@ -1,0 +1,13 @@
+(** Structural and SSA well-formedness checks: single assignment,
+    defs dominate uses, phi incoming lists match predecessors exactly,
+    operand and result types, allocas confined to the entry block,
+    branch targets and callees resolve.  Run after every front-end and
+    after the speculator pass; a failure indicates a compiler bug. *)
+
+exception Invalid of string
+
+val check_func : Ir.modul -> Ir.func -> unit
+(** @raise Invalid with a precise location message. *)
+
+val check_module : Ir.modul -> unit
+val check_module_result : Ir.modul -> (unit, string) result

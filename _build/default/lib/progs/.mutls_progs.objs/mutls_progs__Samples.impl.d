@@ -1,0 +1,1 @@
+lib/progs/samples.ml: Builder Int64 Ir List Mutls_interp Mutls_mir

@@ -1,0 +1,1 @@
+lib/progs/samples.mli: Mutls_mir

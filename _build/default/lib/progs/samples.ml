@@ -1,0 +1,114 @@
+(* Small hand-built MIR programs used by tests, the debugger binary and
+   the quickstart example.  They exercise the speculator pass without
+   going through a front-end. *)
+
+open Mutls_mir
+
+(* The paper's Figure-1 shape: the parent executes S1 while a
+   speculative thread executes S2 from the join point.
+
+     @data : n i64 cells
+     work():            main():
+       fork(0, model)     call work()
+       S1: data[i] = 3*i+1  for i in [0, n/2)
+       join(0)              ret sum((i+1)*data[i])
+       S2: data[i] = 7*i+1  for i in [n/2, n)
+       ret *)
+let figure1 ?(n = 64) ?(model = 0) () =
+  let open Builder in
+  let m = Ir.create_module () in
+  Ir.add_global m { Ir.gname = "data"; gsize = 8 * n; ginit = Ir.Zero };
+  let b = create m ~name:"work" ~params:[] ~ret:Ir.Void in
+  let entry = add_block b "entry" in
+  let s1 = add_block b "s1.loop" in
+  let s1body = add_block b "s1.body" in
+  let joinpt = add_block b "joinpt" in
+  let s2 = add_block b "s2.loop" in
+  let s2body = add_block b "s2.body" in
+  let done_ = add_block b "done" in
+  position b entry;
+  mutls_fork b ~point:0 ~model;
+  br b s1.Ir.bname;
+  position b s1;
+  let i1 = phi b Ir.I64 [ (entry.Ir.bname, Ir.i64 0); (s1body.Ir.bname, Ir.i64 0) ] in
+  let c1 = icmp b Ir.Islt Ir.I64 i1 (Ir.i64 (n / 2)) in
+  cbr b c1 s1body.Ir.bname joinpt.Ir.bname;
+  position b s1body;
+  let v1 = add_ b (mul_ b i1 (Ir.i64 3)) (Ir.i64 1) in
+  let addr1 = ptradd b (Ir.Global "data") (mul_ b i1 (Ir.i64 8)) in
+  store b Ir.I64 v1 addr1;
+  let i1' = add_ b i1 (Ir.i64 1) in
+  (match s1.Ir.phis with
+  | [ p ] ->
+    p.Ir.incoming <-
+      List.map
+        (fun (l, v) -> if l = s1body.Ir.bname then (l, i1') else (l, v))
+        p.Ir.incoming
+  | _ -> assert false);
+  br b s1.Ir.bname;
+  position b joinpt;
+  mutls_join b ~point:0;
+  br b s2.Ir.bname;
+  position b s2;
+  let i2 =
+    phi b Ir.I64
+      [ (joinpt.Ir.bname, Ir.i64 (n / 2)); (s2body.Ir.bname, Ir.i64 0) ]
+  in
+  let c2 = icmp b Ir.Islt Ir.I64 i2 (Ir.i64 n) in
+  cbr b c2 s2body.Ir.bname done_.Ir.bname;
+  position b s2body;
+  let v2 = add_ b (mul_ b i2 (Ir.i64 7)) (Ir.i64 1) in
+  let addr2 = ptradd b (Ir.Global "data") (mul_ b i2 (Ir.i64 8)) in
+  store b Ir.I64 v2 addr2;
+  let i2' = add_ b i2 (Ir.i64 1) in
+  (match s2.Ir.phis with
+  | [ p ] ->
+    p.Ir.incoming <-
+      List.map
+        (fun (l, v) -> if l = s2body.Ir.bname then (l, i2') else (l, v))
+        p.Ir.incoming
+  | _ -> assert false);
+  br b s2.Ir.bname;
+  position b done_;
+  ret b None;
+  let b = create m ~name:"main" ~params:[] ~ret:Ir.I64 in
+  let entry = add_block b "entry" in
+  let loop = add_block b "loop" in
+  let body = add_block b "body" in
+  let fin = add_block b "fin" in
+  position b entry;
+  ignore (call b ~ret:Ir.Void "work" []);
+  br b loop.Ir.bname;
+  position b loop;
+  let i = phi b Ir.I64 [ (entry.Ir.bname, Ir.i64 0); (body.Ir.bname, Ir.i64 0) ] in
+  let acc = phi b Ir.I64 [ (entry.Ir.bname, Ir.i64 0); (body.Ir.bname, Ir.i64 0) ] in
+  let c = icmp b Ir.Islt Ir.I64 i (Ir.i64 n) in
+  cbr b c body.Ir.bname fin.Ir.bname;
+  position b body;
+  let addr = ptradd b (Ir.Global "data") (mul_ b i (Ir.i64 8)) in
+  let v = load b Ir.I64 addr in
+  let acc' = add_ b acc (mul_ b v (add_ b i (Ir.i64 1))) in
+  let i' = add_ b i (Ir.i64 1) in
+  (match loop.Ir.phis with
+  | [ pi; pa ] ->
+    pi.Ir.incoming <-
+      List.map (fun (l, v) -> if l = body.Ir.bname then (l, i') else (l, v))
+        pi.Ir.incoming;
+    pa.Ir.incoming <-
+      List.map (fun (l, v) -> if l = body.Ir.bname then (l, acc') else (l, v))
+        pa.Ir.incoming
+  | _ -> assert false);
+  br b loop.Ir.bname;
+  position b fin;
+  ret b (Some acc);
+  List.iter (Ir.add_extern m) Mutls_interp.Externs.declarations;
+  m
+
+(* Expected checksum of [figure1]. *)
+let figure1_expected ?(n = 64) () =
+  let acc = ref 0L in
+  for i = 0 to n - 1 do
+    let v = if i < n / 2 then (3 * i) + 1 else (7 * i) + 1 in
+    acc := Int64.add !acc (Int64.of_int (v * (i + 1)))
+  done;
+  !acc

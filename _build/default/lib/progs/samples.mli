@@ -1,0 +1,11 @@
+(** Hand-built MIR sample programs used by tests, the debug binary and
+    the quickstart example: they exercise the speculator pass without
+    going through a front-end. *)
+
+val figure1 : ?n:int -> ?model:int -> unit -> Mutls_mir.Ir.modul
+(** The paper's Figure-1 shape: the parent executes S1 while a
+    speculative thread executes S2 from the join point; main sums a
+    checksum over the results. *)
+
+val figure1_expected : ?n:int -> unit -> int64
+(** The checksum [figure1]'s main returns. *)

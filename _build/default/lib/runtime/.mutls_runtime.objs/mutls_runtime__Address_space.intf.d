@@ -1,0 +1,1 @@
+lib/runtime/address_space.mli:

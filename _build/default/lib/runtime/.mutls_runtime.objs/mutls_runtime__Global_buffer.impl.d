@@ -1,0 +1,1 @@
+lib/runtime/global_buffer.ml: Array Bytes Char Int64 Memio

@@ -1,0 +1,1 @@
+lib/runtime/global_buffer.mli: Bytes Memio

@@ -1,0 +1,1 @@
+lib/runtime/local_buffer.ml: Array Bytes Char Hashtbl List Printf

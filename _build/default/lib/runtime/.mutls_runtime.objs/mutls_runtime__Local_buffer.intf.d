@@ -1,0 +1,1 @@
+lib/runtime/local_buffer.mli: Bytes Hashtbl

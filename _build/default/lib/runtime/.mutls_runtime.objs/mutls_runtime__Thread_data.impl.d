@@ -1,0 +1,1 @@
+lib/runtime/thread_data.ml: Global_buffer Local_buffer Mutls_sim Stack Stats

@@ -1,0 +1,1 @@
+lib/runtime/thread_manager.ml: Address_space Array Bytes Char Config Engine Global_buffer Hashtbl Int64 List Local_buffer Memio Mutls_sim Option Printf Rng Stack Stats String Sys Thread_data

@@ -1,0 +1,1 @@
+lib/runtime/thread_manager.mli: Address_space Config Global_buffer Hashtbl Local_buffer Memio Mutls_sim Stats Thread_data

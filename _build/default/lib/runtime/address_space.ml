@@ -1,0 +1,90 @@
+(* Address space registration (paper §IV-G1).  Static and heap objects
+   are registered at creation and unregistered at deletion; speculative
+   threads roll back on any access outside the registered global space
+   and their own stack.  Adjacent ranges are merged to keep lookups
+   cheap; lookups use binary search over a sorted range array. *)
+
+type t = {
+  mutable starts : int array; (* sorted, inclusive *)
+  mutable ends : int array; (* exclusive *)
+  mutable n : int;
+}
+
+let create () = { starts = Array.make 16 0; ends = Array.make 16 0; n = 0 }
+
+let ensure_capacity t =
+  if t.n = Array.length t.starts then begin
+    let ns = Array.make (2 * t.n) 0 and ne = Array.make (2 * t.n) 0 in
+    Array.blit t.starts 0 ns 0 t.n;
+    Array.blit t.ends 0 ne 0 t.n;
+    t.starts <- ns;
+    t.ends <- ne
+  end
+
+(* Index of the first range whose start is > addr, minus one. *)
+let locate t addr =
+  let lo = ref 0 and hi = ref t.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.starts.(mid) <= addr then lo := mid + 1 else hi := mid
+  done;
+  !lo - 1
+
+let contains t addr =
+  let i = locate t addr in
+  i >= 0 && addr < t.ends.(i)
+
+let contains_range t addr size =
+  let i = locate t addr in
+  i >= 0 && addr + size <= t.ends.(i)
+
+let register t start size =
+  if size <= 0 then invalid_arg "Address_space.register: size";
+  let e = start + size in
+  let i = locate t start in
+  (* Merge with predecessor and/or successor when adjacent/overlapping. *)
+  let merge_pred = i >= 0 && t.ends.(i) >= start in
+  let succ = i + 1 in
+  let merge_succ = succ < t.n && t.starts.(succ) <= e in
+  match (merge_pred, merge_succ) with
+  | true, true ->
+    t.ends.(i) <- max t.ends.(succ) e;
+    (* remove succ *)
+    Array.blit t.starts (succ + 1) t.starts succ (t.n - succ - 1);
+    Array.blit t.ends (succ + 1) t.ends succ (t.n - succ - 1);
+    t.n <- t.n - 1
+  | true, false -> t.ends.(i) <- max t.ends.(i) e
+  | false, true ->
+    t.starts.(succ) <- start;
+    t.ends.(succ) <- max t.ends.(succ) e
+  | false, false ->
+    ensure_capacity t;
+    let pos = i + 1 in
+    Array.blit t.starts pos t.starts (pos + 1) (t.n - pos);
+    Array.blit t.ends pos t.ends (pos + 1) (t.n - pos);
+    t.starts.(pos) <- start;
+    t.ends.(pos) <- e;
+    t.n <- t.n + 1
+
+(* Unregister exactly [start, start+size); may split a merged range. *)
+let unregister t start size =
+  let e = start + size in
+  let i = locate t start in
+  if i < 0 || t.ends.(i) < e then ()
+  else begin
+    let rs = t.starts.(i) and re = t.ends.(i) in
+    if rs = start && re = e then begin
+      Array.blit t.starts (i + 1) t.starts i (t.n - i - 1);
+      Array.blit t.ends (i + 1) t.ends i (t.n - i - 1);
+      t.n <- t.n - 1
+    end
+    else if rs = start then t.starts.(i) <- e
+    else if re = e then t.ends.(i) <- start
+    else begin
+      (* split *)
+      t.ends.(i) <- start;
+      register t e (re - e)
+    end
+  end
+
+let ranges t = List.init t.n (fun i -> (t.starts.(i), t.ends.(i)))

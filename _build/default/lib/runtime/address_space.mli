@@ -1,0 +1,19 @@
+(** Address-space registration (paper §IV-G1).  Static and heap objects
+    are registered at creation and unregistered at deletion; a
+    speculative thread rolls back on any access outside the registered
+    global space and its own stack.  Adjacent ranges merge; lookups are
+    a binary search over a sorted range array. *)
+
+type t
+
+val create : unit -> t
+val register : t -> int -> int -> unit
+(** [register t start size]; overlapping or adjacent ranges merge. *)
+
+val unregister : t -> int -> int -> unit
+(** Removes exactly [start, start+size); may split a merged range. *)
+
+val contains : t -> int -> bool
+val contains_range : t -> int -> int -> bool
+val ranges : t -> (int * int) list
+(** Sorted [(start, end)) pairs, for tests and debugging. *)

@@ -1,0 +1,94 @@
+(* Runtime configuration: forking model selection, buffer sizing,
+   rollback injection (paper Fig. 11) and the virtual-time cost model
+   that substitutes for the paper's 64-core AMD Opteron.  Costs are in
+   abstract "cycles"; only ratios matter for speedup shapes. *)
+
+type model = In_order | Out_of_order | Mixed
+
+(* Ablation of the paper's central design choice (§II, §IV-F): the
+   tree-form mixed model confines cascading rollbacks to a subtree by
+   letting the joining thread inherit a rolled-back child's children;
+   previous mixed-model systems organised threads linearly, so a
+   rollback squashes every logically-later thread. *)
+type cascade = Tree_cascade | Linear_cascade
+
+let cascade_to_string = function
+  | Tree_cascade -> "tree"
+  | Linear_cascade -> "linear" 
+
+let model_to_string = function
+  | In_order -> "in-order"
+  | Out_of_order -> "out-of-order"
+  | Mixed -> "mixed"
+
+let model_of_int = function
+  | 0 -> Mixed
+  | 1 -> In_order
+  | 2 -> Out_of_order
+  | n -> invalid_arg (Printf.sprintf "Config.model_of_int: %d" n)
+
+let model_to_int = function Mixed -> 0 | In_order -> 1 | Out_of_order -> 2
+
+type cost = {
+  instr : float; (* base cost of one IR instruction *)
+  mem : float; (* additional cost of an unbuffered load/store *)
+  spec_hit : float; (* buffered access hitting an existing entry *)
+  spec_miss : float; (* buffered access inserting a new entry *)
+  fork : float; (* MUTLS_speculate: thread creation and hand-off *)
+  find_cpu : float; (* MUTLS_get_CPU rank search *)
+  per_local : float; (* saving or restoring one local variable *)
+  validate_word : float; (* validating one read-set word *)
+  commit_word : float; (* committing one write-set word *)
+  finalize_word : float; (* clearing one buffer slot *)
+  check_point : float; (* polling the sync flag *)
+  sync_fixed : float; (* fixed synchronization handshake cost *)
+  call : float; (* function call/return overhead *)
+}
+
+let default_cost =
+  {
+    instr = 1.0;
+    mem = 2.0;
+    spec_hit = 2.0;
+    spec_miss = 10.0;
+    fork = 400.0;
+    find_cpu = 15.0;
+    per_local = 4.0;
+    validate_word = 2.0;
+    commit_word = 3.0;
+    finalize_word = 0.5;
+    check_point = 0.1;
+    sync_fixed = 50.0;
+    call = 4.0;
+  }
+
+type t = {
+  ncpus : int; (* total CPUs as in the paper's x-axis: one runs the
+                  non-speculative thread, the rest host speculation *)
+  cost : cost;
+  buffer_slots : int; (* GlobalBuffer map slots; power of two *)
+  temp_slots : int; (* overflow buffer entries *)
+  max_locals : int; (* RegisterBuffer static array size *)
+  model_override : model option; (* force all fork points to one model *)
+  rollback_probability : float; (* injected validation failures, Fig. 11 *)
+  seed : int; (* deterministic stream for injection *)
+  quantum : float; (* interpreter yield granularity, virtual cycles *)
+  cascade : cascade; (* tree-form (the paper) vs linear mixed model *)
+  value_prediction : bool; (* §VI future work: stride prediction of
+                              fork-time register values *)
+}
+
+let default =
+  {
+    ncpus = 4;
+    cost = default_cost;
+    buffer_slots = 1 lsl 16;
+    temp_slots = 64;
+    max_locals = 256;
+    model_override = None;
+    rollback_probability = 0.0;
+    seed = 42;
+    quantum = 500.0;
+    cascade = Tree_cascade;
+    value_prediction = false;
+  }

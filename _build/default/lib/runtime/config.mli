@@ -1,0 +1,62 @@
+(** Runtime configuration: forking model selection, buffer sizing,
+    rollback injection (paper Fig. 11), ablation switches, and the
+    virtual-time cost model that substitutes for the paper's 64-core
+    AMD Opteron.  Costs are abstract "cycles"; only their ratios shape
+    the speedup curves (see DESIGN.md). *)
+
+(** The three forking models of paper §II. *)
+type model = In_order | Out_of_order | Mixed
+
+(** Ablation of the paper's central design choice (§IV-F): tree-form
+    cascading confines rollbacks to a subtree; the linear mode models
+    previous mixed-model systems where a rollback squashes every
+    logically-later thread. *)
+type cascade = Tree_cascade | Linear_cascade
+
+val model_to_string : model -> string
+val model_of_int : int -> model
+(** 0 = mixed, 1 = in-order, 2 = out-of-order (the encoding used by the
+    front-end builtins). *)
+
+val model_to_int : model -> int
+val cascade_to_string : cascade -> string
+
+(** Virtual-cycle costs of the runtime's operations. *)
+type cost = {
+  instr : float;  (** base cost of one IR instruction *)
+  mem : float;  (** additional cost of an unbuffered load/store *)
+  spec_hit : float;  (** buffered access hitting an existing entry *)
+  spec_miss : float;  (** buffered access inserting a new entry *)
+  fork : float;  (** MUTLS_speculate: thread creation and hand-off *)
+  find_cpu : float;  (** MUTLS_get_CPU rank search *)
+  per_local : float;  (** saving or restoring one local variable *)
+  validate_word : float;  (** validating one read-set word *)
+  commit_word : float;  (** committing one write-set word *)
+  finalize_word : float;  (** clearing one buffer slot *)
+  check_point : float;  (** polling the sync flag *)
+  sync_fixed : float;  (** fixed synchronization handshake cost *)
+  call : float;  (** function call/return overhead *)
+}
+
+val default_cost : cost
+
+type t = {
+  ncpus : int;
+      (** total CPUs, as on the paper's x-axis: one runs the
+          non-speculative thread, the rest host speculation *)
+  cost : cost;
+  buffer_slots : int;  (** GlobalBuffer map slots; a power of two *)
+  temp_slots : int;  (** overflow buffer entries *)
+  max_locals : int;  (** RegisterBuffer static array size *)
+  model_override : model option;
+      (** force every fork point to one model (Fig. 10) *)
+  rollback_probability : float;
+      (** injected validation failures (Fig. 11) *)
+  seed : int;  (** deterministic stream for the injection *)
+  quantum : float;  (** interpreter yield granularity, virtual cycles *)
+  cascade : cascade;
+  value_prediction : bool;
+      (** §VI future work: stride prediction of fork-time locals *)
+}
+
+val default : t

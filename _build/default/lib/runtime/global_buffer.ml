@@ -1,0 +1,386 @@
+(* GlobalBuffer (paper §IV-G2): buffering of non-local (static, heap,
+   and non-speculative stack) accesses of one speculative thread.
+
+   Two maps — a read set and a write set — implemented exactly as the
+   paper describes: static memory only, a [buffer] byte array of WORD
+   multiples, an [addresses] word-pointer array and an [offsets] stack
+   (so validation/commit/finalization of threads touching little data
+   stay fast), plus a [mark] byte array for sub-word writes and a small
+   temporary buffer for hash conflicts. *)
+
+let word = 8
+let word_mask = lnot 7
+
+exception Overflow
+(* Temporary buffer exhausted: the speculative thread must roll back. *)
+
+type map = {
+  nslots : int; (* power of two *)
+  buffer : Bytes.t; (* nslots * word data bytes *)
+  addresses : int array; (* slot -> word address; 0 = empty *)
+  marks : Bytes.t; (* 0xFF per written byte (write set only) *)
+  offsets : int array; (* stack of occupied slots *)
+  mutable count : int;
+}
+
+type temp_entry = {
+  t_addr : int;
+  t_data : Bytes.t; (* 8 bytes *)
+  t_mark : Bytes.t; (* 8 bytes; all-zero for read entries *)
+  t_is_read : bool; (* fetched for a read: participates in validation *)
+}
+
+type t = {
+  read_set : map;
+  write_set : map;
+  temp : temp_entry option array;
+  mutable temp_count : int;
+  mutable conflict_pending : bool; (* ask to be joined at next check point *)
+}
+
+let make_map nslots =
+  {
+    nslots;
+    buffer = Bytes.make (nslots * word) '\000';
+    addresses = Array.make nslots 0;
+    marks = Bytes.make (nslots * word) '\000';
+    offsets = Array.make nslots 0;
+    count = 0;
+  }
+
+let create ~slots ~temp_slots =
+  if slots land (slots - 1) <> 0 then
+    invalid_arg "Global_buffer.create: slots must be a power of two";
+  {
+    read_set = make_map slots;
+    write_set = make_map slots;
+    temp = Array.make temp_slots None;
+    temp_count = 0;
+    conflict_pending = false;
+  }
+
+(* Efficient hash: low bits of the word address (paper §IV-G2). *)
+let slot_of m np = (np lsr 3) land (m.nslots - 1)
+
+type lookup = Hit of int | Empty of int | Conflict
+
+let lookup m np =
+  let i = slot_of m np in
+  let a = m.addresses.(i) in
+  if a = 0 then Empty i else if a = np then Hit i else Conflict
+
+let occupy m i np =
+  m.addresses.(i) <- np;
+  m.offsets.(m.count) <- i;
+  m.count <- m.count + 1
+
+let read_word_of m i = Bytes.get_int64_le m.buffer (i * word)
+let write_word_of m i v = Bytes.set_int64_le m.buffer (i * word) v
+
+let find_temp t np =
+  let rec go k =
+    if k >= Array.length t.temp then None
+    else
+      match t.temp.(k) with
+      | Some e when e.t_addr = np -> Some e
+      | _ -> go (k + 1)
+  in
+  go 0
+
+let add_temp t entry =
+  if t.temp_count >= Array.length t.temp then raise Overflow;
+  let rec place k =
+    if t.temp.(k) = None then t.temp.(k) <- Some entry else place (k + 1)
+  in
+  place 0;
+  t.temp_count <- t.temp_count + 1;
+  t.conflict_pending <- true
+
+(* --- byte-level helpers -------------------------------------------- *)
+
+let get_sized bytes pos size =
+  match size with
+  | 8 -> Bytes.get_int64_le bytes pos
+  | 4 -> Int64.of_int32 (Bytes.get_int32_le bytes pos)
+  | 1 -> Int64.of_int (Char.code (Bytes.get bytes pos))
+  | _ -> invalid_arg "Global_buffer: access size"
+
+let set_sized bytes pos size v =
+  match size with
+  | 8 -> Bytes.set_int64_le bytes pos v
+  | 4 -> Bytes.set_int32_le bytes pos (Int64.to_int32 v)
+  | 1 -> Bytes.set bytes pos (Char.chr (Int64.to_int v land 0xff))
+  | _ -> invalid_arg "Global_buffer: access size"
+
+let set_marks bytes pos size =
+  for k = pos to pos + size - 1 do
+    Bytes.set bytes k '\xff'
+  done
+
+(* --- speculative read ---------------------------------------------- *)
+
+(* Read [size] bytes at address [p] (aligned by size), fetching from
+   main memory through [mem] on a read-set miss.  Returns the raw bits
+   zero-extended into an int64 plus whether the access hit an existing
+   buffer entry (hits are much cheaper than insert-and-fetch misses;
+   the paper's design emphasises exactly this data-reuse benefit). *)
+let read t (mem : Memio.t) p size =
+  if p land (size - 1) <> 0 then invalid_arg "Global_buffer.read: alignment";
+  let np = p land word_mask in
+  let off = p land (word - 1) in
+  match lookup t.write_set np with
+  | Hit i -> (get_sized t.write_set.buffer ((i * word) + off) size, true)
+  | Empty _ | Conflict -> (
+    (* A write that hash-conflicted earlier may live in the temporary
+       buffer; it must shadow a read-set fetch. *)
+    match (if t.temp_count = 0 then None else find_temp t np) with
+    | Some e -> (get_sized e.t_data off size, true)
+    | None -> (
+      match lookup t.read_set np with
+      | Hit i -> (get_sized t.read_set.buffer ((i * word) + off) size, true)
+      | Empty i ->
+        let w = mem.Memio.read_word np in
+        occupy t.read_set i np;
+        write_word_of t.read_set i w;
+        (get_sized t.read_set.buffer ((i * word) + off) size, false)
+      | Conflict ->
+        let w = mem.Memio.read_word np in
+        let data = Bytes.make word '\000' in
+        Bytes.set_int64_le data 0 w;
+        add_temp t
+          { t_addr = np; t_data = data; t_mark = Bytes.make word '\000';
+            t_is_read = true };
+        (get_sized data off size, false)))
+
+(* --- speculative write --------------------------------------------- *)
+
+let write t (mem : Memio.t) p size v =
+  if p land (size - 1) <> 0 then invalid_arg "Global_buffer.write: alignment";
+  let np = p land word_mask in
+  let off = p land (word - 1) in
+  match lookup t.write_set np with
+  | Hit i ->
+    set_sized t.write_set.buffer ((i * word) + off) size v;
+    set_marks t.write_set.marks ((i * word) + off) size;
+    true
+  | Empty i ->
+    (* Fill the slot with the word's current contents so later whole-
+       word reads of this slot see consistent data; prefer the read-set
+       copy when present (it is the version this thread observed). *)
+    let fill =
+      if size = word then 0L
+      else
+        match lookup t.read_set np with
+        | Hit j -> read_word_of t.read_set j
+        | Empty _ | Conflict -> mem.Memio.read_word np
+    in
+    occupy t.write_set i np;
+    write_word_of t.write_set i fill;
+    set_sized t.write_set.buffer ((i * word) + off) size v;
+    set_marks t.write_set.marks ((i * word) + off) size;
+    false
+  | Conflict -> (
+    match find_temp t np with
+    | Some e ->
+      set_sized e.t_data off size v;
+      set_marks e.t_mark off size;
+      true
+    | None ->
+      let fill = if size = word then 0L else mem.Memio.read_word np in
+      let data = Bytes.make word '\000' in
+      Bytes.set_int64_le data 0 fill;
+      let mark = Bytes.make word '\000' in
+      set_sized data off size v;
+      set_marks mark off size;
+      add_temp t { t_addr = np; t_data = data; t_mark = mark; t_is_read = false };
+      false)
+
+(* --- validation / commit / finalization ---------------------------- *)
+
+(* Compare every read-set word against current main memory (value-based
+   conflict detection).  Returns the number of words validated, or
+   raises [Invalid_read] on the first mismatch. *)
+exception Invalid_read
+
+let validate t (mem : Memio.t) =
+  let checked = ref 0 in
+  let m = t.read_set in
+  for k = 0 to m.count - 1 do
+    let i = m.offsets.(k) in
+    incr checked;
+    if mem.Memio.read_word m.addresses.(i) <> read_word_of m i then
+      raise Invalid_read
+  done;
+  Array.iter
+    (function
+      | Some e when e.t_is_read ->
+        (* Bytes this thread overwrote after fetching are its own and
+           must not be compared against main memory. *)
+        incr checked;
+        let cur = mem.Memio.read_word e.t_addr in
+        let buf = Bytes.make word '\000' in
+        Bytes.set_int64_le buf 0 cur;
+        for b = 0 to word - 1 do
+          if Bytes.get e.t_mark b <> '\xff'
+             && Bytes.get buf b <> Bytes.get e.t_data b
+          then raise Invalid_read
+        done
+      | _ -> ())
+    t.temp;
+  !checked
+
+let all_marked mark pos = Bytes.get_int64_le mark pos = -1L
+
+let commit_word (mem : Memio.t) addr data mark pos =
+  if all_marked mark pos then mem.Memio.write_word addr (Bytes.get_int64_le data pos)
+  else begin
+    let cur = mem.Memio.read_word addr in
+    let buf = Bytes.make word '\000' in
+    Bytes.set_int64_le buf 0 cur;
+    for b = 0 to word - 1 do
+      if Bytes.get mark (pos + b) = '\xff' then
+        Bytes.set buf b (Bytes.get data (pos + b))
+    done;
+    mem.Memio.write_word addr (Bytes.get_int64_le buf 0)
+  end
+
+(* Write every marked byte of the write set to main memory.  Returns
+   the number of words committed. *)
+let commit t (mem : Memio.t) =
+  let m = t.write_set in
+  let written = ref 0 in
+  for k = 0 to m.count - 1 do
+    let i = m.offsets.(k) in
+    incr written;
+    commit_word mem m.addresses.(i) m.buffer m.marks (i * word)
+  done;
+  Array.iter
+    (function
+      | Some e when not e.t_is_read ->
+        incr written;
+        commit_word mem e.t_addr e.t_data e.t_mark 0
+      | Some e ->
+        (* read-fetched temp entries may carry marks from later writes *)
+        if Bytes.exists (fun c -> c = '\xff') e.t_mark then begin
+          incr written;
+          commit_word mem e.t_addr e.t_data e.t_mark 0
+        end
+      | None -> ())
+    t.temp;
+  !written
+
+(* Reset both maps for reuse.  Returns the number of slots cleared. *)
+let finalize t =
+  let clear m =
+    for k = 0 to m.count - 1 do
+      let i = m.offsets.(k) in
+      m.addresses.(i) <- 0;
+      Bytes.fill m.marks (i * word) word '\000'
+    done;
+    let n = m.count in
+    m.count <- 0;
+    n
+  in
+  let n = clear t.read_set + clear t.write_set + t.temp_count in
+  Array.fill t.temp 0 (Array.length t.temp) None;
+  t.temp_count <- 0;
+  t.conflict_pending <- false;
+  n
+
+let read_set_size t = t.read_set.count
+let write_set_size t = t.write_set.count
+let conflict_pending t = t.conflict_pending
+
+(* --- nested speculation support ------------------------------------ *)
+
+(* When a *speculative* thread joins its own child, the child must be
+   validated against the parent's view of memory (memory overlaid with
+   the parent's uncommitted writes) and its effects merged into the
+   parent's buffers rather than into main memory; only the
+   non-speculative thread ever writes main memory.  The helpers below
+   expose the buffer contents for that protocol. *)
+
+let overlay bytes pos mark mpos base =
+  let buf = Bytes.make word '\000' in
+  Bytes.set_int64_le buf 0 base;
+  for b = 0 to word - 1 do
+    if Bytes.get mark (mpos + b) = '\xff' then
+      Bytes.set buf b (Bytes.get bytes (pos + b))
+  done;
+  Bytes.get_int64_le buf 0
+
+(* This thread's view of word [np]: main memory overlaid with its own
+   marked write bytes. *)
+let view t (mem : Memio.t) np =
+  let base = mem.Memio.read_word np in
+  match lookup t.write_set np with
+  | Hit i -> overlay t.write_set.buffer (i * word) t.write_set.marks (i * word) base
+  | Empty _ | Conflict -> (
+    match (if t.temp_count = 0 then None else find_temp t np) with
+    | Some e -> overlay e.t_data 0 e.t_mark 0 base
+    | None -> base)
+
+(* Iterate read-set words as (address, observed word, mask option);
+   the mask, when present, flags bytes locally overwritten after the
+   fetch (they must not participate in validation). *)
+let iter_read_words t f =
+  let m = t.read_set in
+  for k = 0 to m.count - 1 do
+    let i = m.offsets.(k) in
+    f m.addresses.(i) (read_word_of m i) None
+  done;
+  Array.iter
+    (function
+      | Some e when e.t_is_read ->
+        f e.t_addr (Bytes.get_int64_le e.t_data 0) (Some (Bytes.copy e.t_mark))
+      | _ -> ())
+    t.temp
+
+(* Iterate write-set words as (address, data bytes, data pos, mark
+   bytes, mark pos). *)
+let iter_write_words t f =
+  let m = t.write_set in
+  for k = 0 to m.count - 1 do
+    let i = m.offsets.(k) in
+    f m.addresses.(i) m.buffer (i * word) m.marks (i * word)
+  done;
+  Array.iter
+    (function
+      | Some e when (not e.t_is_read) || Bytes.exists (fun c -> c = '\xff') e.t_mark
+        -> f e.t_addr e.t_data 0 e.t_mark 0
+      | _ -> ())
+    t.temp
+
+(* Record that this thread observed [value] at [addr] (merging a
+   committed child's read set for later re-validation).  Words this
+   thread has already read or written need no new entry. *)
+let merge_read t addr value =
+  match lookup t.write_set addr with
+  | Hit _ -> ()
+  | Empty _ | Conflict -> (
+    match (if t.temp_count = 0 then None else find_temp t addr) with
+    | Some _ -> ()
+    | None -> (
+      match lookup t.read_set addr with
+      | Hit _ -> ()
+      | Empty i ->
+        occupy t.read_set i addr;
+        write_word_of t.read_set i value
+      | Conflict ->
+        let data = Bytes.make word '\000' in
+        Bytes.set_int64_le data 0 value;
+        add_temp t
+          { t_addr = addr; t_data = data; t_mark = Bytes.make word '\000';
+            t_is_read = true }))
+
+(* Merge one committed-child word's marked bytes into this buffer. *)
+let merge_write t (mem : Memio.t) addr data pos mark mpos =
+  if all_marked mark mpos then
+    ignore (write t mem addr word (Bytes.get_int64_le data pos))
+  else
+    for b = 0 to word - 1 do
+      if Bytes.get mark (mpos + b) = '\xff' then
+        ignore
+          (write t mem (addr + b) 1
+             (Int64.of_int (Char.code (Bytes.get data (pos + b)))))
+    done

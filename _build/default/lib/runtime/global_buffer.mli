@@ -1,0 +1,82 @@
+(** GlobalBuffer (paper §IV-G2): buffering of non-local (static, heap,
+    and non-speculative stack) accesses of one speculative thread.
+
+    Two maps — a read set and a write set — implemented exactly as the
+    paper describes: static memory only, a data byte array of WORD
+    multiples, an address array and an offsets stack (so validation,
+    commit and finalization of threads touching little data stay fast),
+    a mark byte array for sub-word writes, and a small temporary buffer
+    for hash conflicts. *)
+
+exception Overflow
+(** The temporary buffer is exhausted: the speculative thread must roll
+    back (paper §IV-G2). *)
+
+exception Invalid_read
+(** Raised by {!validate} on the first read-set word whose current
+    memory value differs from the observed one. *)
+
+type t
+
+val create : slots:int -> temp_slots:int -> t
+(** [slots] must be a power of two. *)
+
+val read : t -> Memio.t -> int -> int -> int64 * bool
+(** [read t mem p size] reads [size] bytes ([1], [4] or [8]) at [p]
+    (aligned by [size]), fetching from main memory on a read-set miss.
+    Returns the raw bits zero-extended, and whether the access hit an
+    existing buffer entry (hits are much cheaper than insert-and-fetch
+    misses — the data-reuse benefit the paper emphasises for matmult).
+    @raise Overflow when a hash conflict cannot be parked. *)
+
+val write : t -> Memio.t -> int -> int -> int64 -> bool
+(** Buffered write; marks exactly the written bytes.  Returns the hit
+    flag.  @raise Overflow as for {!read}. *)
+
+val validate : t -> Memio.t -> int
+(** Value-based conflict detection: compare every read-set word against
+    current main memory.  Returns the number of words checked.
+    @raise Invalid_read on the first mismatch. *)
+
+val commit : t -> Memio.t -> int
+(** Write every marked byte of the write set to main memory (whole
+    words at once when fully marked).  Returns the word count. *)
+
+val finalize : t -> int
+(** Reset both maps for reuse; returns the number of slots cleared. *)
+
+val read_set_size : t -> int
+val write_set_size : t -> int
+
+val conflict_pending : t -> bool
+(** A hash conflict spilled into the temporary buffer: the thread
+    should wait to be joined at its next check point. *)
+
+(** {1 Nested speculation support}
+
+    When a speculative thread joins its own child, the child must be
+    validated against the parent's view of memory (memory overlaid with
+    the parent's uncommitted writes) and its effects merged into the
+    parent's buffers; only the non-speculative thread writes main
+    memory. *)
+
+val view : t -> Memio.t -> int -> int64
+(** This thread's view of an aligned word: main memory overlaid with
+    its own marked write bytes. *)
+
+val iter_read_words : t -> (int -> int64 -> Bytes.t option -> unit) -> unit
+(** [(address, observed word, mask)] per read-set entry; the mask, when
+    present, flags bytes locally overwritten after the fetch (excluded
+    from validation). *)
+
+val iter_write_words : t -> (int -> Bytes.t -> int -> Bytes.t -> int -> unit) -> unit
+(** [(address, data bytes, data pos, mark bytes, mark pos)] per
+    write-set entry. *)
+
+val merge_read : t -> int -> int64 -> unit
+(** Record that this thread observed [value] at an address (adopting a
+    committed child's read set for later re-validation); words already
+    present are left alone. *)
+
+val merge_write : t -> Memio.t -> int -> Bytes.t -> int -> Bytes.t -> int -> unit
+(** Merge one committed-child word's marked bytes into this buffer. *)

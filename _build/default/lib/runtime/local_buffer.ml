@@ -1,0 +1,158 @@
+(* LocalBuffer (paper §IV-G3): transfer of local (register and stack)
+   variables between parent and child threads at fork and join.  It is
+   organized as an array of stack frames; each frame holds a
+   RegisterBuffer (static array of register values, indexed by the
+   offsets the speculator pass assigned) and a StackBuffer (copies of
+   stack variables plus their speculative addresses, for the pointer
+   mapping mechanism). *)
+
+type v = Vi of int64 | Vf of float
+
+type stackvar = {
+  sv_spec_addr : int; (* address in the speculative thread *)
+  sv_size : int;
+  sv_data : Bytes.t option; (* None: bottom frame, data lives in place *)
+}
+
+type frame = {
+  mutable counter : int; (* synchronization block that saved this frame *)
+  regs : v option array;
+  stackvars : (int, stackvar) Hashtbl.t; (* offset -> copy *)
+}
+
+type t = {
+  max_locals : int;
+  mutable frames : frame list; (* head = innermost (top) *)
+  fork_regs : v option array; (* fork-time register transfer, parent->child *)
+  fork_orig : v option array; (* pre-prediction originals, for stride learning *)
+  mutable fork_addrs : (int * int) list; (* offset -> parent address *)
+  mutable stack_base : int; (* speculative thread's own stack range *)
+  mutable stack_limit : int;
+}
+(* [fork_regs] is kept apart from the bottom frame's RegisterBuffer so
+   that the child's commit-time saves cannot clobber the fork-time
+   values the parent still needs for MUTLS_validate_local. *)
+
+let create ~max_locals =
+  {
+    max_locals;
+    frames = [];
+    fork_regs = Array.make max_locals None;
+    fork_orig = Array.make max_locals None;
+    fork_addrs = [];
+    stack_base = 0;
+    stack_limit = 0;
+  }
+
+let make_frame max_locals =
+  { counter = 0; regs = Array.make max_locals None; stackvars = Hashtbl.create 8 }
+
+let push_frame t =
+  let f = make_frame t.max_locals in
+  t.frames <- f :: t.frames;
+  f
+
+let pop_frame t =
+  match t.frames with
+  | _ :: rest -> t.frames <- rest
+  | [] -> invalid_arg "Local_buffer.pop_frame: empty"
+
+let depth t = List.length t.frames
+
+let top t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> invalid_arg "Local_buffer.top: no frame"
+
+let bottom t =
+  match List.rev t.frames with
+  | f :: _ -> f
+  | [] -> invalid_arg "Local_buffer.bottom: no frame"
+
+(* Frames from the speculative entry function inwards, for the
+   non-speculative thread's stack frame reconstruction. *)
+let frames_bottom_up t = List.rev t.frames
+
+let check_offset t off =
+  (* The paper's RegisterBuffer is a static array: exceeding it is a
+     speculator-pass error, reported before execution. *)
+  if off < 0 || off >= t.max_locals then
+    invalid_arg (Printf.sprintf "Local_buffer: register offset %d out of range" off)
+
+let set_reg frame t off value =
+  check_offset t off;
+  frame.regs.(off) <- Some value
+
+let get_reg frame t off =
+  check_offset t off;
+  match frame.regs.(off) with
+  | Some v -> v
+  | None ->
+    invalid_arg (Printf.sprintf "Local_buffer: register offset %d not set" off)
+
+let get_reg_opt frame t off =
+  check_offset t off;
+  frame.regs.(off)
+
+(* --- fork-time register transfer ----------------------------------- *)
+
+let set_fork_reg t off value =
+  check_offset t off;
+  t.fork_regs.(off) <- Some value
+
+let get_fork_reg t off =
+  check_offset t off;
+  match t.fork_regs.(off) with
+  | Some v -> v
+  | None ->
+    invalid_arg (Printf.sprintf "Local_buffer: fork register %d not set" off)
+
+let set_fork_orig t off value =
+  check_offset t off;
+  t.fork_orig.(off) <- Some value
+
+let get_fork_orig t off =
+  check_offset t off;
+  t.fork_orig.(off)
+
+(* --- fork-time bottom-frame stack addresses ------------------------ *)
+
+(* The speculative entry function accesses the parent's stack variables
+   in place (through the GlobalBuffer), so the fork records their
+   addresses rather than copying them. *)
+let set_fork_addr t off addr = t.fork_addrs <- (off, addr) :: t.fork_addrs
+
+let get_fork_addr t off =
+  match List.assoc_opt off t.fork_addrs with
+  | Some a -> a
+  | None ->
+    invalid_arg (Printf.sprintf "Local_buffer: no fork stack address %d" off)
+
+(* --- speculative thread's own stack range -------------------------- *)
+
+let set_stack_range t ~base ~limit =
+  t.stack_base <- base;
+  t.stack_limit <- limit
+
+let in_own_stack t addr = addr >= t.stack_base && addr < t.stack_limit
+
+(* --- stack variable save (speculative side, commit path) ----------- *)
+
+(* Copy [size] bytes at [addr] (in the speculative thread's own stack)
+   into the top frame.  When [addr] is not in the thread's own stack it
+   belongs to the parent (bottom-frame variable accessed in place via
+   the GlobalBuffer) and no copy is taken. *)
+let save_stackvar t frame ~read_byte ~off ~addr ~size =
+  if in_own_stack t addr then begin
+    let data = Bytes.create size in
+    for k = 0 to size - 1 do
+      Bytes.set data k (Char.chr (read_byte (addr + k) land 0xff))
+    done;
+    Hashtbl.replace frame.stackvars off
+      { sv_spec_addr = addr; sv_size = size; sv_data = Some data }
+  end
+  else
+    Hashtbl.replace frame.stackvars off
+      { sv_spec_addr = addr; sv_size = size; sv_data = None }
+
+let find_stackvar frame off = Hashtbl.find_opt frame.stackvars off

@@ -1,0 +1,82 @@
+(** LocalBuffer (paper §IV-G3): transfer of local (register and stack)
+    variables between parent and child threads at fork and join.
+    Organized as a stack of frames, each holding a RegisterBuffer
+    (static array indexed by the offsets the speculator pass assigned)
+    and a StackBuffer (copies of stack variables plus their speculative
+    addresses, for the pointer-mapping mechanism). *)
+
+(** Register values in transfer: integers/pointers and floats. *)
+type v = Vi of int64 | Vf of float
+
+type stackvar = {
+  sv_spec_addr : int;  (** address in the speculative thread *)
+  sv_size : int;
+  sv_data : Bytes.t option;
+      (** [None]: bottom-frame variable updated in place via the
+          GlobalBuffer at the parent's address *)
+}
+
+type frame = {
+  mutable counter : int;  (** synchronization block that saved this frame *)
+  regs : v option array;
+  stackvars : (int, stackvar) Hashtbl.t;
+}
+
+type t
+
+val create : max_locals:int -> t
+
+(** {1 Frames} *)
+
+val push_frame : t -> frame
+val pop_frame : t -> unit
+val depth : t -> int
+val top : t -> frame
+val bottom : t -> frame
+
+val frames_bottom_up : t -> frame list
+(** From the speculative entry function inwards — the order the
+    non-speculative thread reconstructs the call chain in (§IV-H). *)
+
+(** {1 RegisterBuffer} *)
+
+val set_reg : frame -> t -> int -> v -> unit
+(** @raise Invalid_argument when the offset exceeds [max_locals] — the
+    paper's static-array RegisterBuffer limit. *)
+
+val get_reg : frame -> t -> int -> v
+val get_reg_opt : frame -> t -> int -> v option
+
+(** {1 Fork-time transfer}
+
+    Kept apart from the bottom frame's RegisterBuffer so commit-time
+    saves cannot clobber the fork-time values the parent still needs
+    for MUTLS_validate_local. *)
+
+val set_fork_reg : t -> int -> v -> unit
+val get_fork_reg : t -> int -> v
+
+val set_fork_orig : t -> int -> v -> unit
+(** Pre-prediction original, for stride learning (§VI extension). *)
+
+val get_fork_orig : t -> int -> v option
+
+val set_fork_addr : t -> int -> int -> unit
+(** Bottom-frame stack variables are accessed at the parent's address
+    through the GlobalBuffer; the fork records those addresses. *)
+
+val get_fork_addr : t -> int -> int
+
+(** {1 Speculative stack range} *)
+
+val set_stack_range : t -> base:int -> limit:int -> unit
+val in_own_stack : t -> int -> bool
+
+(** {1 StackBuffer} *)
+
+val save_stackvar :
+  t -> frame -> read_byte:(int -> int) -> off:int -> addr:int -> size:int -> unit
+(** Copy a stack variable into the frame when it lives in this thread's
+    own stack; record it address-only otherwise (bottom frame). *)
+
+val find_stackvar : frame -> int -> stackvar option

@@ -1,0 +1,11 @@
+(** The narrow main-memory interface the runtime validates, commits and
+    copies stack data through, keeping buffer code independent of the
+    interpreter's memory representation.  Addresses are byte addresses;
+    word operations require 8-byte alignment. *)
+
+type t = {
+  read_word : int -> int64;
+  write_word : int -> int64 -> unit;
+  read_byte : int -> int;
+  write_byte : int -> int -> unit;
+}

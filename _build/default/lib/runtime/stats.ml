@@ -1,0 +1,92 @@
+(* Per-thread virtual-time accounting.  Categories follow the paper's
+   execution breakdowns: Figure 8 (critical path: work / join / idle /
+   fork / find CPU) and Figure 9 (speculative path: wasted work /
+   finalize / commit / validation / overflow / idle / fork / find CPU). *)
+
+type category =
+  | Work
+  | Join
+  | Idle
+  | Fork
+  | Find_cpu
+  | Validation
+  | Commit
+  | Finalize
+  | Wasted_work
+  | Overflow
+
+let n_categories = 10
+
+let category_index = function
+  | Work -> 0
+  | Join -> 1
+  | Idle -> 2
+  | Fork -> 3
+  | Find_cpu -> 4
+  | Validation -> 5
+  | Commit -> 6
+  | Finalize -> 7
+  | Wasted_work -> 8
+  | Overflow -> 9
+
+let category_name = function
+  | Work -> "work"
+  | Join -> "join"
+  | Idle -> "idle"
+  | Fork -> "fork"
+  | Find_cpu -> "find CPU"
+  | Validation -> "validation"
+  | Commit -> "commit"
+  | Finalize -> "finalize"
+  | Wasted_work -> "wasted work"
+  | Overflow -> "overflow"
+
+let all_categories =
+  [ Work; Join; Idle; Fork; Find_cpu; Validation; Commit; Finalize;
+    Wasted_work; Overflow ]
+
+type t = {
+  time : float array;
+  mutable n_forks : int;
+  mutable n_commits : int;
+  mutable n_rollbacks : int;
+  mutable n_loads : int;
+  mutable n_stores : int;
+  mutable n_checkpoints : int;
+  mutable n_overflows : int;
+  mutable n_conflict_stalls : int;
+}
+
+let create () =
+  {
+    time = Array.make n_categories 0.0;
+    n_forks = 0;
+    n_commits = 0;
+    n_rollbacks = 0;
+    n_loads = 0;
+    n_stores = 0;
+    n_checkpoints = 0;
+    n_overflows = 0;
+    n_conflict_stalls = 0;
+  }
+
+let add t cat dt = t.time.(category_index cat) <- t.time.(category_index cat) +. dt
+let get t cat = t.time.(category_index cat)
+let total t = Array.fold_left ( +. ) 0.0 t.time
+
+(* A rolled-back thread's useful work was wasted: reclassify. *)
+let work_to_wasted t =
+  let w = get t Work in
+  t.time.(category_index Work) <- 0.0;
+  add t Wasted_work w
+
+let merge ~into src =
+  Array.iteri (fun i v -> into.time.(i) <- into.time.(i) +. v) src.time;
+  into.n_forks <- into.n_forks + src.n_forks;
+  into.n_commits <- into.n_commits + src.n_commits;
+  into.n_rollbacks <- into.n_rollbacks + src.n_rollbacks;
+  into.n_loads <- into.n_loads + src.n_loads;
+  into.n_stores <- into.n_stores + src.n_stores;
+  into.n_checkpoints <- into.n_checkpoints + src.n_checkpoints;
+  into.n_overflows <- into.n_overflows + src.n_overflows;
+  into.n_conflict_stalls <- into.n_conflict_stalls + src.n_conflict_stalls

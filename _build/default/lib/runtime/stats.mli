@@ -1,0 +1,44 @@
+(** Per-thread virtual-time accounting in the categories of the paper's
+    execution breakdowns: Fig. 8 (critical path: work / join / idle /
+    fork / find CPU) and Fig. 9 (speculative path: wasted work /
+    finalize / commit / validation / overflow / idle / fork /
+    find CPU). *)
+
+type category =
+  | Work
+  | Join
+  | Idle
+  | Fork
+  | Find_cpu
+  | Validation
+  | Commit
+  | Finalize
+  | Wasted_work
+  | Overflow
+
+val n_categories : int
+val category_index : category -> int
+val category_name : category -> string
+val all_categories : category list
+
+type t = {
+  time : float array;
+  mutable n_forks : int;
+  mutable n_commits : int;
+  mutable n_rollbacks : int;
+  mutable n_loads : int;
+  mutable n_stores : int;
+  mutable n_checkpoints : int;
+  mutable n_overflows : int;
+  mutable n_conflict_stalls : int;
+}
+
+val create : unit -> t
+val add : t -> category -> float -> unit
+val get : t -> category -> float
+val total : t -> float
+
+val work_to_wasted : t -> unit
+(** A rolled-back thread's useful work was wasted: reclassify. *)
+
+val merge : into:t -> t -> unit

@@ -1,0 +1,61 @@
+(** ThreadData (paper §IV): per-thread speculation state.  The two
+    one-shot flags mirror the paper's volatile [sync_status] /
+    [valid_status] variables; the children stack implements the
+    tree-form mixed forking model of §IV-F. *)
+
+(** Flag encodings. *)
+
+val sync : int
+val nosync : int
+val commit : int
+val rollback : int
+
+type t = {
+  id : int;  (** globally unique; disambiguates rank reuse *)
+  rank : int;  (** virtual CPU, 1..ncpus-1; 0 = the non-speculative thread *)
+  fork_point : int;  (** fork/join point id this thread speculates on *)
+  is_main : bool;
+  sync_status : Mutls_sim.Engine.ivar;  (** NULL -> SYNC | NOSYNC *)
+  valid_status : Mutls_sim.Engine.ivar;  (** NULL -> COMMIT | ROLLBACK *)
+  children : t Stack.t;
+  gbuf : Global_buffer.t;
+  lbuf : Local_buffer.t;
+  stats : Stats.t;
+  mutable alive : bool;
+  mutable local_invalid : bool;  (** failed MUTLS_validate_local *)
+  mutable bad_access : bool;  (** touched an unregistered address *)
+  mutable commit_counter : int;  (** sync block where the thread stopped *)
+  mutable restore : restore option;  (** set on the PARENT after a commit *)
+  mutable entry_counter : int;  (** join-point block of the speculative entry *)
+  mutable acc_cost : float;  (** locally accumulated, not yet advanced *)
+  mutable parent : t option;  (** current parent; updated on inheritance *)
+  mutable last_sync_counter : int;  (** result of the last MUTLS_synchronize *)
+  mutable last_sync_rank : int;
+}
+
+(** Stack-frame reconstruction state held by a parent while it
+    re-descends a committed child's call chain (§IV-H). *)
+and restore = {
+  mutable r_pending : Local_buffer.frame list;
+  mutable r_cur : Local_buffer.frame;
+  mutable r_mappings : (int * int * int) list;
+      (** speculative address, parent address, size *)
+}
+
+val create :
+  ?gbuf:Global_buffer.t ->
+  id:int ->
+  rank:int ->
+  fork_point:int ->
+  is_main:bool ->
+  buffer_slots:int ->
+  temp_slots:int ->
+  max_locals:int ->
+  unit ->
+  t
+(** [gbuf] lets the manager pool one GlobalBuffer per CPU rank, as in
+    the paper. *)
+
+val map_pointer : restore -> int -> int option
+(** Map a committed pointer into the speculative stack to the
+    corresponding non-speculative variable (§IV-G3). *)

@@ -1,0 +1,657 @@
+(* ThreadManager (paper §IV): virtual CPU management, fork model
+   enforcement, speculation, synchronization with the tree-form mixed
+   model (§IV-F), validation/commit/rollback and stack frame
+   reconstruction (§IV-H).  All timing goes through the simulation
+   engine; the category accounting feeds Figures 8 and 9. *)
+
+open Mutls_sim
+
+exception Spec_finished
+(* Raised inside a speculative thread's fiber after it has committed or
+   rolled back; unwinds the interpreter back to the fiber body. *)
+
+(* Set MUTLS_DEBUG=1 for a fork/join/commit event trace on stderr, and
+   MUTLS_DEBUG2=1 for per-thread lifetime accounting. *)
+let debug = Sys.getenv_opt "MUTLS_DEBUG" <> None
+let debug2 = Sys.getenv_opt "MUTLS_DEBUG2" <> None
+
+
+type cpu_state = Idle | Busy of Thread_data.t
+
+type retired = { r_stats : Stats.t; r_runtime : float; r_committed : bool }
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  mem : Memio.t;
+  addr_space : Address_space.t;
+  cpus : cpu_state array; (* ranks 1..ncpus; slot 0 unused *)
+  mutable next_id : int;
+  mutable spec_order : Thread_data.t list; (* newest speculation first *)
+  mutable live_spec : int;
+  rng : Rng.t;
+  main : Thread_data.t;
+  mutable retired : retired list;
+  (* §VI future work: last-stride value predictor for fork-time
+     register transfer, keyed by (fork point id, register offset). *)
+  strides : (int * int, int64) Hashtbl.t;
+  (* Per-CPU GlobalBuffer pool, as in the paper ("the ThreadManager
+     module maintains for each CPU one ThreadData, one GlobalBuffer and
+     one LocalBuffer object"): the buffers are by far the largest
+     allocation, and every thread finalizes its buffer before dying, so
+     the next occupant of the rank can reuse it. *)
+  buffer_pool : Global_buffer.t array;
+}
+
+let create (cfg : Config.t) engine mem =
+  let main =
+    Thread_data.create ~id:0 ~rank:0 ~fork_point:(-1) ~is_main:true
+      ~buffer_slots:cfg.buffer_slots ~temp_slots:cfg.temp_slots
+      ~max_locals:cfg.max_locals ()
+  in
+  {
+    cfg;
+    engine;
+    mem;
+    addr_space = Address_space.create ();
+    cpus = Array.make (max 1 cfg.ncpus) Idle;
+    next_id = 1;
+    spec_order = [];
+    live_spec = 0;
+    rng = Rng.create cfg.seed;
+    main;
+    retired = [];
+    strides = Hashtbl.create 64;
+    buffer_pool =
+      Array.init (max 1 cfg.ncpus) (fun _ ->
+          Global_buffer.create ~slots:cfg.buffer_slots
+            ~temp_slots:cfg.temp_slots);
+  }
+
+(* --- virtual-time accounting --------------------------------------- *)
+
+let flush mgr (td : Thread_data.t) =
+  if td.acc_cost > 0.0 then begin
+    Stats.add td.stats Stats.Work td.acc_cost;
+    let c = td.acc_cost in
+    td.acc_cost <- 0.0;
+    Engine.advance mgr.engine c
+  end
+
+(* Accumulate interpreter work cost; yields to the scheduler once per
+   quantum so cross-thread interleaving stays fine-grained. *)
+let tick mgr (td : Thread_data.t) c =
+  td.acc_cost <- td.acc_cost +. c;
+  if td.acc_cost >= mgr.cfg.quantum then flush mgr td
+
+let charge mgr (td : Thread_data.t) cat c =
+  flush mgr td;
+  Stats.add td.stats cat c;
+  Engine.advance mgr.engine c
+
+(* Join-waits on the critical path are "join"; on a speculative path
+   the paper reports them as idle time. *)
+let join_cat (td : Thread_data.t) = if td.is_main then Stats.Join else Stats.Idle
+
+(* --- address space -------------------------------------------------- *)
+
+let register_range mgr start size = Address_space.register mgr.addr_space start size
+let unregister_range mgr start size = Address_space.unregister mgr.addr_space start size
+let registered mgr addr size = Address_space.contains_range mgr.addr_space addr size
+
+(* --- forking model policy ------------------------------------------- *)
+
+let rec first_alive = function
+  | [] -> None
+  | (td : Thread_data.t) :: rest -> if td.alive then Some td else first_alive rest
+
+let may_fork mgr (td : Thread_data.t) = function
+  | Config.Mixed -> true
+  | Config.Out_of_order -> td.is_main
+  | Config.In_order -> (
+    match first_alive mgr.spec_order with
+    | None -> td.is_main
+    | Some most_speculative -> most_speculative.id = td.id)
+
+(* --- fork (§IV-D) ---------------------------------------------------- *)
+
+let find_idle mgr =
+  let rec go r =
+    if r >= mgr.cfg.ncpus then None
+    else match mgr.cpus.(r) with Idle -> Some r | Busy _ -> go (r + 1)
+  in
+  go 1
+
+(* MUTLS_get_CPU: assign a rank to a new speculative thread, or 0 when
+   speculation is not possible. *)
+let get_cpu mgr (td : Thread_data.t) ~model ~point =
+  charge mgr td Stats.Find_cpu mgr.cfg.cost.find_cpu;
+
+  let model = Option.value mgr.cfg.model_override ~default:model in
+  (* A thread already asked to synchronize or roll back must not fork:
+     its children would be orphaned. *)
+  let doomed = Engine.ivar_peek td.sync_status <> None in
+  if doomed || not (may_fork mgr td model) then 0
+  else
+    match find_idle mgr with
+    | None -> 0
+    | Some rank ->
+      let child =
+        Thread_data.create ~gbuf:mgr.buffer_pool.(rank) ~id:mgr.next_id ~rank
+          ~fork_point:point ~is_main:false ~buffer_slots:mgr.cfg.buffer_slots
+          ~temp_slots:mgr.cfg.temp_slots ~max_locals:mgr.cfg.max_locals ()
+      in
+      mgr.next_id <- mgr.next_id + 1;
+      child.parent <- Some td;
+      ignore (Local_buffer.push_frame child.lbuf);
+      mgr.cpus.(rank) <- Busy child;
+      Stack.push child td.children;
+      (* keep the speculation-order list from growing without bound *)
+      if List.length mgr.spec_order > 4 * mgr.cfg.ncpus then
+        mgr.spec_order <-
+          List.filter (fun (t : Thread_data.t) -> t.alive) mgr.spec_order;
+      mgr.spec_order <- child :: mgr.spec_order;
+      mgr.live_spec <- mgr.live_spec + 1;
+      td.stats.n_forks <- td.stats.n_forks + 1;
+      if debug then
+        Printf.eprintf "[t=%.0f fork by=%d child=%d rank=%d]\n"
+          (Engine.now mgr.engine) td.id child.id rank;
+      rank
+
+let busy_exn mgr rank =
+  match mgr.cpus.(rank) with
+  | Busy td -> td
+  | Idle -> invalid_arg (Printf.sprintf "Thread_manager: CPU %d is idle" rank)
+
+(* --- fork-time local transfer (proxy side) -------------------------- *)
+
+let set_fork_reg mgr (parent : Thread_data.t) ~rank ~off value =
+  charge mgr parent Stats.Fork mgr.cfg.cost.per_local;
+  let child = busy_exn mgr rank in
+  (* With value prediction enabled, a local whose value changes between
+     fork and join by a stable stride is transferred pre-advanced by the
+     learned stride (the paper's §VI: induction variables "can also be
+     made live"); the original is kept for learning at the join. *)
+  let value =
+    if mgr.cfg.value_prediction then begin
+      Local_buffer.set_fork_orig child.lbuf off value;
+      match value with
+      | Local_buffer.Vi v -> (
+        match Hashtbl.find_opt mgr.strides (child.fork_point, off) with
+        | Some stride -> Local_buffer.Vi (Int64.add v stride)
+        | None -> value)
+      | Local_buffer.Vf _ -> value
+    end
+    else value
+  in
+  Local_buffer.set_fork_reg child.lbuf off value
+
+let set_fork_addr mgr (parent : Thread_data.t) ~rank ~off addr =
+  charge mgr parent Stats.Fork mgr.cfg.cost.per_local;
+  let child = busy_exn mgr rank in
+  Local_buffer.set_fork_addr child.lbuf off addr
+
+(* MUTLS_speculate: launch the speculative thread.  [body] runs the
+   interpreter on the stub/speculative function; the wrapper records
+   runtime and releases the CPU no matter how the thread ends. *)
+let speculate mgr (parent : Thread_data.t) ~rank ~counter body =
+  charge mgr parent Stats.Fork mgr.cfg.cost.fork;
+  let child = busy_exn mgr rank in
+  child.entry_counter <- counter;
+  Engine.spawn mgr.engine (fun () ->
+      let t0 = Engine.now mgr.engine in
+      let committed =
+        match body child with
+        | () -> false (* body returned without commit: treat as rollback *)
+        | exception Spec_finished ->
+          Engine.ivar_peek child.valid_status = Some Thread_data.commit
+      in
+      flush mgr child;
+      child.alive <- false;
+      (match mgr.cpus.(rank) with
+      | Busy td when td.id = child.id -> mgr.cpus.(rank) <- Idle
+      | _ -> ());
+      mgr.live_spec <- mgr.live_spec - 1;
+      if debug2 then
+        Printf.eprintf "[child=%d born=%.0f died=%.0f work=%.0f idle=%.0f fork=%.0f find=%.0f commit=%b cc=%d]\n"
+          child.id t0 (Engine.now mgr.engine)
+          (Stats.get child.stats Stats.Work)
+          (Stats.get child.stats Stats.Idle)
+          (Stats.get child.stats Stats.Fork)
+          (Stats.get child.stats Stats.Find_cpu)
+          committed child.commit_counter;
+      mgr.retired <-
+        { r_stats = child.stats;
+          r_runtime = Engine.now mgr.engine -. t0;
+          r_committed = committed }
+        :: mgr.retired)
+
+(* --- speculative entry (stub side) ----------------------------------- *)
+
+let get_fork_reg mgr (td : Thread_data.t) ~off =
+  charge mgr td Stats.Work mgr.cfg.cost.per_local;
+  Local_buffer.get_fork_reg td.lbuf off
+
+(* Bottom-frame stack variables are accessed at the parent's addresses
+   (through the GlobalBuffer); nested entries use the local alloca. *)
+let pick_stackaddr mgr (td : Thread_data.t) ~counter ~off ~own_addr =
+  charge mgr td Stats.Work mgr.cfg.cost.per_local;
+  if counter <> 0 then Local_buffer.get_fork_addr td.lbuf off else own_addr
+
+(* --- validation & commit -------------------------------------------- *)
+
+(* The parent's view of memory: main memory for the non-speculative
+   thread, memory overlaid with its own uncommitted writes for a
+   speculative parent. *)
+let parent_view mgr (parent : Thread_data.t) np =
+  if parent.is_main then mgr.mem.Memio.read_word np
+  else Global_buffer.view parent.gbuf mgr.mem np
+
+exception Validation_failed
+
+let validate_against_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
+  let checked = ref 0 in
+  (try
+     Global_buffer.iter_read_words td.gbuf (fun addr observed mask ->
+         incr checked;
+         let actual = parent_view mgr parent addr in
+         match mask with
+         | None -> if actual <> observed then raise Validation_failed
+         | Some mark ->
+           (* skip locally overwritten bytes *)
+           for b = 0 to 7 do
+             if Bytes.get mark b <> '\xff' then begin
+               let shift = 8 * b in
+               let byte_of w = Int64.to_int (Int64.shift_right_logical w shift) land 0xff in
+               if byte_of actual <> byte_of observed then raise Validation_failed
+             end
+           done);
+     true
+   with Validation_failed -> false)
+  |> fun ok ->
+  charge mgr td Stats.Validation
+    (float_of_int (max 1 !checked) *. mgr.cfg.cost.validate_word);
+  if ok && td.local_invalid then false
+  else if ok && mgr.cfg.rollback_probability > 0.0 then
+    Rng.next_float mgr.rng >= mgr.cfg.rollback_probability
+  else ok
+
+(* Commit the child's effects into the parent's world: main memory for
+   a non-speculative parent, the parent's buffers otherwise. *)
+let commit_into_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
+  let words = ref 0 in
+  if parent.is_main then words := Global_buffer.commit td.gbuf mgr.mem
+  else begin
+    (try
+       Global_buffer.iter_write_words td.gbuf (fun addr data pos mark mpos ->
+           incr words;
+           Global_buffer.merge_write parent.gbuf mgr.mem addr data pos mark mpos);
+       Global_buffer.iter_read_words td.gbuf (fun addr observed mask ->
+           match mask with
+           | None -> Global_buffer.merge_read parent.gbuf addr observed
+           | Some _ -> Global_buffer.merge_read parent.gbuf addr observed)
+     with Global_buffer.Overflow ->
+       (* The parent's buffers cannot absorb the child; poison the
+          parent so it rolls back (safe, conservative). *)
+       parent.local_invalid <- true)
+  end;
+  charge mgr td Stats.Commit (float_of_int (max 1 !words) *. mgr.cfg.cost.commit_word)
+
+let finalize_buffers mgr (td : Thread_data.t) =
+  let n = Global_buffer.finalize td.gbuf in
+  charge mgr td Stats.Finalize (float_of_int (max 1 n) *. mgr.cfg.cost.finalize_word)
+
+(* Terminal commit/rollback of a speculative thread that has been asked
+   to synchronize.  Sets valid_status and ends the fiber. *)
+let commit_or_rollback mgr (td : Thread_data.t) ~counter =
+  let parent = match td.parent with Some p -> p | None -> mgr.main in
+  let ok = validate_against_parent mgr td parent in
+  if (not ok) && debug then
+    Printf.eprintf "[rollback td=%d rank=%d local_invalid=%b reads=%d writes=%d]\n"
+      td.id td.rank td.local_invalid
+      (Global_buffer.read_set_size td.gbuf) (Global_buffer.write_set_size td.gbuf);
+  if ok then begin
+    commit_into_parent mgr td parent;
+    td.commit_counter <- counter;
+    (Local_buffer.top td.lbuf).counter <- counter;
+    finalize_buffers mgr td;
+    td.stats.n_commits <- td.stats.n_commits + 1;
+    Engine.ivar_set mgr.engine td.valid_status Thread_data.commit
+  end
+  else begin
+    Stats.work_to_wasted td.stats;
+    finalize_buffers mgr td;
+    td.stats.n_rollbacks <- td.stats.n_rollbacks + 1;
+    Engine.ivar_set mgr.engine td.valid_status Thread_data.rollback
+  end;
+  raise Spec_finished
+
+(* Kill an entire abandoned subtree: these threads will never be
+   joined, so they must be told to roll back (tree-form cascading
+   rollback, confined to the subtree). *)
+let rec nosync_subtree mgr (td : Thread_data.t) =
+  (match Engine.ivar_peek td.sync_status with
+  | None ->
+    if debug then
+      Printf.eprintf "[t=%.0f NOSYNC td=%d fork_point=%d work=%.0f]\n"
+        (Engine.now mgr.engine) td.id td.fork_point (Stats.get td.stats Stats.Work);
+    Engine.ivar_set mgr.engine td.sync_status Thread_data.nosync
+  | Some _ -> ());
+  Stack.iter (nosync_subtree mgr) td.children
+
+(* Rollback without a waiting parent (NOSYNC, overflow, bad address). *)
+let rollback_self mgr (td : Thread_data.t) ~kill_subtree =
+  Stats.work_to_wasted td.stats;
+  finalize_buffers mgr td;
+  td.stats.n_rollbacks <- td.stats.n_rollbacks + 1;
+  if kill_subtree then Stack.iter (nosync_subtree mgr) td.children;
+  (match Engine.ivar_peek td.valid_status with
+  | None -> Engine.ivar_set mgr.engine td.valid_status Thread_data.rollback
+  | Some _ -> ());
+  raise Spec_finished
+
+let rollback_overflow mgr (td : Thread_data.t) =
+  td.stats.n_overflows <- td.stats.n_overflows + 1;
+  Stats.add td.stats Stats.Overflow 0.0;
+  rollback_self mgr td ~kill_subtree:false
+
+(* --- speculative memory access --------------------------------------- *)
+
+let spec_load mgr (td : Thread_data.t) ~addr ~size =
+  td.stats.n_loads <- td.stats.n_loads + 1;
+  if Local_buffer.in_own_stack td.lbuf addr then begin
+    tick mgr td mgr.cfg.cost.mem;
+    let v = ref 0L in
+    (match size with
+    | 8 -> v := mgr.mem.Memio.read_word addr
+    | _ ->
+      let x = ref 0L in
+      for k = size - 1 downto 0 do
+        x := Int64.logor (Int64.shift_left !x 8)
+               (Int64.of_int (mgr.mem.Memio.read_byte (addr + k)))
+      done;
+      v := !x);
+    !v
+  end
+  else if registered mgr addr size then begin
+    match Global_buffer.read td.gbuf mgr.mem addr size with
+    | v, hit ->
+      tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss);
+      v
+    | exception Global_buffer.Overflow -> rollback_overflow mgr td
+  end
+  else begin
+    td.bad_access <- true;
+    rollback_self mgr td ~kill_subtree:false
+  end
+
+let spec_store mgr (td : Thread_data.t) ~addr ~size v =
+  td.stats.n_stores <- td.stats.n_stores + 1;
+  if Local_buffer.in_own_stack td.lbuf addr then begin
+    tick mgr td mgr.cfg.cost.mem;
+    match size with
+    | 8 -> mgr.mem.Memio.write_word addr v
+    | _ ->
+      for k = 0 to size - 1 do
+        mgr.mem.Memio.write_byte (addr + k)
+          (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff)
+      done
+  end
+  else if registered mgr addr size then begin
+    match Global_buffer.write td.gbuf mgr.mem addr size v with
+    | hit ->
+      tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss)
+    | exception Global_buffer.Overflow -> rollback_overflow mgr td
+  end
+  else begin
+    td.bad_access <- true;
+    rollback_self mgr td ~kill_subtree:false
+  end
+
+(* --- synchronization points (speculative side) ------------------------ *)
+
+(* Wait to be joined (terminate points, barriers, conflicts).  Never
+   returns normally unless the verdict allows continuing. *)
+let await_join mgr (td : Thread_data.t) ~counter =
+  flush mgr td;
+  let t0 = Engine.now mgr.engine in
+  let v = Engine.wait mgr.engine td.sync_status in
+  Stats.add td.stats Stats.Idle (Engine.now mgr.engine -. t0);
+  if v = Thread_data.sync then commit_or_rollback mgr td ~counter
+  else rollback_self mgr td ~kill_subtree:true
+
+(* MUTLS_check_point: true = the parent wants to join; the caller saves
+   live locals and then calls MUTLS_commit. *)
+let check_point mgr (td : Thread_data.t) ~counter =
+  td.stats.n_checkpoints <- td.stats.n_checkpoints + 1;
+  tick mgr td mgr.cfg.cost.check_point;
+  match Engine.ivar_peek td.sync_status with
+  | Some s when s = Thread_data.nosync -> rollback_self mgr td ~kill_subtree:true
+  | Some _ -> true
+  | None ->
+    if Global_buffer.conflict_pending td.gbuf then begin
+      (* hash conflict spilled to the temporary buffer: wait to be
+         joined here (paper §IV-G2) *)
+      td.stats.n_conflict_stalls <- td.stats.n_conflict_stalls + 1;
+      await_join mgr td ~counter
+    end
+    else false
+
+(* MUTLS_commit: called after the check point's commit block saved the
+   live locals. *)
+let commit mgr (td : Thread_data.t) ~counter = commit_or_rollback mgr td ~counter
+
+(* MUTLS_terminate_point: speculation cannot proceed past this point. *)
+let terminate_point mgr (td : Thread_data.t) ~counter = await_join mgr td ~counter
+
+(* MUTLS_barrier_point: stop only at the speculative entry level. *)
+let barrier_point mgr (td : Thread_data.t) ~counter =
+  if Local_buffer.depth td.lbuf <= 1 then (await_join mgr td ~counter : unit)
+
+(* MUTLS_ptr_int_cast: pointer/integer casts are only safe for values
+   inside the registered global address space. *)
+let ptr_int_cast mgr (td : Thread_data.t) ~counter value =
+  if
+    Address_space.contains mgr.addr_space value
+    || Local_buffer.in_own_stack td.lbuf value
+  then ()
+  else await_join mgr td ~counter
+
+(* MUTLS_enter_point / MUTLS_return_point: explicit stack frame
+   tracking for reconstruction (§IV-H). *)
+let enter_point mgr (td : Thread_data.t) ~counter =
+  tick mgr td mgr.cfg.cost.call;
+  (Local_buffer.top td.lbuf).counter <- counter;
+  ignore (Local_buffer.push_frame td.lbuf)
+
+let return_point mgr (td : Thread_data.t) ~counter =
+  tick mgr td mgr.cfg.cost.call;
+  if Local_buffer.depth td.lbuf <= 1 then (await_join mgr td ~counter : unit)
+  else Local_buffer.pop_frame td.lbuf
+
+(* --- commit-time local save (speculative side) ------------------------ *)
+
+let save_regvar mgr (td : Thread_data.t) ~off value =
+  tick mgr td mgr.cfg.cost.per_local;
+  Local_buffer.set_reg (Local_buffer.top td.lbuf) td.lbuf off value
+
+let save_stackvar mgr (td : Thread_data.t) ~off ~addr ~size =
+  tick mgr td (mgr.cfg.cost.per_local +. float_of_int size *. 0.25);
+  Local_buffer.save_stackvar td.lbuf (Local_buffer.top td.lbuf)
+    ~read_byte:mgr.mem.Memio.read_byte ~off ~addr ~size
+
+(* --- join (parent side, §IV-E/F) -------------------------------------- *)
+
+(* MUTLS_validate_local: compare the parent's live value at the join
+   point with the value speculated at fork time. *)
+let validate_local mgr (parent : Thread_data.t) ~rank ~point ~off value =
+  charge mgr parent (join_cat parent) mgr.cfg.cost.per_local;
+  if debug then
+    Printf.eprintf "[t=%.0f validate by=%d off=%d val=%s]\n"
+      (Engine.now mgr.engine) parent.id off
+      (match value with
+      | Local_buffer.Vi n -> Int64.to_string n
+      | Local_buffer.Vf x -> string_of_float x);
+  let found = ref None in
+  Stack.iter
+    (fun (c : Thread_data.t) ->
+      if !found = None && c.rank = rank && c.fork_point = point then found := Some c)
+    parent.children;
+  match !found with
+  | None -> ()
+  | Some child ->
+    (* Learn the stride between the original fork-time value and the
+       actual value at the join, so the next speculation on this point
+       predicts correctly (accumulators, induction variables). *)
+    (if mgr.cfg.value_prediction then
+       match (Local_buffer.get_fork_orig child.lbuf off, value) with
+       | Some (Local_buffer.Vi orig), Local_buffer.Vi actual ->
+         Hashtbl.replace mgr.strides (child.fork_point, off)
+           (Int64.sub actual orig)
+       | _ -> ());
+    (match Local_buffer.get_fork_reg child.lbuf off with
+    | v when v = value -> ()
+    | _ -> child.local_invalid <- true
+    | exception Invalid_argument _ -> child.local_invalid <- true)
+
+(* Pop children until the expected one is found, NOSYNCing mismatches
+   and their subtrees; inherit the joined child's children. *)
+let synchronize mgr (parent : Thread_data.t) ~point ~rank =
+  charge mgr parent (join_cat parent) mgr.cfg.cost.sync_fixed;
+  if debug then
+    Printf.eprintf "[t=%.0f synchronize by=%d expect_rank=%d stack=%s]\n"
+      (Engine.now mgr.engine) parent.id rank
+      (String.concat ","
+         (List.rev (Stack.fold (fun acc (c : Thread_data.t) -> string_of_int c.id :: acc) [] parent.children)));
+  let rec pop_until () =
+    if Stack.is_empty parent.children then None
+    else begin
+      let c = Stack.pop parent.children in
+      if
+        c.rank = rank && c.fork_point = point
+        && Engine.ivar_peek c.sync_status = None
+      then Some c
+      else begin
+        nosync_subtree mgr c;
+        pop_until ()
+      end
+    end
+  in
+  match pop_until () with
+  | None -> false
+  | Some child ->
+    let verdict =
+      match Engine.ivar_peek child.valid_status with
+      | Some v -> v (* unilateral rollback already decided *)
+      | None ->
+        Engine.ivar_set mgr.engine child.sync_status Thread_data.sync;
+        let t0 = Engine.now mgr.engine in
+        let v = Engine.wait mgr.engine child.valid_status in
+        Stats.add parent.stats (join_cat parent) (Engine.now mgr.engine -. t0);
+        v
+    in
+    (* Inherit grandchildren only now that the child has stopped: it
+       may have been joining or forking until the moment it noticed the
+       synchronization request.  They represent execution following the
+       child's region and are joined by this thread next, whatever the
+       child's verdict (local conflicts do not incur global rollbacks).
+       Under the Linear_cascade ablation, a rolled-back child squashes
+       its whole subtree instead — the behaviour of previous linear
+       mixed-model systems the paper improves on. *)
+    (if mgr.cfg.cascade = Config.Linear_cascade && verdict <> Thread_data.commit
+     then Stack.iter (nosync_subtree mgr) child.children
+     else begin
+       let inherited = ref [] in
+       while not (Stack.is_empty child.children) do
+         inherited := Stack.pop child.children :: !inherited
+       done;
+       List.iter
+         (fun (g : Thread_data.t) ->
+           g.parent <- Some parent;
+           Stack.push g parent.children)
+         !inherited
+     end);
+    if debug then
+      Printf.eprintf "[t=%.0f sync parent=%d child=%d verdict=%s depth=%d bottom_counter=%d commit_counter=%d]\n"
+        (Engine.now mgr.engine) parent.id child.id
+        (if verdict = Thread_data.commit then "COMMIT" else "ROLLBACK")
+        (Local_buffer.depth child.lbuf)
+        (match Local_buffer.frames_bottom_up child.lbuf with
+         | b :: _ -> b.Local_buffer.counter | [] -> -1)
+        child.commit_counter;
+    if verdict = Thread_data.commit then begin
+      match Local_buffer.frames_bottom_up child.lbuf with
+      | [] -> invalid_arg "Thread_manager.synchronize: no frames"
+      | bottom :: rest ->
+        parent.restore <-
+          Some { Thread_data.r_pending = rest; r_cur = bottom; r_mappings = [] };
+        parent.last_sync_counter <- bottom.Local_buffer.counter;
+        parent.last_sync_rank <- child.rank;
+        true
+    end
+    else false
+
+(* --- restore (parent side, after a successful join) ------------------- *)
+
+let restore_state_exn (parent : Thread_data.t) =
+  match parent.restore with
+  | Some r -> r
+  | None -> invalid_arg "Thread_manager: restore outside of a join"
+
+let restore_regvar mgr (parent : Thread_data.t) ~off ~is_ptr =
+  charge mgr parent (join_cat parent) mgr.cfg.cost.per_local;
+  let r = restore_state_exn parent in
+  let v = Local_buffer.get_reg r.Thread_data.r_cur parent.lbuf off in
+  if is_ptr then
+    match v with
+    | Local_buffer.Vi addr -> (
+      match Thread_data.map_pointer r (Int64.to_int addr) with
+      | Some mapped -> Local_buffer.Vi (Int64.of_int mapped)
+      | None -> v)
+    | Local_buffer.Vf _ -> v
+  else v
+
+(* Copy a saved nested-frame stack variable into the parent's fresh
+   alloca and record the pointer mapping.  Bottom-frame variables were
+   updated in place through the GlobalBuffer and need no copy. *)
+let restore_stackvar mgr (parent : Thread_data.t) ~off ~addr ~size =
+  charge mgr parent (join_cat parent)
+    (mgr.cfg.cost.per_local +. (float_of_int size *. 0.25));
+  let r = restore_state_exn parent in
+  match Local_buffer.find_stackvar r.Thread_data.r_cur off with
+  | None -> ()
+  | Some sv -> (
+    match sv.Local_buffer.sv_data with
+    | None -> () (* in-place bottom-frame variable *)
+    | Some data ->
+      for k = 0 to sv.Local_buffer.sv_size - 1 do
+        mgr.mem.Memio.write_byte (addr + k) (Char.code (Bytes.get data k))
+      done;
+      r.Thread_data.r_mappings <-
+        (sv.Local_buffer.sv_spec_addr, addr, sv.Local_buffer.sv_size)
+        :: r.Thread_data.r_mappings)
+
+(* MUTLS_sync_entry: stack-frame reconstruction dispatch at the top of
+   every non-speculative function reachable from a speculative one.
+   Returns 0 for normal entry, otherwise the synchronization counter of
+   the next recorded frame. *)
+let sync_entry mgr (parent : Thread_data.t) =
+  match parent.restore with
+  | None -> 0
+  | Some r -> (
+    match r.Thread_data.r_pending with
+    | [] -> 0
+    | f :: rest ->
+      charge mgr parent (join_cat parent) mgr.cfg.cost.call;
+      r.Thread_data.r_cur <- f;
+      r.Thread_data.r_pending <- rest;
+      f.Local_buffer.counter)
+
+(* --- end of program --------------------------------------------------- *)
+
+(* The main thread finished: any still-live speculative thread is
+   abandoned (its region was re-executed or never needed). *)
+let shutdown mgr =
+  flush mgr mgr.main;
+  Stack.iter (nosync_subtree mgr) mgr.main.children;
+  Stack.clear mgr.main.children

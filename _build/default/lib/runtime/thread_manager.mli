@@ -1,0 +1,148 @@
+(** ThreadManager (paper §IV): virtual CPU management, fork-model
+    enforcement, speculation, the tree-form synchronization protocol of
+    §IV-F, validation/commit/rollback, and stack-frame reconstruction
+    (§IV-H).  All timing flows through the simulation engine; the
+    per-category accounting feeds Figures 8 and 9.
+
+    Set [MUTLS_DEBUG=1] for a fork/join/commit event trace on stderr
+    and [MUTLS_DEBUG2=1] for per-thread lifetime accounting. *)
+
+exception Spec_finished
+(** Raised inside a speculative thread's fiber once it has committed or
+    rolled back; unwinds the interpreter back to the fiber body. *)
+
+type cpu_state = Idle | Busy of Thread_data.t
+
+(** Record of a finished speculative thread, for the metrics. *)
+type retired = { r_stats : Stats.t; r_runtime : float; r_committed : bool }
+
+type t = {
+  cfg : Config.t;
+  engine : Mutls_sim.Engine.t;
+  mem : Memio.t;
+  addr_space : Address_space.t;
+  cpus : cpu_state array;
+  mutable next_id : int;
+  mutable spec_order : Thread_data.t list;
+  mutable live_spec : int;
+  rng : Mutls_sim.Rng.t;
+  main : Thread_data.t;
+  mutable retired : retired list;
+  strides : (int * int, int64) Hashtbl.t;
+  buffer_pool : Global_buffer.t array;
+}
+
+val create : Config.t -> Mutls_sim.Engine.t -> Memio.t -> t
+
+(** {1 Virtual-time accounting} *)
+
+val flush : t -> Thread_data.t -> unit
+val tick : t -> Thread_data.t -> float -> unit
+(** Accumulate interpreter work cost; yields to the scheduler once per
+    quantum. *)
+
+val charge : t -> Thread_data.t -> Stats.category -> float -> unit
+
+(** {1 Address space} *)
+
+val register_range : t -> int -> int -> unit
+val unregister_range : t -> int -> int -> unit
+val registered : t -> int -> int -> bool
+
+(** {1 Fork (§IV-D)} *)
+
+val get_cpu : t -> Thread_data.t -> model:Config.model -> point:int -> int
+(** MUTLS_get_CPU: assign a rank to a new speculative thread, or 0 when
+    speculation is not possible (no idle CPU, the forking-model policy
+    forbids it, or the would-be parent is already asked to stop). *)
+
+val set_fork_reg : t -> Thread_data.t -> rank:int -> off:int -> Local_buffer.v -> unit
+(** Fork-time register transfer; applies stride value prediction when
+    the configuration enables it. *)
+
+val set_fork_addr : t -> Thread_data.t -> rank:int -> off:int -> int -> unit
+
+val speculate :
+  t -> Thread_data.t -> rank:int -> counter:int -> (Thread_data.t -> unit) -> unit
+(** MUTLS_speculate: launch the child fiber; [body] runs the
+    interpreter on the stub function.  The wrapper records the thread's
+    runtime and releases its CPU however the fiber ends. *)
+
+(** {1 Speculative entry (stub side)} *)
+
+val get_fork_reg : t -> Thread_data.t -> off:int -> Local_buffer.v
+val pick_stackaddr : t -> Thread_data.t -> counter:int -> off:int -> own_addr:int -> int
+(** Bottom-frame stack variables resolve to the parent's addresses;
+    nested entries use the local alloca. *)
+
+(** {1 Speculative memory access} *)
+
+val spec_load : t -> Thread_data.t -> addr:int -> size:int -> int64
+(** Own-stack accesses go straight to memory; registered global
+    addresses through the GlobalBuffer; anything else rolls the thread
+    back.  Never returns on a rollback path. *)
+
+val spec_store : t -> Thread_data.t -> addr:int -> size:int -> int64 -> unit
+
+(** {1 Synchronization points (speculative side)} *)
+
+val check_point : t -> Thread_data.t -> counter:int -> bool
+(** Poll the sync flag; [true] means the parent wants to join — the
+    caller saves its live locals and calls {!commit}. *)
+
+val commit : t -> Thread_data.t -> counter:int -> 'a
+(** Validate against the parent's view, then commit into the parent's
+    world (main memory, or the parent's buffers when the parent is
+    itself speculative) or roll back.  @raise Spec_finished always. *)
+
+val terminate_point : t -> Thread_data.t -> counter:int -> 'a
+(** Speculation cannot proceed: wait to be joined, then commit or roll
+    back.  @raise Spec_finished always. *)
+
+val barrier_point : t -> Thread_data.t -> counter:int -> unit
+(** Stop only at the speculative entry level (paper Fig. 1 barriers). *)
+
+val ptr_int_cast : t -> Thread_data.t -> counter:int -> int -> unit
+(** Barrier unless the value lies in the registered global space or the
+    thread's own stack (§IV-G3 pointer/integer casts). *)
+
+val enter_point : t -> Thread_data.t -> counter:int -> unit
+val return_point : t -> Thread_data.t -> counter:int -> unit
+(** Frame tracking for reconstruction; a return at entry depth behaves
+    like {!terminate_point}. *)
+
+val save_regvar : t -> Thread_data.t -> off:int -> Local_buffer.v -> unit
+val save_stackvar : t -> Thread_data.t -> off:int -> addr:int -> size:int -> unit
+
+(** {1 Join (parent side, §IV-E/F)} *)
+
+val validate_local :
+  t -> Thread_data.t -> rank:int -> point:int -> off:int -> Local_buffer.v -> unit
+(** Compare the parent's live value at the join point with the value
+    speculated at fork time; a mismatch marks the child invalid.  Also
+    the stride-learning hook of the value-prediction extension. *)
+
+val synchronize : t -> Thread_data.t -> point:int -> rank:int -> bool
+(** The §IV-F protocol: pop mismatched children (NOSYNC their
+    subtrees), stop and await the matching child, inherit its children
+    once it stopped, and report commit/rollback.  On commit the
+    parent's restore state and [last_sync_counter]/[last_sync_rank] are
+    set. *)
+
+val restore_regvar : t -> Thread_data.t -> off:int -> is_ptr:bool -> Local_buffer.v
+(** Read a committed local from the current restore frame, applying the
+    pointer mapping for pointer-typed values. *)
+
+val restore_stackvar : t -> Thread_data.t -> off:int -> addr:int -> size:int -> unit
+
+val sync_entry : t -> Thread_data.t -> int
+(** Stack-frame reconstruction dispatch at the top of every
+    non-speculative function reachable from a speculative one: 0 for a
+    normal entry, otherwise the synchronization counter of the next
+    recorded frame. *)
+
+(** {1 End of program} *)
+
+val shutdown : t -> unit
+(** NOSYNC any still-live speculative threads (their regions were
+    re-executed or never needed). *)

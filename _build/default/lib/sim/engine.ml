@@ -1,0 +1,116 @@
+(* Deterministic discrete-event simulator.  Simulated threads are
+   effect-handler coroutines; each carries a virtual clock and yields
+   to the central event heap when it consumes time (Advance) or blocks
+   on a one-shot flag (Wait).  This is the substitute for the paper's
+   64-core machine: the TLS runtime and the transformed programs run
+   for real, but time is virtual, so any number of "CPUs" can be
+   simulated on a single host core, reproducibly. *)
+
+type ivar = {
+  mutable value : int option;
+  mutable waiters : (int, unit) Effect.Deep.continuation list;
+}
+(* One-shot integer flag: models the paper's volatile sync_status /
+   valid_status variables, which transition exactly once from NULL. *)
+
+type task =
+  | Start of (unit -> unit)
+  | Resume_unit of (unit, unit) Effect.Deep.continuation
+  | Resume_int of (int, unit) Effect.Deep.continuation * int
+
+type t = {
+  heap : task Heap.t;
+  mutable clock : float;
+  mutable blocked : int;
+  mutable spawned : int;
+}
+
+type _ Effect.t +=
+  | Advance : (t * float) -> unit Effect.t
+  | Wait : (t * ivar) -> int Effect.t
+
+exception Deadlock of int (* number of threads still blocked *)
+
+let create () = { heap = Heap.create (); clock = 0.0; blocked = 0; spawned = 0 }
+
+let now e = e.clock
+
+let new_ivar () = { value = None; waiters = [] }
+
+let ivar_peek iv = iv.value
+
+(* Set a flag; wakes all waiters at the current virtual time.  Must be
+   called from inside the simulation (or before it starts). *)
+let ivar_set e iv v =
+  match iv.value with
+  | Some _ -> invalid_arg "Engine.ivar_set: already set"
+  | None ->
+    iv.value <- Some v;
+    List.iter
+      (fun k ->
+        e.blocked <- e.blocked - 1;
+        Heap.push e.heap e.clock (Resume_int (k, v)))
+      (List.rev iv.waiters);
+    iv.waiters <- []
+
+(* Schedule a new simulated thread at the current virtual time. *)
+let spawn e f =
+  e.spawned <- e.spawned + 1;
+  Heap.push e.heap e.clock (Start f)
+
+(* --- Operations usable only inside a simulated thread ------------- *)
+
+let advance e dt =
+  if dt < 0.0 then invalid_arg "Engine.advance: negative time";
+  Effect.perform (Advance (e, dt))
+
+(* Block until the flag is set; returns its value.  If already set,
+   continues immediately without consuming virtual time. *)
+let wait e iv =
+  match iv.value with Some v -> v | None -> Effect.perform (Wait (e, iv))
+
+(* --- Scheduler ----------------------------------------------------- *)
+
+let exec _e f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun ex -> raise ex);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Advance (e', dt) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                Heap.push e'.heap (e'.clock +. dt) (Resume_unit k))
+          | Wait (e', iv) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                match iv.value with
+                | Some v -> continue k v
+                | None ->
+                  e'.blocked <- e'.blocked + 1;
+                  iv.waiters <- k :: iv.waiters)
+          | _ -> None);
+    }
+
+(* Run [main] plus everything it spawns to completion; returns the
+   final virtual time.  Raises [Deadlock] if threads remain blocked on
+   flags that nobody will ever set. *)
+let run e main =
+  spawn e main;
+  let rec loop () =
+    match Heap.pop e.heap with
+    | None -> ()
+    | Some (t, task) ->
+      e.clock <- t;
+      (match task with
+      | Start f -> exec e f
+      | Resume_unit k -> Effect.Deep.continue k ()
+      | Resume_int (k, v) -> Effect.Deep.continue k v);
+      loop ()
+  in
+  loop ();
+  if e.blocked > 0 then raise (Deadlock e.blocked);
+  e.clock

@@ -1,0 +1,46 @@
+(** Deterministic discrete-event simulator.  Simulated threads are
+    effect-handler coroutines; each carries a virtual clock and yields
+    to a central event heap when it consumes time ({!advance}) or
+    blocks on a one-shot flag ({!wait}).
+
+    This is the substitute for the paper's 64-core machine: the TLS
+    runtime and the transformed programs execute for real, but time is
+    virtual, so any number of "CPUs" can be simulated on a single host
+    core, reproducibly. *)
+
+type ivar
+(** One-shot integer flag: models the paper's volatile
+    [sync_status] / [valid_status] variables, which transition exactly
+    once from NULL. *)
+
+type t
+
+exception Deadlock of int
+(** Raised by {!run} when threads remain blocked on flags nobody will
+    set; carries the number of stuck threads. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val new_ivar : unit -> ivar
+val ivar_peek : ivar -> int option
+
+val ivar_set : t -> ivar -> int -> unit
+(** Set a flag, waking all waiters at the current virtual time.
+    @raise Invalid_argument if already set. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Schedule a new simulated thread at the current virtual time. *)
+
+val advance : t -> float -> unit
+(** Consume virtual time; only valid inside a simulated thread. *)
+
+val wait : t -> ivar -> int
+(** Block until the flag is set and return its value; continues
+    immediately (without consuming time) if already set. *)
+
+val run : t -> (unit -> unit) -> float
+(** Run [main] plus everything it spawns to completion; returns the
+    final virtual time.  @raise Deadlock if blocked threads remain. *)

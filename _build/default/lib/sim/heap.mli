@@ -1,0 +1,12 @@
+(** Binary min-heap keyed by (time, insertion sequence).  The sequence
+    number makes the event order total, hence the whole simulation
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Smallest time first; FIFO among equal times. *)

@@ -1,0 +1,27 @@
+(* SplitMix64: tiny, fast, deterministic.  Used for rollback injection
+   (paper Fig. 11) and property-test data; keeping our own generator
+   means simulation results never depend on the OCaml stdlib Random
+   implementation. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform float in [0, 1). *)
+let next_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(* Uniform int in [0, bound). *)
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Rng.next_int";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) in
+  r mod bound

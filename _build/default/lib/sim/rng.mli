@@ -1,0 +1,13 @@
+(** SplitMix64: tiny, fast, deterministic.  Used for rollback injection
+    (paper Fig. 11) and property-test data, so simulation results never
+    depend on the OCaml stdlib Random implementation. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+val next_float : t -> float
+(** Uniform in [0, 1). *)
+
+val next_int : t -> int -> int
+(** Uniform in [0, bound); @raise Invalid_argument if bound <= 0. *)

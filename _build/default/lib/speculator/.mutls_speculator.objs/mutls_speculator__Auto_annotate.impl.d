@@ -1,0 +1,1 @@
+lib/speculator/auto_annotate.ml: Array Cfg Hashtbl List Mutls_mir

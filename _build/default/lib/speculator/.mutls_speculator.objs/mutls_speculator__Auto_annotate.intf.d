@@ -1,0 +1,1 @@
+lib/speculator/auto_annotate.mli: Mutls_mir

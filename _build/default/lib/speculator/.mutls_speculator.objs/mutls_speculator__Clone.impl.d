@@ -1,0 +1,1 @@
+lib/speculator/clone.ml: Hashtbl List Mutls_mir Option

@@ -1,0 +1,1 @@
+lib/speculator/clone.mli: Mutls_mir

@@ -1,0 +1,1 @@
+lib/speculator/pass.ml: Array Cfg Clone Hashtbl Int Int64 List Mem2reg Mutls_mir Option Printf Reg2mem Set Verify

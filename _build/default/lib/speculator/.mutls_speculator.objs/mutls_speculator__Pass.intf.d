@@ -1,0 +1,1 @@
+lib/speculator/pass.mli: Mutls_mir

@@ -1,0 +1,1 @@
+lib/speculator/reg2mem.ml: Hashtbl Int List Map Mutls_mir Option

@@ -1,0 +1,1 @@
+lib/speculator/reg2mem.mli: Map Mutls_mir

@@ -1,0 +1,186 @@
+(* Automatic fork heuristics (paper §VI, future work): insert
+   MUTLS fork/join annotations without programmer directives.
+
+   The heuristic speculates loop continuations, the pattern the paper's
+   hand-annotated loop benchmarks use: a fork at the top of the loop
+   body and a join at the bottom, so each speculative thread continues
+   the loop from the next iteration (and, under the mixed model, forks
+   further).  Candidates are outermost natural loops with a single
+   latch whose body is substantial (contains a real call or a nested
+   loop) — the same cost filter the check-point placement uses.
+   Correctness never depends on the heuristic: a badly chosen point
+   only causes rollbacks. *)
+
+open Mutls_mir
+open Mutls_mir.Ir
+
+let has_annotations (f : func) =
+  List.exists
+    (fun b ->
+      List.exists
+        (fun i ->
+          match i.kind with
+          | Call (n, _) -> is_source_intrinsic n
+          | _ -> false)
+        b.insts)
+    f.blocks
+
+(* Natural loops: (header index, body index set, latch index) for every
+   back edge, merged per header; only single-latch loops qualify. *)
+let natural_loops (cfg : Cfg.t) =
+  let n = Cfg.nblocks cfg in
+  let color = Array.make n 0 in
+  let back_edges = ref [] in
+  let rec dfs u =
+    color.(u) <- 1;
+    List.iter
+      (fun v ->
+        if color.(v) = 1 then back_edges := (u, v) :: !back_edges
+        else if color.(v) = 0 then dfs v)
+      cfg.Cfg.succs.(u);
+    color.(u) <- 2
+  in
+  if n > 0 then dfs 0;
+  let loops = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let body =
+        match Hashtbl.find_opt loops header with
+        | Some (b, _) -> b
+        | None ->
+          let b = Hashtbl.create 8 in
+          Hashtbl.replace b header ();
+          Hashtbl.replace loops header (b, ref []);
+          b
+      in
+      let _, latches = Hashtbl.find loops header in
+      latches := latch :: !latches;
+      let rec up x =
+        if not (Hashtbl.mem body x) then begin
+          Hashtbl.replace body x ();
+          List.iter up cfg.Cfg.preds.(x)
+        end
+      in
+      up latch)
+    !back_edges;
+  Hashtbl.fold
+    (fun header (body, latches) acc -> (header, body, !latches) :: acc)
+    loops []
+
+(* Annotate one function; returns the number of fork/join pairs added. *)
+let annotate_func (m : modul) (f : func) =
+  if has_annotations f then 0
+  else begin
+    let cfg = Cfg.of_func f in
+    let loops = natural_loops cfg in
+    (* outermost: header not strictly inside another loop's body *)
+    let outermost =
+      List.filter
+        (fun (h, _, _) ->
+          not
+            (List.exists
+               (fun (h', body', _) -> h' <> h && Hashtbl.mem body' h)
+               loops))
+        loops
+    in
+    let next_id = ref 0 in
+    List.iter
+      (fun (header, body, latches) ->
+        match latches with
+        | [ latch ] -> (
+          let has_call =
+            Hashtbl.fold
+              (fun bi () acc ->
+                acc
+                || List.exists
+                     (fun i ->
+                       match i.kind with
+                       | Call (name, _) ->
+                         (not (is_runtime_call name))
+                         && not (is_source_intrinsic name)
+                       | _ -> false)
+                     cfg.Cfg.blocks.(bi).insts)
+              body false
+          in
+          let has_inner =
+            List.exists
+              (fun (h', _, _) -> h' <> header && Hashtbl.mem body h')
+              loops
+          in
+          if has_call || has_inner then
+            (* fork at the top of the in-loop successor of the header,
+               join at the end of the (unique) latch *)
+            let in_loop_succs =
+              List.filter (fun s -> Hashtbl.mem body s) cfg.Cfg.succs.(header)
+            in
+            match in_loop_succs with
+            | [ entry_bi ] when cfg.Cfg.blocks.(entry_bi).phis = [] ->
+              let p = !next_id in
+              incr next_id;
+              let entry_blk = cfg.Cfg.blocks.(entry_bi) in
+              entry_blk.insts <-
+                { id = -1; ity = Void;
+                  kind = Call (fork_intrinsic, [ i64 p; i64 0 ]) }
+                :: entry_blk.insts;
+              (* the join goes at the START of the latch, before the
+                 induction step: the loop counter is then unchanged
+                 between fork and join, so MUTLS_validate_local
+                 succeeds without value prediction *)
+              let latch_blk = cfg.Cfg.blocks.(latch) in
+              latch_blk.insts <-
+                { id = -1; ity = Void;
+                  kind = Call (join_intrinsic, [ i64 p ]) }
+                :: latch_blk.insts;
+              ()
+            | _ -> ())
+        | _ -> ())
+      outermost;
+    ignore m;
+    !next_id
+  end
+
+(* Annotate the module in place, outermost parallelism first: walk the
+   call graph top-down from its roots and stop descending below any
+   function that received speculation points — speculating both an
+   outer chunk loop and the tiny loops inside its callees would only
+   add churn (the same reason the paper's hand annotations sit at the
+   outermost profitable level).  Returns the number of fork/join pairs
+   inserted. *)
+let run (m : modul) =
+  let callees_of f =
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (fun i ->
+            match i.kind with
+            | Call (n, _) when find_func m n <> None -> Some n
+            | _ -> None)
+          b.insts)
+      f.blocks
+  in
+  let called = Hashtbl.create 16 in
+  List.iter
+    (fun f -> List.iter (fun c -> Hashtbl.replace called c ()) (callees_of f))
+    m.funcs;
+  let roots =
+    match find_func m "main" with
+    | Some main -> [ main ]
+    | None -> List.filter (fun f -> not (Hashtbl.mem called f.fname)) m.funcs
+  in
+  let visited = Hashtbl.create 16 in
+  let total = ref 0 in
+  let rec visit (f : func) =
+    if not (Hashtbl.mem visited f.fname) then begin
+      Hashtbl.replace visited f.fname ();
+      let n = annotate_func m f in
+      total := !total + n;
+      (* descend only when this level found no parallelism *)
+      if n = 0 then
+        List.iter
+          (fun c ->
+            match find_func m c with Some g -> visit g | None -> ())
+          (callees_of f)
+    end
+  in
+  List.iter visit roots;
+  !total

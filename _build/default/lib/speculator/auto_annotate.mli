@@ -1,0 +1,21 @@
+(** Automatic fork heuristics (paper §VI, future work): insert MUTLS
+    fork/join annotations without programmer directives.
+
+    The heuristic speculates loop continuations — a fork at the top of
+    the loop body, a join at the start of the latch (before the
+    induction step, so the loop counter validates without prediction).
+    Candidates are outermost natural loops with a single latch whose
+    body contains a real call or a nested loop, visited top-down from
+    the call-graph roots; descent stops below any function that
+    received points (outermost parallelism first).  Correctness never
+    depends on the heuristic: a badly chosen point only rolls back. *)
+
+val has_annotations : Mutls_mir.Ir.func -> bool
+
+val annotate_func : Mutls_mir.Ir.modul -> Mutls_mir.Ir.func -> int
+(** Annotate one (un-annotated) function in place; returns the number
+    of fork/join pairs inserted. *)
+
+val run : Mutls_mir.Ir.modul -> int
+(** Annotate the module in place; returns the total number of
+    speculation points inserted. *)

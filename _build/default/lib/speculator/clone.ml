@@ -1,0 +1,34 @@
+(* Deep copies of MIR functions and modules.  The speculator pass keeps
+   the sequential module intact and works on a fresh copy; it also
+   clones each prepared function into its ".spec" version (paper §IV-C
+   step 1), with two extra parameters (counter, rank). *)
+
+open Mutls_mir.Ir
+
+let clone_block (b : block) =
+  {
+    bname = b.bname;
+    phis =
+      List.map (fun p -> { pid = p.pid; pty = p.pty; incoming = p.incoming }) b.phis;
+    insts = b.insts; (* instr records are immutable *)
+    term = b.term;
+  }
+
+let clone_func ?(new_name : string option) ?(extra_params : (string * ty) list = [])
+    (f : func) =
+  let reg_tys = Hashtbl.copy f.reg_tys in
+  {
+    fname = Option.value new_name ~default:f.fname;
+    params = f.params @ extra_params;
+    ret = f.ret;
+    blocks = List.map clone_block f.blocks;
+    next_reg = f.next_reg;
+    reg_tys;
+  }
+
+let clone_module (m : modul) =
+  {
+    globals = m.globals;
+    funcs = List.map (fun f -> clone_func f) m.funcs;
+    externs = m.externs;
+  }

@@ -1,0 +1,14 @@
+(** Deep copies of MIR functions and modules.  The pass keeps the
+    sequential module intact and clones each prepared function into its
+    speculative version (paper §IV-C step 1). *)
+
+val clone_block : Mutls_mir.Ir.block -> Mutls_mir.Ir.block
+
+val clone_func :
+  ?new_name:string ->
+  ?extra_params:(string * Mutls_mir.Ir.ty) list ->
+  Mutls_mir.Ir.func ->
+  Mutls_mir.Ir.func
+(** Extra parameters are appended, so argument indices are stable. *)
+
+val clone_module : Mutls_mir.Ir.modul -> Mutls_mir.Ir.modul

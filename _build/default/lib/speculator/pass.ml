@@ -1,0 +1,1248 @@
+(* The LLVM-style speculator transformation pass (paper §IV-C..H).
+
+   For every function annotated with fork/join points (plus transitive
+   internal callees), the pass:
+
+   1. demotes cross-block SSA registers to allocas (reg2mem), so that
+      block splitting and restore edges cannot break SSA;
+   2. splits basic blocks at fork/join/barrier annotations, internal
+      calls (enter points), unsafe external calls (terminate points),
+      pointer/integer casts (cast barriers) and loop headers (check
+      points), numbering every synchronization block;
+   3. clones the function into a ".spec" version with two extra
+      parameters (counter, rank), redirects its loads/stores through
+      the TLS runtime, and redirects bottom-frame stack variables to
+      the parent's addresses (pick_stackaddr);
+   4. adds fork surgery (MUTLS_get_CPU, the ranks array, fork-time
+      local saves, proxy call), join surgery (validate_local,
+      synchronize, the synchronization table) and, in the speculative
+      version, the speculation table plus save/commit blocks at every
+      synchronization point;
+   5. generates the ".stub" and ".proxy" helper functions;
+   6. re-promotes the demoted allocas (mem2reg), which recreates phi
+      nodes through all the new edges — exactly the paper's "phi nodes
+      are inserted at the beginning of the latter block".
+
+   The non-speculative and speculative versions share block names, so
+   a synchronization counter saved by one resumes the other. *)
+
+open Mutls_mir
+open Mutls_mir.Ir
+module IntMap = Reg2mem.IntMap
+module ISet = Set.Make (Int)
+
+exception Pass_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Pass_error s)) fmt
+
+type options = {
+  max_locals : int;
+  safe_externs : string list; (* pure externs that never stop speculation *)
+}
+
+let default_safe =
+  [ "abs"; "labs"; "fabs"; "sqrt"; "sin"; "cos"; "tan"; "exp"; "log"; "pow";
+    "floor"; "ceil"; "fmod"; "fmin"; "fmax"; "min_i64"; "max_i64" ]
+
+let default_options = { max_locals = 256; safe_externs = default_safe }
+
+(* ------------------------------------------------------------------ *)
+(* Prepared set                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let has_annotations (f : func) =
+  List.exists
+    (fun b ->
+      List.exists
+        (fun i ->
+          match i.kind with
+          | Call (n, _) -> is_source_intrinsic n
+          | _ -> false)
+        b.insts)
+    f.blocks
+
+let internal_callees (m : modul) (f : func) =
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun i ->
+          match i.kind with
+          | Call (n, _) when find_func m n <> None -> Some n
+          | _ -> None)
+        b.insts)
+    f.blocks
+
+let prepared_set (m : modul) =
+  let set = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem set name) then begin
+      Hashtbl.replace set name ();
+      match find_func m name with
+      | Some f -> List.iter visit (internal_callees m f)
+      | None -> ()
+    end
+  in
+  List.iter (fun f -> if has_annotations f then visit f.fname) m.funcs;
+  set
+
+(* ------------------------------------------------------------------ *)
+(* Block splitting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Rename phi-incoming labels in successors when a block is split and
+   its terminator migrates to the tail block. *)
+let relabel_phis (f : func) ~from_label ~to_label ~succs =
+  List.iter
+    (fun l ->
+      let b = find_block_exn f l in
+      List.iter
+        (fun p ->
+          p.incoming <-
+            List.map
+              (fun (pl, v) -> if pl = from_label then (to_label, v) else (pl, v))
+              p.incoming)
+        b.phis)
+    succs
+
+type roles = {
+  mutable r_check : bool;
+  mutable r_terminate : bool;
+  mutable r_enter : bool;
+  mutable r_return : bool;
+  mutable r_barrier : bool;
+  mutable r_cast : bool;
+  mutable r_join : int option; (* join point id: speculative entry here *)
+}
+
+let no_roles () =
+  { r_check = false; r_terminate = false; r_enter = false; r_return = false;
+    r_barrier = false; r_cast = false; r_join = None }
+
+let is_sync (r : roles) =
+  r.r_check || r.r_terminate || r.r_enter || r.r_return || r.r_barrier || r.r_cast
+
+type fctx = {
+  f : func;
+  opts : options;
+  mutable label_counter : int;
+  roles : (string, roles) Hashtbl.t;
+  mutable fork_sites : (string * int * int) list; (* block, point, model *)
+}
+
+let fresh_label fc stem =
+  let n = fc.label_counter in
+  fc.label_counter <- n + 1;
+  Printf.sprintf "%s.m%d" stem n
+
+let get_roles fc name =
+  match Hashtbl.find_opt fc.roles name with
+  | Some r -> r
+  | None ->
+    let r = no_roles () in
+    Hashtbl.replace fc.roles name r;
+    r
+
+(* Ensure the entry block contains only allocas followed by a branch,
+   so it can never become a resume target. *)
+let isolate_entry fc =
+  let f = fc.f in
+  let entry = entry_block f in
+  let allocas, rest =
+    List.partition (fun i -> match i.kind with Alloca _ -> true | _ -> false)
+      entry.insts
+  in
+  let body_name = fresh_label fc (entry.bname ^ ".body") in
+  let body =
+    { bname = body_name; phis = []; insts = rest; term = entry.term }
+  in
+  relabel_phis f ~from_label:entry.bname ~to_label:body_name
+    ~succs:(term_succs entry.term);
+  entry.insts <- allocas;
+  entry.term <- Br body_name;
+  (* insert body right after entry *)
+  match f.blocks with
+  | e :: tl -> f.blocks <- e :: body :: tl
+  | [] -> assert false
+
+(* Where must a block be cut?  [cut_before i] starts a new block at
+   instruction [i]; [cut_after i] ends the block right after it. *)
+let classify fc (m : modul) i =
+  match i.kind with
+  | Call (n, _) when n = fork_intrinsic -> (true, true)
+  | Call (n, _) when n = join_intrinsic -> (false, true)
+  | Call (n, _) when n = barrier_intrinsic -> (true, false)
+  | Call (n, _) when is_runtime_call n -> (false, false)
+  | Call (n, _) when find_func m n <> None -> (true, true) (* enter point *)
+  | Call (n, _) when List.mem n fc.opts.safe_externs -> (false, false)
+  | Call (_, _) -> (true, true) (* unsafe external: terminate point *)
+  | Cast (Ptrtoint, _, _, _) | Cast (Inttoptr, _, _, _) -> (true, false)
+  | _ -> (false, false)
+
+let role_of_leader fc (m : modul) (i : instr) r =
+  match i.kind with
+  | Call (n, _) when n = barrier_intrinsic -> r.r_barrier <- true
+  | Call (n, _) when is_source_intrinsic n -> ()
+  | Call (n, _) when find_func m n <> None -> r.r_enter <- true
+  | Call (n, _) when (not (is_runtime_call n)) && not (List.mem n fc.opts.safe_externs)
+    -> r.r_terminate <- true
+  | Cast (Ptrtoint, _, _, _) | Cast (Inttoptr, _, _, _) -> r.r_cast <- true
+  | _ -> ()
+
+(* Split every block of [f] at annotation/call/cast boundaries and
+   record block roles.  Must run before demotion (it may create new
+   cross-block values, which demotion then handles). *)
+let split_blocks fc (m : modul) =
+  let f = fc.f in
+  let rec process (b : block) acc_blocks =
+    (* whatever leads this block determines its role — including tails
+       produced by earlier cuts *)
+    (match b.insts with
+    | leader :: _ -> role_of_leader fc m leader (get_roles fc b.bname)
+    | [] -> ());
+    (* find the first cut position *)
+    let rec find_cut idx = function
+      | [] -> None
+      | i :: rest ->
+        let before, after = classify fc m i in
+        if before && idx > 0 then Some (idx, `Before)
+        else if after then Some (idx + 1, `After i)
+        else find_cut (idx + 1) rest
+    in
+    match find_cut 0 b.insts with
+    | None -> b :: acc_blocks
+    | Some (pos, kind) ->
+      let hd = List.filteri (fun k _ -> k < pos) b.insts in
+      let tl = List.filteri (fun k _ -> k >= pos) b.insts in
+      let tail_name = fresh_label fc (b.bname ^ ".s") in
+      let tail = { bname = tail_name; phis = []; insts = tl; term = b.term } in
+      relabel_phis f ~from_label:b.bname ~to_label:tail_name
+        ~succs:(term_succs b.term);
+      b.insts <- hd;
+      b.term <- Br tail_name;
+      (* roles *)
+      (match kind with
+      | `Before -> (
+        match tl with
+        | leader :: _ -> role_of_leader fc m leader (get_roles fc tail_name)
+        | [] -> ())
+      | `After i -> (
+        match i.kind with
+        | Call (n, args) when n = join_intrinsic -> (
+          match args with
+          | [ Const (Cint (p, _)) ] ->
+            (get_roles fc tail_name).r_join <- Some (Int64.to_int p)
+          | _ -> fail "%s: join point id must be a constant" f.fname)
+        | Call (n, _) when n = fork_intrinsic ->
+          (* the tail block will be processed again; the fork site is
+             the block that now ends with the intrinsic *)
+          ()
+        | _ -> ()));
+      process tail (b :: acc_blocks)
+  in
+  (* leaders of original blocks may also carry roles (e.g. a block that
+     already begins with a call) *)
+  List.iter
+    (fun b ->
+      match b.insts with
+      | leader :: _ ->
+        let before, _ = classify fc m leader in
+        if before then role_of_leader fc m leader (get_roles fc b.bname)
+      | [] -> ())
+    f.blocks;
+  let out = List.fold_left (fun acc b -> process b acc) [] f.blocks in
+  f.blocks <- List.rev out;
+  (* return-point roles *)
+  List.iter
+    (fun b ->
+      match b.term with
+      | Ret _ -> (get_roles fc b.bname).r_return <- true
+      | _ -> ())
+    f.blocks
+
+(* Mark loop headers as check points.  Polling every iteration of a
+   tiny leaf loop would cost more than the work it guards, so — like
+   production TLS compilers — we only poll loops whose body contains a
+   real call (not an inlineable safe extern) or a nested loop; leaf
+   compute loops are polled from their enclosing loop, which bounds the
+   synchronization latency to one outer iteration. *)
+let mark_loop_headers fc (m : modul) =
+  let f = fc.f in
+  let cfg = Cfg.of_func f in
+  let n = Cfg.nblocks cfg in
+  let color = Array.make n 0 in
+  let back_edges = ref [] in
+  (* 0 = white, 1 = on stack, 2 = done *)
+  let rec dfs u =
+    color.(u) <- 1;
+    List.iter
+      (fun v ->
+        if color.(v) = 1 then back_edges := (u, v) :: !back_edges
+        else if color.(v) = 0 then dfs v)
+      cfg.Cfg.succs.(u);
+    color.(u) <- 2
+  in
+  if n > 0 then dfs 0;
+  (* natural loop body of each back edge u -> h *)
+  let headers = Hashtbl.create 8 in
+  List.iter
+    (fun (u, h) ->
+      let body =
+        match Hashtbl.find_opt headers h with
+        | Some b -> b
+        | None ->
+          let b = Hashtbl.create 8 in
+          Hashtbl.replace b h ();
+          Hashtbl.replace headers h b;
+          b
+      in
+      let rec up x =
+        if not (Hashtbl.mem body x) then begin
+          Hashtbl.replace body x ();
+          List.iter up cfg.Cfg.preds.(x)
+        end
+      in
+      up u)
+    !back_edges;
+  let has_real_call bi =
+    List.exists
+      (fun i ->
+        match i.kind with
+        | Call (name, _) ->
+          (not (is_runtime_call name))
+          && (not (is_source_intrinsic name))
+          && not (List.mem name fc.opts.safe_externs)
+          && (find_func m name <> None || not (List.mem name fc.opts.safe_externs))
+        | _ -> false)
+      cfg.Cfg.blocks.(bi).insts
+  in
+  Hashtbl.iter
+    (fun h body ->
+      let contains_call = ref false in
+      let contains_inner = ref false in
+      Hashtbl.iter
+        (fun bi () ->
+          if bi <> h && Hashtbl.mem headers bi then contains_inner := true;
+          if has_real_call bi then contains_call := true)
+        body;
+      if !contains_call || !contains_inner then
+        (get_roles fc cfg.Cfg.blocks.(h).bname).r_check <- true)
+    headers
+
+(* ------------------------------------------------------------------ *)
+(* Liveness of demoted allocas                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Upward-exposed-load analysis over the demoted alloca slots: a slot
+   is live-in at a block if some path from the block top reaches a load
+   of it before any store to it. *)
+let alloca_liveness (f : func) (slot_regs : ISet.t) =
+  let cfg = Cfg.of_func f in
+  let n = Cfg.nblocks cfg in
+  let gen = Array.make n ISet.empty in
+  let kill = Array.make n ISet.empty in
+  Array.iteri
+    (fun bi b ->
+      let stored = ref ISet.empty in
+      List.iter
+        (fun i ->
+          match i.kind with
+          | Load (_, Reg a) when ISet.mem a slot_regs ->
+            if not (ISet.mem a !stored) then gen.(bi) <- ISet.add a gen.(bi)
+          | Store (_, _, Reg a) when ISet.mem a slot_regs ->
+            stored := ISet.add a !stored
+          | _ -> ())
+        b.insts;
+      kill.(bi) <- !stored)
+    cfg.Cfg.blocks;
+  let live_in = Array.make n ISet.empty in
+  let live_out = Array.make n ISet.empty in
+  let changed = ref true in
+  let order = Cfg.postorder cfg in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bi ->
+        let out =
+          List.fold_left
+            (fun acc si -> ISet.union acc live_in.(si))
+            ISet.empty cfg.Cfg.succs.(bi)
+        in
+        let inn = ISet.union gen.(bi) (ISet.diff out kill.(bi)) in
+        if not (ISet.equal out live_out.(bi) && ISet.equal inn live_in.(bi))
+        then begin
+          live_out.(bi) <- out;
+          live_in.(bi) <- inn;
+          changed := true
+        end)
+      order
+  done;
+  let table = Hashtbl.create n in
+  Array.iteri
+    (fun bi b -> Hashtbl.replace table b.bname live_in.(bi))
+    cfg.Cfg.blocks;
+  table
+
+(* ------------------------------------------------------------------ *)
+(* Per-function transformation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  p_name : string;
+  nargs : int;
+  arg_tys : ty list;
+  demoted : (reg * ty * int) list; (* alloca, elem ty, offset *)
+  stackvars : (reg * int * int) list; (* alloca, size, offset (ranks excluded) *)
+  ranks : (reg * int) option; (* ranks alloca reg, offset *)
+  slot_reg : reg;
+  counters : (string, int) Hashtbl.t; (* block -> sync counter *)
+  sync_blocks : (string * int) list; (* blocks with sync roles *)
+  join_points : (int * string * int * int) list;
+  (* point id, join block, join counter, ranks index *)
+  live : (string, ISet.t) Hashtbl.t;
+  roles : (string, roles) Hashtbl.t;
+  fork_models : (string * int * int) list;
+}
+
+let transfer_suffix = function
+  | I64 | I32 | I8 | I1 -> "_i64"
+  | F64 -> "_f64"
+  | Ptr -> "_ptr"
+  | Void -> invalid_arg "transfer_suffix: void"
+
+(* Build save instructions for the live locals at [block] (live-in
+   demoted allocas + all stack variables + ranks). *)
+let build_saves (plan : plan) (f : func) ~block ~stack_addr =
+  let live = Option.value (Hashtbl.find_opt plan.live block) ~default:ISet.empty in
+  let out = ref [] in
+  let emit id ity kind = out := { id; ity; kind } :: !out in
+  List.iter
+    (fun (a, ty, off) ->
+      if ISet.mem a live then begin
+        let l = fresh_reg f ty in
+        emit l ty (Load (ty, Reg a));
+        let v, sfx =
+          match ty with
+          | I64 -> (Reg l, "_i64")
+          | F64 -> (Reg l, "_f64")
+          | Ptr -> (Reg l, "_ptr")
+          | I1 | I8 | I32 ->
+            let z = fresh_reg f I64 in
+            emit z I64 (Cast (Zext, ty, I64, Reg l));
+            (Reg z, "_i64")
+          | Void -> assert false
+        in
+        emit (-1) Void (Call ("MUTLS_save_regvar" ^ sfx, [ i64 off; v ]))
+      end)
+    plan.demoted;
+  List.iter
+    (fun (a, size, off) ->
+      emit (-1) Void
+        (Call ("MUTLS_save_stackvar", [ i64 off; stack_addr a; i64 size ])))
+    plan.stackvars;
+  (match plan.ranks with
+  | Some (r, off) ->
+    emit (-1) Void
+      (Call ("MUTLS_save_stackvar", [ i64 off; Reg r; i64 (8 * List.length plan.join_points) ]))
+  | None -> ());
+  List.rev !out
+
+(* Build restore instructions matching [build_saves]. *)
+let build_restores (plan : plan) (f : func) ~block ~stack_addr =
+  let live = Option.value (Hashtbl.find_opt plan.live block) ~default:ISet.empty in
+  let out = ref [] in
+  let emit id ity kind = out := { id; ity; kind } :: !out in
+  List.iter
+    (fun (a, ty, off) ->
+      if ISet.mem a live then begin
+        match ty with
+        | I64 | F64 | Ptr ->
+          let l = fresh_reg f ty in
+          emit l ty (Call ("MUTLS_restore_regvar" ^ transfer_suffix ty, [ i64 off ]));
+          emit (-1) Void (Store (ty, Reg l, Reg a))
+        | I1 | I8 | I32 ->
+          let l = fresh_reg f I64 in
+          emit l I64 (Call ("MUTLS_restore_regvar_i64", [ i64 off ]));
+          let t = fresh_reg f ty in
+          emit t ty (Cast (Trunc, I64, ty, Reg l));
+          emit (-1) Void (Store (ty, Reg t, Reg a))
+        | Void -> assert false
+      end)
+    plan.demoted;
+  List.iter
+    (fun (a, size, off) ->
+      emit (-1) Void
+        (Call ("MUTLS_restore_stackvar", [ i64 off; stack_addr a; i64 size ])))
+    plan.stackvars;
+  (match plan.ranks with
+  | Some (r, off) ->
+    emit (-1) Void
+      (Call ("MUTLS_restore_stackvar",
+             [ i64 off; Reg r; i64 (8 * List.length plan.join_points) ]))
+  | None -> ());
+  List.rev !out
+
+(* Fork-time transfer: arguments + demoted locals live at the join
+   block + stack variable addresses. *)
+let build_fork_saves (plan : plan) (f : func) ~rank_v ~join_block ~stack_addr =
+  let live =
+    Option.value (Hashtbl.find_opt plan.live join_block) ~default:ISet.empty
+  in
+  let out = ref [] in
+  let emit id ity kind = out := { id; ity; kind } :: !out in
+  List.iteri
+    (fun j ty ->
+      let v, sfx =
+        match ty with
+        | I64 -> (Arg j, "_i64")
+        | F64 -> (Arg j, "_f64")
+        | Ptr -> (Arg j, "_ptr")
+        | I1 | I8 | I32 ->
+          let z = fresh_reg f I64 in
+          emit z I64 (Cast (Zext, ty, I64, Arg j));
+          (Reg z, "_i64")
+        | Void -> assert false
+      in
+      emit (-1) Void (Call ("MUTLS_set_fork_reg" ^ sfx, [ rank_v; i64 j; v ])))
+    plan.arg_tys;
+  List.iter
+    (fun (a, ty, off) ->
+      if ISet.mem a live then begin
+        let l = fresh_reg f ty in
+        emit l ty (Load (ty, Reg a));
+        let v, sfx =
+          match ty with
+          | I64 -> (Reg l, "_i64")
+          | F64 -> (Reg l, "_f64")
+          | Ptr -> (Reg l, "_ptr")
+          | I1 | I8 | I32 ->
+            let z = fresh_reg f I64 in
+            emit z I64 (Cast (Zext, ty, I64, Reg l));
+            (Reg z, "_i64")
+          | Void -> assert false
+        in
+        emit (-1) Void (Call ("MUTLS_set_fork_reg" ^ sfx, [ rank_v; i64 off; v ]))
+      end)
+    plan.demoted;
+  List.iter
+    (fun (a, _, off) ->
+      emit (-1) Void (Call ("MUTLS_set_fork_addr", [ rank_v; i64 off; stack_addr a ])))
+    plan.stackvars;
+  List.rev !out
+
+(* Speculative-entry restore of fork-time values. *)
+let build_spec_entry_restores (plan : plan) (f : func) ~join_block =
+  let live =
+    Option.value (Hashtbl.find_opt plan.live join_block) ~default:ISet.empty
+  in
+  let out = ref [] in
+  let emit id ity kind = out := { id; ity; kind } :: !out in
+  List.iter
+    (fun (a, ty, off) ->
+      if ISet.mem a live then begin
+        match ty with
+        | I64 | F64 | Ptr ->
+          let l = fresh_reg f ty in
+          emit l ty (Call ("MUTLS_get_fork_reg" ^ transfer_suffix ty, [ i64 off ]));
+          emit (-1) Void (Store (ty, Reg l, Reg a))
+        | I1 | I8 | I32 ->
+          let l = fresh_reg f I64 in
+          emit l I64 (Call ("MUTLS_get_fork_reg_i64", [ i64 off ]));
+          let t = fresh_reg f ty in
+          emit t ty (Cast (Trunc, I64, ty, Reg l));
+          emit (-1) Void (Store (ty, Reg t, Reg a))
+        | Void -> assert false
+      end)
+    plan.demoted;
+  List.rev !out
+
+(* Join-time prediction validation. *)
+let build_validates (plan : plan) (f : func) ~rank_v ~point ~join_block =
+  let live =
+    Option.value (Hashtbl.find_opt plan.live join_block) ~default:ISet.empty
+  in
+  let out = ref [] in
+  let emit id ity kind = out := { id; ity; kind } :: !out in
+  List.iter
+    (fun (a, ty, off) ->
+      if ISet.mem a live then begin
+        let l = fresh_reg f ty in
+        emit l ty (Load (ty, Reg a));
+        let v, sfx =
+          match ty with
+          | I64 -> (Reg l, "_i64")
+          | F64 -> (Reg l, "_f64")
+          | Ptr -> (Reg l, "_ptr")
+          | I1 | I8 | I32 ->
+            let z = fresh_reg f I64 in
+            emit z I64 (Cast (Zext, ty, I64, Reg l));
+            (Reg z, "_i64")
+          | Void -> assert false
+        in
+        emit (-1) Void
+          (Call ("MUTLS_validate_local" ^ sfx, [ rank_v; i64 point; i64 off; v ]))
+      end)
+    plan.demoted;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Analysis: build the per-function plan                                *)
+(* ------------------------------------------------------------------ *)
+
+let analyze (m : modul) opts (f : func) =
+  let fc =
+    { f; opts; label_counter = 0; roles = Hashtbl.create 16; fork_sites = [] }
+  in
+  isolate_entry fc;
+  split_blocks fc m;
+  mark_loop_headers fc m;
+  let slots = Reg2mem.demote f in
+  let d_alloca_set =
+    IntMap.fold (fun _ d acc -> ISet.add d.Reg2mem.d_alloca acc) slots ISet.empty
+  in
+  let entry = entry_block f in
+  let stack_alloca_list =
+    List.filter_map
+      (fun i ->
+        match i.kind with
+        | Alloca n when not (ISet.mem i.id d_alloca_set) -> Some (i.id, n)
+        | _ -> None)
+      entry.insts
+  in
+  (* join points *)
+  let joins =
+    Hashtbl.fold
+      (fun name r acc ->
+        match r.r_join with Some p -> (p, name) :: acc | None -> acc)
+      fc.roles []
+    |> List.sort compare
+  in
+  let () =
+    let ids = List.map fst joins in
+    let rec dup = function
+      | a :: (b :: _ as rest) -> if a = b then true else dup rest
+      | _ -> false
+    in
+    if dup ids then fail "%s: duplicate join point id" f.fname
+  in
+  let njoins = List.length joins in
+  (* the ranks array (paper §IV-D) and the dispatch counter slot *)
+  let ranks_reg =
+    if njoins > 0 then begin
+      let a = fresh_reg f Ptr in
+      (* Zero-initialise in the entry block: it runs on every kind of
+         entry (normal call, speculative entry, reconstruction), and
+         stack slots are reused across speculative threads, so the
+         fresh frame would otherwise see a dead thread's ranks. *)
+      let init = ref [ { id = a; ity = Ptr; kind = Alloca (8 * njoins) } ] in
+      for k = njoins - 1 downto 0 do
+        if k = 0 then
+          init := !init @ [ { id = -1; ity = Void; kind = Store (I64, i64 0, Reg a) } ]
+        else begin
+          let pa = fresh_reg f Ptr in
+          init :=
+            !init
+            @ [ { id = pa; ity = Ptr; kind = Ptradd (Reg a, i64 (8 * k)) };
+                { id = -1; ity = Void; kind = Store (I64, i64 0, Reg pa) } ]
+        end
+      done;
+      entry.insts <- entry.insts @ !init;
+      Some a
+    end
+    else None
+  in
+  let slot_reg = fresh_reg f Ptr in
+  entry.insts <- entry.insts @ [ { id = slot_reg; ity = Ptr; kind = Alloca 8 } ];
+  (* fork ids must have a matching join in the same function *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i.kind with
+          | Call (n, Const (Cint (p, _)) :: _) when n = fork_intrinsic ->
+            if not (List.mem_assoc (Int64.to_int p) joins) then
+              fail "%s: fork point %Ld has no join point" f.fname p
+          | Call (n, _) when n = fork_intrinsic ->
+            fail "%s: fork point id must be a constant" f.fname
+          | _ -> ())
+        b.insts)
+    f.blocks;
+  (* counters *)
+  let counters = Hashtbl.create 16 in
+  let ctr = ref 0 in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt fc.roles b.bname with
+      | Some r when is_sync r || r.r_join <> None ->
+        incr ctr;
+        Hashtbl.replace counters b.bname !ctr
+      | _ -> ())
+    f.blocks;
+  let join_points =
+    List.mapi
+      (fun idx (p, name) -> (p, name, Hashtbl.find counters name, idx))
+      joins
+  in
+  let live = alloca_liveness f d_alloca_set in
+  (* offsets: arguments, then demoted locals, then stack variables *)
+  let nargs = List.length f.params in
+  let next_off = ref nargs in
+  let demoted =
+    IntMap.fold (fun _ d acc -> (d.Reg2mem.d_alloca, d.Reg2mem.d_ty) :: acc) slots []
+    |> List.sort compare
+    |> List.map (fun (a, ty) ->
+           let off = !next_off in
+           incr next_off;
+           (a, ty, off))
+  in
+  let stackvars =
+    List.map
+      (fun (a, size) ->
+        let off = !next_off in
+        incr next_off;
+        (a, size, off))
+      stack_alloca_list
+  in
+  let ranks =
+    match ranks_reg with
+    | Some r ->
+      let off = !next_off in
+      incr next_off;
+      Some (r, off)
+    | None -> None
+  in
+  if !next_off >= opts.max_locals then
+    fail "%s: %d locals exceed the RegisterBuffer size %d" f.fname !next_off
+      opts.max_locals;
+  let sync_blocks =
+    List.filter_map
+      (fun b ->
+        match Hashtbl.find_opt fc.roles b.bname with
+        | Some r when is_sync r -> Some (b.bname, Hashtbl.find counters b.bname)
+        | _ -> None)
+      f.blocks
+  in
+  {
+    p_name = f.fname;
+    nargs;
+    arg_tys = List.map snd f.params;
+    demoted;
+    stackvars;
+    ranks;
+    slot_reg;
+    counters;
+    sync_blocks;
+    join_points;
+    live;
+    roles = fc.roles;
+    fork_models = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Speculative-version conversions                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mem_suffix = function
+  | I64 -> "_i64"
+  | I32 -> "_i32"
+  | I8 | I1 -> "_i8"
+  | F64 -> "_f64"
+  | Ptr -> "_ptr"
+  | Void -> invalid_arg "mem_suffix: void"
+
+(* Replace every original load/store by a TLS runtime call (paper
+   §IV-C step 1).  Demoted-alloca accesses and the pass's own
+   bookkeeping slots stay plain: they are registers, not memory. *)
+let convert_memops (plan : plan) (spec : func) =
+  let excluded = Hashtbl.create 16 in
+  List.iter (fun (a, _, _) -> Hashtbl.replace excluded a ()) plan.demoted;
+  Hashtbl.replace excluded plan.slot_reg ();
+  (match plan.ranks with Some (r, _) -> Hashtbl.replace excluded r () | None -> ());
+  let plain = function
+    | Reg a -> Hashtbl.mem excluded a
+    | _ -> false
+  in
+  List.iter
+    (fun b ->
+      b.insts <-
+        List.map
+          (fun i ->
+            match i.kind with
+            | Load (ty, a) when not (plain a) ->
+              { i with kind = Call ("MUTLS_load" ^ mem_suffix ty, [ a ]) }
+            | Store (ty, v, a) when not (plain a) ->
+              { i with kind = Call ("MUTLS_store" ^ mem_suffix ty, [ v; a ]) }
+            | _ -> i)
+          b.insts)
+    spec.blocks
+
+(* Insert MUTLS_pick_stackaddr for every stack variable and substitute
+   its result for the alloca register throughout the function. *)
+let insert_picks (plan : plan) (spec : func) ~counter_arg =
+  let subst = Hashtbl.create 8 in
+  let picks =
+    List.map
+      (fun (a, _, off) ->
+        let p = fresh_reg spec Ptr in
+        Hashtbl.replace subst a (Reg p);
+        (p, a, off))
+      plan.stackvars
+  in
+  let rewrite v =
+    match v with
+    | Reg a -> ( match Hashtbl.find_opt subst a with Some v' -> v' | None -> v)
+    | _ -> v
+  in
+  List.iter
+    (fun b ->
+      b.insts <- List.map (fun i -> { i with kind = map_instr_values rewrite i.kind }) b.insts;
+      b.term <- map_term_values rewrite b.term)
+    spec.blocks;
+  let entry = entry_block spec in
+  entry.insts <-
+    entry.insts
+    @ List.map
+        (fun (p, a, off) ->
+          { id = p; ity = Ptr;
+            kind = Call ("MUTLS_pick_stackaddr", [ counter_arg; i64 off; Reg a ]) })
+        picks;
+  (* stack_addr lookup for surgery on the speculative version *)
+  fun a ->
+    match List.find_opt (fun (_, a', _) -> a' = a) picks with
+    | Some (p, _, _) -> Reg p
+    | None -> Reg a
+
+(* Redirect internal calls to the speculative versions. *)
+let redirect_internal_calls (spec : func) prepared ~rank_arg =
+  List.iter
+    (fun b ->
+      b.insts <-
+        List.map
+          (fun i ->
+            match i.kind with
+            | Call (n, args) when Hashtbl.mem prepared n ->
+              { i with kind = Call (n ^ ".spec", args @ [ i64 0; rank_arg ]) }
+            | _ -> i)
+          b.insts)
+    spec.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Speculative synchronization points                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Prepend check/terminate/enter/return/barrier/cast machinery at the
+   top of every synchronization block of the speculative version. *)
+let insert_sync_points (plan : plan) (spec : func) ~stack_addr =
+  let new_blocks = ref [] in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt plan.roles b.bname with
+      | Some r when is_sync r ->
+        let i = Hashtbl.find plan.counters b.bname in
+        let saves = build_saves plan spec ~block:b.bname ~stack_addr in
+        (* point calls in leader order: barrier, cast, terminate, enter, return *)
+        let calls = ref [] in
+        let emitc name args = calls := { id = -1; ity = Void; kind = Call (name, args) } :: !calls in
+        if r.r_barrier then emitc "MUTLS_barrier_point" [ i64 i ];
+        if r.r_cast then begin
+          (* operand of the leading pointer/integer cast *)
+          let operand =
+            List.find_map
+              (fun ins ->
+                match ins.kind with
+                | Cast (Ptrtoint, _, _, v) | Cast (Inttoptr, _, _, v) -> Some v
+                | _ -> None)
+              b.insts
+          in
+          match operand with
+          | Some v -> emitc "MUTLS_ptr_int_cast" [ i64 i; v ]
+          | None -> ()
+        end;
+        if r.r_terminate then emitc "MUTLS_terminate_point" [ i64 i ];
+        if r.r_enter then emitc "MUTLS_enter_point" [ i64 i ];
+        if r.r_return then emitc "MUTLS_return_point" [ i64 i ];
+        let tail_insts = saves @ List.rev !calls @ b.insts in
+        if r.r_check then begin
+          (* split: poll first; commit block saves and commits *)
+          let rest_name = b.bname ^ ".rest" in
+          let commit_name = b.bname ^ ".commit" in
+          let rest =
+            { bname = rest_name; phis = []; insts = tail_insts; term = b.term }
+          in
+          let commit_saves = build_saves plan spec ~block:b.bname ~stack_addr in
+          let commit_blk =
+            { bname = commit_name; phis = [];
+              insts =
+                commit_saves
+                @ [ { id = -1; ity = Void; kind = Call ("MUTLS_commit", [ i64 i ]) } ];
+              term = Unreachable }
+          in
+          let stop = fresh_reg spec I64 in
+          let stop_b = fresh_reg spec I1 in
+          b.insts <-
+            [ { id = stop; ity = I64; kind = Call ("MUTLS_check_point", [ i64 i ]) };
+              { id = stop_b; ity = I1; kind = Icmp (Isgt, I64, Reg stop, i64 0) } ];
+          b.term <- Cbr (Reg stop_b, commit_name, rest_name);
+          new_blocks := rest :: commit_blk :: !new_blocks
+        end
+        else b.insts <- tail_insts
+      | _ -> ())
+    spec.blocks;
+  spec.blocks <- spec.blocks @ List.rev !new_blocks
+
+(* ------------------------------------------------------------------ *)
+(* Fork and join surgery (both versions)                                *)
+(* ------------------------------------------------------------------ *)
+
+let ranks_slot_addr (plan : plan) (f : func) emit idx =
+  match plan.ranks with
+  | None -> fail "%s: fork/join without a ranks array" f.fname
+  | Some (r, _) ->
+    if idx = 0 then Reg r
+    else begin
+      let pa = fresh_reg f Ptr in
+      emit pa Ptr (Ptradd (Reg r, i64 (8 * idx)));
+      Reg pa
+    end
+
+let apply_fork_surgery (plan : plan) (f : func) ~stack_addr ~proxy_name =
+  let new_blocks = ref [] in
+  List.iter
+    (fun b ->
+      let fork =
+        List.find_opt
+          (fun i ->
+            match i.kind with
+            | Call (n, _) when n = fork_intrinsic -> true
+            | _ -> false)
+          b.insts
+      in
+      match fork with
+      | None -> ()
+      | Some fi ->
+        let p, model =
+          match fi.kind with
+          | Call (_, [ Const (Cint (p, _)); Const (Cint (m, _)) ]) ->
+            (Int64.to_int p, Int64.to_int m)
+          | _ -> fail "%s: malformed fork annotation" f.fname
+        in
+        let _, join_blk, jc, idx =
+          try List.find (fun (p', _, _, _) -> p' = p) plan.join_points
+          with Not_found -> fail "%s: fork %d has no join" f.fname p
+        in
+        let cont =
+          match b.term with
+          | Br l -> l
+          | _ -> fail "%s: fork block has a conditional terminator" f.fname
+        in
+        let pre =
+          List.filter
+            (fun i ->
+              match i.kind with
+              | Call (n, _) when n = fork_intrinsic -> false
+              | _ -> true)
+            b.insts
+        in
+        (* §IV-D: at most one thread per fork/join point id — if the
+           ranks entry is occupied, a speculative thread already covers
+           this join point and the fork is skipped. *)
+        let out = ref (List.rev pre) in
+        let emit id ity kind = out := { id; ity; kind } :: !out in
+        let slot0 = ranks_slot_addr plan f emit idx in
+        let cur = fresh_reg f I64 in
+        emit cur I64 (Load (I64, slot0));
+        let is_free = fresh_reg f I1 in
+        emit is_free I1 (Icmp (Ieq, I64, Reg cur, i64 0));
+        b.insts <- List.rev !out;
+        let try_name = Printf.sprintf "%s.forktry.%d" b.bname p in
+        let spec_name = Printf.sprintf "%s.forkspec.%d" b.bname p in
+        b.term <- Cbr (Reg is_free, try_name, cont);
+        let out = ref [] in
+        let emit id ity kind = out := { id; ity; kind } :: !out in
+        let rank = fresh_reg f I64 in
+        emit rank I64 (Call ("MUTLS_get_CPU", [ i64 model; i64 p ]));
+        let slot = ranks_slot_addr plan f emit idx in
+        emit (-1) Void (Store (I64, Reg rank, slot));
+        let has = fresh_reg f I1 in
+        emit has I1 (Icmp (Isgt, I64, Reg rank, i64 0));
+        let try_blk =
+          { bname = try_name; phis = []; insts = List.rev !out;
+            term = Cbr (Reg has, spec_name, cont) }
+        in
+        let saves =
+          build_fork_saves plan f ~rank_v:(Reg rank) ~join_block:join_blk ~stack_addr
+        in
+        let spec_blk =
+          { bname = spec_name; phis = [];
+            insts =
+              saves
+              @ [ { id = -1; ity = Void;
+                    kind = Call (proxy_name, [ Reg rank; i64 jc ]) } ];
+            term = Br cont }
+        in
+        new_blocks := spec_blk :: try_blk :: !new_blocks)
+    f.blocks;
+  f.blocks <- f.blocks @ List.rev !new_blocks
+
+let apply_join_surgery (plan : plan) (f : func) =
+  let new_blocks = ref [] in
+  List.iter
+    (fun b ->
+      let join =
+        List.find_opt
+          (fun i ->
+            match i.kind with
+            | Call (n, _) when n = join_intrinsic -> true
+            | _ -> false)
+          b.insts
+      in
+      match join with
+      | None -> ()
+      | Some ji ->
+        let p =
+          match ji.kind with
+          | Call (_, [ Const (Cint (p, _)) ]) -> Int64.to_int p
+          | _ -> fail "%s: malformed join annotation" f.fname
+        in
+        let _, join_blk, _, idx =
+          List.find (fun (p', _, _, _) -> p' = p) plan.join_points
+        in
+        let jb =
+          match b.term with
+          | Br l -> l
+          | _ -> fail "%s: join block has a conditional terminator" f.fname
+        in
+        if jb <> join_blk then fail "%s: join surgery mismatch at %s" f.fname b.bname;
+        let pre =
+          List.filter
+            (fun i ->
+              match i.kind with
+              | Call (n, _) when n = join_intrinsic -> false
+              | _ -> true)
+            b.insts
+        in
+        let out = ref (List.rev pre) in
+        let emit id ity kind = out := { id; ity; kind } :: !out in
+        let slot = ranks_slot_addr plan f emit idx in
+        let rv = fresh_reg f I64 in
+        emit rv I64 (Load (I64, slot));
+        let has = fresh_reg f I1 in
+        emit has I1 (Icmp (Isgt, I64, Reg rv, i64 0));
+        b.insts <- List.rev !out;
+        let check_name = Printf.sprintf "%s.joinchk.%d" b.bname p in
+        b.term <- Cbr (Reg has, check_name, jb);
+        (* validation + synchronize *)
+        let out = ref [] in
+        let emit id ity kind = out := { id; ity; kind } :: !out in
+        let validates =
+          build_validates plan f ~rank_v:(Reg rv) ~point:p ~join_block:join_blk
+        in
+        List.iter (fun i -> out := i :: !out) (List.rev validates);
+        let ok = fresh_reg f I64 in
+        emit ok I64 (Call ("MUTLS_synchronize", [ i64 p; Reg rv ]));
+        let slot2 = ranks_slot_addr plan f emit idx in
+        emit (-1) Void (Store (I64, i64 0, slot2));
+        let okb = fresh_reg f I1 in
+        emit okb I1 (Icmp (Isgt, I64, Reg ok, i64 0));
+        let commit_name = Printf.sprintf "%s.joincommit.%d" b.bname p in
+        let check_blk =
+          { bname = check_name; phis = []; insts = List.rev !out;
+            term = Cbr (Reg okb, commit_name, jb) }
+        in
+        (* jump to the synchronization table through the counter slot *)
+        let cc = fresh_reg f I64 in
+        let commit_blk =
+          { bname = commit_name; phis = [];
+            insts =
+              [ { id = cc; ity = I64; kind = Call ("MUTLS_sync_counter", []) };
+                { id = -1; ity = Void; kind = Store (I64, Reg cc, Reg plan.slot_reg) } ];
+            term = Br "mutls.sync.dispatch" }
+        in
+        new_blocks := commit_blk :: check_blk :: !new_blocks)
+    f.blocks;
+  f.blocks <- f.blocks @ List.rev !new_blocks
+
+(* ------------------------------------------------------------------ *)
+(* Entry dispatch, synchronization and speculation tables               *)
+(* ------------------------------------------------------------------ *)
+
+let strip_intrinsics (f : func) =
+  List.iter
+    (fun b ->
+      b.insts <-
+        List.filter
+          (fun i ->
+            match i.kind with
+            | Call (n, _) -> not (is_source_intrinsic n)
+            | _ -> true)
+          b.insts)
+    f.blocks
+
+let build_entry_dispatch (plan : plan) (f : func) ~spec_counter ~stack_addr =
+  let entry = entry_block f in
+  let body =
+    match entry.term with
+    | Br l -> l
+    | _ -> fail "%s: entry must end in a plain branch" f.fname
+  in
+  (* restore blocks + synchronization table *)
+  let restore_blocks =
+    List.map
+      (fun (bname, i) ->
+        let rname = Printf.sprintf "mutls.restore.%d" i in
+        let restores = build_restores plan f ~block:bname ~stack_addr in
+        ( i,
+          { bname = rname; phis = []; insts = restores; term = Br bname } ))
+      plan.sync_blocks
+  in
+  let cc = fresh_reg f I64 in
+  let dispatch =
+    { bname = "mutls.sync.dispatch"; phis = [];
+      insts = [ { id = cc; ity = I64; kind = Load (I64, Reg plan.slot_reg) } ];
+      term =
+        Switch
+          ( Reg cc,
+            "mutls.sync.bad",
+            List.map (fun (i, blk) -> (Int64.of_int i, blk.bname)) restore_blocks ) }
+  in
+  let bad =
+    { bname = "mutls.sync.bad"; phis = [];
+      insts = [ { id = -1; ity = Void; kind = Call ("MUTLS_bad_sync", [ Reg cc ]) } ];
+      term = Unreachable }
+  in
+  (* sync_entry prologue *)
+  let se = fresh_reg f I64 in
+  let nz = fresh_reg f I1 in
+  let prologue_insts =
+    [ { id = se; ity = I64; kind = Call ("MUTLS_sync_entry", []) };
+      { id = -1; ity = Void; kind = Store (I64, Reg se, Reg plan.slot_reg) };
+      { id = nz; ity = I1; kind = Icmp (Isgt, I64, Reg se, i64 0) } ]
+  in
+  let prologue_term = Cbr (Reg nz, "mutls.sync.dispatch", body) in
+  let extra_blocks = ref [] in
+  (match spec_counter with
+  | None ->
+    entry.insts <- entry.insts @ prologue_insts;
+    entry.term <- prologue_term
+  | Some counter_arg ->
+    (* speculation table first, then the sync_entry prologue *)
+    let seq_entry =
+      { bname = "mutls.seq.entry"; phis = []; insts = prologue_insts;
+        term = prologue_term }
+    in
+    let spec_restores =
+      List.map
+        (fun (p, join_blk, jc, _) ->
+          let rname = Printf.sprintf "mutls.specrestore.%d" p in
+          let insts = build_spec_entry_restores plan f ~join_block:join_blk in
+          (jc, { bname = rname; phis = []; insts; term = Br join_blk }))
+        plan.join_points
+    in
+    entry.term <-
+      Switch
+        ( counter_arg,
+          "mutls.seq.entry",
+          List.map (fun (jc, blk) -> (Int64.of_int jc, blk.bname)) spec_restores );
+    extra_blocks := seq_entry :: List.map snd spec_restores);
+  f.blocks <-
+    f.blocks @ !extra_blocks @ List.map snd restore_blocks @ [ dispatch; bad ]
+
+(* ------------------------------------------------------------------ *)
+(* Stub and proxy generation (paper §IV-C step 2)                       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_stub_proxy (m : modul) (plan : plan) (f : func) =
+  let spec_name = f.fname ^ ".spec" in
+  let stub_name = f.fname ^ ".stub" in
+  let proxy_name = f.fname ^ ".proxy" in
+  (* stub: fetch arguments, then enter the speculative function *)
+  let stub =
+    { fname = stub_name; params = [ ("rank", I64) ]; ret = Void; blocks = [];
+      next_reg = 0; reg_tys = Hashtbl.create 8 }
+  in
+  let insts = ref [] in
+  let emit id ity kind = insts := { id; ity; kind } :: !insts in
+  let args =
+    List.mapi
+      (fun j ty ->
+        match ty with
+        | I64 | F64 | Ptr ->
+          let r = fresh_reg stub ty in
+          emit r ty (Call ("MUTLS_get_fork_reg" ^ transfer_suffix ty, [ i64 j ]));
+          Reg r
+        | I1 | I8 | I32 ->
+          let r = fresh_reg stub I64 in
+          emit r I64 (Call ("MUTLS_get_fork_reg_i64", [ i64 j ]));
+          let t = fresh_reg stub ty in
+          emit t ty (Cast (Trunc, I64, ty, Reg r));
+          Reg t
+        | Void -> assert false)
+      plan.arg_tys
+  in
+  let c = fresh_reg stub I64 in
+  emit c I64 (Call ("MUTLS_entry_counter", []));
+  let call_id = if f.ret = Void then -1 else fresh_reg stub f.ret in
+  emit call_id f.ret (Call (spec_name, args @ [ Reg c; Arg 0 ]));
+  stub.blocks <-
+    [ { bname = "entry"; phis = []; insts = List.rev !insts; term = Ret None } ];
+  (* proxy: launch the thread *)
+  let proxy =
+    { fname = proxy_name; params = [ ("rank", I64); ("counter", I64) ];
+      ret = Void; blocks = []; next_reg = 0; reg_tys = Hashtbl.create 4 }
+  in
+  proxy.blocks <-
+    [ { bname = "entry"; phis = [];
+        insts =
+          [ { id = -1; ity = Void;
+              kind = Call ("MUTLS_speculate", [ Arg 0; Arg 1; Funcref stub_name ]) } ];
+        term = Ret None } ];
+  m.funcs <- m.funcs @ [ stub; proxy ]
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let transform_function (m : modul) opts prepared (f : func) =
+  let plan = analyze m opts f in
+  let spec =
+    Clone.clone_func ~new_name:(f.fname ^ ".spec")
+      ~extra_params:[ ("mutls.counter", I64); ("mutls.rank", I64) ] f
+  in
+  m.funcs <- m.funcs @ [ spec ];
+  let counter_arg = Arg plan.nargs in
+  let rank_arg = Arg (plan.nargs + 1) in
+  (* speculative-only rewrites *)
+  convert_memops plan spec;
+  let spec_stack_addr = insert_picks plan spec ~counter_arg in
+  redirect_internal_calls spec prepared ~rank_arg;
+  insert_sync_points plan spec ~stack_addr:spec_stack_addr;
+  (* shared surgery *)
+  let proxy_name = f.fname ^ ".proxy" in
+  apply_fork_surgery plan f ~stack_addr:(fun a -> Reg a) ~proxy_name;
+  apply_fork_surgery plan spec ~stack_addr:spec_stack_addr ~proxy_name;
+  apply_join_surgery plan f;
+  apply_join_surgery plan spec;
+  build_entry_dispatch plan f ~spec_counter:None ~stack_addr:(fun a -> Reg a);
+  build_entry_dispatch plan spec ~spec_counter:(Some counter_arg)
+    ~stack_addr:spec_stack_addr;
+  strip_intrinsics f;
+  strip_intrinsics spec;
+  gen_stub_proxy m plan f;
+  plan
+
+(* Run the speculator pass: returns a fresh transformed module; the
+   input module is left untouched (it remains the sequential
+   baseline). *)
+let run ?(opts = default_options) ?(verify = true) (m0 : modul) =
+  let m = Clone.clone_module m0 in
+  let prepared = prepared_set m in
+  if Hashtbl.length prepared = 0 then m
+  else begin
+    let targets = List.filter (fun f -> Hashtbl.mem prepared f.fname) m.funcs in
+    let _plans = List.map (fun f -> transform_function m opts prepared f) targets in
+    Mem2reg.run_module m;
+    if verify then (
+      match Verify.check_module m with
+      | () -> ()
+      | exception Verify.Invalid msg -> fail "post-pass verification: %s" msg);
+    m
+  end

@@ -1,0 +1,47 @@
+(** The speculator transformation pass (paper §IV-C..H).
+
+    For every function annotated with fork/join points (plus its
+    transitive internal callees), the pass:
+
+    + demotes cross-block SSA registers to allocas (reg2mem), so block
+      splitting and restore edges cannot break SSA;
+    + splits basic blocks at fork/join/barrier annotations, internal
+      calls (enter points), unsafe external calls (terminate points),
+      pointer/integer casts (cast barriers) and substantial loop
+      headers (check points), numbering every synchronization block;
+    + clones the function into a [".spec"] version with two extra
+      parameters (counter, rank), redirects its loads/stores through
+      the TLS runtime, and resolves bottom-frame stack variables to the
+      parent's addresses;
+    + adds fork surgery (the ranks array with the §IV-D one-thread-per-
+      point guard, fork-time saves, the proxy call), join surgery
+      (validate_local, synchronize, the synchronization table) and, in
+      the speculative version, the speculation table plus save/commit
+      blocks at every synchronization point;
+    + generates the [".stub"] and [".proxy"] helper functions;
+    + re-promotes the demoted allocas (mem2reg), which recreates phi
+      nodes through every new edge — the paper's "phi nodes are
+      inserted at the beginning of the latter block".
+
+    The two versions share block names, so a synchronization counter
+    saved by one resumes the other. *)
+
+exception Pass_error of string
+(** Ill-formed annotations (duplicate join ids, fork without a join,
+    too many locals for the RegisterBuffer) or a post-pass verification
+    failure. *)
+
+type options = {
+  max_locals : int;  (** RegisterBuffer capacity; offsets beyond it are
+                         a pass error, as in the paper *)
+  safe_externs : string list;
+      (** pure externs that never stop speculation (§IV-C) *)
+}
+
+val default_safe : string list
+val default_options : options
+
+val run : ?opts:options -> ?verify:bool -> Mutls_mir.Ir.modul -> Mutls_mir.Ir.modul
+(** Returns a fresh transformed module; the input is left untouched (it
+    remains the sequential baseline).  A module without annotations is
+    returned as a plain copy. *)

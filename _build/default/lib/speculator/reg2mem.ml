@@ -1,0 +1,159 @@
+(* Demotion of cross-block SSA registers (and all phi nodes) to
+   entry-block allocas — LLVM's reg2mem.  The speculator pass runs on
+   the demoted form so that splitting blocks and adding restore edges
+   never breaks SSA; a final mem2reg pass re-promotes everything,
+   recreating phi nodes through the new edges (paper §IV-C: "Phi nodes
+   are inserted at the beginning of the latter block to distinguish the
+   different versions of the register variables"). *)
+
+open Mutls_mir.Ir
+module IntMap = Map.Make (Int)
+
+type demoted = { d_alloca : reg; d_ty : ty }
+
+(* Returns the map: original register -> its demotion slot. *)
+let demote (f : func) : demoted IntMap.t =
+  (* 1. Definition sites. *)
+  let def_block : (reg, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iter (fun p -> Hashtbl.replace def_block p.pid b.bname) b.phis;
+      List.iter
+        (fun i -> if i.ity <> Void then Hashtbl.replace def_block i.id b.bname)
+        b.insts)
+    f.blocks;
+  (* 2. Cross-block uses and phi destinations must be demoted. *)
+  let marked : (reg, unit) Hashtbl.t = Hashtbl.create 64 in
+  let mark r = Hashtbl.replace marked r () in
+  let check_use bname v =
+    match v with
+    | Reg r -> (
+      match Hashtbl.find_opt def_block r with
+      | Some db when db <> bname -> mark r
+      | _ -> ())
+    | _ -> ()
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun p ->
+          mark p.pid;
+          List.iter (fun (pred, v) -> check_use pred v) p.incoming)
+        b.phis;
+      List.iter (fun i -> List.iter (check_use b.bname) (instr_uses i.kind)) b.insts;
+      List.iter (check_use b.bname) (term_uses b.term))
+    f.blocks;
+  if Hashtbl.length marked = 0 then IntMap.empty
+  else begin
+    (* Phi destinations lose their defining instruction entirely, so
+       every use — even in the phi's own block — must reload. *)
+    let phi_dest : (reg, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun b -> List.iter (fun p -> Hashtbl.replace phi_dest p.pid ()) b.phis)
+      f.blocks;
+    (* 3. One alloca per demoted register. *)
+    let slots =
+      Hashtbl.fold
+        (fun r () acc ->
+          let ty =
+            match Hashtbl.find_opt f.reg_tys r with
+            | Some t -> t
+            | None -> invalid_arg "Reg2mem: untyped register"
+          in
+          let a = fresh_reg f Ptr in
+          IntMap.add r { d_alloca = a; d_ty = ty } acc)
+        marked IntMap.empty
+    in
+    let entry = entry_block f in
+    let allocas =
+      IntMap.fold
+        (fun _ d acc ->
+          { id = d.d_alloca; ity = Ptr; kind = Alloca (ty_size d.d_ty) } :: acc)
+        slots []
+    in
+    entry.insts <- allocas @ entry.insts;
+    (* 4. Rewrite each block: loads before cross-block uses, stores
+       after definitions; phis become stores at the end of preds. *)
+    (* Phi semantics are parallel assignment: all old values must be
+       read before any slot is overwritten (the classic lost-copy /
+       swap problem), so reloads and stores are queued separately and
+       the reloads are emitted first. *)
+    let pending_loads : (string, instr list) Hashtbl.t = Hashtbl.create 16 in
+    let pending_stores : (string, instr list) Hashtbl.t = Hashtbl.create 16 in
+    let add_to tbl pred i =
+      let cur = Option.value (Hashtbl.find_opt tbl pred) ~default:[] in
+      Hashtbl.replace tbl pred (cur @ [ i ])
+    in
+    List.iter
+      (fun b ->
+        (* Phi removal: store incoming values at the end of each pred. *)
+        List.iter
+          (fun p ->
+            match IntMap.find_opt p.pid slots with
+            | None -> ()
+            | Some d ->
+              List.iter
+                (fun (pred, v) ->
+                  (* If the value is itself demoted and defined in a
+                     different block, reload it in the pred. *)
+                  let v', pre =
+                    match v with
+                    | Reg r when IntMap.mem r slots
+                                 && (Hashtbl.mem phi_dest r
+                                    || Hashtbl.find_opt def_block r <> Some pred) ->
+                      let dr = IntMap.find r slots in
+                      let l = fresh_reg f dr.d_ty in
+                      ( Reg l,
+                        [ { id = l; ity = dr.d_ty;
+                            kind = Load (dr.d_ty, Reg dr.d_alloca) } ] )
+                    | _ -> (v, [])
+                  in
+                  List.iter (fun i -> add_to pending_loads pred i) pre;
+                  add_to pending_stores pred
+                    { id = -1; ity = Void;
+                      kind = Store (d.d_ty, v', Reg d.d_alloca) })
+                p.incoming)
+          b.phis;
+        b.phis <- [])
+      f.blocks;
+    List.iter
+      (fun b ->
+        let out = ref [] in
+        let emit i = out := i :: !out in
+        let rewrite_use v =
+          match v with
+          | Reg r when IntMap.mem r slots
+                       && (Hashtbl.mem phi_dest r
+                          || Hashtbl.find_opt def_block r <> Some b.bname) ->
+            let d = IntMap.find r slots in
+            let l = fresh_reg f d.d_ty in
+            emit { id = l; ity = d.d_ty; kind = Load (d.d_ty, Reg d.d_alloca) };
+            Reg l
+          | _ -> v
+        in
+        List.iter
+          (fun i ->
+            let k = map_instr_values rewrite_use i.kind in
+            emit { i with kind = k };
+            if i.ity <> Void && IntMap.mem i.id slots then begin
+              let d = IntMap.find i.id slots in
+              emit { id = -1; ity = Void;
+                     kind = Store (d.d_ty, Reg i.id, Reg d.d_alloca) }
+            end)
+          b.insts;
+        (* phi-replacement copies queued for this block: all reloads of
+           old values first, then the parallel stores *)
+        let pend =
+          Option.value (Hashtbl.find_opt pending_loads b.bname) ~default:[]
+          @ Option.value (Hashtbl.find_opt pending_stores b.bname) ~default:[]
+        in
+        List.iter
+          (fun i ->
+            let k = map_instr_values rewrite_use i.kind in
+            emit { i with kind = k })
+          pend;
+        b.term <- map_term_values rewrite_use b.term;
+        b.insts <- List.rev !out)
+      f.blocks;
+    slots
+  end

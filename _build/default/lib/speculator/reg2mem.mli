@@ -1,0 +1,13 @@
+(** Demotion of cross-block SSA registers (and all phi nodes) to
+    entry-block allocas — LLVM's reg2mem.  The speculator pass runs on
+    the demoted form so block surgery cannot break SSA; mem2reg then
+    re-promotes.  Phi elimination performs a proper parallel
+    assignment: all old values are reloaded before any slot is
+    overwritten (the classic lost-copy/swap problem). *)
+
+module IntMap : Map.S with type key = int
+
+type demoted = { d_alloca : Mutls_mir.Ir.reg; d_ty : Mutls_mir.Ir.ty }
+
+val demote : Mutls_mir.Ir.func -> demoted IntMap.t
+(** Demote in place; returns original register -> its slot. *)

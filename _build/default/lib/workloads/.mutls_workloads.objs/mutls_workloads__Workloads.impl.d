@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: List W_bh W_fft W_mandelbrot W_matmult W_md W_nqueen W_threex W_tsp

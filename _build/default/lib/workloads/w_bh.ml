@@ -1,0 +1,166 @@
+(* Barnes-Hut N-body simulation (paper: 12800 bodies, C++; scaled and
+   expressed with index-based arrays).  Each step builds a quadtree
+   sequentially, then computes per-body forces with the body loop
+   chunked under chained speculation (the tree is read-only during the
+   force phase, so reads validate cleanly), barriers, and integrates
+   sequentially. *)
+
+let name = "bh"
+
+let c ?(n = 96) ?(steps = 2) ?(nchunks = 16) () =
+  let maxn = 8 * n in
+  Printf.sprintf
+    {|
+int N = %d;
+int STEPS = %d;
+int NCHUNKS = %d;
+int MAXN = %d;
+double THETA = 0.5;
+double DT = 0.01;
+
+double bx[%d];
+double by[%d];
+double bm[%d];
+double bvx[%d];
+double bvy[%d];
+double fx[%d];
+double fy[%d];
+
+/* quadtree: -1 = no child; nbody: -1 empty leaf, -2 internal, else body */
+int child[4][%d];
+int nbody[%d];
+double nmass[%d];
+double nsx[%d];   /* sum of mass * x */
+double nsy[%d];
+double ncx[%d];   /* region centre */
+double ncy[%d];
+double nhalf[%d]; /* half size */
+int nnodes = 0;
+
+int new_node(double cx, double cy, double half) {
+  int id = nnodes;
+  nnodes = nnodes + 1;
+  nbody[id] = -1;
+  nmass[id] = 0.0;
+  nsx[id] = 0.0;
+  nsy[id] = 0.0;
+  ncx[id] = cx;
+  ncy[id] = cy;
+  nhalf[id] = half;
+  for (int q = 0; q < 4; q++) child[q][id] = -1;
+  return id;
+}
+
+int quadrant_of(int node, double x, double y) {
+  int q = 0;
+  if (x > ncx[node]) q = q + 1;
+  if (y > ncy[node]) q = q + 2;
+  return q;
+}
+
+int child_of(int node, int q) {
+  if (child[q][node] < 0) {
+    double h = nhalf[node] / 2.0;
+    double cx = ncx[node] - h;
+    double cy = ncy[node] - h;
+    if (q == 1 || q == 3) cx = ncx[node] + h;
+    if (q >= 2) cy = ncy[node] + h;
+    child[q][node] = new_node(cx, cy, h);
+  }
+  return child[q][node];
+}
+
+void insert(int b) {
+  int node = 0;
+  int placing = b;
+  int guard = 0;
+  while (placing >= 0 && guard < 64) {
+    guard = guard + 1;
+    nmass[node] = nmass[node] + bm[placing];
+    nsx[node] = nsx[node] + bm[placing] * bx[placing];
+    nsy[node] = nsy[node] + bm[placing] * by[placing];
+    if (nbody[node] == -1 && child[0][node] == -1 && child[1][node] == -1
+        && child[2][node] == -1 && child[3][node] == -1) {
+      nbody[node] = placing;
+      placing = -1;
+    } else {
+      if (nbody[node] >= 0) {
+        /* split: push the resident body down */
+        int old = nbody[node];
+        nbody[node] = -2;
+        int oq = quadrant_of(node, bx[old], by[old]);
+        int oc = child_of(node, oq);
+        nmass[oc] = nmass[oc] + bm[old];
+        nsx[oc] = nsx[oc] + bm[old] * bx[old];
+        nsy[oc] = nsy[oc] + bm[old] * by[old];
+        nbody[oc] = old;
+      }
+      int q = quadrant_of(node, bx[placing], by[placing]);
+      node = child_of(node, q);
+    }
+  }
+}
+
+void accumulate(int b, int node) {
+  if (node < 0) return;
+  if (nmass[node] == 0.0) return;
+  int resident = nbody[node];
+  if (resident == b && resident >= 0) return;
+  double mx = nsx[node] / nmass[node];
+  double my = nsy[node] / nmass[node];
+  double dx = mx - bx[b];
+  double dy = my - by[b];
+  double r2 = dx * dx + dy * dy + 0.05;
+  double r = sqrt(r2);
+  if (resident >= 0 || 2.0 * nhalf[node] / r < THETA) {
+    double a = nmass[node] / (r2 * r);
+    fx[b] = fx[b] + a * dx;
+    fy[b] = fy[b] + a * dy;
+  } else {
+    for (int q = 0; q < 4; q++) accumulate(b, child[q][node]);
+  }
+}
+
+void forces() {
+  int per = N / NCHUNKS;
+  for (int c = 0; c < NCHUNKS; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int lo = c * per;
+    for (int b = lo; b < lo + per; b++) {
+      fx[b] = 0.0;
+      fy[b] = 0.0;
+      accumulate(b, 0);
+    }
+    __builtin_MUTLS_join(0);
+  }
+  __builtin_MUTLS_barrier(0);
+}
+
+int main() {
+  for (int b = 0; b < N; b++) {
+    bx[b] = (double)((b * 37) %% 100) * 0.2 - 10.0;
+    by[b] = (double)((b * 53) %% 100) * 0.2 - 10.0;
+    bm[b] = 1.0 + (double)(b %% 3);
+    bvx[b] = 0.0;
+    bvy[b] = 0.0;
+  }
+  for (int s = 0; s < STEPS; s++) {
+    nnodes = 0;
+    int root = new_node(0.0, 0.0, 16.0);
+    for (int b = 0; b < N; b++) insert(b);
+    forces();
+    for (int b = 0; b < N; b++) {
+      bvx[b] = bvx[b] + DT * fx[b];
+      bvy[b] = bvy[b] + DT * fy[b];
+      bx[b] = bx[b] + DT * bvx[b];
+      by[b] = by[b] + DT * bvy[b];
+    }
+  }
+  double sum = 0.0;
+  for (int b = 0; b < N; b++) sum = sum + bx[b] * bx[b] + by[b] * by[b];
+  print_float(sum);
+  print_newline();
+  return (int)sum;
+}
+|}
+    n steps nchunks maxn n n n n n n n maxn maxn maxn maxn maxn maxn maxn maxn

@@ -1,0 +1,72 @@
+(* Recursive Fast Fourier Transform (memory-intensive, divide and
+   conquer).  As in the paper, each node forks a speculative thread for
+   the second recursive call and barriers it after the call, so the
+   combine step is executed by the parent and speculative threads never
+   touch parent data (paper §V-B: this causes idle time, not
+   rollbacks).  The stride-based decomposition writes each half into a
+   disjoint region of the output buffer. *)
+
+let name = "fft"
+
+(* [logn]: transform size is 2^logn; [cutoff]: sequential below this. *)
+let c ?(logn = 10) ?(cutoff = 64) () =
+  let n = 1 lsl logn in
+  Printf.sprintf
+    {|
+int N = %d;
+int CUTOFF = %d;
+double in_re[%d];
+double in_im[%d];
+double out_re[%d];
+double out_im[%d];
+double PI = 3.141592653589793;
+
+/* DFT of in[off], in[off+stride], ... (n points) into out[out_off .. out_off+n) */
+void fft(int off, int out_off, int n, int stride) {
+  if (n == 1) {
+    out_re[out_off] = in_re[off];
+    out_im[out_off] = in_im[off];
+    return;
+  }
+  if (n <= CUTOFF) {
+    fft(off, out_off, n / 2, 2 * stride);
+    fft(off + stride, out_off + n / 2, n / 2, 2 * stride);
+  } else {
+    __builtin_MUTLS_fork(0, mixed);
+    fft(off, out_off, n / 2, 2 * stride);
+    __builtin_MUTLS_join(0);
+    fft(off + stride, out_off + n / 2, n / 2, 2 * stride);
+    __builtin_MUTLS_barrier(0);
+  }
+  for (int k = 0; k < n / 2; k++) {
+    double ang = -2.0 * PI * (double)k / (double)n;
+    double wr = cos(ang);
+    double wi = sin(ang);
+    double er = out_re[out_off + k];
+    double ei = out_im[out_off + k];
+    double orr = out_re[out_off + n / 2 + k];
+    double oi = out_im[out_off + n / 2 + k];
+    double tr = wr * orr - wi * oi;
+    double ti = wr * oi + wi * orr;
+    out_re[out_off + k] = er + tr;
+    out_im[out_off + k] = ei + ti;
+    out_re[out_off + n / 2 + k] = er - tr;
+    out_im[out_off + n / 2 + k] = ei - ti;
+  }
+}
+
+int main() {
+  for (int i = 0; i < N; i++) {
+    in_re[i] = sin((double)i * 0.1) + 0.5 * sin((double)i * 0.05);
+    in_im[i] = 0.0;
+  }
+  fft(0, 0, N, 1);
+  double sum = 0.0;
+  for (int i = 0; i < N; i++)
+    sum = sum + out_re[i] * out_re[i] + out_im[i] * out_im[i];
+  print_float(sum);
+  print_newline();
+  return (int)sum;
+}
+|}
+    n cutoff n n n n

@@ -1,0 +1,121 @@
+(* Mandelbrot fractal generation (computation-intensive, loop
+   pattern): one chained fork/join per image row; each row's interior
+   count lands in its own output cell, so speculation is conflict
+   free. *)
+
+let name = "mandelbrot"
+
+(* Work is chunked in quarter-rows: the paper's 512-row image amortises
+   per-row cost imbalance over 8 rows per CPU; at simulation scale the
+   finer chunks play that role. *)
+let c ?(size = 64) ?(max_iter = 500) () =
+  Printf.sprintf
+    {|
+int SIZE = %d;
+int MAXIT = %d;
+int NCHUNK = 64;
+int rows[64];
+
+int pixel(double cr, double ci) {
+  double zr = 0.0;
+  double zi = 0.0;
+  int it = 0;
+  while (it < MAXIT) {
+    double zr2 = zr * zr;
+    double zi2 = zi * zi;
+    if (zr2 + zi2 > 4.0) return it;
+    double nzr = zr2 - zi2 + cr;
+    zi = 2.0 * zr * zi + ci;
+    zr = nzr;
+    it = it + 1;
+  }
+  return it;
+}
+
+/* The work is split into exactly 64 chunks, matching the paper's
+   workload distribution strategy for its 64-core machine.  Each chunk
+   takes every 64th quarter-row, interleaving cheap border rows with
+   expensive interior rows for load balance. */
+void render() {
+  int quarter = SIZE / 4;
+  int nq = 4 * SIZE;
+  for (int c = 0; c < NCHUNK; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int acc = 0;
+    for (int q = c; q < nq; q += NCHUNK) {
+      int y = q / 4;
+      int xlo = (q %% 4) * quarter;
+      double ci = -1.25 + 2.5 * (double)y / (double)SIZE;
+      for (int x = xlo; x < xlo + quarter; x++) {
+        double cr = -2.0 + 3.0 * (double)x / (double)SIZE;
+        acc = acc + pixel(cr, ci);
+      }
+    }
+    rows[c] = acc;
+    __builtin_MUTLS_join(0);
+  }
+}
+
+int main() {
+  render();
+  int t = 0;
+  for (int c = 0; c < NCHUNK; c++) t = t + rows[c];
+  print_int(t);
+  print_newline();
+  return t;
+}
+|}
+    size max_iter
+
+let fortran ?(size = 64) ?(max_iter = 400) () =
+  Printf.sprintf
+    {|
+integer function pixel(cr, ci, maxit)
+  real*8 cr, ci, zr, zi, zr2, zi2, nzr
+  integer maxit, it
+  zr = 0.0d0
+  zi = 0.0d0
+  it = 0
+  pixel = maxit
+  do while (it .lt. maxit)
+    zr2 = zr * zr
+    zi2 = zi * zi
+    if (zr2 + zi2 .gt. 4.0d0) then
+      pixel = it
+      return
+    end if
+    nzr = zr2 - zi2 + cr
+    zi = 2.0d0 * zr * zi + ci
+    zr = nzr
+    it = it + 1
+  end do
+end
+
+subroutine render(rows, size, maxit)
+  integer rows(%d), size, maxit
+  integer y, x, acc
+  real*8 ci, cr
+  do y = 1, size
+    call MUTLS_FORK(0, mixed)
+    ci = -1.25d0 + 2.5d0 * dble(y - 1) / dble(size)
+    acc = 0
+    do x = 1, size
+      cr = -2.0d0 + 3.0d0 * dble(x - 1) / dble(size)
+      acc = acc + pixel(cr, ci, maxit)
+    end do
+    rows(y) = acc
+    call MUTLS_JOIN(0)
+  end do
+end
+
+program main
+  integer rows(%d), t, y
+  call render(rows, %d, %d)
+  t = 0
+  do y = 1, %d
+    t = t + rows(y)
+  end do
+  print *, t
+end program
+|}
+    size size size max_iter size

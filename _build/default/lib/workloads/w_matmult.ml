@@ -1,0 +1,75 @@
+(* Block-based matrix multiplication (memory-intensive, divide and
+   conquer), like Strassen's decomposition but with the classical 8
+   products: each quadrant of C is computed by a task; tasks are
+   speculated with the mixed model.  As the paper observes, when
+   sub-tasks split again the sub-sub-tasks of a quadrant read/write the
+   same C region, so this is the one benchmark that exhibits genuine
+   rollbacks. *)
+
+let name = "matmult"
+
+let c ?(n = 64) ?(cutoff = 16) () =
+  Printf.sprintf
+    {|
+int N = %d;
+int CUTOFF = %d;
+double A[%d][%d];
+double B[%d][%d];
+double C[%d][%d];
+
+/* C[cr..cr+n, cc..cc+n] += A[ar.., ac..] * B[br.., bc..] */
+void addmul(int n, int ar, int ac, int br, int bc, int cr, int cc) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      double s = 0.0;
+      for (int k = 0; k < n; k++)
+        s = s + A[ar + i][ac + k] * B[br + k][bc + j];
+      C[cr + i][cc + j] = C[cr + i][cc + j] + s;
+    }
+  }
+}
+
+/* forward references resolve in the front-end's second pass, so no
+   prototype is needed for quad() */
+void mm(int n, int ar, int ac, int br, int bc, int cr, int cc) {
+  if (n <= CUTOFF) {
+    addmul(n, ar, ac, br, bc, cr, cc);
+    return;
+  }
+  int h = n / 2;
+  __builtin_MUTLS_fork(0, mixed);
+  quad(h, ar, ac, br, bc, cr, cc);
+  __builtin_MUTLS_join(0);
+  __builtin_MUTLS_fork(1, mixed);
+  quad(h, ar, ac, br, bc + h, cr, cc + h);
+  __builtin_MUTLS_join(1);
+  __builtin_MUTLS_fork(2, mixed);
+  quad(h, ar + h, ac, br, bc, cr + h, cc);
+  __builtin_MUTLS_join(2);
+  quad(h, ar + h, ac, br, bc + h, cr + h, cc + h);
+  __builtin_MUTLS_barrier(0);
+}
+
+void quad(int h, int ar, int ac, int br, int bc, int cr, int cc) {
+  mm(h, ar, ac, br, bc, cr, cc);
+  mm(h, ar, ac + h, br + h, bc, cr, cc);
+}
+
+int main() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (double)((i + j) %% 5) * 0.5;
+      B[i][j] = (double)((i * 2 + j) %% 7) * 0.25;
+      C[i][j] = 0.0;
+    }
+  }
+  mm(N, 0, 0, 0, 0, 0, 0);
+  double sum = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) sum = sum + C[i][j] * (double)(i + 2 * j);
+  print_float(sum);
+  print_newline();
+  return (int)sum;
+}
+|}
+    n cutoff n n n n n n

@@ -1,0 +1,165 @@
+(* 3D molecular dynamics simulation (paper: 256 particles, 400 steps;
+   scaled here).  Each time step computes pairwise forces with the
+   particle loop split into chunks under chained speculation, then a
+   barrier stops speculative threads before the sequential position
+   update (which would otherwise conflict with force reads). *)
+
+let name = "md"
+
+let c ?(n = 256) ?(steps = 2) ?(nchunks = 63) () =
+  Printf.sprintf
+    {|
+int N = %d;
+int STEPS = %d;
+int NCHUNKS = %d;
+double pos[3][%d];
+double vel[3][%d];
+double force[3][%d];
+double DT = 0.001;
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    pos[0][i] = (double)(i %% 7) * 0.5;
+    pos[1][i] = (double)(i %% 5) * 0.7;
+    pos[2][i] = (double)(i %% 3) * 0.9;
+    vel[0][i] = 0.0;
+    vel[1][i] = 0.0;
+    vel[2][i] = 0.0;
+  }
+}
+
+void forces() {
+  int per = N / NCHUNKS;
+  for (int c = 0; c < NCHUNKS; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int lo = c * per;
+    int hi = lo + per;
+    for (int i = lo; i < hi; i++) {
+      double fx = 0.0;
+      double fy = 0.0;
+      double fz = 0.0;
+      for (int j = 0; j < N; j++) {
+        if (j != i) {
+          double dx = pos[0][i] - pos[0][j];
+          double dy = pos[1][i] - pos[1][j];
+          double dz = pos[2][i] - pos[2][j];
+          double r2 = dx * dx + dy * dy + dz * dz + 0.1;
+          double inv = 1.0 / (r2 * sqrt(r2));
+          fx = fx + dx * inv;
+          fy = fy + dy * inv;
+          fz = fz + dz * inv;
+        }
+      }
+      force[0][i] = fx;
+      force[1][i] = fy;
+      force[2][i] = fz;
+    }
+    __builtin_MUTLS_join(0);
+  }
+  __builtin_MUTLS_barrier(0);
+}
+
+void update() {
+  for (int i = 0; i < N; i++) {
+    for (int d = 0; d < 3; d++) {
+      vel[d][i] = vel[d][i] + DT * force[d][i];
+      pos[d][i] = pos[d][i] + DT * vel[d][i];
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int s = 0; s < STEPS; s++) {
+    forces();
+    update();
+  }
+  double sum = 0.0;
+  for (int i = 0; i < N; i++)
+    sum = sum + pos[0][i] + pos[1][i] + pos[2][i];
+  print_float(sum);
+  print_newline();
+  return (int)(sum * 1000.0);
+}
+|}
+    n steps nchunks n n n
+
+let fortran ?(n = 96) ?(steps = 2) ?(nchunks = 32) () =
+  Printf.sprintf
+    {|
+subroutine init(pos, vel, n)
+  real*8 pos(3, %d), vel(3, %d)
+  integer n, i
+  do i = 1, n
+    pos(1, i) = dble(mod(i - 1, 7)) * 0.5d0
+    pos(2, i) = dble(mod(i - 1, 5)) * 0.7d0
+    pos(3, i) = dble(mod(i - 1, 3)) * 0.9d0
+    vel(1, i) = 0.0d0
+    vel(2, i) = 0.0d0
+    vel(3, i) = 0.0d0
+  end do
+end
+
+subroutine forces(pos, force, n, nchunks)
+  real*8 pos(3, %d), force(3, %d)
+  integer n, nchunks, c, per, lo, hi, i, j
+  real*8 fx, fy, fz, dx, dy, dz, r2, inv
+  per = n / nchunks
+  do c = 1, nchunks
+    call MUTLS_FORK(0, mixed)
+    lo = (c - 1) * per + 1
+    hi = lo + per - 1
+    do i = lo, hi
+      fx = 0.0d0
+      fy = 0.0d0
+      fz = 0.0d0
+      do j = 1, n
+        if (j .ne. i) then
+          dx = pos(1, i) - pos(1, j)
+          dy = pos(2, i) - pos(2, j)
+          dz = pos(3, i) - pos(3, j)
+          r2 = dx * dx + dy * dy + dz * dz + 0.1d0
+          inv = 1.0d0 / (r2 * sqrt(r2))
+          fx = fx + dx * inv
+          fy = fy + dy * inv
+          fz = fz + dz * inv
+        end if
+      end do
+      force(1, i) = fx
+      force(2, i) = fy
+      force(3, i) = fz
+    end do
+    call MUTLS_JOIN(0)
+  end do
+  call MUTLS_BARRIER(0)
+end
+
+subroutine update(pos, vel, force, n)
+  real*8 pos(3, %d), vel(3, %d), force(3, %d), dt
+  integer n, i, d
+  dt = 0.001d0
+  do i = 1, n
+    do d = 1, 3
+      vel(d, i) = vel(d, i) + dt * force(d, i)
+      pos(d, i) = pos(d, i) + dt * vel(d, i)
+    end do
+  end do
+end
+
+program main
+  real*8 pos(3, %d), vel(3, %d), force(3, %d)
+  real*8 sum
+  integer s, i
+  call init(pos, vel, %d)
+  do s = 1, %d
+    call forces(pos, force, %d, %d)
+    call update(pos, vel, force, %d)
+  end do
+  sum = 0.0d0
+  do i = 1, %d
+    sum = sum + pos(1, i) + pos(2, i) + pos(3, i)
+  end do
+  print *, sum
+end program
+|}
+    n n n n n n n n n n n steps n nchunks n n

@@ -1,0 +1,67 @@
+(* N-queens (memory-intensive in the paper's classification,
+   depth-first search).  The search state is a register-only bitmask,
+   so speculation is conflict free; the first two levels of the search
+   tree are speculated (each level chains fork/join over its column
+   loop, and speculative threads fork the next level themselves —
+   tree-form parallelism only the mixed model can exploit).  Each
+   level-2 branch counts its subtree into a private cell. *)
+
+let name = "nqueen"
+
+let c ?(n = 9) () =
+  Printf.sprintf
+    {|
+int N = %d;
+int res[%d];
+
+/* sequential bitmask solver: counts placements below this node */
+int solve(int ld, int rd, int cols, int all) {
+  if (cols == all) return 1;
+  int cnt = 0;
+  int avail = ~(ld | rd | cols) & all;
+  while (avail) {
+    int bit = avail & (0 - avail);
+    avail = avail - bit;
+    cnt = cnt + solve((ld | bit) << 1, (rd | bit) >> 1, cols | bit, all);
+  }
+  return cnt;
+}
+
+/* level 2: one fork/join per column of the second row */
+void level2(int ld, int rd, int cols, int all, int c1) {
+  for (int c2 = 0; c2 < N; c2++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int bit = 1 << c2;
+    int slot = c1 * N + c2;
+    if ((ld | rd | cols) & bit) {
+      res[slot] = 0;
+    } else {
+      res[slot] = solve((ld | bit) << 1, (rd | bit) >> 1, cols | bit, all);
+    }
+    __builtin_MUTLS_join(0);
+  }
+  __builtin_MUTLS_barrier(0);
+}
+
+/* level 1: one fork/join per column of the first row */
+void level1(int all) {
+  for (int c1 = 0; c1 < N; c1++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int bit = 1 << c1;
+    level2(bit << 1, bit >> 1, bit, all, c1);
+    __builtin_MUTLS_join(0);
+  }
+  __builtin_MUTLS_barrier(0);
+}
+
+int main() {
+  int all = (1 << N) - 1;
+  level1(all);
+  int total = 0;
+  for (int i = 0; i < N * N; i++) total = total + res[i];
+  print_int(total);
+  print_newline();
+  return total;
+}
+|}
+    n (n * n)

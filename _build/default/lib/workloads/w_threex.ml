@@ -1,0 +1,92 @@
+(* 3x+1 (Collatz): the paper's idealised computation-intensive
+   benchmark — no memory access during the computation.  The workload
+   is split into [nchunks] loop iterations (the paper uses 64) with
+   chained fork/join speculation: each speculative thread continues the
+   chunk loop and forks further, so N CPUs pipeline the chunks. *)
+
+let name = "3x+1"
+
+let c ?(total = 16384) ?(nchunks = 64) () =
+  Printf.sprintf
+    {|
+int NCHUNKS = %d;
+int TOTAL = %d;
+int chunk_res[%d];
+
+int steps(int n) {
+  int s = 0;
+  while (n != 1) {
+    if (n %% 2) n = 3 * n + 1;
+    else n = n / 2;
+    s = s + 1;
+  }
+  return s;
+}
+
+void compute() {
+  int per = TOTAL / NCHUNKS;
+  for (int c = 0; c < NCHUNKS; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int lo = c * per + 1;
+    int sum = 0;
+    for (int i = lo; i < lo + per; i++) sum = sum + steps(i);
+    chunk_res[c] = sum;
+    __builtin_MUTLS_join(0);
+  }
+}
+
+int main() {
+  compute();
+  int t = 0;
+  for (int c = 0; c < NCHUNKS; c++) t = t + chunk_res[c];
+  print_int(t);
+  print_newline();
+  return t;
+}
+|}
+    nchunks total nchunks
+
+let fortran ?(total = 8192) ?(nchunks = 64) () =
+  Printf.sprintf
+    {|
+integer function steps(n)
+  integer n, m
+  m = n
+  steps = 0
+  do while (m .ne. 1)
+    if (mod(m, 2) .eq. 1) then
+      m = 3 * m + 1
+    else
+      m = m / 2
+    end if
+    steps = steps + 1
+  end do
+end
+
+subroutine compute(res, total, nchunks)
+  integer res(%d), total, nchunks
+  integer c, per, lo, i, sum
+  per = total / nchunks
+  do c = 1, nchunks
+    call MUTLS_FORK(0, mixed)
+    lo = (c - 1) * per + 1
+    sum = 0
+    do i = lo, lo + per - 1
+      sum = sum + steps(i)
+    end do
+    res(c) = sum
+    call MUTLS_JOIN(0)
+  end do
+end
+
+program main
+  integer res(%d), t, c
+  call compute(res, %d, %d)
+  t = 0
+  do c = 1, %d
+    t = t + res(c)
+  end do
+  print *, t
+end program
+|}
+    nchunks nchunks total nchunks nchunks

@@ -1,0 +1,65 @@
+(* Travelling salesperson by exhaustive depth-first search (paper: 12
+   cities; scaled).  The first tree level is speculated: one chained
+   fork/join per choice of second city, each branch writing its best
+   tour into a private cell; the visited set is a register bitmask and
+   the distance matrix is read-only, so speculation is conflict
+   free. *)
+
+let name = "tsp"
+
+let c ?(n = 9) () =
+  Printf.sprintf
+    {|
+int N = %d;
+int dist[%d][%d];
+int best[%d];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      if (i == j) dist[i][j] = 0;
+      else {
+        int d = ((i * 37 + j * 17) %% 23) + ((i * 11 + j * 29) %% 13) + 1;
+        dist[i][j] = d;
+      }
+    }
+  }
+}
+
+/* best completion of a partial tour ending at [city] with [visited] */
+int search(int city, int visited, int all) {
+  if (visited == all) return dist[city][0];
+  int bestlen = 1000000;
+  for (int next = 1; next < N; next++) {
+    int bit = 1 << next;
+    if (!(visited & bit)) {
+      int len = dist[city][next] + search(next, visited | bit, all);
+      if (len < bestlen) bestlen = len;
+    }
+  }
+  return bestlen;
+}
+
+void toplevel(int all) {
+  for (int second = 1; second < N; second++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int bit = 1 << second;
+    best[second] = dist[0][second] + search(second, 1 | bit, all);
+    __builtin_MUTLS_join(0);
+  }
+  __builtin_MUTLS_barrier(0);
+}
+
+int main() {
+  init();
+  int all = (1 << N) - 1;
+  toplevel(all);
+  int bestlen = 1000000;
+  for (int second = 1; second < N; second++)
+    if (best[second] < bestlen) bestlen = best[second];
+  print_int(bestlen);
+  print_newline();
+  return bestlen;
+}
+|}
+    n n n n

@@ -1,0 +1,120 @@
+(* Benchmark registry: the paper's Table II.  Each workload provides
+   its MiniC source (and MiniFortran where the paper evaluates both)
+   at a default, simulation-friendly scale plus a [scaled] variant for
+   sweeps. *)
+
+type pattern = Loop | Divide_and_conquer | Depth_first_search
+
+let pattern_to_string = function
+  | Loop -> "loop"
+  | Divide_and_conquer -> "divide and conquer"
+  | Depth_first_search -> "depth-first search"
+
+type workload_class = Compute_intensive | Memory_intensive
+
+let class_to_string = function
+  | Compute_intensive -> "Computation intensive"
+  | Memory_intensive -> "Memory intensive"
+
+type t = {
+  name : string;
+  description : string;
+  amount : string; (* paper's data amount, for Table II *)
+  pattern : pattern;
+  wclass : workload_class;
+  c_source : unit -> string;
+  fortran_source : (unit -> string) option;
+  small : unit -> string; (* fast variant for tests *)
+}
+
+let all : t list =
+  [
+    {
+      name = "3x+1";
+      description = "3x+1 problem in number theory";
+      amount = "40M integers (enumerate)";
+      pattern = Loop;
+      wclass = Compute_intensive;
+      c_source = (fun () -> W_threex.c ());
+      fortran_source = Some (fun () -> W_threex.fortran ());
+      small = (fun () -> W_threex.c ~total:512 ~nchunks:16 ());
+    };
+    {
+      name = "mandelbrot";
+      description = "mandelbrot fractal generation";
+      amount = "512x512 image, maximum 80000 iterations";
+      pattern = Loop;
+      wclass = Compute_intensive;
+      c_source = (fun () -> W_mandelbrot.c ());
+      fortran_source = Some (fun () -> W_mandelbrot.fortran ());
+      small = (fun () -> W_mandelbrot.c ~size:16 ~max_iter:60 ());
+    };
+    {
+      name = "md";
+      description = "3D molecular dynamics simulation";
+      amount = "256 particles, 400 iteration steps";
+      pattern = Loop;
+      wclass = Compute_intensive;
+      c_source = (fun () -> W_md.c ());
+      fortran_source = Some (fun () -> W_md.fortran ());
+      small = (fun () -> W_md.c ~n:16 ~steps:2 ~nchunks:8 ());
+    };
+    {
+      name = "bh";
+      description = "Barnes-Hut N-body simulation";
+      amount = "12800 bodies";
+      pattern = Loop;
+      wclass = Memory_intensive;
+      c_source = (fun () -> W_bh.c ());
+      fortran_source = None;
+      small = (fun () -> W_bh.c ~n:32 ~steps:1 ~nchunks:8 ());
+    };
+    {
+      name = "fft";
+      description = "recursive Fast Fourier Transform";
+      amount = "2^20 doubles";
+      pattern = Divide_and_conquer;
+      wclass = Memory_intensive;
+      c_source = (fun () -> W_fft.c ());
+      fortran_source = None;
+      small = (fun () -> W_fft.c ~logn:7 ~cutoff:16 ());
+    };
+    {
+      name = "matmult";
+      description = "block-based matrix multiplication";
+      amount = "1024x1024 matrices";
+      pattern = Divide_and_conquer;
+      wclass = Memory_intensive;
+      c_source = (fun () -> W_matmult.c ());
+      fortran_source = None;
+      small = (fun () -> W_matmult.c ~n:16 ~cutoff:4 ());
+    };
+    {
+      name = "nqueen";
+      description = "N-queen problem";
+      amount = "14 queens";
+      pattern = Depth_first_search;
+      wclass = Memory_intensive;
+      c_source = (fun () -> W_nqueen.c ());
+      fortran_source = None;
+      small = (fun () -> W_nqueen.c ~n:6 ());
+    };
+    {
+      name = "tsp";
+      description = "travelling sales person (TSP) problem";
+      amount = "12 cities";
+      pattern = Depth_first_search;
+      wclass = Memory_intensive;
+      c_source = (fun () -> W_tsp.c ());
+      fortran_source = None;
+      small = (fun () -> W_tsp.c ~n:7 ());
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("Workloads.find: unknown benchmark " ^ name)
+
+let compute_intensive = List.filter (fun w -> w.wclass = Compute_intensive) all
+let memory_intensive = List.filter (fun w -> w.wclass = Memory_intensive) all

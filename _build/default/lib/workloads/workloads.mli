@@ -1,0 +1,28 @@
+(** Benchmark registry: the paper's Table II.  Each workload provides
+    its MiniC source (and MiniFortran where the paper evaluates both)
+    at a default simulation-friendly scale, plus a fast [small] variant
+    for tests. *)
+
+type pattern = Loop | Divide_and_conquer | Depth_first_search
+
+val pattern_to_string : pattern -> string
+
+type workload_class = Compute_intensive | Memory_intensive
+
+val class_to_string : workload_class -> string
+
+type t = {
+  name : string;
+  description : string;
+  amount : string;  (** the paper's data amount, for Table II *)
+  pattern : pattern;
+  wclass : workload_class;
+  c_source : unit -> string;
+  fortran_source : (unit -> string) option;
+  small : unit -> string;
+}
+
+val all : t list
+val find : string -> t
+val compute_intensive : t list
+val memory_intensive : t list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Mutls_interp Mutls_mir Mutls_progs Mutls_runtime Mutls_speculator Verify

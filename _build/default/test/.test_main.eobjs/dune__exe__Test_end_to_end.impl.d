@@ -1,0 +1,1 @@
+test/test_end_to_end.ml: Alcotest Helpers Int64 List Mutls_interp Mutls_mir Mutls_runtime Mutls_speculator Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Helpers List Mutls Mutls_interp Mutls_minic Mutls_runtime Mutls_speculator Mutls_workloads Printf

@@ -1,0 +1,1 @@
+test/test_fortran.ml: Alcotest Helpers List Mutls_interp Mutls_minifortran Mutls_runtime

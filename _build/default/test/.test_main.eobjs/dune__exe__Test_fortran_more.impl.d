@@ -1,0 +1,1 @@
+test/test_fortran_more.ml: Alcotest Helpers Mutls_interp Mutls_minic Mutls_minifortran

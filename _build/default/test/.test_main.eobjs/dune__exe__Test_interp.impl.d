@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Bytes Int64 Mutls_interp Mutls_minic Mutls_mir

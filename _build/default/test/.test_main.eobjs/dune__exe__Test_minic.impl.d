@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Helpers List Mutls_interp Mutls_minic Mutls_runtime

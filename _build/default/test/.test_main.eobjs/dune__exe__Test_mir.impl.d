@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Array Astring_contains Builder Cfg Dom Ir List Liveness Mem2reg Mutls_interp Mutls_minic Mutls_mir Mutls_speculator Printer Verify

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Ir List Mutls_interp Mutls_minic Mutls_mir Mutls_runtime Mutls_speculator Mutls_workloads Opt Printf QCheck QCheck_alcotest Test_properties

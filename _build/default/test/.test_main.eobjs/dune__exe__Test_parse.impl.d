@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Ir List Mutls_interp Mutls_minic Mutls_minifortran Mutls_mir Mutls_runtime Mutls_speculator Mutls_workloads Parse Printer Verify

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Int64 Mutls_interp Mutls_minic Mutls_runtime Mutls_speculator Printf QCheck QCheck_alcotest

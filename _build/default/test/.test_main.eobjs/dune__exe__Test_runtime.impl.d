@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bytes Char Hashtbl Int64 List Mutls_runtime QCheck QCheck_alcotest

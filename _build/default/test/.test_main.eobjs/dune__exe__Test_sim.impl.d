@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Mutls_sim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_speculator.ml: Alcotest Astring_contains Helpers List Mutls_interp Mutls_minic Mutls_mir Mutls_runtime Mutls_speculator Printf String

@@ -1,0 +1,27 @@
+(* Shared helpers for the test suites. *)
+
+open Mutls_mir
+
+let check_verified m =
+  match Verify.check_module m with
+  | () -> ()
+  | exception Verify.Invalid msg -> Alcotest.failf "module does not verify: %s" msg
+
+let figure1_module ?n ?model () = Mutls_progs.Samples.figure1 ?n ?model ()
+
+let i64_of_result = function
+  | Some (Mutls_interp.Value.VI n) -> n
+  | Some (Mutls_interp.Value.VF _) -> Alcotest.fail "float result"
+  | None -> Alcotest.fail "no result"
+
+let run_seq m = Mutls_interp.Eval.run_sequential m
+
+let run_tls ?(ncpus = 4) ?(model_override = None) ?(rollback = 0.0) m =
+  let transformed = Mutls_speculator.Pass.run m in
+  let cfg =
+    { Mutls_runtime.Config.default with
+      ncpus;
+      model_override;
+      rollback_probability = rollback }
+  in
+  Mutls_interp.Eval.run_tls cfg transformed

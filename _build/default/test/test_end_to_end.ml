@@ -1,0 +1,82 @@
+(* End-to-end: hand-built MIR with fork/join annotations, run through
+   the speculator pass and the TLS runtime, must produce the same
+   result as sequential execution. *)
+
+open Helpers
+
+let seq_result () =
+  let m = figure1_module () in
+  i64_of_result (run_seq m).Mutls_interp.Eval.sret
+
+let test_sequential () =
+  let r = seq_result () in
+  (* checksum: sum (3i+1)(i+1) for i<32 + sum (7i+1)(i+1) for 32<=i<64 *)
+  let expect = ref 0L in
+  for i = 0 to 63 do
+    let v = if i < 32 then (3 * i) + 1 else (7 * i) + 1 in
+    expect := Int64.add !expect (Int64.of_int (v * (i + 1)))
+  done;
+  Alcotest.(check int64) "sequential checksum" !expect r
+
+let test_pass_verifies () =
+  let m = figure1_module () in
+  let t = Mutls_speculator.Pass.run m in
+  check_verified t;
+  (* speculative artifacts exist *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " generated") true
+        (Mutls_mir.Ir.find_func t name <> None))
+    [ "work.spec"; "work.stub"; "work.proxy"; "main" ]
+
+let test_tls_matches ncpus () =
+  let expect = seq_result () in
+  let m = figure1_module () in
+  let r = run_tls ~ncpus m in
+  Alcotest.(check int64) "TLS checksum" expect (i64_of_result r.Mutls_interp.Eval.tret)
+
+let test_tls_actually_speculates () =
+  let m = figure1_module () in
+  let r = run_tls ~ncpus:4 m in
+  let committed =
+    List.filter (fun t -> t.Mutls_runtime.Thread_manager.r_committed)
+      r.Mutls_interp.Eval.tretired
+  in
+  Alcotest.(check bool) "at least one thread committed" true (committed <> [])
+
+let test_models () =
+  let expect = seq_result () in
+  List.iter
+    (fun model ->
+      let m = figure1_module () in
+      let r = run_tls ~ncpus:4 ~model_override:(Some model) m in
+      Alcotest.(check int64)
+        (Mutls_runtime.Config.model_to_string model)
+        expect
+        (i64_of_result r.Mutls_interp.Eval.tret))
+    [ Mutls_runtime.Config.In_order; Out_of_order; Mixed ]
+
+let test_rollback_injection () =
+  let expect = seq_result () in
+  List.iter
+    (fun p ->
+      let m = figure1_module () in
+      let r = run_tls ~ncpus:4 ~rollback:p m in
+      Alcotest.(check int64)
+        (Printf.sprintf "rollback %.0f%%" (100. *. p))
+        expect
+        (i64_of_result r.Mutls_interp.Eval.tret))
+    [ 0.1; 0.5; 1.0 ]
+
+let tests =
+  [
+    Alcotest.test_case "sequential baseline" `Quick test_sequential;
+    Alcotest.test_case "pass output verifies" `Quick test_pass_verifies;
+    Alcotest.test_case "tls ncpus=1" `Quick (test_tls_matches 1);
+    Alcotest.test_case "tls ncpus=2" `Quick (test_tls_matches 2);
+    Alcotest.test_case "tls ncpus=8" `Quick (test_tls_matches 8);
+    Alcotest.test_case "tls speculates" `Quick test_tls_actually_speculates;
+    Alcotest.test_case "all forking models" `Quick test_models;
+    Alcotest.test_case "rollback injection" `Quick test_rollback_injection;
+  ]

@@ -1,0 +1,102 @@
+(* The §VI future-work features implemented in this repo: stride value
+   prediction, automatic fork heuristics, and the cascade-mode
+   ablation. *)
+
+open Helpers
+module Config = Mutls_runtime.Config
+
+let accumulator_src = Mutls.Ablations.accumulator_src
+
+let run_cfg cfg m =
+  let t = Mutls_speculator.Pass.run m in
+  Mutls_interp.Eval.run_tls cfg t
+
+let test_value_prediction_correct () =
+  let m = Mutls_minic.Codegen.compile accumulator_src in
+  let seq = run_seq m in
+  List.iter
+    (fun vp ->
+      let cfg = { Config.default with ncpus = 4; value_prediction = vp } in
+      let r = run_cfg cfg m in
+      Alcotest.(check string)
+        (Printf.sprintf "vp=%b output" vp)
+        seq.Mutls_interp.Eval.soutput r.Mutls_interp.Eval.toutput)
+    [ false; true ]
+
+let count_outcomes r =
+  let commits =
+    List.length
+      (List.filter (fun t -> t.Mutls_runtime.Thread_manager.r_committed)
+         r.Mutls_interp.Eval.tretired)
+  in
+  (commits, List.length r.Mutls_interp.Eval.tretired - commits)
+
+let test_value_prediction_commits () =
+  let m = Mutls_minic.Codegen.compile accumulator_src in
+  let off = run_cfg { Config.default with ncpus = 4 } m in
+  let on = run_cfg { Config.default with ncpus = 4; value_prediction = true } m in
+  let c_off, _ = count_outcomes off in
+  let c_on, r_on = count_outcomes on in
+  (* without prediction the accumulator mispredicts everywhere *)
+  Alcotest.(check int) "no commits without prediction" 0 c_off;
+  Alcotest.(check bool) "prediction enables commits" true (c_on > 10);
+  Alcotest.(check bool) "few residual rollbacks" true (r_on < c_on)
+
+let test_auto_annotate_correct () =
+  let m = Mutls_minic.Codegen.compile Mutls.Ablations.plain_mandelbrot in
+  let seq = run_seq m in
+  let n = Mutls.Auto_annotate.run m in
+  Alcotest.(check bool) "points inserted" true (n >= 1);
+  check_verified m;
+  let r = run_cfg { Config.default with ncpus = 8 } m in
+  Alcotest.(check string) "auto output" seq.Mutls_interp.Eval.soutput
+    r.Mutls_interp.Eval.toutput;
+  let commits, _ = count_outcomes r in
+  Alcotest.(check bool) "auto speculation commits" true (commits > 0)
+
+let test_auto_annotate_skips_annotated () =
+  (* manual annotations are respected: nothing added on top *)
+  let w = Mutls_workloads.Workloads.find "3x+1" in
+  let m = Mutls_minic.Codegen.compile (w.Mutls_workloads.Workloads.small ()) in
+  Alcotest.(check int) "annotated functions untouched" 0
+    (Mutls.Auto_annotate.run m)
+
+let test_auto_annotate_speeds_up () =
+  let m = Mutls_minic.Codegen.compile Mutls.Ablations.plain_mandelbrot in
+  let seq = run_seq m in
+  ignore (Mutls.Auto_annotate.run m);
+  let r = run_cfg { Config.default with ncpus = 8 } m in
+  let speedup = seq.Mutls_interp.Eval.scost /. r.Mutls_interp.Eval.tfinish in
+  Alcotest.(check bool) "auto parallelization gains" true (speedup > 2.0)
+
+let test_cascade_modes_correct () =
+  (* both cascade modes stay correct under heavy injected rollbacks *)
+  let w = Mutls_workloads.Workloads.find "nqueen" in
+  let m = Mutls_minic.Codegen.compile (w.Mutls_workloads.Workloads.small ()) in
+  let seq = run_seq m in
+  List.iter
+    (fun cascade ->
+      let cfg =
+        { Config.default with ncpus = 8; cascade; rollback_probability = 0.3 }
+      in
+      let r = run_cfg cfg m in
+      Alcotest.(check string)
+        (Config.cascade_to_string cascade ^ " cascade output")
+        seq.Mutls_interp.Eval.soutput r.Mutls_interp.Eval.toutput)
+    [ Config.Tree_cascade; Config.Linear_cascade ]
+
+let tests =
+  [
+    Alcotest.test_case "value prediction correctness" `Quick
+      test_value_prediction_correct;
+    Alcotest.test_case "value prediction enables commits" `Quick
+      test_value_prediction_commits;
+    Alcotest.test_case "auto-annotation correctness" `Quick
+      test_auto_annotate_correct;
+    Alcotest.test_case "auto-annotation respects manual" `Quick
+      test_auto_annotate_skips_annotated;
+    Alcotest.test_case "auto-annotation speeds up" `Quick
+      test_auto_annotate_speeds_up;
+    Alcotest.test_case "cascade modes correctness" `Quick
+      test_cascade_modes_correct;
+  ]

@@ -1,0 +1,249 @@
+(* MiniFortran front-end tests: language semantics, by-reference
+   argument passing, and TLS equivalence on annotated programs. *)
+
+open Helpers
+
+let run_src src =
+  let m = Mutls_minifortran.Fcodegen.compile src in
+  run_seq m
+
+let check_output name src expected =
+  let r = run_src src in
+  Alcotest.(check string) name expected r.Mutls_interp.Eval.soutput
+
+let test_basics () =
+  check_output "arith"
+    {|
+program main
+  i = 3 + 4 * 5
+  print *, i
+end program
+|}
+    "23\n";
+  check_output "do loop"
+    {|
+program main
+  integer s, i
+  s = 0
+  do i = 1, 10
+    s = s + i
+  end do
+  print *, s
+end program
+|}
+    "55\n";
+  check_output "do step"
+    {|
+program main
+  integer s, i
+  s = 0
+  do i = 10, 2, -2
+    s = s + i
+  end do
+  print *, s
+end program
+|}
+    "30\n";
+  check_output "if/else"
+    {|
+program main
+  integer x
+  x = 7
+  if (x .gt. 5) then
+    print *, 1
+  else
+    print *, 0
+  end if
+end program
+|}
+    "1\n";
+  check_output "one-line if + exit"
+    {|
+program main
+  integer i
+  do i = 1, 100
+    if (i .eq. 5) exit
+  end do
+  print *, i
+end program
+|}
+    "5\n"
+
+let test_reals () =
+  check_output "real arithmetic"
+    {|
+program main
+  real*8 x, y
+  x = 1.5d0
+  y = x * 4.0 + 0.25
+  print *, y
+end program
+|}
+    "6.25\n";
+  check_output "sqrt"
+    {|
+program main
+  print *, sqrt(169.0d0)
+end program
+|}
+    "13\n";
+  check_output "mixed int/real"
+    {|
+program main
+  integer n
+  real*8 x
+  n = 3
+  x = n / 2.0d0
+  print *, x
+end program
+|}
+    "1.5\n";
+  check_output "pow"
+    {|
+program main
+  integer k
+  k = 2 ** 10
+  print *, k
+end program
+|}
+    "1024\n"
+
+let test_arrays_units () =
+  check_output "array"
+    {|
+program main
+  integer a(10), i, s
+  do i = 1, 10
+    a(i) = i * i
+  end do
+  s = 0
+  do i = 1, 10
+    s = s + a(i)
+  end do
+  print *, s
+end program
+|}
+    "385\n";
+  check_output "2d column-major"
+    {|
+program main
+  real*8 mat(3, 4)
+  integer i, j
+  do j = 1, 4
+    do i = 1, 3
+      mat(i, j) = i * 10 + j
+    end do
+  end do
+  print *, mat(2, 3), mat(3, 4)
+end program
+|}
+    "23 34\n";
+  check_output "subroutine by reference"
+    {|
+subroutine bump(x)
+  integer x
+  x = x + 1
+end
+program main
+  integer v
+  v = 41
+  call bump(v)
+  print *, v
+end program
+|}
+    "42\n";
+  check_output "array argument"
+    {|
+subroutine fill(a, n)
+  integer a(100), n, i
+  do i = 1, n
+    a(i) = i * 2
+  end do
+end
+program main
+  integer b(100), s, i
+  call fill(b, 5)
+  s = 0
+  do i = 1, 5
+    s = s + b(i)
+  end do
+  print *, s
+end program
+|}
+    "30\n";
+  check_output "function"
+    {|
+integer function square(n)
+  integer n
+  square = n * n
+end
+program main
+  print *, square(12)
+end program
+|}
+    "144\n";
+  check_output "recursion"
+    {|
+integer function fact(n)
+  integer n, m
+  if (n .le. 1) then
+    fact = 1
+  else
+    m = n - 1
+    fact = n * fact(m)
+  end if
+end
+program main
+  print *, fact(10)
+end program
+|}
+    "3628800\n"
+
+(* --- TLS -------------------------------------------------------------- *)
+
+let tls_src =
+  {|
+subroutine work(a)
+  integer a(64), i
+  call MUTLS_FORK(0, mixed)
+  do i = 1, 32
+    a(i) = 3 * i + 1
+  end do
+  call MUTLS_JOIN(0)
+  do i = 33, 64
+    a(i) = 7 * i + 1
+  end do
+end
+program main
+  integer a(64), s, i
+  call work(a)
+  s = 0
+  do i = 1, 64
+    s = s + a(i) * i
+  end do
+  print *, s
+end program
+|}
+
+let test_tls_equivalence () =
+  let m = Mutls_minifortran.Fcodegen.compile tls_src in
+  let seq = run_seq m in
+  let tls = run_tls ~ncpus:4 m in
+  Alcotest.(check string) "fortran TLS output" seq.Mutls_interp.Eval.soutput
+    tls.Mutls_interp.Eval.toutput
+
+let test_tls_speculates () =
+  let m = Mutls_minifortran.Fcodegen.compile tls_src in
+  let tls = run_tls ~ncpus:4 m in
+  Alcotest.(check bool) "fortran TLS commits" true
+    (List.exists (fun t -> t.Mutls_runtime.Thread_manager.r_committed)
+       tls.Mutls_interp.Eval.tretired)
+
+let tests =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "reals" `Quick test_reals;
+    Alcotest.test_case "arrays and units" `Quick test_arrays_units;
+    Alcotest.test_case "tls equivalence" `Quick test_tls_equivalence;
+    Alcotest.test_case "tls speculates" `Quick test_tls_speculates;
+  ]

@@ -1,0 +1,202 @@
+(* Additional MiniFortran coverage: loop edge cases, expression-valued
+   arguments, cycle/exit inside speculative regions, and nested unit
+   call chains. *)
+
+open Helpers
+
+let out src =
+  (Mutls_minifortran.Fcodegen.compile src |> Mutls_interp.Eval.run_sequential)
+    .Mutls_interp.Eval.soutput
+
+let check name src expected = Alcotest.(check string) name expected (out src)
+
+let test_loop_edges () =
+  check "zero-trip loop"
+    {|
+program main
+  integer s, i
+  s = 0
+  do i = 5, 1
+    s = s + 1
+  end do
+  print *, s
+end program
+|}
+    "0\n";
+  check "negative-step over-shoot"
+    {|
+program main
+  integer s, i
+  s = 0
+  do i = 9, 0, -4
+    s = s + i
+  end do
+  print *, s
+end program
+|}
+    "15\n";
+  check "cycle"
+    {|
+program main
+  integer s, i
+  s = 0
+  do i = 1, 10
+    if (mod(i, 2) .eq. 0) cycle
+    s = s + i
+  end do
+  print *, s
+end program
+|}
+    "25\n";
+  check "loop variable after exit"
+    {|
+program main
+  integer i, j
+  j = 0
+  do i = 1, 100
+    j = j + i
+    if (j .gt. 20) exit
+  end do
+  print *, i, j
+end program
+|}
+    "6 21\n"
+
+let test_byref_expressions () =
+  (* expression arguments materialise into temporaries; variable
+     arguments share storage *)
+  check "expression argument"
+    {|
+subroutine twice(x, r)
+  integer x, r
+  r = 2 * x
+  x = 0
+end
+program main
+  integer a, r
+  a = 21
+  call twice(a + 0, r)
+  print *, a, r
+end program
+|}
+    "21 42\n";
+  check "variable argument mutated"
+    {|
+subroutine twice(x, r)
+  integer x, r
+  r = 2 * x
+  x = 0
+end
+program main
+  integer a, r
+  a = 21
+  call twice(a, r)
+  print *, a, r
+end program
+|}
+    "0 42\n";
+  check "array element by reference"
+    {|
+subroutine bump(x)
+  integer x
+  x = x + 100
+end
+program main
+  integer a(5), i
+  do i = 1, 5
+    a(i) = i
+  end do
+  call bump(a(3))
+  print *, a(2), a(3), a(4)
+end program
+|}
+    "2 103 4\n"
+
+let test_call_chains () =
+  check "function calling subroutine results"
+    {|
+subroutine square(x, r)
+  integer x, r
+  r = x * x
+end
+integer function sumsq(n)
+  integer n, i, t, r
+  t = 0
+  do i = 1, n
+    call square(i, r)
+    t = t + r
+  end do
+  sumsq = t
+end
+program main
+  print *, sumsq(5)
+end program
+|}
+    "55\n"
+
+let test_fortran_tls_dfs () =
+  (* speculative region with cycle/exit control flow inside *)
+  let src =
+    {|
+subroutine work(res, n)
+  integer res(32), n
+  integer c, i, acc
+  do c = 1, n
+    call MUTLS_FORK(0, mixed)
+    acc = 0
+    do i = 1, 50
+      if (mod(i + c, 7) .eq. 0) cycle
+      acc = acc + i * c
+      if (acc .gt. 5000) exit
+    end do
+    res(c) = acc
+    call MUTLS_JOIN(0)
+  end do
+end
+program main
+  integer res(32), t, c
+  call work(res, 32)
+  t = 0
+  do c = 1, 32
+    t = t + mod(res(c), 1000)
+  end do
+  print *, t
+end program
+|}
+  in
+  let m = Mutls_minifortran.Fcodegen.compile src in
+  let seq = run_seq m in
+  let tls = run_tls ~ncpus:6 m in
+  Alcotest.(check string) "fortran TLS with cycle/exit"
+    seq.Mutls_interp.Eval.soutput tls.Mutls_interp.Eval.toutput
+
+let test_global_inits_installed () =
+  (* MiniC global initializers land in memory correctly *)
+  let src =
+    {|
+int words[4] = {10, -20, 30, -40};
+double floats[2] = {1.5, -2.25};
+int scalar = 7;
+int main() {
+  print_int(words[0] + words[1] + words[2] + words[3]);
+  print_char(' ');
+  print_float(floats[0] + floats[1]);
+  print_char(' ');
+  print_int(scalar);
+  print_newline();
+  return 0;
+}
+|}
+  in
+  let m = Mutls_minic.Codegen.compile src in
+  let r = Mutls_interp.Eval.run_sequential m in
+  Alcotest.(check string) "initializers" "-20 -0.75 7\n" r.Mutls_interp.Eval.soutput
+
+let tests =
+  [
+    Alcotest.test_case "loop edge cases" `Quick test_loop_edges;
+    Alcotest.test_case "by-reference arguments" `Quick test_byref_expressions;
+    Alcotest.test_case "call chains" `Quick test_call_chains;
+    Alcotest.test_case "fortran TLS with cycle/exit" `Quick test_fortran_tls_dfs;
+    Alcotest.test_case "global initializers" `Quick test_global_inits_installed;
+  ]

@@ -1,0 +1,114 @@
+(* Interpreter substrate: the flat memory, value conversions, extern
+   functions, and trap conditions. *)
+
+module Mem = Mutls_interp.Memory
+module V = Mutls_interp.Value
+module I = Mutls_mir.Ir
+
+let make () = Mem.create ~globals_size:4096 ~heap_size:65536 ~stack_size:4096 ~nstacks:4
+
+let test_memory_typed_access () =
+  let m = make () in
+  let a = m.Mem.globals_base in
+  Mem.write_i64 m a 0x0123456789ABCDEFL;
+  Alcotest.(check int64) "i64 roundtrip" 0x0123456789ABCDEFL (Mem.read_i64 m a);
+  Alcotest.(check int64) "i32 low half (LE)" 0x89ABCDEFL
+    (Int64.logand (Mem.read_i32 m a) 0xFFFFFFFFL);
+  Alcotest.(check int64) "i8 lowest byte" 0xEFL (Mem.read_i8 m a);
+  Mem.write_f64 m (a + 8) 3.25;
+  Alcotest.(check (float 0.0)) "f64 roundtrip" 3.25 (Mem.read_f64 m (a + 8));
+  Mem.write_i32 m (a + 16) (-2L);
+  Alcotest.(check int64) "i32 truncates" 0xFFFFFFFEL
+    (Int64.logand (Mem.read_i32 m (a + 16)) 0xFFFFFFFFL)
+
+let test_memory_fault () =
+  let m = make () in
+  Alcotest.check_raises "null guard" (Mem.Fault 0) (fun () ->
+      ignore (Mem.read_i64 m 0));
+  let huge = Bytes.length m.Mem.data in
+  Alcotest.check_raises "past end" (Mem.Fault huge) (fun () ->
+      ignore (Mem.read_i64 m huge))
+
+let test_memory_heap () =
+  let m = make () in
+  let a = Mem.malloc m 100 in
+  let b = Mem.malloc m 10 in
+  Alcotest.(check bool) "heap addresses ordered" true (b >= a + 104);
+  Alcotest.(check bool) "8-aligned" true (a land 7 = 0 && b land 7 = 0);
+  Alcotest.(check (option int)) "free returns size" (Some 104) (Mem.free m a);
+  Alcotest.(check (option int)) "double free" None (Mem.free m a)
+
+let test_memory_stacks () =
+  let m = make () in
+  let b0, l0 = Mem.stack_slot m 0 in
+  let b1, _ = Mem.stack_slot m 1 in
+  Alcotest.(check int) "slots adjacent" b1 l0;
+  Alcotest.(check int) "slot size" 4096 (l0 - b0);
+  Alcotest.check_raises "bad rank" (Invalid_argument "Memory.stack_slot")
+    (fun () -> ignore (Mem.stack_slot m 4))
+
+let test_value_conversions () =
+  Alcotest.(check int64) "trunc i8" 0xCDL (V.truncate_to I.I8 0xABCDL);
+  Alcotest.(check int64) "trunc i32" 0x89ABCDEFL
+    (V.truncate_to I.I32 0x0123456789ABCDEFL);
+  Alcotest.(check int64) "sext i8 negative" (-1L) (V.sext_of I.I8 0xFFL);
+  Alcotest.(check int64) "sext i8 positive" 0x7FL (V.sext_of I.I8 0x7FL);
+  Alcotest.(check int64) "sext i32" (-2L) (V.sext_of I.I32 0xFFFFFFFEL);
+  Alcotest.(check bool) "bool" true (V.to_bool (V.VI 7L));
+  Alcotest.(check bool) "not bool" false (V.to_bool (V.VI 0L))
+
+let test_externs () =
+  let open Mutls_interp.Externs in
+  Alcotest.(check bool) "sqrt is safe" true (is_safe "sqrt");
+  Alcotest.(check bool) "print is unsafe" false (is_safe "print_int");
+  Alcotest.(check bool) "malloc is unsafe" false (is_safe "malloc");
+  (match eval_pure "abs" [ V.VI (-5L) ] with
+  | Some (Ret (V.VI 5L)) -> ()
+  | _ -> Alcotest.fail "abs");
+  (match eval_pure "pow" [ V.VF 2.0; V.VF 10.0 ] with
+  | Some (Ret (V.VF x)) -> Alcotest.(check (float 1e-9)) "pow" 1024.0 x
+  | _ -> Alcotest.fail "pow");
+  Alcotest.(check bool) "unknown extern" true (eval_pure "nosuch" [] = None)
+
+(* trap conditions through full programs *)
+let expect_trap name src =
+  let m = Mutls_minic.Codegen.compile src in
+  match Mutls_interp.Eval.run_sequential m with
+  | _ -> Alcotest.failf "%s: expected a trap" name
+  | exception Mutls_interp.Eval.Trap _ -> ()
+
+let test_traps () =
+  expect_trap "div by zero" "int main() { int z = 0; return 5 / z; }";
+  expect_trap "rem by zero" "int main() { int z = 0; return 5 % z; }";
+  expect_trap "stack overflow"
+    "int f(int n) { int buf[512]; buf[0] = n; return f(n + 1) + buf[0]; }\n\
+     int main() { return f(0); }"
+
+let test_int64_semantics () =
+  (* interpreter arithmetic is two's-complement 64-bit *)
+  let run src =
+    let m = Mutls_minic.Codegen.compile src in
+    match (Mutls_interp.Eval.run_sequential m).Mutls_interp.Eval.sret with
+    | Some (V.VI v) -> v
+    | _ -> Alcotest.fail "no result"
+  in
+  Alcotest.(check int64) "wraparound"
+    Int64.min_int
+    (run "int main() { int x = 9223372036854775807; return x + 1; }");
+  Alcotest.(check int64) "neg division" (-3L) (run "int main() { return -7 / 2; }");
+  Alcotest.(check int64) "neg remainder" (-1L) (run "int main() { return -7 % 2; }");
+  Alcotest.(check int64) "shift" (-16L) (run "int main() { return (-1) << 4; }");
+  Alcotest.(check int64) "arith shift right" (-1L)
+    (run "int main() { return (-1) >> 10; }")
+
+let tests =
+  [
+    Alcotest.test_case "memory typed access" `Quick test_memory_typed_access;
+    Alcotest.test_case "memory faults" `Quick test_memory_fault;
+    Alcotest.test_case "heap alloc/free" `Quick test_memory_heap;
+    Alcotest.test_case "stack slots" `Quick test_memory_stacks;
+    Alcotest.test_case "value conversions" `Quick test_value_conversions;
+    Alcotest.test_case "externs" `Quick test_externs;
+    Alcotest.test_case "traps" `Quick test_traps;
+    Alcotest.test_case "int64 semantics" `Quick test_int64_semantics;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "mutls"
+    [
+      ("sim", Test_sim.tests);
+      ("mir", Test_mir.tests);
+      ("interp", Test_interp.tests);
+      ("speculator", Test_speculator.tests);
+      ("runtime", Test_runtime.tests);
+      ("end_to_end", Test_end_to_end.tests);
+      ("minic", Test_minic.tests);
+      ("fortran", Test_fortran.tests);
+      ("fortran_more", Test_fortran_more.tests);
+      ("workloads", Test_workloads.tests);
+      ("extensions", Test_extensions.tests);
+      ("properties", Test_properties.tests);
+      ("opt", Test_opt.tests);
+      ("parse", Test_parse.tests);
+    ]

@@ -1,0 +1,193 @@
+(* MiniC front-end: parse/compile/execute checks, then TLS equivalence
+   on annotated programs. *)
+
+open Helpers
+
+let run_src src =
+  let m = Mutls_minic.Codegen.compile src in
+  run_seq m
+
+let check_output name src expected =
+  let r = run_src src in
+  Alcotest.(check string) name expected r.Mutls_interp.Eval.soutput
+
+let check_ret name src expected =
+  let r = run_src src in
+  Alcotest.(check int64) name expected (i64_of_result r.Mutls_interp.Eval.sret)
+
+let test_arith () =
+  check_ret "arith" "int main() { return (3 + 4 * 5 - 1) / 2 % 7; }" 4L;
+  check_ret "shift" "int main() { return (1 << 10) >> 3; }" 128L;
+  check_ret "bitops" "int main() { return (12 & 10) | (1 ^ 3); }" 10L;
+  check_ret "cmp" "int main() { return (3 < 4) + (4 <= 4) + (5 > 6) + (7 != 7); }" 2L;
+  check_ret "neg" "int main() { return -5 + 10; }" 5L;
+  check_ret "ternary" "int main() { return 3 > 2 ? 42 : 7; }" 42L
+
+let test_locals_control () =
+  check_ret "while" "int main() { int s = 0; int i = 0; while (i < 10) { s += i; i++; } return s; }" 45L;
+  check_ret "for" "int main() { int s = 0; for (int i = 1; i <= 10; i++) s = s + i; return s; }" 55L;
+  check_ret "if" "int main() { int x = 5; if (x > 3) x = 1; else x = 2; return x; }" 1L;
+  check_ret "break"
+    "int main() { int s = 0; for (int i = 0; i < 100; i++) { if (i == 5) break; s += i; } return s; }"
+    10L;
+  check_ret "continue"
+    "int main() { int s = 0; for (int i = 0; i < 10; i++) { if (i % 2) continue; s += i; } return s; }"
+    20L;
+  check_ret "logic"
+    "int main() { int a = 1; int b = 0; return (a && !b) + (b || a) + (b && a); }" 2L
+
+let test_functions () =
+  check_ret "fact" "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); } int main() { return fact(10); }" 3628800L;
+  check_ret "fib"
+    "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } int main() { return fib(15); }"
+    610L;
+  check_ret "multi-arg"
+    "int f(int a, int b, int c) { return a * 100 + b * 10 + c; } int main() { return f(1, 2, 3); }"
+    123L
+
+let test_arrays () =
+  check_ret "global array"
+    "int a[10]; int main() { for (int i = 0; i < 10; i++) a[i] = i * i; int s = 0; for (int i = 0; i < 10; i++) s += a[i]; return s; }"
+    285L;
+  check_ret "local array"
+    "int main() { int a[5]; for (int i = 0; i < 5; i++) a[i] = i + 1; return a[0] + a[4]; }"
+    6L;
+  check_ret "2d array"
+    "double m[3][3]; int main() { for (int i = 0; i < 3; i++) for (int j = 0; j < 3; j++) m[i][j] = i * 3 + j; return (int)(m[2][2] + m[1][0]); }"
+    11L;
+  check_ret "array init"
+    "int t[4] = {10, 20, 30, 40}; int main() { return t[1] + t[3]; }" 60L
+
+let test_pointers () =
+  check_ret "addr/deref"
+    "int main() { int x = 5; int *p = &x; *p = 9; return x; }" 9L;
+  check_ret "pointer index"
+    "int a[4]; int main() { int *p = a; p[2] = 7; return a[2]; }" 7L;
+  check_ret "pointer arith"
+    "int a[4]; int main() { int *p = a + 1; *p = 3; return a[1]; }" 3L;
+  check_ret "malloc"
+    "int main() { int *p = malloc(8 * 10); for (int i = 0; i < 10; i++) p[i] = i; int s = 0; for (int i = 0; i < 10; i++) s += p[i]; free(p); return s; }"
+    45L
+
+let test_types () =
+  check_ret "double math"
+    "int main() { double x = 1.5; double y = 2.5; return (int)(x * y + 0.25); }" 4L;
+  check_ret "int32 wraparound"
+    "int main() { int32 x = 2147483647; x = x + 1; return x < 0; }" 1L;
+  check_ret "char"
+    "int main() { char c = 'A'; c = c + 1; return c; }" 66L;
+  check_ret "sqrt extern"
+    "int main() { return (int)sqrt(144.0); }" 12L;
+  check_output "print"
+    "int main() { print_int(42); print_char(' '); print_float(2.5); print_newline(); return 0; }"
+    "42 2.5\n"
+
+(* --- TLS equivalence --------------------------------------------------- *)
+
+let loop_tls_src =
+  {|
+int a[64];
+void work() {
+  __builtin_MUTLS_fork(0, mixed);
+  for (int i = 0; i < 32; i++) a[i] = 3 * i + 1;
+  __builtin_MUTLS_join(0);
+  for (int i = 32; i < 64; i++) a[i] = 7 * i + 1;
+}
+int main() {
+  work();
+  int s = 0;
+  for (int i = 0; i < 64; i++) s += a[i] * (i + 1);
+  return s;
+}
+|}
+
+(* Divide-and-conquer in the paper's style: the speculative thread
+   executes the second recursive call; partial results travel through
+   memory so no parent-computed register is live at the join point
+   (the paper's fft does exactly this). *)
+let recursion_tls_src =
+  {|
+int sums[32];
+int work(int depth, int idx) {
+  if (depth == 0) {
+    sums[idx] = idx * idx + 1;
+    return sums[idx];
+  }
+  __builtin_MUTLS_fork(0, mixed);
+  sums[idx * 2] = work(depth - 1, idx * 2);
+  __builtin_MUTLS_join(0);
+  sums[idx * 2 + 1] = work(depth - 1, idx * 2 + 1);
+  __builtin_MUTLS_barrier(0);
+  return sums[idx * 2] + sums[idx * 2 + 1];
+}
+int main() {
+  return work(3, 1);
+}
+|}
+
+(* A parent-computed register live at the join point must be caught by
+   MUTLS_validate_local and rolled back, not silently committed. *)
+let misprediction_src =
+  {|
+int g;
+int work(int n) {
+  int left = 0;
+  __builtin_MUTLS_fork(0, mixed);
+  left = n * 3;
+  __builtin_MUTLS_join(0);
+  g = left + 10;
+  __builtin_MUTLS_barrier(0);
+  return g;
+}
+int main() { return work(7); }
+|}
+
+let check_tls name ?(ncpus = 4) src =
+  let m = Mutls_minic.Codegen.compile src in
+  let seq = run_seq m in
+  let tls = run_tls ~ncpus m in
+  Alcotest.(check int64) (name ^ " result")
+    (i64_of_result seq.Mutls_interp.Eval.sret)
+    (i64_of_result tls.Mutls_interp.Eval.tret);
+  Alcotest.(check string) (name ^ " output") seq.Mutls_interp.Eval.soutput
+    tls.Mutls_interp.Eval.toutput
+
+let test_tls_loop () = check_tls "loop" loop_tls_src
+let test_tls_recursion () = check_tls "tree recursion" recursion_tls_src
+
+let test_tls_recursion_speculates () =
+  let m = Mutls_minic.Codegen.compile recursion_tls_src in
+  let r = run_tls ~ncpus:8 m in
+  let committed =
+    List.filter (fun t -> t.Mutls_runtime.Thread_manager.r_committed)
+      r.Mutls_interp.Eval.tretired
+  in
+  Alcotest.(check bool) "tree recursion commits speculative threads" true
+    (List.length committed >= 2)
+
+let test_misprediction_rolls_back () =
+  let m = Mutls_minic.Codegen.compile misprediction_src in
+  let seq = run_seq m in
+  let tls = run_tls ~ncpus:4 m in
+  Alcotest.(check int64) "result still correct"
+    (i64_of_result seq.Mutls_interp.Eval.sret)
+    (i64_of_result tls.Mutls_interp.Eval.tret);
+  let rolled_back =
+    List.exists (fun t -> not t.Mutls_runtime.Thread_manager.r_committed)
+      tls.Mutls_interp.Eval.tretired
+  in
+  Alcotest.(check bool) "mispredicted local causes a rollback" true rolled_back
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "locals and control flow" `Quick test_locals_control;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "pointers" `Quick test_pointers;
+    Alcotest.test_case "types and externs" `Quick test_types;
+    Alcotest.test_case "tls loop equivalence" `Quick test_tls_loop;
+    Alcotest.test_case "tls recursion equivalence" `Quick test_tls_recursion;
+    Alcotest.test_case "tls recursion speculates" `Quick test_tls_recursion_speculates;
+    Alcotest.test_case "misprediction rolls back" `Quick test_misprediction_rolls_back;
+  ]

@@ -1,0 +1,237 @@
+(* MIR infrastructure: CFG, dominators, liveness, verifier, mem2reg and
+   reg2mem — including the round-trip property the speculator pass
+   relies on (demote, then re-promote, preserves semantics). *)
+
+open Mutls_mir
+module I = Ir
+
+(* Build a diamond CFG:  entry -> a, b -> join *)
+let diamond () =
+  let m = I.create_module () in
+  let b = Builder.create m ~name:"f" ~params:[ ("x", I.I64) ] ~ret:I.I64 in
+  let entry = Builder.add_block b "entry" in
+  let ba = Builder.add_block b "a" in
+  let bb = Builder.add_block b "b" in
+  let join = Builder.add_block b "join" in
+  Builder.position b entry;
+  let c = Builder.icmp b I.Isgt I.I64 (I.Arg 0) (I.i64 0) in
+  Builder.cbr b c "a" "b";
+  Builder.position b ba;
+  let va = Builder.add_ b (I.Arg 0) (I.i64 1) in
+  Builder.br b "join";
+  Builder.position b bb;
+  let vb = Builder.mul_ b (I.Arg 0) (I.i64 2) in
+  Builder.br b "join";
+  Builder.position b join;
+  let phi = Builder.phi b I.I64 [ ("a", va); ("b", vb) ] in
+  Builder.ret b (Some phi);
+  (m, Builder.func b)
+
+let test_cfg () =
+  let _, f = diamond () in
+  let cfg = Cfg.of_func f in
+  Alcotest.(check int) "blocks" 4 (Cfg.nblocks cfg);
+  Alcotest.(check (list int)) "entry succs" [ 1; 2 ]
+    (List.sort compare cfg.Cfg.succs.(0));
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ]
+    (List.sort compare cfg.Cfg.preds.(3));
+  let rpo = Cfg.reverse_postorder cfg in
+  Alcotest.(check int) "rpo starts at entry" 0 (List.hd rpo);
+  Alcotest.(check int) "rpo covers all" 4 (List.length rpo)
+
+let test_dominators () =
+  let _, f = diamond () in
+  let cfg = Cfg.of_func f in
+  let dom = Dom.compute cfg in
+  (* entry dominates everything; join is dominated only by entry *)
+  Alcotest.(check int) "idom(a)=entry" 0 dom.Dom.idom.(1);
+  Alcotest.(check int) "idom(b)=entry" 0 dom.Dom.idom.(2);
+  Alcotest.(check int) "idom(join)=entry" 0 dom.Dom.idom.(3);
+  Alcotest.(check bool) "entry dom join" true (Dom.dominates dom 0 3);
+  Alcotest.(check bool) "a !dom join" false (Dom.dominates dom 1 3);
+  (* join is in the dominance frontier of both branches *)
+  Alcotest.(check (list int)) "DF(a)" [ 3 ] dom.Dom.frontiers.(1);
+  Alcotest.(check (list int)) "DF(b)" [ 3 ] dom.Dom.frontiers.(2)
+
+let test_verify_catches_errors () =
+  let m, f = diamond () in
+  Verify.check_module m;
+  (* break it: branch to a nonexistent block *)
+  let join = I.find_block_exn f "join" in
+  let saved = join.I.term in
+  join.I.term <- I.Br "nowhere";
+  (match Verify.check_module m with
+  | () -> Alcotest.fail "verifier accepted a bad branch"
+  | exception Verify.Invalid _ -> ());
+  join.I.term <- saved;
+  (* break it differently: use an undefined register *)
+  join.I.term <- I.Ret (Some (I.Reg 999));
+  (match Verify.check_module m with
+  | () -> Alcotest.fail "verifier accepted an undefined register"
+  | exception Verify.Invalid _ -> ());
+  join.I.term <- saved;
+  Verify.check_module m
+
+let test_verify_type_errors () =
+  let m = I.create_module () in
+  let b = Builder.create m ~name:"g" ~params:[] ~ret:I.I64 in
+  let entry = Builder.add_block b "entry" in
+  Builder.position b entry;
+  (* float operand in an integer binop *)
+  let bad = Builder.binop b I.Add I.I64 (I.f64 1.0) (I.i64 2) in
+  Builder.ret b (Some bad);
+  match Verify.check_module m with
+  | () -> Alcotest.fail "verifier accepted f64 in an i64 add"
+  | exception Verify.Invalid _ -> ()
+
+(* mem2reg on a MiniC-style alloca program *)
+let test_mem2reg_promotes () =
+  let src =
+    {|
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) acc = acc + i * i;
+  return acc;
+}
+int main() { return f(10); }
+|}
+  in
+  let m = Mutls_minic.Codegen.compile src in
+  (* front-end already ran mem2reg: scalar allocas must be gone *)
+  let f = I.find_func_exn m "f" in
+  let allocas =
+    List.concat_map
+      (fun (b : I.block) ->
+        List.filter (fun (i : I.instr) ->
+            match i.I.kind with I.Alloca _ -> true | _ -> false)
+          b.I.insts)
+      f.I.blocks
+  in
+  Alcotest.(check int) "all scalars promoted" 0 (List.length allocas);
+  (* and loops got phis *)
+  let phis =
+    List.fold_left (fun acc (b : I.block) -> acc + List.length b.I.phis) 0 f.I.blocks
+  in
+  Alcotest.(check bool) "phis created" true (phis >= 2)
+
+let test_mem2reg_respects_escapes () =
+  let src =
+    {|
+int g;
+void h(int *p) { *p = 5; }
+int main() { int x = 1; h(&x); return x; }
+|}
+  in
+  let m = Mutls_minic.Codegen.compile src in
+  let main = I.find_func_exn m "main" in
+  let allocas =
+    List.concat_map
+      (fun (b : I.block) ->
+        List.filter (fun (i : I.instr) ->
+            match i.I.kind with I.Alloca _ -> true | _ -> false)
+          b.I.insts)
+      main.I.blocks
+  in
+  Alcotest.(check int) "escaping alloca kept" 1 (List.length allocas);
+  let r = Mutls_interp.Eval.run_sequential m in
+  Alcotest.(check bool) "by-address update works" true
+    (r.Mutls_interp.Eval.sret = Some (Mutls_interp.Value.VI 5L))
+
+(* round-trip property: reg2mem (demote everything) followed by mem2reg
+   preserves program results — exactly what the speculator pass relies
+   on around its block surgery *)
+let roundtrip_programs =
+  [
+    ( "loops",
+      {|
+int main() {
+  int a = 0; int b = 1;
+  for (int i = 0; i < 15; i++) { int t = a + b; a = b; b = t; }
+  return b;
+}
+|},
+      987L );
+    ( "nested control",
+      {|
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i % 3 == 0) s += i * 2;
+    else if (i % 3 == 1) s -= i;
+    else { int j = i; while (j > 0) { s++; j--; } }
+  }
+  return s;
+}
+|},
+      39L );
+    ( "recursion + arrays",
+      {|
+int memo[30];
+int fibm(int n) {
+  if (n < 2) return n;
+  if (memo[n]) return memo[n];
+  memo[n] = fibm(n - 1) + fibm(n - 2);
+  return memo[n];
+}
+int main() { return fibm(25); }
+|},
+      75025L );
+  ]
+
+let test_reg2mem_roundtrip () =
+  List.iter
+    (fun (name, src, expected) ->
+      let m = Mutls_minic.Codegen.compile src in
+      (* sanity *)
+      let r0 = Mutls_interp.Eval.run_sequential m in
+      Alcotest.(check bool) (name ^ " baseline") true
+        (r0.Mutls_interp.Eval.sret = Some (Mutls_interp.Value.VI expected));
+      (* demote every function, then re-promote *)
+      List.iter (fun f -> ignore (Mutls_speculator.Reg2mem.demote f)) m.I.funcs;
+      (match Verify.check_module m with
+      | () -> ()
+      | exception Verify.Invalid e -> Alcotest.failf "%s demoted invalid: %s" name e);
+      let r1 = Mutls_interp.Eval.run_sequential m in
+      Alcotest.(check bool) (name ^ " demoted result") true
+        (r1.Mutls_interp.Eval.sret = Some (Mutls_interp.Value.VI expected));
+      Mem2reg.run_module m;
+      (match Verify.check_module m with
+      | () -> ()
+      | exception Verify.Invalid e -> Alcotest.failf "%s repromoted invalid: %s" name e);
+      let r2 = Mutls_interp.Eval.run_sequential m in
+      Alcotest.(check bool) (name ^ " repromoted result") true
+        (r2.Mutls_interp.Eval.sret = Some (Mutls_interp.Value.VI expected)))
+    roundtrip_programs
+
+let test_liveness () =
+  let _, f = diamond () in
+  let live = Liveness.compute f in
+  (* the phi's operands are live out of their defining blocks *)
+  let out_a = Liveness.live_out live "a" in
+  Alcotest.(check bool) "va live out of a" true
+    (not (Liveness.IntSet.is_empty out_a));
+  (* nothing is live out of the exit *)
+  Alcotest.(check bool) "exit has no live-out" true
+    (Liveness.IntSet.is_empty (Liveness.live_out live "join"))
+
+let test_printer_roundtrip_smoke () =
+  let m, _ = diamond () in
+  let s = Printer.module_to_string m in
+  Alcotest.(check bool) "printer mentions function" true
+    (Astring_contains.contains s "define i64 @f");
+  Alcotest.(check bool) "printer mentions phi" true
+    (Astring_contains.contains s "phi i64")
+
+let tests =
+  [
+    Alcotest.test_case "cfg construction" `Quick test_cfg;
+    Alcotest.test_case "dominators and frontiers" `Quick test_dominators;
+    Alcotest.test_case "verifier rejects bad IR" `Quick test_verify_catches_errors;
+    Alcotest.test_case "verifier type checks" `Quick test_verify_type_errors;
+    Alcotest.test_case "mem2reg promotes scalars" `Quick test_mem2reg_promotes;
+    Alcotest.test_case "mem2reg keeps escaping allocas" `Quick
+      test_mem2reg_respects_escapes;
+    Alcotest.test_case "reg2mem/mem2reg round trip" `Quick test_reg2mem_roundtrip;
+    Alcotest.test_case "liveness" `Quick test_liveness;
+    Alcotest.test_case "printer smoke" `Quick test_printer_roundtrip_smoke;
+  ]

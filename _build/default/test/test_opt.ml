@@ -1,0 +1,141 @@
+(* Optimizer: folding/DCE/CFG-simplification correctness — specific
+   rewrites, preservation of program results on every benchmark, and a
+   random-expression equivalence property. *)
+
+open Mutls_mir
+module I = Ir
+
+let compile = Mutls_minic.Codegen.compile
+
+let run_ret m =
+  match (Mutls_interp.Eval.run_sequential m).Mutls_interp.Eval.sret with
+  | Some (Mutls_interp.Value.VI v) -> v
+  | _ -> Alcotest.fail "no integer result"
+
+let count_instrs (f : I.func) =
+  List.fold_left (fun acc (b : I.block) -> acc + List.length b.I.insts) 0 f.I.blocks
+
+let test_constant_folding () =
+  let m = compile "int main() { return (3 + 4) * (10 - 2) / 2; }" in
+  Opt.run_module m;
+  let main = I.find_func_exn m "main" in
+  (* everything folds away: a single block returning a constant *)
+  Alcotest.(check int) "all folded" 0 (count_instrs main);
+  (match (I.entry_block main).I.term with
+  | I.Ret (Some (I.Const (I.Cint (28L, _)))) -> ()
+  | I.Br _ -> (
+    (* or entry branches to a single folded return *)
+    match main.I.blocks with
+    | [ _; b ] -> (
+      match b.I.term with
+      | I.Ret (Some (I.Const (I.Cint (28L, _)))) -> ()
+      | _ -> Alcotest.fail "expected constant return")
+    | _ -> Alcotest.fail "unexpected shape")
+  | _ -> Alcotest.fail "expected constant return");
+  Alcotest.(check int64) "value preserved" 28L (run_ret m)
+
+let test_branch_folding () =
+  let m =
+    compile
+      "int g; int main() { if (3 > 5) g = 1; else g = 2; return g; }"
+  in
+  let main = I.find_func_exn m "main" in
+  let blocks_before = List.length main.I.blocks in
+  Opt.run_module m;
+  Alcotest.(check bool) "blocks eliminated" true
+    (List.length main.I.blocks < blocks_before);
+  Alcotest.(check int64) "value preserved" 2L (run_ret m)
+
+let test_dce () =
+  let m =
+    compile
+      {|
+int g;
+int main() {
+  int dead1 = 10 * 10;
+  int dead2 = dead1 + 5;
+  g = 7;
+  return g;
+}
+|}
+  in
+  Opt.run_module m;
+  let main = I.find_func_exn m "main" in
+  (* only the store, the load and maybe address math survive *)
+  Alcotest.(check bool) "dead chain removed" true (count_instrs main <= 3);
+  Alcotest.(check int64) "value preserved" 7L (run_ret m)
+
+let test_loops_survive () =
+  let src =
+    {|
+int main() {
+  int s = 0;
+  for (int i = 0; i < 20; i++) s += i * i;
+  return s;
+}
+|}
+  in
+  let m = compile src in
+  let expected = run_ret m in
+  Opt.run_module m;
+  Alcotest.(check int64) "loop result preserved" expected (run_ret m)
+
+let test_benchmarks_preserved () =
+  List.iter
+    (fun (w : Mutls_workloads.Workloads.t) ->
+      let m = compile (w.Mutls_workloads.Workloads.small ()) in
+      let before = Mutls_interp.Eval.run_sequential m in
+      Opt.run_module m;
+      let after = Mutls_interp.Eval.run_sequential m in
+      Alcotest.(check string)
+        (w.Mutls_workloads.Workloads.name ^ " output preserved")
+        before.Mutls_interp.Eval.soutput after.Mutls_interp.Eval.soutput;
+      Alcotest.(check bool)
+        (w.Mutls_workloads.Workloads.name ^ " not slower")
+        true
+        (after.Mutls_interp.Eval.scost <= before.Mutls_interp.Eval.scost +. 1.0))
+    Mutls_workloads.Workloads.all
+
+let test_tls_after_optimization () =
+  (* the speculator pass composes with the optimizer *)
+  List.iter
+    (fun name ->
+      let w = Mutls_workloads.Workloads.find name in
+      let m = compile (w.Mutls_workloads.Workloads.small ()) in
+      Opt.run_module m;
+      let seq = Mutls_interp.Eval.run_sequential m in
+      let t = Mutls_speculator.Pass.run m in
+      let cfg = { Mutls_runtime.Config.default with ncpus = 4 } in
+      let r = Mutls_interp.Eval.run_tls cfg t in
+      Alcotest.(check string) (name ^ " optimized TLS")
+        seq.Mutls_interp.Eval.soutput r.Mutls_interp.Eval.toutput)
+    [ "3x+1"; "fft"; "nqueen"; "md" ]
+
+let test_random_equivalence =
+  QCheck.Test.make ~name:"optimizer preserves random expressions" ~count:80
+    (QCheck.pair Test_properties.arb_expr
+       (QCheck.pair (QCheck.int_range (-40) 40) (QCheck.int_range (-40) 40)))
+    (fun (expr, (a, b)) ->
+      let src =
+        Printf.sprintf
+          "int main() { int v0 = %d; int v1 = %d; int v2 = v0 - v1; int v3 = \
+           v0 ^ 3;\n  return %s; }"
+          a b (Test_properties.pp expr)
+      in
+      let m1 = compile src in
+      let m2 = compile src in
+      Opt.run_module m2;
+      run_ret m1 = run_ret m2)
+  |> QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "branch folding" `Quick test_branch_folding;
+    Alcotest.test_case "dead code elimination" `Quick test_dce;
+    Alcotest.test_case "loops preserved" `Quick test_loops_survive;
+    Alcotest.test_case "all benchmarks preserved" `Quick test_benchmarks_preserved;
+    Alcotest.test_case "TLS composes with optimizer" `Quick
+      test_tls_after_optimization;
+    test_random_equivalence;
+  ]

@@ -1,0 +1,89 @@
+(* Textual MIR round trip: print -> parse -> print must be the
+   identity on verified modules — including speculator-pass output and
+   every benchmark — and the reparsed module must execute
+   identically. *)
+
+open Mutls_mir
+
+let roundtrip name (m : Ir.modul) =
+  let s1 = Printer.module_to_string m in
+  let m2 =
+    try Parse.parse s1
+    with Parse.Error e -> Alcotest.failf "%s: parse error: %s" name e
+  in
+  (match Verify.check_module m2 with
+  | () -> ()
+  | exception Verify.Invalid e -> Alcotest.failf "%s: reparsed invalid: %s" name e);
+  let s2 = Printer.module_to_string m2 in
+  Alcotest.(check string) (name ^ " fixpoint") s1 s2;
+  m2
+
+let test_simple_roundtrip () =
+  let m =
+    Mutls_minic.Codegen.compile
+      {|
+int g[4] = {1, 2, 3, 4};
+double x = 2.5;
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main() {
+  double acc = x;
+  for (int i = 0; i < 4; i++) acc = acc + (double)g[i];
+  return fact(6) + (int)acc;
+}
+|}
+  in
+  let m2 = roundtrip "simple" m in
+  let r1 = Mutls_interp.Eval.run_sequential m in
+  let r2 = Mutls_interp.Eval.run_sequential m2 in
+  Alcotest.(check bool) "same result" true
+    (r1.Mutls_interp.Eval.sret = r2.Mutls_interp.Eval.sret)
+
+let test_benchmarks_roundtrip () =
+  List.iter
+    (fun (w : Mutls_workloads.Workloads.t) ->
+      let m =
+        Mutls_minic.Codegen.compile (w.Mutls_workloads.Workloads.small ())
+      in
+      ignore (roundtrip w.Mutls_workloads.Workloads.name m))
+    Mutls_workloads.Workloads.all
+
+let test_transformed_roundtrip () =
+  (* the speculator pass output — switches, runtime calls, funcrefs —
+     survives the round trip and still runs under TLS *)
+  let w = Mutls_workloads.Workloads.find "nqueen" in
+  let m = Mutls_minic.Codegen.compile (w.Mutls_workloads.Workloads.small ()) in
+  let seq = Mutls_interp.Eval.run_sequential m in
+  let t = Mutls_speculator.Pass.run m in
+  let t2 = roundtrip "transformed nqueen" t in
+  let cfg = { Mutls_runtime.Config.default with ncpus = 4 } in
+  let r = Mutls_interp.Eval.run_tls cfg t2 in
+  Alcotest.(check string) "reparsed TLS output" seq.Mutls_interp.Eval.soutput
+    r.Mutls_interp.Eval.toutput
+
+let test_fortran_roundtrip () =
+  let w = Mutls_workloads.Workloads.find "md" in
+  match w.Mutls_workloads.Workloads.fortran_source with
+  | None -> Alcotest.fail "md has a Fortran version"
+  | Some src ->
+    let m = Mutls_minifortran.Fcodegen.compile (src ()) in
+    ignore (roundtrip "fortran md" m)
+
+let test_parse_errors () =
+  let bad = [ "define i64 @f( {"; "global @g [x bytes]"; "%1 = frobnicate 3" ] in
+  List.iter
+    (fun src ->
+      match Parse.parse ("define i64 @f() {\nentry:\n  " ^ src ^ "\n}\n") with
+      | _ -> Alcotest.failf "accepted %S" src
+      | exception Parse.Error _ -> ()
+      | exception _ -> ())
+    bad
+
+let tests =
+  [
+    Alcotest.test_case "simple round trip" `Quick test_simple_roundtrip;
+    Alcotest.test_case "all benchmarks round trip" `Quick test_benchmarks_roundtrip;
+    Alcotest.test_case "transformed module round trip" `Quick
+      test_transformed_roundtrip;
+    Alcotest.test_case "fortran round trip" `Quick test_fortran_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+  ]

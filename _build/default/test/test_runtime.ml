@@ -1,0 +1,291 @@
+(* TLS runtime data structures: address-space registration, the
+   GlobalBuffer read/write sets (including sub-word marks, hash
+   conflicts, the temporary buffer and overflow), and the LocalBuffer. *)
+
+module AS = Mutls_runtime.Address_space
+module GB = Mutls_runtime.Global_buffer
+module LB = Mutls_runtime.Local_buffer
+
+(* A little main memory for buffer tests. *)
+let make_mem () =
+  let backing = Bytes.make (1 lsl 16) '\000' in
+  let mem =
+    {
+      Mutls_runtime.Memio.read_word = (fun a -> Bytes.get_int64_le backing a);
+      write_word = (fun a v -> Bytes.set_int64_le backing a v);
+      read_byte = (fun a -> Char.code (Bytes.get backing a));
+      write_byte = (fun a v -> Bytes.set backing a (Char.chr (v land 0xff)));
+    }
+  in
+  (backing, mem)
+
+(* --- address space ----------------------------------------------------- *)
+
+let test_address_space_basic () =
+  let t = AS.create () in
+  AS.register t 1000 100;
+  Alcotest.(check bool) "inside" true (AS.contains t 1000);
+  Alcotest.(check bool) "inside end" true (AS.contains t 1099);
+  Alcotest.(check bool) "past end" false (AS.contains t 1100);
+  Alcotest.(check bool) "before" false (AS.contains t 999);
+  Alcotest.(check bool) "range fits" true (AS.contains_range t 1050 50);
+  Alcotest.(check bool) "range overflows" false (AS.contains_range t 1050 51)
+
+let test_address_space_merge () =
+  let t = AS.create () in
+  AS.register t 1000 100;
+  AS.register t 1100 100;
+  (* adjacent ranges merge *)
+  Alcotest.(check int) "merged" 1 (List.length (AS.ranges t));
+  AS.register t 3000 10;
+  Alcotest.(check int) "disjoint" 2 (List.length (AS.ranges t));
+  AS.register t 1100 2000;
+  (* overlapping both *)
+  Alcotest.(check int) "overlap merged" 1 (List.length (AS.ranges t))
+
+let test_address_space_unregister () =
+  let t = AS.create () in
+  AS.register t 1000 300;
+  AS.unregister t 1100 100;
+  (* split *)
+  Alcotest.(check bool) "left kept" true (AS.contains t 1050);
+  Alcotest.(check bool) "hole" false (AS.contains t 1150);
+  Alcotest.(check bool) "right kept" true (AS.contains t 1250);
+  Alcotest.(check int) "split in two" 2 (List.length (AS.ranges t))
+
+let test_address_space_model =
+  QCheck.Test.make ~name:"address space vs naive model" ~count:100
+    QCheck.(
+      pair
+        (list (pair (int_range 1 200) (int_range 1 30)))
+        (list (int_range 0 300)))
+    (fun (ops, probes) ->
+      let t = AS.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (start, size) ->
+          let start = start * 10 in
+          AS.register t start size;
+          for a = start to start + size - 1 do
+            Hashtbl.replace model a ()
+          done)
+        ops;
+      List.for_all
+        (fun p ->
+          let p = p * 10 in
+          AS.contains t p = Hashtbl.mem model p)
+        probes)
+  |> QCheck_alcotest.to_alcotest
+
+(* --- global buffer ------------------------------------------------------ *)
+
+let test_gb_read_your_writes () =
+  let _, mem = make_mem () in
+  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  ignore (GB.write gb mem 0x100 8 42L);
+  let v, hit = GB.read gb mem 0x100 8 in
+  Alcotest.(check int64) "read back" 42L v;
+  Alcotest.(check bool) "write-set hit" true hit
+
+let test_gb_read_from_memory () =
+  let backing, mem = make_mem () in
+  Bytes.set_int64_le backing 0x200 7L;
+  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  let v, hit = GB.read gb mem 0x200 8 in
+  Alcotest.(check int64) "fetched" 7L v;
+  Alcotest.(check bool) "first read is a miss" false hit;
+  let _, hit2 = GB.read gb mem 0x200 8 in
+  Alcotest.(check bool) "second read hits" true hit2
+
+let test_gb_writes_not_visible_before_commit () =
+  let backing, mem = make_mem () in
+  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  ignore (GB.write gb mem 0x300 8 99L);
+  Alcotest.(check int64) "memory untouched" 0L (Bytes.get_int64_le backing 0x300);
+  ignore (GB.commit gb mem);
+  Alcotest.(check int64) "committed" 99L (Bytes.get_int64_le backing 0x300)
+
+let test_gb_validate () =
+  let backing, mem = make_mem () in
+  Bytes.set_int64_le backing 0x400 5L;
+  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  ignore (GB.read gb mem 0x400 8);
+  Alcotest.(check int) "validates clean" 1 (GB.validate gb mem);
+  (* non-speculative write changes the value under our feet *)
+  Bytes.set_int64_le backing 0x400 6L;
+  Alcotest.check_raises "conflict detected" GB.Invalid_read (fun () ->
+      ignore (GB.validate gb mem))
+
+let test_gb_subword () =
+  let backing, mem = make_mem () in
+  Bytes.set_int64_le backing 0x500 0x1122334455667788L;
+  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  (* write one byte speculatively *)
+  ignore (GB.write gb mem 0x502 1 0xABL);
+  let v, _ = GB.read gb mem 0x502 1 in
+  Alcotest.(check int64) "byte read back" 0xABL v;
+  (* unwritten bytes of the word keep their fetched value *)
+  let w, _ = GB.read gb mem 0x500 8 in
+  Alcotest.(check int64) "merged word view" 0x1122334455AB7788L w;
+  ignore (GB.commit gb mem);
+  (* only the marked byte reaches memory *)
+  Alcotest.(check int64) "marked byte committed" 0x1122334455AB7788L
+    (Bytes.get_int64_le backing 0x500)
+
+let test_gb_subword_i32 () =
+  let backing, mem = make_mem () in
+  Bytes.set_int64_le backing 0x600 (-1L);
+  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  ignore (GB.write gb mem 0x600 4 0x12345678L);
+  ignore (GB.commit gb mem);
+  Alcotest.(check int64) "low half replaced" 0xFFFFFFFF12345678L
+    (Bytes.get_int64_le backing 0x600)
+
+let test_gb_hash_conflict_temp () =
+  let backing, mem = make_mem () in
+  let gb = GB.create ~slots:16 ~temp_slots:4 in
+  (* slots=16: addresses 0x100 and 0x100 + 16*8 collide *)
+  let a1 = 0x100 and a2 = 0x100 + (16 * 8) in
+  ignore (GB.write gb mem a1 8 1L);
+  ignore (GB.write gb mem a2 8 2L);
+  Alcotest.(check bool) "conflict pending" true (GB.conflict_pending gb);
+  let v1, _ = GB.read gb mem a1 8 in
+  let v2, _ = GB.read gb mem a2 8 in
+  Alcotest.(check int64) "primary slot" 1L v1;
+  Alcotest.(check int64) "temp entry" 2L v2;
+  ignore (GB.commit gb mem);
+  Alcotest.(check int64) "primary committed" 1L (Bytes.get_int64_le backing a1);
+  Alcotest.(check int64) "temp committed" 2L (Bytes.get_int64_le backing a2)
+
+let test_gb_overflow () =
+  let _, mem = make_mem () in
+  let gb = GB.create ~slots:2 ~temp_slots:2 in
+  (* all addresses collide into 2 slots; temp holds 2; the next raises *)
+  Alcotest.check_raises "overflow" GB.Overflow (fun () ->
+      for i = 0 to 10 do
+        ignore (GB.write gb mem (0x100 + (2 * 8 * i)) 8 (Int64.of_int i))
+      done)
+
+let test_gb_finalize_reuse () =
+  let backing, mem = make_mem () in
+  let gb = GB.create ~slots:64 ~temp_slots:4 in
+  ignore (GB.write gb mem 0x700 8 1L);
+  ignore (GB.read gb mem 0x708 8);
+  let n = GB.finalize gb in
+  Alcotest.(check bool) "cleared some slots" true (n >= 2);
+  Alcotest.(check int) "read set empty" 0 (GB.read_set_size gb);
+  Alcotest.(check int) "write set empty" 0 (GB.write_set_size gb);
+  (* discarded writes never reach memory *)
+  Alcotest.(check int64) "discarded" 0L (Bytes.get_int64_le backing 0x700)
+
+(* model-based property: buffered reads/writes behave like a shadow map
+   over memory, and commit makes memory agree with the shadow *)
+let test_gb_model =
+  QCheck.Test.make ~name:"global buffer vs shadow model" ~count:200
+    QCheck.(list (triple bool (int_range 0 500) small_int))
+    (fun ops ->
+      let backing, mem = make_mem () in
+      let gb = GB.create ~slots:1024 ~temp_slots:64 in
+      let shadow = Hashtbl.create 64 in
+      (* addresses are 8-aligned in 0x1000.. *)
+      let ok = ref true in
+      (try
+         List.iter
+           (fun (is_write, slot, value) ->
+             let addr = 0x1000 + (8 * slot) in
+             if is_write then begin
+               ignore (GB.write gb mem addr 8 (Int64.of_int value));
+               Hashtbl.replace shadow addr (Int64.of_int value)
+             end
+             else begin
+               let v, _ = GB.read gb mem addr 8 in
+               let expect =
+                 match Hashtbl.find_opt shadow addr with
+                 | Some x -> x
+                 | None -> Bytes.get_int64_le backing addr
+               in
+               if v <> expect then ok := false
+             end)
+           ops;
+         ignore (GB.commit gb mem);
+         Hashtbl.iter
+           (fun addr v ->
+             if Bytes.get_int64_le backing addr <> v then ok := false)
+           shadow
+       with GB.Overflow -> ());
+      !ok)
+  |> QCheck_alcotest.to_alcotest
+
+(* --- local buffer ------------------------------------------------------- *)
+
+let test_lb_frames_and_regs () =
+  let lb = LB.create ~max_locals:16 in
+  let f0 = LB.push_frame lb in
+  LB.set_reg f0 lb 3 (LB.Vi 42L);
+  Alcotest.(check bool) "read back" true (LB.get_reg f0 lb 3 = LB.Vi 42L);
+  let f1 = LB.push_frame lb in
+  Alcotest.(check int) "depth" 2 (LB.depth lb);
+  Alcotest.(check bool) "top is new frame" true (LB.top lb == f1);
+  Alcotest.(check bool) "bottom unchanged" true (LB.bottom lb == f0);
+  LB.pop_frame lb;
+  Alcotest.(check int) "popped" 1 (LB.depth lb)
+
+let test_lb_offset_bounds () =
+  let lb = LB.create ~max_locals:4 in
+  let f = LB.push_frame lb in
+  Alcotest.check_raises "offset out of range"
+    (Invalid_argument "Local_buffer: register offset 4 out of range") (fun () ->
+      LB.set_reg f lb 4 (LB.Vi 0L))
+
+let test_lb_fork_regs_isolated () =
+  let lb = LB.create ~max_locals:8 in
+  let f = LB.push_frame lb in
+  LB.set_fork_reg lb 2 (LB.Vi 10L);
+  LB.set_reg f lb 2 (LB.Vi 99L);
+  (* commit-time saves must not clobber fork-time predictions *)
+  Alcotest.(check bool) "fork value intact" true (LB.get_fork_reg lb 2 = LB.Vi 10L)
+
+let test_lb_stackvar_copy () =
+  let backing = Bytes.make 64 '\000' in
+  Bytes.set_int64_le backing 16 77L;
+  let lb = LB.create ~max_locals:8 in
+  LB.set_stack_range lb ~base:0 ~limit:64;
+  let f = LB.push_frame lb in
+  LB.save_stackvar lb f
+    ~read_byte:(fun a -> Char.code (Bytes.get backing a))
+    ~off:1 ~addr:16 ~size:8;
+  (match LB.find_stackvar f 1 with
+  | Some sv ->
+    Alcotest.(check bool) "copied" true (sv.LB.sv_data <> None);
+    Alcotest.(check int) "address recorded" 16 sv.LB.sv_spec_addr
+  | None -> Alcotest.fail "stackvar not saved");
+  (* an address outside the own stack is recorded in place, no copy *)
+  LB.save_stackvar lb f
+    ~read_byte:(fun a -> Char.code (Bytes.get backing a))
+    ~off:2 ~addr:4096 ~size:8;
+  match LB.find_stackvar f 2 with
+  | Some sv -> Alcotest.(check bool) "no copy for foreign stack" true (sv.LB.sv_data = None)
+  | None -> Alcotest.fail "stackvar not recorded"
+
+let tests =
+  [
+    Alcotest.test_case "address space basics" `Quick test_address_space_basic;
+    Alcotest.test_case "address space merging" `Quick test_address_space_merge;
+    Alcotest.test_case "address space unregister" `Quick test_address_space_unregister;
+    test_address_space_model;
+    Alcotest.test_case "gb read-your-writes" `Quick test_gb_read_your_writes;
+    Alcotest.test_case "gb fetch + hit" `Quick test_gb_read_from_memory;
+    Alcotest.test_case "gb isolation until commit" `Quick
+      test_gb_writes_not_visible_before_commit;
+    Alcotest.test_case "gb validation" `Quick test_gb_validate;
+    Alcotest.test_case "gb subword bytes" `Quick test_gb_subword;
+    Alcotest.test_case "gb subword i32" `Quick test_gb_subword_i32;
+    Alcotest.test_case "gb hash conflicts via temp" `Quick test_gb_hash_conflict_temp;
+    Alcotest.test_case "gb overflow" `Quick test_gb_overflow;
+    Alcotest.test_case "gb finalize" `Quick test_gb_finalize_reuse;
+    test_gb_model;
+    Alcotest.test_case "lb frames" `Quick test_lb_frames_and_regs;
+    Alcotest.test_case "lb bounds" `Quick test_lb_offset_bounds;
+    Alcotest.test_case "lb fork regs isolated" `Quick test_lb_fork_regs_isolated;
+    Alcotest.test_case "lb stackvar copies" `Quick test_lb_stackvar_copy;
+  ]

@@ -1,0 +1,138 @@
+(* Simulation engine: event heap ordering, deterministic RNG, and the
+   coroutine scheduler (advance, flags, deadlock detection). *)
+
+module Heap = Mutls_sim.Heap
+module Rng = Mutls_sim.Rng
+module Engine = Mutls_sim.Engine
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  let input = [ 5.0; 1.0; 3.0; 1.0; 9.0; 0.5; 3.0 ] in
+  List.iteri (fun i t -> Heap.push h t i) input;
+  let rec drain acc =
+    match Heap.pop h with
+    | Some (t, v) -> drain ((t, v) :: acc)
+    | None -> List.rev acc
+  in
+  let out = drain [] in
+  let times = List.map fst out in
+  Alcotest.(check (list (float 0.0)))
+    "times ascending"
+    [ 0.5; 1.0; 1.0; 3.0; 3.0; 5.0; 9.0 ]
+    times;
+  (* FIFO among equal timestamps: 1.0 pushed as payload 1 before payload 3 *)
+  let payloads_at_1 =
+    List.filter_map (fun (t, v) -> if t = 1.0 then Some v else None) out
+  in
+  Alcotest.(check (list int)) "FIFO tie-break" [ 1; 3 ] payloads_at_1
+
+let test_heap_random =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h t i) times;
+      let rec drain acc =
+        match Heap.pop h with Some (t, _) -> drain (t :: acc) | None -> acc
+      in
+      let out = List.rev (drain []) in
+      out = List.sort compare times)
+  |> QCheck_alcotest.to_alcotest
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done;
+  let c = Rng.create 43 in
+  Alcotest.(check bool) "different seed differs" true
+    (Rng.next_int64 (Rng.create 42) <> Rng.next_int64 c)
+
+let test_rng_uniform () =
+  let r = Rng.create 7 in
+  let n = 10000 in
+  let inside = ref 0 in
+  for _ = 1 to n do
+    let x = Rng.next_float r in
+    if x < 0.0 || x >= 1.0 then Alcotest.fail "float out of range";
+    if x < 0.5 then incr inside
+  done;
+  let frac = float_of_int !inside /. float_of_int n in
+  Alcotest.(check bool) "roughly uniform" true (frac > 0.45 && frac < 0.55)
+
+let test_engine_advance () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let final =
+    Engine.run e (fun () ->
+        Engine.advance e 10.0;
+        log := ("a", Engine.now e) :: !log;
+        Engine.advance e 5.0;
+        log := ("b", Engine.now e) :: !log)
+  in
+  Alcotest.(check (float 0.0)) "final time" 15.0 final;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "timestamps"
+    [ ("a", 10.0); ("b", 15.0) ]
+    (List.rev !log)
+
+let test_engine_interleaving () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.run e (fun () ->
+         Engine.spawn e (fun () ->
+             Engine.advance e 3.0;
+             log := "child@3" :: !log;
+             Engine.advance e 4.0;
+             log := "child@7" :: !log);
+         Engine.advance e 5.0;
+         log := "main@5" :: !log));
+  Alcotest.(check (list string))
+    "events in virtual-time order"
+    [ "child@3"; "main@5"; "child@7" ]
+    (List.rev !log)
+
+let test_engine_flags () =
+  let e = Engine.create () in
+  let iv = Engine.new_ivar () in
+  let got = ref (-1) in
+  let woke_at = ref 0.0 in
+  ignore
+    (Engine.run e (fun () ->
+         Engine.spawn e (fun () ->
+             got := Engine.wait e iv;
+             woke_at := Engine.now e);
+         Engine.advance e 42.0;
+         Engine.ivar_set e iv 7));
+  Alcotest.(check int) "flag value" 7 !got;
+  Alcotest.(check (float 0.0)) "woken at setter's time" 42.0 !woke_at
+
+let test_engine_wait_set_flag () =
+  let e = Engine.create () in
+  let iv = Engine.new_ivar () in
+  ignore
+    (Engine.run e (fun () ->
+         Engine.ivar_set e iv 3;
+         Engine.advance e 1.0;
+         (* waiting on an already-set flag continues immediately *)
+         Alcotest.(check int) "pre-set flag" 3 (Engine.wait e iv)))
+
+let test_engine_deadlock () =
+  let e = Engine.create () in
+  let iv = Engine.new_ivar () in
+  Alcotest.check_raises "deadlock detected" (Engine.Deadlock 1) (fun () ->
+      ignore (Engine.run e (fun () -> ignore (Engine.wait e iv))))
+
+let tests =
+  [
+    Alcotest.test_case "heap ordering + FIFO ties" `Quick test_heap_ordering;
+    test_heap_random;
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniform;
+    Alcotest.test_case "engine advance" `Quick test_engine_advance;
+    Alcotest.test_case "engine interleaving" `Quick test_engine_interleaving;
+    Alcotest.test_case "engine flags" `Quick test_engine_flags;
+    Alcotest.test_case "engine pre-set flag" `Quick test_engine_wait_set_flag;
+    Alcotest.test_case "engine deadlock detection" `Quick test_engine_deadlock;
+  ]

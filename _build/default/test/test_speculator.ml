@@ -1,0 +1,254 @@
+(* Speculator pass structure: generated artifacts, tables, annotation
+   validation, the RegisterBuffer limit, and the pointer/integer cast
+   barrier. *)
+
+open Helpers
+module I = Mutls_mir.Ir
+module Pass = Mutls_speculator.Pass
+
+let annotated_src =
+  {|
+int data[16];
+void work() {
+  __builtin_MUTLS_fork(0, mixed);
+  for (int i = 0; i < 8; i++) data[i] = i;
+  __builtin_MUTLS_join(0);
+  for (int i = 8; i < 16; i++) data[i] = i * 2;
+  __builtin_MUTLS_barrier(0);
+}
+int main() { work(); int s = 0; for (int i = 0; i < 16; i++) s += data[i]; return s; }
+|}
+
+let transform src = Pass.run (Mutls_minic.Codegen.compile src)
+
+let count_calls (f : I.func) prefix =
+  List.fold_left
+    (fun acc (b : I.block) ->
+      acc
+      + List.length
+          (List.filter
+             (fun (i : I.instr) ->
+               match i.I.kind with
+               | I.Call (n, _) ->
+                 String.length n >= String.length prefix
+                 && String.sub n 0 (String.length prefix) = prefix
+               | _ -> false)
+             b.I.insts))
+    0 f.I.blocks
+
+let test_artifacts_generated () =
+  let t = transform annotated_src in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " exists") true (I.find_func t name <> None))
+    [ "work"; "work.spec"; "work.stub"; "work.proxy"; "main" ];
+  (* main has no annotations and is not called speculatively: no clone *)
+  Alcotest.(check bool) "main not cloned" true (I.find_func t "main.spec" = None)
+
+let test_spec_version_structure () =
+  let t = transform annotated_src in
+  let spec = I.find_func_exn t "work.spec" in
+  (* two extra parameters: counter and rank *)
+  Alcotest.(check int) "spec params" 2 (List.length spec.I.params);
+  (* original loads/stores became runtime calls *)
+  Alcotest.(check bool) "buffered stores" true (count_calls spec "MUTLS_store" > 0);
+  Alcotest.(check bool) "barrier point present" true
+    (count_calls spec "MUTLS_barrier_point" > 0);
+  Alcotest.(check bool) "return point present" true
+    (count_calls spec "MUTLS_return_point" > 0);
+  (* the non-speculative version keeps plain stores *)
+  let nonspec = I.find_func_exn t "work" in
+  Alcotest.(check int) "non-spec has no buffered stores" 0
+    (count_calls nonspec "MUTLS_store");
+  Alcotest.(check bool) "non-spec has sync_entry" true
+    (count_calls nonspec "MUTLS_sync_entry" > 0);
+  Alcotest.(check bool) "non-spec synchronizes" true
+    (count_calls nonspec "MUTLS_synchronize" > 0)
+
+let test_check_points_in_substantial_loops () =
+  (* leaf call-free loops are not polled (cost heuristic); loops
+     containing calls are *)
+  let t = transform annotated_src in
+  let spec = I.find_func_exn t "work.spec" in
+  Alcotest.(check int) "leaf loops not polled" 0
+    (count_calls spec "MUTLS_check_point");
+  let src =
+    {|
+int out[8];
+int f(int x) { return x * x; }
+void work() {
+  __builtin_MUTLS_fork(0, mixed);
+  for (int i = 0; i < 4; i++) out[i] = f(i);
+  __builtin_MUTLS_join(0);
+  for (int i = 4; i < 8; i++) out[i] = f(i);
+  __builtin_MUTLS_barrier(0);
+}
+int main() { work(); return 0; }
+|}
+  in
+  let t = transform src in
+  let spec = I.find_func_exn t "work.spec" in
+  Alcotest.(check bool) "call-bearing loops polled" true
+    (count_calls spec "MUTLS_check_point" > 0)
+
+let test_speculation_table () =
+  let t = transform annotated_src in
+  let spec = I.find_func_exn t "work.spec" in
+  let entry = I.entry_block spec in
+  (* entry dispatches on the counter argument *)
+  match entry.I.term with
+  | I.Switch (I.Arg 0, _, cases) ->
+    Alcotest.(check int) "one join point, one case" 1 (List.length cases)
+  | _ -> Alcotest.fail "speculative entry must switch on the counter"
+
+let test_untouched_module_ok () =
+  (* a module without annotations passes through unchanged-but-copied *)
+  let m = Mutls_minic.Codegen.compile "int main() { return 42; }" in
+  let t = Pass.run m in
+  Alcotest.(check int) "same function count" (List.length m.I.funcs)
+    (List.length t.I.funcs);
+  let r = Mutls_interp.Eval.run_sequential t in
+  Alcotest.(check bool) "still runs" true
+    (r.Mutls_interp.Eval.sret = Some (Mutls_interp.Value.VI 42L))
+
+let test_fork_without_join_rejected () =
+  let src = "int main() { __builtin_MUTLS_fork(3, mixed); return 0; }" in
+  match transform src with
+  | _ -> Alcotest.fail "fork without a join must be rejected"
+  | exception Pass.Pass_error _ -> ()
+
+let test_duplicate_join_rejected () =
+  let src =
+    {|
+int main() {
+  __builtin_MUTLS_fork(0, mixed);
+  __builtin_MUTLS_join(0);
+  __builtin_MUTLS_join(0);
+  return 0;
+}
+|}
+  in
+  match transform src with
+  | _ -> Alcotest.fail "duplicate join ids must be rejected"
+  | exception Pass.Pass_error _ -> ()
+
+let test_register_buffer_limit () =
+  (* more locals than the RegisterBuffer holds: the pass reports an
+     error before execution, as the paper specifies *)
+  let decls =
+    List.init 40 (fun i -> Printf.sprintf "int v%d = seedv + %d;" i i)
+  in
+  let uses =
+    List.init 40 (fun i -> Printf.sprintf "s += v%d;" i) |> String.concat " "
+  in
+  let src =
+    Printf.sprintf
+      {|
+int out[4];
+int seedv = 3;
+int main() {
+  %s
+  int s = 0;
+  __builtin_MUTLS_fork(0, mixed);
+  out[0] = 1;
+  __builtin_MUTLS_join(0);
+  %s
+  out[1] = s;
+  __builtin_MUTLS_barrier(0);
+  return s;
+}
+|}
+      (String.concat " " decls) uses
+  in
+  let m = Mutls_minic.Codegen.compile src in
+  match Pass.run ~opts:{ Pass.default_options with max_locals = 16 } m with
+  | _ -> Alcotest.fail "RegisterBuffer overflow must be a pass error"
+  | exception Pass.Pass_error msg ->
+    Alcotest.(check bool) "mentions the buffer" true
+      (Astring_contains.contains msg "RegisterBuffer")
+
+let test_ptr_int_cast_barrier () =
+  (* a pointer/integer cast on a registered global is allowed
+     speculatively; the program must still match sequential *)
+  let src =
+    {|
+int data[8];
+int main() {
+  __builtin_MUTLS_fork(0, mixed);
+  for (int i = 0; i < 4; i++) data[i] = i;
+  __builtin_MUTLS_join(0);
+  int addr = (int)(data + 4);
+  int *p = (int *)addr;
+  for (int i = 0; i < 4; i++) p[i] = 10 + i;
+  __builtin_MUTLS_barrier(0);
+  int s = 0;
+  for (int i = 0; i < 8; i++) s += data[i];
+  return s;
+}
+|}
+  in
+  let m = Mutls_minic.Codegen.compile src in
+  let spec_main = I.find_func_exn (Pass.run m) "main.spec" in
+  Alcotest.(check bool) "cast barrier inserted" true
+    (count_calls spec_main "MUTLS_ptr_int_cast" > 0);
+  let seq = run_seq m in
+  let tls = run_tls ~ncpus:4 m in
+  Alcotest.(check bool) "results agree" true
+    (seq.Mutls_interp.Eval.sret = tls.Mutls_interp.Eval.tret)
+
+let test_frame_reconstruction_depth () =
+  (* commit deep inside nested calls: the parent must reconstruct the
+     whole chain (paper IV-H) *)
+  let src =
+    {|
+int cells[64];
+int leaf(int base, int k) {
+  int acc = 0;
+  for (int j = 0; j < 40; j++) acc += (base + j * k) % 13;
+  cells[base % 64] = acc;
+  return acc;
+}
+int mid(int base, int k) { return leaf(base, k) + leaf(base + 1, k); }
+int outer(int base) { return mid(base, 3) + mid(base + 2, 5); }
+int main() {
+  int total = 0;
+  for (int c = 0; c < 16; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    total += outer(c * 4) % 1000;
+    __builtin_MUTLS_join(0);
+  }
+  print_int(total);
+  print_newline();
+  return total;
+}
+|}
+  in
+  (* 'total' is an accumulator live at the join: needs value prediction *)
+  let m = Mutls_minic.Codegen.compile src in
+  let seq = run_seq m in
+  let t = Mutls_speculator.Pass.run m in
+  let cfg =
+    { Mutls_runtime.Config.default with ncpus = 6; value_prediction = true }
+  in
+  let r = Mutls_interp.Eval.run_tls cfg t in
+  Alcotest.(check string) "deep reconstruction output"
+    seq.Mutls_interp.Eval.soutput r.Mutls_interp.Eval.toutput
+
+let tests =
+  [
+    Alcotest.test_case "artifacts generated" `Quick test_artifacts_generated;
+    Alcotest.test_case "speculative version structure" `Quick
+      test_spec_version_structure;
+    Alcotest.test_case "check point placement heuristic" `Quick
+      test_check_points_in_substantial_loops;
+    Alcotest.test_case "speculation table" `Quick test_speculation_table;
+    Alcotest.test_case "unannotated pass-through" `Quick test_untouched_module_ok;
+    Alcotest.test_case "fork without join rejected" `Quick
+      test_fork_without_join_rejected;
+    Alcotest.test_case "duplicate join rejected" `Quick test_duplicate_join_rejected;
+    Alcotest.test_case "RegisterBuffer limit" `Quick test_register_buffer_limit;
+    Alcotest.test_case "pointer/integer cast barrier" `Quick
+      test_ptr_int_cast_barrier;
+    Alcotest.test_case "deep frame reconstruction" `Quick
+      test_frame_reconstruction_depth;
+  ]

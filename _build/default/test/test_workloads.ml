@@ -1,0 +1,133 @@
+(* Integration: every benchmark of Table II must produce identical
+   output under TLS and sequentially — across CPU counts, forking
+   models and rollback injection — and the simulation must be
+   deterministic. *)
+
+open Helpers
+module W = Mutls_workloads.Workloads
+
+let compile_small (w : W.t) = Mutls_minic.Codegen.compile (w.W.small ())
+
+let check_equiv ?(ncpus = 4) ?(model_override = None) ?(rollback = 0.0) name m =
+  let seq = run_seq m in
+  let tls = run_tls ~ncpus ~model_override ~rollback m in
+  Alcotest.(check string) name seq.Mutls_interp.Eval.soutput
+    tls.Mutls_interp.Eval.toutput
+
+let test_all_benchmarks_c () =
+  List.iter
+    (fun (w : W.t) ->
+      let m = compile_small w in
+      List.iter (fun n -> check_equiv ~ncpus:n (w.W.name ^ " @" ^ string_of_int n) m)
+        [ 1; 2; 5; 8 ])
+    W.all
+
+let test_all_benchmarks_fortran () =
+  List.iter
+    (fun (w : W.t) ->
+      match w.W.fortran_source with
+      | None -> ()
+      | Some src ->
+        let m = Mutls_minifortran.Fcodegen.compile (src ()) in
+        check_equiv ~ncpus:4 (w.W.name ^ " fortran") m)
+    W.all
+
+let test_all_models () =
+  List.iter
+    (fun (w : W.t) ->
+      let m = compile_small w in
+      List.iter
+        (fun model ->
+          check_equiv ~ncpus:4 ~model_override:(Some model)
+            (w.W.name ^ " " ^ Mutls_runtime.Config.model_to_string model)
+            m)
+        [ Mutls_runtime.Config.In_order; Out_of_order; Mixed ])
+    W.all
+
+let test_rollback_injection_all () =
+  List.iter
+    (fun (w : W.t) ->
+      let m = compile_small w in
+      List.iter
+        (fun p -> check_equiv ~ncpus:4 ~rollback:p
+            (Printf.sprintf "%s rollback %.0f%%" w.W.name (100. *. p)) m)
+        [ 0.2; 1.0 ])
+    W.all
+
+let test_determinism () =
+  let w = W.find "fft" in
+  let m = compile_small w in
+  let t = Mutls_speculator.Pass.run m in
+  let cfg = { Mutls_runtime.Config.default with ncpus = 6 } in
+  let r1 = Mutls_interp.Eval.run_tls cfg t in
+  let r2 = Mutls_interp.Eval.run_tls cfg t in
+  Alcotest.(check (float 0.0)) "identical virtual finish time"
+    r1.Mutls_interp.Eval.tfinish r2.Mutls_interp.Eval.tfinish;
+  Alcotest.(check int) "identical thread count"
+    (List.length r1.Mutls_interp.Eval.tretired)
+    (List.length r2.Mutls_interp.Eval.tretired)
+
+let test_speculation_happens () =
+  (* every benchmark should actually commit speculative work at 8 CPUs *)
+  List.iter
+    (fun (w : W.t) ->
+      let m = compile_small w in
+      let r = run_tls ~ncpus:8 m in
+      let commits =
+        List.length
+          (List.filter (fun t -> t.Mutls_runtime.Thread_manager.r_committed)
+             r.Mutls_interp.Eval.tretired)
+      in
+      Alcotest.(check bool) (w.W.name ^ " commits speculative work") true
+        (commits > 0))
+    W.all
+
+let test_matmult_rolls_back () =
+  (* the paper: matmult is the benchmark that exhibits real rollbacks *)
+  let m = Mutls_minic.Codegen.compile ((W.find "matmult").W.c_source ()) in
+  let r = run_tls ~ncpus:8 m in
+  let rollbacks =
+    List.length
+      (List.filter (fun t -> not t.Mutls_runtime.Thread_manager.r_committed)
+         r.Mutls_interp.Eval.tretired)
+  in
+  Alcotest.(check bool) "matmult exhibits rollbacks" true (rollbacks > 0)
+
+let test_experiments_smoke () =
+  (* the harness runs and produces sane metrics *)
+  let w = W.find "tsp" in
+  let m = Mutls.Experiments.run ~ncpus:4 w in
+  Alcotest.(check bool) "speedup positive" true (m.Mutls.Metrics.speedup > 0.5);
+  Alcotest.(check bool) "ts >= tn sanity" true (m.Mutls.Metrics.ts > 0.0);
+  let frac_sum =
+    List.fold_left (fun a (_, v) -> a +. v) 0.0 m.Mutls.Metrics.crit_breakdown
+  in
+  Alcotest.(check bool) "critical breakdown sums to ~1" true
+    (frac_sum > 0.99 && frac_sum < 1.01);
+  Alcotest.(check bool) "coverage non-negative" true (m.Mutls.Metrics.coverage >= 0.0)
+
+let test_fig10_shape () =
+  (* out-of-order must not beat mixed on tree recursion at scale *)
+  let w = W.find "nqueen" in
+  let mixed = Mutls.Experiments.run ~ncpus:16 w in
+  let ooo =
+    Mutls.Experiments.run ~model_override:(Some Mutls_runtime.Config.Out_of_order)
+      ~ncpus:16 w
+  in
+  Alcotest.(check bool) "mixed beats out-of-order on DFS" true
+    (mixed.Mutls.Metrics.speedup > ooo.Mutls.Metrics.speedup)
+
+let tests =
+  [
+    Alcotest.test_case "all C benchmarks, several CPU counts" `Slow
+      test_all_benchmarks_c;
+    Alcotest.test_case "all Fortran benchmarks" `Quick test_all_benchmarks_fortran;
+    Alcotest.test_case "all forking models" `Slow test_all_models;
+    Alcotest.test_case "rollback injection" `Slow test_rollback_injection_all;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "speculation commits on every benchmark" `Slow
+      test_speculation_happens;
+    Alcotest.test_case "matmult rolls back" `Quick test_matmult_rolls_back;
+    Alcotest.test_case "experiments harness smoke" `Quick test_experiments_smoke;
+    Alcotest.test_case "fig10 shape" `Quick test_fig10_shape;
+  ]
