@@ -3,7 +3,9 @@
      mutlsc run prog.mc --cpus 8            compile + speculate + run
      mutlsc run prog.f90 --lang fortran --seq
      mutlsc dump prog.mc --transformed      print MIR before/after the pass
-     mutlsc bench 3x+1 --cpus 64            run a built-in benchmark *)
+     mutlsc bench 3x+1 --cpus 64            run a built-in benchmark
+     mutlsc bench fft --trace t.jsonl       write an event trace
+     mutlsc report t.jsonl                  fold a trace into Fig. 8/9 *)
 
 open Cmdliner
 
@@ -78,16 +80,60 @@ let opt_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print TLS metrics after the run.")
 
-let make_cfg cpus model rollback =
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write an event trace: $(i,.jsonl) files get JSON Lines (the \
+               format $(b,mutlsc report) consumes), anything else Chrome \
+               trace_event JSON loadable in chrome://tracing or Perfetto.")
+
+(* The library never reads the process environment; the deprecated
+   MUTLS_DEBUG / MUTLS_DEBUG2 toggles survive only as this CLI shim
+   selecting the stderr pretty-printing sink. *)
+let env_shim_sink () =
+  let dbg = Sys.getenv_opt "MUTLS_DEBUG" <> None in
+  let dbg2 = Sys.getenv_opt "MUTLS_DEBUG2" <> None in
+  if dbg || dbg2 then begin
+    Printf.eprintf
+      "mutlsc: warning: MUTLS_DEBUG/MUTLS_DEBUG2 are deprecated; mapping them \
+       to the stderr trace sink (prefer --trace FILE)\n%!";
+    Some (Mutls.Trace.stderr_pretty ~charges:dbg2 ())
+  end
+  else None
+
+let file_sink path =
+  let oc = open_out path in
+  let base =
+    if Filename.check_suffix path ".jsonl" then
+      Mutls.Trace.jsonl (output_string oc)
+    else Mutls.Trace.chrome (output_string oc)
+  in
+  { base with
+    Mutls.Trace.close =
+      (fun () ->
+        base.Mutls.Trace.close ();
+        close_out oc) }
+
+let make_sink trace =
+  let sinks =
+    (match trace with None -> [] | Some path -> [ file_sink path ])
+    @ (match env_shim_sink () with None -> [] | Some s -> [ s ])
+  in
+  match sinks with
+  | [] -> Mutls.Trace.null
+  | [ s ] -> s
+  | ss -> Mutls.Trace.tee ss
+
+let make_cfg cpus model rollback sink =
   { Mutls.Config.default with
     ncpus = cpus;
     model_override = Option.map model_conv model;
-    rollback_probability = rollback }
+    rollback_probability = rollback;
+    trace_sink = sink }
 
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file lang cpus model rollback seq stats optimize =
+  let run file lang cpus model rollback seq stats optimize trace =
     try
       let source = read_file file in
       let m = compile_input ~optimize file lang source in
@@ -98,10 +144,12 @@ let run_cmd =
         `Ok ()
       end
       else begin
-        let cfg = make_cfg cpus model rollback in
+        let sink = make_sink trace in
+        let cfg = make_cfg cpus model rollback sink in
         let seq_r = Mutls.run_sequential ~cost:cfg.Mutls.Config.cost m in
         let t = Mutls.speculate m in
         let r = Mutls.run_tls cfg t in
+        Mutls.Trace.close sink;
         print_string r.Mutls.Eval.toutput;
         let metrics = Mutls.Metrics.compute ~ts:seq_r.Mutls.Eval.scost r in
         Printf.printf "[TLS on %d CPUs: %.0f cycles, speedup %.2f]\n" cpus
@@ -116,13 +164,14 @@ let run_cmd =
     with
     | Mutls.Compile_error e -> `Error (false, "compile error: " ^ e)
     | Invalid_argument e -> `Error (false, e)
+    | Sys_error e -> `Error (false, e)
   in
   let info = Cmd.info "run" ~doc:"Compile a program and run it under TLS." in
   Cmd.v info
     Term.(
       ret
         (const run $ file_arg $ lang_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ seq_arg $ stats_arg $ opt_arg))
+       $ seq_arg $ stats_arg $ opt_arg $ trace_arg))
 
 (* --- dump --------------------------------------------------------------- *)
 
@@ -149,21 +198,25 @@ let dump_cmd =
 (* --- bench -------------------------------------------------------------- *)
 
 let bench_cmd =
-  let bench name cpus model rollback stats =
+  let bench name cpus model rollback stats trace =
     try
       let w = Mutls.Workloads.find name in
+      let sink = make_sink trace in
       let metrics =
         Mutls.Experiments.run
           ~model_override:(Option.map model_conv model)
-          ~rollback ~ncpus:cpus w
+          ~rollback ~trace_sink:sink ~ncpus:cpus w
       in
+      Mutls.Trace.close sink;
       Format.printf "%s on %d CPUs: %a@." name cpus Mutls.Metrics.pp metrics;
       if stats then
         List.iter
           (fun (c, v) -> Printf.printf "  critical %-10s %5.1f%%\n" c (100. *. v))
           metrics.Mutls.Metrics.crit_breakdown;
       `Ok ()
-    with Invalid_argument e -> `Error (false, e)
+    with
+    | Invalid_argument e -> `Error (false, e)
+    | Sys_error e -> `Error (false, e)
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
@@ -172,11 +225,35 @@ let bench_cmd =
   let info = Cmd.info "bench" ~doc:"Run a built-in benchmark under TLS." in
   Cmd.v info
     Term.(
-      ret (const bench $ name_arg $ cpus_arg $ model_arg $ rollback_arg $ stats_arg))
+      ret
+        (const bench $ name_arg $ cpus_arg $ model_arg $ rollback_arg
+       $ stats_arg $ trace_arg))
+
+(* --- report ------------------------------------------------------------- *)
+
+let report_cmd =
+  let report file =
+    try
+      let r = Mutls.Report.of_jsonl_file file in
+      Format.printf "%a@." Mutls.Report.pp r;
+      `Ok ()
+    with
+    | Mutls.Trace.Schema_error e -> `Error (false, "trace error: " ^ e)
+    | Sys_error e -> `Error (false, e)
+  in
+  let trace_file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+           ~doc:"A JSON Lines trace written by $(b,--trace FILE.jsonl).")
+  in
+  let info =
+    Cmd.info "report"
+      ~doc:"Fold a JSON Lines trace into the paper's Fig. 8/9 breakdowns."
+  in
+  Cmd.v info Term.(ret (const report $ trace_file_arg))
 
 let () =
   let info =
     Cmd.info "mutlsc" ~version:"1.0"
       ~doc:"Mixed-model universal software thread-level speculation"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; dump_cmd; bench_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; dump_cmd; bench_cmd; report_cmd ]))

@@ -53,9 +53,12 @@ let prepare lang (w : Workloads.t) =
 
 exception Divergence of string
 
-(* Run one benchmark under TLS and compute its metrics. *)
-let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0) ~ncpus
-    (w : Workloads.t) =
+(* Run one benchmark under TLS and compute its metrics.  A run with an
+   enabled trace sink bypasses the metrics cache: a cache hit would
+   skip the execution and emit no events. *)
+let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
+    ?(trace_sink = Mutls_obs.Trace.null) ~ncpus (w : Workloads.t) =
+  let use_cache = not trace_sink.Mutls_obs.Trace.enabled in
   let mkey =
     ( w.Workloads.name,
       lang,
@@ -65,7 +68,7 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0) ~ncpus
       | Some m -> Config.model_to_int m),
       int_of_float (rollback *. 100.0) )
   in
-  match Hashtbl.find_opt metrics_cache mkey with
+  match (if use_cache then Hashtbl.find_opt metrics_cache mkey else None) with
   | Some m -> m
   | None ->
     let p = prepare lang w in
@@ -73,7 +76,8 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0) ~ncpus
       { Config.default with
         ncpus;
         model_override;
-        rollback_probability = rollback }
+        rollback_probability = rollback;
+        trace_sink }
     in
     let r = Eval.run_tls cfg p.p_transformed in
     if rollback = 0.0 && r.Eval.toutput <> p.p_seq_output then
@@ -87,7 +91,7 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0) ~ncpus
         (Divergence
            (Printf.sprintf "%s rollback-injected run diverged" w.Workloads.name));
     let m = Metrics.compute ~ts:p.p_seq_cost r in
-    Hashtbl.replace metrics_cache mkey m;
+    if use_cache then Hashtbl.replace metrics_cache mkey m;
     m
 
 (* ------------------------------------------------------------------ *)

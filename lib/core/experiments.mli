@@ -16,10 +16,13 @@ val run :
   ?lang:lang ->
   ?model_override:Mutls_runtime.Config.model option ->
   ?rollback:float ->
+  ?trace_sink:Mutls_obs.Trace.sink ->
   ncpus:int ->
   Mutls_workloads.Workloads.t ->
   Metrics.t
 (** Run one benchmark under TLS (cached) and compute its metrics.
+    Passing an enabled [trace_sink] bypasses the cache so the run
+    really executes and emits events.
     @raise Divergence if outputs mismatch. *)
 
 (** {1 Tables} *)

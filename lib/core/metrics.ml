@@ -96,7 +96,7 @@ let compute ~ts (r : Eval.tls_result) =
     List.length (List.filter (fun t -> t.TM.r_committed) retired)
   in
   let rollbacks = List.length retired - commits in
-  let forks = main.Stats.n_forks + merged.Stats.n_forks in
+  let forks = Stats.count main Stats.Forks + Stats.count merged Stats.Forks in
   {
     ts;
     tn;

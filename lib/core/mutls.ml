@@ -7,6 +7,9 @@ module Printer = Mutls_mir.Printer
 module Verify = Mutls_mir.Verify
 module Config = Mutls_runtime.Config
 module Stats = Mutls_runtime.Stats
+module Json = Mutls_obs.Json
+module Trace = Mutls_obs.Trace
+module Report = Mutls_obs.Report
 module Pass = Mutls_speculator.Pass
 module Eval = Mutls_interp.Eval
 module Workloads = Mutls_workloads.Workloads

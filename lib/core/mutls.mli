@@ -19,6 +19,14 @@ module Printer = Mutls_mir.Printer
 module Verify = Mutls_mir.Verify
 module Config = Mutls_runtime.Config
 module Stats = Mutls_runtime.Stats
+
+module Json = Mutls_obs.Json
+module Trace = Mutls_obs.Trace
+(** Typed event tracing: select a sink via [Config.trace_sink]. *)
+
+module Report = Mutls_obs.Report
+(** Fold a trace back into the paper's Fig. 8/9 breakdowns. *)
+
 module Pass = Mutls_speculator.Pass
 module Eval = Mutls_interp.Eval
 module Workloads = Mutls_workloads.Workloads

@@ -468,6 +468,27 @@ let run_tls ?(heap_size = default_heap) ?(globals_size = default_globals)
   in
   let globals_used = Memory.install_globals mem modul in
   let engine = Mutls_sim.Engine.create () in
+  (* Forward engine-level scheduling events into the configured trace
+     sink (thread = -1: they belong to no TLS thread). *)
+  let sink = cfg.Config.trace_sink in
+  if sink.Mutls_obs.Trace.enabled then
+    Mutls_sim.Engine.set_tracer engine
+      (Some
+         (fun time ev ->
+           let what, info =
+             match ev with
+             | Mutls_sim.Engine.Trace_spawn -> ("spawn", 0)
+             | Mutls_sim.Engine.Trace_block -> ("block", 0)
+             | Mutls_sim.Engine.Trace_wake n -> ("wake", n)
+           in
+           sink.Mutls_obs.Trace.emit
+             {
+               Mutls_obs.Trace.time;
+               thread = -1;
+               rank = -1;
+               main = false;
+               event = Mutls_obs.Trace.Sched { what; info };
+             }));
   let mgr = Thread_manager.create cfg engine (Memory.memio mem) in
   (* Register the global address space: globals + every thread stack
      (non-speculative stack variables are global per §IV-G1). *)
@@ -477,7 +498,7 @@ let run_tls ?(heap_size = default_heap) ?(globals_size = default_globals)
   let base, limit = Memory.stack_slot mem 0 in
   let out = Buffer.create 256 in
   let ctx =
-    { prog; mem; mode = Tls (mgr, mgr.Thread_manager.main); out;
+    { prog; mem; mode = Tls (mgr, Thread_manager.main mgr); out;
       cost = cfg.cost; sp = base; stack_limit = limit }
   in
   let ret = ref None in
@@ -493,6 +514,6 @@ let run_tls ?(heap_size = default_heap) ?(globals_size = default_globals)
     tret = !ret;
     toutput = Buffer.contents out;
     tfinish = !finish;
-    tmain_stats = mgr.Thread_manager.main.Thread_data.stats;
-    tretired = mgr.Thread_manager.retired;
+    tmain_stats = (Thread_manager.main mgr).Thread_data.stats;
+    tretired = Thread_manager.retired mgr;
   }

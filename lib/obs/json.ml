@@ -1,0 +1,252 @@
+(* Minimal JSON tree, printer and parser for the observability layer.
+   Hand-rolled so the tracing subsystem stays dependency-free; covers
+   the full JSON grammar but is tuned for the machine-written documents
+   the sinks emit (JSON Lines records, Chrome trace_event files). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* --- printing -------------------------------------------------------- *)
+
+(* Shortest representation that round-trips, preferring the integer
+   form: trace times and costs are overwhelmingly integral virtual
+   cycles, and a stable rendering is what makes same-seed traces
+   byte-identical. *)
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Num f ->
+    if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+      Buffer.add_string b "null" (* NaN/inf are not JSON *)
+    else Buffer.add_string b (float_to_string f)
+  | Str s -> escape_string b s
+  | List xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        write b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_string b k;
+        Buffer.add_char b ':';
+        write b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 128 in
+  write b v;
+  Buffer.contents b
+
+(* --- parsing --------------------------------------------------------- *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> error st (Printf.sprintf "expected %c" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else error st ("expected " ^ word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.src then error st "unterminated string";
+    let c = st.src.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents b
+    | '\\' ->
+      (if st.pos >= String.length st.src then error st "unterminated escape";
+       let e = st.src.[st.pos] in
+       st.pos <- st.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | '/' -> Buffer.add_char b '/'
+       | 'n' -> Buffer.add_char b '\n'
+       | 'r' -> Buffer.add_char b '\r'
+       | 't' -> Buffer.add_char b '\t'
+       | 'b' -> Buffer.add_char b '\b'
+       | 'f' -> Buffer.add_char b '\012'
+       | 'u' ->
+         if st.pos + 4 > String.length st.src then error st "bad \\u escape";
+         let code = int_of_string ("0x" ^ String.sub st.src st.pos 4) in
+         st.pos <- st.pos + 4;
+         (* UTF-8 encode the code point (no surrogate-pair handling:
+            the sinks never emit astral characters). *)
+         if code < 0x80 then Buffer.add_char b (Char.chr code)
+         else if code < 0x800 then begin
+           Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+           Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+         end
+         else begin
+           Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+           Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+           Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+         end
+       | _ -> error st "bad escape");
+      go ()
+    | c ->
+      Buffer.add_char b c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < String.length st.src && is_num_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then error st "expected number";
+  match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some f -> Num f
+  | None -> error st "malformed number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' ->
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> error st "expected , or }"
+      in
+      fields []
+    end
+  | Some '[' ->
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          elems (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List (List.rev (v :: acc))
+        | _ -> error st "expected , or ]"
+      in
+      elems []
+    end
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+(* --- accessors ------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Num f -> Some f
+  | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_bool = function
+  | Bool b -> Some b
+  | _ -> None
+
+let to_str = function
+  | Str s -> Some s
+  | _ -> None

@@ -1,0 +1,29 @@
+(** Minimal dependency-free JSON tree, printer and parser used by the
+    trace sinks (JSON Lines, Chrome trace_event) and by {!Report} when
+    it reads a trace back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Floats print in their shortest
+    round-tripping form, integral values without a decimal point — the
+    stable rendering that makes same-seed traces byte-identical. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_str : t -> string option

@@ -1,0 +1,228 @@
+(* Fold a trace into the paper's execution breakdowns.
+
+   The runtime emits a [Charge] record for every virtual-time amount it
+   books into a Stats category, a [Rollback] record whenever a thread's
+   useful work is reclassified as wasted, a [Retire] record carrying
+   each speculative thread's runtime, and a final [Run_end].  Replaying
+   those records reconstructs exactly the per-category totals the
+   in-process Stats counters hold — so a report computed from a trace
+   file reproduces the Fig. 8 (critical path) and Fig. 9 (speculative
+   path) percentages that `--stats` prints, and tests can cross-check
+   the two accounting paths against each other. *)
+
+(* Category names follow Stats.category_name. *)
+let cat_work = "work"
+let cat_join = "join"
+let cat_idle = "idle"
+let cat_fork = "fork"
+let cat_find = "find CPU"
+let cat_validation = "validation"
+let cat_commit = "commit"
+let cat_finalize = "finalize"
+let cat_wasted = "wasted work"
+let cat_overflow = "overflow"
+
+type t = {
+  runtime : float; (* virtual time when the main thread finished *)
+  spec_runtime : float; (* summed lifetimes of retired speculative threads *)
+  crit_total : float; (* accounted main-thread time (= Stats.total main) *)
+  spec_total : float; (* accounted speculative time (= merged Stats.total) *)
+  crit_breakdown : (string * float) list; (* Fig. 8 fractions *)
+  spec_breakdown : (string * float) list; (* Fig. 9 fractions *)
+  forks : int;
+  commits : int;
+  rollbacks : int;
+  spills : int;
+  overflows : int;
+  events : int;
+}
+
+(* --- accumulation ----------------------------------------------------- *)
+
+type acc = {
+  mutable a_time : (string * float) list; (* category -> accumulated *)
+  a_main : bool;
+}
+
+let acc_add a cat dt =
+  let rec go = function
+    | [] -> [ (cat, dt) ]
+    | (c, v) :: rest when c = cat -> (c, v +. dt) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  a.a_time <- go a.a_time
+
+let acc_get a cat =
+  match List.assoc_opt cat a.a_time with Some v -> v | None -> 0.0
+
+(* Mirror of Stats.work_to_wasted: a rolled-back thread's useful work
+   was wasted. *)
+let acc_work_to_wasted a =
+  let w = acc_get a cat_work in
+  if w > 0.0 then begin
+    a.a_time <- List.filter (fun (c, _) -> c <> cat_work) a.a_time;
+    acc_add a cat_wasted w
+  end
+
+let acc_total a = List.fold_left (fun s (_, v) -> s +. v) 0.0 a.a_time
+
+let fraction total v = if total <= 0.0 then 0.0 else v /. total
+
+(* Critical path categories (Fig. 8), grouped exactly as
+   Metrics.crit_breakdown_of: validation/commit/finalize count as join
+   work, residual unaccounted runtime as idle. *)
+let crit_breakdown_of acc runtime =
+  let get = acc_get acc in
+  let work = get cat_work in
+  let join =
+    get cat_join +. get cat_validation +. get cat_commit +. get cat_finalize
+  in
+  let fork = get cat_fork in
+  let find = get cat_find in
+  let idle =
+    get cat_idle
+    +. Float.max 0.0 (runtime -. (work +. join +. fork +. find +. get cat_idle))
+  in
+  [
+    (cat_work, fraction runtime work);
+    (cat_join, fraction runtime join);
+    (cat_idle, fraction runtime idle);
+    (cat_fork, fraction runtime fork);
+    (cat_find, fraction runtime find);
+  ]
+
+(* Speculative path categories (Fig. 9), as Metrics.spec_breakdown_of. *)
+let spec_breakdown_of acc total_runtime =
+  let get = acc_get acc in
+  let work = get cat_work in
+  let wasted = get cat_wasted in
+  let finalize = get cat_finalize in
+  let commit = get cat_commit in
+  let validation = get cat_validation in
+  let overflow = get cat_overflow in
+  let fork = get cat_fork in
+  let find = get cat_find in
+  let accounted =
+    work +. wasted +. finalize +. commit +. validation +. overflow +. fork
+    +. find +. get cat_idle +. get cat_join
+  in
+  let idle =
+    get cat_idle +. get cat_join +. Float.max 0.0 (total_runtime -. accounted)
+  in
+  [
+    (cat_work, fraction total_runtime work);
+    (cat_wasted, fraction total_runtime wasted);
+    (cat_finalize, fraction total_runtime finalize);
+    (cat_commit, fraction total_runtime commit);
+    (cat_validation, fraction total_runtime validation);
+    (cat_overflow, fraction total_runtime overflow);
+    (cat_idle, fraction total_runtime idle);
+    (cat_fork, fraction total_runtime fork);
+    (cat_find, fraction total_runtime find);
+  ]
+
+let of_records records =
+  let threads : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let acc_of r =
+    match Hashtbl.find_opt threads r.Trace.thread with
+    | Some a -> a
+    | None ->
+      let a = { a_time = []; a_main = r.Trace.main } in
+      Hashtbl.replace threads r.Trace.thread a;
+      a
+  in
+  let runtime = ref 0.0 in
+  let spec_runtime = ref 0.0 in
+  let forks = ref 0 in
+  let commits = ref 0 in
+  let rollbacks = ref 0 in
+  let spills = ref 0 in
+  let overflows = ref 0 in
+  let events = ref 0 in
+  List.iter
+    (fun (r : Trace.record) ->
+      incr events;
+      match r.Trace.event with
+      | Trace.Charge { category; cost } -> acc_add (acc_of r) category cost
+      | Trace.Rollback _ -> acc_work_to_wasted (acc_of r)
+      | Trace.Retire { committed; runtime = rt; _ } ->
+        spec_runtime := !spec_runtime +. rt;
+        if committed then incr commits else incr rollbacks
+      | Trace.Fork _ -> incr forks
+      | Trace.Spill _ -> incr spills
+      | Trace.Overflow -> incr overflows
+      | Trace.Run_end -> runtime := r.Trace.time
+      | _ -> ())
+    records;
+  let main_acc = { a_time = []; a_main = true } in
+  let spec_acc = { a_time = []; a_main = false } in
+  Hashtbl.iter
+    (fun _ a ->
+      let into = if a.a_main then main_acc else spec_acc in
+      List.iter (fun (c, v) -> acc_add into c v) a.a_time)
+    threads;
+  {
+    runtime = !runtime;
+    spec_runtime = !spec_runtime;
+    crit_total = acc_total main_acc;
+    spec_total = acc_total spec_acc;
+    crit_breakdown = crit_breakdown_of main_acc !runtime;
+    spec_breakdown = spec_breakdown_of spec_acc !spec_runtime;
+    forks = !forks;
+    commits = !commits;
+    rollbacks = !rollbacks;
+    spills = !spills;
+    overflows = !overflows;
+    events = !events;
+  }
+
+(* --- JSONL input ------------------------------------------------------ *)
+
+(* Tolerant line reader: blank lines are skipped, malformed ones raise. *)
+let records_of_jsonl text =
+  let records = ref [] in
+  let lineno = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         incr lineno;
+         let line = String.trim line in
+         if line <> "" then
+           match Trace.record_of_jsonl line with
+           | r -> records := r :: !records
+           | exception Trace.Schema_error e ->
+             raise (Trace.Schema_error (Printf.sprintf "line %d: %s" !lineno e)));
+  List.rev !records
+
+let of_jsonl text = of_records (records_of_jsonl text)
+
+let of_jsonl_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_jsonl (really_input_string ic n))
+
+(* --- rendering -------------------------------------------------------- *)
+
+let pp_breakdown fmt ~label breakdown =
+  List.iter
+    (fun (c, v) ->
+      Format.fprintf fmt "  %s %-12s %5.1f%%@." label c (100.0 *. v))
+    breakdown
+
+let pp fmt r =
+  Format.fprintf fmt
+    "trace: %d events, runtime %.0f cycles, %d forks, %d commits, %d \
+     rollbacks@."
+    r.events r.runtime r.forks r.commits r.rollbacks;
+  if r.spills > 0 || r.overflows > 0 then
+    Format.fprintf fmt "buffer: %d hash-conflict spills, %d overflows@."
+      r.spills r.overflows;
+  Format.fprintf fmt
+    "critical path breakdown (Fig. 8), runtime %.0f cycles:@." r.runtime;
+  pp_breakdown fmt ~label:"critical " r.crit_breakdown;
+  Format.fprintf fmt
+    "speculative path breakdown (Fig. 9), %.0f thread-cycles:@."
+    r.spec_runtime;
+  pp_breakdown fmt ~label:"spec     " r.spec_breakdown

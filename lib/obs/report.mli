@@ -1,0 +1,35 @@
+(** Fold a trace into the paper's execution breakdowns (Figs. 8–9).
+
+    Replaying the [Charge] / [Rollback] / [Retire] / [Run_end] records
+    of a trace reconstructs exactly the per-category totals the
+    in-process [Stats] counters hold, so a report computed from a trace
+    file reproduces the category percentages that [--stats] prints, and
+    tests can cross-check the two accounting paths ([crit_total] /
+    [spec_total] against [Stats.total]). *)
+
+type t = {
+  runtime : float;  (** virtual time when the main thread finished *)
+  spec_runtime : float;  (** summed lifetimes of retired speculative threads *)
+  crit_total : float;  (** accounted main-thread time (= [Stats.total] main) *)
+  spec_total : float;  (** accounted speculative time (= merged [Stats.total]) *)
+  crit_breakdown : (string * float) list;  (** Fig. 8 fractions of [runtime] *)
+  spec_breakdown : (string * float) list;
+      (** Fig. 9 fractions of [spec_runtime] *)
+  forks : int;
+  commits : int;
+  rollbacks : int;
+  spills : int;  (** GlobalBuffer hash-conflict spills *)
+  overflows : int;
+  events : int;  (** total records folded *)
+}
+
+val of_records : Trace.record list -> t
+
+val records_of_jsonl : string -> Trace.record list
+(** Parse a JSON Lines trace; blank lines are skipped.
+    @raise Trace.Schema_error with the offending line number. *)
+
+val of_jsonl : string -> t
+val of_jsonl_file : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -76,6 +76,11 @@ type t = {
   cascade : cascade; (* tree-form (the paper) vs linear mixed model *)
   value_prediction : bool; (* §VI future work: stride prediction of
                               fork-time register values *)
+  trace_sink : Mutls_obs.Trace.sink;
+  (* Destination of the runtime's typed event trace; Trace.null (the
+     default) keeps tracing disabled at near-zero cost.  This replaces
+     the old MUTLS_DEBUG/MUTLS_DEBUG2 env toggles: the library never
+     reads the process environment. *)
 }
 
 let default =
@@ -91,4 +96,5 @@ let default =
     quantum = 500.0;
     cascade = Tree_cascade;
     value_prediction = false;
+    trace_sink = Mutls_obs.Trace.null;
   }

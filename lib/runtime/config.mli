@@ -57,6 +57,12 @@ type t = {
   cascade : cascade;
   value_prediction : bool;
       (** §VI future work: stride prediction of fork-time locals *)
+  trace_sink : Mutls_obs.Trace.sink;
+      (** destination of the runtime's typed event trace;
+          [Mutls_obs.Trace.null] (the default) keeps tracing disabled
+          at near-zero cost.  Replaces the old [MUTLS_DEBUG] /
+          [MUTLS_DEBUG2] env toggles — the library never reads the
+          process environment. *)
 }
 
 val default : t

@@ -36,6 +36,11 @@ type t = {
   temp : temp_entry option array;
   mutable temp_count : int;
   mutable conflict_pending : bool; (* ask to be joined at next check point *)
+  mutable on_spill : (int -> unit) option;
+  (* Observability hook: called with the word address whenever a hash
+     conflict parks an entry in the temporary buffer.  Installed by the
+     ThreadManager when tracing is on (pooled buffers serve successive
+     threads, so it is re-bound per occupant). *)
 }
 
 let make_map nslots =
@@ -57,7 +62,10 @@ let create ~slots ~temp_slots =
     temp = Array.make temp_slots None;
     temp_count = 0;
     conflict_pending = false;
+    on_spill = None;
   }
+
+let set_spill_hook t hook = t.on_spill <- hook
 
 (* Efficient hash: low bits of the word address (paper §IV-G2). *)
 let slot_of m np = (np lsr 3) land (m.nslots - 1)
@@ -94,7 +102,8 @@ let add_temp t entry =
   in
   place 0;
   t.temp_count <- t.temp_count + 1;
-  t.conflict_pending <- true
+  t.conflict_pending <- true;
+  match t.on_spill with None -> () | Some f -> f entry.t_addr
 
 (* --- byte-level helpers -------------------------------------------- *)
 

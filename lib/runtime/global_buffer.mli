@@ -52,6 +52,12 @@ val conflict_pending : t -> bool
 (** A hash conflict spilled into the temporary buffer: the thread
     should wait to be joined at its next check point. *)
 
+val set_spill_hook : t -> (int -> unit) option -> unit
+(** Observability hook, called with the word address whenever a hash
+    conflict parks an entry in the temporary buffer.  The ThreadManager
+    installs it when tracing is enabled; pooled buffers serve
+    successive threads, so it is re-bound per occupant. *)
+
 (** {1 Nested speculation support}
 
     When a speculative thread joins its own child, the child must be

@@ -28,6 +28,10 @@ type t = {
   mutable fork_addrs : (int * int) list; (* offset -> parent address *)
   mutable stack_base : int; (* speculative thread's own stack range *)
   mutable stack_limit : int;
+  mutable on_frame : (push:bool -> depth:int -> unit) option;
+  (* Observability hook: frame push/pop with the resulting depth, for
+     the §IV-H reconstruction trace.  Installed by the ThreadManager
+     when tracing is on. *)
 }
 (* [fork_regs] is kept apart from the bottom frame's RegisterBuffer so
    that the child's commit-time saves cannot clobber the fork-time
@@ -42,7 +46,10 @@ let create ~max_locals =
     fork_addrs = [];
     stack_base = 0;
     stack_limit = 0;
+    on_frame = None;
   }
+
+let set_frame_hook t hook = t.on_frame <- hook
 
 let make_frame max_locals =
   { counter = 0; regs = Array.make max_locals None; stackvars = Hashtbl.create 8 }
@@ -50,11 +57,18 @@ let make_frame max_locals =
 let push_frame t =
   let f = make_frame t.max_locals in
   t.frames <- f :: t.frames;
+  (match t.on_frame with
+  | Some hook -> hook ~push:true ~depth:(List.length t.frames)
+  | None -> ());
   f
 
 let pop_frame t =
   match t.frames with
-  | _ :: rest -> t.frames <- rest
+  | _ :: rest ->
+    t.frames <- rest;
+    (match t.on_frame with
+    | Some hook -> hook ~push:false ~depth:(List.length rest)
+    | None -> ())
   | [] -> invalid_arg "Local_buffer.pop_frame: empty"
 
 let depth t = List.length t.frames

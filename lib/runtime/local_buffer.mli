@@ -38,6 +38,10 @@ val frames_bottom_up : t -> frame list
 (** From the speculative entry function inwards — the order the
     non-speculative thread reconstructs the call chain in (§IV-H). *)
 
+val set_frame_hook : t -> (push:bool -> depth:int -> unit) option -> unit
+(** Observability hook: frame push/pop with the resulting depth.  The
+    ThreadManager installs it when tracing is enabled. *)
+
 (** {1 RegisterBuffer} *)
 
 val set_reg : frame -> t -> int -> v -> unit

@@ -1,7 +1,11 @@
 (* Per-thread virtual-time accounting.  Categories follow the paper's
    execution breakdowns: Figure 8 (critical path: work / join / idle /
    fork / find CPU) and Figure 9 (speculative path: wasted work /
-   finalize / commit / validation / overflow / idle / fork / find CPU). *)
+   finalize / commit / validation / overflow / idle / fork / find CPU).
+
+   The record is abstract so the counter layout can evolve without
+   breaking callers: readers go through [get]/[count]/[to_assoc],
+   writers through [add]/[incr]. *)
 
 type category =
   | Work
@@ -45,34 +49,53 @@ let all_categories =
   [ Work; Join; Idle; Fork; Find_cpu; Validation; Commit; Finalize;
     Wasted_work; Overflow ]
 
-type t = {
-  time : float array;
-  mutable n_forks : int;
-  mutable n_commits : int;
-  mutable n_rollbacks : int;
-  mutable n_loads : int;
-  mutable n_stores : int;
-  mutable n_checkpoints : int;
-  mutable n_overflows : int;
-  mutable n_conflict_stalls : int;
-}
+type counter =
+  | Forks
+  | Commits
+  | Rollbacks
+  | Loads
+  | Stores
+  | Checkpoints
+  | Overflows
+  | Conflict_stalls
+
+let n_counters = 8
+
+let counter_index = function
+  | Forks -> 0
+  | Commits -> 1
+  | Rollbacks -> 2
+  | Loads -> 3
+  | Stores -> 4
+  | Checkpoints -> 5
+  | Overflows -> 6
+  | Conflict_stalls -> 7
+
+let counter_name = function
+  | Forks -> "forks"
+  | Commits -> "commits"
+  | Rollbacks -> "rollbacks"
+  | Loads -> "loads"
+  | Stores -> "stores"
+  | Checkpoints -> "checkpoints"
+  | Overflows -> "overflows"
+  | Conflict_stalls -> "conflict stalls"
+
+let all_counters =
+  [ Forks; Commits; Rollbacks; Loads; Stores; Checkpoints; Overflows;
+    Conflict_stalls ]
+
+type t = { time : float array; counts : int array }
 
 let create () =
-  {
-    time = Array.make n_categories 0.0;
-    n_forks = 0;
-    n_commits = 0;
-    n_rollbacks = 0;
-    n_loads = 0;
-    n_stores = 0;
-    n_checkpoints = 0;
-    n_overflows = 0;
-    n_conflict_stalls = 0;
-  }
+  { time = Array.make n_categories 0.0; counts = Array.make n_counters 0 }
 
 let add t cat dt = t.time.(category_index cat) <- t.time.(category_index cat) +. dt
 let get t cat = t.time.(category_index cat)
 let total t = Array.fold_left ( +. ) 0.0 t.time
+
+let incr t c = t.counts.(counter_index c) <- t.counts.(counter_index c) + 1
+let count t c = t.counts.(counter_index c)
 
 (* A rolled-back thread's useful work was wasted: reclassify. *)
 let work_to_wasted t =
@@ -82,11 +105,8 @@ let work_to_wasted t =
 
 let merge ~into src =
   Array.iteri (fun i v -> into.time.(i) <- into.time.(i) +. v) src.time;
-  into.n_forks <- into.n_forks + src.n_forks;
-  into.n_commits <- into.n_commits + src.n_commits;
-  into.n_rollbacks <- into.n_rollbacks + src.n_rollbacks;
-  into.n_loads <- into.n_loads + src.n_loads;
-  into.n_stores <- into.n_stores + src.n_stores;
-  into.n_checkpoints <- into.n_checkpoints + src.n_checkpoints;
-  into.n_overflows <- into.n_overflows + src.n_overflows;
-  into.n_conflict_stalls <- into.n_conflict_stalls + src.n_conflict_stalls
+  Array.iteri (fun i v -> into.counts.(i) <- into.counts.(i) + v) src.counts
+
+let to_assoc t = List.map (fun c -> (category_name c, get t c)) all_categories
+
+let counters_assoc t = List.map (fun c -> (counter_name c, count t c)) all_counters

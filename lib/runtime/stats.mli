@@ -2,7 +2,11 @@
     execution breakdowns: Fig. 8 (critical path: work / join / idle /
     fork / find CPU) and Fig. 9 (speculative path: wasted work /
     finalize / commit / validation / overflow / idle / fork /
-    find CPU). *)
+    find CPU).
+
+    The record is abstract so the counter layout can evolve without
+    breaking callers: read through {!get} / {!count} / {!to_assoc},
+    write through {!add} / {!incr}. *)
 
 type category =
   | Work
@@ -21,24 +25,37 @@ val category_index : category -> int
 val category_name : category -> string
 val all_categories : category list
 
-type t = {
-  time : float array;
-  mutable n_forks : int;
-  mutable n_commits : int;
-  mutable n_rollbacks : int;
-  mutable n_loads : int;
-  mutable n_stores : int;
-  mutable n_checkpoints : int;
-  mutable n_overflows : int;
-  mutable n_conflict_stalls : int;
-}
+(** Event counters, kept alongside the per-category times. *)
+type counter =
+  | Forks
+  | Commits
+  | Rollbacks
+  | Loads
+  | Stores
+  | Checkpoints
+  | Overflows
+  | Conflict_stalls
+
+val counter_name : counter -> string
+val all_counters : counter list
+
+type t
 
 val create : unit -> t
 val add : t -> category -> float -> unit
 val get : t -> category -> float
 val total : t -> float
 
+val incr : t -> counter -> unit
+val count : t -> counter -> int
+
 val work_to_wasted : t -> unit
 (** A rolled-back thread's useful work was wasted: reclassify. *)
 
 val merge : into:t -> t -> unit
+
+val to_assoc : t -> (string * float) list
+(** Category name to accumulated time, in {!all_categories} order —
+    the export the JSON trace sinks embed in [Retire] records. *)
+
+val counters_assoc : t -> (string * int) list

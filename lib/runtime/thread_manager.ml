@@ -2,19 +2,20 @@
    enforcement, speculation, synchronization with the tree-form mixed
    model (§IV-F), validation/commit/rollback and stack frame
    reconstruction (§IV-H).  All timing goes through the simulation
-   engine; the category accounting feeds Figures 8 and 9. *)
+   engine; the category accounting feeds Figures 8 and 9.
+
+   Every lifecycle transition and every accounting charge is also
+   reported to the trace sink configured in [Config.trace_sink]
+   (Mutls_obs.Trace); the [Report] module folds the charge stream back
+   into the same Fig. 8/9 breakdowns, so the trace is a faithful
+   superset of [Stats]. *)
 
 open Mutls_sim
+module Trace = Mutls_obs.Trace
 
 exception Spec_finished
 (* Raised inside a speculative thread's fiber after it has committed or
    rolled back; unwinds the interpreter back to the fiber body. *)
-
-(* Set MUTLS_DEBUG=1 for a fork/join/commit event trace on stderr, and
-   MUTLS_DEBUG2=1 for per-thread lifetime accounting. *)
-let debug = Sys.getenv_opt "MUTLS_DEBUG" <> None
-let debug2 = Sys.getenv_opt "MUTLS_DEBUG2" <> None
-
 
 type cpu_state = Idle | Busy of Thread_data.t
 
@@ -43,30 +44,65 @@ type t = {
   buffer_pool : Global_buffer.t array;
 }
 
+(* --- tracing --------------------------------------------------------- *)
+
+(* Call sites guard on [tracing] before building an event, so disabled
+   tracing allocates nothing on the hot paths. *)
+let tracing mgr = mgr.cfg.Config.trace_sink.Trace.enabled
+
+let emit mgr (td : Thread_data.t) event =
+  mgr.cfg.Config.trace_sink.Trace.emit
+    {
+      Trace.time = Engine.now mgr.engine;
+      thread = td.id;
+      rank = td.rank;
+      main = td.is_main;
+      event;
+    }
+
+(* The GlobalBuffer pool serves successive threads on a rank, so the
+   observability hooks are re-bound to each new occupant. *)
+let install_hooks mgr (td : Thread_data.t) =
+  Global_buffer.set_spill_hook td.gbuf
+    (Some (fun addr -> emit mgr td (Trace.Spill { addr })));
+  Local_buffer.set_frame_hook td.lbuf
+    (Some (fun ~push ~depth -> emit mgr td (Trace.Frame { push; depth })))
+
 let create (cfg : Config.t) engine mem =
   let main =
     Thread_data.create ~id:0 ~rank:0 ~fork_point:(-1) ~is_main:true
       ~buffer_slots:cfg.buffer_slots ~temp_slots:cfg.temp_slots
       ~max_locals:cfg.max_locals ()
   in
-  {
-    cfg;
-    engine;
-    mem;
-    addr_space = Address_space.create ();
-    cpus = Array.make (max 1 cfg.ncpus) Idle;
-    next_id = 1;
-    spec_order = [];
-    live_spec = 0;
-    rng = Rng.create cfg.seed;
-    main;
-    retired = [];
-    strides = Hashtbl.create 64;
-    buffer_pool =
-      Array.init (max 1 cfg.ncpus) (fun _ ->
-          Global_buffer.create ~slots:cfg.buffer_slots
-            ~temp_slots:cfg.temp_slots);
-  }
+  let mgr =
+    {
+      cfg;
+      engine;
+      mem;
+      addr_space = Address_space.create ();
+      cpus = Array.make (max 1 cfg.ncpus) Idle;
+      next_id = 1;
+      spec_order = [];
+      live_spec = 0;
+      rng = Rng.create cfg.seed;
+      main;
+      retired = [];
+      strides = Hashtbl.create 64;
+      buffer_pool =
+        Array.init (max 1 cfg.ncpus) (fun _ ->
+            Global_buffer.create ~slots:cfg.buffer_slots
+              ~temp_slots:cfg.temp_slots);
+    }
+  in
+  if tracing mgr then install_hooks mgr main;
+  mgr
+
+(* --- accessors ------------------------------------------------------- *)
+
+let main mgr = mgr.main
+let retired mgr = mgr.retired
+let cfg mgr = mgr.cfg
+let now mgr = Engine.now mgr.engine
 
 (* --- virtual-time accounting --------------------------------------- *)
 
@@ -75,7 +111,10 @@ let flush mgr (td : Thread_data.t) =
     Stats.add td.stats Stats.Work td.acc_cost;
     let c = td.acc_cost in
     td.acc_cost <- 0.0;
-    Engine.advance mgr.engine c
+    Engine.advance mgr.engine c;
+    if tracing mgr then
+      emit mgr td
+        (Trace.Charge { category = Stats.category_name Stats.Work; cost = c })
   end
 
 (* Accumulate interpreter work cost; yields to the scheduler once per
@@ -87,7 +126,16 @@ let tick mgr (td : Thread_data.t) c =
 let charge mgr (td : Thread_data.t) cat c =
   flush mgr td;
   Stats.add td.stats cat c;
-  Engine.advance mgr.engine c
+  Engine.advance mgr.engine c;
+  if tracing mgr then
+    emit mgr td (Trace.Charge { category = Stats.category_name cat; cost = c })
+
+(* Waiting time already accounted by the engine: record it in [cat]
+   without advancing the clock again. *)
+let charge_elapsed mgr (td : Thread_data.t) cat dt =
+  Stats.add td.stats cat dt;
+  if tracing mgr && dt > 0.0 then
+    emit mgr td (Trace.Charge { category = Stats.category_name cat; cost = dt })
 
 (* Join-waits on the critical path are "join"; on a speculative path
    the paper reports them as idle time. *)
@@ -143,6 +191,7 @@ let get_cpu mgr (td : Thread_data.t) ~model ~point =
       in
       mgr.next_id <- mgr.next_id + 1;
       child.parent <- Some td;
+      if tracing mgr then install_hooks mgr child;
       ignore (Local_buffer.push_frame child.lbuf);
       mgr.cpus.(rank) <- Busy child;
       Stack.push child td.children;
@@ -152,10 +201,9 @@ let get_cpu mgr (td : Thread_data.t) ~model ~point =
           List.filter (fun (t : Thread_data.t) -> t.alive) mgr.spec_order;
       mgr.spec_order <- child :: mgr.spec_order;
       mgr.live_spec <- mgr.live_spec + 1;
-      td.stats.n_forks <- td.stats.n_forks + 1;
-      if debug then
-        Printf.eprintf "[t=%.0f fork by=%d child=%d rank=%d]\n"
-          (Engine.now mgr.engine) td.id child.id rank;
+      Stats.incr td.stats Stats.Forks;
+      if tracing mgr then
+        emit mgr td (Trace.Fork { child = child.id; child_rank = rank; point });
       rank
 
 let busy_exn mgr rank =
@@ -198,6 +246,8 @@ let speculate mgr (parent : Thread_data.t) ~rank ~counter body =
   charge mgr parent Stats.Fork mgr.cfg.cost.fork;
   let child = busy_exn mgr rank in
   child.entry_counter <- counter;
+  if tracing mgr then
+    emit mgr parent (Trace.Speculate { child_rank = rank; counter });
   Engine.spawn mgr.engine (fun () ->
       let t0 = Engine.now mgr.engine in
       let committed =
@@ -212,18 +262,13 @@ let speculate mgr (parent : Thread_data.t) ~rank ~counter body =
       | Busy td when td.id = child.id -> mgr.cpus.(rank) <- Idle
       | _ -> ());
       mgr.live_spec <- mgr.live_spec - 1;
-      if debug2 then
-        Printf.eprintf "[child=%d born=%.0f died=%.0f work=%.0f idle=%.0f fork=%.0f find=%.0f commit=%b cc=%d]\n"
-          child.id t0 (Engine.now mgr.engine)
-          (Stats.get child.stats Stats.Work)
-          (Stats.get child.stats Stats.Idle)
-          (Stats.get child.stats Stats.Fork)
-          (Stats.get child.stats Stats.Find_cpu)
-          committed child.commit_counter;
+      let runtime = Engine.now mgr.engine -. t0 in
+      if tracing mgr then
+        emit mgr child
+          (Trace.Retire
+             { committed; runtime; stats = Stats.to_assoc child.stats });
       mgr.retired <-
-        { r_stats = child.stats;
-          r_runtime = Engine.now mgr.engine -. t0;
-          r_committed = committed }
+        { r_stats = child.stats; r_runtime = runtime; r_committed = committed }
         :: mgr.retired)
 
 (* --- speculative entry (stub side) ----------------------------------- *)
@@ -251,33 +296,39 @@ exception Validation_failed
 
 let validate_against_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
   let checked = ref 0 in
-  (try
-     Global_buffer.iter_read_words td.gbuf (fun addr observed mask ->
-         incr checked;
-         let actual = parent_view mgr parent addr in
-         match mask with
-         | None -> if actual <> observed then raise Validation_failed
-         | Some mark ->
-           (* skip locally overwritten bytes *)
-           for b = 0 to 7 do
-             if Bytes.get mark b <> '\xff' then begin
-               let shift = 8 * b in
-               let byte_of w = Int64.to_int (Int64.shift_right_logical w shift) land 0xff in
-               if byte_of actual <> byte_of observed then raise Validation_failed
-             end
-           done);
-     true
-   with Validation_failed -> false)
-  |> fun ok ->
+  let ok =
+    try
+      Global_buffer.iter_read_words td.gbuf (fun addr observed mask ->
+          incr checked;
+          let actual = parent_view mgr parent addr in
+          match mask with
+          | None -> if actual <> observed then raise Validation_failed
+          | Some mark ->
+            (* skip locally overwritten bytes *)
+            for b = 0 to 7 do
+              if Bytes.get mark b <> '\xff' then begin
+                let shift = 8 * b in
+                let byte_of w = Int64.to_int (Int64.shift_right_logical w shift) land 0xff in
+                if byte_of actual <> byte_of observed then raise Validation_failed
+              end
+            done);
+      true
+    with Validation_failed -> false
+  in
   charge mgr td Stats.Validation
     (float_of_int (max 1 !checked) *. mgr.cfg.cost.validate_word);
-  if ok && td.local_invalid then false
-  else if ok && mgr.cfg.rollback_probability > 0.0 then
-    Rng.next_float mgr.rng >= mgr.cfg.rollback_probability
-  else ok
+  let ok =
+    if ok && td.local_invalid then false
+    else if ok && mgr.cfg.rollback_probability > 0.0 then
+      Rng.next_float mgr.rng >= mgr.cfg.rollback_probability
+    else ok
+  in
+  if tracing mgr then emit mgr td (Trace.Validate { words = !checked; ok });
+  ok
 
 (* Commit the child's effects into the parent's world: main memory for
-   a non-speculative parent, the parent's buffers otherwise. *)
+   a non-speculative parent, the parent's buffers otherwise.  Returns
+   the number of words written. *)
 let commit_into_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
   let words = ref 0 in
   if parent.is_main then words := Global_buffer.commit td.gbuf mgr.mem
@@ -295,7 +346,8 @@ let commit_into_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
           parent so it rolls back (safe, conservative). *)
        parent.local_invalid <- true)
   end;
-  charge mgr td Stats.Commit (float_of_int (max 1 !words) *. mgr.cfg.cost.commit_word)
+  charge mgr td Stats.Commit (float_of_int (max 1 !words) *. mgr.cfg.cost.commit_word);
+  !words
 
 let finalize_buffers mgr (td : Thread_data.t) =
   let n = Global_buffer.finalize td.gbuf in
@@ -306,22 +358,29 @@ let finalize_buffers mgr (td : Thread_data.t) =
 let commit_or_rollback mgr (td : Thread_data.t) ~counter =
   let parent = match td.parent with Some p -> p | None -> mgr.main in
   let ok = validate_against_parent mgr td parent in
-  if (not ok) && debug then
-    Printf.eprintf "[rollback td=%d rank=%d local_invalid=%b reads=%d writes=%d]\n"
-      td.id td.rank td.local_invalid
-      (Global_buffer.read_set_size td.gbuf) (Global_buffer.write_set_size td.gbuf);
   if ok then begin
-    commit_into_parent mgr td parent;
+    let words = commit_into_parent mgr td parent in
     td.commit_counter <- counter;
     (Local_buffer.top td.lbuf).counter <- counter;
     finalize_buffers mgr td;
-    td.stats.n_commits <- td.stats.n_commits + 1;
+    Stats.incr td.stats Stats.Commits;
+    if tracing mgr then emit mgr td (Trace.Commit { words; counter });
     Engine.ivar_set mgr.engine td.valid_status Thread_data.commit
   end
   else begin
+    (* The Rollback record must precede the finalize charge: the Report
+       replay reclassifies work->wasted exactly where the runtime does,
+       and the finalize cost accrues after the reclassification. *)
     Stats.work_to_wasted td.stats;
+    if tracing mgr then
+      emit mgr td
+        (Trace.Rollback
+           {
+             reason =
+               (if td.local_invalid then Trace.Stale_local else Trace.Conflict);
+           });
     finalize_buffers mgr td;
-    td.stats.n_rollbacks <- td.stats.n_rollbacks + 1;
+    Stats.incr td.stats Stats.Rollbacks;
     Engine.ivar_set mgr.engine td.valid_status Thread_data.rollback
   end;
   raise Spec_finished
@@ -332,18 +391,17 @@ let commit_or_rollback mgr (td : Thread_data.t) ~counter =
 let rec nosync_subtree mgr (td : Thread_data.t) =
   (match Engine.ivar_peek td.sync_status with
   | None ->
-    if debug then
-      Printf.eprintf "[t=%.0f NOSYNC td=%d fork_point=%d work=%.0f]\n"
-        (Engine.now mgr.engine) td.id td.fork_point (Stats.get td.stats Stats.Work);
+    if tracing mgr then emit mgr td (Trace.Nosync { point = td.fork_point });
     Engine.ivar_set mgr.engine td.sync_status Thread_data.nosync
   | Some _ -> ());
   Stack.iter (nosync_subtree mgr) td.children
 
 (* Rollback without a waiting parent (NOSYNC, overflow, bad address). *)
-let rollback_self mgr (td : Thread_data.t) ~kill_subtree =
+let rollback_self mgr (td : Thread_data.t) ~reason ~kill_subtree =
   Stats.work_to_wasted td.stats;
+  if tracing mgr then emit mgr td (Trace.Rollback { reason });
   finalize_buffers mgr td;
-  td.stats.n_rollbacks <- td.stats.n_rollbacks + 1;
+  Stats.incr td.stats Stats.Rollbacks;
   if kill_subtree then Stack.iter (nosync_subtree mgr) td.children;
   (match Engine.ivar_peek td.valid_status with
   | None -> Engine.ivar_set mgr.engine td.valid_status Thread_data.rollback
@@ -351,14 +409,15 @@ let rollback_self mgr (td : Thread_data.t) ~kill_subtree =
   raise Spec_finished
 
 let rollback_overflow mgr (td : Thread_data.t) =
-  td.stats.n_overflows <- td.stats.n_overflows + 1;
+  Stats.incr td.stats Stats.Overflows;
   Stats.add td.stats Stats.Overflow 0.0;
-  rollback_self mgr td ~kill_subtree:false
+  if tracing mgr then emit mgr td Trace.Overflow;
+  rollback_self mgr td ~reason:Trace.Buffer_overflow ~kill_subtree:false
 
 (* --- speculative memory access --------------------------------------- *)
 
 let spec_load mgr (td : Thread_data.t) ~addr ~size =
-  td.stats.n_loads <- td.stats.n_loads + 1;
+  Stats.incr td.stats Stats.Loads;
   if Local_buffer.in_own_stack td.lbuf addr then begin
     tick mgr td mgr.cfg.cost.mem;
     let v = ref 0L in
@@ -382,11 +441,11 @@ let spec_load mgr (td : Thread_data.t) ~addr ~size =
   end
   else begin
     td.bad_access <- true;
-    rollback_self mgr td ~kill_subtree:false
+    rollback_self mgr td ~reason:Trace.Bad_access ~kill_subtree:false
   end
 
 let spec_store mgr (td : Thread_data.t) ~addr ~size v =
-  td.stats.n_stores <- td.stats.n_stores + 1;
+  Stats.incr td.stats Stats.Stores;
   if Local_buffer.in_own_stack td.lbuf addr then begin
     tick mgr td mgr.cfg.cost.mem;
     match size with
@@ -405,7 +464,7 @@ let spec_store mgr (td : Thread_data.t) ~addr ~size v =
   end
   else begin
     td.bad_access <- true;
-    rollback_self mgr td ~kill_subtree:false
+    rollback_self mgr td ~reason:Trace.Bad_access ~kill_subtree:false
   end
 
 (* --- synchronization points (speculative side) ------------------------ *)
@@ -416,23 +475,29 @@ let await_join mgr (td : Thread_data.t) ~counter =
   flush mgr td;
   let t0 = Engine.now mgr.engine in
   let v = Engine.wait mgr.engine td.sync_status in
-  Stats.add td.stats Stats.Idle (Engine.now mgr.engine -. t0);
+  charge_elapsed mgr td Stats.Idle (Engine.now mgr.engine -. t0);
   if v = Thread_data.sync then commit_or_rollback mgr td ~counter
-  else rollback_self mgr td ~kill_subtree:true
+  else rollback_self mgr td ~reason:Trace.Abandoned ~kill_subtree:true
 
 (* MUTLS_check_point: true = the parent wants to join; the caller saves
-   live locals and then calls MUTLS_commit. *)
+   live locals and then calls MUTLS_commit.  Only check points that
+   stop the thread are traced — "continue" polls are the hot path. *)
 let check_point mgr (td : Thread_data.t) ~counter =
-  td.stats.n_checkpoints <- td.stats.n_checkpoints + 1;
+  Stats.incr td.stats Stats.Checkpoints;
   tick mgr td mgr.cfg.cost.check_point;
   match Engine.ivar_peek td.sync_status with
-  | Some s when s = Thread_data.nosync -> rollback_self mgr td ~kill_subtree:true
-  | Some _ -> true
+  | Some s when s = Thread_data.nosync ->
+    if tracing mgr then emit mgr td (Trace.Check { counter; stop = true });
+    rollback_self mgr td ~reason:Trace.Abandoned ~kill_subtree:true
+  | Some _ ->
+    if tracing mgr then emit mgr td (Trace.Check { counter; stop = true });
+    true
   | None ->
     if Global_buffer.conflict_pending td.gbuf then begin
       (* hash conflict spilled to the temporary buffer: wait to be
          joined here (paper §IV-G2) *)
-      td.stats.n_conflict_stalls <- td.stats.n_conflict_stalls + 1;
+      Stats.incr td.stats Stats.Conflict_stalls;
+      if tracing mgr then emit mgr td (Trace.Check { counter; stop = true });
       await_join mgr td ~counter
     end
     else false
@@ -446,7 +511,10 @@ let terminate_point mgr (td : Thread_data.t) ~counter = await_join mgr td ~count
 
 (* MUTLS_barrier_point: stop only at the speculative entry level. *)
 let barrier_point mgr (td : Thread_data.t) ~counter =
-  if Local_buffer.depth td.lbuf <= 1 then (await_join mgr td ~counter : unit)
+  if Local_buffer.depth td.lbuf <= 1 then begin
+    if tracing mgr then emit mgr td (Trace.Barrier { counter });
+    (await_join mgr td ~counter : unit)
+  end
 
 (* MUTLS_ptr_int_cast: pointer/integer casts are only safe for values
    inside the registered global address space. *)
@@ -455,7 +523,10 @@ let ptr_int_cast mgr (td : Thread_data.t) ~counter value =
     Address_space.contains mgr.addr_space value
     || Local_buffer.in_own_stack td.lbuf value
   then ()
-  else await_join mgr td ~counter
+  else begin
+    if tracing mgr then emit mgr td (Trace.Barrier { counter });
+    await_join mgr td ~counter
+  end
 
 (* MUTLS_enter_point / MUTLS_return_point: explicit stack frame
    tracking for reconstruction (§IV-H). *)
@@ -486,12 +557,6 @@ let save_stackvar mgr (td : Thread_data.t) ~off ~addr ~size =
    point with the value speculated at fork time. *)
 let validate_local mgr (parent : Thread_data.t) ~rank ~point ~off value =
   charge mgr parent (join_cat parent) mgr.cfg.cost.per_local;
-  if debug then
-    Printf.eprintf "[t=%.0f validate by=%d off=%d val=%s]\n"
-      (Engine.now mgr.engine) parent.id off
-      (match value with
-      | Local_buffer.Vi n -> Int64.to_string n
-      | Local_buffer.Vf x -> string_of_float x);
   let found = ref None in
   Stack.iter
     (fun (c : Thread_data.t) ->
@@ -518,11 +583,6 @@ let validate_local mgr (parent : Thread_data.t) ~rank ~point ~off value =
    and their subtrees; inherit the joined child's children. *)
 let synchronize mgr (parent : Thread_data.t) ~point ~rank =
   charge mgr parent (join_cat parent) mgr.cfg.cost.sync_fixed;
-  if debug then
-    Printf.eprintf "[t=%.0f synchronize by=%d expect_rank=%d stack=%s]\n"
-      (Engine.now mgr.engine) parent.id rank
-      (String.concat ","
-         (List.rev (Stack.fold (fun acc (c : Thread_data.t) -> string_of_int c.id :: acc) [] parent.children)));
   let rec pop_until () =
     if Stack.is_empty parent.children then None
     else begin
@@ -547,7 +607,8 @@ let synchronize mgr (parent : Thread_data.t) ~point ~rank =
         Engine.ivar_set mgr.engine child.sync_status Thread_data.sync;
         let t0 = Engine.now mgr.engine in
         let v = Engine.wait mgr.engine child.valid_status in
-        Stats.add parent.stats (join_cat parent) (Engine.now mgr.engine -. t0);
+        charge_elapsed mgr parent (join_cat parent)
+          (Engine.now mgr.engine -. t0);
         v
     in
     (* Inherit grandchildren only now that the child has stopped: it
@@ -571,15 +632,10 @@ let synchronize mgr (parent : Thread_data.t) ~point ~rank =
            Stack.push g parent.children)
          !inherited
      end);
-    if debug then
-      Printf.eprintf "[t=%.0f sync parent=%d child=%d verdict=%s depth=%d bottom_counter=%d commit_counter=%d]\n"
-        (Engine.now mgr.engine) parent.id child.id
-        (if verdict = Thread_data.commit then "COMMIT" else "ROLLBACK")
-        (Local_buffer.depth child.lbuf)
-        (match Local_buffer.frames_bottom_up child.lbuf with
-         | b :: _ -> b.Local_buffer.counter | [] -> -1)
-        child.commit_counter;
-    if verdict = Thread_data.commit then begin
+    let committed = verdict = Thread_data.commit in
+    if tracing mgr then
+      emit mgr parent (Trace.Join { child = child.id; committed });
+    if committed then begin
       match Local_buffer.frames_bottom_up child.lbuf with
       | [] -> invalid_arg "Thread_manager.synchronize: no frames"
       | bottom :: rest ->
@@ -654,4 +710,5 @@ let sync_entry mgr (parent : Thread_data.t) =
 let shutdown mgr =
   flush mgr mgr.main;
   Stack.iter (nosync_subtree mgr) mgr.main.children;
-  Stack.clear mgr.main.children
+  Stack.clear mgr.main.children;
+  if tracing mgr then emit mgr mgr.main Trace.Run_end

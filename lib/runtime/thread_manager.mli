@@ -4,35 +4,34 @@
     (§IV-H).  All timing flows through the simulation engine; the
     per-category accounting feeds Figures 8 and 9.
 
-    Set [MUTLS_DEBUG=1] for a fork/join/commit event trace on stderr
-    and [MUTLS_DEBUG2=1] for per-thread lifetime accounting. *)
+    Every lifecycle transition and accounting charge is also reported
+    to the trace sink configured in [Config.trace_sink] (see
+    {!Mutls_obs.Trace}); with the default {!Mutls_obs.Trace.null} sink
+    tracing is disabled and costs nothing. *)
 
 exception Spec_finished
 (** Raised inside a speculative thread's fiber once it has committed or
     rolled back; unwinds the interpreter back to the fiber body. *)
 
-type cpu_state = Idle | Busy of Thread_data.t
-
 (** Record of a finished speculative thread, for the metrics. *)
 type retired = { r_stats : Stats.t; r_runtime : float; r_committed : bool }
 
-type t = {
-  cfg : Config.t;
-  engine : Mutls_sim.Engine.t;
-  mem : Memio.t;
-  addr_space : Address_space.t;
-  cpus : cpu_state array;
-  mutable next_id : int;
-  mutable spec_order : Thread_data.t list;
-  mutable live_spec : int;
-  rng : Mutls_sim.Rng.t;
-  main : Thread_data.t;
-  mutable retired : retired list;
-  strides : (int * int, int64) Hashtbl.t;
-  buffer_pool : Global_buffer.t array;
-}
+type t
 
 val create : Config.t -> Mutls_sim.Engine.t -> Memio.t -> t
+
+(** {1 Accessors} *)
+
+val main : t -> Thread_data.t
+(** The non-speculative thread. *)
+
+val retired : t -> retired list
+(** Finished speculative threads, newest first. *)
+
+val cfg : t -> Config.t
+
+val now : t -> float
+(** Current virtual time of the underlying engine. *)
 
 (** {1 Virtual-time accounting} *)
 
@@ -145,4 +144,5 @@ val sync_entry : t -> Thread_data.t -> int
 
 val shutdown : t -> unit
 (** NOSYNC any still-live speculative threads (their regions were
-    re-executed or never needed). *)
+    re-executed or never needed), then emit the final [Run_end] trace
+    record. *)

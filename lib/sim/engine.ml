@@ -18,11 +18,17 @@ type task =
   | Resume_unit of (unit, unit) Effect.Deep.continuation
   | Resume_int of (int, unit) Effect.Deep.continuation * int
 
+type trace_event = Trace_spawn | Trace_block | Trace_wake of int
+
 type t = {
   heap : task Heap.t;
   mutable clock : float;
   mutable blocked : int;
   mutable spawned : int;
+  mutable tracer : (float -> trace_event -> unit) option;
+  (* Observability hook: scheduler-level events (thread spawn, block on
+     a flag, flag set waking N waiters) stamped with the virtual time.
+     Installed by the TLS evaluator when tracing is on. *)
 }
 
 type _ Effect.t +=
@@ -31,9 +37,14 @@ type _ Effect.t +=
 
 exception Deadlock of int (* number of threads still blocked *)
 
-let create () = { heap = Heap.create (); clock = 0.0; blocked = 0; spawned = 0 }
+let create () =
+  { heap = Heap.create (); clock = 0.0; blocked = 0; spawned = 0; tracer = None }
 
 let now e = e.clock
+
+let set_tracer e tracer = e.tracer <- tracer
+
+let trace e ev = match e.tracer with Some f -> f e.clock ev | None -> ()
 
 let new_ivar () = { value = None; waiters = [] }
 
@@ -46,6 +57,7 @@ let ivar_set e iv v =
   | Some _ -> invalid_arg "Engine.ivar_set: already set"
   | None ->
     iv.value <- Some v;
+    trace e (Trace_wake (List.length iv.waiters));
     List.iter
       (fun k ->
         e.blocked <- e.blocked - 1;
@@ -56,6 +68,7 @@ let ivar_set e iv v =
 (* Schedule a new simulated thread at the current virtual time. *)
 let spawn e f =
   e.spawned <- e.spawned + 1;
+  trace e Trace_spawn;
   Heap.push e.heap e.clock (Start f)
 
 (* --- Operations usable only inside a simulated thread ------------- *)
@@ -90,6 +103,7 @@ let exec _e f =
                 match iv.value with
                 | Some v -> continue k v
                 | None ->
+                  trace e' Trace_block;
                   e'.blocked <- e'.blocked + 1;
                   iv.waiters <- k :: iv.waiters)
           | _ -> None);

@@ -24,6 +24,14 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time. *)
 
+(** Scheduler-level observability: thread spawned, thread blocked on a
+    flag, flag set waking [n] waiters. *)
+type trace_event = Trace_spawn | Trace_block | Trace_wake of int
+
+val set_tracer : t -> (float -> trace_event -> unit) option -> unit
+(** Install a hook receiving each {!trace_event} stamped with the
+    virtual time; [None] (the default) disables it. *)
+
 val new_ivar : unit -> ivar
 val ivar_peek : ivar -> int option
 

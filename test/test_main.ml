@@ -12,6 +12,7 @@ let () =
       ("fortran_more", Test_fortran_more.tests);
       ("workloads", Test_workloads.tests);
       ("extensions", Test_extensions.tests);
+      ("obs", Test_obs.tests);
       ("properties", Test_properties.tests);
       ("opt", Test_opt.tests);
       ("parse", Test_parse.tests);

@@ -1,0 +1,189 @@
+(* Observability layer: trace determinism, the bounded ring sink, JSON
+   round-trips, and the central cross-check — a Report folded from a
+   trace reproduces the in-process Stats/Metrics accounting. *)
+
+module Trace = Mutls_obs.Trace
+module Report = Mutls_obs.Report
+module Json = Mutls_obs.Json
+module Stats = Mutls_runtime.Stats
+
+(* Run one built-in benchmark under TLS with the given sink. *)
+let run_traced ?(ncpus = 8) ~sink name =
+  let w = Mutls.Workloads.find name in
+  let m = Mutls.compile Mutls.C (w.Mutls.Workloads.c_source ()) in
+  let t = Mutls.speculate m in
+  let cfg = { Mutls.Config.default with ncpus; trace_sink = sink } in
+  Mutls.run_tls cfg t
+
+let close_enough what a b =
+  let tol = 1e-6 *. (1.0 +. abs_float a +. abs_float b) in
+  if abs_float (a -. b) > tol then
+    Alcotest.failf "%s: %.12g <> %.12g" what a b
+
+(* --- determinism -------------------------------------------------------- *)
+
+(* Same seed, same program: the JSONL trace must be byte-identical. *)
+let test_jsonl_deterministic () =
+  let one () =
+    let b = Buffer.create 65536 in
+    let sink = Trace.jsonl (Buffer.add_string b) in
+    ignore (run_traced ~ncpus:4 ~sink "3x+1");
+    Trace.close sink;
+    Buffer.contents b
+  in
+  let a = one () and b = one () in
+  Alcotest.(check bool) "trace non-empty" true (String.length a > 0);
+  Alcotest.(check string) "byte-identical traces" a b
+
+(* --- ring buffer -------------------------------------------------------- *)
+
+let dummy_record i =
+  {
+    Trace.time = float_of_int i;
+    thread = i;
+    rank = 0;
+    main = false;
+    event = Trace.Charge { category = "work"; cost = 1.0 };
+  }
+
+let test_ring_drops_oldest () =
+  let ring = Trace.ring ~capacity:4 in
+  let sink = Trace.ring_sink ring in
+  for i = 0 to 5 do
+    Trace.emit sink (dummy_record i)
+  done;
+  Alcotest.(check int) "length capped" 4 (Trace.ring_length ring);
+  Alcotest.(check int) "two dropped" 2 (Trace.ring_dropped ring);
+  Alcotest.(check (list int)) "oldest dropped first" [ 2; 3; 4; 5 ]
+    (List.map (fun (r : Trace.record) -> r.Trace.thread)
+       (Trace.ring_records ring))
+
+(* --- serialisation round trips ------------------------------------------ *)
+
+let sample_records =
+  let mk ?(thread = 7) ?(rank = 3) ?(main = false) event =
+    { Trace.time = 123.5; thread; rank; main; event }
+  in
+  [
+    mk (Trace.Fork { child = 4; child_rank = 2; point = 1 });
+    mk (Trace.Speculate { child_rank = 2; counter = 9 });
+    mk (Trace.Check { counter = 9; stop = true });
+    mk (Trace.Validate { words = 42; ok = false });
+    mk (Trace.Commit { words = 17; counter = 5 });
+    mk (Trace.Rollback { reason = Trace.Conflict });
+    mk (Trace.Rollback { reason = Trace.Buffer_overflow });
+    mk (Trace.Nosync { point = 3 });
+    mk Trace.Overflow;
+    mk (Trace.Join { child = 4; committed = true });
+    mk (Trace.Barrier { counter = 2 });
+    mk
+      (Trace.Retire
+         { committed = true; runtime = 1e6; stats = [ ("work", 0.125) ] });
+    mk (Trace.Charge { category = "join"; cost = 0.25 });
+    mk (Trace.Spill { addr = 4096 });
+    mk (Trace.Frame { push = false; depth = 2 });
+    mk ~thread:(-1) ~rank:(-1) (Trace.Sched { what = "wake"; info = 3 });
+    mk ~thread:0 ~rank:0 ~main:true Trace.Run_end;
+  ]
+
+let test_jsonl_round_trip () =
+  List.iter
+    (fun r ->
+      let line = Trace.record_to_jsonl r in
+      let r' = Trace.record_of_jsonl line in
+      Alcotest.(check string)
+        ("round trip " ^ Trace.event_name r.Trace.event)
+        line
+        (Trace.record_to_jsonl r'))
+    sample_records
+
+let test_schema_error () =
+  Alcotest.check_raises "unknown event"
+    (Trace.Schema_error "unknown event \"bogus\"") (fun () ->
+      ignore
+        (Trace.record_of_jsonl
+           {|{"t":0,"tid":0,"rank":0,"main":true,"ev":"bogus","args":{}}|}))
+
+(* --- chrome sink -------------------------------------------------------- *)
+
+let test_chrome_valid_json () =
+  let b = Buffer.create 65536 in
+  let sink = Trace.chrome (Buffer.add_string b) in
+  ignore (run_traced ~ncpus:4 ~sink "3x+1");
+  Trace.close sink;
+  match Json.of_string (Buffer.contents b) with
+  | Json.Obj fields ->
+    (match List.assoc_opt "traceEvents" fields with
+    | Some (Json.List evs) ->
+      Alcotest.(check bool) "has events" true (List.length evs > 0)
+    | _ -> Alcotest.fail "no traceEvents array")
+  | _ -> Alcotest.fail "not a JSON object"
+
+(* --- report vs stats ---------------------------------------------------- *)
+
+(* The load-bearing cross-check: folding the trace must reconstruct the
+   same accounting the runtime's Stats counters hold, so Fig. 8/9
+   percentages computed from a trace file equal the --stats ones. *)
+let check_report_matches_stats name =
+  let ring = Trace.ring ~capacity:4_000_000 in
+  let r = run_traced ~ncpus:8 ~sink:(Trace.ring_sink ring) name in
+  Alcotest.(check int) (name ^ " nothing dropped") 0 (Trace.ring_dropped ring);
+  let rep = Report.of_records (Trace.ring_records ring) in
+  let metrics = Mutls.Metrics.compute ~ts:1.0 r in
+  let main_stats = r.Mutls.Eval.tmain_stats in
+  let spec_total =
+    List.fold_left
+      (fun acc (t : Mutls_runtime.Thread_manager.retired) ->
+        acc +. Stats.total t.r_stats)
+      0.0 r.Mutls.Eval.tretired
+  in
+  close_enough (name ^ " runtime") r.Mutls.Eval.tfinish rep.Report.runtime;
+  close_enough (name ^ " crit_total") (Stats.total main_stats)
+    rep.Report.crit_total;
+  close_enough (name ^ " spec_total") spec_total rep.Report.spec_total;
+  Alcotest.(check int) (name ^ " forks") metrics.Mutls.Metrics.forks
+    rep.Report.forks;
+  Alcotest.(check int) (name ^ " commits") metrics.Mutls.Metrics.commits
+    rep.Report.commits;
+  Alcotest.(check int) (name ^ " rollbacks") metrics.Mutls.Metrics.rollbacks
+    rep.Report.rollbacks;
+  let check_breakdown what expected got =
+    List.iter2
+      (fun (c1, v1) (c2, v2) ->
+        Alcotest.(check string) (what ^ " category order") c1 c2;
+        close_enough (Printf.sprintf "%s %s %s" name what c1) v1 v2)
+      expected got
+  in
+  check_breakdown "crit" metrics.Mutls.Metrics.crit_breakdown
+    rep.Report.crit_breakdown;
+  check_breakdown "spec" metrics.Mutls.Metrics.spec_breakdown
+    rep.Report.spec_breakdown
+
+let test_report_3x1 () = check_report_matches_stats "3x+1"
+let test_report_fft () = check_report_matches_stats "fft"
+
+(* And the same equality must hold through a JSONL file round trip. *)
+let test_report_via_jsonl () =
+  let b = Buffer.create 65536 in
+  let sink = Trace.jsonl (Buffer.add_string b) in
+  let r = run_traced ~ncpus:4 ~sink "3x+1" in
+  Trace.close sink;
+  let rep = Report.of_jsonl (Buffer.contents b) in
+  close_enough "crit_total via jsonl"
+    (Stats.total r.Mutls.Eval.tmain_stats)
+    rep.Report.crit_total
+
+let tests =
+  [
+    Alcotest.test_case "jsonl trace is deterministic" `Quick
+      test_jsonl_deterministic;
+    Alcotest.test_case "ring drops oldest" `Quick test_ring_drops_oldest;
+    Alcotest.test_case "jsonl round trip" `Quick test_jsonl_round_trip;
+    Alcotest.test_case "schema error" `Quick test_schema_error;
+    Alcotest.test_case "chrome sink is valid json" `Quick
+      test_chrome_valid_json;
+    Alcotest.test_case "report matches stats (3x+1)" `Quick test_report_3x1;
+    Alcotest.test_case "report matches stats (fft)" `Quick test_report_fft;
+    Alcotest.test_case "report via jsonl file format" `Quick
+      test_report_via_jsonl;
+  ]
