@@ -175,6 +175,79 @@ let micro () =
         results)
     [ test_write; test_read_hit; test_validate; test_commit ]
 
+(* --- perf: timed figure sweep, emits BENCH_interp.json ---------------- *)
+
+(* Wall-clock the quick figure sweep artifact by artifact and record the
+   numbers in BENCH_interp.json (methodology: EXPERIMENTS.md).  The
+   sweep shares one process, so the prepared-program and metrics caches
+   behave exactly as in a plain `quick` run. *)
+let perf () =
+  quick := true;
+  let sweep =
+    [
+      ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
+      ("fig7", fig7); ("coverage", coverage); ("fig8", fig8); ("fig9", fig9);
+      ("fig10", fig10); ("fig11", fig11);
+    ]
+  in
+  let runs =
+    List.map
+      (fun (n, f) ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        (n, Unix.gettimeofday () -. t0))
+      sweep
+  in
+  let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 runs in
+  heading "Perf: quick figure sweep (host wall-clock)";
+  List.iter (fun (n, s) -> Printf.printf "%-10s %7.2f s\n" n s) runs;
+  Printf.printf "%-10s %7.2f s\n" "total" total;
+  (* head-to-head: compiled engine vs the retained reference
+     interpreter on one representative TLS run *)
+  let w = W.find "3x+1" in
+  let m = Mutls_minic.Codegen.compile (w.W.c_source ()) in
+  let t = Mutls_speculator.Pass.run m in
+  let cfg = { Mutls_runtime.Config.default with ncpus = 16 } in
+  let prog = Mutls_interp.Eval.prepare t in
+  let time_runs f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 3 do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. 3.0
+  in
+  let compiled_s =
+    time_runs (fun () -> Mutls_interp.Eval.run_tls_prepared cfg prog)
+  in
+  let reference_s =
+    time_runs (fun () -> Mutls_interp.Reference.run_tls cfg t)
+  in
+  Printf.printf "engine head-to-head (3x+1 @ 16 CPUs, mean of 3):\n";
+  Printf.printf "  reference %7.2f s   compiled %7.2f s   speedup %.2fx\n"
+    reference_s compiled_s (reference_s /. compiled_s);
+  let oc = open_out "BENCH_interp.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"quick-figure-sweep\",\n\
+    \  \"engine\": \"compiled\",\n\
+    \  \"total_seconds\": %.3f,\n\
+    \  \"head_to_head\": { \"workload\": \"3x+1\", \"ncpus\": 16,\n\
+    \                     \"reference_seconds\": %.3f,\n\
+    \                     \"compiled_seconds\": %.3f },\n\
+    \  \"runs\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    total reference_s compiled_s
+    (String.concat ",\n"
+       (List.map
+          (fun (n, s) ->
+            Printf.sprintf "    { \"artifact\": %S, \"seconds\": %.3f }" n s)
+          runs));
+  close_out oc;
+  Printf.printf "[wrote BENCH_interp.json]\n"
+
 (* --- driver ----------------------------------------------------------- *)
 
 let artifacts =
@@ -195,6 +268,7 @@ let artifacts =
     ("ablation-vp", Mutls.Ablations.print_value_prediction);
     ("ablation-auto", Mutls.Ablations.print_auto);
     ("micro", micro);
+    ("perf", perf);
   ]
 
 let () =
@@ -211,7 +285,8 @@ let () =
   in
   let selected =
     match args with
-    | [] -> List.map fst artifacts
+    (* perf re-runs the figure sweep under a timer; only on request *)
+    | [] -> List.filter (fun n -> n <> "perf") (List.map fst artifacts)
     | names ->
       List.iter
         (fun n ->

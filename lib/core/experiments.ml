@@ -19,6 +19,7 @@ type lang = C | Fortran
 type prepared = {
   p_seq_cost : float;
   p_transformed : Mutls_mir.Ir.modul;
+  p_prog : Eval.prog;  (* transformed module, compiled once for all runs *)
   p_seq_output : string;
 }
 
@@ -46,6 +47,7 @@ let prepare lang (w : Workloads.t) =
     let p =
       { p_seq_cost = seq.Eval.scost;
         p_transformed = transformed;
+        p_prog = Eval.prepare transformed;
         p_seq_output = seq.Eval.soutput }
     in
     Hashtbl.replace prepared_cache key p;
@@ -79,7 +81,7 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
         rollback_probability = rollback;
         trace_sink }
     in
-    let r = Eval.run_tls cfg p.p_transformed in
+    let r = Eval.run_tls_prepared cfg p.p_prog in
     if rollback = 0.0 && r.Eval.toutput <> p.p_seq_output then
       raise
         (Divergence

@@ -1,12 +1,29 @@
-(** The MIR interpreter.  Runs either the untransformed module
-    (sequential baseline; MUTLS source intrinsics are no-ops) or the
-    speculator-pass output under the TLS runtime on the discrete-event
-    engine.  All MUTLS_* runtime-library calls are dispatched to
-    {!Mutls_runtime.Thread_manager}. *)
+(** Public entry points of the MIR execution engine.  Runs either the
+    untransformed module (sequential baseline; MUTLS source intrinsics
+    are no-ops) or the speculator-pass output under the TLS runtime on
+    the discrete-event engine.  All MUTLS_* runtime-library calls are
+    dispatched to {!Mutls_runtime.Thread_manager}.
+
+    Execution goes through the compiled engine ({!Compile}); the
+    retained tree-walking interpreter ({!Reference}) is observably
+    equivalent, which the engine tests enforce. *)
 
 exception Trap of string
 (** Runtime error in the interpreted program (division by zero, stack
-    overflow, unknown callee, executed [unreachable], ...). *)
+    overflow, unknown callee, executed [unreachable], ...).  The same
+    exception as {!Ops.Trap}, raised by both engines. *)
+
+(** {1 Prepared programs}
+
+    [prepare] compiles a module once; the [*_prepared] entry points
+    reuse the compiled form across runs (the figure sweeps run one
+    benchmark at many CPU counts).  A prepared program bakes in its
+    cost model and is transparently re-lowered when a run asks for a
+    different one. *)
+
+type prog
+
+val prepare : ?cost:Mutls_runtime.Config.cost -> Mutls_mir.Ir.modul -> prog
 
 (** {1 Sequential baseline} *)
 
@@ -27,6 +44,9 @@ val run_sequential :
   Mutls_mir.Ir.modul ->
   seq_result
 
+val run_sequential_prepared :
+  ?heap_size:int -> ?globals_size:int -> prog -> seq_result
+
 (** {1 TLS execution} *)
 
 type tls_result = {
@@ -44,3 +64,10 @@ val run_tls :
   Mutls_mir.Ir.modul ->
   tls_result
 (** Run the speculator-pass output on [cfg.ncpus] virtual CPUs. *)
+
+val run_tls_prepared :
+  ?heap_size:int ->
+  ?globals_size:int ->
+  Mutls_runtime.Config.t ->
+  prog ->
+  tls_result

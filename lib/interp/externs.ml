@@ -54,23 +54,40 @@ let f2 f args =
   | _ -> invalid_arg "extern: arity"
 
 (* Pure externs; I/O and allocation are handled by the evaluator, which
-   owns the output buffer and the heap. *)
-let eval_pure name args =
-  match (name, args) with
-  | ("abs" | "labs"), [ a ] -> Some (Ret (VI (Int64.abs (to_i64 a))))
-  | "min_i64", [ a; b ] -> Some (Ret (VI (min (to_i64 a) (to_i64 b))))
-  | "max_i64", [ a; b ] -> Some (Ret (VI (max (to_i64 a) (to_i64 b))))
-  | "fabs", _ -> Some (f1 Float.abs args)
-  | "sqrt", _ -> Some (f1 sqrt args)
-  | "sin", _ -> Some (f1 sin args)
-  | "cos", _ -> Some (f1 cos args)
-  | "tan", _ -> Some (f1 tan args)
-  | "exp", _ -> Some (f1 exp args)
-  | "log", _ -> Some (f1 log args)
-  | "floor", _ -> Some (f1 floor args)
-  | "ceil", _ -> Some (f1 ceil args)
-  | "pow", _ -> Some (f2 ( ** ) args)
-  | "fmod", _ -> Some (f2 Float.rem args)
-  | "fmin", _ -> Some (f2 Float.min args)
-  | "fmax", _ -> Some (f2 Float.max args)
+   owns the output buffer and the heap.  [lookup] resolves a name to
+   its implementation once, so the compiled engine binds the closure at
+   compile time; the implementation itself may still return [None] for
+   an argument shape it does not accept (the caller treats that like an
+   unknown extern). *)
+let lookup name : (v list -> outcome option) option =
+  match name with
+  | "abs" | "labs" ->
+    Some
+      (function [ a ] -> Some (Ret (VI (Int64.abs (to_i64 a)))) | _ -> None)
+  | "min_i64" ->
+    Some
+      (function
+      | [ a; b ] -> Some (Ret (VI (min (to_i64 a) (to_i64 b))))
+      | _ -> None)
+  | "max_i64" ->
+    Some
+      (function
+      | [ a; b ] -> Some (Ret (VI (max (to_i64 a) (to_i64 b))))
+      | _ -> None)
+  | "fabs" -> Some (fun args -> Some (f1 Float.abs args))
+  | "sqrt" -> Some (fun args -> Some (f1 sqrt args))
+  | "sin" -> Some (fun args -> Some (f1 sin args))
+  | "cos" -> Some (fun args -> Some (f1 cos args))
+  | "tan" -> Some (fun args -> Some (f1 tan args))
+  | "exp" -> Some (fun args -> Some (f1 exp args))
+  | "log" -> Some (fun args -> Some (f1 log args))
+  | "floor" -> Some (fun args -> Some (f1 floor args))
+  | "ceil" -> Some (fun args -> Some (f1 ceil args))
+  | "pow" -> Some (fun args -> Some (f2 ( ** ) args))
+  | "fmod" -> Some (fun args -> Some (f2 Float.rem args))
+  | "fmin" -> Some (fun args -> Some (f2 Float.min args))
+  | "fmax" -> Some (fun args -> Some (f2 Float.max args))
   | _ -> None
+
+let eval_pure name args =
+  match lookup name with Some f -> f args | None -> None

@@ -11,6 +11,12 @@ val is_safe : string -> bool
 val declarations : Mutls_mir.Ir.edecl list
 (** The declarations every front-end injects. *)
 
+val lookup : string -> (Value.v list -> outcome option) option
+(** Resolve a pure extern once by name, for compile-time binding.
+    The outer [None] means the name is not a pure extern (I/O,
+    allocation, or unknown); the implementation returns [None] for an
+    argument shape it does not accept. *)
+
 val eval_pure : string -> Value.v list -> outcome option
-(** Evaluate a pure extern; [None] for names the evaluator itself
-    handles (I/O, allocation) or unknown names. *)
+(** [lookup] and apply in one step; [None] for names the evaluator
+    itself handles (I/O, allocation) or unknown names. *)

@@ -1,0 +1,194 @@
+(* Scalar operator semantics shared by the compiled execution engine
+   (Compile) and the retained tree-walking reference interpreter
+   (Reference).  Keeping one definition of the arithmetic means the two
+   engines cannot drift on value semantics.
+
+   Sub-word results are kept canonical: every i1/i8/i32 payload is
+   zero-extended in its int64, so [truncate_to] after an operation is
+   what maintains the invariant.  Lshr/And/Or historically skipped the
+   truncation Add/Sub/Xor apply; on canonical inputs the missing mask
+   was a no-op, but it made the semantics input-dependent.  All integer
+   ops now truncate uniformly. *)
+
+open Value
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+(* --- direct (reference-style) evaluation ------------------------------ *)
+
+let eval_binop op ty a b =
+  let open Int64 in
+  match op with
+  | Mutls_mir.Ir.Add -> VI (truncate_to ty (add (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Sub -> VI (truncate_to ty (sub (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Mul -> VI (truncate_to ty (mul (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Sdiv ->
+    let d = to_i64 b in
+    if d = 0L then raise (Trap "division by zero")
+    else VI (truncate_to ty (div (sext_of ty (to_i64 a)) (sext_of ty d)))
+  | Mutls_mir.Ir.Srem ->
+    let d = to_i64 b in
+    if d = 0L then raise (Trap "remainder by zero")
+    else VI (truncate_to ty (rem (sext_of ty (to_i64 a)) (sext_of ty d)))
+  | Mutls_mir.Ir.And -> VI (truncate_to ty (logand (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Or -> VI (truncate_to ty (logor (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Xor -> VI (truncate_to ty (logxor (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Shl ->
+    VI (truncate_to ty (shift_left (to_i64 a) (to_int (to_i64 b) land 63)))
+  | Mutls_mir.Ir.Lshr ->
+    VI (truncate_to ty (shift_right_logical (to_i64 a) (to_int (to_i64 b) land 63)))
+  | Mutls_mir.Ir.Ashr ->
+    VI (truncate_to ty
+          (shift_right (sext_of ty (to_i64 a)) (to_int (to_i64 b) land 63)))
+  | Mutls_mir.Ir.Fadd -> VF (to_f64 a +. to_f64 b)
+  | Mutls_mir.Ir.Fsub -> VF (to_f64 a -. to_f64 b)
+  | Mutls_mir.Ir.Fmul -> VF (to_f64 a *. to_f64 b)
+  | Mutls_mir.Ir.Fdiv -> VF (to_f64 a /. to_f64 b)
+
+let eval_icmp op ty a b =
+  let x = sext_of ty (to_i64 a) and y = sext_of ty (to_i64 b) in
+  of_bool
+    (match op with
+    | Mutls_mir.Ir.Ieq -> x = y
+    | Mutls_mir.Ir.Ine -> x <> y
+    | Mutls_mir.Ir.Islt -> x < y
+    | Mutls_mir.Ir.Isle -> x <= y
+    | Mutls_mir.Ir.Isgt -> x > y
+    | Mutls_mir.Ir.Isge -> x >= y)
+
+let eval_fcmp op a b =
+  let x = to_f64 a and y = to_f64 b in
+  of_bool
+    (match op with
+    | Mutls_mir.Ir.Feq -> x = y
+    | Mutls_mir.Ir.Fne -> x <> y
+    | Mutls_mir.Ir.Flt -> x < y
+    | Mutls_mir.Ir.Fle -> x <= y
+    | Mutls_mir.Ir.Fgt -> x > y
+    | Mutls_mir.Ir.Fge -> x >= y)
+
+let eval_cast c from_ty to_ty v =
+  match c with
+  | Mutls_mir.Ir.Trunc -> VI (truncate_to to_ty (to_i64 v))
+  | Mutls_mir.Ir.Zext -> VI (to_i64 v)
+  | Mutls_mir.Ir.Sext -> VI (truncate_to to_ty (sext_of from_ty (to_i64 v)))
+  | Mutls_mir.Ir.Fptosi -> VI (truncate_to to_ty (Int64.of_float (to_f64 v)))
+  | Mutls_mir.Ir.Sitofp -> VF (Int64.to_float (sext_of from_ty (to_i64 v)))
+  | Mutls_mir.Ir.Ptrtoint | Mutls_mir.Ir.Inttoptr -> VI (to_i64 v)
+  | Mutls_mir.Ir.Bitcast -> (
+    match (from_ty, to_ty) with
+    | Mutls_mir.Ir.F64, _ -> VI (Int64.bits_of_float (to_f64 v))
+    | _, Mutls_mir.Ir.F64 -> VF (Int64.float_of_bits (to_i64 v))
+    | _, _ -> v)
+
+(* --- compile-time specializers ---------------------------------------- *)
+
+(* The compiled engine resolves (op, ty) once per instruction; the
+   returned closure carries no match on the hot path.  Wide types (i64,
+   ptr) skip the no-op mask entirely. *)
+
+let trunc_fn ty : int64 -> int64 =
+  match ty with
+  | Mutls_mir.Ir.I1 -> fun n -> Int64.logand n 1L
+  | Mutls_mir.Ir.I8 -> fun n -> Int64.logand n 0xFFL
+  | Mutls_mir.Ir.I32 -> fun n -> Int64.logand n 0xFFFFFFFFL
+  | _ -> fun n -> n
+
+let is_wide ty =
+  match ty with
+  | Mutls_mir.Ir.I1 | Mutls_mir.Ir.I8 | Mutls_mir.Ir.I32 -> false
+  | _ -> true
+
+let sext_fn ty : int64 -> int64 =
+  match ty with
+  | Mutls_mir.Ir.I1 -> fun n -> if Int64.logand n 1L = 1L then -1L else 0L
+  | Mutls_mir.Ir.I8 -> fun n -> Int64.shift_right (Int64.shift_left n 56) 56
+  | Mutls_mir.Ir.I32 -> fun n -> Int64.shift_right (Int64.shift_left n 32) 32
+  | _ -> fun n -> n
+
+let binop_fn op ty : v -> v -> v =
+  let open Int64 in
+  let tr = trunc_fn ty and sx = sext_fn ty in
+  match op with
+  | Mutls_mir.Ir.Add ->
+    if is_wide ty then fun a b -> VI (add (to_i64 a) (to_i64 b))
+    else fun a b -> VI (tr (add (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Sub ->
+    if is_wide ty then fun a b -> VI (sub (to_i64 a) (to_i64 b))
+    else fun a b -> VI (tr (sub (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Mul ->
+    if is_wide ty then fun a b -> VI (mul (to_i64 a) (to_i64 b))
+    else fun a b -> VI (tr (mul (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Sdiv ->
+    fun a b ->
+      let d = to_i64 b in
+      if d = 0L then raise (Trap "division by zero")
+      else VI (tr (div (sx (to_i64 a)) (sx d)))
+  | Mutls_mir.Ir.Srem ->
+    fun a b ->
+      let d = to_i64 b in
+      if d = 0L then raise (Trap "remainder by zero")
+      else VI (tr (rem (sx (to_i64 a)) (sx d)))
+  | Mutls_mir.Ir.And ->
+    (* the mask commutes with logand, so no tr even for sub-word *)
+    fun a b -> VI (logand (to_i64 a) (to_i64 b))
+  | Mutls_mir.Ir.Or ->
+    if is_wide ty then fun a b -> VI (logor (to_i64 a) (to_i64 b))
+    else fun a b -> VI (tr (logor (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Xor ->
+    if is_wide ty then fun a b -> VI (logxor (to_i64 a) (to_i64 b))
+    else fun a b -> VI (tr (logxor (to_i64 a) (to_i64 b)))
+  | Mutls_mir.Ir.Shl ->
+    fun a b -> VI (tr (shift_left (to_i64 a) (to_int (to_i64 b) land 63)))
+  | Mutls_mir.Ir.Lshr ->
+    fun a b ->
+      VI (tr (shift_right_logical (to_i64 a) (to_int (to_i64 b) land 63)))
+  | Mutls_mir.Ir.Ashr ->
+    fun a b -> VI (tr (shift_right (sx (to_i64 a)) (to_int (to_i64 b) land 63)))
+  | Mutls_mir.Ir.Fadd -> fun a b -> VF (to_f64 a +. to_f64 b)
+  | Mutls_mir.Ir.Fsub -> fun a b -> VF (to_f64 a -. to_f64 b)
+  | Mutls_mir.Ir.Fmul -> fun a b -> VF (to_f64 a *. to_f64 b)
+  | Mutls_mir.Ir.Fdiv -> fun a b -> VF (to_f64 a /. to_f64 b)
+
+let icmp_fn op ty : v -> v -> v =
+  let sx = sext_fn ty in
+  match op with
+  | Mutls_mir.Ir.Ieq -> fun a b -> of_bool (sx (to_i64 a) = sx (to_i64 b))
+  | Mutls_mir.Ir.Ine -> fun a b -> of_bool (sx (to_i64 a) <> sx (to_i64 b))
+  | Mutls_mir.Ir.Islt -> fun a b -> of_bool (sx (to_i64 a) < sx (to_i64 b))
+  | Mutls_mir.Ir.Isle -> fun a b -> of_bool (sx (to_i64 a) <= sx (to_i64 b))
+  | Mutls_mir.Ir.Isgt -> fun a b -> of_bool (sx (to_i64 a) > sx (to_i64 b))
+  | Mutls_mir.Ir.Isge -> fun a b -> of_bool (sx (to_i64 a) >= sx (to_i64 b))
+
+let fcmp_fn op : v -> v -> v =
+  match op with
+  | Mutls_mir.Ir.Feq -> fun a b -> of_bool (to_f64 a = to_f64 b)
+  | Mutls_mir.Ir.Fne -> fun a b -> of_bool (to_f64 a <> to_f64 b)
+  | Mutls_mir.Ir.Flt -> fun a b -> of_bool (to_f64 a < to_f64 b)
+  | Mutls_mir.Ir.Fle -> fun a b -> of_bool (to_f64 a <= to_f64 b)
+  | Mutls_mir.Ir.Fgt -> fun a b -> of_bool (to_f64 a > to_f64 b)
+  | Mutls_mir.Ir.Fge -> fun a b -> of_bool (to_f64 a >= to_f64 b)
+
+let cast_fn c from_ty to_ty : v -> v =
+  match c with
+  | Mutls_mir.Ir.Trunc ->
+    let tr = trunc_fn to_ty in
+    fun v -> VI (tr (to_i64 v))
+  | Mutls_mir.Ir.Zext -> fun v -> VI (to_i64 v)
+  | Mutls_mir.Ir.Sext ->
+    let tr = trunc_fn to_ty and sx = sext_fn from_ty in
+    fun v -> VI (tr (sx (to_i64 v)))
+  | Mutls_mir.Ir.Fptosi ->
+    let tr = trunc_fn to_ty in
+    fun v -> VI (tr (Int64.of_float (to_f64 v)))
+  | Mutls_mir.Ir.Sitofp ->
+    let sx = sext_fn from_ty in
+    fun v -> VF (Int64.to_float (sx (to_i64 v)))
+  | Mutls_mir.Ir.Ptrtoint | Mutls_mir.Ir.Inttoptr -> fun v -> VI (to_i64 v)
+  | Mutls_mir.Ir.Bitcast -> (
+    match (from_ty, to_ty) with
+    | Mutls_mir.Ir.F64, _ -> fun v -> VI (Int64.bits_of_float (to_f64 v))
+    | _, Mutls_mir.Ir.F64 -> fun v -> VF (Int64.float_of_bits (to_i64 v))
+    | _, _ -> fun v -> v)

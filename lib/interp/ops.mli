@@ -1,0 +1,40 @@
+(** Scalar operator semantics shared by the compiled execution engine
+    ({!Compile}) and the retained tree-walking reference interpreter
+    ({!Reference}), so the two engines cannot drift on arithmetic.
+
+    All integer operations keep the canonical zero-extended sub-word
+    representation: results are truncated to the operation type,
+    including [Lshr]/[And]/[Or] (which historically skipped the mask —
+    a no-op on canonical inputs, fixed here to be uniform). *)
+
+exception Trap of string
+(** Runtime error in the interpreted program. *)
+
+val trap : ('a, unit, string, 'b) format4 -> 'a
+(** [trap fmt ...] raises {!Trap} with a formatted message. *)
+
+(** {1 Direct evaluation} *)
+
+val eval_binop : Mutls_mir.Ir.binop -> Mutls_mir.Ir.ty -> Value.v -> Value.v -> Value.v
+val eval_icmp : Mutls_mir.Ir.icmp -> Mutls_mir.Ir.ty -> Value.v -> Value.v -> Value.v
+val eval_fcmp : Mutls_mir.Ir.fcmp -> Value.v -> Value.v -> Value.v
+val eval_cast :
+  Mutls_mir.Ir.cast -> Mutls_mir.Ir.ty -> Mutls_mir.Ir.ty -> Value.v -> Value.v
+
+(** {1 Compile-time specializers}
+
+    Resolve [(op, ty)] once; the returned closure matches nothing on
+    the hot path.  Each agrees pointwise with the corresponding
+    [eval_*] function (enforced by an exhaustive unit test). *)
+
+val binop_fn : Mutls_mir.Ir.binop -> Mutls_mir.Ir.ty -> Value.v -> Value.v -> Value.v
+val icmp_fn : Mutls_mir.Ir.icmp -> Mutls_mir.Ir.ty -> Value.v -> Value.v -> Value.v
+val fcmp_fn : Mutls_mir.Ir.fcmp -> Value.v -> Value.v -> Value.v
+val cast_fn :
+  Mutls_mir.Ir.cast -> Mutls_mir.Ir.ty -> Mutls_mir.Ir.ty -> Value.v -> Value.v
+
+(** {1 Specializer building blocks} *)
+
+val trunc_fn : Mutls_mir.Ir.ty -> int64 -> int64
+val sext_fn : Mutls_mir.Ir.ty -> int64 -> int64
+val is_wide : Mutls_mir.Ir.ty -> bool

@@ -1,0 +1,445 @@
+(* The retained tree-walking MIR interpreter, kept as the executable
+   semantics the compiled engine (Compile) is tested against: both
+   engines must agree on outputs, virtual costs, trace streams and trap
+   behaviour (test/test_engine.ml).  Scalar semantics are shared via
+   Ops so the two cannot drift on arithmetic.
+
+   This is the original interpreter, unchanged except that unknown
+   function names in block lookup now raise a clean Trap instead of
+   escaping as a raw Not_found. *)
+
+open Mutls_mir
+open Mutls_runtime
+open Value
+open Ops
+
+(* --- prepared program ------------------------------------------------ *)
+
+type prog = {
+  modul : Ir.modul;
+  funcs : (string, Ir.func) Hashtbl.t;
+  block_maps : (string, (string, Ir.block) Hashtbl.t) Hashtbl.t;
+}
+
+let prepare (modul : Ir.modul) =
+  let funcs = Hashtbl.create 32 in
+  let block_maps = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Ir.func) ->
+      Hashtbl.replace funcs f.fname f;
+      let bm = Hashtbl.create (2 * List.length f.blocks) in
+      List.iter (fun (b : Ir.block) -> Hashtbl.replace bm b.bname b) f.blocks;
+      Hashtbl.replace block_maps f.fname bm)
+    modul.funcs;
+  { modul; funcs; block_maps }
+
+let find_func prog name =
+  match Hashtbl.find_opt prog.funcs name with
+  | Some f -> f
+  | None -> trap "call to unknown function @%s" name
+
+let find_block prog fname bname =
+  match Hashtbl.find_opt prog.block_maps fname with
+  | None -> trap "call to unknown function @%s" fname
+  | Some bm -> (
+    match Hashtbl.find_opt bm bname with
+    | Some b -> b
+    | None -> trap "unknown block %s in @%s" bname fname)
+
+(* --- execution context ----------------------------------------------- *)
+
+type mode =
+  | Seq of seq_state
+  | Tls of Thread_manager.t * Thread_data.t
+
+and seq_state = { mutable seq_cost : float }
+
+type tctx = {
+  prog : prog;
+  mem : Memory.t;
+  mode : mode;
+  out : Buffer.t;
+  cost : Config.cost;
+  mutable sp : int;
+  stack_limit : int;
+}
+
+let tick ctx c =
+  match ctx.mode with
+  | Seq s -> s.seq_cost <- s.seq_cost +. c
+  | Tls (mgr, td) -> Thread_manager.tick mgr td c
+
+let mgr_td ctx =
+  match ctx.mode with
+  | Tls (mgr, td) -> (mgr, td)
+  | Seq _ -> trap "TLS runtime call in sequential mode"
+
+(* --- plain (non-speculative) memory access --------------------------- *)
+
+let plain_load ctx ty addr =
+  tick ctx ctx.cost.Config.mem;
+  match ty with
+  | Ir.I64 -> VI (Memory.read_i64 ctx.mem addr)
+  | Ir.Ptr -> VI (Memory.read_i64 ctx.mem addr)
+  | Ir.F64 -> VF (Memory.read_f64 ctx.mem addr)
+  | Ir.I32 -> VI (Memory.read_i32 ctx.mem addr)
+  | Ir.I8 | Ir.I1 -> VI (Memory.read_i8 ctx.mem addr)
+  | Ir.Void -> trap "load void"
+
+let plain_store ctx ty addr v =
+  tick ctx ctx.cost.Config.mem;
+  match ty with
+  | Ir.I64 | Ir.Ptr -> Memory.write_i64 ctx.mem addr (to_i64 v)
+  | Ir.F64 -> Memory.write_f64 ctx.mem addr (to_f64 v)
+  | Ir.I32 -> Memory.write_i32 ctx.mem addr (to_i64 v)
+  | Ir.I8 | Ir.I1 -> Memory.write_i8 ctx.mem addr (to_i64 v)
+  | Ir.Void -> trap "store void"
+
+(* --- runtime call dispatch ------------------------------------------- *)
+
+let funcref_of (operand : Ir.value) =
+  match operand with
+  | Ir.Funcref f -> f
+  | _ -> trap "MUTLS_speculate: expected a function reference"
+
+(* --- the interpreter -------------------------------------------------- *)
+
+let rec exec_function ctx (f : Ir.func) (args : v array) : v option =
+  let regs = Array.make (max 1 f.next_reg) (VI 0L) in
+  let sp0 = ctx.sp in
+  let eval_v (v : Ir.value) =
+    match v with
+    | Ir.Const c -> of_const c
+    | Ir.Reg r -> regs.(r)
+    | Ir.Arg i -> args.(i)
+    | Ir.Global g -> VI (Int64.of_int (Memory.symbol ctx.mem g))
+    | Ir.Funcref _ -> trap "function reference in value position"
+  in
+  let result = ref None in
+  let finished = ref false in
+  let cur = ref (Ir.entry_block f) in
+  let prev = ref "" in
+  while not !finished do
+    let b = !cur in
+    (* phi nodes: parallel assignment from the edge just taken *)
+    (match b.Ir.phis with
+    | [] -> ()
+    | phis ->
+      let vals =
+        List.map
+          (fun (p : Ir.phi) ->
+            match List.assoc_opt !prev p.incoming with
+            | Some v -> (p.pid, eval_v v)
+            | None -> trap "phi in %s has no incoming for %s" b.bname !prev)
+          phis
+      in
+      List.iter (fun (r, v) -> regs.(r) <- v) vals);
+    (* instructions *)
+    List.iter
+      (fun (i : Ir.instr) ->
+        (* TLS runtime calls charge their own model costs *)
+        (match i.kind with
+        | Ir.Call (n, _) when Ir.is_runtime_call n -> ()
+        | _ -> tick ctx ctx.cost.Config.instr);
+        match i.kind with
+        | Ir.Binop (op, ty, a, b') -> regs.(i.id) <- eval_binop op ty (eval_v a) (eval_v b')
+        | Ir.Icmp (op, ty, a, b') -> regs.(i.id) <- eval_icmp op ty (eval_v a) (eval_v b')
+        | Ir.Fcmp (op, a, b') -> regs.(i.id) <- eval_fcmp op (eval_v a) (eval_v b')
+        | Ir.Alloca size ->
+          let addr = Memory.align8 ctx.sp in
+          if addr + size > ctx.stack_limit then trap "stack overflow in @%s" f.fname;
+          ctx.sp <- addr + Memory.align8 size;
+          regs.(i.id) <- VI (Int64.of_int addr)
+        | Ir.Load (ty, a) -> regs.(i.id) <- plain_load ctx ty (to_addr (eval_v a))
+        | Ir.Store (ty, v, a) -> plain_store ctx ty (to_addr (eval_v a)) (eval_v v)
+        | Ir.Ptradd (a, o) ->
+          regs.(i.id) <- VI (Int64.add (to_i64 (eval_v a)) (to_i64 (eval_v o)))
+        | Ir.Select (c, a, b') ->
+          regs.(i.id) <- (if to_bool (eval_v c) then eval_v a else eval_v b')
+        | Ir.Cast (c, t1, t2, v) -> regs.(i.id) <- eval_cast c t1 t2 (eval_v v)
+        | Ir.Call (name, arg_vals) -> (
+          match exec_call ctx f name arg_vals eval_v with
+          | Some v -> if i.ity <> Ir.Void then regs.(i.id) <- v
+          | None -> ()))
+      b.Ir.insts;
+    (* terminator *)
+    tick ctx ctx.cost.Config.instr;
+    (match b.Ir.term with
+    | Ir.Ret v ->
+      result := Option.map eval_v v;
+      finished := true
+    | Ir.Br l ->
+      prev := b.bname;
+      cur := find_block ctx.prog f.fname l
+    | Ir.Cbr (c, l1, l2) ->
+      prev := b.bname;
+      cur := find_block ctx.prog f.fname (if to_bool (eval_v c) then l1 else l2)
+    | Ir.Switch (v, d, cases) ->
+      let x = to_i64 (eval_v v) in
+      let target =
+        match List.assoc_opt x cases with Some l -> l | None -> d
+      in
+      prev := b.bname;
+      cur := find_block ctx.prog f.fname target
+    | Ir.Unreachable -> trap "unreachable executed in @%s/%s" f.fname b.bname);
+    ()
+  done;
+  ctx.sp <- sp0;
+  !result
+
+(* Dispatch a call instruction.  [eval_v] evaluates operands in the
+   caller's frame; MUTLS_speculate needs the raw operand to extract a
+   function reference, so the operand list is passed unevaluated. *)
+and exec_call ctx (caller : Ir.func) name (operands : Ir.value list) eval_v : v option =
+  if Ir.is_runtime_call name then exec_runtime_call ctx name operands eval_v
+  else if Ir.is_source_intrinsic name then None (* sequential no-op *)
+  else
+    match Hashtbl.find_opt ctx.prog.funcs name with
+    | Some callee ->
+      tick ctx ctx.cost.Config.call;
+      let args = Array.of_list (List.map eval_v operands) in
+      exec_function ctx callee args
+    | None -> exec_extern ctx caller name (List.map eval_v operands)
+
+and exec_extern ctx _caller name args =
+  tick ctx ctx.cost.Config.call;
+  match name with
+  | "print_int" ->
+    Buffer.add_string ctx.out (Int64.to_string (to_i64 (List.hd args)));
+    None
+  | "print_float" ->
+    Buffer.add_string ctx.out (Printf.sprintf "%.6g" (to_f64 (List.hd args)));
+    None
+  | "print_char" ->
+    Buffer.add_char ctx.out (Char.chr (Int64.to_int (to_i64 (List.hd args)) land 0xff));
+    None
+  | "print_newline" ->
+    Buffer.add_char ctx.out '\n';
+    None
+  | "malloc" ->
+    let size = Int64.to_int (to_i64 (List.hd args)) in
+    let addr = Memory.malloc ctx.mem size in
+    (match ctx.mode with
+    | Tls (mgr, _) -> Thread_manager.register_range mgr addr (Memory.align8 (max 8 size))
+    | Seq _ -> ());
+    Some (VI (Int64.of_int addr))
+  | "free" ->
+    let addr = to_addr (List.hd args) in
+    (match Memory.free ctx.mem addr with
+    | Some size -> (
+      match ctx.mode with
+      | Tls (mgr, _) -> Thread_manager.unregister_range mgr addr size
+      | Seq _ -> ())
+    | None -> ());
+    None
+  | _ -> (
+    match Externs.eval_pure name args with
+    | Some (Externs.Ret v) -> Some v
+    | Some Externs.Ret_void -> None
+    | None -> trap "call to unknown extern @%s" name)
+
+and exec_runtime_call ctx name operands eval_v : v option =
+  let mgr, td = mgr_td ctx in
+  let arg n = eval_v (List.nth operands n) in
+  let int_arg n = Int64.to_int (to_i64 (arg n)) in
+  match name with
+  | "MUTLS_get_CPU" ->
+    let model = Config.model_of_int (int_arg 0) in
+    Some (of_int (Thread_manager.get_cpu mgr td ~model ~point:(int_arg 1)))
+  | "MUTLS_set_fork_reg_i64" | "MUTLS_set_fork_reg_f64" | "MUTLS_set_fork_reg_ptr"
+    ->
+    Thread_manager.set_fork_reg mgr td ~rank:(int_arg 0) ~off:(int_arg 1)
+      (to_runtime (arg 2));
+    None
+  | "MUTLS_set_fork_addr" ->
+    Thread_manager.set_fork_addr mgr td ~rank:(int_arg 0) ~off:(int_arg 1)
+      (int_arg 2);
+    None
+  | "MUTLS_validate_local_i64" | "MUTLS_validate_local_f64"
+  | "MUTLS_validate_local_ptr" ->
+    Thread_manager.validate_local mgr td ~rank:(int_arg 0) ~point:(int_arg 1)
+      ~off:(int_arg 2) (to_runtime (arg 3));
+    None
+  | "MUTLS_speculate" ->
+    let rank = int_arg 0 and counter = int_arg 1 in
+    let stub = funcref_of (List.nth operands 2) in
+    Thread_manager.speculate mgr td ~rank ~counter (fun child ->
+        run_speculative ctx child stub);
+    None
+  | "MUTLS_entry_counter" -> Some (of_int td.Thread_data.entry_counter)
+  | "MUTLS_get_fork_reg_i64" | "MUTLS_get_fork_reg_f64" | "MUTLS_get_fork_reg_ptr"
+    ->
+    Some (of_runtime (Thread_manager.get_fork_reg mgr td ~off:(int_arg 0)))
+  | "MUTLS_pick_stackaddr" ->
+    Some
+      (of_int
+         (Thread_manager.pick_stackaddr mgr td ~counter:(int_arg 0)
+            ~off:(int_arg 1) ~own_addr:(int_arg 2)))
+  | "MUTLS_load_i64" | "MUTLS_load_ptr" ->
+    Some (VI (Thread_manager.spec_load mgr td ~addr:(int_arg 0) ~size:8))
+  | "MUTLS_load_f64" ->
+    Some
+      (VF
+         (Int64.float_of_bits
+            (Thread_manager.spec_load mgr td ~addr:(int_arg 0) ~size:8)))
+  | "MUTLS_load_i32" ->
+    Some (VI (Thread_manager.spec_load mgr td ~addr:(int_arg 0) ~size:4))
+  | "MUTLS_load_i8" | "MUTLS_load_i1" ->
+    Some (VI (Thread_manager.spec_load mgr td ~addr:(int_arg 0) ~size:1))
+  | "MUTLS_store_i64" | "MUTLS_store_ptr" ->
+    Thread_manager.spec_store mgr td ~addr:(int_arg 1) ~size:8 (to_i64 (arg 0));
+    None
+  | "MUTLS_store_f64" ->
+    Thread_manager.spec_store mgr td ~addr:(int_arg 1) ~size:8
+      (Int64.bits_of_float (to_f64 (arg 0)));
+    None
+  | "MUTLS_store_i32" ->
+    Thread_manager.spec_store mgr td ~addr:(int_arg 1) ~size:4 (to_i64 (arg 0));
+    None
+  | "MUTLS_store_i8" | "MUTLS_store_i1" ->
+    Thread_manager.spec_store mgr td ~addr:(int_arg 1) ~size:1 (to_i64 (arg 0));
+    None
+  | "MUTLS_save_regvar_i64" | "MUTLS_save_regvar_f64" | "MUTLS_save_regvar_ptr"
+    ->
+    Thread_manager.save_regvar mgr td ~off:(int_arg 0) (to_runtime (arg 1));
+    None
+  | "MUTLS_save_stackvar" ->
+    Thread_manager.save_stackvar mgr td ~off:(int_arg 0) ~addr:(int_arg 1)
+      ~size:(int_arg 2);
+    None
+  | "MUTLS_check_point" ->
+    Some (of_bool (Thread_manager.check_point mgr td ~counter:(int_arg 0)))
+  | "MUTLS_commit" -> Thread_manager.commit mgr td ~counter:(int_arg 0)
+  | "MUTLS_terminate_point" ->
+    Thread_manager.terminate_point mgr td ~counter:(int_arg 0)
+  | "MUTLS_barrier_point" ->
+    Thread_manager.barrier_point mgr td ~counter:(int_arg 0);
+    None
+  | "MUTLS_return_point" ->
+    Thread_manager.return_point mgr td ~counter:(int_arg 0);
+    None
+  | "MUTLS_enter_point" ->
+    Thread_manager.enter_point mgr td ~counter:(int_arg 0);
+    None
+  | "MUTLS_ptr_int_cast" ->
+    Thread_manager.ptr_int_cast mgr td ~counter:(int_arg 0) (int_arg 1);
+    None
+  | "MUTLS_synchronize" ->
+    Some
+      (of_bool
+         (Thread_manager.synchronize mgr td ~point:(int_arg 0) ~rank:(int_arg 1)))
+  | "MUTLS_sync_counter" -> Some (of_int td.Thread_data.last_sync_counter)
+  | "MUTLS_sync_rank" -> Some (of_int td.Thread_data.last_sync_rank)
+  | "MUTLS_sync_entry" -> Some (of_int (Thread_manager.sync_entry mgr td))
+  | "MUTLS_bad_sync" ->
+    trap "synchronization counter %d has no restore target (rank %d)" (int_arg 0)
+      td.Thread_data.rank
+  | "MUTLS_restore_regvar_i64" | "MUTLS_restore_regvar_f64" ->
+    Some (of_runtime (Thread_manager.restore_regvar mgr td ~off:(int_arg 0) ~is_ptr:false))
+  | "MUTLS_restore_regvar_ptr" ->
+    Some (of_runtime (Thread_manager.restore_regvar mgr td ~off:(int_arg 0) ~is_ptr:true))
+  | "MUTLS_restore_stackvar" ->
+    Thread_manager.restore_stackvar mgr td ~off:(int_arg 0) ~addr:(int_arg 1)
+      ~size:(int_arg 2);
+    None
+  | _ -> trap "unknown runtime call @%s" name
+
+(* Body of a freshly speculated thread: a new context on the child's
+   stack slot, executing the stub function. *)
+and run_speculative parent_ctx (child : Thread_data.t) stub_name =
+  let mgr, _ = mgr_td parent_ctx in
+  let base, limit = Memory.stack_slot parent_ctx.mem child.Thread_data.rank in
+  Local_buffer.set_stack_range child.Thread_data.lbuf ~base ~limit;
+  let ctx =
+    {
+      parent_ctx with
+      mode = Tls (mgr, child);
+      sp = base;
+      stack_limit = limit;
+    }
+  in
+  let stub = find_func ctx.prog stub_name in
+  ignore (exec_function ctx stub [| of_int child.Thread_data.rank |])
+
+(* --- top-level entry points ------------------------------------------- *)
+
+(* Result records are shared with the public engine so tests can
+   compare the two directly. *)
+
+let run_sequential ?(cost = Config.default_cost) ?(heap_size = Eval.default_heap)
+    ?(globals_size = Eval.default_globals) (modul : Ir.modul) : Eval.seq_result =
+  let prog = prepare modul in
+  let mem =
+    Memory.create ~globals_size ~heap_size ~stack_size:Eval.default_stack
+      ~nstacks:1
+  in
+  ignore (Memory.install_globals mem modul);
+  let base, limit = Memory.stack_slot mem 0 in
+  let seq = { seq_cost = 0.0 } in
+  let ctx =
+    { prog; mem; mode = Seq seq; out = Buffer.create 256; cost; sp = base;
+      stack_limit = limit }
+  in
+  let main = find_func prog "main" in
+  let ret = exec_function ctx main [||] in
+  { Eval.sret = ret; soutput = Buffer.contents ctx.out; scost = seq.seq_cost }
+
+let run_tls ?(heap_size = Eval.default_heap)
+    ?(globals_size = Eval.default_globals) (cfg : Config.t) (modul : Ir.modul) :
+    Eval.tls_result =
+  let prog = prepare modul in
+  let mem =
+    Memory.create ~globals_size ~heap_size ~stack_size:Eval.default_stack
+      ~nstacks:(max 1 cfg.ncpus)
+  in
+  let globals_used = Memory.install_globals mem modul in
+  let engine = Mutls_sim.Engine.create () in
+  (* Forward engine-level scheduling events into the configured trace
+     sink (thread = -1: they belong to no TLS thread). *)
+  let sink = cfg.Config.trace_sink in
+  if sink.Mutls_obs.Trace.enabled then
+    Mutls_sim.Engine.set_tracer engine
+      (Some
+         (fun time ev ->
+           let what, info =
+             match ev with
+             | Mutls_sim.Engine.Trace_spawn -> ("spawn", 0)
+             | Mutls_sim.Engine.Trace_block -> ("block", 0)
+             | Mutls_sim.Engine.Trace_wake n -> ("wake", n)
+           in
+           sink.Mutls_obs.Trace.emit
+             {
+               Mutls_obs.Trace.time;
+               thread = -1;
+               rank = -1;
+               main = false;
+               event = Mutls_obs.Trace.Sched { what; info };
+             }));
+  let mgr = Thread_manager.create cfg engine (Memory.memio mem) in
+  (* Register the global address space: globals + every thread stack
+     (non-speculative stack variables are global per §IV-G1). *)
+  if globals_used > 0 then Thread_manager.register_range mgr mem.Memory.globals_base globals_used;
+  Thread_manager.register_range mgr mem.Memory.stack_base
+    (max 1 cfg.ncpus * Eval.default_stack);
+  let base, limit = Memory.stack_slot mem 0 in
+  let out = Buffer.create 256 in
+  let ctx =
+    { prog; mem; mode = Tls (mgr, Thread_manager.main mgr); out;
+      cost = cfg.cost; sp = base; stack_limit = limit }
+  in
+  let ret = ref None in
+  let finish = ref 0.0 in
+  let main_body () =
+    let main = find_func prog "main" in
+    ret := exec_function ctx main [||];
+    Thread_manager.shutdown mgr;
+    finish := Mutls_sim.Engine.now engine
+  in
+  ignore (Mutls_sim.Engine.run engine main_body);
+  {
+    Eval.tret = !ret;
+    toutput = Buffer.contents out;
+    tfinish = !finish;
+    tmain_stats = (Thread_manager.main mgr).Thread_data.stats;
+    tretired = Thread_manager.retired mgr;
+  }

@@ -1,0 +1,22 @@
+(** The retained tree-walking MIR interpreter — the executable
+    semantics the compiled engine ({!Compile}) is validated against.
+    Both engines must agree on program output, virtual cost, trace
+    streams and trap behaviour; test/test_engine.ml enforces this on
+    random programs and on the paper's figure workloads.
+
+    Scalar arithmetic is shared with the compiled engine via {!Ops},
+    so the two cannot drift on binop/icmp/fcmp/cast semantics. *)
+
+val run_sequential :
+  ?cost:Mutls_runtime.Config.cost ->
+  ?heap_size:int ->
+  ?globals_size:int ->
+  Mutls_mir.Ir.modul ->
+  Eval.seq_result
+
+val run_tls :
+  ?heap_size:int ->
+  ?globals_size:int ->
+  Mutls_runtime.Config.t ->
+  Mutls_mir.Ir.modul ->
+  Eval.tls_result

@@ -233,3 +233,117 @@ let is_source_intrinsic name =
 let runtime_prefix = "MUTLS_"
 let is_runtime_call name =
   String.length name >= 6 && String.sub name 0 6 = runtime_prefix
+
+(* ------------------------------------------------------------------ *)
+(* Runtime-call interning                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The interned form of a MUTLS_* runtime-library callee.  Typed name
+   families that dispatch identically (e.g. the three set_fork_reg_*
+   suffixes) collapse to one constructor; loads and stores carry their
+   access width in bytes. *)
+type runtime_fn =
+  | Rt_get_cpu
+  | Rt_set_fork_reg
+  | Rt_set_fork_addr
+  | Rt_validate_local
+  | Rt_speculate
+  | Rt_entry_counter
+  | Rt_get_fork_reg
+  | Rt_pick_stackaddr
+  | Rt_load of int (* access width in bytes *)
+  | Rt_load_f64
+  | Rt_store of int
+  | Rt_store_f64
+  | Rt_save_regvar
+  | Rt_save_stackvar
+  | Rt_check_point
+  | Rt_commit
+  | Rt_terminate_point
+  | Rt_barrier_point
+  | Rt_return_point
+  | Rt_enter_point
+  | Rt_ptr_int_cast
+  | Rt_synchronize
+  | Rt_sync_counter
+  | Rt_sync_rank
+  | Rt_sync_entry
+  | Rt_bad_sync
+  | Rt_restore_regvar of bool (* is_ptr *)
+  | Rt_restore_stackvar
+
+let runtime_fn_of_name = function
+  | "MUTLS_get_CPU" -> Some Rt_get_cpu
+  | "MUTLS_set_fork_reg_i64" | "MUTLS_set_fork_reg_f64"
+  | "MUTLS_set_fork_reg_ptr" ->
+    Some Rt_set_fork_reg
+  | "MUTLS_set_fork_addr" -> Some Rt_set_fork_addr
+  | "MUTLS_validate_local_i64" | "MUTLS_validate_local_f64"
+  | "MUTLS_validate_local_ptr" ->
+    Some Rt_validate_local
+  | "MUTLS_speculate" -> Some Rt_speculate
+  | "MUTLS_entry_counter" -> Some Rt_entry_counter
+  | "MUTLS_get_fork_reg_i64" | "MUTLS_get_fork_reg_f64"
+  | "MUTLS_get_fork_reg_ptr" ->
+    Some Rt_get_fork_reg
+  | "MUTLS_pick_stackaddr" -> Some Rt_pick_stackaddr
+  | "MUTLS_load_i64" | "MUTLS_load_ptr" -> Some (Rt_load 8)
+  | "MUTLS_load_f64" -> Some Rt_load_f64
+  | "MUTLS_load_i32" -> Some (Rt_load 4)
+  | "MUTLS_load_i8" | "MUTLS_load_i1" -> Some (Rt_load 1)
+  | "MUTLS_store_i64" | "MUTLS_store_ptr" -> Some (Rt_store 8)
+  | "MUTLS_store_f64" -> Some Rt_store_f64
+  | "MUTLS_store_i32" -> Some (Rt_store 4)
+  | "MUTLS_store_i8" | "MUTLS_store_i1" -> Some (Rt_store 1)
+  | "MUTLS_save_regvar_i64" | "MUTLS_save_regvar_f64"
+  | "MUTLS_save_regvar_ptr" ->
+    Some Rt_save_regvar
+  | "MUTLS_save_stackvar" -> Some Rt_save_stackvar
+  | "MUTLS_check_point" -> Some Rt_check_point
+  | "MUTLS_commit" -> Some Rt_commit
+  | "MUTLS_terminate_point" -> Some Rt_terminate_point
+  | "MUTLS_barrier_point" -> Some Rt_barrier_point
+  | "MUTLS_return_point" -> Some Rt_return_point
+  | "MUTLS_enter_point" -> Some Rt_enter_point
+  | "MUTLS_ptr_int_cast" -> Some Rt_ptr_int_cast
+  | "MUTLS_synchronize" -> Some Rt_synchronize
+  | "MUTLS_sync_counter" -> Some Rt_sync_counter
+  | "MUTLS_sync_rank" -> Some Rt_sync_rank
+  | "MUTLS_sync_entry" -> Some Rt_sync_entry
+  | "MUTLS_bad_sync" -> Some Rt_bad_sync
+  | "MUTLS_restore_regvar_i64" | "MUTLS_restore_regvar_f64" ->
+    Some (Rt_restore_regvar false)
+  | "MUTLS_restore_regvar_ptr" -> Some (Rt_restore_regvar true)
+  | "MUTLS_restore_stackvar" -> Some Rt_restore_stackvar
+  | _ -> None
+
+(* Callee classification, done once at compile time by the execution
+   engine instead of per call at run time.  Precedence mirrors the
+   interpreter's dispatch: runtime prefix, then source intrinsics, then
+   ordinary functions/externs. *)
+type callee_kind =
+  | Runtime of runtime_fn
+  | Runtime_unknown (* MUTLS_ prefix, but not a known runtime entry *)
+  | Intrinsic
+  | Other
+
+let classify_callee name =
+  if is_runtime_call name then
+    match runtime_fn_of_name name with
+    | Some fn -> Runtime fn
+    | None -> Runtime_unknown
+  else if is_source_intrinsic name then Intrinsic
+  else Other
+
+(* ------------------------------------------------------------------ *)
+(* Block indexing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let block_array f = Array.of_list f.blocks
+
+(* Name -> layout index.  Later duplicates shadow earlier ones, which
+   matches hash-based name lookup (replace keeps the last binding). *)
+let block_index_map f =
+  let tbl = Hashtbl.create (2 * List.length f.blocks) in
+  List.iteri (fun i (b : block) -> Hashtbl.replace tbl b.bname i) f.blocks;
+  tbl

@@ -167,3 +167,67 @@ val barrier_intrinsic : string
 val is_source_intrinsic : string -> bool
 val runtime_prefix : string
 val is_runtime_call : string -> bool
+
+(** {1 Runtime-call interning}
+
+    The compiled execution engine classifies callees once at compile
+    time; these types replace the per-call string prefix test and the
+    per-call name match on the hot path. *)
+
+(** Interned runtime-library entry points.  Typed name families that
+    dispatch identically (e.g. [MUTLS_set_fork_reg_i64/_f64/_ptr])
+    collapse to one constructor; loads and stores carry their access
+    width in bytes. *)
+type runtime_fn =
+  | Rt_get_cpu
+  | Rt_set_fork_reg
+  | Rt_set_fork_addr
+  | Rt_validate_local
+  | Rt_speculate
+  | Rt_entry_counter
+  | Rt_get_fork_reg
+  | Rt_pick_stackaddr
+  | Rt_load of int  (** access width in bytes *)
+  | Rt_load_f64
+  | Rt_store of int
+  | Rt_store_f64
+  | Rt_save_regvar
+  | Rt_save_stackvar
+  | Rt_check_point
+  | Rt_commit
+  | Rt_terminate_point
+  | Rt_barrier_point
+  | Rt_return_point
+  | Rt_enter_point
+  | Rt_ptr_int_cast
+  | Rt_synchronize
+  | Rt_sync_counter
+  | Rt_sync_rank
+  | Rt_sync_entry
+  | Rt_bad_sync
+  | Rt_restore_regvar of bool  (** [is_ptr] *)
+  | Rt_restore_stackvar
+
+val runtime_fn_of_name : string -> runtime_fn option
+(** [None] for names that are not known runtime entry points (including
+    unknown [MUTLS_]-prefixed names). *)
+
+(** Callee classification with the interpreter's dispatch precedence:
+    runtime prefix first, then source intrinsics, then everything
+    else. *)
+type callee_kind =
+  | Runtime of runtime_fn
+  | Runtime_unknown  (** [MUTLS_] prefix, but not a known runtime entry *)
+  | Intrinsic
+  | Other
+
+val classify_callee : string -> callee_kind
+
+(** {1 Block indexing} *)
+
+val block_array : func -> block array
+(** Blocks in layout order; index 0 is the entry block. *)
+
+val block_index_map : func -> (string, int) Hashtbl.t
+(** Name [->] layout index.  Later duplicates shadow earlier ones,
+    matching hash-based name lookup. *)

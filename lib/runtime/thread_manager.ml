@@ -123,6 +123,28 @@ let tick mgr (td : Thread_data.t) c =
   td.acc_cost <- td.acc_cost +. c;
   if td.acc_cost >= mgr.cfg.quantum then flush mgr td
 
+(* Batched [tick] for the compiled engine: [n] pending per-op costs of
+   a straight-line segment.  Replaying them from the current
+   accumulator tells whether any per-op [tick] would have flushed; if
+   none would, the final accumulator is committed in one write and the
+   per-op calls are skipped — same float additions in the same order,
+   so the committed value is bit-identical, and with no flush there is
+   no scheduler yield and no Charge event to reorder.  Otherwise
+   nothing is committed and the caller interleaves per-op [tick]s with
+   execution exactly like the reference engine. *)
+let tick_batch mgr (td : Thread_data.t) (costs : float array) n =
+  let q = mgr.cfg.quantum in
+  let acc = ref td.acc_cost in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    acc := !acc +. Array.unsafe_get costs !i;
+    if !acc >= q then ok := false;
+    incr i
+  done;
+  if !ok then td.acc_cost <- !acc;
+  !ok
+
 let charge mgr (td : Thread_data.t) cat c =
   flush mgr td;
   Stats.add td.stats cat c;

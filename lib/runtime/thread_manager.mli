@@ -40,6 +40,17 @@ val tick : t -> Thread_data.t -> float -> unit
 (** Accumulate interpreter work cost; yields to the scheduler once per
     quantum. *)
 
+val tick_batch : t -> Thread_data.t -> float array -> int -> bool
+(** [tick_batch mgr td costs n] attempts to account the first [n]
+    entries of [costs] (a straight-line segment's per-op costs) in one
+    accumulator write.  Returns [true] on success — replaying the
+    additions never reached the quantum, so the equivalent per-{!tick}
+    sequence would not have flushed and skipping it is unobservable
+    (bit-identical accumulator, no yield, no trace event).  Returns
+    [false] without changing anything when a flush would occur; the
+    caller must then fall back to per-op {!tick} calls interleaved with
+    execution. *)
+
 val charge : t -> Thread_data.t -> Stats.category -> float -> unit
 
 (** {1 Address space} *)

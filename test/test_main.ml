@@ -4,6 +4,7 @@ let () =
       ("sim", Test_sim.tests);
       ("mir", Test_mir.tests);
       ("interp", Test_interp.tests);
+      ("engine", Test_engine.tests);
       ("speculator", Test_speculator.tests);
       ("runtime", Test_runtime.tests);
       ("end_to_end", Test_end_to_end.tests);
