@@ -1,0 +1,147 @@
+(* CI perf-regression guard.
+
+     dune exec bench/check_regression.exe -- BASELINE FRESH [--tolerance T]
+
+   Compares a freshly generated BENCH_interp.json (bench/main.exe --
+   perf) against the committed baseline and exits non-zero when the
+   fresh numbers regress beyond the tolerance.  Wall-clock on shared CI
+   runners is noisy, so the default tolerance is deliberately generous
+   (a regression must be a slowdown of more than [tolerance] relative
+   to baseline to fail) and a missing baseline only warns — that is the
+   bootstrap path for establishing the first baseline artifact.
+
+   Checks, in order:
+     - total_seconds of the quick figure sweep;
+     - each per-artifact entry of "runs" present in both files;
+     - the head-to-head invariant: the compiled engine must not be
+       slower than the reference interpreter (machine-independent —
+       both numbers come from the same host, so runner speed cancels). *)
+
+module Json = Mutls.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let num path j key =
+  match Option.bind (Json.member key j) Json.to_float with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: missing numeric field %S" path key)
+
+let runs_of path j =
+  match Json.member "runs" j with
+  | Some (Json.List rs) ->
+    List.filter_map
+      (fun r ->
+        match
+          ( Option.bind (Json.member "artifact" r) Json.to_str,
+            Option.bind (Json.member "seconds" r) Json.to_float )
+        with
+        | Some a, Some s -> Some (a, s)
+        | _ -> None)
+      rs
+  | _ -> failwith (Printf.sprintf "%s: missing \"runs\" array" path)
+
+let () =
+  let baseline = ref None and fresh = ref None and tolerance = ref 0.5 in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: t :: rest ->
+      (try tolerance := float_of_string t
+       with _ -> failwith ("bad --tolerance " ^ t));
+      parse rest
+    | a :: rest ->
+      (match (!baseline, !fresh) with
+      | None, _ -> baseline := Some a
+      | Some _, None -> fresh := Some a
+      | Some _, Some _ -> failwith ("unexpected argument " ^ a));
+      parse rest
+  in
+  (try parse (List.tl (Array.to_list Sys.argv))
+   with Failure e ->
+     Printf.eprintf "check_regression: %s\n" e;
+     exit 2);
+  let baseline_path, fresh_path =
+    match (!baseline, !fresh) with
+    | Some b, Some f -> (b, f)
+    | _ ->
+      Printf.eprintf
+        "usage: check_regression BASELINE FRESH [--tolerance T]\n";
+      exit 2
+  in
+  if not (Sys.file_exists baseline_path) then begin
+    (* bootstrap: no baseline committed yet — report, don't gate *)
+    Printf.printf
+      "check_regression: no baseline at %s; skipping (commit a baseline to \
+       arm the gate)\n"
+      baseline_path;
+    exit 0
+  end;
+  let load path =
+    try Json.of_string (read_file path) with
+    | Sys_error e ->
+      Printf.eprintf "check_regression: %s\n" e;
+      exit 2
+    | Json.Parse_error e ->
+      Printf.eprintf "check_regression: %s: %s\n" path e;
+      exit 2
+  in
+  let base = load baseline_path and cur = load fresh_path in
+  let failures = ref 0 in
+  (* a fixed absolute slack on top of the relative tolerance: cached
+     artifacts legitimately measure ~0.000 s in the baseline, and any
+     nonzero fresh time would trip a purely relative limit *)
+  let slack = 0.5 in
+  let check name base_v cur_v =
+    let limit = (base_v *. (1.0 +. !tolerance)) +. slack in
+    let verdict =
+      if cur_v > limit then begin
+        incr failures;
+        "REGRESSION"
+      end
+      else "ok"
+    in
+    Printf.printf "  %-12s baseline %8.3f s   fresh %8.3f s   limit %8.3f s   %s\n"
+      name base_v cur_v limit verdict
+  in
+  (try
+     Printf.printf "perf regression check (tolerance +%.0f%%):\n"
+       (100.0 *. !tolerance);
+     check "total" (num baseline_path base "total_seconds")
+       (num fresh_path cur "total_seconds");
+     let base_runs = runs_of baseline_path base
+     and cur_runs = runs_of fresh_path cur in
+     List.iter
+       (fun (artifact, base_s) ->
+         match List.assoc_opt artifact cur_runs with
+         | Some cur_s -> check artifact base_s cur_s
+         | None ->
+           incr failures;
+           Printf.printf "  %-12s missing from %s   REGRESSION\n" artifact
+             fresh_path)
+       base_runs;
+     (* the head-to-head ratio is host-independent: both engines ran on
+        the machine that produced the fresh file *)
+     (match Json.member "head_to_head" cur with
+     | Some h ->
+       let reference = num fresh_path h "reference_seconds"
+       and compiled = num fresh_path h "compiled_seconds" in
+       let ok = compiled <= reference *. (1.0 +. !tolerance) in
+       if not ok then incr failures;
+       Printf.printf
+         "  %-12s reference %7.3f s   compiled %7.3f s   %s\n" "head-to-head"
+         reference compiled
+         (if ok then "ok" else "REGRESSION (compiled engine slower)")
+     | None -> ())
+   with Failure e ->
+     Printf.eprintf "check_regression: %s\n" e;
+     exit 2);
+  if !failures > 0 then begin
+    Printf.printf "check_regression: %d regression(s) beyond tolerance\n"
+      !failures;
+    exit 1
+  end;
+  print_string "check_regression: no regressions\n"

@@ -5,7 +5,10 @@
      mutlsc dump prog.mc --transformed      print MIR before/after the pass
      mutlsc bench 3x+1 --cpus 64            run a built-in benchmark
      mutlsc bench fft --trace t.jsonl       write an event trace
-     mutlsc report t.jsonl                  fold a trace into Fig. 8/9 *)
+     mutlsc bench fft --profile p.txt       profile the run while it executes
+     mutlsc report t.jsonl                  fold a trace into Fig. 8/9
+     mutlsc profile t.jsonl                 per-fork-point payoff, hot
+                                            addresses, rank utilization *)
 
 open Cmdliner
 
@@ -130,10 +133,54 @@ let make_cfg cpus model rollback sink =
     rollback_probability = rollback;
     trace_sink = sink }
 
+(* --- profile output ----------------------------------------------------- *)
+
+let profile_arg =
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
+         ~doc:"Profile the run with the streaming aggregator and write the \
+               result to $(docv): $(i,.json) files get the machine-readable \
+               profile, anything else the text tables (see \
+               $(b,mutlsc profile)).")
+
+let write_profile path p =
+  let oc = open_out path in
+  (if Filename.check_suffix path ".json" then
+     output_string oc (Mutls.Json.to_string (Mutls.Profile.to_json p) ^ "\n")
+   else begin
+     let fmt = Format.formatter_of_out_channel oc in
+     Mutls.Profile.pp fmt p;
+     Format.pp_print_flush fmt ()
+   end);
+  close_out oc
+
+(* --- lenient trace input ------------------------------------------------- *)
+
+(* Clean diagnostics for the trace-consuming subcommands: an empty file
+   and non-JSONL input are errors; a partially malformed trace (e.g. a
+   truncated last line from a killed run) folds the good records and
+   warns about the skipped ones. *)
+let fold_trace_file feed path =
+  let stats = Mutls.Report.fold_jsonl_file_lenient feed path in
+  if stats.Mutls.Report.lines = 0 then
+    Error (Printf.sprintf "%s: empty trace (no records)" path)
+  else if stats.Mutls.Report.parsed = 0 then
+    Error
+      (Printf.sprintf "%s: not a JSON Lines trace (%s)" path
+         (Option.value stats.Mutls.Report.first_error
+            ~default:"no parseable line"))
+  else begin
+    if stats.Mutls.Report.skipped > 0 then
+      Printf.eprintf
+        "mutlsc: warning: skipped %d malformed line(s) of %d (first: %s)\n%!"
+        stats.Mutls.Report.skipped stats.Mutls.Report.lines
+        (Option.value stats.Mutls.Report.first_error ~default:"?");
+    Ok ()
+  end
+
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file lang cpus model rollback seq stats optimize trace =
+  let run file lang cpus model rollback seq stats optimize trace profile =
     try
       let source = read_file file in
       let m = compile_input ~optimize file lang source in
@@ -144,12 +191,23 @@ let run_cmd =
         `Ok ()
       end
       else begin
-        let sink = make_sink trace in
+        (* the profiler is a streaming sink tee'd beside the trace file
+           sink: no trace is buffered to produce the profile *)
+        let prof = Option.map (fun _ -> Mutls.Profile.create ()) profile in
+        let sink =
+          match prof with
+          | None -> make_sink trace
+          | Some agg ->
+            Mutls.Trace.tee [ make_sink trace; Mutls.Profile.sink agg ]
+        in
         let cfg = make_cfg cpus model rollback sink in
         let seq_r = Mutls.run_sequential ~cost:cfg.Mutls.Config.cost m in
         let t = Mutls.speculate m in
         let r = Mutls.run_tls cfg t in
         Mutls.Trace.close sink;
+        (match (profile, prof) with
+        | Some path, Some agg -> write_profile path (Mutls.Profile.finish agg)
+        | _ -> ());
         print_string r.Mutls.Eval.toutput;
         let metrics = Mutls.Metrics.compute ~ts:seq_r.Mutls.Eval.scost r in
         Printf.printf "[TLS on %d CPUs: %.0f cycles, speedup %.2f]\n" cpus
@@ -171,7 +229,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ file_arg $ lang_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ seq_arg $ stats_arg $ opt_arg $ trace_arg))
+       $ seq_arg $ stats_arg $ opt_arg $ trace_arg $ profile_arg))
 
 (* --- dump --------------------------------------------------------------- *)
 
@@ -198,14 +256,16 @@ let dump_cmd =
 (* --- bench -------------------------------------------------------------- *)
 
 let bench_cmd =
-  let bench name cpus model rollback stats trace =
+  let bench name cpus model rollback stats trace profile =
     try
       let w = Mutls.Workloads.find name in
       let sink = make_sink trace in
       let metrics =
         Mutls.Experiments.run
           ~model_override:(Option.map model_conv model)
-          ~rollback ~trace_sink:sink ~ncpus:cpus w
+          ~rollback ~trace_sink:sink
+          ?profile:(Option.map (fun path -> write_profile path) profile)
+          ~ncpus:cpus w
       in
       Mutls.Trace.close sink;
       Format.printf "%s on %d CPUs: %a@." name cpus Mutls.Metrics.pp metrics;
@@ -227,23 +287,29 @@ let bench_cmd =
     Term.(
       ret
         (const bench $ name_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ stats_arg $ trace_arg))
+       $ stats_arg $ trace_arg $ profile_arg))
 
 (* --- report ------------------------------------------------------------- *)
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+         ~doc:"A JSON Lines trace written by $(b,--trace FILE.jsonl).")
 
 let report_cmd =
   let report file =
     try
-      let r = Mutls.Report.of_jsonl_file file in
-      Format.printf "%a@." Mutls.Report.pp r;
-      `Ok ()
+      (* report needs the records in order but not all at once; the
+         accumulation keeps `mutlsc report` working on traces with
+         damaged lines (e.g. truncated by a killed run) *)
+      let acc = ref [] in
+      match fold_trace_file (fun r -> acc := r :: !acc) file with
+      | Error e -> `Error (false, e)
+      | Ok () ->
+        let r = Mutls.Report.of_records (List.rev !acc) in
+        Format.printf "%a@." Mutls.Report.pp r;
+        `Ok ()
     with
-    | Mutls.Trace.Schema_error e -> `Error (false, "trace error: " ^ e)
     | Sys_error e -> `Error (false, e)
-  in
-  let trace_file_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
-           ~doc:"A JSON Lines trace written by $(b,--trace FILE.jsonl).")
   in
   let info =
     Cmd.info "report"
@@ -251,9 +317,63 @@ let report_cmd =
   in
   Cmd.v info Term.(ret (const report $ trace_file_arg))
 
+(* --- profile ------------------------------------------------------------- *)
+
+let profile_cmd =
+  let profile file json threshold min_forks top =
+    try
+      let agg = Mutls.Profile.create () in
+      match fold_trace_file (Mutls.Profile.feed agg) file with
+      | Error e -> `Error (false, e)
+      | Ok () ->
+        let p = Mutls.Profile.finish agg in
+        (if json then
+           print_string
+             (Mutls.Json.to_string
+                (Mutls.Profile.to_json ~threshold ~min_forks p)
+             ^ "\n")
+         else
+           Format.printf "%a@."
+             (fun fmt -> Mutls.Profile.pp ~threshold ~min_forks ~top fmt)
+             p);
+        `Ok ()
+    with
+    | Sys_error e -> `Error (false, e)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the profile as machine-readable JSON.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.5 & info [ "threshold" ] ~docv:"R"
+           ~doc:"Advisor: flag fork points whose wasted-work ratio exceeds \
+                 $(docv) as no-speculate candidates.")
+  in
+  let min_forks_arg =
+    Arg.(value & opt int 1 & info [ "min-forks" ] ~docv:"N"
+           ~doc:"Advisor: ignore fork points with fewer than $(docv) forks.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+           ~doc:"Show the $(docv) hottest conflict addresses.")
+  in
+  let info =
+    Cmd.info "profile"
+      ~doc:"Aggregate a JSON Lines trace into a speculation profile: \
+            per-fork-point payoff, conflict hot addresses, per-rank \
+            utilization and no-speculate advice."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const profile $ trace_file_arg $ json_arg $ threshold_arg
+       $ min_forks_arg $ top_arg))
+
 let () =
   let info =
     Cmd.info "mutlsc" ~version:"1.0"
       ~doc:"Mixed-model universal software thread-level speculation"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; dump_cmd; bench_cmd; report_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; dump_cmd; bench_cmd; report_cmd; profile_cmd ]))

@@ -56,10 +56,18 @@ let prepare lang (w : Workloads.t) =
 exception Divergence of string
 
 (* Run one benchmark under TLS and compute its metrics.  A run with an
-   enabled trace sink bypasses the metrics cache: a cache hit would
-   skip the execution and emit no events. *)
+   enabled trace sink (or a profile hook, which works by attaching a
+   streaming Profile sink) bypasses the metrics cache: a cache hit
+   would skip the execution and emit no events. *)
 let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
-    ?(trace_sink = Mutls_obs.Trace.null) ~ncpus (w : Workloads.t) =
+    ?(trace_sink = Mutls_obs.Trace.null) ?profile ~ncpus (w : Workloads.t) =
+  let prof_agg = Option.map (fun _ -> Mutls_obs.Profile.create ()) profile in
+  let trace_sink =
+    match prof_agg with
+    | None -> trace_sink
+    | Some agg ->
+      Mutls_obs.Trace.tee [ trace_sink; Mutls_obs.Profile.sink agg ]
+  in
   let use_cache = not trace_sink.Mutls_obs.Trace.enabled in
   let mkey =
     ( w.Workloads.name,
@@ -94,6 +102,9 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
            (Printf.sprintf "%s rollback-injected run diverged" w.Workloads.name));
     let m = Metrics.compute ~ts:p.p_seq_cost r in
     if use_cache then Hashtbl.replace metrics_cache mkey m;
+    (match (profile, prof_agg) with
+    | Some f, Some agg -> f (Mutls_obs.Profile.finish agg)
+    | _ -> ());
     m
 
 (* ------------------------------------------------------------------ *)

@@ -17,12 +17,16 @@ val run :
   ?model_override:Mutls_runtime.Config.model option ->
   ?rollback:float ->
   ?trace_sink:Mutls_obs.Trace.sink ->
+  ?profile:(Mutls_obs.Profile.t -> unit) ->
   ncpus:int ->
   Mutls_workloads.Workloads.t ->
   Metrics.t
 (** Run one benchmark under TLS (cached) and compute its metrics.
     Passing an enabled [trace_sink] bypasses the cache so the run
-    really executes and emits events.
+    really executes and emits events.  [profile] attaches a streaming
+    {!Mutls_obs.Profile} sink for the duration of the run and receives
+    the finished profile — the hook figure sweeps use to emit
+    per-benchmark profiles (it also bypasses the cache).
     @raise Divergence if outputs mismatch. *)
 
 (** {1 Tables} *)

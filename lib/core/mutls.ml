@@ -10,6 +10,7 @@ module Stats = Mutls_runtime.Stats
 module Json = Mutls_obs.Json
 module Trace = Mutls_obs.Trace
 module Report = Mutls_obs.Report
+module Profile = Mutls_obs.Profile
 module Pass = Mutls_speculator.Pass
 module Eval = Mutls_interp.Eval
 module Workloads = Mutls_workloads.Workloads

@@ -27,6 +27,10 @@ module Trace = Mutls_obs.Trace
 module Report = Mutls_obs.Report
 (** Fold a trace back into the paper's Fig. 8/9 breakdowns. *)
 
+module Profile = Mutls_obs.Profile
+(** Speculation profiler: per-fork-point payoff, conflict hot-address
+    histograms, per-rank utilization, and a no-speculate advisor. *)
+
 module Pass = Mutls_speculator.Pass
 module Eval = Mutls_interp.Eval
 module Workloads = Mutls_workloads.Workloads

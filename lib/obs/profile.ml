@@ -1,0 +1,377 @@
+(* Speculation profiler: per-fork-point payoff attribution, conflict
+   hot-address analysis, per-rank utilization.
+
+   This is a streaming fold over the trace — one [feed] per record into
+   state bounded by the number of distinct fork points, live threads,
+   touched addresses and ranks, never the trace itself — so the same
+   code profiles a run online (as a [Trace.sink] tee'd beside the JSONL
+   file sink) and post-hoc (`mutlsc profile TRACE.jsonl`), and the two
+   are identical by construction.
+
+   Attribution sources:
+   - [Fork {child; point}] counts the fork and remembers which point
+     the child speculates on (dropped again at its [Retire]);
+   - [Rollback {reason; point}] charges the rollback to its fork point;
+   - [Nosync {point}] counts subtree abandonments per point;
+   - [Retire {committed; stats}] carries the thread's final accounting:
+     its "work" is committed (useful) cycles, its "wasted work" is
+     rollback-discarded cycles — the runtime already reclassified work
+     at the rollback, so the split needs no replay here — and both are
+     booked to the thread's fork point and to its rank;
+   - main-thread [Charge]s feed rank 0 (the main thread never retires);
+   - [Validate {ok = false; addr}] and [Spill {addr}] build the
+     per-address conflict histograms. *)
+
+(* --- per-fork-point state ------------------------------------------- *)
+
+let all_reasons =
+  Trace.[ Conflict; Stale_local; Abandoned; Buffer_overflow; Bad_access ]
+
+let n_reasons = List.length all_reasons
+
+let reason_index = function
+  | Trace.Conflict -> 0
+  | Trace.Stale_local -> 1
+  | Trace.Abandoned -> 2
+  | Trace.Buffer_overflow -> 3
+  | Trace.Bad_access -> 4
+
+type point_stat = {
+  point : int;
+  forks : int;
+  commits : int;
+  rollbacks : (Trace.rollback_reason * int) list;
+  nosyncs : int;
+  committed_cycles : float;
+  wasted_cycles : float;
+}
+
+let rollback_total p = List.fold_left (fun a (_, n) -> a + n) 0 p.rollbacks
+
+let payoff p =
+  let total = p.committed_cycles +. p.wasted_cycles in
+  if total <= 0.0 then 1.0 else p.committed_cycles /. total
+
+let wasted_ratio p =
+  let total = p.committed_cycles +. p.wasted_cycles in
+  if total <= 0.0 then 0.0 else p.wasted_cycles /. total
+
+type hot_addr = { addr : int; conflicts : int; spills : int }
+
+type rank_util = {
+  rank : int;
+  busy : float;
+  discarded : float;
+  overhead : float;
+  idle : float;
+}
+
+type t = {
+  runtime : float;
+  events : int;
+  points : point_stat list;
+  hot_addrs : hot_addr list;
+  ranks : rank_util list;
+}
+
+(* --- advisor --------------------------------------------------------- *)
+
+type advice = { a_point : int; a_forks : int; a_wasted_ratio : float }
+
+let advise ?(threshold = 0.5) ?(min_forks = 1) t =
+  List.filter_map
+    (fun p ->
+      let r = wasted_ratio p in
+      if r > threshold && p.forks >= min_forks then
+        Some { a_point = p.point; a_forks = p.forks; a_wasted_ratio = r }
+      else None)
+    t.points
+  |> List.sort (fun a b -> compare b.a_wasted_ratio a.a_wasted_ratio)
+
+(* --- aggregation state ----------------------------------------------- *)
+
+type pacc = {
+  mutable p_forks : int;
+  mutable p_commits : int;
+  p_rollbacks : int array; (* indexed by reason *)
+  mutable p_nosyncs : int;
+  mutable p_committed : float;
+  mutable p_wasted : float;
+}
+
+type aacc = { mutable h_conflicts : int; mutable h_spills : int }
+
+type racc = {
+  mutable u_busy : float;
+  mutable u_discarded : float;
+  mutable u_overhead : float;
+  mutable u_idle : float;
+}
+
+type agg = {
+  mutable g_runtime : float;
+  mutable g_events : int;
+  g_points : (int, pacc) Hashtbl.t;
+  g_threads : (int, int) Hashtbl.t; (* live thread id -> fork point *)
+  g_addrs : (int, aacc) Hashtbl.t;
+  g_ranks : (int, racc) Hashtbl.t;
+}
+
+let create () =
+  {
+    g_runtime = 0.0;
+    g_events = 0;
+    g_points = Hashtbl.create 16;
+    g_threads = Hashtbl.create 64;
+    g_addrs = Hashtbl.create 64;
+    g_ranks = Hashtbl.create 8;
+  }
+
+let point_of a point =
+  match Hashtbl.find_opt a.g_points point with
+  | Some p -> p
+  | None ->
+    let p =
+      { p_forks = 0; p_commits = 0; p_rollbacks = Array.make n_reasons 0;
+        p_nosyncs = 0; p_committed = 0.0; p_wasted = 0.0 }
+    in
+    Hashtbl.replace a.g_points point p;
+    p
+
+let addr_of a addr =
+  match Hashtbl.find_opt a.g_addrs addr with
+  | Some h -> h
+  | None ->
+    let h = { h_conflicts = 0; h_spills = 0 } in
+    Hashtbl.replace a.g_addrs addr h;
+    h
+
+let rank_of a rank =
+  match Hashtbl.find_opt a.g_ranks rank with
+  | Some u -> u
+  | None ->
+    let u = { u_busy = 0.0; u_discarded = 0.0; u_overhead = 0.0; u_idle = 0.0 } in
+    Hashtbl.replace a.g_ranks rank u;
+    u
+
+(* Classify one Stats category into a utilization bucket.  The names
+   follow Stats.category_name; unknown categories count as overhead so
+   the buckets stay exhaustive if the accounting grows. *)
+let book_category u cat v =
+  match cat with
+  | "work" -> u.u_busy <- u.u_busy +. v
+  | "wasted work" -> u.u_discarded <- u.u_discarded +. v
+  | "idle" | "join" -> u.u_idle <- u.u_idle +. v
+  | _ -> u.u_overhead <- u.u_overhead +. v
+
+let assoc_get stats name =
+  match List.assoc_opt name stats with Some v -> v | None -> 0.0
+
+let feed a (r : Trace.record) =
+  a.g_events <- a.g_events + 1;
+  match r.Trace.event with
+  | Trace.Fork { child; point; _ } ->
+    (point_of a point).p_forks <- (point_of a point).p_forks + 1;
+    Hashtbl.replace a.g_threads child point
+  | Trace.Rollback { reason; point } ->
+    let p = point_of a point in
+    let i = reason_index reason in
+    p.p_rollbacks.(i) <- p.p_rollbacks.(i) + 1
+  | Trace.Nosync { point } ->
+    (point_of a point).p_nosyncs <- (point_of a point).p_nosyncs + 1
+  | Trace.Retire { committed; stats; _ } ->
+    let point =
+      match Hashtbl.find_opt a.g_threads r.Trace.thread with
+      | Some p -> p
+      | None -> -1 (* forked before the trace started *)
+    in
+    Hashtbl.remove a.g_threads r.Trace.thread;
+    let p = point_of a point in
+    let work = assoc_get stats "work" in
+    let wasted = assoc_get stats "wasted work" in
+    if committed then p.p_commits <- p.p_commits + 1;
+    p.p_committed <- p.p_committed +. work;
+    p.p_wasted <- p.p_wasted +. wasted;
+    let u = rank_of a r.Trace.rank in
+    List.iter (fun (cat, v) -> book_category u cat v) stats
+  | Trace.Charge { category; cost } ->
+    (* Speculative threads' charges are covered by their Retire stats;
+       only the main thread never retires, so its charges feed its rank
+       directly (it never rolls back, so no reclassification needed). *)
+    if r.Trace.main then book_category (rank_of a r.Trace.rank) category cost
+  | Trace.Validate { ok = false; addr = Some addr; _ } ->
+    let h = addr_of a addr in
+    h.h_conflicts <- h.h_conflicts + 1
+  | Trace.Spill { addr } ->
+    let h = addr_of a addr in
+    h.h_spills <- h.h_spills + 1
+  | Trace.Run_end -> a.g_runtime <- r.Trace.time
+  | _ -> ()
+
+let sink a =
+  { Trace.enabled = true; emit = feed a; close = ignore }
+
+let finish a =
+  let points =
+    Hashtbl.fold
+      (fun point (p : pacc) acc ->
+        {
+          point;
+          forks = p.p_forks;
+          commits = p.p_commits;
+          rollbacks =
+            List.map (fun rs -> (rs, p.p_rollbacks.(reason_index rs))) all_reasons;
+          nosyncs = p.p_nosyncs;
+          committed_cycles = p.p_committed;
+          wasted_cycles = p.p_wasted;
+        }
+        :: acc)
+      a.g_points []
+    |> List.sort (fun x y -> compare x.point y.point)
+  in
+  let hot_addrs =
+    Hashtbl.fold
+      (fun addr h acc ->
+        { addr; conflicts = h.h_conflicts; spills = h.h_spills } :: acc)
+      a.g_addrs []
+    |> List.sort (fun x y ->
+           match
+             compare (y.conflicts + y.spills) (x.conflicts + x.spills)
+           with
+           | 0 -> compare x.addr y.addr
+           | c -> c)
+  in
+  let ranks =
+    Hashtbl.fold
+      (fun rank u acc ->
+        { rank; busy = u.u_busy; discarded = u.u_discarded;
+          overhead = u.u_overhead; idle = u.u_idle }
+        :: acc)
+      a.g_ranks []
+    |> List.sort (fun x y -> compare x.rank y.rank)
+  in
+  { runtime = a.g_runtime; events = a.g_events; points; hot_addrs; ranks }
+
+let of_records records =
+  let a = create () in
+  List.iter (feed a) records;
+  finish a
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let to_json ?threshold ?min_forks t =
+  let num f = Json.Num f in
+  let int i = Json.Num (float_of_int i) in
+  let point_json p =
+    Json.Obj
+      [ ("point", int p.point);
+        ("forks", int p.forks);
+        ("commits", int p.commits);
+        ("rollbacks",
+         Json.Obj
+           (List.filter_map
+              (fun (rs, n) ->
+                if n = 0 then None
+                else Some (Trace.rollback_reason_to_string rs, int n))
+              p.rollbacks));
+        ("nosyncs", int p.nosyncs);
+        ("committed_cycles", num p.committed_cycles);
+        ("wasted_cycles", num p.wasted_cycles);
+        ("payoff", num (payoff p));
+        ("wasted_ratio", num (wasted_ratio p)) ]
+  in
+  let addr_json h =
+    Json.Obj
+      [ ("addr", int h.addr);
+        ("hex", Json.Str (Printf.sprintf "0x%x" h.addr));
+        ("conflicts", int h.conflicts);
+        ("spills", int h.spills) ]
+  in
+  let rank_json u =
+    Json.Obj
+      [ ("rank", int u.rank);
+        ("busy", num u.busy);
+        ("discarded", num u.discarded);
+        ("overhead", num u.overhead);
+        ("idle", num u.idle) ]
+  in
+  let advice_json v =
+    Json.Obj
+      [ ("point", int v.a_point);
+        ("forks", int v.a_forks);
+        ("wasted_ratio", num v.a_wasted_ratio);
+        ("recommend", Json.Str "no-speculate") ]
+  in
+  Json.Obj
+    [ ("runtime", num t.runtime);
+      ("events", int t.events);
+      ("points", Json.List (List.map point_json t.points));
+      ("hot_addresses", Json.List (List.map addr_json t.hot_addrs));
+      ("ranks", Json.List (List.map rank_json t.ranks));
+      ("advice",
+       Json.List (List.map advice_json (advise ?threshold ?min_forks t))) ]
+
+(* --- text ------------------------------------------------------------ *)
+
+let pp ?(threshold = 0.5) ?min_forks ?(top = 10) fmt t =
+  Format.fprintf fmt "profile: %d events, runtime %.0f cycles@." t.events
+    t.runtime;
+  Format.fprintf fmt "fork-point payoff:@.";
+  Format.fprintf fmt "  %6s %6s %7s %9s %6s %12s %12s %7s@." "point" "forks"
+    "commits" "rollbacks" "nosync" "committed" "wasted" "payoff";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  %6d %6d %7d %9d %6d %12.0f %12.0f %6.1f%%@."
+        p.point p.forks p.commits (rollback_total p) p.nosyncs
+        p.committed_cycles p.wasted_cycles
+        (100.0 *. payoff p);
+      let reasons =
+        List.filter_map
+          (fun (rs, n) ->
+            if n = 0 then None
+            else
+              Some
+                (Printf.sprintf "%s=%d" (Trace.rollback_reason_to_string rs) n))
+          p.rollbacks
+      in
+      if reasons <> [] then
+        Format.fprintf fmt "         (rollbacks: %s)@."
+          (String.concat " " reasons))
+    t.points;
+  (match t.hot_addrs with
+  | [] -> Format.fprintf fmt "no conflict or spill addresses recorded@."
+  | addrs ->
+    Format.fprintf fmt "hot conflict addresses (top %d of %d):@."
+      (min top (List.length addrs))
+      (List.length addrs);
+    List.iteri
+      (fun i h ->
+        if i < top then
+          Format.fprintf fmt "  %-12s conflicts=%d spills=%d@."
+            (Printf.sprintf "0x%x" h.addr)
+            h.conflicts h.spills)
+      addrs);
+  Format.fprintf fmt "rank utilization (%% of runtime):@.";
+  let pct v = if t.runtime > 0.0 then 100.0 *. v /. t.runtime else 0.0 in
+  List.iter
+    (fun u ->
+      Format.fprintf fmt
+        "  rank %3d: busy %5.1f%%  discarded %5.1f%%  overhead %5.1f%%  idle \
+         %5.1f%%@."
+        u.rank (pct u.busy) (pct u.discarded) (pct u.overhead) (pct u.idle))
+    t.ranks;
+  match advise ~threshold ?min_forks t with
+  | [] ->
+    Format.fprintf fmt
+      "advisor: no fork point above the %.0f%% wasted-work threshold@."
+      (100.0 *. threshold)
+  | advice ->
+    List.iter
+      (fun v ->
+        Format.fprintf fmt
+          "advisor: point %d wastes %.1f%% of its work over %d fork(s) — \
+           recommend no-speculate@."
+          v.a_point
+          (100.0 *. v.a_wasted_ratio)
+          v.a_forks)
+      advice

@@ -1,0 +1,110 @@
+(** Speculation profiler: fold a trace into per-fork-point payoff
+    attribution, conflict hot-address histograms and per-rank
+    utilization — the questions a MUTLS user actually asks of a run:
+    {i which} fork point is paying off, {i which} address is causing
+    the rollbacks, and {i which} virtual CPUs are doing useful work.
+
+    The aggregator is streaming: {!feed} folds one record at a time
+    into bounded state (per fork point, per live thread, per touched
+    address, per rank — never the whole trace), so {!sink} can run
+    tee'd alongside a JSONL file sink during execution at no extra
+    memory cost, and a post-hoc {!of_records} over the same records
+    produces the identical {!t}.
+
+    Attribution relies on the enriched events: [Rollback] carries the
+    thread's fork [point], [Validate {ok = false}] carries the first
+    conflicting word address, [Retire] carries the thread's final
+    per-category accounting. *)
+
+(** {1 Profile data} *)
+
+type point_stat = {
+  point : int;  (** fork/join point id; [-1] groups unattributable work *)
+  forks : int;
+  commits : int;
+  rollbacks : (Trace.rollback_reason * int) list;
+      (** every reason, in declaration order (zero counts included) *)
+  nosyncs : int;  (** subtree abandonments originating at this point *)
+  committed_cycles : float;  (** useful work of committed threads *)
+  wasted_cycles : float;  (** work discarded by rollbacks *)
+}
+
+val rollback_total : point_stat -> int
+
+val payoff : point_stat -> float
+(** [committed / (committed + wasted)] cycles; [1.0] when the point has
+    recorded no cycles at all. *)
+
+val wasted_ratio : point_stat -> float
+(** [wasted / (committed + wasted)] cycles; [0.0] when no cycles. *)
+
+type hot_addr = {
+  addr : int;  (** word address *)
+  conflicts : int;  (** failed validations first-conflicting here *)
+  spills : int;  (** hash-conflict spills parked here *)
+}
+
+type rank_util = {
+  rank : int;  (** virtual CPU; 0 is the non-speculative thread *)
+  busy : float;  (** useful work cycles *)
+  discarded : float;  (** rollback-discarded (wasted work) cycles *)
+  overhead : float;  (** fork / find CPU / validation / commit / finalize *)
+  idle : float;  (** idle and join-wait cycles *)
+}
+
+type t = {
+  runtime : float;  (** virtual time at [Run_end]; [0.0] if truncated *)
+  events : int;  (** records folded *)
+  points : point_stat list;  (** sorted by point id *)
+  hot_addrs : hot_addr list;
+      (** sorted by conflicts+spills descending, then address *)
+  ranks : rank_util list;  (** sorted by rank *)
+}
+
+(** {1 Advisor}
+
+    A fork point whose wasted-work ratio exceeds the threshold is
+    costing more than it contributes: the advisor recommends turning
+    speculation off there (feedback toward [Auto_annotate]'s fork-point
+    decisions, in the spirit of Prophet's per-spawn-point
+    profitability). *)
+
+type advice = {
+  a_point : int;
+  a_forks : int;
+  a_wasted_ratio : float;
+}
+
+val advise : ?threshold:float -> ?min_forks:int -> t -> advice list
+(** Fork points with [wasted_ratio > threshold] (default [0.5]) and at
+    least [min_forks] forks (default [1], so even a single wasteful
+    speculation is reported), worst first. *)
+
+(** {1 Streaming aggregation} *)
+
+type agg
+(** Mutable aggregation state, bounded by the number of distinct fork
+    points, live threads, touched addresses and ranks. *)
+
+val create : unit -> agg
+val feed : agg -> Trace.record -> unit
+
+val sink : agg -> Trace.sink
+(** A sink that {!feed}s every record — tee it with a file sink to
+    profile a run while writing its trace. *)
+
+val finish : agg -> t
+(** Snapshot the aggregate (the aggregator itself remains usable). *)
+
+val of_records : Trace.record list -> t
+(** Post-hoc profile; identical to streaming the same records. *)
+
+(** {1 Rendering} *)
+
+val to_json : ?threshold:float -> ?min_forks:int -> t -> Json.t
+(** Machine-readable profile, advice included. *)
+
+val pp :
+  ?threshold:float -> ?min_forks:int -> ?top:int -> Format.formatter -> t -> unit
+(** Per-fork-point payoff table, top-[top] (default 10) conflict
+    addresses, per-rank utilization and the advisor's verdicts. *)

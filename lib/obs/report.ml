@@ -203,6 +203,67 @@ let of_jsonl_file path =
       let n = in_channel_length ic in
       of_jsonl (really_input_string ic n))
 
+(* --- lenient JSONL input ---------------------------------------------- *)
+
+(* Real trace files get truncated (killed runs), concatenated, or
+   hand-edited; the lenient readers skip-and-count malformed lines
+   instead of aborting on the first, so `mutlsc report`/`profile` can
+   still fold the good records and warn about the rest.  [first_error]
+   keeps the earliest diagnostic for the "is this even a trace?"
+   check: [lines > 0 && parsed = 0] means non-JSONL input. *)
+
+type read_stats = {
+  lines : int; (* non-blank lines seen *)
+  parsed : int;
+  skipped : int;
+  first_error : string option; (* "line N: ..." for the first skip *)
+}
+
+let lenient_fold feed lines =
+  let stats = ref { lines = 0; parsed = 0; skipped = 0; first_error = None } in
+  let lineno = ref 0 in
+  lines (fun line ->
+      incr lineno;
+      let line = String.trim line in
+      if line <> "" then begin
+        let s = !stats in
+        match Trace.record_of_jsonl line with
+        | r ->
+          feed r;
+          stats := { s with lines = s.lines + 1; parsed = s.parsed + 1 }
+        | exception Trace.Schema_error e ->
+          stats :=
+            { s with
+              lines = s.lines + 1;
+              skipped = s.skipped + 1;
+              first_error =
+                (match s.first_error with
+                | Some _ as fe -> fe
+                | None -> Some (Printf.sprintf "line %d: %s" !lineno e)) }
+      end);
+  !stats
+
+let fold_jsonl_lenient feed text =
+  lenient_fold feed (fun each ->
+      List.iter each (String.split_on_char '\n' text))
+
+let fold_jsonl_file_lenient feed path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      lenient_fold feed (fun each ->
+          try
+            while true do
+              each (input_line ic)
+            done
+          with End_of_file -> ()))
+
+let records_of_jsonl_lenient text =
+  let records = ref [] in
+  let stats = fold_jsonl_lenient (fun r -> records := r :: !records) text in
+  (List.rev !records, stats)
+
 (* --- rendering -------------------------------------------------------- *)
 
 let pp_breakdown fmt ~label breakdown =

@@ -32,4 +32,26 @@ val records_of_jsonl : string -> Trace.record list
 val of_jsonl : string -> t
 val of_jsonl_file : string -> t
 
+(** {1 Lenient JSONL input}
+
+    Truncated, concatenated or hand-edited trace files should still
+    fold: the lenient readers skip-and-count malformed lines instead of
+    aborting on the first.  [lines > 0 && parsed = 0] means the input
+    is not a JSONL trace at all; [skipped > 0] warrants a warning. *)
+
+type read_stats = {
+  lines : int;  (** non-blank lines seen *)
+  parsed : int;
+  skipped : int;  (** malformed lines dropped *)
+  first_error : string option;  (** ["line N: ..."] for the first skip *)
+}
+
+val fold_jsonl_lenient : (Trace.record -> unit) -> string -> read_stats
+(** Feed every parseable record of an in-memory trace to the callback. *)
+
+val fold_jsonl_file_lenient : (Trace.record -> unit) -> string -> read_stats
+(** Same, streaming a file line by line (never loads the whole trace). *)
+
+val records_of_jsonl_lenient : string -> Trace.record list * read_stats
+
 val pp : Format.formatter -> t -> unit

@@ -43,9 +43,15 @@ type event =
   | Check of { counter : int; stop : bool }
       (* a check point that asked the thread to stop (polls that
          return "continue" are not traced — they are the hot path) *)
-  | Validate of { words : int; ok : bool }
+  | Validate of { words : int; ok : bool; addr : int option }
+      (* [addr] is the first conflicting word address when validation
+         failed against memory state (None for stale-local or injected
+         failures, and in traces from older versions) *)
   | Commit of { words : int; counter : int }
-  | Rollback of { reason : rollback_reason }
+  | Rollback of { reason : rollback_reason; point : int }
+      (* [point] is the rolled-back thread's fork point, so rollbacks
+         can be attributed to the speculation decision that caused
+         them; -1 in traces from older versions *)
   | Nosync of { point : int } (* this thread's subtree was abandoned *)
   | Overflow (* GlobalBuffer overflow; a Rollback record follows *)
   | Join of { child : int; committed : bool } (* parent-side verdict *)
@@ -100,13 +106,19 @@ let args_of_event ev : (string * Json.t) list =
       ("counter", Json.Num (float_of_int counter)) ]
   | Check { counter; stop } ->
     [ ("counter", Json.Num (float_of_int counter)); ("stop", Json.Bool stop) ]
-  | Validate { words; ok } ->
+  | Validate { words; ok; addr } ->
+    (* [addr] is emitted only when known, so traces without conflict
+       attribution keep the pre-enrichment wire format byte for byte *)
     [ ("words", Json.Num (float_of_int words)); ("ok", Json.Bool ok) ]
+    @ (match addr with
+      | None -> []
+      | Some a -> [ ("addr", Json.Num (float_of_int a)) ])
   | Commit { words; counter } ->
     [ ("words", Json.Num (float_of_int words));
       ("counter", Json.Num (float_of_int counter)) ]
-  | Rollback { reason } ->
-    [ ("reason", Json.Str (rollback_reason_to_string reason)) ]
+  | Rollback { reason; point } ->
+    [ ("reason", Json.Str (rollback_reason_to_string reason));
+      ("point", Json.Num (float_of_int point)) ]
   | Nosync { point } -> [ ("point", Json.Num (float_of_int point)) ]
   | Overflow -> []
   | Join { child; committed } ->
@@ -154,11 +166,23 @@ let event_of_json name args =
   | "speculate" ->
     Speculate { child_rank = int "child_rank"; counter = int "counter" }
   | "check" -> Check { counter = int "counter"; stop = bool "stop" }
-  | "validate" -> Validate { words = int "words"; ok = bool "ok" }
+  | "validate" ->
+    (* [addr]/[point] may be absent in traces written before the
+       attribution enrichment: default rather than fail *)
+    Validate
+      { words = int "words";
+        ok = bool "ok";
+        addr = Option.bind (Json.member "addr" args) Json.to_int }
   | "commit" -> Commit { words = int "words"; counter = int "counter" }
   | "rollback" -> (
     match rollback_reason_of_string (str "reason") with
-    | Some reason -> Rollback { reason }
+    | Some reason ->
+      Rollback
+        { reason;
+          point =
+            (match Option.bind (Json.member "point" args) Json.to_int with
+            | Some p -> p
+            | None -> -1) }
     | None -> schema_error "unknown rollback reason %S" (str "reason"))
   | "nosync" -> Nosync { point = int "point" }
   | "overflow" -> Overflow
@@ -279,10 +303,15 @@ let pretty_line r =
     | Speculate { child_rank; counter } ->
       Printf.sprintf "rank=%d counter=%d" child_rank counter
     | Check { counter; stop } -> Printf.sprintf "counter=%d stop=%b" counter stop
-    | Validate { words; ok } -> Printf.sprintf "words=%d ok=%b" words ok
+    | Validate { words; ok; addr } ->
+      Printf.sprintf "words=%d ok=%b%s" words ok
+        (match addr with
+        | Some a -> Printf.sprintf " addr=0x%x" a
+        | None -> "")
     | Commit { words; counter } ->
       Printf.sprintf "words=%d counter=%d" words counter
-    | Rollback { reason } -> rollback_reason_to_string reason
+    | Rollback { reason; point } ->
+      Printf.sprintf "%s point=%d" (rollback_reason_to_string reason) point
     | Nosync { point } -> Printf.sprintf "point=%d" point
     | Overflow -> ""
     | Join { child; committed } ->

@@ -30,9 +30,15 @@ type event =
   | Check of { counter : int; stop : bool }
       (** only check points that stop the thread are traced — polls
           that return "continue" are the hot path *)
-  | Validate of { words : int; ok : bool }
+  | Validate of { words : int; ok : bool; addr : int option }
+      (** [addr] is the first conflicting word address when the failure
+          came from memory state ([None] for stale-local or injected
+          failures, and in traces written before the enrichment) *)
   | Commit of { words : int; counter : int }
-  | Rollback of { reason : rollback_reason }
+  | Rollback of { reason : rollback_reason; point : int }
+      (** [point] is the rolled-back thread's fork point ([-1] in
+          traces written before the enrichment), attributing every
+          rollback to the speculation decision that caused it *)
   | Nosync of { point : int }
   | Overflow  (** GlobalBuffer overflow; a [Rollback] record follows *)
   | Join of { child : int; committed : bool }  (** parent-side verdict *)

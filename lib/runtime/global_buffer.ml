@@ -208,8 +208,10 @@ let write t (mem : Memio.t) p size v =
 
 (* Compare every read-set word against current main memory (value-based
    conflict detection).  Returns the number of words validated, or
-   raises [Invalid_read] on the first mismatch. *)
-exception Invalid_read
+   raises [Invalid_read addr] on the first mismatch, carrying the
+   conflicting word address so rollbacks can be attributed to the hot
+   word that caused them. *)
+exception Invalid_read of int
 
 let validate t (mem : Memio.t) =
   let checked = ref 0 in
@@ -218,7 +220,7 @@ let validate t (mem : Memio.t) =
     let i = m.offsets.(k) in
     incr checked;
     if mem.Memio.read_word m.addresses.(i) <> read_word_of m i then
-      raise Invalid_read
+      raise (Invalid_read m.addresses.(i))
   done;
   Array.iter
     (function
@@ -232,7 +234,7 @@ let validate t (mem : Memio.t) =
         for b = 0 to word - 1 do
           if Bytes.get e.t_mark b <> '\xff'
              && Bytes.get buf b <> Bytes.get e.t_data b
-          then raise Invalid_read
+          then raise (Invalid_read e.t_addr)
         done
       | _ -> ())
     t.temp;

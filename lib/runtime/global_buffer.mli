@@ -12,9 +12,10 @@ exception Overflow
 (** The temporary buffer is exhausted: the speculative thread must roll
     back (paper §IV-G2). *)
 
-exception Invalid_read
+exception Invalid_read of int
 (** Raised by {!validate} on the first read-set word whose current
-    memory value differs from the observed one. *)
+    memory value differs from the observed one; carries the conflicting
+    word address so the rollback can be attributed to the hot word. *)
 
 type t
 

@@ -318,20 +318,31 @@ exception Validation_failed
 
 let validate_against_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
   let checked = ref 0 in
+  (* First conflicting word address, for attribution: a per-address
+     histogram over Validate failures ranks the hot words behind
+     Conflict rollbacks (Mutls_obs.Profile). *)
+  let conflict_addr = ref None in
   let ok =
     try
       Global_buffer.iter_read_words td.gbuf (fun addr observed mask ->
           incr checked;
           let actual = parent_view mgr parent addr in
           match mask with
-          | None -> if actual <> observed then raise Validation_failed
+          | None ->
+            if actual <> observed then begin
+              conflict_addr := Some addr;
+              raise Validation_failed
+            end
           | Some mark ->
             (* skip locally overwritten bytes *)
             for b = 0 to 7 do
               if Bytes.get mark b <> '\xff' then begin
                 let shift = 8 * b in
                 let byte_of w = Int64.to_int (Int64.shift_right_logical w shift) land 0xff in
-                if byte_of actual <> byte_of observed then raise Validation_failed
+                if byte_of actual <> byte_of observed then begin
+                  conflict_addr := Some addr;
+                  raise Validation_failed
+                end
               end
             done);
       true
@@ -345,7 +356,9 @@ let validate_against_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
       Rng.next_float mgr.rng >= mgr.cfg.rollback_probability
     else ok
   in
-  if tracing mgr then emit mgr td (Trace.Validate { words = !checked; ok });
+  (* stale-local and injected failures have no conflicting address *)
+  let addr = if ok then None else !conflict_addr in
+  if tracing mgr then emit mgr td (Trace.Validate { words = !checked; ok; addr });
   ok
 
 (* Commit the child's effects into the parent's world: main memory for
@@ -400,6 +413,7 @@ let commit_or_rollback mgr (td : Thread_data.t) ~counter =
            {
              reason =
                (if td.local_invalid then Trace.Stale_local else Trace.Conflict);
+             point = td.fork_point;
            });
     finalize_buffers mgr td;
     Stats.incr td.stats Stats.Rollbacks;
@@ -421,7 +435,8 @@ let rec nosync_subtree mgr (td : Thread_data.t) =
 (* Rollback without a waiting parent (NOSYNC, overflow, bad address). *)
 let rollback_self mgr (td : Thread_data.t) ~reason ~kill_subtree =
   Stats.work_to_wasted td.stats;
-  if tracing mgr then emit mgr td (Trace.Rollback { reason });
+  if tracing mgr then
+    emit mgr td (Trace.Rollback { reason; point = td.fork_point });
   finalize_buffers mgr td;
   Stats.incr td.stats Stats.Rollbacks;
   if kill_subtree then Stack.iter (nosync_subtree mgr) td.children;

@@ -68,10 +68,12 @@ let sample_records =
     mk (Trace.Fork { child = 4; child_rank = 2; point = 1 });
     mk (Trace.Speculate { child_rank = 2; counter = 9 });
     mk (Trace.Check { counter = 9; stop = true });
-    mk (Trace.Validate { words = 42; ok = false });
+    mk (Trace.Validate { words = 42; ok = false; addr = None });
+    mk (Trace.Validate { words = 42; ok = false; addr = Some 0x1f8 });
+    mk (Trace.Validate { words = 7; ok = true; addr = None });
     mk (Trace.Commit { words = 17; counter = 5 });
-    mk (Trace.Rollback { reason = Trace.Conflict });
-    mk (Trace.Rollback { reason = Trace.Buffer_overflow });
+    mk (Trace.Rollback { reason = Trace.Conflict; point = 2 });
+    mk (Trace.Rollback { reason = Trace.Buffer_overflow; point = -1 });
     mk (Trace.Nosync { point = 3 });
     mk Trace.Overflow;
     mk (Trace.Join { child = 4; committed = true });
@@ -173,6 +175,203 @@ let test_report_via_jsonl () =
     (Stats.total r.Mutls.Eval.tmain_stats)
     rep.Report.crit_total
 
+(* --- profiler ----------------------------------------------------------- *)
+
+module Profile = Mutls_obs.Profile
+
+(* A hand-built trace with a known exact profile: fork point 0 pays off
+   (one commit, one conflict rollback), fork point 7 is pure waste (one
+   abandoned subtree), address 0x40 collects one conflict and one
+   spill, and the three ranks split busy/discarded/overhead/idle
+   cycles. *)
+let hand_built_trace =
+  let mk ?(time = 0.0) ?(thread = 0) ?(rank = 0) ?(main = false) event =
+    { Trace.time; thread; rank; main; event }
+  in
+  [
+    mk ~main:true (Trace.Fork { child = 1; child_rank = 1; point = 0 });
+    mk ~thread:1 ~rank:1 (Trace.Validate { words = 4; ok = false; addr = Some 0x40 });
+    mk ~thread:1 ~rank:1 (Trace.Rollback { reason = Trace.Conflict; point = 0 });
+    mk ~thread:1 ~rank:1
+      (Trace.Retire
+         { committed = false; runtime = 50.0;
+           stats = [ ("wasted work", 80.0); ("validation", 5.0) ] });
+    mk ~main:true (Trace.Fork { child = 2; child_rank = 1; point = 0 });
+    mk ~thread:2 ~rank:1 (Trace.Spill { addr = 0x40 });
+    mk ~thread:2 ~rank:1
+      (Trace.Retire
+         { committed = true; runtime = 60.0;
+           stats = [ ("work", 120.0); ("commit", 3.0); ("idle", 2.0) ] });
+    mk ~main:true (Trace.Fork { child = 3; child_rank = 2; point = 7 });
+    mk ~thread:3 ~rank:2 (Trace.Nosync { point = 7 });
+    mk ~thread:3 ~rank:2 (Trace.Rollback { reason = Trace.Abandoned; point = 7 });
+    mk ~thread:3 ~rank:2
+      (Trace.Retire
+         { committed = false; runtime = 10.0;
+           stats = [ ("wasted work", 30.0) ] });
+    mk ~main:true (Trace.Charge { category = "work"; cost = 500.0 });
+    mk ~main:true (Trace.Charge { category = "join"; cost = 20.0 });
+    (* a non-main Charge must NOT double-book: its cycles arrive via
+       the thread's Retire stats *)
+    mk ~thread:9 ~rank:3 (Trace.Charge { category = "work"; cost = 999.0 });
+    mk ~time:1000.0 ~main:true Trace.Run_end;
+  ]
+
+let test_profile_hand_built () =
+  let p = Profile.of_records hand_built_trace in
+  Alcotest.(check int) "events" 15 p.Profile.events;
+  close_enough "runtime" 1000.0 p.Profile.runtime;
+  (match p.Profile.points with
+  | [ p0; p7 ] ->
+    Alcotest.(check int) "point0 id" 0 p0.Profile.point;
+    Alcotest.(check int) "point0 forks" 2 p0.Profile.forks;
+    Alcotest.(check int) "point0 commits" 1 p0.Profile.commits;
+    Alcotest.(check int) "point0 rollbacks" 1 (Profile.rollback_total p0);
+    Alcotest.(check int) "point0 conflict rollbacks" 1
+      (List.assoc Trace.Conflict p0.Profile.rollbacks);
+    Alcotest.(check int) "point0 nosyncs" 0 p0.Profile.nosyncs;
+    close_enough "point0 committed" 120.0 p0.Profile.committed_cycles;
+    close_enough "point0 wasted" 80.0 p0.Profile.wasted_cycles;
+    close_enough "point0 payoff" 0.6 (Profile.payoff p0);
+    close_enough "point0 wasted_ratio" 0.4 (Profile.wasted_ratio p0);
+    Alcotest.(check int) "point7 id" 7 p7.Profile.point;
+    Alcotest.(check int) "point7 forks" 1 p7.Profile.forks;
+    Alcotest.(check int) "point7 commits" 0 p7.Profile.commits;
+    Alcotest.(check int) "point7 abandoned rollbacks" 1
+      (List.assoc Trace.Abandoned p7.Profile.rollbacks);
+    Alcotest.(check int) "point7 nosyncs" 1 p7.Profile.nosyncs;
+    close_enough "point7 wasted" 30.0 p7.Profile.wasted_cycles;
+    close_enough "point7 payoff" 0.0 (Profile.payoff p7);
+    close_enough "point7 wasted_ratio" 1.0 (Profile.wasted_ratio p7)
+  | ps -> Alcotest.failf "expected 2 points, got %d" (List.length ps));
+  (match p.Profile.hot_addrs with
+  | [ h ] ->
+    Alcotest.(check int) "hot addr" 0x40 h.Profile.addr;
+    Alcotest.(check int) "hot conflicts" 1 h.Profile.conflicts;
+    Alcotest.(check int) "hot spills" 1 h.Profile.spills
+  | hs -> Alcotest.failf "expected 1 hot addr, got %d" (List.length hs));
+  (match p.Profile.ranks with
+  | [ r0; r1; r2 ] ->
+    Alcotest.(check int) "rank ids" 0 r0.Profile.rank;
+    close_enough "rank0 busy" 500.0 r0.Profile.busy;
+    close_enough "rank0 idle" 20.0 r0.Profile.idle;
+    close_enough "rank0 discarded" 0.0 r0.Profile.discarded;
+    close_enough "rank1 busy" 120.0 r1.Profile.busy;
+    close_enough "rank1 discarded" 80.0 r1.Profile.discarded;
+    close_enough "rank1 overhead" 8.0 r1.Profile.overhead;
+    close_enough "rank1 idle" 2.0 r1.Profile.idle;
+    close_enough "rank2 discarded" 30.0 r2.Profile.discarded;
+    close_enough "rank2 busy" 0.0 r2.Profile.busy
+  | rs -> Alcotest.failf "expected 3 ranks, got %d" (List.length rs));
+  (* rank 3 must not exist: the non-main Charge was ignored *)
+  Alcotest.(check bool) "no rank 3" true
+    (not (List.exists (fun r -> r.Profile.rank = 3) p.Profile.ranks));
+  match Profile.advise p with
+  | [ a ] ->
+    Alcotest.(check int) "advisor flags point 7" 7 a.Profile.a_point;
+    close_enough "advisor ratio" 1.0 a.Profile.a_wasted_ratio
+  | advs -> Alcotest.failf "expected 1 advice, got %d" (List.length advs)
+
+(* Streaming (sink tee'd into a live run) and post-hoc (of_records over
+   the same records) must produce the identical profile. *)
+let test_profile_streaming_eq_posthoc () =
+  let ring = Trace.ring ~capacity:4_000_000 in
+  let agg = Profile.create () in
+  let sink = Trace.tee [ Trace.ring_sink ring; Profile.sink agg ] in
+  ignore (run_traced ~ncpus:8 ~sink "fft");
+  Alcotest.(check int) "nothing dropped" 0 (Trace.ring_dropped ring);
+  let streaming = Profile.finish agg in
+  let posthoc = Profile.of_records (Trace.ring_records ring) in
+  Alcotest.(check string) "streaming = post-hoc"
+    (Json.to_string (Profile.to_json posthoc))
+    (Json.to_string (Profile.to_json streaming));
+  Alcotest.(check bool) "profile saw work" true
+    (List.exists (fun p -> p.Profile.committed_cycles > 0.0) posthoc.Profile.points)
+
+(* And the same identity through the JSONL wire format: the enriched
+   addr/point fields must survive encode -> parse. *)
+let test_profile_via_jsonl () =
+  let b = Buffer.create 65536 in
+  let agg = Profile.create () in
+  let sink = Trace.tee [ Trace.jsonl (Buffer.add_string b); Profile.sink agg ] in
+  ignore (run_traced ~ncpus:8 ~sink "3x+1");
+  Trace.close sink;
+  let records, stats = Report.records_of_jsonl_lenient (Buffer.contents b) in
+  Alcotest.(check int) "no lines skipped" 0 stats.Report.skipped;
+  Alcotest.(check string) "profile survives the wire"
+    (Json.to_string (Profile.to_json (Profile.finish agg)))
+    (Json.to_string (Profile.to_json (Profile.of_records records)))
+
+(* Advisor boundaries: a ratio exactly at the threshold is not flagged
+   (strict >), just above is, and min_forks filters. *)
+let advisor_trace ~work ~wasted =
+  let mk ?(thread = 0) ?(rank = 0) ?(main = false) event =
+    { Trace.time = 0.0; thread; rank; main; event }
+  in
+  [
+    mk ~main:true (Trace.Fork { child = 1; child_rank = 1; point = 5 });
+    mk ~thread:1 ~rank:1
+      (Trace.Retire
+         { committed = wasted = 0.0; runtime = 1.0;
+           stats = [ ("work", work); ("wasted work", wasted) ] });
+  ]
+
+let test_advisor_threshold () =
+  let at = Profile.of_records (advisor_trace ~work:50.0 ~wasted:50.0) in
+  Alcotest.(check int) "ratio = threshold not flagged" 0
+    (List.length (Profile.advise ~threshold:0.5 at));
+  let above = Profile.of_records (advisor_trace ~work:49.0 ~wasted:51.0) in
+  (match Profile.advise ~threshold:0.5 above with
+  | [ a ] ->
+    Alcotest.(check int) "flagged point" 5 a.Profile.a_point;
+    Alcotest.(check int) "fork count" 1 a.Profile.a_forks;
+    close_enough "ratio" 0.51 a.Profile.a_wasted_ratio
+  | advs -> Alcotest.failf "expected 1 advice, got %d" (List.length advs));
+  Alcotest.(check int) "min_forks filters" 0
+    (List.length (Profile.advise ~threshold:0.5 ~min_forks:2 above));
+  Alcotest.(check int) "threshold 0 flags any waste" 1
+    (List.length (Profile.advise ~threshold:0.0 above));
+  let clean = Profile.of_records (advisor_trace ~work:100.0 ~wasted:0.0) in
+  Alcotest.(check int) "no waste never flagged" 0
+    (List.length (Profile.advise ~threshold:0.0 clean))
+
+(* --- lenient JSONL reading ---------------------------------------------- *)
+
+let test_lenient_reader () =
+  (* empty input *)
+  let records, stats = Report.records_of_jsonl_lenient "" in
+  Alcotest.(check int) "empty: lines" 0 stats.Report.lines;
+  Alcotest.(check int) "empty: records" 0 (List.length records);
+  (* non-JSONL input: every line counted and skipped *)
+  let _, stats = Report.records_of_jsonl_lenient "hello\nworld\n" in
+  Alcotest.(check int) "garbage: lines" 2 stats.Report.lines;
+  Alcotest.(check int) "garbage: parsed" 0 stats.Report.parsed;
+  Alcotest.(check int) "garbage: skipped" 2 stats.Report.skipped;
+  Alcotest.(check bool) "garbage: first_error set" true
+    (stats.Report.first_error <> None);
+  (* a damaged line in the middle is skipped, the rest folds *)
+  let good = List.map Trace.record_to_jsonl sample_records in
+  let text =
+    String.concat "\n"
+      (List.concat [ [ List.nth good 0 ]; [ "{\"t\": 1, trunca" ]; List.tl good ])
+    ^ "\n"
+  in
+  let records, stats = Report.records_of_jsonl_lenient text in
+  Alcotest.(check int) "damaged: parsed" (List.length sample_records)
+    stats.Report.parsed;
+  Alcotest.(check int) "damaged: skipped" 1 stats.Report.skipped;
+  Alcotest.(check int) "damaged: records" (List.length sample_records)
+    (List.length records);
+  (match stats.Report.first_error with
+  | Some e ->
+    Alcotest.(check bool) "damaged: error names line 2" true
+      (String.length e >= 7 && String.sub e 0 7 = "line 2:")
+  | None -> Alcotest.fail "damaged: first_error missing");
+  (* blank lines are not an error *)
+  let _, stats = Report.records_of_jsonl_lenient ("\n" ^ List.hd good ^ "\n\n") in
+  Alcotest.(check int) "blanks: lines" 1 stats.Report.lines;
+  Alcotest.(check int) "blanks: skipped" 0 stats.Report.skipped
+
 let tests =
   [
     Alcotest.test_case "jsonl trace is deterministic" `Quick
@@ -186,4 +385,13 @@ let tests =
     Alcotest.test_case "report matches stats (fft)" `Quick test_report_fft;
     Alcotest.test_case "report via jsonl file format" `Quick
       test_report_via_jsonl;
+    Alcotest.test_case "profile of a hand-built trace" `Quick
+      test_profile_hand_built;
+    Alcotest.test_case "profile streaming = post-hoc" `Quick
+      test_profile_streaming_eq_posthoc;
+    Alcotest.test_case "profile via jsonl wire format" `Quick
+      test_profile_via_jsonl;
+    Alcotest.test_case "advisor threshold boundaries" `Quick
+      test_advisor_threshold;
+    Alcotest.test_case "lenient jsonl reader" `Quick test_lenient_reader;
   ]

@@ -165,4 +165,93 @@ int main() {
       r.Mutls_interp.Eval.toutput = seq.Mutls_interp.Eval.soutput)
   |> QCheck_alcotest.to_alcotest
 
-let tests = [ test_expr_semantics; test_random_tls_equivalence ]
+(* --- trace serialisation properties ------------------------------------- *)
+
+module Trace = Mutls_obs.Trace
+
+let all_reasons =
+  Trace.[ Conflict; Stale_local; Abandoned; Buffer_overflow; Bad_access ]
+
+let test_reason_round_trip () =
+  List.iter
+    (fun r ->
+      match Trace.rollback_reason_of_string (Trace.rollback_reason_to_string r) with
+      | Some r' ->
+        Alcotest.(check bool)
+          ("round trip " ^ Trace.rollback_reason_to_string r)
+          true (r = r')
+      | None ->
+        Alcotest.failf "%s did not parse back"
+          (Trace.rollback_reason_to_string r))
+    all_reasons;
+  Alcotest.(check bool) "unknown reason is None" true
+    (Trace.rollback_reason_of_string "bogus" = None)
+
+(* Random records over every event variant.  Costs and times are exact
+   binary fractions so float round trips are never the failure cause —
+   the property targets the schema, not IEEE printing. *)
+let gen_record =
+  let open QCheck.Gen in
+  let cost = map (fun n -> float_of_int n /. 4.0) (int_range 0 10_000_000) in
+  let id = int_range (-1) 5000 in
+  let reason = oneofl all_reasons in
+  let category =
+    oneofl
+      [ "work"; "join"; "idle"; "fork"; "find CPU"; "validation"; "commit";
+        "finalize"; "wasted work"; "overflow" ]
+  in
+  let stats = list_size (int_bound 5) (pair category cost) in
+  let event =
+    oneof
+      [
+        map3 (fun child child_rank point -> Trace.Fork { child; child_rank; point })
+          id id id;
+        map2 (fun child_rank counter -> Trace.Speculate { child_rank; counter })
+          id small_nat;
+        map2 (fun counter stop -> Trace.Check { counter; stop }) small_nat bool;
+        map3 (fun words ok addr -> Trace.Validate { words; ok; addr })
+          small_nat bool (opt (int_range 0 0xFFFFFF));
+        map2 (fun words counter -> Trace.Commit { words; counter }) small_nat
+          small_nat;
+        map2 (fun reason point -> Trace.Rollback { reason; point }) reason id;
+        map (fun point -> Trace.Nosync { point }) id;
+        return Trace.Overflow;
+        map2 (fun child committed -> Trace.Join { child; committed }) id bool;
+        map (fun counter -> Trace.Barrier { counter }) small_nat;
+        map3 (fun committed runtime stats -> Trace.Retire { committed; runtime; stats })
+          bool cost stats;
+        map2 (fun category cost -> Trace.Charge { category; cost }) category cost;
+        map (fun addr -> Trace.Spill { addr }) (int_range 0 0xFFFFFF);
+        map2 (fun push depth -> Trace.Frame { push; depth }) bool small_nat;
+        map2 (fun what info -> Trace.Sched { what; info })
+          (oneofl [ "wake"; "sleep"; "schedule" ]) id;
+        return Trace.Run_end;
+      ]
+  in
+  map2
+    (fun (time, thread) (rank, (main, event)) ->
+      { Trace.time; thread; rank; main; event })
+    (pair cost id)
+    (pair id (pair bool event))
+
+let arb_record =
+  QCheck.make ~print:Trace.record_to_jsonl gen_record
+
+(* encode -> parse -> re-encode must be byte-stable for every variant,
+   including the enriched Validate.addr / Rollback.point fields. *)
+let test_jsonl_byte_stable =
+  QCheck.Test.make ~name:"trace jsonl encode/parse/re-encode byte-stable"
+    ~count:500 arb_record (fun r ->
+      let line = Trace.record_to_jsonl r in
+      let r' = Trace.record_of_jsonl line in
+      Trace.record_to_jsonl r' = line)
+  |> QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    test_expr_semantics;
+    test_random_tls_equivalence;
+    Alcotest.test_case "rollback_reason string round trip" `Quick
+      test_reason_round_trip;
+    test_jsonl_byte_stable;
+  ]

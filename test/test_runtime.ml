@@ -113,7 +113,8 @@ let test_gb_validate () =
   Alcotest.(check int) "validates clean" 1 (GB.validate gb mem);
   (* non-speculative write changes the value under our feet *)
   Bytes.set_int64_le backing 0x400 6L;
-  Alcotest.check_raises "conflict detected" GB.Invalid_read (fun () ->
+  (* the exception carries the conflicting word address *)
+  Alcotest.check_raises "conflict detected" (GB.Invalid_read 0x400) (fun () ->
       ignore (GB.validate gb mem))
 
 let test_gb_subword () =
