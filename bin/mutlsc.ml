@@ -8,7 +8,10 @@
      mutlsc bench fft --profile p.txt       profile the run while it executes
      mutlsc report t.jsonl                  fold a trace into Fig. 8/9
      mutlsc profile t.jsonl                 per-fork-point payoff, hot
-                                            addresses, rank utilization *)
+                                            addresses, rank utilization
+     mutlsc chaos --seed 7 --runs 500       randomized fault-injection
+                                            campaign with shrinking
+     mutlsc chaos --replay repro.json       re-run a minimized repro *)
 
 open Cmdliner
 
@@ -221,6 +224,7 @@ let run_cmd =
       end
     with
     | Mutls.Compile_error e -> `Error (false, "compile error: " ^ e)
+    | Mutls.Eval.Trap e -> `Error (false, "runtime trap: " ^ e)
     | Invalid_argument e -> `Error (false, e)
     | Sys_error e -> `Error (false, e)
   in
@@ -369,11 +373,127 @@ let profile_cmd =
         (const profile $ trace_file_arg $ json_arg $ threshold_arg
        $ min_forks_arg $ top_arg))
 
+(* --- chaos --------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let chaos seed runs out replay quiet =
+    try
+      match replay with
+      | Some path ->
+        let case =
+          Mutls.Chaos.case_of_json (Mutls.Json.of_string (read_file path))
+        in
+        let r = Mutls.Chaos.run_case case in
+        (match r.Mutls.Chaos.failure with
+        | None ->
+          Printf.printf "replay: case %d passed (%d fault(s) injected%s)\n"
+            case.Mutls.Chaos.label
+            (List.fold_left (fun a (_, n) -> a + n) 0 r.Mutls.Chaos.injected)
+            (if r.Mutls.Chaos.degraded then ", degraded to sequential" else "");
+          `Ok ()
+        | Some f ->
+          `Error
+            ( false,
+              Printf.sprintf "replay: case %d still fails: %s"
+                case.Mutls.Chaos.label
+                (Mutls.Chaos.failure_to_string f) ))
+      | None ->
+        let progress i n =
+          if (not quiet) && (i mod 25 = 0 || i = n - 1) then
+            Printf.eprintf "chaos: case %d/%d\n%!" i n
+        in
+        let c = Mutls.Chaos.run_campaign ~progress ~seed ~runs () in
+        (match (c.Mutls.Chaos.failed, c.Mutls.Chaos.minimized) with
+        | None, _ ->
+          Printf.printf
+            "chaos: %d/%d cases passed (seed %d, %d fault(s) injected, %d \
+             degraded run(s))\n"
+            c.Mutls.Chaos.passed c.Mutls.Chaos.requested seed
+            c.Mutls.Chaos.injected_total c.Mutls.Chaos.degraded_runs;
+          `Ok ()
+        | Some (case0, r0), minimized ->
+          let mcase, mr = Option.value minimized ~default:(case0, r0) in
+          let oc = open_out out in
+          output_string oc
+            (Mutls.Json.to_string
+               (Mutls.Chaos.repro_to_json ~campaign_seed:seed mcase mr)
+            ^ "\n");
+          close_out oc;
+          let fdesc =
+            match mr.Mutls.Chaos.failure with
+            | Some f -> Mutls.Chaos.failure_to_string f
+            | None -> "unknown failure"
+          in
+          `Error
+            ( false,
+              Printf.sprintf
+                "chaos: case %d of seed %d failed after %d clean case(s): %s \
+                 (minimized repro written to %s; re-run it with --replay)"
+                case0.Mutls.Chaos.label seed c.Mutls.Chaos.passed fdesc out ))
+    with
+    | Mutls.Compile_error e -> `Error (false, "compile error: " ^ e)
+    | Invalid_argument e -> `Error (false, e)
+    | Sys_error e -> `Error (false, e)
+    | Mutls.Json.Parse_error e -> `Error (false, "replay: not a repro file: " ^ e)
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; the same seed replays the identical campaign, \
+                 faults and all.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"N"
+           ~doc:"Number of randomized cases to run.")
+  in
+  let out_arg =
+    Arg.(value & opt string "chaos-repro.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"Where to write the minimized JSON repro when a case fails.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Re-run the single case stored in a repro file instead of \
+                 running a campaign.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress output.")
+  in
+  let info =
+    Cmd.info "chaos"
+      ~doc:"Randomized robustness campaign: random annotated programs crossed \
+            with fault-injection schedules, CPU counts and shrunken buffers, \
+            checking sequential equivalence and the trace-protocol oracle on \
+            every case; failures shrink to a minimal JSON repro."
+  in
+  Cmd.v info
+    Term.(
+      ret (const chaos $ seed_arg $ runs_arg $ out_arg $ replay_arg $ quiet_arg))
+
+(* User-facing failures exit 1 (bad programs, runtime traps, unreadable
+   or malformed inputs, failed chaos campaigns) and command-line misuse
+   exits 2; anything escaping the per-command handlers becomes a
+   one-line diagnostic rather than a raw OCaml backtrace. *)
 let () =
   let info =
     Cmd.info "mutlsc" ~version:"1.0"
       ~doc:"Mixed-model universal software thread-level speculation"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info [ run_cmd; dump_cmd; bench_cmd; report_cmd; profile_cmd ]))
+  let group =
+    Cmd.group info
+      [ run_cmd; dump_cmd; bench_cmd; report_cmd; profile_cmd; chaos_cmd ]
+  in
+  let code =
+    try Cmd.eval ~catch:false ~term_err:1 group with
+    | Mutls.Compile_error e ->
+      Printf.eprintf "mutlsc: compile error: %s\n%!" e;
+      1
+    | Mutls.Eval.Trap e ->
+      Printf.eprintf "mutlsc: runtime trap: %s\n%!" e;
+      1
+    | Sys_error e | Invalid_argument e | Failure e ->
+      Printf.eprintf "mutlsc: %s\n%!" e;
+      1
+    | e ->
+      Printf.eprintf "mutlsc: internal error: %s\n%!" (Printexc.to_string e);
+      125
+  in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

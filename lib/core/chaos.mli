@@ -1,0 +1,103 @@
+(** Chaos harness: randomized robustness campaigns for the TLS runtime.
+
+    A {!case} crosses a random annotated MiniC program (three templates:
+    chained chunks, shared-accumulator conflicts, recursive tree) with a
+    random {!Mutls_runtime.Fault} schedule, CPU count and deliberately
+    shrunken buffer capacities.  {!run_case} executes it sequentially
+    and under TLS with the {!Mutls_obs.Oracle} attached, failing on
+    output divergence, protocol violation, or crash.  Everything
+    derives from one seed, so campaigns replay bit-identically;
+    failures {!shrink} to a minimal repro serialisable to JSON for CI
+    artifacts and [mutlsc chaos --replay]. *)
+
+(** {1 Programs} *)
+
+type shape = {
+  template : int;  (** 0 chain, 1 shared-accumulator conflicts, 2 tree *)
+  expr_seed : int;  (** regenerates the same random expression *)
+  expr_size : int;
+  chunks : int;  (** speculation count / problem size *)
+  inner : int;  (** inner-loop work per chunk *)
+}
+
+val n_templates : int
+val template_name : int -> string
+
+val source_of_shape : shape -> string
+(** The deterministic MiniC source of a program shape. *)
+
+(** {1 Cases} *)
+
+type case = {
+  label : int;  (** index within its campaign *)
+  run_seed : int;  (** [Config.seed]: engine + fault streams *)
+  ncpus : int;
+  buffer_slots : int;
+  temp_slots : int;
+  plan : Mutls_runtime.Fault.plan;
+  backoff : bool;
+  degrade_after : int;
+  shape : shape;
+}
+
+val gen_case : seed:int -> int -> case
+(** Case [i] of campaign [seed]; pure function of both. *)
+
+(** {1 Running} *)
+
+type failure =
+  | Output_mismatch
+  | Oracle_violation of string  (** rendered first violation *)
+  | Crash of string
+
+val failure_to_string : failure -> string
+
+type run_result = {
+  source : string;
+  expected : string;  (** sequential output *)
+  actual : string;  (** TLS output ([""] after a crash) *)
+  failure : failure option;
+  injected : (string * int) list;  (** per-site injected-fault counts *)
+  degraded : bool;  (** fell back to sequential execution *)
+  threads : int;  (** speculative threads retired *)
+  committed : int;
+}
+
+val run_case : case -> run_result
+(** Compile and run one case both ways under the oracle.  Compile or
+    sequential-run errors propagate (harness bugs, not findings). *)
+
+val shrink : ?budget:int -> case -> case * run_result
+(** Greedy minimisation of a failing case — zero fault sites, restore
+    buffer capacities, halve the program — keeping each simplification
+    only while the case still fails; at most [budget] (default 64)
+    re-runs.  Returns the minimal case and its result. *)
+
+(** {1 JSON repro} *)
+
+val case_to_json : case -> Mutls_obs.Json.t
+val case_of_json : Mutls_obs.Json.t -> case
+(** Accepts a bare case object or a full repro file ([case] member).
+    @raise Invalid_argument on missing fields. *)
+
+val repro_to_json :
+  campaign_seed:int -> case -> run_result -> Mutls_obs.Json.t
+(** The CI artifact: campaign seed, minimal case, failure description,
+    expected/actual outputs, injected counts, and the program source. *)
+
+(** {1 Campaigns} *)
+
+type campaign = {
+  seed : int;
+  requested : int;
+  passed : int;  (** cases run clean before the first failure (or all) *)
+  injected_total : int;  (** faults fired across the clean cases *)
+  degraded_runs : int;  (** clean cases that fell back to sequential *)
+  failed : (case * run_result) option;  (** first failure, as generated *)
+  minimized : (case * run_result) option;
+}
+
+val run_campaign :
+  ?progress:(int -> int -> unit) -> seed:int -> runs:int -> unit -> campaign
+(** Run cases [0..runs-1] of the campaign, stopping at (and shrinking)
+    the first failure.  [progress i runs] is called before case [i]. *)

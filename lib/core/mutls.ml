@@ -19,6 +19,9 @@ module Metrics = Metrics
 module Experiments = Experiments
 module Ablations = Ablations
 module Auto_annotate = Mutls_speculator.Auto_annotate
+module Fault = Mutls_runtime.Fault
+module Oracle = Mutls_obs.Oracle
+module Chaos = Chaos
 
 type language = C | Fortran
 

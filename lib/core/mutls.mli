@@ -40,6 +40,18 @@ module Experiments = Experiments
 module Ablations = Ablations
 module Auto_annotate = Mutls_speculator.Auto_annotate
 
+module Fault = Mutls_runtime.Fault
+(** Deterministic fault injection at the runtime's failure sites;
+    enable via [Config.fault]. *)
+
+module Oracle = Mutls_obs.Oracle
+(** Online invariant checker over the trace stream; attach via
+    [Config.trace_sink]. *)
+
+module Chaos = Chaos
+(** Randomized robustness campaigns: random programs x fault schedules
+    x CPU counts, seeded and shrinkable ([mutlsc chaos]). *)
+
 (** {1 Compilation} *)
 
 type language = C | Fortran

@@ -66,6 +66,8 @@ type tls_result = {
   tfinish : float; (* virtual time when the main thread completed *)
   tmain_stats : Stats.t;
   tretired : Thread_manager.retired list;
+  tmgr : Thread_manager.t; (* post-run inspection: fault-injection
+                              counts, degraded flag *)
 }
 
 let run_tls_prepared ?(heap_size = default_heap)
@@ -127,6 +129,7 @@ let run_tls_prepared ?(heap_size = default_heap)
     tfinish = !finish;
     tmain_stats = (Thread_manager.main mgr).Thread_data.stats;
     tretired = Thread_manager.retired mgr;
+    tmgr = mgr;
   }
 
 (* Run the speculator-pass output under the TLS runtime on

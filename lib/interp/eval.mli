@@ -55,6 +55,9 @@ type tls_result = {
   tfinish : float;  (** virtual time when the main thread completed *)
   tmain_stats : Mutls_runtime.Stats.t;
   tretired : Mutls_runtime.Thread_manager.retired list;
+  tmgr : Mutls_runtime.Thread_manager.t;
+      (** the run's manager, for post-run inspection (injected-fault
+          counts, the {!Mutls_runtime.Thread_manager.degraded} flag) *)
 }
 
 val run_tls :

@@ -442,4 +442,5 @@ let run_tls ?(heap_size = Eval.default_heap)
     tfinish = !finish;
     tmain_stats = (Thread_manager.main mgr).Thread_data.stats;
     tretired = Thread_manager.retired mgr;
+    tmgr = mgr;
   }

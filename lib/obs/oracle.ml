@@ -1,0 +1,433 @@
+(* Online invariant oracle: a Trace sink that checks the runtime's
+   event stream against the fork-model state machine while the program
+   runs.  The paper's correctness story — every commit validated,
+   rollbacks and NOSYNCs confined to the right subtree, one live thread
+   per CPU, buffers finalized before a thread dies — becomes a set of
+   machine-checked invariants, so a chaos campaign (Mutls.Chaos) can
+   assert not just "same final answer" but "the protocol never entered
+   an illegal state along the way".
+
+   The oracle reconstructs the thread tree from Fork/Join/Nosync
+   records (including the tree-form child inheritance at joins) and
+   tracks per-thread lifecycle: forked -> validated -> verdict
+   (commit/rollback) -> finalized -> retired.  On a violation it
+   reports the invariant name plus a minimal counterexample window: the
+   recent records mentioning the threads involved in the offending
+   record, extracted from a bounded ring — enough context to replay the
+   illegal transition without dumping the whole trace.
+
+   Checked invariants (names as reported in violations):
+   - commit-without-validate: a Commit must consume an immediately
+     preceding successful Validate of the same thread;
+   - commit-after-nosync: a NOSYNC'd thread never commits (its region
+     was abandoned; it may only roll back);
+   - rollback-without-failed-validate: Conflict/Stale_local rollbacks
+     must consume a failed Validate;
+   - overflow-rollback-without-overflow: a Buffer_overflow rollback
+     must be announced by an Overflow record;
+   - double-verdict / validate-after-verdict / fork-after-verdict:
+     a thread reaches at most one terminal verdict and does nothing
+     afterwards;
+   - fork-by-retired / fork-by-nosynced: only live, unstopped threads
+     fork;
+   - duplicate-thread-id: fork ids are fresh;
+   - rank-conflict / bad-rank: at most one live thread per virtual CPU,
+     and speculation never lands on rank 0 (the non-speculative CPU);
+   - join-of-non-child / join-verdict-mismatch: joins name a current
+     child (tree-form inheritance included) whose verdict matches the
+     reported outcome;
+   - retire-verdict-mismatch / unfinalized-retire / double-retire:
+     Retire agrees with the verdict and buffers were finalized first;
+   - event-from-unknown-thread: speculative lifecycle events only from
+     forked threads;
+   - unretired-thread (end of stream): every forked thread eventually
+     retires — no leaked live speculation. *)
+
+type violation = {
+  invariant : string; (* short kebab-case invariant id *)
+  message : string;
+  record : Trace.record option; (* None for end-of-stream checks *)
+  window : Trace.record list; (* minimal counterexample, oldest first *)
+}
+
+exception Violation of violation
+
+let violation_to_string v =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "oracle violation [%s]: %s\n" v.invariant v.message);
+  (match v.record with
+  | Some r ->
+    Buffer.add_string b ("  at: " ^ Trace.pretty_line r ^ "\n")
+  | None -> Buffer.add_string b "  at: end of stream\n");
+  if v.window <> [] then begin
+    Buffer.add_string b "  counterexample window:\n";
+    List.iter
+      (fun r -> Buffer.add_string b ("    " ^ Trace.pretty_line r ^ "\n"))
+      v.window
+  end;
+  Buffer.contents b
+
+(* --- per-thread lifecycle state -------------------------------------- *)
+
+type verdict = V_commit | V_rollback
+
+type tstate = {
+  id : int;
+  mutable parent : int; (* current parent; updated on inheritance *)
+  mutable children : int list; (* currently tracked children *)
+  rank : int;
+  mutable last_validate : bool option; (* unconsumed Validate outcome *)
+  mutable verdict : verdict option;
+  mutable nosynced : bool;
+  mutable retired : bool;
+  mutable finalized : bool; (* saw a "finalize" charge *)
+  mutable pending_overflow : bool; (* Overflow seen, Rollback due *)
+}
+
+type t = {
+  threads : (int, tstate) Hashtbl.t;
+  rank_occupant : (int, int) Hashtbl.t; (* rank -> live thread id *)
+  ring : Trace.record option array; (* recent records, for windows *)
+  mutable ring_pos : int;
+  mutable checked : int;
+  halt : bool; (* raise on violation vs. collect *)
+  mutable violations : violation list; (* newest first while collecting *)
+  mutable finished : bool;
+}
+
+let create ?(window = 128) ?(halt = true) () =
+  {
+    threads = Hashtbl.create 64;
+    rank_occupant = Hashtbl.create 8;
+    ring = Array.make (max 8 window) None;
+    ring_pos = 0;
+    checked = 0;
+    halt;
+    violations = [];
+    finished = false;
+  }
+
+let checked t = t.checked
+let violations t = List.rev t.violations
+
+let remember t r =
+  t.ring.(t.ring_pos) <- Some r;
+  t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring
+
+(* Thread ids a record mentions — the emitting thread plus any child
+   named in the event payload. *)
+let involved (r : Trace.record) =
+  r.Trace.thread
+  ::
+  (match r.Trace.event with
+  | Trace.Fork { child; _ } | Trace.Join { child; _ } -> [ child ]
+  | _ -> [])
+
+let ring_window t ids =
+  let n = Array.length t.ring in
+  let out = ref [] in
+  for k = n - 1 downto 0 do
+    match t.ring.((t.ring_pos + k) mod n) with
+    | Some r when List.exists (fun i -> List.mem i ids) (involved r) ->
+      out := r :: !out
+    | _ -> ()
+  done;
+  List.rev !out (* oldest first *)
+
+let report t ~invariant ~record fmt =
+  Printf.ksprintf
+    (fun message ->
+      let window =
+        match record with
+        | Some r -> ring_window t (involved r)
+        | None -> []
+      in
+      let v = { invariant; message; record; window } in
+      if t.halt then raise (Violation v) else t.violations <- v :: t.violations)
+    fmt
+
+(* --- event transition checks ----------------------------------------- *)
+
+let find t id = Hashtbl.find_opt t.threads id
+
+(* The emitting side of Fork/Join/Charge may be the main thread, which
+   is never forked: materialise its state on first sight. *)
+let emitter t (r : Trace.record) =
+  match find t r.Trace.thread with
+  | Some ts -> Some ts
+  | None ->
+    if r.Trace.main then begin
+      let ts =
+        {
+          id = r.Trace.thread;
+          parent = -1;
+          children = [];
+          rank = r.Trace.rank;
+          last_validate = None;
+          verdict = None;
+          nosynced = false;
+          retired = false;
+          finalized = false;
+          pending_overflow = false;
+        }
+      in
+      Hashtbl.add t.threads r.Trace.thread ts;
+      Some ts
+    end
+    else None
+
+(* A speculative-lifecycle event from a thread the stream never forked
+   is itself a violation (except for the main thread). *)
+let spec_emitter t r ~invariant =
+  match emitter t r with
+  | Some ts -> Some ts
+  | None ->
+    report t ~invariant:"event-from-unknown-thread" ~record:(Some r)
+      "%s from thread %d which was never forked" invariant r.Trace.thread;
+    None
+
+let verdict_name = function V_commit -> "commit" | V_rollback -> "rollback"
+
+let feed t (r : Trace.record) =
+  t.checked <- t.checked + 1;
+  (if r.Trace.thread >= 0 then
+     match r.Trace.event with
+     | Trace.Fork { child; child_rank; point = _ } -> (
+       (match emitter t r with
+       | None ->
+         report t ~invariant:"event-from-unknown-thread" ~record:(Some r)
+           "fork by thread %d which was never forked" r.Trace.thread
+       | Some p ->
+         if p.retired then
+           report t ~invariant:"fork-by-retired" ~record:(Some r)
+             "thread %d forked child %d after retiring" p.id child;
+         if p.nosynced then
+           report t ~invariant:"fork-by-nosynced" ~record:(Some r)
+             "thread %d forked child %d after being NOSYNC'd" p.id child;
+         if p.verdict <> None then
+           report t ~invariant:"fork-after-verdict" ~record:(Some r)
+             "thread %d forked child %d after its %s" p.id child
+             (verdict_name (Option.get p.verdict));
+         p.children <- child :: p.children);
+       if Hashtbl.mem t.threads child then
+         report t ~invariant:"duplicate-thread-id" ~record:(Some r)
+           "thread id %d forked twice" child
+       else begin
+         if child_rank < 1 then
+           report t ~invariant:"bad-rank" ~record:(Some r)
+             "child %d forked onto rank %d (rank 0 is the non-speculative \
+              CPU)"
+             child child_rank;
+         (match Hashtbl.find_opt t.rank_occupant child_rank with
+         | Some other ->
+           report t ~invariant:"rank-conflict" ~record:(Some r)
+             "child %d forked onto rank %d while thread %d is still live \
+              there"
+             child child_rank other
+         | None -> ());
+         Hashtbl.replace t.rank_occupant child_rank child;
+         Hashtbl.add t.threads child
+           {
+             id = child;
+             parent = r.Trace.thread;
+             children = [];
+             rank = child_rank;
+             last_validate = None;
+             verdict = None;
+             nosynced = false;
+             retired = false;
+             finalized = false;
+             pending_overflow = false;
+           }
+       end)
+     | Trace.Validate { ok; _ } -> (
+       match spec_emitter t r ~invariant:"validate" with
+       | None -> ()
+       | Some ts ->
+         if ts.verdict <> None then
+           report t ~invariant:"validate-after-verdict" ~record:(Some r)
+             "thread %d validated after its %s" ts.id
+             (verdict_name (Option.get ts.verdict));
+         ts.last_validate <- Some ok)
+     | Trace.Commit _ -> (
+       match spec_emitter t r ~invariant:"commit" with
+       | None -> ()
+       | Some ts ->
+         (match ts.verdict with
+         | Some v ->
+           report t ~invariant:"double-verdict" ~record:(Some r)
+             "thread %d committed after an earlier %s" ts.id (verdict_name v)
+         | None -> ());
+         if ts.nosynced then
+           report t ~invariant:"commit-after-nosync" ~record:(Some r)
+             "thread %d committed after being NOSYNC'd (abandoned subtree)"
+             ts.id;
+         (match ts.last_validate with
+         | Some true -> ()
+         | Some false ->
+           report t ~invariant:"commit-without-validate" ~record:(Some r)
+             "thread %d committed though its validation failed" ts.id
+         | None ->
+           report t ~invariant:"commit-without-validate" ~record:(Some r)
+             "thread %d committed without a preceding validation" ts.id);
+         ts.last_validate <- None;
+         ts.verdict <- Some V_commit)
+     | Trace.Rollback { reason; _ } -> (
+       match spec_emitter t r ~invariant:"rollback" with
+       | None -> ()
+       | Some ts ->
+         (match ts.verdict with
+         | Some v ->
+           report t ~invariant:"double-verdict" ~record:(Some r)
+             "thread %d rolled back after an earlier %s" ts.id
+             (verdict_name v)
+         | None -> ());
+         (match reason with
+         | Trace.Conflict | Trace.Stale_local -> (
+           match ts.last_validate with
+           | Some false -> ()
+           | _ ->
+             report t ~invariant:"rollback-without-failed-validate"
+               ~record:(Some r)
+               "thread %d rolled back (%s) without a failed validation"
+               ts.id
+               (Trace.rollback_reason_to_string reason))
+         | Trace.Buffer_overflow ->
+           if not ts.pending_overflow then
+             report t ~invariant:"overflow-rollback-without-overflow"
+               ~record:(Some r)
+               "thread %d rolled back on overflow without an Overflow \
+                record"
+               ts.id
+         | Trace.Abandoned | Trace.Bad_access -> ());
+         ts.pending_overflow <- false;
+         ts.last_validate <- None;
+         ts.verdict <- Some V_rollback)
+     | Trace.Overflow -> (
+       match spec_emitter t r ~invariant:"overflow" with
+       | None -> ()
+       | Some ts -> ts.pending_overflow <- true)
+     | Trace.Nosync _ -> (
+       (* NOSYNC may legitimately hit a thread that already rolled back
+          unilaterally (its sync flag was still unset), so only the
+          bookkeeping is updated here; the teeth are in
+          commit-after-nosync. *)
+       match spec_emitter t r ~invariant:"nosync" with
+       | None -> ()
+       | Some ts ->
+         ts.nosynced <- true;
+         (match find t ts.parent with
+         | Some p ->
+           p.children <- List.filter (fun c -> c <> ts.id) p.children
+         | None -> ()))
+     | Trace.Join { child; committed } -> (
+       match emitter t r with
+       | None ->
+         report t ~invariant:"event-from-unknown-thread" ~record:(Some r)
+           "join by thread %d which was never forked" r.Trace.thread
+       | Some p -> (
+         match find t child with
+         | None ->
+           report t ~invariant:"join-of-non-child" ~record:(Some r)
+             "thread %d joined unknown thread %d" p.id child
+         | Some c ->
+           if not (List.mem child p.children) then
+             report t ~invariant:"join-of-non-child" ~record:(Some r)
+               "thread %d joined thread %d which is not among its current \
+                children"
+               p.id child;
+           let actual =
+             match c.verdict with
+             | Some V_commit -> true
+             | Some V_rollback | None -> false
+           in
+           if committed <> actual then
+             report t ~invariant:"join-verdict-mismatch" ~record:(Some r)
+               "join of thread %d reported committed=%b but its verdict is \
+                %s"
+               child committed
+               (match c.verdict with
+               | Some v -> verdict_name v
+               | None -> "missing");
+           (* tree-form inheritance: the joiner adopts the child's
+              children, whatever the verdict *)
+           p.children <- List.filter (fun x -> x <> child) p.children;
+           List.iter
+             (fun g ->
+               match find t g with
+               | Some gs when not gs.nosynced ->
+                 gs.parent <- p.id;
+                 p.children <- g :: p.children
+               | _ -> ())
+             c.children;
+           c.children <- []))
+     | Trace.Retire { committed; _ } -> (
+       match spec_emitter t r ~invariant:"retire" with
+       | None -> ()
+       | Some ts ->
+         if ts.retired then
+           report t ~invariant:"double-retire" ~record:(Some r)
+             "thread %d retired twice" ts.id;
+         (match (committed, ts.verdict) with
+         | true, Some V_commit -> ()
+         | true, (Some V_rollback | None) ->
+           report t ~invariant:"retire-verdict-mismatch" ~record:(Some r)
+             "thread %d retired committed=true without a commit" ts.id
+         | false, Some V_commit ->
+           report t ~invariant:"retire-verdict-mismatch" ~record:(Some r)
+             "thread %d retired committed=false after a commit" ts.id
+         | false, (Some V_rollback | None) -> ());
+         if ts.verdict <> None && not ts.finalized then
+           report t ~invariant:"unfinalized-retire" ~record:(Some r)
+             "thread %d retired without finalizing its buffers" ts.id;
+         ts.retired <- true;
+         (match Hashtbl.find_opt t.rank_occupant ts.rank with
+         | Some occ when occ = ts.id -> Hashtbl.remove t.rank_occupant ts.rank
+         | _ -> ()))
+     | Trace.Charge { category; _ } -> (
+       if category = "finalize" then
+         match find t r.Trace.thread with
+         | Some ts -> ts.finalized <- true
+         | None -> ())
+     | Trace.Speculate _ | Trace.Check _ | Trace.Barrier _ | Trace.Spill _
+     | Trace.Frame _ | Trace.Sched _ | Trace.Run_end ->
+       ());
+  remember t r
+
+(* End-of-stream checks.  Retires of abandoned threads can trail the
+   main thread's Run_end record, so liveness is only checkable once the
+   stream is complete. *)
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    (* every forked thread must retire: a live leak means a speculation
+       was neither joined nor NOSYNC'd to completion *)
+    let leaked =
+      Hashtbl.fold
+        (fun _ ts acc ->
+          if ts.parent >= 0 && not ts.retired then ts.id :: acc else acc)
+        t.threads []
+    in
+    match List.sort compare leaked with
+    | [] -> ()
+    | ids ->
+      report t ~invariant:"unretired-thread" ~record:None
+        "threads [%s] never retired: leaked live speculation"
+        (String.concat "; " (List.map string_of_int ids))
+  end
+
+let sink t =
+  {
+    Trace.enabled = true;
+    emit = (fun r -> feed t r);
+    close = (fun () -> finish t);
+  }
+
+(* Post-hoc convenience: run a whole recorded stream through a fresh
+   oracle, collecting violations instead of raising. *)
+let check_records ?window records =
+  let t = create ?window ~halt:false () in
+  List.iter (feed t) records;
+  finish t;
+  violations t

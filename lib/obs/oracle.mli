@@ -1,0 +1,61 @@
+(** Online invariant oracle for the TLS runtime's event stream.
+
+    A {!t} is a streaming checker of the fork-model state machine,
+    usable as a {!Trace.sink} (tee it beside a file sink via
+    [Config.trace_sink]) or fed record-by-record.  It reconstructs the
+    thread tree from Fork/Join/Nosync records — including the
+    tree-form child inheritance at joins — and verifies, among others:
+    every commit consumes an immediately preceding successful
+    validation; Conflict/Stale_local rollbacks consume a failed one;
+    a NOSYNC'd thread never commits; at most one live thread per
+    virtual CPU and none on rank 0; joins name a current child and
+    agree with its verdict; buffers are finalized before a thread
+    retires; and (at end of stream) no forked thread leaks unretired.
+
+    On a violation the oracle either raises {!Violation} (default) or
+    collects it (create with [~halt:false]), attaching a minimal
+    counterexample window: the recent records that mention the threads
+    involved, cut from a bounded ring. *)
+
+type violation = {
+  invariant : string;  (** short kebab-case invariant id *)
+  message : string;
+  record : Trace.record option;  (** [None] for end-of-stream checks *)
+  window : Trace.record list;  (** counterexample context, oldest first *)
+}
+
+exception Violation of violation
+
+val violation_to_string : violation -> string
+(** Multi-line rendering: invariant, message, offending record and the
+    counterexample window as {!Trace.pretty_line}s. *)
+
+type t
+
+val create : ?window:int -> ?halt:bool -> unit -> t
+(** [window] (default 128) bounds the counterexample ring; [halt]
+    (default [true]) makes {!feed} raise {!Violation} on the first
+    offence — pass [false] to collect into {!violations} instead and
+    keep checking. *)
+
+val feed : t -> Trace.record -> unit
+(** Check one record and fold it into the oracle's state.
+    @raise Violation in halting mode. *)
+
+val finish : t -> unit
+(** End-of-stream checks (thread leaks).  Idempotent.
+    @raise Violation in halting mode. *)
+
+val sink : t -> Trace.sink
+(** The oracle as a trace sink; [close] runs {!finish}. *)
+
+val checked : t -> int
+(** Records fed so far. *)
+
+val violations : t -> violation list
+(** Collected violations, oldest first (empty in halting mode unless
+    caught and resumed). *)
+
+val check_records : ?window:int -> Trace.record list -> violation list
+(** Post-hoc: run a complete recorded stream through a fresh
+    non-halting oracle and return every violation found. *)

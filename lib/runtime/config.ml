@@ -81,6 +81,16 @@ type t = {
      default) keeps tracing disabled at near-zero cost.  This replaces
      the old MUTLS_DEBUG/MUTLS_DEBUG2 env toggles: the library never
      reads the process environment. *)
+  fault : Fault.plan option; (* chaos testing: deterministic fault
+                                injection at the runtime's failure
+                                sites; None (the default) disables it *)
+  backoff : bool; (* per-fork-point exponential backoff after repeated
+                     rollbacks/overflows — the online counterpart of
+                     the profiler's no-speculate advisor *)
+  degrade_after : int; (* consecutive overflow rollbacks (with no
+                          intervening commit) before speculation is
+                          switched off for the rest of the run;
+                          0 disables the fallback *)
 }
 
 let default =
@@ -97,4 +107,47 @@ let default =
     cascade = Tree_cascade;
     value_prediction = false;
     trace_sink = Mutls_obs.Trace.null;
+    fault = None;
+    backoff = false;
+    degrade_after = 0;
   }
+
+(* --- validation ------------------------------------------------------- *)
+
+(* Reject malformed configurations up front with a field-specific
+   message, instead of failing deep inside Global_buffer.create (or
+   not at all).  Called by Thread_manager.create, so every TLS run is
+   covered. *)
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let check_cost (c : cost) =
+  List.iter
+    (fun (name, v) ->
+      if not (v >= 0.0) then
+        fail "Config.cost.%s must be non-negative (got %g)" name v)
+    [ ("instr", c.instr); ("mem", c.mem); ("spec_hit", c.spec_hit);
+      ("spec_miss", c.spec_miss); ("fork", c.fork); ("find_cpu", c.find_cpu);
+      ("per_local", c.per_local); ("validate_word", c.validate_word);
+      ("commit_word", c.commit_word); ("finalize_word", c.finalize_word);
+      ("check_point", c.check_point); ("sync_fixed", c.sync_fixed);
+      ("call", c.call) ]
+
+let validate t =
+  if t.ncpus < 1 then fail "Config.ncpus must be >= 1 (got %d)" t.ncpus;
+  if t.buffer_slots < 1 || t.buffer_slots land (t.buffer_slots - 1) <> 0 then
+    fail "Config.buffer_slots must be a positive power of two (got %d)"
+      t.buffer_slots;
+  if t.temp_slots < 0 then
+    fail "Config.temp_slots must be non-negative (got %d)" t.temp_slots;
+  if t.max_locals < 1 then
+    fail "Config.max_locals must be >= 1 (got %d)" t.max_locals;
+  if not (t.rollback_probability >= 0.0 && t.rollback_probability <= 1.0) then
+    fail "Config.rollback_probability must be in [0, 1] (got %g)"
+      t.rollback_probability;
+  if not (t.quantum > 0.0) then
+    fail "Config.quantum must be positive (got %g)" t.quantum;
+  if t.degrade_after < 0 then
+    fail "Config.degrade_after must be non-negative (got %d)" t.degrade_after;
+  check_cost t.cost;
+  match t.fault with None -> () | Some plan -> Fault.validate_plan plan

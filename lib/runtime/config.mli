@@ -63,6 +63,29 @@ type t = {
           at near-zero cost.  Replaces the old [MUTLS_DEBUG] /
           [MUTLS_DEBUG2] env toggles — the library never reads the
           process environment. *)
+  fault : Fault.plan option;
+      (** chaos testing: deterministic fault injection at the runtime's
+          failure sites (see {!Fault}); [None] (the default) disables
+          injection entirely *)
+  backoff : bool;
+      (** per-fork-point exponential backoff after repeated
+          rollbacks/overflows — the online counterpart of the
+          profiler's no-speculate advisor.  Off by default so
+          benchmark figures are unaffected. *)
+  degrade_after : int;
+      (** consecutive overflow rollbacks (with no intervening commit)
+          tolerated before speculation is switched off for the rest of
+          the run, turning sustained resource exhaustion into plain
+          sequential execution instead of rollback-thrashing;
+          [0] (the default) disables the fallback *)
 }
 
 val default : t
+
+val validate : t -> unit
+(** Reject malformed configurations up front — [ncpus >= 1],
+    [buffer_slots] a positive power of two, non-negative sizes, rates
+    and costs, probabilities in [[0, 1]] — with a field-specific
+    message instead of failing deep inside [Global_buffer.create].
+    Called by [Thread_manager.create].
+    @raise Invalid_argument on the first violated constraint. *)

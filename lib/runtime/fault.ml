@@ -1,0 +1,125 @@
+(* Deterministic fault injection for the TLS runtime.
+
+   Chaos testing of the paper's correctness story — rollbacks confined
+   to a subtree, buffers cleared on commit/rollback, NOSYNC mismatches
+   popped safely — needs the runtime's failure paths exercised on
+   demand, not just when a benchmark happens to hit them.  A [t] is a
+   seed-driven injector consulted by the ThreadManager at five
+   well-defined sites; every injected fault maps onto a failure path
+   the runtime already has to survive (forced validation failure,
+   buffer overflow, poisoned locals, NOSYNC join, fork denial), so a
+   run under any fault schedule must still produce the sequential
+   result.
+
+   Determinism: each site draws from its own SplitMix64 stream, seeded
+   from the run seed and the site index.  A site with rate 0.0 never
+   draws, so zeroing one site's rate (as the chaos shrinker does) does
+   not shift the random streams of the others. *)
+
+type site =
+  | Validation_failure (* force validate_against_parent to fail *)
+  | Buffer_overflow (* force a GlobalBuffer overflow on a buffered access *)
+  | Spurious_rollback (* poison a thread's locals at a check point *)
+  | Nosync_join (* treat the matching child as a mismatch at a join *)
+  | Fork_denial (* make MUTLS_get_CPU return 0 despite an idle CPU *)
+
+let n_sites = 5
+
+let site_index = function
+  | Validation_failure -> 0
+  | Buffer_overflow -> 1
+  | Spurious_rollback -> 2
+  | Nosync_join -> 3
+  | Fork_denial -> 4
+
+let site_name = function
+  | Validation_failure -> "validation-failure"
+  | Buffer_overflow -> "buffer-overflow"
+  | Spurious_rollback -> "spurious-rollback"
+  | Nosync_join -> "nosync-join"
+  | Fork_denial -> "fork-denial"
+
+let site_of_name = function
+  | "validation-failure" -> Some Validation_failure
+  | "buffer-overflow" -> Some Buffer_overflow
+  | "spurious-rollback" -> Some Spurious_rollback
+  | "nosync-join" -> Some Nosync_join
+  | "fork-denial" -> Some Fork_denial
+  | _ -> None
+
+let all_sites =
+  [ Validation_failure; Buffer_overflow; Spurious_rollback; Nosync_join;
+    Fork_denial ]
+
+(* Per-site injection probabilities, each applied once per occurrence
+   of the site (per validation, per buffered access, per stopping check
+   point, per join, per otherwise-possible fork). *)
+type plan = {
+  validation : float;
+  overflow : float;
+  spurious : float;
+  nosync : float;
+  deny : float;
+}
+
+let none =
+  { validation = 0.0; overflow = 0.0; spurious = 0.0; nosync = 0.0; deny = 0.0 }
+
+let rate plan = function
+  | Validation_failure -> plan.validation
+  | Buffer_overflow -> plan.overflow
+  | Spurious_rollback -> plan.spurious
+  | Nosync_join -> plan.nosync
+  | Fork_denial -> plan.deny
+
+let is_none plan = List.for_all (fun s -> rate plan s = 0.0) all_sites
+
+let validate_plan plan =
+  List.iter
+    (fun s ->
+      let r = rate plan s in
+      if not (r >= 0.0 && r <= 1.0) then
+        invalid_arg
+          (Printf.sprintf "Fault.plan: %s rate must be in [0, 1] (got %g)"
+             (site_name s) r))
+    all_sites
+
+type t = {
+  plan : plan;
+  streams : Mutls_sim.Rng.t array; (* one independent stream per site *)
+  injected : int array; (* faults actually fired, per site *)
+  occasions : int array; (* times each site was consulted *)
+}
+
+let create ~seed plan =
+  validate_plan plan;
+  {
+    plan;
+    streams =
+      Array.init n_sites (fun i ->
+          (* distinct, seed-derived stream per site; the golden-ratio
+             multiplier decorrelates neighbouring seeds *)
+          Mutls_sim.Rng.create (seed + ((i + 1) * 0x9E3779B9)));
+    injected = Array.make n_sites 0;
+    occasions = Array.make n_sites 0;
+  }
+
+(* Roll the dice for one occurrence of [site].  Rate-0 sites return
+   [false] without consuming randomness. *)
+let fire t site =
+  let i = site_index site in
+  t.occasions.(i) <- t.occasions.(i) + 1;
+  let r = rate t.plan site in
+  if r <= 0.0 then false
+  else begin
+    let hit = r >= 1.0 || Mutls_sim.Rng.next_float t.streams.(i) < r in
+    if hit then t.injected.(i) <- t.injected.(i) + 1;
+    hit
+  end
+
+let injected t site = t.injected.(site_index site)
+let occasions t site = t.occasions.(site_index site)
+let total_injected t = Array.fold_left ( + ) 0 t.injected
+
+let injected_assoc t =
+  List.map (fun s -> (site_name s, injected t s)) all_sites

@@ -1,0 +1,73 @@
+(** Deterministic fault injection for the TLS runtime.
+
+    A {!t} is a seed-driven injector consulted by the ThreadManager at
+    five well-defined sites.  Every injected fault maps onto a failure
+    path the runtime must survive anyway — a forced validation failure,
+    a GlobalBuffer overflow, poisoned locals (stale-local rollback at
+    the next validation), a NOSYNC'd join, a denied fork — so a run
+    under {i any} fault schedule must still terminate with the
+    sequential program's results.  The chaos harness
+    ([Mutls.Chaos] / [mutlsc chaos]) asserts exactly that.
+
+    Determinism: each site draws from its own SplitMix64 stream seeded
+    from the run seed, and a rate-0 site never draws — so zeroing one
+    site's rate (as the shrinker does) leaves the other sites' streams
+    unchanged. *)
+
+(** Injection sites, in the order the runtime consults them. *)
+type site =
+  | Validation_failure
+      (** force [validate_against_parent] to report a conflict *)
+  | Buffer_overflow
+      (** force a GlobalBuffer overflow on a buffered load/store,
+          modelling temporary-buffer exhaustion *)
+  | Spurious_rollback
+      (** poison a thread's locals at a stopping check point so its
+          eventual validation fails stale-local *)
+  | Nosync_join
+      (** treat the matching child as a mismatch at a join, NOSYNCing
+          its subtree (the parent re-executes the region) *)
+  | Fork_denial  (** make MUTLS_get_CPU return 0 despite an idle CPU *)
+
+val all_sites : site list
+val site_name : site -> string
+val site_of_name : string -> site option
+
+(** Per-site injection probabilities, each applied once per occurrence
+    of the site. *)
+type plan = {
+  validation : float;  (** per validation *)
+  overflow : float;  (** per buffered (GlobalBuffer) access *)
+  spurious : float;  (** per stopping check point *)
+  nosync : float;  (** per matched join *)
+  deny : float;  (** per otherwise-possible fork *)
+}
+
+val none : plan
+(** All rates zero. *)
+
+val rate : plan -> site -> float
+val is_none : plan -> bool
+
+val validate_plan : plan -> unit
+(** @raise Invalid_argument when a rate lies outside [[0, 1]]. *)
+
+type t
+
+val create : seed:int -> plan -> t
+(** @raise Invalid_argument on an invalid plan. *)
+
+val fire : t -> site -> bool
+(** Roll the dice for one occurrence of the site; [true] means inject.
+    Counts the occasion either way. *)
+
+val injected : t -> site -> int
+(** Faults actually fired at the site so far. *)
+
+val occasions : t -> site -> int
+(** Times the site has been consulted so far. *)
+
+val total_injected : t -> int
+
+val injected_assoc : t -> (string * int) list
+(** Site name to injected count, in {!all_sites} order. *)

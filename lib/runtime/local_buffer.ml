@@ -8,6 +8,13 @@
 
 type v = Vi of int64 | Vf of float
 
+(* A register/address slot that was never written.  Distinct from
+   Invalid_argument (out-of-range offset = speculator-pass/API misuse)
+   because the ThreadManager's validate_local legitimately probes
+   fork-time slots the parent may not have populated: an unset slot
+   there means misspeculation, not a caller bug. *)
+exception Unset of string
+
 type stackvar = {
   sv_spec_addr : int; (* address in the speculative thread *)
   sv_size : int;
@@ -102,7 +109,7 @@ let get_reg frame t off =
   match frame.regs.(off) with
   | Some v -> v
   | None ->
-    invalid_arg (Printf.sprintf "Local_buffer: register offset %d not set" off)
+    raise (Unset (Printf.sprintf "Local_buffer: register offset %d not set" off))
 
 let get_reg_opt frame t off =
   check_offset t off;
@@ -119,7 +126,7 @@ let get_fork_reg t off =
   match t.fork_regs.(off) with
   | Some v -> v
   | None ->
-    invalid_arg (Printf.sprintf "Local_buffer: fork register %d not set" off)
+    raise (Unset (Printf.sprintf "Local_buffer: fork register %d not set" off))
 
 let set_fork_orig t off value =
   check_offset t off;
@@ -140,7 +147,7 @@ let get_fork_addr t off =
   match List.assoc_opt off t.fork_addrs with
   | Some a -> a
   | None ->
-    invalid_arg (Printf.sprintf "Local_buffer: no fork stack address %d" off)
+    raise (Unset (Printf.sprintf "Local_buffer: no fork stack address %d" off))
 
 (* --- speculative thread's own stack range -------------------------- *)
 

@@ -8,6 +8,13 @@
 (** Register values in transfer: integers/pointers and floats. *)
 type v = Vi of int64 | Vf of float
 
+exception Unset of string
+(** Raised when reading a register or fork-address slot that was never
+    written.  Distinct from [Invalid_argument] (offset out of range =
+    API misuse): the ThreadManager's local validation legitimately
+    probes slots the parent may not have populated and treats [Unset]
+    as misspeculation. *)
+
 type stackvar = {
   sv_spec_addr : int;  (** address in the speculative thread *)
   sv_size : int;

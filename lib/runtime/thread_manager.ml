@@ -21,6 +21,13 @@ type cpu_state = Idle | Busy of Thread_data.t
 
 type retired = { r_stats : Stats.t; r_runtime : float; r_committed : bool }
 
+(* Per-fork-point exponential backoff state (Config.backoff): after a
+   rollback the point sits out the next [skip] fork opportunities, with
+   the penalty doubling on each further rollback and halving on a
+   commit — the online counterpart of the profiler's no-speculate
+   advisor.  Bounded, so a point is never disabled forever. *)
+type backoff = { mutable bk_penalty : int; mutable bk_skip : int }
+
 type t = {
   cfg : Config.t;
   engine : Engine.t;
@@ -42,6 +49,12 @@ type t = {
      allocation, and every thread finalizes its buffer before dying, so
      the next occupant of the rank can reuse it. *)
   buffer_pool : Global_buffer.t array;
+  fault : Fault.t option; (* chaos testing: deterministic injection at
+                             the runtime's failure sites (Config.fault) *)
+  backoffs : (int, backoff) Hashtbl.t; (* fork point -> backoff state *)
+  mutable overflow_streak : int; (* overflow rollbacks since last commit *)
+  mutable degraded : bool; (* sustained overflow: speculation disabled,
+                              run continues sequentially (Config.degrade_after) *)
 }
 
 (* --- tracing --------------------------------------------------------- *)
@@ -69,6 +82,7 @@ let install_hooks mgr (td : Thread_data.t) =
     (Some (fun ~push ~depth -> emit mgr td (Trace.Frame { push; depth })))
 
 let create (cfg : Config.t) engine mem =
+  Config.validate cfg;
   let main =
     Thread_data.create ~id:0 ~rank:0 ~fork_point:(-1) ~is_main:true
       ~buffer_slots:cfg.buffer_slots ~temp_slots:cfg.temp_slots
@@ -92,6 +106,10 @@ let create (cfg : Config.t) engine mem =
         Array.init (max 1 cfg.ncpus) (fun _ ->
             Global_buffer.create ~slots:cfg.buffer_slots
               ~temp_slots:cfg.temp_slots);
+      fault = Option.map (Fault.create ~seed:cfg.seed) cfg.fault;
+      backoffs = Hashtbl.create 16;
+      overflow_streak = 0;
+      degraded = false;
     }
   in
   if tracing mgr then install_hooks mgr main;
@@ -103,6 +121,68 @@ let main mgr = mgr.main
 let retired mgr = mgr.retired
 let cfg mgr = mgr.cfg
 let now mgr = Engine.now mgr.engine
+let degraded mgr = mgr.degraded
+let injector mgr = mgr.fault
+
+(* --- fault injection & graceful degradation -------------------------- *)
+
+let inject mgr site =
+  match mgr.fault with None -> false | Some f -> Fault.fire f site
+
+let max_penalty = 64
+
+let backoff_state mgr point =
+  match Hashtbl.find_opt mgr.backoffs point with
+  | Some b -> b
+  | None ->
+    let b = { bk_penalty = 0; bk_skip = 0 } in
+    Hashtbl.add mgr.backoffs point b;
+    b
+
+(* Consume one unit of the point's backoff budget at MUTLS_get_CPU;
+   [true] vetoes the fork. *)
+let backoff_veto mgr point =
+  mgr.cfg.Config.backoff && point >= 0
+  &&
+  let b = backoff_state mgr point in
+  if b.bk_skip > 0 then begin
+    b.bk_skip <- b.bk_skip - 1;
+    true
+  end
+  else false
+
+(* A genuine misspeculation (conflict, stale local, overflow — not an
+   abandoned subtree, which says nothing about the point itself). *)
+let note_rollback mgr (td : Thread_data.t) =
+  if mgr.cfg.Config.backoff && td.fork_point >= 0 then begin
+    let b = backoff_state mgr td.fork_point in
+    b.bk_penalty <- min max_penalty (max 1 (2 * b.bk_penalty));
+    b.bk_skip <- b.bk_penalty;
+    if tracing mgr then
+      emit mgr td (Trace.Sched { what = "backoff"; info = b.bk_penalty })
+  end
+
+let note_commit mgr (td : Thread_data.t) =
+  mgr.overflow_streak <- 0;
+  if mgr.cfg.Config.backoff && td.fork_point >= 0 then
+    match Hashtbl.find_opt mgr.backoffs td.fork_point with
+    | Some b -> b.bk_penalty <- b.bk_penalty / 2
+    | None -> ()
+
+(* Sustained buffer exhaustion with no commit in between: speculating
+   further can only thrash, so fall back to sequential execution for
+   the rest of the run (every later MUTLS_get_CPU returns 0). *)
+let note_overflow mgr (td : Thread_data.t) =
+  mgr.overflow_streak <- mgr.overflow_streak + 1;
+  if
+    mgr.cfg.Config.degrade_after > 0
+    && mgr.overflow_streak >= mgr.cfg.Config.degrade_after
+    && not mgr.degraded
+  then begin
+    mgr.degraded <- true;
+    if tracing mgr then
+      emit mgr td (Trace.Sched { what = "degrade"; info = mgr.overflow_streak })
+  end
 
 (* --- virtual-time accounting --------------------------------------- *)
 
@@ -202,10 +282,14 @@ let get_cpu mgr (td : Thread_data.t) ~model ~point =
      its children would be orphaned. *)
   let doomed = Engine.ivar_peek td.sync_status <> None in
   if doomed || not (may_fork mgr td model) then 0
+  else if mgr.degraded then 0 (* sequential fallback: no new speculation *)
+  else if backoff_veto mgr point then 0
   else
     match find_idle mgr with
     | None -> 0
     | Some rank ->
+      if inject mgr Fault.Fork_denial then 0
+      else begin
       let child =
         Thread_data.create ~gbuf:mgr.buffer_pool.(rank) ~id:mgr.next_id ~rank
           ~fork_point:point ~is_main:false ~buffer_slots:mgr.cfg.buffer_slots
@@ -227,6 +311,7 @@ let get_cpu mgr (td : Thread_data.t) ~model ~point =
       if tracing mgr then
         emit mgr td (Trace.Fork { child = child.id; child_rank = rank; point });
       rank
+      end
 
 let busy_exn mgr rank =
   match mgr.cpus.(rank) with
@@ -352,6 +437,7 @@ let validate_against_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
     (float_of_int (max 1 !checked) *. mgr.cfg.cost.validate_word);
   let ok =
     if ok && td.local_invalid then false
+    else if ok && inject mgr Fault.Validation_failure then false
     else if ok && mgr.cfg.rollback_probability > 0.0 then
       Rng.next_float mgr.rng >= mgr.cfg.rollback_probability
     else ok
@@ -369,13 +455,17 @@ let commit_into_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
   if parent.is_main then words := Global_buffer.commit td.gbuf mgr.mem
   else begin
     (try
+       (* Reads MUST merge before writes.  A read-modify-write address
+          sits in both of the child's sets; once the child's write lands
+          in the parent's write set, merge_read would take the hit as
+          "satisfied by an earlier parent write" and drop the entry —
+          losing the stale observation and letting the conflict escape
+          re-validation at the next join up the chain. *)
+       Global_buffer.iter_read_words td.gbuf (fun addr observed _mask ->
+           Global_buffer.merge_read parent.gbuf addr observed);
        Global_buffer.iter_write_words td.gbuf (fun addr data pos mark mpos ->
            incr words;
-           Global_buffer.merge_write parent.gbuf mgr.mem addr data pos mark mpos);
-       Global_buffer.iter_read_words td.gbuf (fun addr observed mask ->
-           match mask with
-           | None -> Global_buffer.merge_read parent.gbuf addr observed
-           | Some _ -> Global_buffer.merge_read parent.gbuf addr observed)
+           Global_buffer.merge_write parent.gbuf mgr.mem addr data pos mark mpos)
      with Global_buffer.Overflow ->
        (* The parent's buffers cannot absorb the child; poison the
           parent so it rolls back (safe, conservative). *)
@@ -399,6 +489,7 @@ let commit_or_rollback mgr (td : Thread_data.t) ~counter =
     (Local_buffer.top td.lbuf).counter <- counter;
     finalize_buffers mgr td;
     Stats.incr td.stats Stats.Commits;
+    note_commit mgr td;
     if tracing mgr then emit mgr td (Trace.Commit { words; counter });
     Engine.ivar_set mgr.engine td.valid_status Thread_data.commit
   end
@@ -417,6 +508,7 @@ let commit_or_rollback mgr (td : Thread_data.t) ~counter =
            });
     finalize_buffers mgr td;
     Stats.incr td.stats Stats.Rollbacks;
+    note_rollback mgr td;
     Engine.ivar_set mgr.engine td.valid_status Thread_data.rollback
   end;
   raise Spec_finished
@@ -439,6 +531,7 @@ let rollback_self mgr (td : Thread_data.t) ~reason ~kill_subtree =
     emit mgr td (Trace.Rollback { reason; point = td.fork_point });
   finalize_buffers mgr td;
   Stats.incr td.stats Stats.Rollbacks;
+  if reason <> Trace.Abandoned then note_rollback mgr td;
   if kill_subtree then Stack.iter (nosync_subtree mgr) td.children;
   (match Engine.ivar_peek td.valid_status with
   | None -> Engine.ivar_set mgr.engine td.valid_status Thread_data.rollback
@@ -449,6 +542,7 @@ let rollback_overflow mgr (td : Thread_data.t) =
   Stats.incr td.stats Stats.Overflows;
   Stats.add td.stats Stats.Overflow 0.0;
   if tracing mgr then emit mgr td Trace.Overflow;
+  note_overflow mgr td;
   rollback_self mgr td ~reason:Trace.Buffer_overflow ~kill_subtree:false
 
 (* --- speculative memory access --------------------------------------- *)
@@ -470,11 +564,14 @@ let spec_load mgr (td : Thread_data.t) ~addr ~size =
     !v
   end
   else if registered mgr addr size then begin
-    match Global_buffer.read td.gbuf mgr.mem addr size with
-    | v, hit ->
-      tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss);
-      v
-    | exception Global_buffer.Overflow -> rollback_overflow mgr td
+    if (not td.is_main) && inject mgr Fault.Buffer_overflow then
+      rollback_overflow mgr td
+    else
+      match Global_buffer.read td.gbuf mgr.mem addr size with
+      | v, hit ->
+        tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss);
+        v
+      | exception Global_buffer.Overflow -> rollback_overflow mgr td
   end
   else begin
     td.bad_access <- true;
@@ -494,10 +591,13 @@ let spec_store mgr (td : Thread_data.t) ~addr ~size v =
       done
   end
   else if registered mgr addr size then begin
-    match Global_buffer.write td.gbuf mgr.mem addr size v with
-    | hit ->
-      tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss)
-    | exception Global_buffer.Overflow -> rollback_overflow mgr td
+    if (not td.is_main) && inject mgr Fault.Buffer_overflow then
+      rollback_overflow mgr td
+    else
+      match Global_buffer.write td.gbuf mgr.mem addr size v with
+      | hit ->
+        tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss)
+      | exception Global_buffer.Overflow -> rollback_overflow mgr td
   end
   else begin
     td.bad_access <- true;
@@ -530,6 +630,11 @@ let check_point mgr (td : Thread_data.t) ~counter =
     if tracing mgr then emit mgr td (Trace.Check { counter; stop = true });
     true
   | None ->
+    (* Injected spurious rollback: poison the locals so the eventual
+       validation fails stale-local — the same path a genuine local
+       mismatch takes, so oracle invariants are preserved. *)
+    if (not td.is_main) && inject mgr Fault.Spurious_rollback then
+      td.local_invalid <- true;
     if Global_buffer.conflict_pending td.gbuf then begin
       (* hash conflict spilled to the temporary buffer: wait to be
          joined here (paper §IV-G2) *)
@@ -614,7 +719,9 @@ let validate_local mgr (parent : Thread_data.t) ~rank ~point ~off value =
     (match Local_buffer.get_fork_reg child.lbuf off with
     | v when v = value -> ()
     | _ -> child.local_invalid <- true
-    | exception Invalid_argument _ -> child.local_invalid <- true)
+    (* an unset slot is misspeculation; Invalid_argument (offset out of
+       range) is genuine API misuse and propagates *)
+    | exception Local_buffer.Unset _ -> child.local_invalid <- true)
 
 (* Pop children until the expected one is found, NOSYNCing mismatches
    and their subtrees; inherit the joined child's children. *)
@@ -627,6 +734,8 @@ let synchronize mgr (parent : Thread_data.t) ~point ~rank =
       if
         c.rank = rank && c.fork_point = point
         && Engine.ivar_peek c.sync_status = None
+        (* injected NOSYNC: treat the matching child as a mismatch *)
+        && not (inject mgr Fault.Nosync_join)
       then Some c
       else begin
         nosync_subtree mgr c;

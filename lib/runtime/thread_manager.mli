@@ -19,6 +19,8 @@ type retired = { r_stats : Stats.t; r_runtime : float; r_committed : bool }
 type t
 
 val create : Config.t -> Mutls_sim.Engine.t -> Memio.t -> t
+(** @raise Invalid_argument on a malformed configuration
+    (see {!Config.validate}). *)
 
 (** {1 Accessors} *)
 
@@ -32,6 +34,15 @@ val cfg : t -> Config.t
 
 val now : t -> float
 (** Current virtual time of the underlying engine. *)
+
+val degraded : t -> bool
+(** [true] once sustained buffer overflow (see [Config.degrade_after])
+    has switched the run over to sequential execution: every later
+    [MUTLS_get_CPU] returns 0. *)
+
+val injector : t -> Fault.t option
+(** The fault injector built from [Config.fault], for inspecting
+    injected-fault counts after a run. *)
 
 (** {1 Virtual-time accounting} *)
 

@@ -20,8 +20,10 @@ let next_float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)
 
-(* Uniform int in [0, bound). *)
+(* Uniform int in [0, bound).  The [land max_int] matters: Int64.to_int
+   keeps the low 63 bits, so bit 62 of the shifted value would otherwise
+   land in the sign bit and make half the draws negative. *)
 let next_int t bound =
   if bound <= 0 then invalid_arg "Rng.next_int";
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) in
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) land max_int in
   r mod bound

@@ -17,4 +17,5 @@ let () =
       ("properties", Test_properties.tests);
       ("opt", Test_opt.tests);
       ("parse", Test_parse.tests);
+      ("chaos", Test_chaos.tests);
     ]
