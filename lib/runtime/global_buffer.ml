@@ -85,9 +85,12 @@ let occupy m i np =
 let read_word_of m i = Bytes.get_int64_le m.buffer (i * word)
 let write_word_of m i v = Bytes.set_int64_le m.buffer (i * word) v
 
+(* Occupied temp slots form the prefix [0, temp_count): [add_temp]
+   appends at [temp_count] and entries are only cleared wholesale in
+   [finalize], so the scan never needs to look past the count. *)
 let find_temp t np =
   let rec go k =
-    if k >= Array.length t.temp then None
+    if k >= t.temp_count then None
     else
       match t.temp.(k) with
       | Some e when e.t_addr = np -> Some e
@@ -97,10 +100,7 @@ let find_temp t np =
 
 let add_temp t entry =
   if t.temp_count >= Array.length t.temp then raise Overflow;
-  let rec place k =
-    if t.temp.(k) = None then t.temp.(k) <- Some entry else place (k + 1)
-  in
-  place 0;
+  t.temp.(t.temp_count) <- Some entry;
   t.temp_count <- t.temp_count + 1;
   t.conflict_pending <- true;
   match t.on_spill with None -> () | Some f -> f entry.t_addr
@@ -122,9 +122,11 @@ let set_sized bytes pos size v =
   | _ -> invalid_arg "Global_buffer: access size"
 
 let set_marks bytes pos size =
-  for k = pos to pos + size - 1 do
-    Bytes.set bytes k '\xff'
-  done
+  if size = word then Bytes.set_int64_le bytes pos (-1L)
+  else
+    for k = pos to pos + size - 1 do
+      Bytes.set bytes k '\xff'
+    done
 
 (* --- speculative read ---------------------------------------------- *)
 

@@ -179,6 +179,58 @@ let test_gb_finalize_reuse () =
   (* discarded writes never reach memory *)
   Alcotest.(check int64) "discarded" 0L (Bytes.get_int64_le backing 0x700)
 
+(* Whole-word stores must mark all eight bytes exactly as the per-byte
+   path would: a full-word write followed by a sub-word overwrite then
+   commit exercises the mark bytes across both store paths. *)
+let test_gb_wholeword_marks () =
+  let backing, mem = make_mem () in
+  Bytes.set_int64_le backing 0x800 0x0102030405060708L;
+  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  ignore (GB.write gb mem 0x800 8 0x1111111111111111L);
+  ignore (GB.write gb mem 0x803 1 0xEEL);
+  ignore (GB.commit gb mem);
+  Alcotest.(check int64) "word then byte committed" 0x11111111EE111111L
+    (Bytes.get_int64_le backing 0x800);
+  (* and the reverse order: byte marks first, then a whole-word store
+     must cover them all *)
+  Bytes.set_int64_le backing 0x900 (-1L);
+  let gb2 = GB.create ~slots:256 ~temp_slots:8 in
+  ignore (GB.write gb2 mem 0x901 1 0x22L);
+  ignore (GB.write gb2 mem 0x900 8 0x3333333333333333L);
+  ignore (GB.commit gb2 mem);
+  Alcotest.(check int64) "byte then word committed" 0x3333333333333333L
+    (Bytes.get_int64_le backing 0x900)
+
+(* Temp entries live in the prefix [0, temp_count); after finalize the
+   buffer must be fully reusable and old entries unreachable. *)
+let test_gb_temp_prefix_reuse () =
+  let backing, mem = make_mem () in
+  let gb = GB.create ~slots:16 ~temp_slots:4 in
+  let stride = 16 * 8 in
+  (* 0x100 occupies the slot; the next three collide into temp *)
+  ignore (GB.write gb mem 0x100 8 1L);
+  ignore (GB.write gb mem (0x100 + stride) 8 2L);
+  ignore (GB.write gb mem (0x100 + (2 * stride)) 8 3L);
+  ignore (GB.write gb mem (0x100 + (3 * stride)) 8 4L);
+  let v3, hit3 = GB.read gb mem (0x100 + (3 * stride)) 8 in
+  Alcotest.(check int64) "last temp entry found" 4L v3;
+  Alcotest.(check bool) "temp read is a hit" true hit3;
+  ignore (GB.finalize gb);
+  (* stale temp entries must not shadow post-finalize reads *)
+  Bytes.set_int64_le backing (0x100 + stride) 77L;
+  let v, hit = GB.read gb mem (0x100 + stride) 8 in
+  Alcotest.(check int64) "fetches fresh memory" 77L v;
+  Alcotest.(check bool) "no stale temp hit" false hit;
+  (* and the temp buffer is reusable to full capacity *)
+  ignore (GB.write gb mem 0x100 8 10L);
+  ignore (GB.write gb mem (0x100 + stride) 8 20L);
+  ignore (GB.write gb mem (0x100 + (2 * stride)) 8 30L);
+  ignore (GB.write gb mem (0x100 + (3 * stride)) 8 40L);
+  ignore (GB.write gb mem (0x100 + (4 * stride)) 8 50L);
+  ignore (GB.commit gb mem);
+  Alcotest.(check int64) "reused temp slot committed" 50L
+    (Bytes.get_int64_le backing (0x100 + (4 * stride)))
+
 (* model-based property: buffered reads/writes behave like a shadow map
    over memory, and commit makes memory agree with the shadow *)
 let test_gb_model =
@@ -284,6 +336,8 @@ let tests =
     Alcotest.test_case "gb hash conflicts via temp" `Quick test_gb_hash_conflict_temp;
     Alcotest.test_case "gb overflow" `Quick test_gb_overflow;
     Alcotest.test_case "gb finalize" `Quick test_gb_finalize_reuse;
+    Alcotest.test_case "gb whole-word marks" `Quick test_gb_wholeword_marks;
+    Alcotest.test_case "gb temp prefix reuse" `Quick test_gb_temp_prefix_reuse;
     test_gb_model;
     Alcotest.test_case "lb frames" `Quick test_lb_frames_and_regs;
     Alcotest.test_case "lb bounds" `Quick test_lb_offset_bounds;
