@@ -152,6 +152,93 @@ let binop_fn op ty : v -> v -> v =
   | Mutls_mir.Ir.Fmul -> fun a b -> VF (to_f64 a *. to_f64 b)
   | Mutls_mir.Ir.Fdiv -> fun a b -> VF (to_f64 a /. to_f64 b)
 
+(* --- widened (unboxed) specializers ----------------------------------- *)
+
+(* Raw int64/float-level variants of the specializers above, for the
+   register-bank engine: operands and results never touch [Value.v].
+   Wide types use the identity mask (-1L) / shift (0) so one body per
+   opcode covers every width; on canonical zero-extended inputs these
+   agree pointwise with [eval_binop]/[eval_icmp]/[eval_fcmp]
+   (enforced by test/test_engine.ml). *)
+
+let mask_of ty : int64 =
+  match ty with
+  | Mutls_mir.Ir.I1 -> 1L
+  | Mutls_mir.Ir.I8 -> 0xFFL
+  | Mutls_mir.Ir.I32 -> 0xFFFFFFFFL
+  | _ -> -1L
+
+(* Sign-extension of the low bits as a shift pair: [(n lsl s) asr s].
+   For I1 this takes bit 0 to all bits, matching [sext_fn] on any
+   input with a canonical low bit. *)
+let sshift_of ty : int =
+  match ty with
+  | Mutls_mir.Ir.I1 -> 63
+  | Mutls_mir.Ir.I8 -> 56
+  | Mutls_mir.Ir.I32 -> 32
+  | _ -> 0
+
+let binop_i op ty : int64 -> int64 -> int64 =
+  let open Int64 in
+  let m = mask_of ty and s = sshift_of ty in
+  match op with
+  | Mutls_mir.Ir.Add -> fun a b -> logand m (add a b)
+  | Mutls_mir.Ir.Sub -> fun a b -> logand m (sub a b)
+  | Mutls_mir.Ir.Mul -> fun a b -> logand m (mul a b)
+  | Mutls_mir.Ir.Sdiv ->
+    fun a b ->
+      if b = 0L then raise (Trap "division by zero")
+      else
+        logand m
+          (div (shift_right (shift_left a s) s) (shift_right (shift_left b s) s))
+  | Mutls_mir.Ir.Srem ->
+    fun a b ->
+      if b = 0L then raise (Trap "remainder by zero")
+      else
+        logand m
+          (rem (shift_right (shift_left a s) s) (shift_right (shift_left b s) s))
+  | Mutls_mir.Ir.And -> fun a b -> logand a b
+  | Mutls_mir.Ir.Or -> fun a b -> logand m (logor a b)
+  | Mutls_mir.Ir.Xor -> fun a b -> logand m (logxor a b)
+  | Mutls_mir.Ir.Shl -> fun a b -> logand m (shift_left a (to_int b land 63))
+  | Mutls_mir.Ir.Lshr ->
+    fun a b -> logand m (shift_right_logical a (to_int b land 63))
+  | Mutls_mir.Ir.Ashr ->
+    fun a b ->
+      logand m (shift_right (shift_right (shift_left a s) s) (to_int b land 63))
+  | Mutls_mir.Ir.Fadd | Mutls_mir.Ir.Fsub | Mutls_mir.Ir.Fmul
+  | Mutls_mir.Ir.Fdiv ->
+    invalid_arg "Ops.binop_i: float op"
+
+let binop_f op : float -> float -> float =
+  match op with
+  | Mutls_mir.Ir.Fadd -> ( +. )
+  | Mutls_mir.Ir.Fsub -> ( -. )
+  | Mutls_mir.Ir.Fmul -> ( *. )
+  | Mutls_mir.Ir.Fdiv -> ( /. )
+  | _ -> invalid_arg "Ops.binop_f: int op"
+
+let icmp_i op ty : int64 -> int64 -> int64 =
+  let open Int64 in
+  let s = sshift_of ty in
+  let sx n = shift_right (shift_left n s) s in
+  match op with
+  | Mutls_mir.Ir.Ieq -> fun a b -> if sx a = sx b then 1L else 0L
+  | Mutls_mir.Ir.Ine -> fun a b -> if sx a <> sx b then 1L else 0L
+  | Mutls_mir.Ir.Islt -> fun a b -> if sx a < sx b then 1L else 0L
+  | Mutls_mir.Ir.Isle -> fun a b -> if sx a <= sx b then 1L else 0L
+  | Mutls_mir.Ir.Isgt -> fun a b -> if sx a > sx b then 1L else 0L
+  | Mutls_mir.Ir.Isge -> fun a b -> if sx a >= sx b then 1L else 0L
+
+let fcmp_f op : float -> float -> int64 =
+  match op with
+  | Mutls_mir.Ir.Feq -> fun a b -> if a = b then 1L else 0L
+  | Mutls_mir.Ir.Fne -> fun a b -> if a <> b then 1L else 0L
+  | Mutls_mir.Ir.Flt -> fun a b -> if a < b then 1L else 0L
+  | Mutls_mir.Ir.Fle -> fun a b -> if a <= b then 1L else 0L
+  | Mutls_mir.Ir.Fgt -> fun a b -> if a > b then 1L else 0L
+  | Mutls_mir.Ir.Fge -> fun a b -> if a >= b then 1L else 0L
+
 let icmp_fn op ty : v -> v -> v =
   let sx = sext_fn ty in
   match op with

@@ -33,6 +33,30 @@ val fcmp_fn : Mutls_mir.Ir.fcmp -> Value.v -> Value.v -> Value.v
 val cast_fn :
   Mutls_mir.Ir.cast -> Mutls_mir.Ir.ty -> Mutls_mir.Ir.ty -> Value.v -> Value.v
 
+(** {1 Widened (unboxed) specializers}
+
+    Raw [int64]/[float]-level variants for the register-bank engine:
+    operands and results never touch {!Value.v}.  On canonical
+    zero-extended inputs each agrees pointwise with the corresponding
+    [eval_*] function (enforced by test/test_engine.ml).  [binop_i]
+    rejects float opcodes and [binop_f] integer opcodes with
+    [Invalid_argument]. *)
+
+val binop_i : Mutls_mir.Ir.binop -> Mutls_mir.Ir.ty -> int64 -> int64 -> int64
+val binop_f : Mutls_mir.Ir.binop -> float -> float -> float
+
+val icmp_i : Mutls_mir.Ir.icmp -> Mutls_mir.Ir.ty -> int64 -> int64 -> int64
+(** Comparison result as [0L]/[1L] (canonical [i1]). *)
+
+val fcmp_f : Mutls_mir.Ir.fcmp -> float -> float -> int64
+
+val mask_of : Mutls_mir.Ir.ty -> int64
+(** Truncation mask for a width; [-1L] for wide types (identity). *)
+
+val sshift_of : Mutls_mir.Ir.ty -> int
+(** Sign-extension as a shift pair [(n lsl s) asr s]; [0] for wide
+    types (identity). *)
+
 (** {1 Specializer building blocks} *)
 
 val trunc_fn : Mutls_mir.Ir.ty -> int64 -> int64

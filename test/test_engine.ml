@@ -149,6 +149,69 @@ let test_cast_specializers () =
         all_tys)
     casts
 
+(* --- widened (unboxed) specializers agree with direct evaluation ------- *)
+
+(* The register-bank engine inlines [binop_i]/[icmp_i]/[fcmp_f]
+   semantics; this pins the raw int64/float variants to [eval_*]
+   pointwise, traps included, on canonical inputs. *)
+let test_widened_specializers () =
+  List.iter
+    (fun op ->
+      List.iter
+        (fun ty ->
+          List.iter
+            (fun a ->
+              List.iter
+                (fun b ->
+                  let x = canon ty a and y = canon ty b in
+                  same_outcome "binop_i"
+                    (outcome (fun () -> Ops.eval_binop op ty (V.VI x) (V.VI y)))
+                    (outcome (fun () -> V.VI (Ops.binop_i op ty x y))))
+                raw_ints)
+            raw_ints)
+        int_tys)
+    int_binops;
+  List.iter
+    (fun op ->
+      List.iter
+        (fun ty ->
+          List.iter
+            (fun a ->
+              List.iter
+                (fun b ->
+                  let x = canon ty a and y = canon ty b in
+                  same_outcome "icmp_i"
+                    (outcome (fun () -> Ops.eval_icmp op ty (V.VI x) (V.VI y)))
+                    (outcome (fun () -> V.VI (Ops.icmp_i op ty x y))))
+                raw_ints)
+            raw_ints)
+        int_tys)
+    icmps;
+  List.iter
+    (fun op ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              same_outcome "fcmp_f"
+                (outcome (fun () -> Ops.eval_fcmp op (V.VF a) (V.VF b)))
+                (outcome (fun () -> V.VI (Ops.fcmp_f op a b))))
+            floats)
+        floats)
+    fcmps;
+  List.iter
+    (fun op ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              same_outcome "binop_f"
+                (outcome (fun () -> Ops.eval_binop op Ir.F64 (V.VF a) (V.VF b)))
+                (outcome (fun () -> V.VF (Ops.binop_f op a b))))
+            floats)
+        floats)
+    float_binops
+
 (* --- sub-word truncation of Lshr/And/Or (the historic gap) ------------- *)
 
 let vi = function
@@ -239,6 +302,98 @@ let test_random_agreement =
       && r1.Eval.soutput = r2.Eval.soutput
       && r1.Eval.scost = r2.Eval.scost)
   |> QCheck_alcotest.to_alcotest
+
+(* --- random programs biased at the bank boundaries --------------------- *)
+
+(* The register banks split values by static type: i8/i32 sub-word
+   arithmetic (masking and sign-extension on the int bank) and double
+   bodies (the float bank, plus the casts that cross over) are exactly
+   where a banked lowering can diverge from the boxed engines — so
+   bias generation toward them. *)
+let gen_typed_stmt =
+  let open QCheck.Gen in
+  let v = int_range 0 2 in
+  oneof
+    [ map3 (fun i j k -> Printf.sprintf "c%d = c%d + %d;" i j k) v v
+        (int_range (-300) 300);
+      map3 (fun i j k -> Printf.sprintf "c%d = c%d * c%d;" i j k) v v v;
+      map3 (fun i j k -> Printf.sprintf "c%d = (char)(w%d ^ c%d);" i j k) v v v;
+      map3 (fun i j k -> Printf.sprintf "w%d = w%d + w%d;" i j k) v v v;
+      map3 (fun i j k -> Printf.sprintf "w%d = w%d * %d;" i j k) v v
+        (int_range (-100000) 100000);
+      map3 (fun i j s -> Printf.sprintf "w%d = w%d << %d;" i j s) v v
+        (int_range 0 7);
+      map3 (fun i j k -> Printf.sprintf "w%d = (int32)(c%d - w%d);" i j k) v v v;
+      map3 (fun i j k -> Printf.sprintf "d%d = d%d * d%d;" i j k) v v v;
+      map3 (fun i j k -> Printf.sprintf "d%d = d%d - d%d;" i j k) v v v;
+      map2 (fun i j -> Printf.sprintf "d%d = d%d + 0.125;" i j) v v;
+      map3 (fun i j k -> Printf.sprintf "d%d = (double)(c%d + w%d);" i j k) v v v;
+      map3 (fun i j k -> Printf.sprintf "v0 = v0 + w%d * c%d + %d;" i j k) v v
+        (int_range (-50) 50);
+      map2 (fun i j -> Printf.sprintf "v0 = v0 ^ (c%d < w%d);" i j) v v ]
+
+let arb_typed_body =
+  QCheck.make
+    ~print:(fun l -> String.concat "\n" l)
+    QCheck.Gen.(list_size (int_range 5 30) gen_typed_stmt)
+
+let test_random_bank_boundaries =
+  QCheck.Test.make
+    ~name:"compiled == reference on sub-word/float-heavy programs" ~count:60
+    arb_typed_body
+    (fun stmts ->
+      let src =
+        Printf.sprintf
+          "int main() {\n\
+          \  char c0 = 'a'; char c1 = 'M'; char c2 = 7;\n\
+          \  int32 w0 = 123; int32 w1 = -45; int32 w2 = 2147480001;\n\
+          \  double d0 = 1.5; double d1 = -2.25; double d2 = 0.5;\n\
+          \  int v0 = 9;\n\
+          \  %s\n\
+          \  print_int(v0); print_int(c0 + c1 + c2); print_int(w0 + w1 + w2);\n\
+          \  print_float(d0); print_float(d1); print_float(d2);\n\
+          \  print_newline(); return v0; }"
+          (String.concat "\n  " stmts)
+      in
+      let m = Mutls_minic.Codegen.compile src in
+      let r1 = Eval.run_sequential m in
+      let r2 = Reference.run_sequential m in
+      r1.Eval.sret = r2.Eval.sret
+      && r1.Eval.soutput = r2.Eval.soutput
+      && r1.Eval.scost = r2.Eval.scost)
+  |> QCheck_alcotest.to_alcotest
+
+(* --- the unboxed hot path really does not allocate --------------------- *)
+
+(* A straight-line integer loop body runs entirely in the register
+   banks: beyond the fixed per-run setup (frame image, memory, output
+   buffer) it must allocate ~0 minor words per executed instruction.
+   The boxed engine allocates 2+ words per arithmetic result, so this
+   fails loudly if the banked path stops engaging. *)
+let test_allocation_budget () =
+  let iters = 20000 in
+  let src =
+    Printf.sprintf
+      "int main() { int v = 1; int a = 3; int i = 0;\n\
+      \  while (i < %d) {\n\
+      \    v = v * 3 + 1; a = (a ^ v) + 7; v = v - (a & 1023);\n\
+      \    a = a * 5 + v; v = v | 1; i = i + 1;\n\
+      \  }\n\
+      \  print_int(v); print_newline(); return 0; }"
+      iters
+  in
+  let m = Mutls_minic.Codegen.compile src in
+  let p = Eval.prepare m in
+  ignore (Eval.run_sequential_prepared p) (* warm-up *);
+  let w0 = Gc.minor_words () in
+  ignore (Eval.run_sequential_prepared p);
+  let w1 = Gc.minor_words () in
+  (* ~9 executed instructions per iteration; generous fixed allowance
+     for the per-run setup *)
+  let per_instr = (w1 -. w0) /. float_of_int (iters * 9) in
+  if per_instr > 0.25 then
+    Alcotest.failf "hot path allocates %.3f minor words per instruction"
+      per_instr
 
 (* --- engine swap is unobservable on the paper's workloads -------------- *)
 
@@ -338,6 +493,8 @@ let tests =
       test_icmp_fcmp_specializers;
     Alcotest.test_case "cast specializers == direct eval" `Quick
       test_cast_specializers;
+    Alcotest.test_case "widened specializers == direct eval" `Quick
+      test_widened_specializers;
     Alcotest.test_case "sub-word lshr/and/or truncate" `Quick
       test_subword_truncation;
     Alcotest.test_case "unknown function traps cleanly" `Quick
@@ -347,6 +504,9 @@ let tests =
     Alcotest.test_case "unknown block traps cleanly" `Quick
       test_trap_unknown_block;
     test_random_agreement;
+    test_random_bank_boundaries;
+    Alcotest.test_case "hot path allocation budget" `Quick
+      test_allocation_budget;
     Alcotest.test_case "sequential cost bit-identical" `Quick
       test_seq_cost_identical;
     Alcotest.test_case "TLS equivalence (3x+1)" `Quick
