@@ -41,6 +41,17 @@ type t = {
      conflict parks an entry in the temporary buffer.  Installed by the
      ThreadManager when tracing is on (pooled buffers serve successive
      threads, so it is re-bound per occupant). *)
+  (* Last-slot cache: loops re-touch the same word, so remembering the
+     last hit skips the probe sequence entirely.  [c_waddr]/[c_wslot]
+     name a write-set entry (which shadows everything until
+     [finalize]); [c_raddr]/[c_rslot] name a read-set entry and are
+     only valid while the word has no write-set or temp entry — any
+     write to the word invalidates them.  0 = empty, like
+     [addresses]. *)
+  mutable c_waddr : int;
+  mutable c_wslot : int;
+  mutable c_raddr : int;
+  mutable c_rslot : int;
 }
 
 let make_map nslots =
@@ -63,6 +74,10 @@ let create ~slots ~temp_slots =
     temp_count = 0;
     conflict_pending = false;
     on_spill = None;
+    c_waddr = 0;
+    c_wslot = 0;
+    c_raddr = 0;
+    c_rslot = 0;
   }
 
 let set_spill_hook t hook = t.on_spill <- hook
@@ -139,29 +154,42 @@ let read t (mem : Memio.t) p size =
   if p land (size - 1) <> 0 then invalid_arg "Global_buffer.read: alignment";
   let np = p land word_mask in
   let off = p land (word - 1) in
-  match lookup t.write_set np with
-  | Hit i -> (get_sized t.write_set.buffer ((i * word) + off) size, true)
-  | Empty _ | Conflict -> (
-    (* A write that hash-conflicted earlier may live in the temporary
-       buffer; it must shadow a read-set fetch. *)
-    match (if t.temp_count = 0 then None else find_temp t np) with
-    | Some e -> (get_sized e.t_data off size, true)
-    | None -> (
-      match lookup t.read_set np with
-      | Hit i -> (get_sized t.read_set.buffer ((i * word) + off) size, true)
-      | Empty i ->
-        let w = mem.Memio.read_word np in
-        occupy t.read_set i np;
-        write_word_of t.read_set i w;
-        (get_sized t.read_set.buffer ((i * word) + off) size, false)
-      | Conflict ->
-        let w = mem.Memio.read_word np in
-        let data = Bytes.make word '\000' in
-        Bytes.set_int64_le data 0 w;
-        add_temp t
-          { t_addr = np; t_data = data; t_mark = Bytes.make word '\000';
-            t_is_read = true };
-        (get_sized data off size, false)))
+  if np = t.c_waddr then
+    (get_sized t.write_set.buffer ((t.c_wslot * word) + off) size, true)
+  else if np = t.c_raddr then
+    (get_sized t.read_set.buffer ((t.c_rslot * word) + off) size, true)
+  else
+    match lookup t.write_set np with
+    | Hit i ->
+      t.c_waddr <- np;
+      t.c_wslot <- i;
+      (get_sized t.write_set.buffer ((i * word) + off) size, true)
+    | Empty _ | Conflict -> (
+      (* A write that hash-conflicted earlier may live in the temporary
+         buffer; it must shadow a read-set fetch. *)
+      match (if t.temp_count = 0 then None else find_temp t np) with
+      | Some e -> (get_sized e.t_data off size, true)
+      | None -> (
+        match lookup t.read_set np with
+        | Hit i ->
+          t.c_raddr <- np;
+          t.c_rslot <- i;
+          (get_sized t.read_set.buffer ((i * word) + off) size, true)
+        | Empty i ->
+          let w = mem.Memio.read_word np in
+          occupy t.read_set i np;
+          write_word_of t.read_set i w;
+          t.c_raddr <- np;
+          t.c_rslot <- i;
+          (get_sized t.read_set.buffer ((i * word) + off) size, false)
+        | Conflict ->
+          let w = mem.Memio.read_word np in
+          let data = Bytes.make word '\000' in
+          Bytes.set_int64_le data 0 w;
+          add_temp t
+            { t_addr = np; t_data = data; t_mark = Bytes.make word '\000';
+              t_is_read = true };
+          (get_sized data off size, false)))
 
 (* --- speculative write --------------------------------------------- *)
 
@@ -169,8 +197,19 @@ let write t (mem : Memio.t) p size v =
   if p land (size - 1) <> 0 then invalid_arg "Global_buffer.write: alignment";
   let np = p land word_mask in
   let off = p land (word - 1) in
+  if np = t.c_waddr then begin
+    set_sized t.write_set.buffer ((t.c_wslot * word) + off) size v;
+    set_marks t.write_set.marks ((t.c_wslot * word) + off) size;
+    true
+  end
+  else begin
+  (* the word is gaining a write-set or temp entry, so a cached
+     read-set location for it goes stale *)
+  if np = t.c_raddr then t.c_raddr <- 0;
   match lookup t.write_set np with
   | Hit i ->
+    t.c_waddr <- np;
+    t.c_wslot <- i;
     set_sized t.write_set.buffer ((i * word) + off) size v;
     set_marks t.write_set.marks ((i * word) + off) size;
     true
@@ -187,6 +226,8 @@ let write t (mem : Memio.t) p size v =
     in
     occupy t.write_set i np;
     write_word_of t.write_set i fill;
+    t.c_waddr <- np;
+    t.c_wslot <- i;
     set_sized t.write_set.buffer ((i * word) + off) size v;
     set_marks t.write_set.marks ((i * word) + off) size;
     false
@@ -205,6 +246,7 @@ let write t (mem : Memio.t) p size v =
       set_marks mark off size;
       add_temp t { t_addr = np; t_data = data; t_mark = mark; t_is_read = false };
       false)
+  end
 
 (* --- validation / commit / finalization ---------------------------- *)
 
@@ -298,6 +340,8 @@ let finalize t =
   Array.fill t.temp 0 (Array.length t.temp) None;
   t.temp_count <- 0;
   t.conflict_pending <- false;
+  t.c_waddr <- 0;
+  t.c_raddr <- 0;
   n
 
 let read_set_size t = t.read_set.count

@@ -95,6 +95,7 @@ let get t cat = t.time.(category_index cat)
 let total t = Array.fold_left ( +. ) 0.0 t.time
 
 let incr t c = t.counts.(counter_index c) <- t.counts.(counter_index c) + 1
+let add_count t c n = t.counts.(counter_index c) <- t.counts.(counter_index c) + n
 let count t c = t.counts.(counter_index c)
 
 (* A rolled-back thread's useful work was wasted: reclassify. *)

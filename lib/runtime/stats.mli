@@ -47,6 +47,10 @@ val get : t -> category -> float
 val total : t -> float
 
 val incr : t -> counter -> unit
+
+(** [add_count t c n] bumps counter [c] by [n]; used to fold batched
+    per-thread pending counts in at accounting boundaries. *)
+val add_count : t -> counter -> int -> unit
 val count : t -> counter -> int
 
 val work_to_wasted : t -> unit

@@ -26,6 +26,8 @@ type t = {
   mutable restore : restore option; (* set on the PARENT after a commit *)
   mutable entry_counter : int; (* join point block for speculative entry *)
   mutable acc_cost : float; (* locally accumulated, not yet advanced *)
+  mutable pending_loads : int; (* Loads/Stores bumps batched like *)
+  mutable pending_stores : int; (* [acc_cost]; folded into [stats] at flush *)
   mutable parent : t option; (* current parent; updated on inheritance *)
   mutable last_sync_counter : int; (* result of the last MUTLS_synchronize *)
   mutable last_sync_rank : int;
@@ -60,6 +62,8 @@ let create ?gbuf ~id ~rank ~fork_point ~is_main ~buffer_slots ~temp_slots
     restore = None;
     entry_counter = 0;
     acc_cost = 0.0;
+    pending_loads = 0;
+    pending_stores = 0;
     parent = None;
     last_sync_counter = 0;
     last_sync_rank = 0;

@@ -28,6 +28,9 @@ type t = {
   mutable restore : restore option;  (** set on the PARENT after a commit *)
   mutable entry_counter : int;  (** join-point block of the speculative entry *)
   mutable acc_cost : float;  (** locally accumulated, not yet advanced *)
+  mutable pending_loads : int;
+      (** {!Stats.Loads} bumps batched like [acc_cost], folded in at flush *)
+  mutable pending_stores : int;
   mutable parent : t option;  (** current parent; updated on inheritance *)
   mutable last_sync_counter : int;  (** result of the last MUTLS_synchronize *)
   mutable last_sync_rank : int;

@@ -117,7 +117,24 @@ let create (cfg : Config.t) engine mem =
 
 (* --- accessors ------------------------------------------------------- *)
 
-let main mgr = mgr.main
+(* Loads/Stores counter bumps are batched per thread like [acc_cost]
+   and folded in at flush; the accessors below fold too, so a caller
+   reading stats mid-run (the main thread never retires) still sees
+   exact totals. *)
+let fold_counters (td : Thread_data.t) =
+  if td.pending_loads > 0 then begin
+    Stats.add_count td.stats Stats.Loads td.pending_loads;
+    td.pending_loads <- 0
+  end;
+  if td.pending_stores > 0 then begin
+    Stats.add_count td.stats Stats.Stores td.pending_stores;
+    td.pending_stores <- 0
+  end
+
+let main mgr =
+  fold_counters mgr.main;
+  mgr.main
+
 let retired mgr = mgr.retired
 let cfg mgr = mgr.cfg
 let now mgr = Engine.now mgr.engine
@@ -187,6 +204,7 @@ let note_overflow mgr (td : Thread_data.t) =
 (* --- virtual-time accounting --------------------------------------- *)
 
 let flush mgr (td : Thread_data.t) =
+  fold_counters td;
   if td.acc_cost > 0.0 then begin
     Stats.add td.stats Stats.Work td.acc_cost;
     let c = td.acc_cost in
@@ -548,7 +566,7 @@ let rollback_overflow mgr (td : Thread_data.t) =
 (* --- speculative memory access --------------------------------------- *)
 
 let spec_load mgr (td : Thread_data.t) ~addr ~size =
-  Stats.incr td.stats Stats.Loads;
+  td.pending_loads <- td.pending_loads + 1;
   if Local_buffer.in_own_stack td.lbuf addr then begin
     tick mgr td mgr.cfg.cost.mem;
     let v = ref 0L in
@@ -579,7 +597,7 @@ let spec_load mgr (td : Thread_data.t) ~addr ~size =
   end
 
 let spec_store mgr (td : Thread_data.t) ~addr ~size v =
-  Stats.incr td.stats Stats.Stores;
+  td.pending_stores <- td.pending_stores + 1;
   if Local_buffer.in_own_stack td.lbuf addr then begin
     tick mgr td mgr.cfg.cost.mem;
     match size with
