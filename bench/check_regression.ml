@@ -1,14 +1,18 @@
 (* CI perf-regression guard.
 
-     dune exec bench/check_regression.exe -- BASELINE FRESH [--tolerance T]
+     dune exec bench/check_regression.exe -- BASELINE FRESH
+       [--tolerance T] [--require-baseline]
 
    Compares a freshly generated BENCH_interp.json (bench/main.exe --
    perf) against the committed baseline and exits non-zero when the
    fresh numbers regress beyond the tolerance.  Wall-clock on shared CI
    runners is noisy, so the default tolerance is deliberately generous
    (a regression must be a slowdown of more than [tolerance] relative
-   to baseline to fail) and a missing baseline only warns — that is the
-   bootstrap path for establishing the first baseline artifact.
+   to baseline to fail).  A missing baseline only warns by default —
+   the bootstrap path for establishing the first baseline artifact —
+   but with --require-baseline (CI, where the baseline is committed)
+   its absence is itself a failure, so the gate cannot be disarmed by
+   deleting the snapshot.
 
    Checks, in order:
      - total_seconds of the quick figure sweep;
@@ -31,6 +35,8 @@ let num path j key =
   | Some v -> v
   | None -> failwith (Printf.sprintf "%s: missing numeric field %S" path key)
 
+(* (artifact, seconds, cached); rows from baselines predating the
+   "cached" field count as not-cached *)
 let runs_of path j =
   match Json.member "runs" j with
   | Some (Json.List rs) ->
@@ -40,18 +46,28 @@ let runs_of path j =
           ( Option.bind (Json.member "artifact" r) Json.to_str,
             Option.bind (Json.member "seconds" r) Json.to_float )
         with
-        | Some a, Some s -> Some (a, s)
+        | Some a, Some s ->
+          let cached =
+            match Json.member "cached" r with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
+          Some (a, s, cached)
         | _ -> None)
       rs
   | _ -> failwith (Printf.sprintf "%s: missing \"runs\" array" path)
 
 let () =
   let baseline = ref None and fresh = ref None and tolerance = ref 0.5 in
+  let require_baseline = ref false in
   let rec parse = function
     | [] -> ()
     | "--tolerance" :: t :: rest ->
       (try tolerance := float_of_string t
        with _ -> failwith ("bad --tolerance " ^ t));
+      parse rest
+    | "--require-baseline" :: rest ->
+      require_baseline := true;
       parse rest
     | a :: rest ->
       (match (!baseline, !fresh) with
@@ -69,17 +85,26 @@ let () =
     | Some b, Some f -> (b, f)
     | _ ->
       Printf.eprintf
-        "usage: check_regression BASELINE FRESH [--tolerance T]\n";
+        "usage: check_regression BASELINE FRESH [--tolerance T] \
+         [--require-baseline]\n";
       exit 2
   in
-  if not (Sys.file_exists baseline_path) then begin
-    (* bootstrap: no baseline committed yet — report, don't gate *)
-    Printf.printf
-      "check_regression: no baseline at %s; skipping (commit a baseline to \
-       arm the gate)\n"
-      baseline_path;
-    exit 0
-  end;
+  if not (Sys.file_exists baseline_path) then
+    if !require_baseline then begin
+      Printf.eprintf
+        "check_regression: no baseline at %s (--require-baseline: the \
+         committed snapshot is part of the gate)\n"
+        baseline_path;
+      exit 1
+    end
+    else begin
+      (* bootstrap: no baseline committed yet — report, don't gate *)
+      Printf.printf
+        "check_regression: no baseline at %s; skipping (commit a baseline \
+         to arm the gate)\n"
+        baseline_path;
+      exit 0
+    end;
   let load path =
     try Json.of_string (read_file path) with
     | Sys_error e ->
@@ -115,9 +140,17 @@ let () =
      let base_runs = runs_of baseline_path base
      and cur_runs = runs_of fresh_path cur in
      List.iter
-       (fun (artifact, base_s) ->
-         match List.assoc_opt artifact cur_runs with
-         | Some cur_s -> check artifact base_s cur_s
+       (fun (artifact, base_s, base_cached) ->
+         match
+           List.find_opt (fun (a, _, _) -> a = artifact) cur_runs
+         with
+         | Some (_, cur_s, cur_cached) ->
+           (* a cached row times a cache lookup, not runtime work:
+              comparing it against (or as) a real measurement is
+              meaningless either way *)
+           if base_cached || cur_cached then
+             Printf.printf "  %-12s skipped (metrics-cache hit)\n" artifact
+           else check artifact base_s cur_s
          | None ->
            incr failures;
            Printf.printf "  %-12s missing from %s   REGRESSION\n" artifact

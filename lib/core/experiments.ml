@@ -55,6 +55,14 @@ let prepare lang (w : Workloads.t) =
 
 exception Divergence of string
 
+(* Process-lifetime counters distinguishing metrics-cache hits from
+   fresh executions, so the bench harness can flag sweep rows that
+   merely re-read cached metrics (and would otherwise masquerade as
+   free runs). *)
+let run_requests = ref 0
+let fresh_runs = ref 0
+let run_counters () = (!run_requests, !fresh_runs)
+
 (* Run one benchmark under TLS and compute its metrics.  A run with an
    enabled trace sink (or a profile hook, which works by attaching a
    streaming Profile sink) bypasses the metrics cache: a cache hit
@@ -68,6 +76,7 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
     | Some agg ->
       Mutls_obs.Trace.tee [ trace_sink; Mutls_obs.Profile.sink agg ]
   in
+  incr run_requests;
   let use_cache = not trace_sink.Mutls_obs.Trace.enabled in
   let mkey =
     ( w.Workloads.name,
@@ -81,6 +90,7 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
   match (if use_cache then Hashtbl.find_opt metrics_cache mkey else None) with
   | Some m -> m
   | None ->
+    incr fresh_runs;
     let p = prepare lang w in
     let cfg =
       { Config.default with

@@ -29,6 +29,13 @@ val run :
     per-benchmark profiles (it also bypasses the cache).
     @raise Divergence if outputs mismatch. *)
 
+(** [run_counters ()] is [(requests, fresh)]: how many times {!run}
+    was called this process, and how many of those actually executed
+    (the rest were metrics-cache hits).  The bench harness diffs the
+    fresh count around an artifact to flag rows that only re-read
+    cached metrics. *)
+val run_counters : unit -> int * int
+
 (** {1 Tables} *)
 
 val table1 : unit -> (string * string * string * string * string) list
