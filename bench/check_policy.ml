@@ -1,0 +1,118 @@
+(* CI policy-vs-static gate.
+
+     dune exec bench/check_policy.exe -- POLICY_curves.json
+       [--tolerance T]
+
+   Reads the policy artifact written by `bench/main.exe -- policy` (one
+   series of summed suite virtual time per policy) and fails when the
+   adaptive engine regresses: at any swept CPU count, adaptive total TN
+   must stay within [tolerance] of the BEST static policy's total
+   (tolerance 1.0 = strictly at-or-below, the acceptance bar; the
+   default leaves a sliver for future cost-model adjustments).  Virtual
+   time is deterministic, so unlike the wall-clock perf gate this one
+   needs no noise margin — a failure is a real policy regression.  A
+   missing or malformed artifact is itself a failure, so the gate
+   cannot be disarmed by skipping the artifact step. *)
+
+module Json = Mutls.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* label -> (cpus, tn) list *)
+let series_of path j =
+  match Json.member "series" j with
+  | Some (Json.List ss) ->
+    List.filter_map
+      (fun s ->
+        match Option.bind (Json.member "label" s) Json.to_str with
+        | None -> None
+        | Some label ->
+          let points =
+            match Json.member "points" s with
+            | Some (Json.List ps) ->
+              List.filter_map
+                (fun p ->
+                  match
+                    ( Option.bind (Json.member "cpus" p) Json.to_int,
+                      Option.bind (Json.member "tn" p) Json.to_float )
+                  with
+                  | Some c, Some t -> Some (c, t)
+                  | _ -> None)
+                ps
+            | _ -> []
+          in
+          Some (label, points))
+      ss
+  | _ -> failwith (Printf.sprintf "%s: missing \"series\" array" path)
+
+let () =
+  let path = ref None in
+  let tolerance = ref 1.02 in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: t :: rest ->
+      tolerance := float_of_string t;
+      parse rest
+    | a :: rest when !path = None ->
+      path := Some a;
+      parse rest
+    | a :: _ -> failwith ("unexpected argument " ^ a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path =
+    match !path with
+    | Some p -> p
+    | None -> failwith "usage: check_policy POLICY_curves.json [--tolerance T]"
+  in
+  let j =
+    try Json.of_string (read_file path) with
+    | Sys_error e -> failwith e
+    | Json.Parse_error e -> failwith (Printf.sprintf "%s: %s" path e)
+  in
+  let series = series_of path j in
+  let adaptive =
+    match List.assoc_opt "adaptive" series with
+    | Some ps when ps <> [] -> ps
+    | _ -> failwith (Printf.sprintf "%s: no adaptive series" path)
+  in
+  let statics =
+    List.filter
+      (fun (l, ps) -> l <> "adaptive" && ps <> [])
+      series
+  in
+  if statics = [] then failwith (Printf.sprintf "%s: no static series" path);
+  let failures = ref 0 in
+  List.iter
+    (fun (cpus, atn) ->
+      let best =
+        List.fold_left
+          (fun acc (_, ps) ->
+            match List.assoc_opt cpus ps with
+            | Some t -> min acc t
+            | None -> acc)
+          infinity statics
+      in
+      if best = infinity then
+        failwith
+          (Printf.sprintf "%s: no static point at %d CPUs" path cpus);
+      let ok = atn <= (best *. !tolerance) in
+      Printf.printf "%2d CPUs: adaptive %12.0f  best static %12.0f  %s\n" cpus
+        atn best
+        (if ok then "ok" else "REGRESSION");
+      if not ok then incr failures)
+    adaptive;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "check_policy: adaptive exceeds %.2fx the best static total at %d CPU \
+       count(s)\n"
+      !tolerance !failures;
+    exit 1
+  end;
+  Printf.printf "check_policy: adaptive at or below every static series (%d \
+                 point(s), tolerance %.2f)\n"
+    (List.length adaptive) !tolerance

@@ -92,6 +92,54 @@ let fig11 () =
            (List.map (fun (_, v) -> Printf.sprintf "%6.2f" v) ps)))
     rows
 
+(* --- policy engine: adaptive vs the static family --------------------- *)
+
+(* Fig-style artifact for the adaptive speculation director: summed
+   mixed-payoff-suite virtual time per CPU count, one series per policy
+   (lower is better; virtual time, so deterministic across hosts).  The
+   series are also written to POLICY_curves.json for the CI gate
+   (check_policy.exe) and artifact upload; bench/POLICY_curves.json is
+   the committed full-scale snapshot. *)
+let policy () =
+  let cpus = if !quick then [ 2; 4; 8 ] else [ 2; 4; 8; 16 ] in
+  let series = E.fig_policy ~cpus () in
+  E.print_series
+    ~title:"Policy engine: total suite virtual time (mixed-payoff suite)"
+    ~ylabel:"total TN" series;
+  let json =
+    Mutls.Json.Obj
+      [
+        ("bench", Mutls.Json.Str "policy-vs-static");
+        ("suite", Mutls.Json.Str "mixed-payoff");
+        ( "cpus",
+          Mutls.Json.List
+            (List.map (fun n -> Mutls.Json.Num (float_of_int n)) cpus) );
+        ( "series",
+          Mutls.Json.List
+            (List.map
+               (fun s ->
+                 Mutls.Json.Obj
+                   [
+                     ("label", Mutls.Json.Str s.E.label);
+                     ( "points",
+                       Mutls.Json.List
+                         (List.map
+                            (fun (n, t) ->
+                              Mutls.Json.Obj
+                                [
+                                  ("cpus", Mutls.Json.Num (float_of_int n));
+                                  ("tn", Mutls.Json.Num t);
+                                ])
+                            s.E.points) );
+                   ])
+               series) );
+      ]
+  in
+  let oc = open_out "POLICY_curves.json" in
+  output_string oc (Mutls.Json.to_string json ^ "\n");
+  close_out oc;
+  Printf.printf "[wrote POLICY_curves.json]\n"
+
 (* --- Bechamel microbenchmarks of the runtime primitives -------------- *)
 
 let micro () =
@@ -332,6 +380,7 @@ let artifacts =
     ("fig9", fig9);
     ("fig10", fig10);
     ("fig11", fig11);
+    ("policy", policy);
     ("ablation-cascade", Mutls.Ablations.print_cascade);
     ("ablation-vp", Mutls.Ablations.print_value_prediction);
     ("ablation-auto", Mutls.Ablations.print_auto);

@@ -77,6 +77,22 @@ let rollback_arg =
   Arg.(value & opt float 0.0 & info [ "rollback" ]
          ~doc:"Injected rollback probability (paper Fig. 11).")
 
+let policy_arg =
+  Arg.(value & opt string "static" & info [ "policy" ] ~docv:"POLICY"
+         ~doc:"Speculation policy: $(b,static) (the paper's fixed \
+               backoff/degrade scheme; combine with Config's backoff \
+               knobs), $(b,adaptive) (closed-loop per-fork-point engine: \
+               denies unprofitable points, expands store-free regions to \
+               tracking-free execution), or $(b,hostile) (adversarial \
+               decision stream, for robustness testing).")
+
+(* "static"/"adaptive"/"hostile" -> a Policy.t with that kind's defaults *)
+let policy_conv s =
+  match Mutls.Config.Policy.kind_of_string s with
+  | Mutls.Config.Policy.Static -> Mutls.Config.Policy.static ()
+  | Mutls.Config.Policy.Adaptive -> Mutls.Config.Policy.adaptive ()
+  | Mutls.Config.Policy.Hostile -> Mutls.Config.Policy.hostile ()
+
 let seq_arg =
   Arg.(value & flag & info [ "seq" ] ~doc:"Run sequentially (no speculation).")
 
@@ -129,11 +145,12 @@ let make_sink trace =
   | [ s ] -> s
   | ss -> Mutls.Trace.tee ss
 
-let make_cfg cpus model rollback sink =
+let make_cfg cpus model rollback policy sink =
   { Mutls.Config.default with
     ncpus = cpus;
     model_override = Option.map model_conv model;
     rollback_probability = rollback;
+    policy = policy_conv policy;
     trace_sink = sink }
 
 (* --- profile output ----------------------------------------------------- *)
@@ -183,7 +200,7 @@ let fold_trace_file feed path =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file lang cpus model rollback seq stats optimize trace profile =
+  let run file lang cpus model rollback policy seq stats optimize trace profile =
     try
       let source = read_file file in
       let m = compile_input ~optimize file lang source in
@@ -203,7 +220,7 @@ let run_cmd =
           | Some agg ->
             Mutls.Trace.tee [ make_sink trace; Mutls.Profile.sink agg ]
         in
-        let cfg = make_cfg cpus model rollback sink in
+        let cfg = make_cfg cpus model rollback policy sink in
         let seq_r = Mutls.run_sequential ~cost:cfg.Mutls.Config.cost m in
         let t = Mutls.speculate m in
         let r = Mutls.run_tls cfg t in
@@ -233,7 +250,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ file_arg $ lang_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ seq_arg $ stats_arg $ opt_arg $ trace_arg $ profile_arg))
+       $ policy_arg $ seq_arg $ stats_arg $ opt_arg $ trace_arg $ profile_arg))
 
 (* --- dump --------------------------------------------------------------- *)
 
@@ -260,7 +277,7 @@ let dump_cmd =
 (* --- bench -------------------------------------------------------------- *)
 
 let bench_cmd =
-  let bench name cpus model rollback stats trace profile =
+  let bench name cpus model rollback policy stats trace profile =
     try
       let w = Mutls.Workloads.find name in
       let sink = make_sink trace in
@@ -269,7 +286,7 @@ let bench_cmd =
           ~model_override:(Option.map model_conv model)
           ~rollback ~trace_sink:sink
           ?profile:(Option.map (fun path -> write_profile path) profile)
-          ~ncpus:cpus w
+          ~policy:(policy_conv policy) ~ncpus:cpus w
       in
       Mutls.Trace.close sink;
       Format.printf "%s on %d CPUs: %a@." name cpus Mutls.Metrics.pp metrics;
@@ -291,7 +308,7 @@ let bench_cmd =
     Term.(
       ret
         (const bench $ name_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ stats_arg $ trace_arg $ profile_arg))
+       $ policy_arg $ stats_arg $ trace_arg $ profile_arg))
 
 (* --- report ------------------------------------------------------------- *)
 
@@ -376,7 +393,7 @@ let profile_cmd =
 (* --- chaos --------------------------------------------------------------- *)
 
 let chaos_cmd =
-  let chaos seed runs out replay quiet =
+  let chaos seed runs policy out replay quiet =
     try
       match replay with
       | Some path ->
@@ -402,7 +419,11 @@ let chaos_cmd =
           if (not quiet) && (i mod 25 = 0 || i = n - 1) then
             Printf.eprintf "chaos: case %d/%d\n%!" i n
         in
-        let c = Mutls.Chaos.run_campaign ~progress ~seed ~runs () in
+        let c =
+          Mutls.Chaos.run_campaign ~progress
+            ~policy:(Mutls.Config.Policy.kind_of_string policy)
+            ~seed ~runs ()
+        in
         (match (c.Mutls.Chaos.failed, c.Mutls.Chaos.minimized) with
         | None, _ ->
           Printf.printf
@@ -454,6 +475,13 @@ let chaos_cmd =
            ~doc:"Re-run the single case stored in a repro file instead of \
                  running a campaign.")
   in
+  let chaos_policy_arg =
+    Arg.(value & opt string "static" & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Speculation policy for every generated case: static, \
+                 adaptive or hostile.  The case generator is untouched, so \
+                 the same seed explores the same programs and fault \
+                 schedules under the chosen policy.")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress output.")
   in
@@ -466,7 +494,9 @@ let chaos_cmd =
   in
   Cmd.v info
     Term.(
-      ret (const chaos $ seed_arg $ runs_arg $ out_arg $ replay_arg $ quiet_arg))
+      ret
+        (const chaos $ seed_arg $ runs_arg $ chaos_policy_arg $ out_arg
+       $ replay_arg $ quiet_arg))
 
 (* User-facing failures exit 1 (bad programs, runtime traps, unreadable
    or malformed inputs, failed chaos campaigns) and command-line misuse

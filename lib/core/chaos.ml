@@ -182,6 +182,7 @@ type case = {
   plan : Fault.plan;
   backoff : bool;
   degrade_after : int;
+  policy : Config.Policy.kind;
   shape : shape;
 }
 
@@ -213,6 +214,9 @@ let gen_case ~seed i =
     backoff = Rng.next_float rng < 0.5;
     degrade_after =
       (if Rng.next_float rng < 0.5 then 0 else 2 + Rng.next_int rng 6);
+    (* Generated Static (no RNG draw, so pre-policy campaigns replay
+       bit-identically); campaigns override post-generation. *)
+    policy = Config.Policy.Static;
     shape =
       {
         template = Rng.next_int rng n_templates;
@@ -265,6 +269,10 @@ let run_case (case : case) =
       fault = (if Fault.is_none case.plan then None else Some case.plan);
       backoff = case.backoff;
       degrade_after = case.degrade_after;
+      (* Flat backoff/degrade_after stay in the deprecated fields so a
+         Static case replays the pre-policy configuration exactly;
+         [Config.effective_policy] folds them in. *)
+      policy = { Config.Policy.default with Config.Policy.kind = case.policy };
       trace_sink = Oracle.sink oracle;
     }
   in
@@ -342,6 +350,10 @@ let shrink ?(budget = 64) case =
         if c.degrade_after > 0 then Some { c with degrade_after = 0 }
         else None);
       (fun c ->
+        if c.policy <> Config.Policy.Static then
+          Some { c with policy = Config.Policy.Static }
+        else None);
+      (fun c ->
         if c.temp_slots < 64 then Some { c with temp_slots = 64 } else None);
       (fun c ->
         if c.buffer_slots < 65536 then Some { c with buffer_slots = 65536 }
@@ -406,6 +418,7 @@ let case_to_json c =
       ("plan", plan_to_json c.plan);
       ("backoff", Json.Bool c.backoff);
       ("degrade_after", Json.Num (float_of_int c.degrade_after));
+      ("policy", Json.Str (Config.Policy.kind_to_string c.policy));
       ( "shape",
         Json.Obj
           [
@@ -457,6 +470,11 @@ let case_of_json j =
       };
     backoff = get_bool j "backoff";
     degrade_after = get_int j "degrade_after";
+    (* absent in pre-policy repro files *)
+    policy =
+      (match Option.bind (Json.member "policy" j) Json.to_str with
+      | Some s -> Config.Policy.kind_of_string s
+      | None -> Config.Policy.Static);
     shape =
       {
         template = get_int shape "template";
@@ -499,7 +517,7 @@ type campaign = {
   minimized : (case * run_result) option;
 }
 
-let run_campaign ?(progress = fun _ _ -> ()) ~seed ~runs () =
+let run_campaign ?(progress = fun _ _ -> ()) ?policy ~seed ~runs () =
   let injected_total = ref 0 in
   let degraded_runs = ref 0 in
   let rec go i passed =
@@ -516,6 +534,9 @@ let run_campaign ?(progress = fun _ _ -> ()) ~seed ~runs () =
     else begin
       progress i runs;
       let case = gen_case ~seed i in
+      let case =
+        match policy with None -> case | Some k -> { case with policy = k }
+      in
       let r = run_case case in
       injected_total :=
         !injected_total + List.fold_left (fun a (_, n) -> a + n) 0 r.injected;

@@ -37,11 +37,16 @@ type case = {
   plan : Mutls_runtime.Fault.plan;
   backoff : bool;
   degrade_after : int;
+  policy : Mutls_runtime.Config.Policy.kind;
+      (** speculation policy (generated [Static]; campaigns override) *)
   shape : shape;
 }
 
 val gen_case : seed:int -> int -> case
-(** Case [i] of campaign [seed]; pure function of both. *)
+(** Case [i] of campaign [seed]; pure function of both.  The generated
+    [policy] is always [Static] — no RNG draw, so pre-policy campaigns
+    replay bit-identically; use {!run_campaign}'s [?policy] to run a
+    campaign under another policy kind. *)
 
 (** {1 Running} *)
 
@@ -98,6 +103,15 @@ type campaign = {
 }
 
 val run_campaign :
-  ?progress:(int -> int -> unit) -> seed:int -> runs:int -> unit -> campaign
+  ?progress:(int -> int -> unit) ->
+  ?policy:Mutls_runtime.Config.Policy.kind ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  campaign
 (** Run cases [0..runs-1] of the campaign, stopping at (and shrinking)
-    the first failure.  [progress i runs] is called before case [i]. *)
+    the first failure.  [progress i runs] is called before case [i].
+    [policy] overrides every generated case's policy kind after
+    generation (the RNG stream is untouched), so the same seed explores
+    the same programs and fault schedules under a different speculation
+    policy. *)

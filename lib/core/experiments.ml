@@ -24,9 +24,13 @@ type prepared = {
 }
 
 let prepared_cache : (string * lang, prepared) Hashtbl.t = Hashtbl.create 32
-let metrics_cache : (string * lang * int * int * int, Metrics.t) Hashtbl.t =
+
+let metrics_cache :
+    (string * lang * int * int * int * Config.Policy.t, Metrics.t) Hashtbl.t =
   Hashtbl.create 256
-(* key: name, lang, ncpus, model override (-1 none), rollback pct *)
+(* key: name, lang, ncpus, model override (-1 none), rollback pct,
+   policy (an immutable record of scalars, so structural hashing is
+   sound) *)
 
 let compile_of lang (w : Workloads.t) =
   match lang with
@@ -68,7 +72,8 @@ let run_counters () = (!run_requests, !fresh_runs)
    streaming Profile sink) bypasses the metrics cache: a cache hit
    would skip the execution and emit no events. *)
 let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
-    ?(trace_sink = Mutls_obs.Trace.null) ?profile ~ncpus (w : Workloads.t) =
+    ?(trace_sink = Mutls_obs.Trace.null) ?profile
+    ?(policy = Config.Policy.default) ~ncpus (w : Workloads.t) =
   let prof_agg = Option.map (fun _ -> Mutls_obs.Profile.create ()) profile in
   let trace_sink =
     match prof_agg with
@@ -85,7 +90,8 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
       (match model_override with
       | None -> -1
       | Some m -> Config.model_to_int m),
-      int_of_float (rollback *. 100.0) )
+      int_of_float (rollback *. 100.0),
+      policy )
   in
   match (if use_cache then Hashtbl.find_opt metrics_cache mkey else None) with
   | Some m -> m
@@ -97,7 +103,8 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
         ncpus;
         model_override;
         rollback_probability = rollback;
-        trace_sink }
+        trace_sink;
+        policy }
     in
     let r = Eval.run_tls_prepared cfg p.p_prog in
     if rollback = 0.0 && r.Eval.toutput <> p.p_seq_output then
@@ -257,6 +264,33 @@ let fig11 ?(ncpus = 32) ?(probabilities = [ 0.01; 0.05; 0.10; 0.20; 0.50; 1.0 ])
             (p, if base > 0.0 then s /. base else 1.0))
           probabilities ))
     [ "mandelbrot"; "md"; "fft"; "matmult"; "nqueen"; "tsp"; "bh" ]
+
+(* Policy-vs-static (fig-style, beyond the paper): end-to-end virtual
+   time of the whole mixed-payoff suite under each member of the
+   static policy family and under the adaptive engine.  Lower is
+   better; the adaptive engine's acceptance bar is to be <= every
+   static total at every CPU count. *)
+
+let policy_family : (string * Config.Policy.t) list =
+  [
+    ("static", Config.Policy.static ());
+    ("static+backoff", Config.Policy.static ~backoff:true ());
+    ("static+backoff+degrade",
+     Config.Policy.static ~backoff:true ~degrade_after:4 ());
+    ("adaptive", Config.Policy.adaptive ());
+  ]
+
+let suite_time ?(suite = Workloads.mixed_payoff) ~policy ~ncpus () =
+  List.fold_left (fun acc w -> acc +. (run ~policy ~ncpus w).Metrics.tn) 0.0
+    suite
+
+let fig_policy ?(cpus = [ 2; 4; 8; 16 ]) ?(suite = Workloads.mixed_payoff) () =
+  List.map
+    (fun (label, policy) ->
+      { label;
+        points =
+          List.map (fun n -> (n, suite_time ~suite ~policy ~ncpus:n ())) cpus })
+    policy_family
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -18,6 +18,7 @@ val run :
   ?rollback:float ->
   ?trace_sink:Mutls_obs.Trace.sink ->
   ?profile:(Mutls_obs.Profile.t -> unit) ->
+  ?policy:Mutls_runtime.Config.Policy.t ->
   ncpus:int ->
   Mutls_workloads.Workloads.t ->
   Metrics.t
@@ -26,7 +27,9 @@ val run :
     really executes and emits events.  [profile] attaches a streaming
     {!Mutls_obs.Profile} sink for the duration of the run and receives
     the finished profile — the hook figure sweeps use to emit
-    per-benchmark profiles (it also bypasses the cache).
+    per-benchmark profiles (it also bypasses the cache).  [policy]
+    selects the speculation policy (default: static, matching the
+    paper figures); it participates in the metrics-cache key.
     @raise Divergence if outputs mismatch. *)
 
 (** [run_counters ()] is [(requests, fresh)]: how many times {!run}
@@ -81,6 +84,31 @@ val fig11 :
   ?ncpus:int -> ?probabilities:float list -> unit -> (string * (float * float) list) list
 (** Rollback sensitivity: relative slowdown under injected validation
     failures. *)
+
+(** {1 Policy-vs-static (beyond the paper)} *)
+
+val policy_family : (string * Mutls_runtime.Config.Policy.t) list
+(** The compared policies: the static family (plain, +backoff,
+    +backoff+degrade) and the adaptive engine. *)
+
+val suite_time :
+  ?suite:Mutls_workloads.Workloads.t list ->
+  policy:Mutls_runtime.Config.Policy.t ->
+  ncpus:int ->
+  unit ->
+  float
+(** Summed end-to-end virtual time ([Metrics.tn]) of the suite
+    (default {!Mutls_workloads.Workloads.mixed_payoff}) under one
+    policy. *)
+
+val fig_policy :
+  ?cpus:int list ->
+  ?suite:Mutls_workloads.Workloads.t list ->
+  unit ->
+  series list
+(** One series per {!policy_family} member: total suite virtual time
+    per CPU count (lower is better).  The adaptive engine's acceptance
+    bar is to be at or below every static series pointwise. *)
 
 (** {1 Rendering} *)
 

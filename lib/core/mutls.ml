@@ -6,6 +6,7 @@ module Ir = Mutls_mir.Ir
 module Printer = Mutls_mir.Printer
 module Verify = Mutls_mir.Verify
 module Config = Mutls_runtime.Config
+module Policy = Mutls_runtime.Policy
 module Stats = Mutls_runtime.Stats
 module Json = Mutls_obs.Json
 module Trace = Mutls_obs.Trace

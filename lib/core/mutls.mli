@@ -18,6 +18,7 @@ module Ir = Mutls_mir.Ir
 module Printer = Mutls_mir.Printer
 module Verify = Mutls_mir.Verify
 module Config = Mutls_runtime.Config
+module Policy = Mutls_runtime.Policy
 module Stats = Mutls_runtime.Stats
 
 module Json = Mutls_obs.Json
@@ -76,7 +77,12 @@ val run_sequential :
   Eval.seq_result
 
 val run_tls :
-  ?heap_size:int -> ?globals_size:int -> Config.t -> Ir.modul -> Eval.tls_result
+  ?heap_size:int ->
+  ?globals_size:int ->
+  ?policy:Policy.t ->
+  Config.t ->
+  Ir.modul ->
+  Eval.tls_result
 
 type execution = {
   seq : Eval.seq_result;

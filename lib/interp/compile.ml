@@ -543,9 +543,13 @@ let compile_runtime st fn (operands : Ir.value list) dst : frame -> unit =
     let s0 = s 0 and s1 = s 1 in
     fun fr ->
       let mgr, td = emgr_td fr.ec in
-      let model = Config.model_of_int (int_of (s0 fr)) in
+      (* bits 0-1: fork model; bit 2: store-free (expandable) flag *)
+      let mi = int_of (s0 fr) in
+      let model = Config.model_of_int (mi land 3) in
       put fr
-        (of_int (Thread_manager.get_cpu mgr td ~model ~point:(int_of (s1 fr))))
+        (of_int
+           (Thread_manager.get_cpu mgr td ~model ~expandable:(mi land 4 <> 0)
+              ~point:(int_of (s1 fr))))
   | Ir.Rt_set_fork_reg ->
     let s0 = s 0 and s1 = s 1 and s2 = s 2 in
     fun fr ->
@@ -1538,8 +1542,11 @@ let compile_kfunc st (cost : Config.cost) (layouts : klayout array)
       let g0 = kint operands 0 and g1 = kint operands 1 in
       fun kf ->
         let mgr, td = emgr_td kf.kec in
-        let model = Config.model_of_int (g0 kf) in
-        put_i kf (Thread_manager.get_cpu mgr td ~model ~point:(g1 kf))
+        let mi = g0 kf in
+        let model = Config.model_of_int (mi land 3) in
+        put_i kf
+          (Thread_manager.get_cpu mgr td ~model ~expandable:(mi land 4 <> 0)
+             ~point:(g1 kf))
     | Ir.Rt_set_fork_reg ->
       let g0 = kint operands 0
       and g1 = kint operands 1

@@ -71,7 +71,7 @@ type tls_result = {
 }
 
 let run_tls_prepared ?(heap_size = default_heap)
-    ?(globals_size = default_globals) (cfg : Config.t) (prog : prog) =
+    ?(globals_size = default_globals) ?policy (cfg : Config.t) (prog : prog) =
   let prog = ensure_cost cfg.cost prog in
   let modul = Compile.modul_of prog in
   let mem =
@@ -101,7 +101,7 @@ let run_tls_prepared ?(heap_size = default_heap)
                main = false;
                event = Mutls_obs.Trace.Sched { what; info };
              }));
-  let mgr = Thread_manager.create cfg engine (Memory.memio mem) in
+  let mgr = Thread_manager.create ?policy cfg engine (Memory.memio mem) in
   (* Register the global address space: globals + every thread stack
      (non-speculative stack variables are global per §IV-G1). *)
   if globals_used > 0 then
@@ -134,6 +134,6 @@ let run_tls_prepared ?(heap_size = default_heap)
 
 (* Run the speculator-pass output under the TLS runtime on
    [cfg.ncpus] virtual CPUs. *)
-let run_tls ?heap_size ?globals_size (cfg : Config.t) modul =
-  run_tls_prepared ?heap_size ?globals_size cfg
+let run_tls ?heap_size ?globals_size ?policy (cfg : Config.t) modul =
+  run_tls_prepared ?heap_size ?globals_size ?policy cfg
     (Compile.compile ~cost:cfg.cost modul)

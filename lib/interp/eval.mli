@@ -63,14 +63,18 @@ type tls_result = {
 val run_tls :
   ?heap_size:int ->
   ?globals_size:int ->
+  ?policy:Mutls_runtime.Policy.t ->
   Mutls_runtime.Config.t ->
   Mutls_mir.Ir.modul ->
   tls_result
-(** Run the speculator-pass output on [cfg.ncpus] virtual CPUs. *)
+(** Run the speculator-pass output on [cfg.ncpus] virtual CPUs.
+    [policy] overrides the speculation-policy engine instance (default:
+    {!Mutls_runtime.Policy.of_config} on the configuration). *)
 
 val run_tls_prepared :
   ?heap_size:int ->
   ?globals_size:int ->
+  ?policy:Mutls_runtime.Policy.t ->
   Mutls_runtime.Config.t ->
   prog ->
   tls_result

@@ -244,8 +244,13 @@ and exec_runtime_call ctx name operands eval_v : v option =
   let int_arg n = Int64.to_int (to_i64 (arg n)) in
   match name with
   | "MUTLS_get_CPU" ->
-    let model = Config.model_of_int (int_arg 0) in
-    Some (of_int (Thread_manager.get_cpu mgr td ~model ~point:(int_arg 1)))
+    (* bits 0-1: fork model; bit 2: the pass's store-free (expandable)
+       judgement for the enclosing region *)
+    let mi = int_arg 0 in
+    let model = Config.model_of_int (mi land 3) in
+    let expandable = mi land 4 <> 0 in
+    Some
+      (of_int (Thread_manager.get_cpu mgr td ~model ~expandable ~point:(int_arg 1)))
   | "MUTLS_set_fork_reg_i64" | "MUTLS_set_fork_reg_f64" | "MUTLS_set_fork_reg_ptr"
     ->
     Thread_manager.set_fork_reg mgr td ~rank:(int_arg 0) ~off:(int_arg 1)

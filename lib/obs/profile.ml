@@ -257,6 +257,50 @@ let of_records records =
   List.iter (feed a) records;
   finish a
 
+(* --- in-process per-point accumulator -------------------------------- *)
+
+(* The same payoff arithmetic as [point_stat]/[pacc] above, packaged as
+   a tiny mutable cell the runtime's policy engine can feed directly at
+   commit/rollback/retire time — in-process reuse of the profiler's
+   aggregation shapes instead of a post-hoc fold over the trace. *)
+
+module Acc = struct
+  type t = {
+    mutable forks : int;
+    mutable commits : int;
+    mutable rollbacks : int;
+    mutable retires : int;
+    mutable committed : float;
+    mutable wasted : float;
+  }
+
+  let create () =
+    { forks = 0; commits = 0; rollbacks = 0; retires = 0;
+      committed = 0.0; wasted = 0.0 }
+
+  let fork t = t.forks <- t.forks + 1
+  let commit t = t.commits <- t.commits + 1
+  let rollback t = t.rollbacks <- t.rollbacks + 1
+
+  let retire t ~committed ~wasted =
+    t.retires <- t.retires + 1;
+    t.committed <- t.committed +. committed;
+    t.wasted <- t.wasted +. wasted
+
+  let forks t = t.forks
+  let commits t = t.commits
+  let rollbacks t = t.rollbacks
+  let retires t = t.retires
+
+  let payoff t =
+    let total = t.committed +. t.wasted in
+    if total <= 0.0 then 1.0 else t.committed /. total
+
+  let wasted_ratio t =
+    let total = t.committed +. t.wasted in
+    if total <= 0.0 then 0.0 else t.wasted /. total
+end
+
 (* --- JSON ------------------------------------------------------------ *)
 
 let to_json ?threshold ?min_forks t =

@@ -80,6 +80,38 @@ val advise : ?threshold:float -> ?min_forks:int -> t -> advice list
     least [min_forks] forks (default [1], so even a single wasteful
     speculation is reported), worst first. *)
 
+(** {1 In-process accumulator}
+
+    The profiler's per-fork-point payoff arithmetic ({!payoff} /
+    {!wasted_ratio}, including their empty-cell conventions), packaged
+    as a mutable cell that the runtime's policy engine feeds directly
+    at commit/rollback/retire time — the same aggregation shape as the
+    trace fold, reused in-process rather than post-hoc. *)
+
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val fork : t -> unit
+  val commit : t -> unit
+  val rollback : t -> unit
+
+  val retire : t -> committed:float -> wasted:float -> unit
+  (** Book one retired thread's final committed (useful) and
+      rollback-discarded cycles. *)
+
+  val forks : t -> int
+  val commits : t -> int
+  val rollbacks : t -> int
+  val retires : t -> int
+
+  val payoff : t -> float
+  (** [committed / (committed + wasted)]; [1.0] when no cycles. *)
+
+  val wasted_ratio : t -> float
+  (** [wasted / (committed + wasted)]; [0.0] when no cycles. *)
+end
+
 (** {1 Streaming aggregation} *)
 
 type agg

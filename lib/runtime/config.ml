@@ -29,6 +29,93 @@ let model_of_int = function
 
 let model_to_int = function Mixed -> 0 | In_order -> 1 | Out_of_order -> 2
 
+(* --- speculation policy ----------------------------------------------- *)
+
+(* Structured replacement for the flat [backoff]/[degrade_after] knobs:
+   one sub-record describing the whole fork-decision strategy, built
+   through smart constructors and validated with the rest of the
+   configuration.  The legacy flat fields survive as deprecated shims
+   that [effective_policy] folds in, so existing callers compile (and
+   behave) unchanged. *)
+
+module Policy = struct
+  type kind =
+    | Static (* today's behaviour: fixed model, optional backoff/degrade *)
+    | Adaptive (* closed-loop per-fork-point Deny/Expand/Speculate engine *)
+    | Hostile (* chaos-harness adversary: rotates worst-case decisions *)
+
+  let kind_to_string = function
+    | Static -> "static"
+    | Adaptive -> "adaptive"
+    | Hostile -> "hostile"
+
+  let kind_of_string = function
+    | "static" -> Static
+    | "adaptive" -> Adaptive
+    | "hostile" -> Hostile
+    | s -> invalid_arg (Printf.sprintf "Config.Policy.kind_of_string: %S" s)
+
+  type t = {
+    kind : kind;
+    backoff : bool; (* per-point exponential fork veto (static engine) *)
+    degrade_after : int; (* overflow streak before permanent degrade; 0 off *)
+    deny_after : int; (* adaptive: rollback streak before Deny; 0 off *)
+    reprobe_after : int; (* adaptive: denied requests before one re-probe *)
+    expand : bool; (* adaptive: allow Level-1 store-free Expand forks *)
+    payoff_threshold : float; (* adaptive: deny when wasted_ratio exceeds *)
+    min_samples : int; (* adaptive: retires before payoff denial applies *)
+  }
+
+  let default =
+    {
+      kind = Static;
+      backoff = false;
+      degrade_after = 0;
+      deny_after = 3;
+      reprobe_after = 16;
+      expand = true;
+      payoff_threshold = 0.85;
+      min_samples = 4;
+    }
+
+  let static ?(backoff = false) ?(degrade_after = 0) () =
+    { default with kind = Static; backoff; degrade_after }
+
+  let adaptive ?(deny_after = default.deny_after)
+      ?(reprobe_after = default.reprobe_after) ?(expand = default.expand)
+      ?(payoff_threshold = default.payoff_threshold)
+      ?(min_samples = default.min_samples) ?(degrade_after = 0) () =
+    {
+      kind = Adaptive;
+      backoff = false;
+      degrade_after;
+      deny_after;
+      reprobe_after;
+      expand;
+      payoff_threshold;
+      min_samples;
+    }
+
+  let hostile () = { default with kind = Hostile }
+
+  let fail fmt = Printf.ksprintf invalid_arg fmt
+
+  let validate p =
+    if p.degrade_after < 0 then
+      fail "Config.Policy.degrade_after must be non-negative (got %d)"
+        p.degrade_after;
+    if p.deny_after < 0 then
+      fail "Config.Policy.deny_after must be non-negative (got %d)" p.deny_after;
+    if p.reprobe_after < 1 then
+      fail "Config.Policy.reprobe_after must be >= 1 (got %d)" p.reprobe_after;
+    if not (p.payoff_threshold >= 0.0 && p.payoff_threshold <= 1.0) then
+      fail "Config.Policy.payoff_threshold must be in [0, 1] (got %g)"
+        p.payoff_threshold;
+    if p.min_samples < 0 then
+      fail "Config.Policy.min_samples must be non-negative (got %d)"
+        p.min_samples
+end
+
 type cost = {
   instr : float; (* base cost of one IR instruction *)
   mem : float; (* additional cost of an unbuffered load/store *)
@@ -84,13 +171,12 @@ type t = {
   fault : Fault.plan option; (* chaos testing: deterministic fault
                                 injection at the runtime's failure
                                 sites; None (the default) disables it *)
-  backoff : bool; (* per-fork-point exponential backoff after repeated
-                     rollbacks/overflows — the online counterpart of
-                     the profiler's no-speculate advisor *)
-  degrade_after : int; (* consecutive overflow rollbacks (with no
-                          intervening commit) before speculation is
-                          switched off for the rest of the run;
-                          0 disables the fallback *)
+  backoff : bool; (* DEPRECATED shim: use [policy]; folded in by
+                     [effective_policy] (OR'd with policy.backoff) *)
+  degrade_after : int; (* DEPRECATED shim: use [policy]; folded in by
+                          [effective_policy] when policy.degrade_after
+                          is 0 *)
+  policy : Policy.t; (* the fork-decision strategy; see Config.Policy *)
 }
 
 let default =
@@ -110,6 +196,20 @@ let default =
     fault = None;
     backoff = false;
     degrade_after = 0;
+    policy = Policy.default;
+  }
+
+(* The policy actually in force: the structured sub-record with the
+   deprecated flat fields folded in.  Flat [backoff] ORs into the
+   policy's; flat [degrade_after] applies only when the policy leaves
+   its own at 0 (the structured field wins when both are set). *)
+let effective_policy t =
+  {
+    t.policy with
+    Policy.backoff = t.policy.Policy.backoff || t.backoff;
+    degrade_after =
+      (if t.policy.Policy.degrade_after > 0 then t.policy.Policy.degrade_after
+       else t.degrade_after);
   }
 
 (* --- validation ------------------------------------------------------- *)
@@ -149,5 +249,6 @@ let validate t =
     fail "Config.quantum must be positive (got %g)" t.quantum;
   if t.degrade_after < 0 then
     fail "Config.degrade_after must be non-negative (got %d)" t.degrade_after;
+  Policy.validate t.policy;
   check_cost t.cost;
   match t.fault with None -> () | Some plan -> Fault.validate_plan plan

@@ -21,6 +21,71 @@ val model_of_int : int -> model
 val model_to_int : model -> int
 val cascade_to_string : cascade -> string
 
+(** Structured fork-decision strategy: which policy engine drives
+    per-fork-point decisions (see {!Mutls_runtime.Policy}) and its
+    tuning knobs.  Replaces the deprecated flat [backoff] /
+    [degrade_after] fields of {!t}, which remain as shims folded in by
+    {!effective_policy}. *)
+module Policy : sig
+  type kind =
+    | Static
+        (** today's behaviour: fixed fork model, optional exponential
+            backoff and overflow degrade — byte-identical traces *)
+    | Adaptive
+        (** closed-loop per-fork-point engine returning
+            Deny / Expand / Speculate from streaming payoff statistics *)
+    | Hostile
+        (** chaos-harness adversary rotating worst-case decisions;
+            exercises mechanism-level safety gates *)
+
+  val kind_to_string : kind -> string
+
+  val kind_of_string : string -> kind
+  (** @raise Invalid_argument on an unknown name. *)
+
+  type t = {
+    kind : kind;
+    backoff : bool;  (** static: per-point exponential fork veto *)
+    degrade_after : int;
+        (** overflow streak before permanent sequential degrade; 0 off *)
+    deny_after : int;
+        (** adaptive: consecutive rollbacks at a point before it is
+            denied; 0 disables streak denial *)
+    reprobe_after : int;
+        (** adaptive: denied fork requests at a point before one probe
+            fork is allowed through again *)
+    expand : bool;
+        (** adaptive: allow Level-1 (store-free, unbuffered) Expand
+            forks where the static analysis proves them safe *)
+    payoff_threshold : float;
+        (** adaptive: deny a point whose wasted-work ratio exceeds this
+            (the profiler advisor's criterion, applied online) *)
+    min_samples : int;
+        (** adaptive: retired threads required before the payoff
+            criterion applies *)
+  }
+
+  val default : t
+  (** [Static] with backoff and degrade off — the seed behaviour. *)
+
+  val static : ?backoff:bool -> ?degrade_after:int -> unit -> t
+
+  val adaptive :
+    ?deny_after:int ->
+    ?reprobe_after:int ->
+    ?expand:bool ->
+    ?payoff_threshold:float ->
+    ?min_samples:int ->
+    ?degrade_after:int ->
+    unit ->
+    t
+
+  val hostile : unit -> t
+
+  val validate : t -> unit
+  (** @raise Invalid_argument on the first violated constraint. *)
+end
+
 (** Virtual-cycle costs of the runtime's operations. *)
 type cost = {
   instr : float;  (** base cost of one IR instruction *)
@@ -68,19 +133,25 @@ type t = {
           failure sites (see {!Fault}); [None] (the default) disables
           injection entirely *)
   backoff : bool;
-      (** per-fork-point exponential backoff after repeated
-          rollbacks/overflows — the online counterpart of the
-          profiler's no-speculate advisor.  Off by default so
-          benchmark figures are unaffected. *)
+      (** @deprecated flat shim for {!Policy.t.backoff}: OR'd into the
+          policy by {!effective_policy} so pre-policy callers behave
+          unchanged.  Prefer [policy = Policy.static ~backoff:true ()]. *)
   degrade_after : int;
-      (** consecutive overflow rollbacks (with no intervening commit)
-          tolerated before speculation is switched off for the rest of
-          the run, turning sustained resource exhaustion into plain
-          sequential execution instead of rollback-thrashing;
-          [0] (the default) disables the fallback *)
+      (** @deprecated flat shim for {!Policy.t.degrade_after}: applied
+          by {!effective_policy} when the structured field is [0].
+          Prefer [policy = Policy.static ~degrade_after:n ()]. *)
+  policy : Policy.t;
+      (** the fork-decision strategy; [Policy.default] (static, no
+          backoff, no degrade) preserves seed behaviour and traces *)
 }
 
 val default : t
+
+val effective_policy : t -> Policy.t
+(** The policy actually in force: [t.policy] with the deprecated flat
+    [backoff]/[degrade_after] fields folded in (flat [backoff] ORs in;
+    flat [degrade_after] applies only when the structured field is 0).
+    [Thread_manager.create] instantiates its engine from this. *)
 
 val validate : t -> unit
 (** Reject malformed configurations up front — [ncpus >= 1],

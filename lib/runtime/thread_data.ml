@@ -31,6 +31,8 @@ type t = {
   mutable parent : t option; (* current parent; updated on inheritance *)
   mutable last_sync_counter : int; (* result of the last MUTLS_synchronize *)
   mutable last_sync_rank : int;
+  mutable expand : bool; (* Level-1 Expand thread: no GlobalBuffer tracking *)
+  mutable buffered : int; (* GlobalBuffer-tracked accesses (0 for Expand) *)
 }
 
 and restore = {
@@ -67,6 +69,8 @@ let create ?gbuf ~id ~rank ~fork_point ~is_main ~buffer_slots ~temp_slots
     parent = None;
     last_sync_counter = 0;
     last_sync_rank = 0;
+    expand = false;
+    buffered = 0;
   }
 
 (* Map a pointer value through the parent-side stack mapping table

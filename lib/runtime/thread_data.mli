@@ -34,6 +34,12 @@ type t = {
   mutable parent : t option;  (** current parent; updated on inheritance *)
   mutable last_sync_counter : int;  (** result of the last MUTLS_synchronize *)
   mutable last_sync_rank : int;
+  mutable expand : bool;
+      (** Level-1 Expand thread: reads go straight to memory, no
+          GlobalBuffer read/write-set tracking (see {!Policy.Expand}) *)
+  mutable buffered : int;
+      (** GlobalBuffer-tracked accesses performed by this thread;
+          asserted [0] for Expand threads *)
 }
 
 (** Stack-frame reconstruction state held by a parent while it

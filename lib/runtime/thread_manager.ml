@@ -19,14 +19,13 @@ exception Spec_finished
 
 type cpu_state = Idle | Busy of Thread_data.t
 
-type retired = { r_stats : Stats.t; r_runtime : float; r_committed : bool }
-
-(* Per-fork-point exponential backoff state (Config.backoff): after a
-   rollback the point sits out the next [skip] fork opportunities, with
-   the penalty doubling on each further rollback and halving on a
-   commit — the online counterpart of the profiler's no-speculate
-   advisor.  Bounded, so a point is never disabled forever. *)
-type backoff = { mutable bk_penalty : int; mutable bk_skip : int }
+type retired = {
+  r_stats : Stats.t;
+  r_runtime : float;
+  r_committed : bool;
+  r_buffered : int; (* GlobalBuffer-tracked accesses; 0 for Expand *)
+  r_expand : bool; (* ran as a Level-1 Expand thread *)
+}
 
 type t = {
   cfg : Config.t;
@@ -51,10 +50,9 @@ type t = {
   buffer_pool : Global_buffer.t array;
   fault : Fault.t option; (* chaos testing: deterministic injection at
                              the runtime's failure sites (Config.fault) *)
-  backoffs : (int, backoff) Hashtbl.t; (* fork point -> backoff state *)
-  mutable overflow_streak : int; (* overflow rollbacks since last commit *)
-  mutable degraded : bool; (* sustained overflow: speculation disabled,
-                              run continues sequentially (Config.degrade_after) *)
+  policy : Policy.t; (* the fork-decision strategy (Config.policy with
+                        the deprecated flat fields folded in); this
+                        module keeps only mechanism *)
 }
 
 (* --- tracing --------------------------------------------------------- *)
@@ -81,7 +79,7 @@ let install_hooks mgr (td : Thread_data.t) =
   Local_buffer.set_frame_hook td.lbuf
     (Some (fun ~push ~depth -> emit mgr td (Trace.Frame { push; depth })))
 
-let create (cfg : Config.t) engine mem =
+let create ?policy (cfg : Config.t) engine mem =
   Config.validate cfg;
   let main =
     Thread_data.create ~id:0 ~rank:0 ~fork_point:(-1) ~is_main:true
@@ -107,9 +105,8 @@ let create (cfg : Config.t) engine mem =
             Global_buffer.create ~slots:cfg.buffer_slots
               ~temp_slots:cfg.temp_slots);
       fault = Option.map (Fault.create ~seed:cfg.seed) cfg.fault;
-      backoffs = Hashtbl.create 16;
-      overflow_streak = 0;
-      degraded = false;
+      policy =
+        (match policy with Some p -> p | None -> Policy.of_config cfg);
     }
   in
   if tracing mgr then install_hooks mgr main;
@@ -138,68 +135,37 @@ let main mgr =
 let retired mgr = mgr.retired
 let cfg mgr = mgr.cfg
 let now mgr = Engine.now mgr.engine
-let degraded mgr = mgr.degraded
+let degraded mgr = Policy.degraded mgr.policy
 let injector mgr = mgr.fault
 
-(* --- fault injection & graceful degradation -------------------------- *)
+(* --- fault injection -------------------------------------------------- *)
 
 let inject mgr site =
   match mgr.fault with None -> false | Some f -> Fault.fire f site
 
-let max_penalty = 64
+(* --- policy feedback -------------------------------------------------- *)
 
-let backoff_state mgr point =
-  match Hashtbl.find_opt mgr.backoffs point with
-  | Some b -> b
-  | None ->
-    let b = { bk_penalty = 0; bk_skip = 0 } in
-    Hashtbl.add mgr.backoffs point b;
-    b
+(* The policy owns all strategy state (backoff penalties, overflow
+   streaks, payoff accumulators); these wrappers forward the mechanism
+   events and map any returned scheduling event onto the trace.  Policy
+   state updates never depend on whether tracing is enabled. *)
 
-(* Consume one unit of the point's backoff budget at MUTLS_get_CPU;
-   [true] vetoes the fork. *)
-let backoff_veto mgr point =
-  mgr.cfg.Config.backoff && point >= 0
-  &&
-  let b = backoff_state mgr point in
-  if b.bk_skip > 0 then begin
-    b.bk_skip <- b.bk_skip - 1;
-    true
-  end
-  else false
+let emit_sched mgr (td : Thread_data.t) = function
+  | None -> ()
+  | Some { Policy.ev_what; ev_info } ->
+    if tracing mgr then
+      emit mgr td (Trace.Sched { what = ev_what; info = ev_info })
 
 (* A genuine misspeculation (conflict, stale local, overflow — not an
    abandoned subtree, which says nothing about the point itself). *)
 let note_rollback mgr (td : Thread_data.t) =
-  if mgr.cfg.Config.backoff && td.fork_point >= 0 then begin
-    let b = backoff_state mgr td.fork_point in
-    b.bk_penalty <- min max_penalty (max 1 (2 * b.bk_penalty));
-    b.bk_skip <- b.bk_penalty;
-    if tracing mgr then
-      emit mgr td (Trace.Sched { what = "backoff"; info = b.bk_penalty })
-  end
+  emit_sched mgr td (Policy.on_rollback mgr.policy ~point:td.fork_point)
 
 let note_commit mgr (td : Thread_data.t) =
-  mgr.overflow_streak <- 0;
-  if mgr.cfg.Config.backoff && td.fork_point >= 0 then
-    match Hashtbl.find_opt mgr.backoffs td.fork_point with
-    | Some b -> b.bk_penalty <- b.bk_penalty / 2
-    | None -> ()
+  Policy.on_commit mgr.policy ~point:td.fork_point
 
-(* Sustained buffer exhaustion with no commit in between: speculating
-   further can only thrash, so fall back to sequential execution for
-   the rest of the run (every later MUTLS_get_CPU returns 0). *)
 let note_overflow mgr (td : Thread_data.t) =
-  mgr.overflow_streak <- mgr.overflow_streak + 1;
-  if
-    mgr.cfg.Config.degrade_after > 0
-    && mgr.overflow_streak >= mgr.cfg.Config.degrade_after
-    && not mgr.degraded
-  then begin
-    mgr.degraded <- true;
-    if tracing mgr then
-      emit mgr td (Trace.Sched { what = "degrade"; info = mgr.overflow_streak })
-  end
+  emit_sched mgr td (Policy.on_overflow mgr.policy ~point:td.fork_point)
 
 (* --- virtual-time accounting --------------------------------------- *)
 
@@ -291,8 +257,15 @@ let find_idle mgr =
   go 1
 
 (* MUTLS_get_CPU: assign a rank to a new speculative thread, or 0 when
-   speculation is not possible. *)
-let get_cpu mgr (td : Thread_data.t) ~model ~point =
+   speculation is not possible.  The policy decides Deny / Expand /
+   Speculate; this function enforces the mechanism-level invariants a
+   policy cannot be trusted with: the fork-model rules, and the Expand
+   legality gate — Level 1 is only honoured where the static analysis
+   marked the point expandable AND the parent's view of memory equals
+   main memory (the parent is the main thread, or itself an Expand
+   thread and therefore bufferless).  A hostile policy can thus cost
+   performance but never soundness. *)
+let get_cpu mgr (td : Thread_data.t) ~model ~expandable ~point =
   charge mgr td Stats.Find_cpu mgr.cfg.cost.find_cpu;
 
   let model = Option.value mgr.cfg.model_override ~default:model in
@@ -300,14 +273,38 @@ let get_cpu mgr (td : Thread_data.t) ~model ~point =
      its children would be orphaned. *)
   let doomed = Engine.ivar_peek td.sync_status <> None in
   if doomed || not (may_fork mgr td model) then 0
-  else if mgr.degraded then 0 (* sequential fallback: no new speculation *)
-  else if backoff_veto mgr point then 0
-  else
-    match find_idle mgr with
-    | None -> 0
-    | Some rank ->
-      if inject mgr Fault.Fork_denial then 0
-      else begin
+  else begin
+    let rq =
+      {
+        Policy.rq_point = point;
+        rq_model = model;
+        rq_expandable = expandable;
+        rq_parent_main = td.is_main;
+        rq_parent_expand = td.expand;
+      }
+    in
+    let decision =
+      match Policy.decide mgr.policy rq with
+      | Policy.Expand when not (expandable && (td.is_main || td.expand)) ->
+        Policy.Speculate model (* illegal Expand: downgrade to Level 2 *)
+      | d -> d
+    in
+    match decision with
+    | Policy.Deny -> 0
+    | (Policy.Expand | Policy.Speculate _) as d -> (
+      let expand, model' =
+        match d with
+        | Policy.Speculate m -> (false, m)
+        | _ -> (true, model)
+      in
+      (* a policy-overridden model still obeys the fork-model rules *)
+      if model' <> model && not (may_fork mgr td model') then 0
+      else
+        match find_idle mgr with
+        | None -> 0
+        | Some rank ->
+          if inject mgr Fault.Fork_denial then 0
+          else begin
       let child =
         Thread_data.create ~gbuf:mgr.buffer_pool.(rank) ~id:mgr.next_id ~rank
           ~fork_point:point ~is_main:false ~buffer_slots:mgr.cfg.buffer_slots
@@ -315,6 +312,7 @@ let get_cpu mgr (td : Thread_data.t) ~model ~point =
       in
       mgr.next_id <- mgr.next_id + 1;
       child.parent <- Some td;
+      child.expand <- expand;
       if tracing mgr then install_hooks mgr child;
       ignore (Local_buffer.push_frame child.lbuf);
       mgr.cpus.(rank) <- Busy child;
@@ -329,7 +327,8 @@ let get_cpu mgr (td : Thread_data.t) ~model ~point =
       if tracing mgr then
         emit mgr td (Trace.Fork { child = child.id; child_rank = rank; point });
       rank
-      end
+          end)
+  end
 
 let busy_exn mgr rank =
   match mgr.cpus.(rank) with
@@ -392,8 +391,15 @@ let speculate mgr (parent : Thread_data.t) ~rank ~counter body =
         emit mgr child
           (Trace.Retire
              { committed; runtime; stats = Stats.to_assoc child.stats });
+      (* feed the policy's payoff accumulator — the same committed /
+         wasted split the profiler books from the Retire record *)
+      emit_sched mgr child
+        (Policy.on_retire mgr.policy ~point:child.fork_point
+           ~committed:(Stats.get child.stats Stats.Work)
+           ~wasted:(Stats.get child.stats Stats.Wasted_work));
       mgr.retired <-
-        { r_stats = child.stats; r_runtime = runtime; r_committed = committed }
+        { r_stats = child.stats; r_runtime = runtime; r_committed = committed;
+          r_buffered = child.buffered; r_expand = child.expand }
         :: mgr.retired)
 
 (* --- speculative entry (stub side) ----------------------------------- *)
@@ -565,28 +571,47 @@ let rollback_overflow mgr (td : Thread_data.t) =
 
 (* --- speculative memory access --------------------------------------- *)
 
+let plain_load mgr addr size =
+  match size with
+  | 8 -> mgr.mem.Memio.read_word addr
+  | _ ->
+    let x = ref 0L in
+    for k = size - 1 downto 0 do
+      x := Int64.logor (Int64.shift_left !x 8)
+             (Int64.of_int (mgr.mem.Memio.read_byte (addr + k)))
+    done;
+    !x
+
+let plain_store mgr addr size v =
+  match size with
+  | 8 -> mgr.mem.Memio.write_word addr v
+  | _ ->
+    for k = 0 to size - 1 do
+      mgr.mem.Memio.write_byte (addr + k)
+        (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff)
+    done
+
 let spec_load mgr (td : Thread_data.t) ~addr ~size =
   td.pending_loads <- td.pending_loads + 1;
   if Local_buffer.in_own_stack td.lbuf addr then begin
     tick mgr td mgr.cfg.cost.mem;
-    let v = ref 0L in
-    (match size with
-    | 8 -> v := mgr.mem.Memio.read_word addr
-    | _ ->
-      let x = ref 0L in
-      for k = size - 1 downto 0 do
-        x := Int64.logor (Int64.shift_left !x 8)
-               (Int64.of_int (mgr.mem.Memio.read_byte (addr + k)))
-      done;
-      v := !x);
-    !v
+    plain_load mgr addr size
   end
   else if registered mgr addr size then begin
-    if (not td.is_main) && inject mgr Fault.Buffer_overflow then
+    if td.expand then begin
+      (* Level-1 Expand: the store-free analysis proved the region
+         performs no shared stores during the fork window, so the read
+         goes straight to memory at plain cost — no read-set tracking,
+         nothing to validate, nothing to overflow *)
+      tick mgr td mgr.cfg.cost.mem;
+      plain_load mgr addr size
+    end
+    else if (not td.is_main) && inject mgr Fault.Buffer_overflow then
       rollback_overflow mgr td
     else
       match Global_buffer.read td.gbuf mgr.mem addr size with
       | v, hit ->
+        td.buffered <- td.buffered + 1;
         tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss);
         v
       | exception Global_buffer.Overflow -> rollback_overflow mgr td
@@ -600,20 +625,24 @@ let spec_store mgr (td : Thread_data.t) ~addr ~size v =
   td.pending_stores <- td.pending_stores + 1;
   if Local_buffer.in_own_stack td.lbuf addr then begin
     tick mgr td mgr.cfg.cost.mem;
-    match size with
-    | 8 -> mgr.mem.Memio.write_word addr v
-    | _ ->
-      for k = 0 to size - 1 do
-        mgr.mem.Memio.write_byte (addr + k)
-          (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff)
-      done
+    plain_store mgr addr size v
   end
   else if registered mgr addr size then begin
-    if (not td.is_main) && inject mgr Fault.Buffer_overflow then
+    if td.expand then begin
+      (* Dynamic backstop for the Expand judgement: the static analysis
+         said this region never stores to shared memory, yet it did.
+         Demote the point (it will never Expand again) and roll back —
+         no buffered state exists, so nothing has escaped. *)
+      Policy.on_expand_store mgr.policy ~point:td.fork_point;
+      td.bad_access <- true;
+      rollback_self mgr td ~reason:Trace.Bad_access ~kill_subtree:false
+    end
+    else if (not td.is_main) && inject mgr Fault.Buffer_overflow then
       rollback_overflow mgr td
     else
       match Global_buffer.write td.gbuf mgr.mem addr size v with
       | hit ->
+        td.buffered <- td.buffered + 1;
         tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss)
       | exception Global_buffer.Overflow -> rollback_overflow mgr td
   end

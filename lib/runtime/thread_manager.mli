@@ -14,12 +14,24 @@ exception Spec_finished
     rolled back; unwinds the interpreter back to the fiber body. *)
 
 (** Record of a finished speculative thread, for the metrics. *)
-type retired = { r_stats : Stats.t; r_runtime : float; r_committed : bool }
+type retired = {
+  r_stats : Stats.t;
+  r_runtime : float;
+  r_committed : bool;
+  r_buffered : int;
+      (** GlobalBuffer-tracked accesses the thread performed; [0] for a
+          Level-1 Expand thread by construction (the acceptance
+          assertion for zero tracking) *)
+  r_expand : bool;  (** ran as a Level-1 Expand thread *)
+}
 
 type t
 
-val create : Config.t -> Mutls_sim.Engine.t -> Memio.t -> t
-(** @raise Invalid_argument on a malformed configuration
+val create : ?policy:Policy.t -> Config.t -> Mutls_sim.Engine.t -> Memio.t -> t
+(** [policy] overrides the policy engine instance ({!Policy.of_config}
+    on the configuration otherwise) — tests use it to pin corner
+    behaviours with {!Policy.make}.
+    @raise Invalid_argument on a malformed configuration
     (see {!Config.validate}). *)
 
 (** {1 Accessors} *)
@@ -36,9 +48,9 @@ val now : t -> float
 (** Current virtual time of the underlying engine. *)
 
 val degraded : t -> bool
-(** [true] once sustained buffer overflow (see [Config.degrade_after])
-    has switched the run over to sequential execution: every later
-    [MUTLS_get_CPU] returns 0. *)
+(** [true] once the policy has permanently fallen back to sequential
+    execution (sustained buffer overflow under [degrade_after]): every
+    later [MUTLS_get_CPU] returns 0. *)
 
 val injector : t -> Fault.t option
 (** The fault injector built from [Config.fault], for inspecting
@@ -72,10 +84,16 @@ val registered : t -> int -> int -> bool
 
 (** {1 Fork (§IV-D)} *)
 
-val get_cpu : t -> Thread_data.t -> model:Config.model -> point:int -> int
+val get_cpu :
+  t -> Thread_data.t -> model:Config.model -> expandable:bool -> point:int -> int
 (** MUTLS_get_CPU: assign a rank to a new speculative thread, or 0 when
-    speculation is not possible (no idle CPU, the forking-model policy
-    forbids it, or the would-be parent is already asked to stop). *)
+    speculation is not possible (no idle CPU, the forking-model rules
+    forbid it, the would-be parent is already asked to stop, or the
+    policy returns {!Policy.Deny}).  [expandable] is the static
+    store-free judgement for the fork point (bit 2 of the front-end
+    model argument); a {!Policy.Expand} decision is only honoured when
+    it is set and the parent's view equals main memory (main thread or
+    Expand parent) — otherwise it is downgraded to full speculation. *)
 
 val set_fork_reg : t -> Thread_data.t -> rank:int -> off:int -> Local_buffer.v -> unit
 (** Fork-time register transfer; applies stride value prediction when

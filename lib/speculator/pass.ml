@@ -40,9 +40,7 @@ type options = {
   safe_externs : string list; (* pure externs that never stop speculation *)
 }
 
-let default_safe =
-  [ "abs"; "labs"; "fabs"; "sqrt"; "sin"; "cos"; "tan"; "exp"; "log"; "pow";
-    "floor"; "ceil"; "fmod"; "fmin"; "fmax"; "min_i64"; "max_i64" ]
+let default_safe = Store_free.default_safe
 
 let default_options = { max_locals = 256; safe_externs = default_safe }
 
@@ -904,7 +902,8 @@ let ranks_slot_addr (plan : plan) (f : func) emit idx =
       Reg pa
     end
 
-let apply_fork_surgery (plan : plan) (f : func) ~stack_addr ~proxy_name =
+let apply_fork_surgery (plan : plan) (f : func) ~stack_addr ~proxy_name
+    ~expand_ok =
   let new_blocks = ref [] in
   List.iter
     (fun b ->
@@ -959,7 +958,13 @@ let apply_fork_surgery (plan : plan) (f : func) ~stack_addr ~proxy_name =
         let out = ref [] in
         let emit id ity kind = out := { id; ity; kind } :: !out in
         let rank = fresh_reg f I64 in
-        emit rank I64 (Call ("MUTLS_get_CPU", [ i64 model; i64 p ]));
+        (* bits 0-1 carry the fork model; bit 2 carries the store-free
+           analysis verdict (Store_free), making the fork point
+           "expandable" — the runtime's policy may then run the child
+           at Level 1 with no GlobalBuffer tracking.  The IR stays
+           self-describing across dump/parse. *)
+        let mi = if expand_ok then model lor 4 else model in
+        emit rank I64 (Call ("MUTLS_get_CPU", [ i64 mi; i64 p ]));
         let slot = ranks_slot_addr plan f emit idx in
         emit (-1) Void (Store (I64, Reg rank, slot));
         let has = fresh_reg f I1 in
@@ -1201,7 +1206,7 @@ let gen_stub_proxy (m : modul) (plan : plan) (f : func) =
 (* Top level                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let transform_function (m : modul) opts prepared (f : func) =
+let transform_function (m : modul) opts prepared ~expand_ok (f : func) =
   let plan = analyze m opts f in
   let spec =
     Clone.clone_func ~new_name:(f.fname ^ ".spec")
@@ -1217,8 +1222,9 @@ let transform_function (m : modul) opts prepared (f : func) =
   insert_sync_points plan spec ~stack_addr:spec_stack_addr;
   (* shared surgery *)
   let proxy_name = f.fname ^ ".proxy" in
-  apply_fork_surgery plan f ~stack_addr:(fun a -> Reg a) ~proxy_name;
-  apply_fork_surgery plan spec ~stack_addr:spec_stack_addr ~proxy_name;
+  apply_fork_surgery plan f ~stack_addr:(fun a -> Reg a) ~proxy_name ~expand_ok;
+  apply_fork_surgery plan spec ~stack_addr:spec_stack_addr ~proxy_name
+    ~expand_ok;
   apply_join_surgery plan f;
   apply_join_surgery plan spec;
   build_entry_dispatch plan f ~spec_counter:None ~stack_addr:(fun a -> Reg a);
@@ -1237,8 +1243,18 @@ let run ?(opts = default_options) ?(verify = true) (m0 : modul) =
   let prepared = prepared_set m in
   if Hashtbl.length prepared = 0 then m
   else begin
+    (* Store-free verdicts are computed on the pristine input (its own
+       mem2reg'd clone), before any surgery touches [m]. *)
+    let sf = Store_free.analyze ~safe_externs:opts.safe_externs m0 in
     let targets = List.filter (fun f -> Hashtbl.mem prepared f.fname) m.funcs in
-    let _plans = List.map (fun f -> transform_function m opts prepared f) targets in
+    let _plans =
+      List.map
+        (fun f ->
+          transform_function m opts prepared
+            ~expand_ok:(Store_free.store_free sf f.fname)
+            f)
+        targets
+    in
     Mem2reg.run_module m;
     if verify then (
       match Verify.check_module m with

@@ -1,0 +1,113 @@
+(* Static store-free region analysis, backing the policy engine's
+   Level-1 [Expand] decision (STU's "zero-risk parallelism" level).
+
+   A function is store-free when, after mem2reg promotion, its body
+   performs no Store at all and every call it makes is a source
+   intrinsic, a safe (pure) extern, or an internal function that is
+   itself store-free — a greatest fixpoint over the call graph, so
+   mutual recursion is handled (optimistically assume free, then
+   iteratively falsify).
+
+   A fork point inside a store-free function is "expandable": between
+   fork and join neither the parent (running the region ahead) nor the
+   speculative child can store to shared memory, so the child may read
+   main memory directly — no GlobalBuffer read/write-set tracking and
+   nothing to validate.  Locals still travel through the fork-time
+   register transfer and are re-checked by MUTLS_validate_local at the
+   join, and the runtime keeps a dynamic backstop (an Expand thread
+   that does store to registered memory is demoted and rolled back), so
+   an optimistic judgement costs performance, never correctness.
+
+   The analysis runs on a clone of the pre-pass module: mem2reg first
+   promotes scalar locals (whose allocas/stores say nothing about
+   shared memory), leaving only genuinely memory-carried stores. *)
+
+open Mutls_mir
+open Mutls_mir.Ir
+
+let default_safe =
+  [ "abs"; "labs"; "fabs"; "sqrt"; "sin"; "cos"; "tan"; "exp"; "log"; "pow";
+    "floor"; "ceil"; "fmod"; "fmin"; "fmax"; "min_i64"; "max_i64" ]
+
+type t = {
+  sf_free : (string, bool) Hashtbl.t;
+  sf_points : (string * int) list; (* expandable (function, fork point) *)
+}
+
+(* Direct judgement: no surviving Store, no unsafe extern call.
+   Returns the internal callees whose freedom the verdict depends on. *)
+let direct (m : modul) ~safe (f : func) =
+  let ok = ref true in
+  let callees = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i.kind with
+          | Store _ -> ok := false
+          | Call (n, _) ->
+            if is_source_intrinsic n then ()
+            else if find_func m n <> None then callees := n :: !callees
+            else if not (List.mem n safe) then ok := false
+          | _ -> ())
+        b.insts)
+    f.blocks;
+  (!ok, !callees)
+
+let analyze ?(safe_externs = default_safe) (m0 : modul) =
+  let m = Clone.clone_module m0 in
+  Mem2reg.run_module m;
+  let free = Hashtbl.create 16 in
+  let deps = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let ok, callees = direct m ~safe:safe_externs f in
+      Hashtbl.replace free f.fname ok;
+      Hashtbl.replace deps f.fname callees)
+    m.funcs;
+  (* greatest fixpoint: falsify any function depending on a non-free
+     callee until stable *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun name callees ->
+        if
+          Hashtbl.find free name
+          && List.exists
+               (fun c ->
+                 match Hashtbl.find_opt free c with
+                 | Some b -> not b
+                 | None -> true)
+               callees
+        then begin
+          Hashtbl.replace free name false;
+          changed := true
+        end)
+      deps
+  done;
+  (* fork annotations survive mem2reg, so the clone can be scanned *)
+  let points =
+    List.concat_map
+      (fun f ->
+        if not (Hashtbl.find free f.fname) then []
+        else
+          List.concat_map
+            (fun b ->
+              List.filter_map
+                (fun i ->
+                  match i.kind with
+                  | Call (n, Const (Cint (p, _)) :: _) when n = fork_intrinsic
+                    ->
+                    Some (f.fname, Int64.to_int p)
+                  | _ -> None)
+                b.insts)
+            f.blocks)
+      m.funcs
+  in
+  { sf_free = free; sf_points = points }
+
+let store_free t name =
+  match Hashtbl.find_opt t.sf_free name with Some b -> b | None -> false
+
+let expandable_points t = t.sf_points

@@ -1,0 +1,34 @@
+(** Static store-free region analysis for the policy engine's Level-1
+    [Expand] decision (see {!Mutls_runtime.Policy}).
+
+    A function is store-free when, after mem2reg promotion of its
+    scalar locals, it performs no [Store] and calls only source
+    intrinsics, safe (pure) externs, or internal functions that are
+    themselves store-free — computed as a greatest fixpoint over the
+    call graph, so recursion is handled.  Fork points inside store-free
+    functions are "expandable": the pass encodes the judgement as bit 2
+    of MUTLS_get_CPU's model argument, and the runtime's Expand threads
+    then read main memory directly with no GlobalBuffer tracking.
+
+    The analysis is sound for performance decisions only by design: the
+    runtime keeps a dynamic backstop (an Expand thread storing to
+    registered memory is demoted and rolled back), so an optimistic
+    verdict can never corrupt an execution. *)
+
+val default_safe : string list
+(** Pure externs that never block store-freedom (also the pass's
+    default safe-extern list). *)
+
+type t
+
+val analyze : ?safe_externs:string list -> Mutls_mir.Ir.modul -> t
+(** Analyze a pre-pass module.  The input is cloned (and the clone
+    mem2reg'd) internally; the original is untouched. *)
+
+val store_free : t -> string -> bool
+(** Whether the named function (with its transitive internal callees)
+    is store-free; [false] for unknown names. *)
+
+val expandable_points : t -> (string * int) list
+(** All (function, fork point id) pairs whose enclosing function is
+    store-free. *)

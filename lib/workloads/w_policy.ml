@@ -1,0 +1,115 @@
+(* Mixed-payoff policy suite: three small workloads whose best
+   speculation strategies differ, so no single static policy wins all
+   of them — the adaptive policy engine's acceptance benchmark.
+
+   - [hostile]: every chunk read-modify-writes one shared global
+     accumulator, so almost every speculation fails validation at the
+     join.  Speculating here only burns fork + rollback overhead; the
+     winning move is to stop (adaptive Deny; static backoff only skips
+     a bounded window and keeps re-probing).
+
+   - [clean]: the classic chained-chunk pattern with independent
+     per-chunk results (3x+1-like); speculation pays and a policy must
+     NOT deny it (no rollbacks ever occur, so the adaptive engine stays
+     out of the way).
+
+   - [scan]: a store-free reduction over a global read-only table —
+     each chunk only loads shared memory and updates a live local on a
+     rare threshold hit.  The store-free analysis proves the region
+     expandable, so the adaptive policy runs it at Level 1 (plain
+     memory cost, no GlobalBuffer tracking) where static policies pay
+     spec_hit/spec_miss per access plus validation per join. *)
+
+let hostile_name = "policy-hostile"
+let clean_name = "policy-clean"
+let scan_name = "policy-scan"
+
+(* Shared-accumulator RMW: the child reads [acc] speculatively, the
+   parent stores to it before the join — a certain conflict.  [bias]
+   keeps the per-chunk work comparable to the clean workload. *)
+let hostile_c ?(total = 4096) ?(nchunks = 32) () =
+  Printf.sprintf
+    {|
+int NCHUNKS = %d;
+int TOTAL = %d;
+int acc = 0;
+
+int steps(int n) {
+  int s = 0;
+  while (n != 1) {
+    if (n %% 2) n = 3 * n + 1;
+    else n = n / 2;
+    s = s + 1;
+  }
+  return s;
+}
+
+void compute() {
+  int per = TOTAL / NCHUNKS;
+  for (int c = 0; c < NCHUNKS; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int lo = c * per + 1;
+    int sum = 0;
+    for (int i = lo; i < lo + per; i++) sum = sum + steps(i);
+    acc = acc + sum;
+    __builtin_MUTLS_join(0);
+  }
+}
+
+int main() {
+  compute();
+  print_int(acc);
+  print_newline();
+  return acc;
+}
+|}
+    nchunks total
+
+(* Independent chunks into a results array: speculation always pays. *)
+let clean_c ?(total = 4096) ?(nchunks = 32) () =
+  W_threex.c ~total ~nchunks ()
+
+(* Store-free scan: [compute] and its callee only LOAD the global
+   table; the per-chunk result feeds a rare threshold counter, so the
+   live local is almost never updated between fork and join (the rare
+   update exercises validate_local, Expand's remaining correctness
+   mechanism).  The table is initialized in [main], which is outside
+   the analyzed region. *)
+let scan_c ?(n = 2048) ?(nchunks = 32) ?(threshold = 100000000) () =
+  Printf.sprintf
+    {|
+int N = %d;
+int NCHUNKS = %d;
+int THRESHOLD = %d;
+int A[%d];
+
+int chunk_sum(int lo, int hi) {
+  int s = 0;
+  for (int i = lo; i < hi; i++) {
+    int v = A[i];
+    s = s + v * v + (v / 3);
+  }
+  return s;
+}
+
+int compute() {
+  int per = N / NCHUNKS;
+  int hits = 0;
+  for (int c = 0; c < NCHUNKS; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int s = chunk_sum(c * per, c * per + per);
+    if (s > THRESHOLD) hits = hits + 1;
+    __builtin_MUTLS_join(0);
+  }
+  return hits;
+}
+
+int main() {
+  for (int i = 0; i < N; i++) A[i] = (i * 37 + 11) %% 1000;
+  int h = compute();
+  print_int(h);
+  print_newline();
+  return h;
+}
+|}
+    n nchunks threshold n

@@ -111,8 +111,46 @@ let all : t list =
     };
   ]
 
+(* The policy engine's acceptance suite (kept out of [all] so the
+   paper-figure artifacts are unaffected): three workloads whose best
+   speculation strategies differ — deny, speculate, expand — so no
+   single static policy wins all of them.  See W_policy. *)
+let mixed_payoff : t list =
+  [
+    {
+      name = W_policy.hostile_name;
+      description = "shared-accumulator RMW: every speculation conflicts";
+      amount = "4096 integers, 32 chunks";
+      pattern = Loop;
+      wclass = Memory_intensive;
+      c_source = (fun () -> W_policy.hostile_c ());
+      fortran_source = None;
+      small = (fun () -> W_policy.hostile_c ~total:512 ~nchunks:8 ());
+    };
+    {
+      name = W_policy.clean_name;
+      description = "independent chunks: speculation always pays";
+      amount = "4096 integers, 32 chunks";
+      pattern = Loop;
+      wclass = Compute_intensive;
+      c_source = (fun () -> W_policy.clean_c ());
+      fortran_source = None;
+      small = (fun () -> W_policy.clean_c ~total:512 ~nchunks:8 ());
+    };
+    {
+      name = W_policy.scan_name;
+      description = "store-free reduction over a read-only table (expandable)";
+      amount = "2048-entry table, 32 chunks";
+      pattern = Loop;
+      wclass = Memory_intensive;
+      c_source = (fun () -> W_policy.scan_c ());
+      fortran_source = None;
+      small = (fun () -> W_policy.scan_c ~n:512 ~nchunks:8 ());
+    };
+  ]
+
 let find name =
-  match List.find_opt (fun w -> w.name = name) all with
+  match List.find_opt (fun w -> w.name = name) (all @ mixed_payoff) with
   | Some w -> w
   | None -> invalid_arg ("Workloads.find: unknown benchmark " ^ name)
 

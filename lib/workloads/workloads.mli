@@ -23,6 +23,16 @@ type t = {
 }
 
 val all : t list
+
+val mixed_payoff : t list
+(** The policy engine's acceptance suite (not part of {!all}, so the
+    paper-figure artifacts are unaffected): a conflict-bound workload
+    where speculation never pays, an independent-chunk workload where
+    it always does, and a store-free (expandable) reduction — no single
+    static policy wins all three. *)
+
 val find : string -> t
+(** Looks up {!all} and {!mixed_payoff} by name. *)
+
 val compute_intensive : t list
 val memory_intensive : t list

@@ -18,4 +18,5 @@ let () =
       ("opt", Test_opt.tests);
       ("parse", Test_parse.tests);
       ("chaos", Test_chaos.tests);
+      ("policy", Test_policy.tests);
     ]
