@@ -1,0 +1,119 @@
+(* CI observability-overhead gate.
+
+     dune exec bench/check_obs.exe -- BASELINE FRESH [--require-baseline]
+
+   Reads the overhead budget from the committed BASELINE (bench/
+   BASELINE_obs.json) and the measured telemetry-on/telemetry-off
+   ratio from a freshly generated BENCH_obs.json (bench/main.exe --
+   obs), and exits non-zero when the measurement exceeds the budget:
+   the always-on registry must stay effectively free.
+
+   The ratio is host-independent — both sides of every pair ran
+   interleaved on the same machine, so runner speed cancels.  Per-row
+   ratios are reported but only the aggregate gates: a sub-second row
+   can jitter past the budget on a noisy runner while the total stays
+   honest.
+
+   A missing baseline only warns by default — the bootstrap path for
+   establishing the first budget — but with --require-baseline (CI,
+   where the baseline is committed) its absence is itself a failure,
+   so the gate cannot be disarmed by deleting the snapshot. *)
+
+module Json = Mutls.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let num path j key =
+  match Option.bind (Json.member key j) Json.to_float with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: missing numeric field %S" path key)
+
+let () =
+  let baseline = ref None and fresh = ref None in
+  let require_baseline = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--require-baseline" :: rest ->
+      require_baseline := true;
+      parse rest
+    | a :: rest ->
+      (match (!baseline, !fresh) with
+      | None, _ -> baseline := Some a
+      | Some _, None -> fresh := Some a
+      | Some _, Some _ -> failwith ("unexpected argument " ^ a));
+      parse rest
+  in
+  (try parse (List.tl (Array.to_list Sys.argv))
+   with Failure e ->
+     Printf.eprintf "check_obs: %s\n" e;
+     exit 2);
+  let baseline_path, fresh_path =
+    match (!baseline, !fresh) with
+    | Some b, Some f -> (b, f)
+    | _ ->
+      Printf.eprintf "usage: check_obs BASELINE FRESH [--require-baseline]\n";
+      exit 2
+  in
+  if not (Sys.file_exists baseline_path) then
+    if !require_baseline then begin
+      Printf.eprintf
+        "check_obs: no baseline at %s (--require-baseline: the committed \
+         budget is part of the gate)\n"
+        baseline_path;
+      exit 1
+    end
+    else begin
+      Printf.printf
+        "check_obs: no baseline at %s; skipping (commit a budget to arm the \
+         gate)\n"
+        baseline_path;
+      exit 0
+    end;
+  let load path =
+    try Json.of_string (read_file path) with
+    | Sys_error e ->
+      Printf.eprintf "check_obs: %s\n" e;
+      exit 2
+    | Json.Parse_error e ->
+      Printf.eprintf "check_obs: %s: %s\n" path e;
+      exit 2
+  in
+  let base = load baseline_path and cur = load fresh_path in
+  try
+    let budget = num baseline_path base "budget" in
+    let overhead = num fresh_path cur "overhead" in
+    Printf.printf "telemetry overhead check (budget +%.1f%%):\n"
+      (100.0 *. (budget -. 1.0));
+    (match Json.member "rows" cur with
+    | Some (Json.List rows) ->
+      List.iter
+        (fun r ->
+          match
+            ( Option.bind (Json.member "workload" r) Json.to_str,
+              Option.bind (Json.member "overhead" r) Json.to_float )
+          with
+          | Some w, Some o ->
+            Printf.printf "  %-12s ratio %.4f%s\n" w o
+              (if o > budget then "  (over budget; aggregate gates)" else "")
+          | _ -> ())
+        rows
+    | _ -> ());
+    Printf.printf "  %-12s ratio %.4f   budget %.4f   %s\n" "aggregate"
+      overhead budget
+      (if overhead > budget then "REGRESSION" else "ok");
+    if overhead > budget then begin
+      Printf.printf
+        "check_obs: telemetry overhead %.2f%% exceeds the %.2f%% budget\n"
+        (100.0 *. (overhead -. 1.0))
+        (100.0 *. (budget -. 1.0));
+      exit 1
+    end;
+    print_string "check_obs: telemetry overhead within budget\n"
+  with Failure e ->
+    Printf.eprintf "check_obs: %s\n" e;
+    exit 2

@@ -364,6 +364,82 @@ let perf () =
   close_out oc;
   Printf.printf "[wrote BENCH_interp.json]\n"
 
+(* --- obs: telemetry overhead, emits BENCH_obs.json -------------------- *)
+
+(* Measures the cost of the always-on telemetry registry: identical
+   prepared TLS runs with Config.telemetry set to Telemetry.disabled
+   versus a live registry, interleaved min-of-k wall-clock per side
+   (min is robust to scheduler noise; interleaving cancels drift).
+   Runs go through Eval.run_tls_prepared directly — Experiments.run
+   would serve repeats from the metrics cache and time nothing.  The
+   CI gate (check_obs.exe) fails when on/off exceeds the budget in
+   bench/BASELINE_obs.json. *)
+let obs () =
+  heading "Observability overhead: telemetry on vs off (host wall-clock)";
+  let module Eval = Mutls_interp.Eval in
+  let module Config = Mutls_runtime.Config in
+  let reps = 5 in
+  let rows =
+    List.map
+      (fun (name, ncpus) ->
+        let w = W.find name in
+        let m = Mutls_minic.Codegen.compile (w.W.c_source ()) in
+        let t = Mutls_speculator.Pass.run m in
+        let prog = Eval.prepare t in
+        let run telemetry =
+          ignore
+            (Eval.run_tls_prepared { Config.default with ncpus; telemetry } prog)
+        in
+        let reg = Mutls.Telemetry.create () in
+        (* warm both sides, then alternate *)
+        run Mutls.Telemetry.disabled;
+        run reg;
+        let best_off = ref infinity and best_on = ref infinity in
+        for _ = 1 to reps do
+          let t0 = Unix.gettimeofday () in
+          run Mutls.Telemetry.disabled;
+          let off = Unix.gettimeofday () -. t0 in
+          if off < !best_off then best_off := off;
+          let t1 = Unix.gettimeofday () in
+          run reg;
+          let on_ = Unix.gettimeofday () -. t1 in
+          if on_ < !best_on then best_on := on_
+        done;
+        Printf.printf "  %-10s @%-2d  off %7.3f s   on %7.3f s   ratio %.4f\n"
+          name ncpus !best_off !best_on
+          (!best_on /. !best_off);
+        (name, ncpus, !best_off, !best_on))
+      [ ("3x+1", 16); ("fft", 8); ("matmult", 8) ]
+  in
+  let tot_off = List.fold_left (fun a (_, _, o, _) -> a +. o) 0.0 rows in
+  let tot_on = List.fold_left (fun a (_, _, _, o) -> a +. o) 0.0 rows in
+  let ratio = tot_on /. tot_off in
+  Printf.printf "  %-10s      off %7.3f s   on %7.3f s   ratio %.4f\n" "total"
+    tot_off tot_on ratio;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"telemetry-overhead\",\n\
+    \  \"reps\": %d,\n\
+    \  \"off_seconds\": %.4f,\n\
+    \  \"on_seconds\": %.4f,\n\
+    \  \"overhead\": %.5f,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    reps tot_off tot_on ratio
+    (String.concat ",\n"
+       (List.map
+          (fun (n, c, off, on_) ->
+            Printf.sprintf
+              "    { \"workload\": %S, \"ncpus\": %d, \"off_seconds\": %.4f, \
+               \"on_seconds\": %.4f, \"overhead\": %.5f }"
+              n c off on_ (on_ /. off))
+          rows));
+  close_out oc;
+  Printf.printf "[wrote BENCH_obs.json]\n"
+
 (* --- driver ----------------------------------------------------------- *)
 
 let artifacts =
@@ -385,6 +461,7 @@ let artifacts =
     ("ablation-vp", Mutls.Ablations.print_value_prediction);
     ("ablation-auto", Mutls.Ablations.print_auto);
     ("micro", micro);
+    ("obs", obs);
     ("perf", perf);
   ]
 
@@ -402,8 +479,10 @@ let () =
   in
   let selected =
     match args with
-    (* perf re-runs the figure sweep under a timer; only on request *)
-    | [] -> List.filter (fun n -> n <> "perf") (List.map fst artifacts)
+    (* perf re-runs the figure sweep under a timer and obs repeats
+       timed TLS runs; both only on request *)
+    | [] ->
+      List.filter (fun n -> n <> "perf" && n <> "obs") (List.map fst artifacts)
     | names ->
       List.iter
         (fun n ->

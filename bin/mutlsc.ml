@@ -129,11 +129,19 @@ let file_sink path =
       Mutls.Trace.jsonl (output_string oc)
     else Mutls.Trace.chrome (output_string oc)
   in
+  (* Idempotent close: the commands close their sink in a Fun.protect
+     finalizer, which can run after an orderly close already happened —
+     a second close_out on the same channel would raise. *)
+  let closed = ref false in
   { base with
     Mutls.Trace.close =
       (fun () ->
-        base.Mutls.Trace.close ();
-        close_out oc) }
+        if not !closed then begin
+          closed := true;
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> base.Mutls.Trace.close ())
+        end) }
 
 let make_sink trace =
   let sinks =
@@ -164,14 +172,53 @@ let profile_arg =
 
 let write_profile path p =
   let oc = open_out path in
-  (if Filename.check_suffix path ".json" then
-     output_string oc (Mutls.Json.to_string (Mutls.Profile.to_json p) ^ "\n")
-   else begin
-     let fmt = Format.formatter_of_out_channel oc in
-     Mutls.Profile.pp fmt p;
-     Format.pp_print_flush fmt ()
-   end);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      if Filename.check_suffix path ".json" then
+        output_string oc (Mutls.Json.to_string (Mutls.Profile.to_json p) ^ "\n")
+      else begin
+        let fmt = Format.formatter_of_out_channel oc in
+        Mutls.Profile.pp fmt p;
+        Format.pp_print_flush fmt ()
+      end)
+
+(* --- telemetry output ---------------------------------------------------- *)
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the run's telemetry snapshot (always-on counters, \
+               gauges, histograms) to $(docv): $(i,.json) files get JSON, \
+               anything else Prometheus text exposition format.")
+
+let write_metrics path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      if Filename.check_suffix path ".json" then
+        output_string oc
+          (Mutls.Json.to_string (Mutls.Telemetry.to_json snap) ^ "\n")
+      else output_string oc (Mutls.Telemetry.to_prometheus snap))
+
+(* Observability finalizer shared by run/bench/chaos: flush and close
+   the trace sink, then write the profile and metrics files — even
+   when the protected run Trap'd or chaos injection raised mid-run
+   (the sink-lifecycle bug this replaces dropped the buffered tail of
+   the trace on those paths).  Never raises: a secondary I/O failure
+   here must not mask the run's own exception, so it becomes a
+   warning on stderr instead. *)
+let obs_finally ?(sink = Mutls.Trace.null) ?write_prof ?write_snap () =
+  let warn what e =
+    Printf.eprintf "mutlsc: warning: failed to write %s: %s\n%!" what e
+  in
+  (try Mutls.Trace.close sink with Sys_error e -> warn "trace" e);
+  (match write_prof with
+  | None -> ()
+  | Some f -> ( try f () with Sys_error e -> warn "profile" e));
+  match write_snap with
+  | None -> ()
+  | Some f -> ( try f () with Sys_error e -> warn "metrics" e)
 
 (* --- lenient trace input ------------------------------------------------- *)
 
@@ -200,7 +247,8 @@ let fold_trace_file feed path =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file lang cpus model rollback policy seq stats optimize trace profile =
+  let run file lang cpus model rollback policy seq stats optimize trace profile
+      metrics =
     try
       let source = read_file file in
       let m = compile_input ~optimize file lang source in
@@ -220,14 +268,33 @@ let run_cmd =
           | Some agg ->
             Mutls.Trace.tee [ make_sink trace; Mutls.Profile.sink agg ]
         in
-        let cfg = make_cfg cpus model rollback policy sink in
+        (* a fresh registry scopes --metrics to this run, rather than
+           accumulating into the process-wide default *)
+        let reg = Mutls.Telemetry.create () in
+        let cfg =
+          { (make_cfg cpus model rollback policy sink) with
+            Mutls.Config.telemetry = reg }
+        in
         let seq_r = Mutls.run_sequential ~cost:cfg.Mutls.Config.cost m in
         let t = Mutls.speculate m in
-        let r = Mutls.run_tls cfg t in
-        Mutls.Trace.close sink;
-        (match (profile, prof) with
-        | Some path, Some agg -> write_profile path (Mutls.Profile.finish agg)
-        | _ -> ());
+        let r =
+          Fun.protect
+            ~finally:
+              (obs_finally ~sink
+                 ?write_prof:
+                   (match (profile, prof) with
+                   | Some path, Some agg ->
+                     Some
+                       (fun () ->
+                         write_profile path (Mutls.Profile.finish agg))
+                   | _ -> None)
+                 ?write_snap:
+                   (Option.map
+                      (fun path () ->
+                        write_metrics path (Mutls.Telemetry.snapshot reg))
+                      metrics))
+            (fun () -> Mutls.run_tls cfg t)
+        in
         print_string r.Mutls.Eval.toutput;
         let metrics = Mutls.Metrics.compute ~ts:seq_r.Mutls.Eval.scost r in
         Printf.printf "[TLS on %d CPUs: %.0f cycles, speedup %.2f]\n" cpus
@@ -250,7 +317,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ file_arg $ lang_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ policy_arg $ seq_arg $ stats_arg $ opt_arg $ trace_arg $ profile_arg))
+       $ policy_arg $ seq_arg $ stats_arg $ opt_arg $ trace_arg $ profile_arg
+       $ metrics_arg))
 
 (* --- dump --------------------------------------------------------------- *)
 
@@ -277,18 +345,34 @@ let dump_cmd =
 (* --- bench -------------------------------------------------------------- *)
 
 let bench_cmd =
-  let bench name cpus model rollback policy stats trace profile =
+  let bench name cpus model rollback policy stats trace profile metrics_file =
     try
       let w = Mutls.Workloads.find name in
       let sink = make_sink trace in
-      let metrics =
-        Mutls.Experiments.run
-          ~model_override:(Option.map model_conv model)
-          ~rollback ~trace_sink:sink
-          ?profile:(Option.map (fun path -> write_profile path) profile)
-          ~policy:(policy_conv policy) ~ncpus:cpus w
+      (* --metrics scopes telemetry to a fresh registry for this run;
+         passing ?telemetry also bypasses the metrics cache so the
+         benchmark really executes *)
+      let reg =
+        Option.map (fun _ -> Mutls.Telemetry.create ()) metrics_file
       in
-      Mutls.Trace.close sink;
+      let metrics =
+        Fun.protect
+          ~finally:
+            (obs_finally ~sink
+               ?write_snap:
+                 (match (metrics_file, reg) with
+                 | Some path, Some reg ->
+                   Some
+                     (fun () ->
+                       write_metrics path (Mutls.Telemetry.snapshot reg))
+                 | _ -> None))
+          (fun () ->
+            Mutls.Experiments.run
+              ~model_override:(Option.map model_conv model)
+              ~rollback ~trace_sink:sink
+              ?profile:(Option.map (fun path -> write_profile path) profile)
+              ?telemetry:reg ~policy:(policy_conv policy) ~ncpus:cpus w)
+      in
       Format.printf "%s on %d CPUs: %a@." name cpus Mutls.Metrics.pp metrics;
       if stats then
         List.iter
@@ -308,7 +392,7 @@ let bench_cmd =
     Term.(
       ret
         (const bench $ name_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ policy_arg $ stats_arg $ trace_arg $ profile_arg))
+       $ policy_arg $ stats_arg $ trace_arg $ profile_arg $ metrics_arg))
 
 (* --- report ------------------------------------------------------------- *)
 
@@ -390,11 +474,148 @@ let profile_cmd =
         (const profile $ trace_file_arg $ json_arg $ threshold_arg
        $ min_forks_arg $ top_arg))
 
+(* --- spans --------------------------------------------------------------- *)
+
+let spans_cmd =
+  let spans file json =
+    try
+      let acc = ref [] in
+      match fold_trace_file (fun r -> acc := r :: !acc) file with
+      | Error e -> `Error (false, e)
+      | Ok () ->
+        let t = Mutls.Spans.of_records (List.rev !acc) in
+        (if json then
+           print_string (Mutls.Json.to_string (Mutls.Spans.to_json t) ^ "\n")
+         else Format.printf "%a@?" Mutls.Spans.pp t);
+        `Ok ()
+    with Sys_error e -> `Error (false, e)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the span tree and critical path as JSON.")
+  in
+  let info =
+    Cmd.info "spans"
+      ~doc:"Fold a JSON Lines trace into causal span timelines: one span \
+            per thread with fork/join causality edges, plus the critical \
+            path through the speculation DAG (whose segment durations sum \
+            to the run's total runtime)."
+  in
+  Cmd.v info Term.(ret (const spans $ trace_file_arg $ json_arg))
+
+(* --- top ----------------------------------------------------------------- *)
+
+let top_cmd =
+  let top name cpus model rollback policy interval seed runs =
+    try
+      (* In-place redraw: move the cursor back over the previous frame
+         and clear to end of screen, then print the fresh snapshot. *)
+      let lines = ref 0 in
+      let draw reg =
+        let s =
+          Format.asprintf "%a" Mutls.Telemetry.pp (Mutls.Telemetry.snapshot reg)
+        in
+        if !lines > 0 then Printf.printf "\027[%dA\027[J" !lines;
+        print_string s;
+        flush stdout;
+        lines := List.length (String.split_on_char '\n' s) - 1
+      in
+      if name = "chaos" then begin
+        (* chaos cases build their own configs, which record into the
+           process-wide default registry; redraw once per case *)
+        let reg = Mutls.Telemetry.default in
+        let c =
+          Fun.protect
+            ~finally:(fun () -> draw reg)
+            (fun () ->
+              Mutls.Chaos.run_campaign
+                ~progress:(fun _ _ -> draw reg)
+                ~policy:(Mutls.Config.Policy.kind_of_string policy)
+                ~seed ~runs ())
+        in
+        Printf.printf "chaos: %d/%d cases passed (seed %d)\n"
+          c.Mutls.Chaos.passed c.Mutls.Chaos.requested seed;
+        if c.Mutls.Chaos.failed = None then `Ok ()
+        else `Error (false, "chaos campaign failed (re-run mutlsc chaos)")
+      end
+      else begin
+        let w = Mutls.Workloads.find name in
+        let reg = Mutls.Telemetry.create () in
+        (* the refresher is an enabled trace sink, so the run bypasses
+           the metrics cache and really executes; every [interval]
+           records it redraws the live snapshot *)
+        let count = ref 0 in
+        let refresher =
+          {
+            Mutls.Trace.enabled = true;
+            emit =
+              (fun _ ->
+                incr count;
+                if !count mod interval = 0 then draw reg);
+            close = (fun () -> ());
+          }
+        in
+        let metrics =
+          Fun.protect
+            ~finally:(fun () -> draw reg)
+            (fun () ->
+              Mutls.Experiments.run ~trace_sink:refresher ~telemetry:reg
+                ~model_override:(Option.map model_conv model)
+                ~rollback ~policy:(policy_conv policy) ~ncpus:cpus w)
+        in
+        Format.printf "%s on %d CPUs: %a@." name cpus Mutls.Metrics.pp metrics;
+        `Ok ()
+      end
+    with
+    | Invalid_argument e -> `Error (false, e)
+    | Sys_error e -> `Error (false, e)
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
+           ~doc:"A built-in benchmark (e.g. 3x+1, fft), or the literal \
+                 $(b,chaos) to watch a fault-injection campaign.")
+  in
+  let interval_arg =
+    Arg.(value & opt int 2000 & info [ "interval" ] ~docv:"N"
+           ~doc:"Refresh the view every $(docv) trace records.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed (chaos target only).")
+  in
+  let runs_arg =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"N"
+           ~doc:"Campaign cases (chaos target only).")
+  in
+  let info =
+    Cmd.info "top"
+      ~doc:"Live terminal view of the always-on telemetry while a benchmark \
+            or chaos campaign runs: fork/commit/rollback rates by reason, \
+            policy decisions, buffer occupancy — refreshed in place."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const top $ name_arg $ cpus_arg $ model_arg $ rollback_arg
+       $ policy_arg $ interval_arg $ seed_arg $ runs_arg))
+
 (* --- chaos --------------------------------------------------------------- *)
 
 let chaos_cmd =
-  let chaos seed runs policy out replay quiet =
+  let chaos seed runs policy out replay quiet metrics =
     try
+      Fun.protect
+        ~finally:
+          (obs_finally
+             ?write_snap:
+               (Option.map
+                  (fun path () ->
+                    (* chaos cases run on Config.default, so their
+                       telemetry lands in the process-wide registry *)
+                    write_metrics path
+                      (Mutls.Telemetry.snapshot Mutls.Telemetry.default))
+                  metrics))
+        (fun () ->
       match replay with
       | Some path ->
         let case =
@@ -450,7 +671,7 @@ let chaos_cmd =
               Printf.sprintf
                 "chaos: case %d of seed %d failed after %d clean case(s): %s \
                  (minimized repro written to %s; re-run it with --replay)"
-                case0.Mutls.Chaos.label seed c.Mutls.Chaos.passed fdesc out ))
+                case0.Mutls.Chaos.label seed c.Mutls.Chaos.passed fdesc out )))
     with
     | Mutls.Compile_error e -> `Error (false, "compile error: " ^ e)
     | Invalid_argument e -> `Error (false, e)
@@ -496,7 +717,7 @@ let chaos_cmd =
     Term.(
       ret
         (const chaos $ seed_arg $ runs_arg $ chaos_policy_arg $ out_arg
-       $ replay_arg $ quiet_arg))
+       $ replay_arg $ quiet_arg $ metrics_arg))
 
 (* User-facing failures exit 1 (bad programs, runtime traps, unreadable
    or malformed inputs, failed chaos campaigns) and command-line misuse
@@ -509,7 +730,8 @@ let () =
   in
   let group =
     Cmd.group info
-      [ run_cmd; dump_cmd; bench_cmd; report_cmd; profile_cmd; chaos_cmd ]
+      [ run_cmd; dump_cmd; bench_cmd; report_cmd; profile_cmd; chaos_cmd;
+        spans_cmd; top_cmd ]
   in
   let code =
     try Cmd.eval ~catch:false ~term_err:1 group with

@@ -70,9 +70,12 @@ let run_counters () = (!run_requests, !fresh_runs)
 (* Run one benchmark under TLS and compute its metrics.  A run with an
    enabled trace sink (or a profile hook, which works by attaching a
    streaming Profile sink) bypasses the metrics cache: a cache hit
-   would skip the execution and emit no events. *)
+   would skip the execution and emit no events.  The same applies to
+   [?telemetry] (a caller-scoped registry) and [?metrics] (a snapshot
+   hook): both demand a real execution, so they bypass the cache too —
+   a cached row would record nothing into the registry. *)
 let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
-    ?(trace_sink = Mutls_obs.Trace.null) ?profile
+    ?(trace_sink = Mutls_obs.Trace.null) ?profile ?telemetry ?metrics
     ?(policy = Config.Policy.default) ~ncpus (w : Workloads.t) =
   let prof_agg = Option.map (fun _ -> Mutls_obs.Profile.create ()) profile in
   let trace_sink =
@@ -81,8 +84,16 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
     | Some agg ->
       Mutls_obs.Trace.tee [ trace_sink; Mutls_obs.Profile.sink agg ]
   in
+  let telemetry =
+    match (telemetry, metrics) with
+    | Some reg, _ -> Some reg
+    | None, Some _ -> Some (Mutls_obs.Telemetry.create ())
+    | None, None -> None
+  in
   incr run_requests;
-  let use_cache = not trace_sink.Mutls_obs.Trace.enabled in
+  let use_cache =
+    (not trace_sink.Mutls_obs.Trace.enabled) && Option.is_none telemetry
+  in
   let mkey =
     ( w.Workloads.name,
       lang,
@@ -106,6 +117,11 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
         trace_sink;
         policy }
     in
+    let cfg =
+      match telemetry with
+      | Some reg -> { cfg with Config.telemetry = reg }
+      | None -> cfg
+    in
     let r = Eval.run_tls_prepared cfg p.p_prog in
     if rollback = 0.0 && r.Eval.toutput <> p.p_seq_output then
       raise
@@ -121,6 +137,9 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
     if use_cache then Hashtbl.replace metrics_cache mkey m;
     (match (profile, prof_agg) with
     | Some f, Some agg -> f (Mutls_obs.Profile.finish agg)
+    | _ -> ());
+    (match (metrics, telemetry) with
+    | Some f, Some reg -> f (Mutls_obs.Telemetry.snapshot reg)
     | _ -> ());
     m
 

@@ -18,6 +18,8 @@ val run :
   ?rollback:float ->
   ?trace_sink:Mutls_obs.Trace.sink ->
   ?profile:(Mutls_obs.Profile.t -> unit) ->
+  ?telemetry:Mutls_obs.Telemetry.t ->
+  ?metrics:(Mutls_obs.Telemetry.snapshot -> unit) ->
   ?policy:Mutls_runtime.Config.Policy.t ->
   ncpus:int ->
   Mutls_workloads.Workloads.t ->
@@ -27,9 +29,13 @@ val run :
     really executes and emits events.  [profile] attaches a streaming
     {!Mutls_obs.Profile} sink for the duration of the run and receives
     the finished profile — the hook figure sweeps use to emit
-    per-benchmark profiles (it also bypasses the cache).  [policy]
-    selects the speculation policy (default: static, matching the
-    paper figures); it participates in the metrics-cache key.
+    per-benchmark profiles (it also bypasses the cache).  [telemetry]
+    scopes the run's always-on metrics to a caller-supplied registry
+    instead of [Telemetry.default]; [metrics] receives a snapshot of
+    that registry when the run finishes (supplying either bypasses the
+    cache — a cached row executes nothing and would record nothing).
+    [policy] selects the speculation policy (default: static, matching
+    the paper figures); it participates in the metrics-cache key.
     @raise Divergence if outputs mismatch. *)
 
 (** [run_counters ()] is [(requests, fresh)]: how many times {!run}

@@ -5,7 +5,13 @@
    - speculative path eff.     ηsp    = ΣTwork_sp / ΣTruntime_sp
    - power efficiency          ηpower = Ts / (Truntime_nonsp + ΣTruntime_sp)
    - parallel coverage         C      = ΣTruntime_sp / Truntime_nonsp
-   plus the critical/speculative path breakdowns of Figures 8 and 9. *)
+   plus the critical/speculative path breakdowns of Figures 8 and 9.
+
+   Naming note (DESIGN.md § Telemetry): this module is the paper-§V
+   figure arithmetic computed from a *finished* run.  The always-on
+   runtime metrics registry — counters, gauges, histograms sampled
+   *during* a run — is Mutls_obs.Telemetry (re-exported as
+   Mutls.Telemetry).  Keep the names distinct; don't merge them. *)
 
 module Stats = Mutls_runtime.Stats
 module Eval = Mutls_interp.Eval

@@ -12,6 +12,12 @@ module Json = Mutls_obs.Json
 module Trace = Mutls_obs.Trace
 module Report = Mutls_obs.Report
 module Profile = Mutls_obs.Profile
+(* Naming note (see DESIGN.md § Telemetry): [Metrics] below is the
+   paper-§V figure arithmetic computed from a finished run; [Telemetry]
+   is the always-on runtime metrics registry (counters/gauges/
+   histograms).  Distinct names on purpose — don't merge them. *)
+module Telemetry = Mutls_obs.Telemetry
+module Spans = Mutls_obs.Spans
 module Pass = Mutls_speculator.Pass
 module Eval = Mutls_interp.Eval
 module Workloads = Mutls_workloads.Workloads

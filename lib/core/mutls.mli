@@ -32,6 +32,17 @@ module Profile = Mutls_obs.Profile
 (** Speculation profiler: per-fork-point payoff, conflict hot-address
     histograms, per-rank utilization, and a no-speculate advisor. *)
 
+module Telemetry = Mutls_obs.Telemetry
+(** Always-on metrics registry (counters/gauges/histograms) the
+    runtime records into; scope via [Config.telemetry].  Not to be
+    confused with {!Metrics}, the paper-§V figure arithmetic computed
+    from a finished run — see DESIGN.md § Telemetry. *)
+
+module Spans = Mutls_obs.Spans
+(** Causal span timelines folded from a trace: one span per thread,
+    fork/join causality edges, and the critical path through the
+    speculation DAG ([mutlsc spans]). *)
+
 module Pass = Mutls_speculator.Pass
 module Eval = Mutls_interp.Eval
 module Workloads = Mutls_workloads.Workloads

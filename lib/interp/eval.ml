@@ -35,8 +35,23 @@ let default_heap = 32 * 1024 * 1024
 let default_stack = 1 lsl 20
 let default_globals = 32 * 1024 * 1024
 
+(* Run-level telemetry for the compiled engine: run and trap counts.
+   Sequential runs have no Config, so they record into the
+   process-wide default registry; TLS runs use [cfg.telemetry]. *)
+let tele_run reg ~engine_label =
+  if Mutls_obs.Telemetry.enabled reg then
+    Mutls_obs.Telemetry.incr
+      (Mutls_obs.Telemetry.counter ~help:"compiled-engine runs"
+         ~labels:[ ("engine", engine_label) ] reg "mutls_runs_total")
+
+let tele_trap reg =
+  if Mutls_obs.Telemetry.enabled reg then
+    Mutls_obs.Telemetry.incr
+      (Mutls_obs.Telemetry.counter ~help:"program traps" reg "mutls_traps_total")
+
 let run_sequential_prepared ?(heap_size = default_heap)
     ?(globals_size = default_globals) (prog : prog) =
+  tele_run Mutls_obs.Telemetry.default ~engine_label:"sequential";
   let modul = Compile.modul_of prog in
   let mem =
     Memory.create ~globals_size ~heap_size ~stack_size:default_stack ~nstacks:1
@@ -72,6 +87,7 @@ type tls_result = {
 
 let run_tls_prepared ?(heap_size = default_heap)
     ?(globals_size = default_globals) ?policy (cfg : Config.t) (prog : prog) =
+  tele_run cfg.Config.telemetry ~engine_label:"tls";
   let prog = ensure_cost cfg.cost prog in
   let modul = Compile.modul_of prog in
   let mem =
@@ -122,7 +138,10 @@ let run_tls_prepared ?(heap_size = default_heap)
     Thread_manager.shutdown mgr;
     finish := Mutls_sim.Engine.now engine
   in
-  ignore (Mutls_sim.Engine.run engine main_body);
+  (try ignore (Mutls_sim.Engine.run engine main_body)
+   with Trap _ as e ->
+     tele_trap cfg.Config.telemetry;
+     raise e);
   {
     tret = !ret;
     toutput = Buffer.contents out;

@@ -1,0 +1,310 @@
+(* Span timelines and the speculation DAG's critical path.  See the
+   .mli for the model; the load-bearing subtlety is the descent rule
+   in [critical_path], which relies on Thread_manager's emission
+   order: a blocked parent's Join carries the exact virtual time the
+   child set its verdict ivar, and the child's Retire can only come at
+   or after that instant. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  rank : int;
+  point : int;
+  fork_time : float;
+  start : float;
+  stop : float option;
+  committed : bool;
+  rollback_reason : Trace.rollback_reason option;
+  join_time : float option;
+  join_committed : bool;
+  children : int list;
+}
+
+type t = { spans : span list; main_id : int; runtime : float }
+
+(* Mutable accumulator per thread while folding. *)
+type acc = {
+  a_id : int;
+  mutable a_parent : int option;
+  mutable a_rank : int;
+  mutable a_point : int;
+  mutable a_fork_time : float;
+  mutable a_start : float option;
+  mutable a_stop : float option;
+  mutable a_committed : bool;
+  mutable a_reason : Trace.rollback_reason option;
+  mutable a_join_time : float option;
+  mutable a_join_committed : bool;
+  mutable a_children : int list; (* reverse fork order *)
+}
+
+let of_records records =
+  let tbl : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let get id =
+    match Hashtbl.find_opt tbl id with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_id = id;
+            a_parent = None;
+            a_rank = 0;
+            a_point = -1;
+            a_fork_time = 0.;
+            a_start = None;
+            a_stop = None;
+            a_committed = false;
+            a_reason = None;
+            a_join_time = None;
+            a_join_committed = false;
+            a_children = [];
+          }
+        in
+        Hashtbl.replace tbl id a;
+        a
+  in
+  let main_id = ref None in
+  let last_time = ref 0. in
+  let run_end = ref None in
+  List.iter
+    (fun (r : Trace.record) ->
+      if r.time > !last_time then last_time := r.time;
+      if r.main && r.thread >= 0 && !main_id = None then main_id := Some r.thread;
+      match r.event with
+      | Trace.Fork { child; child_rank; point } ->
+          let p = get r.thread in
+          p.a_children <- child :: p.a_children;
+          let c = get child in
+          c.a_parent <- Some r.thread;
+          c.a_rank <- child_rank;
+          c.a_point <- point;
+          c.a_fork_time <- r.time
+      | Trace.Retire { committed; runtime; _ } ->
+          let c = get r.thread in
+          c.a_stop <- Some r.time;
+          c.a_start <- Some (r.time -. runtime);
+          c.a_committed <- committed;
+          c.a_rank <- r.rank
+      | Trace.Rollback { reason; _ } ->
+          let c = get r.thread in
+          if c.a_reason = None then c.a_reason <- Some reason
+      | Trace.Join { child; committed } ->
+          let c = get child in
+          c.a_join_time <- Some r.time;
+          c.a_join_committed <- committed
+      | Trace.Run_end -> run_end := Some r.time
+      | _ -> ())
+    records;
+  let main_id = match !main_id with Some id -> id | None -> 0 in
+  let runtime = match !run_end with Some t -> t | None -> !last_time in
+  (* The main span: alive for the whole run, trivially "committed". *)
+  (match Hashtbl.find_opt tbl main_id with
+  | Some a ->
+      a.a_start <- Some 0.;
+      a.a_stop <- Some runtime;
+      a.a_committed <- true
+  | None ->
+      let a = get main_id in
+      a.a_start <- Some 0.;
+      a.a_stop <- Some runtime;
+      a.a_committed <- true);
+  let spans =
+    Hashtbl.fold
+      (fun _ a acc ->
+        {
+          id = a.a_id;
+          parent = a.a_parent;
+          rank = a.a_rank;
+          point = a.a_point;
+          fork_time = a.a_fork_time;
+          start =
+            (match a.a_start with Some s -> s | None -> a.a_fork_time);
+          stop = a.a_stop;
+          committed = a.a_committed;
+          rollback_reason = a.a_reason;
+          join_time = a.a_join_time;
+          join_committed = a.a_join_committed;
+          children = List.rev a.a_children;
+        }
+        :: acc)
+      tbl []
+  in
+  let spans =
+    List.sort
+      (fun a b ->
+        if a.id = main_id then -1
+        else if b.id = main_id then 1
+        else compare a.id b.id)
+      spans
+  in
+  { spans; main_id; runtime }
+
+let find t id = List.find_opt (fun s -> s.id = id) t.spans
+
+type segment = { seg_thread : int; seg_from : float; seg_to : float }
+
+let critical_path t =
+  let span_tbl = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace span_tbl s.id s) t.spans;
+  let span id = Hashtbl.find_opt span_tbl id in
+  (* Remaining descendable joins per parent, newest first.  A join is
+     descendable when the child committed and its retire time is >= the
+     join time — exactly the blocked-parent case (see .mli).  Each join
+     is consumed at most once, which also guarantees termination when
+     fork, join and retire collapse onto one virtual instant. *)
+  let joins : (int, (float * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match (s.parent, s.join_time, s.stop) with
+      | Some p, Some tj, Some stop when s.join_committed && stop >= tj ->
+          let l =
+            match Hashtbl.find_opt joins p with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace joins p l;
+                l
+          in
+          l := (tj, s.id) :: !l
+      | _ -> ())
+    t.spans;
+  Hashtbl.iter
+    (fun _ l -> l := List.sort (fun (a, _) (b, _) -> compare b a) !l)
+    joins;
+  let take_join tid upto =
+    match Hashtbl.find_opt joins tid with
+    | None -> None
+    | Some l ->
+        let rec skip = function
+          | (tj, c) :: rest when tj <= upto ->
+              l := rest;
+              Some (tj, c)
+          | _ :: rest -> skip rest
+          | [] -> None
+        in
+        (* joins later than [upto] can never be used again on the way
+           down — drop them as we skip *)
+        let r = skip !l in
+        r
+  in
+  let segs = ref [] in
+  let push tid t0 t1 =
+    if t1 > t0 then segs := { seg_thread = tid; seg_from = t0; seg_to = t1 } :: !segs
+  in
+  let rec walk tid tcur fuel =
+    if fuel <= 0 then ()
+    else
+      match span tid with
+      | None -> ()
+      | Some sp -> (
+          match take_join tid tcur with
+          | Some (tj, child) when tj >= sp.start ->
+              push tid tj tcur;
+              walk child tj (fuel - 1)
+          | _ -> (
+              let s = Float.min sp.start tcur in
+              push tid s tcur;
+              match sp.parent with
+              | None -> ()
+              | Some p -> walk p s (fuel - 1)))
+  in
+  (* fuel bounds the walk on adversarially malformed traces; every
+     well-formed walk consumes a join or ascends, so 2*spans+joins
+     steps is plenty *)
+  walk t.main_id t.runtime (4 * List.length t.spans + 8);
+  !segs
+
+let critical_path_total segs =
+  List.fold_left (fun acc s -> acc +. (s.seg_to -. s.seg_from)) 0. segs
+
+(* -- rendering ---------------------------------------------------- *)
+
+let to_json t =
+  let span_json s =
+    Json.Obj
+      ([
+         ("id", Json.Num (float_of_int s.id));
+         ( "parent",
+           match s.parent with
+           | Some p -> Json.Num (float_of_int p)
+           | None -> Json.Null );
+         ("rank", Json.Num (float_of_int s.rank));
+         ("point", Json.Num (float_of_int s.point));
+         ("fork_time", Json.Num s.fork_time);
+         ("start", Json.Num s.start);
+         ("stop", match s.stop with Some x -> Json.Num x | None -> Json.Null);
+         ("committed", Json.Bool s.committed);
+       ]
+      @ (match s.rollback_reason with
+        | Some r -> [ ("rollback", Json.Str (Trace.rollback_reason_to_string r)) ]
+        | None -> [])
+      @ (match s.join_time with
+        | Some j ->
+            [ ("join_time", Json.Num j); ("join_committed", Json.Bool s.join_committed) ]
+        | None -> [])
+      @ [ ("children", Json.List (List.map (fun c -> Json.Num (float_of_int c)) s.children)) ])
+  in
+  let cp = critical_path t in
+  Json.Obj
+    [
+      ("runtime", Json.Num t.runtime);
+      ("main", Json.Num (float_of_int t.main_id));
+      ("spans", Json.List (List.map span_json t.spans));
+      ( "critical_path",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("thread", Json.Num (float_of_int s.seg_thread));
+                   ("from", Json.Num s.seg_from);
+                   ("to", Json.Num s.seg_to);
+                 ])
+             cp) );
+      ("critical_path_total", Json.Num (critical_path_total cp));
+    ]
+
+let pp fmt t =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s) t.spans;
+  let rec pp_span indent s =
+    let verdict =
+      if s.stop = None then "live"
+      else if s.committed then "committed"
+      else
+        match s.rollback_reason with
+        | Some r -> Trace.rollback_reason_to_string r
+        | None -> "rolled-back"
+    in
+    let stop_s = match s.stop with Some x -> Printf.sprintf "%.0f" x | None -> "?" in
+    Format.fprintf fmt "%s%s %d  rank %d  point %d  [%.0f, %s]  %s@."
+      (String.make indent ' ')
+      (if s.id = t.main_id then "main" else "thread")
+      s.id s.rank s.point s.start stop_s verdict;
+    List.iter
+      (fun c ->
+        match Hashtbl.find_opt by_id c with
+        | Some cs -> pp_span (indent + 2) cs
+        | None -> ())
+      s.children
+  in
+  (match find t t.main_id with
+  | Some m -> pp_span 0 m
+  | None -> ());
+  (* orphans (truncated traces): spans whose parent never appeared *)
+  List.iter
+    (fun s ->
+      match s.parent with
+      | Some p when not (Hashtbl.mem by_id p) -> pp_span 0 s
+      | _ -> ())
+    t.spans;
+  let cp = critical_path t in
+  let total = critical_path_total cp in
+  Format.fprintf fmt "@.critical path (%d segments, total %.0f of runtime %.0f):@."
+    (List.length cp) total t.runtime;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  thread %-5d [%10.0f, %10.0f]  %10.0f (%4.1f%%)@."
+        s.seg_thread s.seg_from s.seg_to (s.seg_to -. s.seg_from)
+        (if t.runtime > 0. then 100. *. (s.seg_to -. s.seg_from) /. t.runtime else 0.))
+    cp

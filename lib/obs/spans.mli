@@ -1,0 +1,76 @@
+(** Causal span timelines derived from a trace.
+
+    Folds the lifecycle records of a trace — Fork, Speculate, Retire,
+    Join, Run_end — into a {e span tree}: one span per thread (the
+    non-speculative thread plus every speculative thread), each
+    carrying its lifetime interval on the shared virtual clock, its
+    fork point, verdict, and parent/child causality edges.  On top of
+    the tree, {!critical_path} walks the speculation DAG backwards
+    from the end of the run and returns the chain of thread segments
+    whose durations sum to the run's total runtime — the paper's [tn],
+    so the chain explains {e which} threads the wall-clock was spent
+    on (and [mutlsc spans] cross-checks the sum against
+    [Metrics.compute]).
+
+    The descent rule is exact, not heuristic: a parent that blocked in
+    [synchronize] emits its Join at the instant the child resolved its
+    verdict, so the child's Retire time is [>=] the Join time; a child
+    that finished early retires strictly before the Join.  The walk
+    therefore descends into a committed child exactly when
+    [retire >= join]. *)
+
+type span = {
+  id : int;  (** thread id *)
+  parent : int option;  (** forking thread; [None] for the main span *)
+  rank : int;  (** virtual CPU the thread ran on *)
+  point : int;  (** fork point; [-1] for the main span *)
+  fork_time : float;  (** when the parent forked it; [0.] for main *)
+  start : float;
+      (** launch time ([Retire.time - runtime]); falls back to
+          [fork_time] for threads that never retired *)
+  stop : float option;  (** retire time; [None] if never retired *)
+  committed : bool;
+  rollback_reason : Trace.rollback_reason option;
+      (** first Rollback recorded on the thread, if any *)
+  join_time : float option;  (** when the parent joined it *)
+  join_committed : bool;
+  children : int list;  (** in fork order *)
+}
+
+type t = {
+  spans : span list;  (** sorted by thread id; the main span first *)
+  main_id : int;
+  runtime : float;
+      (** [Run_end] time (falls back to the latest record time on a
+          truncated trace) — the paper's [tn] *)
+}
+
+val of_records : Trace.record list -> t
+(** Build the tree from records in emission order.  Tolerates
+    truncated traces (missing Retire/Run_end). *)
+
+val find : t -> int -> span option
+
+(** {1 Critical path} *)
+
+type segment = {
+  seg_thread : int;
+  seg_from : float;
+  seg_to : float;  (** [seg_from <= seg_to] *)
+}
+
+val critical_path : t -> segment list
+(** Contiguous chain ordered from time [0.] to {!field-runtime}: each
+    segment starts where the previous one ended, so the durations sum
+    to [runtime] exactly (modulo float associativity).  Zero-length
+    segments are dropped. *)
+
+val critical_path_total : segment list -> float
+
+(** {1 Rendering} *)
+
+val to_json : t -> Json.t
+(** Span tree plus critical path, for [mutlsc spans --json]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented span tree followed by the critical-path summary. *)

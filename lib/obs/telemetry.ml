@@ -1,0 +1,333 @@
+(* Always-on metrics registry.  Recording must be O(1) and
+   allocation-free (pinned by a Gc.minor_words test), so every cell is
+   a flat mutable record or array mutated in place:
+
+     counter    one-field int record            incr  = one store
+     gauge      one-field float record (flat)   set   = one unboxed store
+     histogram  int array + int fields          observe = shift-count + store
+
+   Handle lookup (get-or-create) hashes once; the returned handle
+   aliases the live cell, so instrumentation resolves handles at
+   creation time and the record path never touches the Hashtbl.
+
+   Snapshots are lock-free by construction: the simulator is
+   single-systhreaded, so [snapshot] just reads the cells. *)
+
+type counter = { mutable c : int }
+
+(* A one-field float record is an all-float record: the field is
+   stored flat and [set] does not box. *)
+type gauge = { mutable g : float }
+
+let n_buckets = 64
+(* Indices 0..62 are the finite log2 buckets (upper bounds 2^0..2^62,
+   so max_int = 2^62 - 1 lands in bucket 62); index 63 is +Inf. *)
+
+type histogram = {
+  buckets : int array; (* length n_buckets *)
+  mutable h_count : int;
+  mutable h_sum : int; (* summed as int: exact, allocation-free *)
+}
+
+type cell =
+  | CCounter of counter
+  | CGauge of gauge
+  | CHistogram of histogram
+
+type entry = {
+  e_name : string;
+  e_help : string;
+  e_labels : (string * string) list; (* sorted by key *)
+  e_cell : cell;
+}
+
+type t = {
+  t_enabled : bool;
+  tbl : (string * (string * string) list, entry) Hashtbl.t;
+  kinds : (string, string) Hashtbl.t; (* family name -> kind word *)
+  helps : (string, string) Hashtbl.t; (* family name -> help text *)
+}
+
+let create () =
+  {
+    t_enabled = true;
+    tbl = Hashtbl.create 64;
+    kinds = Hashtbl.create 64;
+    helps = Hashtbl.create 64;
+  }
+
+let default = create ()
+
+let disabled =
+  {
+    t_enabled = false;
+    tbl = Hashtbl.create 1;
+    kinds = Hashtbl.create 1;
+    helps = Hashtbl.create 1;
+  }
+let enabled t = t.t_enabled
+
+let kind_word = function
+  | CCounter _ -> "counter"
+  | CGauge _ -> "gauge"
+  | CHistogram _ -> "histogram"
+
+let lookup t ~help ~labels name make =
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let key = (name, labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some e -> e.e_cell
+  | None ->
+      let cell = make () in
+      (match Hashtbl.find_opt t.kinds name with
+      | Some k when k <> kind_word cell ->
+          invalid_arg
+            (Printf.sprintf "Telemetry: %S already registered as a %s" name k)
+      | Some _ -> ()
+      | None -> Hashtbl.replace t.kinds name (kind_word cell));
+      (* help is per family: any handle may supply it, all share it *)
+      if help <> "" && not (Hashtbl.mem t.helps name) then
+        Hashtbl.replace t.helps name help;
+      Hashtbl.replace t.tbl key
+        { e_name = name; e_help = help; e_labels = labels; e_cell = cell };
+      cell
+
+let counter ?(help = "") ?(labels = []) t name =
+  match lookup t ~help ~labels name (fun () -> CCounter { c = 0 }) with
+  | CCounter c -> c
+  | cell ->
+      invalid_arg
+        (Printf.sprintf "Telemetry: %S already registered as a %s" name
+           (kind_word cell))
+
+let gauge ?(help = "") ?(labels = []) t name =
+  match lookup t ~help ~labels name (fun () -> CGauge { g = 0. }) with
+  | CGauge g -> g
+  | cell ->
+      invalid_arg
+        (Printf.sprintf "Telemetry: %S already registered as a %s" name
+           (kind_word cell))
+
+let histogram ?(help = "") ?(labels = []) t name =
+  match
+    lookup t ~help ~labels name (fun () ->
+        CHistogram { buckets = Array.make n_buckets 0; h_count = 0; h_sum = 0 })
+  with
+  | CHistogram h -> h
+  | cell ->
+      invalid_arg
+        (Printf.sprintf "Telemetry: %S already registered as a %s" name
+           (kind_word cell))
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+(* Bit count by tail recursion on ints: bounded by the word size and
+   allocation-free (no refs, no tuples). *)
+let rec bits x acc = if x = 0 then acc else bits (x lsr 1) (acc + 1)
+
+let bucket_of v = if v <= 1 then 0 else bits (v - 1) 0
+
+let bucket_upper i = if i >= n_buckets - 1 then infinity else 2. ** float_of_int i
+
+let observe h v =
+  let i = bucket_of v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : int array; sum : float; count : int }
+
+type metric = {
+  m_name : string;
+  m_help : string;
+  m_labels : (string * string) list;
+  m_value : value;
+}
+
+type snapshot = metric list
+
+let snapshot t =
+  let ms =
+    Hashtbl.fold
+      (fun _ e acc ->
+        let v =
+          match e.e_cell with
+          | CCounter c -> Counter c.c
+          | CGauge g -> Gauge g.g
+          | CHistogram h ->
+              Histogram
+                {
+                  buckets = Array.copy h.buckets;
+                  sum = float_of_int h.h_sum;
+                  count = h.h_count;
+                }
+        in
+        {
+          m_name = e.e_name;
+          m_help =
+            (match Hashtbl.find_opt t.helps e.e_name with
+            | Some h -> h
+            | None -> e.e_help);
+          m_labels = e.e_labels;
+          m_value = v;
+        }
+        :: acc)
+      t.tbl []
+  in
+  List.sort (fun a b -> compare (a.m_name, a.m_labels) (b.m_name, b.m_labels)) ms
+
+let reset t =
+  Hashtbl.iter
+    (fun _ e ->
+      match e.e_cell with
+      | CCounter c -> c.c <- 0
+      | CGauge g -> g.g <- 0.
+      | CHistogram h ->
+          Array.fill h.buckets 0 n_buckets 0;
+          h.h_count <- 0;
+          h.h_sum <- 0)
+    t.tbl
+
+(* -- export ------------------------------------------------------- *)
+
+let kind_of_value = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let to_json (s : snapshot) : Json.t =
+  Json.List
+    (List.map
+       (fun m ->
+         let labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.m_labels) in
+         let base =
+           [
+             ("name", Json.Str m.m_name);
+             ("type", Json.Str (kind_of_value m.m_value));
+             ("labels", labels);
+           ]
+         in
+         let base = if m.m_help = "" then base else base @ [ ("help", Json.Str m.m_help) ] in
+         let value =
+           match m.m_value with
+           | Counter c -> [ ("value", Json.Num (float_of_int c)) ]
+           | Gauge g -> [ ("value", Json.Num g) ]
+           | Histogram { buckets; sum; count } ->
+               (* Sparse rendering: only occupied buckets, as
+                  [le, count] pairs, keeps run exports small. *)
+               let bs = ref [] in
+               for i = n_buckets - 1 downto 0 do
+                 if buckets.(i) > 0 then
+                   bs :=
+                     Json.List
+                       [ Json.Num (bucket_upper i); Json.Num (float_of_int buckets.(i)) ]
+                     :: !bs
+               done;
+               [
+                 ("count", Json.Num (float_of_int count));
+                 ("sum", Json.Num sum);
+                 ("buckets", Json.List !bs);
+               ]
+         in
+         Json.Obj (base @ value))
+       s)
+
+(* Prometheus requires a decimal rendering; [le] bounds up to 2^62 are
+   exactly representable, so print them as integers. *)
+let le_string i = if i >= n_buckets - 1 then "+Inf" else Printf.sprintf "%.0f" (2. ** float_of_int i)
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+(* HELP text escapes only backslash and newline; quote-escaping is a
+   label-value rule (text exposition format 0.0.4). *)
+let help_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels)
+      ^ "}"
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus (s : snapshot) =
+  let b = Buffer.create 4096 in
+  let headed = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem headed m.m_name) then begin
+        Hashtbl.replace headed m.m_name ();
+        if m.m_help <> "" then
+          Buffer.add_string b
+            (Printf.sprintf "# HELP %s %s\n" m.m_name (help_escape m.m_help));
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" m.m_name (kind_of_value m.m_value))
+      end;
+      match m.m_value with
+      | Counter c ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" m.m_name (prom_labels m.m_labels) c)
+      | Gauge g ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" m.m_name (prom_labels m.m_labels) (prom_float g))
+      | Histogram { buckets; sum; count } ->
+          let cum = ref 0 in
+          for i = 0 to n_buckets - 1 do
+            cum := !cum + buckets.(i);
+            (* Collapse the long empty tail: only boundaries that add
+               samples, plus the mandatory +Inf bucket. *)
+            if buckets.(i) > 0 || i = n_buckets - 1 then
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" m.m_name
+                   (prom_labels (m.m_labels @ [ ("le", le_string i) ]))
+                   !cum)
+          done;
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" m.m_name (prom_labels m.m_labels)
+               (prom_float sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" m.m_name (prom_labels m.m_labels) count))
+    s;
+  Buffer.contents b
+
+let pp fmt (s : snapshot) =
+  List.iter
+    (fun m ->
+      let name = m.m_name ^ prom_labels m.m_labels in
+      match m.m_value with
+      | Counter c -> Format.fprintf fmt "%-58s %d@." name c
+      | Gauge g -> Format.fprintf fmt "%-58s %s@." name (prom_float g)
+      | Histogram { sum; count; _ } ->
+          let mean = if count = 0 then 0. else sum /. float_of_int count in
+          Format.fprintf fmt "%-58s count=%d mean=%.1f@." name count mean)
+    s

@@ -1,0 +1,129 @@
+(** Always-on telemetry: a bounded-allocation metrics registry.
+
+    Where {!Trace} is the opt-in, high-volume event stream and
+    {!Profile} its post-hoc aggregation, the telemetry registry is the
+    production instrument: named counters, gauges and log₂-bucketed
+    histograms that the runtime updates unconditionally — cheap enough
+    to leave on for every run (the obs overhead gate,
+    [bench/check_obs.exe], regression-tests the "cheap enough" claim
+    against a committed budget).
+
+    Recording is O(1) and allocation-free: a {!counter} increment is a
+    single int store, a {!gauge} set one unboxed float store, a
+    {!histogram} observation a constant number of shifts plus an array
+    store (the no-allocation property is pinned by a [Gc.minor_words]
+    test).  Handles are resolved once ({!counter} / {!gauge} /
+    {!histogram} get-or-create by name and label set) and then used
+    directly — no hashing on the record path.
+
+    Snapshots are lock-free by construction rather than by protocol:
+    the simulator runs metrics mutation and snapshotting on one systhread,
+    so {!snapshot} simply reads the live cells — no locks, no torn
+    reads, no stop-the-world.  The same registry can serve many runs
+    ({!default} is process-wide, Prometheus-style monotonic counters);
+    use a fresh {!create} to scope measurements to one run.
+
+    Not to be confused with [Mutls.Metrics], the paper-§V figure
+    arithmetic (speedup, efficiencies) computed from a finished run:
+    [Metrics] answers "what did the run achieve", [Telemetry] answers
+    "what is the runtime doing right now".  See DESIGN.md §Telemetry. *)
+
+type t
+(** A metrics registry. *)
+
+val create : unit -> t
+(** A fresh, enabled registry (scopes measurements to one run/campaign). *)
+
+val default : t
+(** The process-wide registry every {!Mutls_runtime.Config.t} points at
+    unless overridden: always-on telemetry accumulates here. *)
+
+val disabled : t
+(** The inert registry: {!enabled} is [false], and instrumented code is
+    expected to skip recording entirely (the off-side of the overhead
+    benchmark).  Handles created from it still work but are never
+    exported. *)
+
+val enabled : t -> bool
+
+(** {1 Handles}
+
+    Get-or-create by [(name, labels)]; the returned handle aliases the
+    registry's cell, so repeated lookups are safe and cheap to cache.
+    [labels] (default none) follow the Prometheus convention — e.g.
+    [counter ~labels:[("reason", "conflict")] reg "mutls_rollbacks_total"].
+    @raise Invalid_argument when the name is already registered with a
+    different metric kind. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> ?labels:(string * string) list -> t -> string -> counter
+val gauge : ?help:string -> ?labels:(string * string) list -> t -> string -> gauge
+val histogram : ?help:string -> ?labels:(string * string) list -> t -> string -> histogram
+
+(** {1 Recording — O(1), allocation-free} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> int -> unit
+(** Record one sample into its log₂ bucket: values [<= 1] land in
+    bucket 0 (upper bound 1), a value [v > 1] in the bucket whose upper
+    bound is the smallest power of two [>= v].  With 63 finite buckets
+    ([2^0] .. [2^62]) every OCaml [int] (including [max_int], which is
+    [2^62 - 1]) lands in a finite bucket; the [+Inf] bucket exists for
+    exposition-format completeness. *)
+
+val bucket_of : int -> int
+(** The bucket index {!observe} files a value under (exposed for the
+    boundary tests): [bucket_of 0 = 0], [bucket_of 1 = 0],
+    [bucket_of 2 = 1], [bucket_of (2*k) = 1 + bucket_of k]. *)
+
+val n_buckets : int
+(** Finite buckets (63) + the [+Inf] bucket = 64. *)
+
+val bucket_upper : int -> float
+(** Upper bound (Prometheus [le]) of a bucket: [2.0 ** i], [infinity]
+    for the last. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : int array; sum : float; count : int }
+      (** [buckets] has {!n_buckets} non-cumulative cells *)
+
+type metric = {
+  m_name : string;
+  m_help : string;
+  m_labels : (string * string) list;
+  m_value : value;
+}
+
+type snapshot = metric list
+(** Sorted by name, then label set — so equal registry contents render
+    byte-identically (the Prometheus golden test relies on it). *)
+
+val snapshot : t -> snapshot
+
+val reset : t -> unit
+(** Zero every registered metric (handles stay valid). *)
+
+(** {1 Export} *)
+
+val to_json : snapshot -> Json.t
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition format 0.0.4: [# HELP] / [# TYPE]
+    headers once per metric family, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count]. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable table (what [mutlsc top] refreshes in place). *)

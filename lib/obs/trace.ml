@@ -376,11 +376,42 @@ let chrome write =
     Json.Obj
       ([ ("pid", Json.Num 0.0); ("tid", Json.Num (float_of_int r.rank)) ] @ rest)
   in
+  (* Fork -> Speculate causality arrows: the Fork record carries the
+     child id but happens on the parent's lane; the Speculate record
+     marks the launch on the child's lane but only knows the rank.
+     get_cpu hands a rank to exactly one thread at a time, so pairing
+     the latest Fork per rank with the next Speculate on that rank
+     recovers the flow id. *)
+  let pending_flow : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let flow ~ph ~extra ~tid ~id ~ts =
+    item
+      (Json.Obj
+         ([ ("pid", Json.Num 0.0);
+            ("tid", Json.Num (float_of_int tid));
+            ("name", Json.Str "fork");
+            ("cat", Json.Str "flow");
+            ("ph", Json.Str ph);
+            ("id", Json.Num (float_of_int id));
+            ("ts", Json.Num ts) ]
+         @ extra))
+  in
   write "{\"traceEvents\":[\n";
   {
     enabled = true;
     emit =
       (fun r ->
+        (match r.event with
+        | Fork { child; child_rank; _ } ->
+          Hashtbl.replace pending_flow child_rank child;
+          flow ~ph:"s" ~extra:[] ~tid:r.rank ~id:child ~ts:r.time
+        | Speculate { child_rank; _ } -> (
+          match Hashtbl.find_opt pending_flow child_rank with
+          | Some child ->
+            Hashtbl.remove pending_flow child_rank;
+            flow ~ph:"f" ~extra:[ ("bp", Json.Str "e") ] ~tid:child_rank
+              ~id:child ~ts:r.time
+          | None -> ())
+        | _ -> ());
         match r.event with
         | Charge { category; cost } ->
           if cost > 0.0 then

@@ -168,6 +168,13 @@ type t = {
      default) keeps tracing disabled at near-zero cost.  This replaces
      the old MUTLS_DEBUG/MUTLS_DEBUG2 env toggles: the library never
      reads the process environment. *)
+  telemetry : Mutls_obs.Telemetry.t;
+  (* Always-on metrics registry the runtime records into; defaults to
+     the process-wide Telemetry.default.  Pass Telemetry.disabled to
+     switch recording off (the obs overhead benchmark's baseline) or a
+     fresh Telemetry.create () to scope measurements to one run.
+     Unlike trace_sink, telemetry never charges virtual time and never
+     touches the injection RNG, so it cannot perturb traces. *)
   fault : Fault.plan option; (* chaos testing: deterministic fault
                                 injection at the runtime's failure
                                 sites; None (the default) disables it *)
@@ -193,6 +200,7 @@ let default =
     cascade = Tree_cascade;
     value_prediction = false;
     trace_sink = Mutls_obs.Trace.null;
+    telemetry = Mutls_obs.Telemetry.default;
     fault = None;
     backoff = false;
     degrade_after = 0;

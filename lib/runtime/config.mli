@@ -128,6 +128,14 @@ type t = {
           at near-zero cost.  Replaces the old [MUTLS_DEBUG] /
           [MUTLS_DEBUG2] env toggles — the library never reads the
           process environment. *)
+  telemetry : Mutls_obs.Telemetry.t;
+      (** always-on metrics registry the runtime records into;
+          defaults to the process-wide [Telemetry.default].  Pass
+          [Telemetry.disabled] to switch recording off, or a fresh
+          [Telemetry.create ()] to scope measurements to one run.
+          Unlike [trace_sink], telemetry never charges virtual time
+          and never touches the injection RNG, so it cannot perturb
+          traces or timings. *)
   fault : Fault.plan option;
       (** chaos testing: deterministic fault injection at the runtime's
           failure sites (see {!Fault}); [None] (the default) disables

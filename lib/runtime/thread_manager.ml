@@ -12,6 +12,7 @@
 
 open Mutls_sim
 module Trace = Mutls_obs.Trace
+module Telemetry = Mutls_obs.Telemetry
 
 exception Spec_finished
 (* Raised inside a speculative thread's fiber after it has committed or
@@ -26,6 +27,117 @@ type retired = {
   r_buffered : int; (* GlobalBuffer-tracked accesses; 0 for Expand *)
   r_expand : bool; (* ran as a Level-1 Expand thread *)
 }
+
+(* Telemetry handles, resolved once at [create] so the record paths
+   (a single guarded store each) never touch the registry's Hashtbl.
+   Recording never charges virtual time and never touches the
+   injection RNG, so telemetry on/off cannot perturb traces. *)
+type tele = {
+  on : bool;
+  t_forks : Telemetry.counter;
+  t_denied_model : Telemetry.counter;
+  t_denied_policy : Telemetry.counter;
+  t_denied_no_cpu : Telemetry.counter;
+  t_denied_fault : Telemetry.counter;
+  t_dec_deny : Telemetry.counter;
+  t_dec_expand : Telemetry.counter;
+  t_dec_speculate : Telemetry.counter;
+  t_commits : Telemetry.counter;
+  t_rb_conflict : Telemetry.counter;
+  t_rb_stale : Telemetry.counter;
+  t_rb_abandoned : Telemetry.counter;
+  t_rb_overflow : Telemetry.counter;
+  t_rb_bad_access : Telemetry.counter;
+  t_nosyncs : Telemetry.counter;
+  t_overflows : Telemetry.counter;
+  t_checkpoints : Telemetry.counter;
+  t_validations_ok : Telemetry.counter;
+  t_validations_fail : Telemetry.counter;
+  t_joins_ok : Telemetry.counter;
+  t_joins_fail : Telemetry.counter;
+  t_loads : Telemetry.counter;
+  t_stores : Telemetry.counter;
+  t_spills : Telemetry.counter;
+  t_frames : Telemetry.counter;
+  t_live_spec : Telemetry.gauge;
+  t_vtime : Telemetry.gauge;
+  t_degraded : Telemetry.gauge;
+  t_h_runtime : Telemetry.histogram;
+  t_h_validate_words : Telemetry.histogram;
+  t_h_commit_words : Telemetry.histogram;
+  t_h_occupancy : Telemetry.histogram;
+  t_h_frame_depth : Telemetry.histogram;
+}
+
+let make_tele reg =
+  let c ?help ?labels name = Telemetry.counter ?help ?labels reg name
+  and g ?help ?labels name = Telemetry.gauge ?help ?labels reg name
+  and h ?help ?labels name = Telemetry.histogram ?help ?labels reg name in
+  {
+    on = Telemetry.enabled reg;
+    t_forks = c ~help:"speculative threads forked" "mutls_forks_total";
+    t_denied_model =
+      c ~help:"fork requests refused" ~labels:[ ("reason", "model") ]
+        "mutls_fork_denied_total";
+    t_denied_policy =
+      c ~labels:[ ("reason", "policy") ] "mutls_fork_denied_total";
+    t_denied_no_cpu =
+      c ~labels:[ ("reason", "no_cpu") ] "mutls_fork_denied_total";
+    t_denied_fault = c ~labels:[ ("reason", "fault") ] "mutls_fork_denied_total";
+    t_dec_deny =
+      c ~help:"policy engine decisions" ~labels:[ ("decision", "deny") ]
+        "mutls_policy_decisions_total";
+    t_dec_expand =
+      c ~labels:[ ("decision", "expand") ] "mutls_policy_decisions_total";
+    t_dec_speculate =
+      c ~labels:[ ("decision", "speculate") ] "mutls_policy_decisions_total";
+    t_commits = c ~help:"threads validated and committed" "mutls_commits_total";
+    t_rb_conflict =
+      c ~help:"threads rolled back" ~labels:[ ("reason", "conflict") ]
+        "mutls_rollbacks_total";
+    t_rb_stale =
+      c ~labels:[ ("reason", "stale-local") ] "mutls_rollbacks_total";
+    t_rb_abandoned =
+      c ~labels:[ ("reason", "abandoned") ] "mutls_rollbacks_total";
+    t_rb_overflow =
+      c ~labels:[ ("reason", "buffer-overflow") ] "mutls_rollbacks_total";
+    t_rb_bad_access =
+      c ~labels:[ ("reason", "bad-access") ] "mutls_rollbacks_total";
+    t_nosyncs = c ~help:"subtrees abandoned (NOSYNC)" "mutls_nosyncs_total";
+    t_overflows = c ~help:"GlobalBuffer overflows" "mutls_overflows_total";
+    t_checkpoints = c ~help:"check-point polls" "mutls_checkpoints_total";
+    t_validations_ok =
+      c ~help:"read-set validations" ~labels:[ ("ok", "true") ]
+        "mutls_validations_total";
+    t_validations_fail =
+      c ~labels:[ ("ok", "false") ] "mutls_validations_total";
+    t_joins_ok =
+      c ~help:"parent-side joins" ~labels:[ ("committed", "true") ]
+        "mutls_joins_total";
+    t_joins_fail = c ~labels:[ ("committed", "false") ] "mutls_joins_total";
+    t_loads = c ~help:"speculative loads" "mutls_loads_total";
+    t_stores = c ~help:"speculative stores" "mutls_stores_total";
+    t_spills =
+      c ~help:"GlobalBuffer hash conflicts parked in the temp buffer"
+        "mutls_spills_total";
+    t_frames = c ~help:"LocalBuffer frames pushed" "mutls_frames_total";
+    t_live_spec =
+      g ~help:"live speculative threads" "mutls_live_spec_threads";
+    t_vtime = g ~help:"virtual clock, cycles" "mutls_virtual_time_cycles";
+    t_degraded =
+      g ~help:"1 after the policy degraded to sequential" "mutls_policy_degraded";
+    t_h_runtime =
+      h ~help:"speculative thread lifetime, cycles" "mutls_thread_runtime_cycles";
+    t_h_validate_words =
+      h ~help:"read-set words per validation" "mutls_validate_words";
+    t_h_commit_words =
+      h ~help:"write-set words per commit" "mutls_commit_words";
+    t_h_occupancy =
+      h ~help:"GlobalBuffer slots occupied at finalize"
+        "mutls_buffer_occupancy_words";
+    t_h_frame_depth =
+      h ~help:"LocalBuffer depth at frame push" "mutls_frame_depth";
+  }
 
 type t = {
   cfg : Config.t;
@@ -53,6 +165,7 @@ type t = {
   policy : Policy.t; (* the fork-decision strategy (Config.policy with
                         the deprecated flat fields folded in); this
                         module keeps only mechanism *)
+  tele : tele; (* pre-resolved handles into Config.telemetry *)
 }
 
 (* --- tracing --------------------------------------------------------- *)
@@ -72,12 +185,25 @@ let emit mgr (td : Thread_data.t) event =
     }
 
 (* The GlobalBuffer pool serves successive threads on a rank, so the
-   observability hooks are re-bound to each new occupant. *)
+   observability hooks are re-bound to each new occupant.  The hooks
+   serve both the trace sink and the telemetry registry; [observing]
+   says whether either wants them. *)
+let observing mgr = tracing mgr || mgr.tele.on
+
 let install_hooks mgr (td : Thread_data.t) =
   Global_buffer.set_spill_hook td.gbuf
-    (Some (fun addr -> emit mgr td (Trace.Spill { addr })));
+    (Some
+       (fun addr ->
+         if mgr.tele.on then Telemetry.incr mgr.tele.t_spills;
+         if tracing mgr then emit mgr td (Trace.Spill { addr })));
   Local_buffer.set_frame_hook td.lbuf
-    (Some (fun ~push ~depth -> emit mgr td (Trace.Frame { push; depth })))
+    (Some
+       (fun ~push ~depth ->
+         if mgr.tele.on && push then begin
+           Telemetry.incr mgr.tele.t_frames;
+           Telemetry.observe mgr.tele.t_h_frame_depth depth
+         end;
+         if tracing mgr then emit mgr td (Trace.Frame { push; depth })))
 
 let create ?policy (cfg : Config.t) engine mem =
   Config.validate cfg;
@@ -107,9 +233,10 @@ let create ?policy (cfg : Config.t) engine mem =
       fault = Option.map (Fault.create ~seed:cfg.seed) cfg.fault;
       policy =
         (match policy with Some p -> p | None -> Policy.of_config cfg);
+      tele = make_tele cfg.telemetry;
     }
   in
-  if tracing mgr then install_hooks mgr main;
+  if observing mgr then install_hooks mgr main;
   mgr
 
 (* --- accessors ------------------------------------------------------- *)
@@ -118,18 +245,20 @@ let create ?policy (cfg : Config.t) engine mem =
    and folded in at flush; the accessors below fold too, so a caller
    reading stats mid-run (the main thread never retires) still sees
    exact totals. *)
-let fold_counters (td : Thread_data.t) =
+let fold_counters mgr (td : Thread_data.t) =
   if td.pending_loads > 0 then begin
     Stats.add_count td.stats Stats.Loads td.pending_loads;
+    if mgr.tele.on then Telemetry.add mgr.tele.t_loads td.pending_loads;
     td.pending_loads <- 0
   end;
   if td.pending_stores > 0 then begin
     Stats.add_count td.stats Stats.Stores td.pending_stores;
+    if mgr.tele.on then Telemetry.add mgr.tele.t_stores td.pending_stores;
     td.pending_stores <- 0
   end
 
 let main mgr =
-  fold_counters mgr.main;
+  fold_counters mgr mgr.main;
   mgr.main
 
 let retired mgr = mgr.retired
@@ -170,12 +299,14 @@ let note_overflow mgr (td : Thread_data.t) =
 (* --- virtual-time accounting --------------------------------------- *)
 
 let flush mgr (td : Thread_data.t) =
-  fold_counters td;
+  fold_counters mgr td;
   if td.acc_cost > 0.0 then begin
     Stats.add td.stats Stats.Work td.acc_cost;
     let c = td.acc_cost in
     td.acc_cost <- 0.0;
     Engine.advance mgr.engine c;
+    if mgr.tele.on then
+      Telemetry.set mgr.tele.t_vtime (Engine.now mgr.engine);
     if tracing mgr then
       emit mgr td
         (Trace.Charge { category = Stats.category_name Stats.Work; cost = c })
@@ -272,7 +403,10 @@ let get_cpu mgr (td : Thread_data.t) ~model ~expandable ~point =
   (* A thread already asked to synchronize or roll back must not fork:
      its children would be orphaned. *)
   let doomed = Engine.ivar_peek td.sync_status <> None in
-  if doomed || not (may_fork mgr td model) then 0
+  if doomed || not (may_fork mgr td model) then begin
+    if mgr.tele.on then Telemetry.incr mgr.tele.t_denied_model;
+    0
+  end
   else begin
     let rq =
       {
@@ -289,8 +423,15 @@ let get_cpu mgr (td : Thread_data.t) ~model ~expandable ~point =
         Policy.Speculate model (* illegal Expand: downgrade to Level 2 *)
       | d -> d
     in
+    (if mgr.tele.on then
+       match decision with
+       | Policy.Deny -> Telemetry.incr mgr.tele.t_dec_deny
+       | Policy.Expand -> Telemetry.incr mgr.tele.t_dec_expand
+       | Policy.Speculate _ -> Telemetry.incr mgr.tele.t_dec_speculate);
     match decision with
-    | Policy.Deny -> 0
+    | Policy.Deny ->
+      if mgr.tele.on then Telemetry.incr mgr.tele.t_denied_policy;
+      0
     | (Policy.Expand | Policy.Speculate _) as d -> (
       let expand, model' =
         match d with
@@ -298,12 +439,20 @@ let get_cpu mgr (td : Thread_data.t) ~model ~expandable ~point =
         | _ -> (true, model)
       in
       (* a policy-overridden model still obeys the fork-model rules *)
-      if model' <> model && not (may_fork mgr td model') then 0
+      if model' <> model && not (may_fork mgr td model') then begin
+        if mgr.tele.on then Telemetry.incr mgr.tele.t_denied_model;
+        0
+      end
       else
         match find_idle mgr with
-        | None -> 0
+        | None ->
+          if mgr.tele.on then Telemetry.incr mgr.tele.t_denied_no_cpu;
+          0
         | Some rank ->
-          if inject mgr Fault.Fork_denial then 0
+          if inject mgr Fault.Fork_denial then begin
+            if mgr.tele.on then Telemetry.incr mgr.tele.t_denied_fault;
+            0
+          end
           else begin
       let child =
         Thread_data.create ~gbuf:mgr.buffer_pool.(rank) ~id:mgr.next_id ~rank
@@ -313,7 +462,7 @@ let get_cpu mgr (td : Thread_data.t) ~model ~expandable ~point =
       mgr.next_id <- mgr.next_id + 1;
       child.parent <- Some td;
       child.expand <- expand;
-      if tracing mgr then install_hooks mgr child;
+      if observing mgr then install_hooks mgr child;
       ignore (Local_buffer.push_frame child.lbuf);
       mgr.cpus.(rank) <- Busy child;
       Stack.push child td.children;
@@ -324,6 +473,10 @@ let get_cpu mgr (td : Thread_data.t) ~model ~expandable ~point =
       mgr.spec_order <- child :: mgr.spec_order;
       mgr.live_spec <- mgr.live_spec + 1;
       Stats.incr td.stats Stats.Forks;
+      if mgr.tele.on then begin
+        Telemetry.incr mgr.tele.t_forks;
+        Telemetry.set mgr.tele.t_live_spec (float_of_int mgr.live_spec)
+      end;
       if tracing mgr then
         emit mgr td (Trace.Fork { child = child.id; child_rank = rank; point });
       rank
@@ -387,6 +540,12 @@ let speculate mgr (parent : Thread_data.t) ~rank ~counter body =
       | _ -> ());
       mgr.live_spec <- mgr.live_spec - 1;
       let runtime = Engine.now mgr.engine -. t0 in
+      if mgr.tele.on then begin
+        Telemetry.observe mgr.tele.t_h_runtime (int_of_float runtime);
+        Telemetry.set mgr.tele.t_live_spec (float_of_int mgr.live_spec);
+        Telemetry.set mgr.tele.t_degraded
+          (if Policy.degraded mgr.policy then 1.0 else 0.0)
+      end;
       if tracing mgr then
         emit mgr child
           (Trace.Retire
@@ -468,6 +627,11 @@ let validate_against_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
   in
   (* stale-local and injected failures have no conflicting address *)
   let addr = if ok then None else !conflict_addr in
+  if mgr.tele.on then begin
+    Telemetry.incr
+      (if ok then mgr.tele.t_validations_ok else mgr.tele.t_validations_fail);
+    Telemetry.observe mgr.tele.t_h_validate_words !checked
+  end;
   if tracing mgr then emit mgr td (Trace.Validate { words = !checked; ok; addr });
   ok
 
@@ -500,7 +664,18 @@ let commit_into_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
 
 let finalize_buffers mgr (td : Thread_data.t) =
   let n = Global_buffer.finalize td.gbuf in
+  if mgr.tele.on then Telemetry.observe mgr.tele.t_h_occupancy n;
   charge mgr td Stats.Finalize (float_of_int (max 1 n) *. mgr.cfg.cost.finalize_word)
+
+let tele_rollback mgr reason =
+  if mgr.tele.on then
+    Telemetry.incr
+      (match reason with
+      | Trace.Conflict -> mgr.tele.t_rb_conflict
+      | Trace.Stale_local -> mgr.tele.t_rb_stale
+      | Trace.Abandoned -> mgr.tele.t_rb_abandoned
+      | Trace.Buffer_overflow -> mgr.tele.t_rb_overflow
+      | Trace.Bad_access -> mgr.tele.t_rb_bad_access)
 
 (* Terminal commit/rollback of a speculative thread that has been asked
    to synchronize.  Sets valid_status and ends the fiber. *)
@@ -514,6 +689,10 @@ let commit_or_rollback mgr (td : Thread_data.t) ~counter =
     finalize_buffers mgr td;
     Stats.incr td.stats Stats.Commits;
     note_commit mgr td;
+    if mgr.tele.on then begin
+      Telemetry.incr mgr.tele.t_commits;
+      Telemetry.observe mgr.tele.t_h_commit_words words
+    end;
     if tracing mgr then emit mgr td (Trace.Commit { words; counter });
     Engine.ivar_set mgr.engine td.valid_status Thread_data.commit
   end
@@ -522,6 +701,8 @@ let commit_or_rollback mgr (td : Thread_data.t) ~counter =
        replay reclassifies work->wasted exactly where the runtime does,
        and the finalize cost accrues after the reclassification. *)
     Stats.work_to_wasted td.stats;
+    tele_rollback mgr
+      (if td.local_invalid then Trace.Stale_local else Trace.Conflict);
     if tracing mgr then
       emit mgr td
         (Trace.Rollback
@@ -543,6 +724,7 @@ let commit_or_rollback mgr (td : Thread_data.t) ~counter =
 let rec nosync_subtree mgr (td : Thread_data.t) =
   (match Engine.ivar_peek td.sync_status with
   | None ->
+    if mgr.tele.on then Telemetry.incr mgr.tele.t_nosyncs;
     if tracing mgr then emit mgr td (Trace.Nosync { point = td.fork_point });
     Engine.ivar_set mgr.engine td.sync_status Thread_data.nosync
   | Some _ -> ());
@@ -551,6 +733,7 @@ let rec nosync_subtree mgr (td : Thread_data.t) =
 (* Rollback without a waiting parent (NOSYNC, overflow, bad address). *)
 let rollback_self mgr (td : Thread_data.t) ~reason ~kill_subtree =
   Stats.work_to_wasted td.stats;
+  tele_rollback mgr reason;
   if tracing mgr then
     emit mgr td (Trace.Rollback { reason; point = td.fork_point });
   finalize_buffers mgr td;
@@ -565,6 +748,7 @@ let rollback_self mgr (td : Thread_data.t) ~reason ~kill_subtree =
 let rollback_overflow mgr (td : Thread_data.t) =
   Stats.incr td.stats Stats.Overflows;
   Stats.add td.stats Stats.Overflow 0.0;
+  if mgr.tele.on then Telemetry.incr mgr.tele.t_overflows;
   if tracing mgr then emit mgr td Trace.Overflow;
   note_overflow mgr td;
   rollback_self mgr td ~reason:Trace.Buffer_overflow ~kill_subtree:false
@@ -668,6 +852,7 @@ let await_join mgr (td : Thread_data.t) ~counter =
    stop the thread are traced — "continue" polls are the hot path. *)
 let check_point mgr (td : Thread_data.t) ~counter =
   Stats.incr td.stats Stats.Checkpoints;
+  if mgr.tele.on then Telemetry.incr mgr.tele.t_checkpoints;
   tick mgr td mgr.cfg.cost.check_point;
   match Engine.ivar_peek td.sync_status with
   | Some s when s = Thread_data.nosync ->
@@ -826,6 +1011,9 @@ let synchronize mgr (parent : Thread_data.t) ~point ~rank =
          !inherited
      end);
     let committed = verdict = Thread_data.commit in
+    if mgr.tele.on then
+      Telemetry.incr
+        (if committed then mgr.tele.t_joins_ok else mgr.tele.t_joins_fail);
     if tracing mgr then
       emit mgr parent (Trace.Join { child = child.id; committed });
     if committed then begin
@@ -904,4 +1092,10 @@ let shutdown mgr =
   flush mgr mgr.main;
   Stack.iter (nosync_subtree mgr) mgr.main.children;
   Stack.clear mgr.main.children;
+  if mgr.tele.on then begin
+    Telemetry.set mgr.tele.t_vtime (Engine.now mgr.engine);
+    Telemetry.set mgr.tele.t_live_spec (float_of_int mgr.live_spec);
+    Telemetry.set mgr.tele.t_degraded
+      (if Policy.degraded mgr.policy then 1.0 else 0.0)
+  end;
   if tracing mgr then emit mgr mgr.main Trace.Run_end

@@ -14,6 +14,8 @@ let () =
       ("workloads", Test_workloads.tests);
       ("extensions", Test_extensions.tests);
       ("obs", Test_obs.tests);
+      ("telemetry", Test_telemetry.tests);
+      ("spans", Test_spans.tests);
       ("properties", Test_properties.tests);
       ("opt", Test_opt.tests);
       ("parse", Test_parse.tests);

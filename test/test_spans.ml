@@ -1,0 +1,196 @@
+(* Causal span timelines: the span tree folded from a hand-built
+   trace, the critical-path tiling invariant, and the acceptance
+   cross-check — on real benchmark traces the critical-path total
+   equals the run's tn from Metrics.compute. *)
+
+module Trace = Mutls_obs.Trace
+module Spans = Mutls_obs.Spans
+
+let rec_ ?(thread = 0) ?(rank = 0) ?(main = false) time event =
+  { Trace.time; thread; rank; main; event }
+
+(* A two-level speculation: main forks 1, 1 forks 2; 2 finishes early
+   (retire < join), 1 is joined at its retire instant. *)
+let hand_trace =
+  [
+    rec_ ~main:true 10.0 (Trace.Fork { child = 1; child_rank = 1; point = 0 });
+    rec_ ~main:true ~rank:1 12.0 (Trace.Speculate { child_rank = 1; counter = 1 });
+    rec_ ~thread:1 ~rank:1 20.0 (Trace.Fork { child = 2; child_rank = 2; point = 1 });
+    rec_ ~thread:1 ~rank:2 22.0 (Trace.Speculate { child_rank = 2; counter = 2 });
+    (* child 2 finishes early: retire strictly before its join *)
+    rec_ ~thread:2 ~rank:2 40.0
+      (Trace.Retire { committed = true; runtime = 18.0; stats = [] });
+    rec_ ~thread:1 ~rank:1 45.0 (Trace.Join { child = 2; committed = true });
+    (* thread 1 is joined blocked: retire at the join instant *)
+    rec_ ~thread:1 ~rank:1 60.0
+      (Trace.Retire { committed = true; runtime = 48.0; stats = [] });
+    rec_ ~main:true 60.0 (Trace.Join { child = 1; committed = true });
+    rec_ ~main:true 100.0 Trace.Run_end;
+  ]
+
+let test_tree_shape () =
+  let t = Spans.of_records hand_trace in
+  Alcotest.(check int) "three spans" 3 (List.length t.Spans.spans);
+  Alcotest.(check int) "main id" 0 t.Spans.main_id;
+  Alcotest.(check (float 0.0)) "runtime" 100.0 t.Spans.runtime;
+  let s id =
+    match Spans.find t id with
+    | Some s -> s
+    | None -> Alcotest.failf "span %d missing" id
+  in
+  let main = s 0 and one = s 1 and two = s 2 in
+  Alcotest.(check (option int)) "main has no parent" None main.Spans.parent;
+  Alcotest.(check (list int)) "main's children" [ 1 ] main.Spans.children;
+  Alcotest.(check (option int)) "1's parent" (Some 0) one.Spans.parent;
+  Alcotest.(check (list int)) "1's children" [ 2 ] one.Spans.children;
+  Alcotest.(check (option int)) "2's parent" (Some 1) two.Spans.parent;
+  Alcotest.(check (float 0.0)) "1 forked at" 10.0 one.Spans.fork_time;
+  Alcotest.(check (float 0.0)) "1 started (retire - runtime)" 12.0
+    one.Spans.start;
+  Alcotest.(check (option (float 0.0))) "1 stopped" (Some 60.0) one.Spans.stop;
+  Alcotest.(check (option (float 0.0))) "1 joined" (Some 60.0)
+    one.Spans.join_time;
+  Alcotest.(check bool) "1 committed" true one.Spans.committed;
+  Alcotest.(check (option (float 0.0))) "2 stopped early" (Some 40.0)
+    two.Spans.stop;
+  Alcotest.(check (option (float 0.0))) "2 joined later" (Some 45.0)
+    two.Spans.join_time
+
+(* The walk descends into thread 1 (retire 60 >= join 60) but not into
+   thread 2 (retire 40 < join 45: it finished early, so its parent's
+   clock, not its own, carried the critical path). *)
+let test_critical_path_descent () =
+  let t = Spans.of_records hand_trace in
+  let segs = Spans.critical_path t in
+  Alcotest.(check (list int)) "segment threads" [ 0; 1; 0 ]
+    (List.map (fun s -> s.Spans.seg_thread) segs);
+  Alcotest.(check (float 1e-9)) "total = runtime" t.Spans.runtime
+    (Spans.critical_path_total (Spans.critical_path t))
+
+(* Rollbacks surface on the span and the walk never descends into an
+   uncommitted child. *)
+let test_rollback_span () =
+  let t =
+    Spans.of_records
+      [
+        rec_ ~main:true 5.0 (Trace.Fork { child = 1; child_rank = 1; point = 2 });
+        rec_ ~main:true ~rank:1 6.0
+          (Trace.Speculate { child_rank = 1; counter = 1 });
+        rec_ ~thread:1 ~rank:1 30.0
+          (Trace.Rollback { reason = Trace.Conflict; point = 2 });
+        rec_ ~thread:1 ~rank:1 30.0
+          (Trace.Retire { committed = false; runtime = 24.0; stats = [] });
+        rec_ ~main:true 30.0 (Trace.Join { child = 1; committed = false });
+        rec_ ~main:true 80.0 Trace.Run_end;
+      ]
+  in
+  (match Spans.find t 1 with
+  | Some s ->
+    Alcotest.(check bool) "not committed" false s.Spans.committed;
+    Alcotest.(check bool) "conflict recorded" true
+      (s.Spans.rollback_reason = Some Trace.Conflict)
+  | None -> Alcotest.fail "span 1 missing");
+  Alcotest.(check (list int)) "path stays on main" [ 0 ]
+    (List.map (fun s -> s.Spans.seg_thread) (Spans.critical_path t));
+  Alcotest.(check (float 1e-9)) "total = runtime" 80.0
+    (Spans.critical_path_total (Spans.critical_path t))
+
+(* --- cross-checks on real traces ----------------------------------------- *)
+
+let run_traced ?(ncpus = 8) name =
+  let w = Mutls.Workloads.find name in
+  let m = Mutls.compile Mutls.C (w.Mutls.Workloads.c_source ()) in
+  let tm = Mutls.speculate m in
+  let records = ref [] in
+  let sink =
+    {
+      Trace.enabled = true;
+      emit = (fun r -> records := r :: !records);
+      close = (fun () -> ());
+    }
+  in
+  let cfg =
+    {
+      Mutls.Config.default with
+      ncpus;
+      trace_sink = sink;
+      telemetry = Mutls.Telemetry.create ();
+    }
+  in
+  let tls = Mutls.run_tls cfg tm in
+  (tls, List.rev !records)
+
+(* The acceptance bar: the critical path through the span DAG tiles
+   [0, tn] exactly, so its total equals the tn Metrics.compute reports,
+   on every benchmark tried. *)
+let test_critical_path_equals_tn () =
+  List.iter
+    (fun name ->
+      let tls, records = run_traced name in
+      let t = Spans.of_records records in
+      let tn = tls.Mutls.Eval.tfinish in
+      Alcotest.(check (float 1e-6))
+        (name ^ ": runtime = tn") tn t.Spans.runtime;
+      Alcotest.(check (float 1e-6))
+        (name ^ ": critical path total = tn")
+        tn
+        (Spans.critical_path_total (Spans.critical_path t));
+      (* segments are contiguous and monotone: each starts where the
+         previous ended, the first at 0, the last at tn *)
+      let segs = Spans.critical_path t in
+      let stop =
+        List.fold_left
+          (fun cursor s ->
+            Alcotest.(check (float 1e-6))
+              (name ^ ": contiguous segment") cursor s.Spans.seg_from;
+            Alcotest.(check bool) (name ^ ": forward segment") true
+              (s.Spans.seg_to >= s.Spans.seg_from);
+            s.Spans.seg_to)
+          0.0 segs
+      in
+      Alcotest.(check (float 1e-6)) (name ^ ": path ends at tn") tn stop)
+    [ "3x+1"; "mandelbrot"; "md"; "bh"; "fft"; "matmult"; "nqueen"; "tsp" ]
+
+(* Span verdicts agree with the runtime's own retirement accounting. *)
+let test_spans_match_stats () =
+  let tls, records = run_traced "fft" in
+  let t = Spans.of_records records in
+  let retired = tls.Mutls.Eval.tretired in
+  let spec_spans =
+    List.filter (fun s -> s.Spans.parent <> None) t.Spans.spans
+  in
+  Alcotest.(check int) "one span per retired thread" (List.length retired)
+    (List.length spec_spans);
+  let committed l = List.length (List.filter (fun x -> x) l) in
+  Alcotest.(check int) "committed counts agree"
+    (committed
+       (List.map
+          (fun r -> r.Mutls_runtime.Thread_manager.r_committed)
+          retired))
+    (committed (List.map (fun s -> s.Spans.committed) spec_spans));
+  (* per-span runtimes agree with the retired records *)
+  let span_runtime s =
+    match s.Spans.stop with
+    | Some stop -> stop -. s.Spans.start
+    | None -> 0.0
+  in
+  let sum l = List.fold_left ( +. ) 0.0 l in
+  Alcotest.(check (float 1e-6))
+    "summed speculative runtimes agree"
+    (sum
+       (List.map
+          (fun r -> r.Mutls_runtime.Thread_manager.r_runtime)
+          retired))
+    (sum (List.map span_runtime spec_spans))
+
+let tests =
+  [
+    Alcotest.test_case "span tree shape" `Quick test_tree_shape;
+    Alcotest.test_case "critical-path descent rule" `Quick
+      test_critical_path_descent;
+    Alcotest.test_case "rollback span" `Quick test_rollback_span;
+    Alcotest.test_case "critical path total = tn" `Quick
+      test_critical_path_equals_tn;
+    Alcotest.test_case "spans match retirement stats" `Quick
+      test_spans_match_stats;
+  ]

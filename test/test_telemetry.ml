@@ -1,0 +1,240 @@
+(* Always-on telemetry registry: log₂ bucket boundaries, the
+   no-allocation recording guarantee, kind-clash detection, and a
+   golden Prometheus text exposition. *)
+
+module T = Mutls_obs.Telemetry
+
+(* --- bucket boundaries --------------------------------------------------- *)
+
+(* Bucket i's upper bound is 2^i: values <= 1 land in bucket 0, a value
+   v > 1 in the bucket whose bound is the smallest power of two >= v.
+   OCaml's max_int (2^62 - 1) must land in the last finite bucket. *)
+let test_bucket_boundaries () =
+  let check v want =
+    Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) want (T.bucket_of v)
+  in
+  check 0 0;
+  check 1 0;
+  check 2 1;
+  check 3 2;
+  check 4 2;
+  check 5 3;
+  check 8 3;
+  check 9 4;
+  check 1024 10;
+  check 1025 11;
+  check max_int 62;
+  (* exact powers of two sit at their own boundary *)
+  for i = 1 to 61 do
+    check (1 lsl i) i
+  done;
+  Alcotest.(check int) "64 buckets" 64 T.n_buckets;
+  Alcotest.(check (float 0.0)) "bucket 0 le" 1.0 (T.bucket_upper 0);
+  Alcotest.(check (float 0.0)) "bucket 10 le" 1024.0 (T.bucket_upper 10);
+  Alcotest.(check bool) "last bucket is +Inf" true
+    (T.bucket_upper (T.n_buckets - 1) = infinity);
+  (* every value files strictly within its bucket's bounds *)
+  List.iter
+    (fun v ->
+      let i = T.bucket_of v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d <= le(%d)" v i)
+        true
+        (float_of_int v <= T.bucket_upper i);
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%d > le(%d)" v (i - 1))
+          true
+          (float_of_int v > T.bucket_upper (i - 1)))
+    [ 0; 1; 2; 3; 7; 100; 4097; max_int ]
+
+(* --- recording ----------------------------------------------------------- *)
+
+let test_counters_gauges_histograms () =
+  let reg = T.create () in
+  let c = T.counter reg "c_total" in
+  T.incr c;
+  T.add c 41;
+  Alcotest.(check int) "counter" 42 (T.counter_value c);
+  (* get-or-create returns the same cell *)
+  let c' = T.counter reg "c_total" in
+  T.incr c';
+  Alcotest.(check int) "aliased handle" 43 (T.counter_value c);
+  (* distinct label sets are distinct cells *)
+  let ca = T.counter ~labels:[ ("reason", "a") ] reg "d_total" in
+  let cb = T.counter ~labels:[ ("reason", "b") ] reg "d_total" in
+  T.incr ca;
+  Alcotest.(check int) "labelled cells independent" 0 (T.counter_value cb);
+  let g = T.gauge reg "g" in
+  T.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (T.gauge_value g);
+  let h = T.histogram reg "h" in
+  List.iter (T.observe h) [ 0; 1; 2; 3; 8 ];
+  (* max_int lands in the last finite bucket; its sum would overflow
+     the exact int accumulator, so check it on a histogram of its own *)
+  let hmax = T.histogram reg "hmax" in
+  T.observe hmax max_int;
+  let value name =
+    List.find_map
+      (fun m -> if m.T.m_name = name then Some m.T.m_value else None)
+      (T.snapshot reg)
+  in
+  (match value "h" with
+  | Some (T.Histogram { buckets; sum; count }) ->
+    Alcotest.(check int) "count" 5 count;
+    Alcotest.(check (float 0.0)) "sum" 14.0 sum;
+    Alcotest.(check int) "bucket 0" 2 buckets.(0);
+    Alcotest.(check int) "bucket 1" 1 buckets.(1);
+    Alcotest.(check int) "bucket 2" 1 buckets.(2);
+    Alcotest.(check int) "bucket 3" 1 buckets.(3)
+  | _ -> Alcotest.fail "histogram missing from snapshot");
+  match value "hmax" with
+  | Some (T.Histogram { buckets; count; _ }) ->
+    Alcotest.(check int) "hmax count" 1 count;
+    Alcotest.(check int) "bucket 62 (max_int)" 1 buckets.(62);
+    Alcotest.(check int) "+Inf bucket unused" 0 buckets.(T.n_buckets - 1)
+  | _ -> Alcotest.fail "hmax missing from snapshot"
+
+let test_kind_clash () =
+  let reg = T.create () in
+  ignore (T.counter reg "m");
+  Alcotest.check_raises "gauge on a counter name"
+    (Invalid_argument "Telemetry: \"m\" already registered as a counter")
+    (fun () -> ignore (T.gauge reg "m"))
+
+let test_reset () =
+  let reg = T.create () in
+  let c = T.counter reg "c" in
+  let h = T.histogram reg "h" in
+  T.add c 7;
+  T.observe h 100;
+  T.reset reg;
+  Alcotest.(check int) "counter zeroed" 0 (T.counter_value c);
+  match
+    List.find_map
+      (fun m -> if m.T.m_name = "h" then Some m.T.m_value else None)
+      (T.snapshot reg)
+  with
+  | Some (T.Histogram { count; sum; _ }) ->
+    Alcotest.(check int) "histogram count zeroed" 0 count;
+    Alcotest.(check (float 0.0)) "histogram sum zeroed" 0.0 sum
+  | _ -> Alcotest.fail "histogram missing after reset"
+
+(* The recording hot path must not allocate: handles are pre-resolved,
+   counters/gauges mutate a single field, and a histogram observation
+   is shifts plus an array store.  100k operations with any per-op
+   allocation would move minor_words by >= 200k; the slack of 256
+   words absorbs the boxed floats Gc.minor_words itself returns. *)
+let test_no_allocation () =
+  let reg = T.create () in
+  let c = T.counter reg "c" in
+  let g = T.gauge reg "g" in
+  let h = T.histogram reg "h" in
+  (* warm up: first calls may trigger lazy initialisation *)
+  T.incr c;
+  T.set g 1.0;
+  T.observe h 1;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    T.incr c;
+    T.add c 2;
+    T.set g 3.5;
+    T.observe h i
+  done;
+  let after = Gc.minor_words () in
+  let delta = after -. before in
+  if delta > 256.0 then
+    Alcotest.failf "recording allocated %.0f minor words over 100k ops" delta
+
+(* --- exposition ---------------------------------------------------------- *)
+
+(* Byte-exact Prometheus text exposition 0.0.4 of a known registry:
+   HELP/TYPE headers once per family (shared across label children),
+   escaped label values, cumulative histogram buckets with the empty
+   tail collapsed, and name-then-labels ordering. *)
+let test_prometheus_golden () =
+  let reg = T.create () in
+  let cm = T.counter ~help:"fork requests refused"
+      ~labels:[ ("reason", "model") ] reg "test_denied_total" in
+  let cp = T.counter ~labels:[ ("reason", "policy") ] reg "test_denied_total" in
+  T.incr cm;
+  T.incr cm;
+  T.incr cp;
+  let g = T.gauge ~help:"live threads" reg "test_live" in
+  T.set g 2.5;
+  let c = T.counter ~help:"requests served" reg "test_requests_total" in
+  T.add c 3;
+  let e = T.counter ~help:"escape \\ these"
+      ~labels:[ ("path", "a\"b\\c\nd") ] reg "test_escapes_total" in
+  T.incr e;
+  let h = T.histogram ~help:"words per op" reg "test_words" in
+  List.iter (T.observe h) [ 0; 1; 2; 3; 8 ];
+  let expected =
+    String.concat "\n"
+      [
+        "# HELP test_denied_total fork requests refused";
+        "# TYPE test_denied_total counter";
+        "test_denied_total{reason=\"model\"} 2";
+        "test_denied_total{reason=\"policy\"} 1";
+        "# HELP test_escapes_total escape \\\\ these";
+        "# TYPE test_escapes_total counter";
+        "test_escapes_total{path=\"a\\\"b\\\\c\\nd\"} 1";
+        "# HELP test_live live threads";
+        "# TYPE test_live gauge";
+        "test_live 2.5";
+        "# HELP test_requests_total requests served";
+        "# TYPE test_requests_total counter";
+        "test_requests_total 3";
+        "# HELP test_words words per op";
+        "# TYPE test_words histogram";
+        "test_words_bucket{le=\"1\"} 2";
+        "test_words_bucket{le=\"2\"} 3";
+        "test_words_bucket{le=\"4\"} 4";
+        "test_words_bucket{le=\"8\"} 5";
+        "test_words_bucket{le=\"+Inf\"} 5";
+        "test_words_sum 14";
+        "test_words_count 5";
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden exposition" expected
+    (T.to_prometheus (T.snapshot reg))
+
+(* help attaches to the family whichever labelled handle supplies it *)
+let test_family_help () =
+  let reg = T.create () in
+  ignore (T.counter ~labels:[ ("reason", "a") ] reg "f_total");
+  ignore (T.counter ~help:"late help" ~labels:[ ("reason", "b") ] reg "f_total");
+  let text = T.to_prometheus (T.snapshot reg) in
+  Alcotest.(check bool) "HELP present" true
+    (Astring_contains.contains text "# HELP f_total late help")
+
+let test_json_roundtrip_shape () =
+  let reg = T.create () in
+  T.add (T.counter reg "c") 5;
+  T.observe (T.histogram reg "h") 3;
+  match T.to_json (T.snapshot reg) with
+  | Mutls_obs.Json.List [ cj; hj ] ->
+    Alcotest.(check (option string)) "counter name" (Some "c")
+      (Option.bind (Mutls_obs.Json.member "name" cj) Mutls_obs.Json.to_str);
+    Alcotest.(check (option string)) "histogram type" (Some "histogram")
+      (Option.bind (Mutls_obs.Json.member "type" hj) Mutls_obs.Json.to_str)
+  | _ -> Alcotest.fail "expected a two-element JSON list"
+
+let test_disabled () =
+  Alcotest.(check bool) "disabled registry" false (T.enabled T.disabled);
+  Alcotest.(check bool) "fresh registry enabled" true (T.enabled (T.create ()))
+
+let tests =
+  [
+    Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+    Alcotest.test_case "counters, gauges, histograms" `Quick
+      test_counters_gauges_histograms;
+    Alcotest.test_case "kind clash rejected" `Quick test_kind_clash;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "recording does not allocate" `Quick test_no_allocation;
+    Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+    Alcotest.test_case "family-level help" `Quick test_family_help;
+    Alcotest.test_case "json shape" `Quick test_json_roundtrip_shape;
+    Alcotest.test_case "disabled registry" `Quick test_disabled;
+  ]
