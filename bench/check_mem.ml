@@ -1,0 +1,167 @@
+(* CI memory-resilience gate.
+
+     dune exec bench/check_mem.exe -- BASELINE FRESH [--require-baseline]
+
+   Holds a freshly generated BENCH_mem.json (bench/main.exe -- mem)
+   against the committed bench/BASELINE_mem.json.  Two kinds of check:
+
+   Intrinsic invariants (no baseline needed — they are promises of the
+   memory system itself, checked on the fresh run alone):
+     - the uniform workload's spill-off and spill-on rows are
+       cycle-identical: the spill tier must be free until pressure;
+     - the storm workload (working set ~100x the home slots) degrades
+       to sequential with the tier off and completes speculatively
+       (not degraded, with committed speculations) with it on;
+     - the pressure workload completes speculatively with the tier on.
+
+   Baseline regression band: every fresh row's virtual time must stay
+   within the baseline's relative tolerance of the committed row.  The
+   numbers are virtual-time, so on unchanged code they match exactly;
+   the band only absorbs deliberate cost-model/scheduling changes,
+   which should come with a baseline refresh.
+
+   A missing baseline only warns by default (bootstrap path); with
+   --require-baseline (CI) its absence fails the gate, so the gate
+   cannot be disarmed by deleting the snapshot. *)
+
+module Json = Mutls.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type row = {
+  workload : string;
+  variant : string;
+  tfinish : float;
+  degraded : bool;
+  commits : int;
+}
+
+let rows_of path j =
+  match Json.member "rows" j with
+  | Some (Json.List rows) ->
+    List.filter_map
+      (fun r ->
+        match
+          ( Option.bind (Json.member "workload" r) Json.to_str,
+            Option.bind (Json.member "variant" r) Json.to_str,
+            Option.bind (Json.member "tfinish" r) Json.to_float,
+            Option.bind (Json.member "degraded" r) Json.to_bool,
+            Option.bind (Json.member "commits" r) Json.to_int )
+        with
+        | Some workload, Some variant, Some tfinish, Some degraded, Some commits
+          ->
+          Some { workload; variant; tfinish; degraded; commits }
+        | _ -> None)
+      rows
+  | _ -> failwith (Printf.sprintf "%s: missing rows" path)
+
+let find rows workload variant =
+  match
+    List.find_opt (fun r -> r.workload = workload && r.variant = variant) rows
+  with
+  | Some r -> r
+  | None ->
+    failwith (Printf.sprintf "missing row %s/%s" workload variant)
+
+let () =
+  let baseline = ref None and fresh = ref None in
+  let require_baseline = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--require-baseline" :: rest ->
+      require_baseline := true;
+      parse rest
+    | a :: rest ->
+      (match (!baseline, !fresh) with
+      | None, _ -> baseline := Some a
+      | Some _, None -> fresh := Some a
+      | Some _, Some _ -> failwith ("unexpected argument " ^ a));
+      parse rest
+  in
+  (try parse (List.tl (Array.to_list Sys.argv))
+   with Failure e ->
+     Printf.eprintf "check_mem: %s\n" e;
+     exit 2);
+  let baseline_path, fresh_path =
+    match (!baseline, !fresh) with
+    | Some b, Some f -> (b, f)
+    | _ ->
+      Printf.eprintf "usage: check_mem BASELINE FRESH [--require-baseline]\n";
+      exit 2
+  in
+  let load path =
+    try Json.of_string (read_file path) with
+    | Sys_error e ->
+      Printf.eprintf "check_mem: %s\n" e;
+      exit 2
+    | Json.Parse_error e ->
+      Printf.eprintf "check_mem: %s: %s\n" path e;
+      exit 2
+  in
+  let failures = ref 0 in
+  let check what ok =
+    Printf.printf "  %-58s %s\n" what (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  try
+    let cur = load fresh_path in
+    let rows = rows_of fresh_path cur in
+    print_string "memory resilience invariants:\n";
+    let u_off = find rows "uniform" "spill-off" in
+    let u_on = find rows "uniform" "spill-on" in
+    check "uniform: spill tier free until pressure (cycle-identical)"
+      (u_off.tfinish = u_on.tfinish && u_off.degraded = u_on.degraded);
+    let s_off = find rows "storm" "spill-off" in
+    check "storm spill-off: seed config degrades to sequential" s_off.degraded;
+    let s_on = find rows "storm" "spill-on" in
+    check "storm spill-on: completes speculatively"
+      ((not s_on.degraded) && s_on.commits > 0);
+    let p_on = find rows "pressure" "spill-on" in
+    check "pressure spill-on: completes speculatively"
+      ((not p_on.degraded) && p_on.commits > 0);
+    if not (Sys.file_exists baseline_path) then
+      if !require_baseline then begin
+        Printf.eprintf
+          "check_mem: no baseline at %s (--require-baseline: the committed \
+           snapshot is part of the gate)\n"
+          baseline_path;
+        exit 1
+      end
+      else
+        Printf.printf
+          "check_mem: no baseline at %s; skipping the regression band \
+           (commit a snapshot to arm it)\n"
+          baseline_path
+    else begin
+      let base = load baseline_path in
+      let base_rows = rows_of baseline_path base in
+      let tol =
+        match Option.bind (Json.member "tolerance" base) Json.to_float with
+        | Some t -> t
+        | None -> 0.10
+      in
+      Printf.printf "regression band (+/-%.0f%% of baseline):\n" (100.0 *. tol);
+      List.iter
+        (fun b ->
+          let f = find rows b.workload b.variant in
+          let dev = abs_float (f.tfinish -. b.tfinish) /. b.tfinish in
+          check
+            (Printf.sprintf "%s/%s: %.0f vs %.0f cycles (%+.1f%%)" b.workload
+               b.variant f.tfinish b.tfinish
+               (100.0 *. (f.tfinish -. b.tfinish) /. b.tfinish))
+            (dev <= tol))
+        base_rows
+    end;
+    if !failures > 0 then begin
+      Printf.printf "check_mem: %d check(s) failed\n" !failures;
+      exit 1
+    end;
+    print_string "check_mem: memory resilience invariants hold\n"
+  with Failure e ->
+    Printf.eprintf "check_mem: %s\n" e;
+    exit 2

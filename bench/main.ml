@@ -158,7 +158,7 @@ let micro () =
     }
   in
   let make_buffer () =
-    Mutls_runtime.Global_buffer.create ~slots:(1 lsl 12) ~temp_slots:64
+    Mutls_runtime.Global_buffer.create ~slots:(1 lsl 12) ~temp_slots:64 ()
   in
   let test_write =
     Test.make ~name:"globalbuffer-write-512"
@@ -440,6 +440,182 @@ let obs () =
   close_out oc;
   Printf.printf "[wrote BENCH_obs.json]\n"
 
+(* --- mem: memory-system resilience, emits BENCH_mem.json -------------- *)
+
+(* Exercises the sharded/spill-tier GlobalBuffer under deliberately
+   shrunken buffers (256 home slots, 16 temp slots) on three write-set
+   profiles, each with the spill tier off (seed-era behaviour) and on:
+
+     uniform   per-chunk write set fits the home slots — the two
+               configurations must be cycle-identical (the spill tier
+               is pure overhead-free scaffolding until pressure);
+     pressure  write set slightly over capacity — parks and a modest
+               spill population;
+     storm     a conflict storm over a working set ~100x the home
+               slots — with the tier off every speculation overflows
+               and the policy degrades to sequential; with it on the
+               run completes speculatively.
+
+   All numbers are virtual-time (deterministic), so the CI gate
+   (check_mem.exe) can hold them against the committed
+   bench/BASELINE_mem.json exactly: the uniform pair must stay equal
+   and the storm off/on time ratio must not fall below the budget. *)
+let mem () =
+  heading "Memory resilience: spill tier off vs on (virtual time)";
+  let module Eval = Mutls_interp.Eval in
+  let module Config = Mutls_runtime.Config in
+  let module TM = Mutls_runtime.Thread_manager in
+  let chunk_src ~chunks ~words =
+    Printf.sprintf
+      {|
+int A[%d];
+int out[%d];
+int main() {
+  for (int c = 0; c < %d; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int r = 0;
+    for (int k = 0; k < %d; k++) {
+      A[c * %d + k] = A[c * %d + k] + k + c;
+      r = r + A[c * %d + k];
+    }
+    out[c] = r %% 100000;
+    __builtin_MUTLS_join(0);
+  }
+  int t = 0;
+  for (int c = 0; c < %d; c++) t = t + out[c];
+  print_int(t);
+  print_newline();
+  return 0;
+}
+|}
+      (chunks * words) chunks chunks words words words words chunks
+  in
+  (* The uniform source keeps every thread's footprint contiguous and
+     under the home-slot count (192 words total, no separate out[]
+     array: chunk results accumulate into A itself), so NO access ever
+     parks or spills — the precondition for the off/on cycle-equality
+     assertion. *)
+  let uniform_src =
+    {|
+int A[192];
+int main() {
+  for (int c = 0; c < 2; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int r = 0;
+    for (int k = 0; k < 96; k++) {
+      A[c * 96 + k] = A[c * 96 + k] + k + c;
+      r = r + A[c * 96 + k];
+    }
+    A[c * 96] = r % 100000;
+    __builtin_MUTLS_join(0);
+  }
+  print_int(A[0] + A[96]);
+  print_newline();
+  return 0;
+}
+|}
+  in
+  let workloads =
+    [
+      ("uniform", uniform_src);
+      ("pressure", chunk_src ~chunks:8 ~words:300);
+      (* 16 * 1600 = 25600 words, 100x the 256 home slots *)
+      ("storm", chunk_src ~chunks:16 ~words:1600);
+    ]
+  in
+  let spill_slots = 4096 in
+  let run ~source ~spill ~shards ~line_words =
+    let m = Mutls_minic.Codegen.compile source in
+    let seq = Eval.run_sequential m in
+    let t = Mutls_speculator.Pass.run m in
+    let cfg =
+      {
+        Config.default with
+        ncpus = 4;
+        buffer_slots = 256;
+        temp_slots = 16;
+        degrade_after = 4;
+        buffers =
+          {
+            Config.Buffers.default with
+            Config.Buffers.shards;
+            spill_slots = (if spill then spill_slots else 0);
+            line_words;
+          };
+      }
+    in
+    let r = Eval.run_tls cfg t in
+    if r.Eval.toutput <> seq.Eval.soutput then
+      failwith "mem: TLS output diverged from sequential run";
+    let commits =
+      List.length
+        (List.filter (fun t -> t.TM.r_committed) r.Eval.tretired)
+    in
+    ( r.Eval.tfinish,
+      TM.degraded r.Eval.tmgr,
+      commits,
+      List.length r.Eval.tretired )
+  in
+  let rows =
+    List.concat_map
+      (fun (name, source) ->
+        List.map
+          (fun (variant, spill, shards, line_words) ->
+            let tfinish, degraded, commits, threads =
+              run ~source ~spill ~shards ~line_words
+            in
+            Printf.printf
+              "  %-9s %-14s  %10.0f cycles  %-9s  %d/%d committed\n" name
+              variant tfinish
+              (if degraded then "DEGRADED" else "speculative")
+              commits threads;
+            (name, variant, spill, shards, line_words, tfinish, degraded,
+             commits, threads))
+          [
+            ("spill-off", false, 1, 1);
+            ("spill-on", true, 1, 1);
+            (* full geometry: sharded, line-granular, spill on *)
+            ("sharded-lines", true, 8, 8);
+          ])
+      workloads
+  in
+  let find name variant =
+    let (_, _, _, _, _, tfinish, degraded, commits, _) =
+      List.find
+        (fun (n, v, _, _, _, _, _, _, _) -> n = name && v = variant)
+        rows
+    in
+    (tfinish, degraded, commits)
+  in
+  let storm_off, _, _ = find "storm" "spill-off" in
+  let storm_on, _, _ = find "storm" "spill-on" in
+  let storm_ratio = storm_off /. storm_on in
+  Printf.printf "  storm off/on ratio: %.2f\n" storm_ratio;
+  let oc = open_out "BENCH_mem.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"memory-resilience\",\n\
+    \  \"buffer_slots\": 256,\n\
+    \  \"temp_slots\": 16,\n\
+    \  \"spill_slots\": %d,\n\
+    \  \"storm_ratio\": %.4f,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    spill_slots storm_ratio
+    (String.concat ",\n"
+       (List.map
+          (fun (n, v, spill, shards, line_words, tf, dg, cm, th) ->
+            Printf.sprintf
+              "    { \"workload\": %S, \"variant\": %S, \"spill\": %b, \
+               \"shards\": %d, \"line_words\": %d, \"tfinish\": %.1f, \
+               \"degraded\": %b, \"commits\": %d, \"threads\": %d }"
+              n v spill shards line_words tf dg cm th)
+          rows));
+  close_out oc;
+  Printf.printf "[wrote BENCH_mem.json]\n"
+
 (* --- driver ----------------------------------------------------------- *)
 
 let artifacts =
@@ -462,6 +638,7 @@ let artifacts =
     ("ablation-auto", Mutls.Ablations.print_auto);
     ("micro", micro);
     ("obs", obs);
+    ("mem", mem);
     ("perf", perf);
   ]
 

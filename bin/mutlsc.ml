@@ -93,6 +93,30 @@ let policy_conv s =
   | Mutls.Config.Policy.Adaptive -> Mutls.Config.Policy.adaptive ()
   | Mutls.Config.Policy.Hostile -> Mutls.Config.Policy.hostile ()
 
+let shards_arg =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+         ~doc:"GlobalBuffer shards (power of two); 64-byte lines \
+               interleave across shards.")
+
+let spill_slots_arg =
+  Arg.(value & opt int 0 & info [ "spill-slots" ] ~docv:"N"
+         ~doc:"GlobalBuffer spill-tier capacity (power of two; 0 disables). \
+               With a spill tier, hash conflicts and full home slots spill \
+               at a latency penalty instead of stalling or rolling back.")
+
+let line_words_arg =
+  Arg.(value & opt int 1 & info [ "line-words" ] ~docv:"N"
+         ~doc:"Validation/commit granularity in words: 1 (per-word) or 8 \
+               (64-byte lines).")
+
+let buffers_of shards spill_slots line_words =
+  { Mutls.Config.Buffers.default with
+    Mutls.Config.Buffers.shards;
+    spill_slots;
+    line_words }
+
+let buffers_term = Term.(const buffers_of $ shards_arg $ spill_slots_arg $ line_words_arg)
+
 let seq_arg =
   Arg.(value & flag & info [ "seq" ] ~doc:"Run sequentially (no speculation).")
 
@@ -153,12 +177,13 @@ let make_sink trace =
   | [ s ] -> s
   | ss -> Mutls.Trace.tee ss
 
-let make_cfg cpus model rollback policy sink =
+let make_cfg cpus model rollback policy buffers sink =
   { Mutls.Config.default with
     ncpus = cpus;
     model_override = Option.map model_conv model;
     rollback_probability = rollback;
     policy = policy_conv policy;
+    buffers;
     trace_sink = sink }
 
 (* --- profile output ----------------------------------------------------- *)
@@ -247,8 +272,8 @@ let fold_trace_file feed path =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file lang cpus model rollback policy seq stats optimize trace profile
-      metrics =
+  let run file lang cpus model rollback policy buffers seq stats optimize trace
+      profile metrics =
     try
       let source = read_file file in
       let m = compile_input ~optimize file lang source in
@@ -272,7 +297,7 @@ let run_cmd =
            accumulating into the process-wide default *)
         let reg = Mutls.Telemetry.create () in
         let cfg =
-          { (make_cfg cpus model rollback policy sink) with
+          { (make_cfg cpus model rollback policy buffers sink) with
             Mutls.Config.telemetry = reg }
         in
         let seq_r = Mutls.run_sequential ~cost:cfg.Mutls.Config.cost m in
@@ -317,8 +342,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ file_arg $ lang_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ policy_arg $ seq_arg $ stats_arg $ opt_arg $ trace_arg $ profile_arg
-       $ metrics_arg))
+       $ policy_arg $ buffers_term $ seq_arg $ stats_arg $ opt_arg $ trace_arg
+       $ profile_arg $ metrics_arg))
 
 (* --- dump --------------------------------------------------------------- *)
 
@@ -345,7 +370,8 @@ let dump_cmd =
 (* --- bench -------------------------------------------------------------- *)
 
 let bench_cmd =
-  let bench name cpus model rollback policy stats trace profile metrics_file =
+  let bench name cpus model rollback policy buffers stats trace profile
+      metrics_file =
     try
       let w = Mutls.Workloads.find name in
       let sink = make_sink trace in
@@ -371,7 +397,8 @@ let bench_cmd =
               ~model_override:(Option.map model_conv model)
               ~rollback ~trace_sink:sink
               ?profile:(Option.map (fun path -> write_profile path) profile)
-              ?telemetry:reg ~policy:(policy_conv policy) ~ncpus:cpus w)
+              ?telemetry:reg ~policy:(policy_conv policy) ~buffers ~ncpus:cpus
+              w)
       in
       Format.printf "%s on %d CPUs: %a@." name cpus Mutls.Metrics.pp metrics;
       if stats then
@@ -392,7 +419,8 @@ let bench_cmd =
     Term.(
       ret
         (const bench $ name_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ policy_arg $ stats_arg $ trace_arg $ profile_arg $ metrics_arg))
+       $ policy_arg $ buffers_term $ stats_arg $ trace_arg $ profile_arg
+       $ metrics_arg))
 
 (* --- report ------------------------------------------------------------- *)
 
@@ -506,7 +534,7 @@ let spans_cmd =
 (* --- top ----------------------------------------------------------------- *)
 
 let top_cmd =
-  let top name cpus model rollback policy interval seed runs =
+  let top name cpus model rollback policy buffers interval seed runs =
     try
       (* In-place redraw: move the cursor back over the previous frame
          and clear to end of screen, then print the fresh snapshot. *)
@@ -561,7 +589,7 @@ let top_cmd =
             (fun () ->
               Mutls.Experiments.run ~trace_sink:refresher ~telemetry:reg
                 ~model_override:(Option.map model_conv model)
-                ~rollback ~policy:(policy_conv policy) ~ncpus:cpus w)
+                ~rollback ~policy:(policy_conv policy) ~buffers ~ncpus:cpus w)
         in
         Format.printf "%s on %d CPUs: %a@." name cpus Mutls.Metrics.pp metrics;
         `Ok ()
@@ -597,7 +625,7 @@ let top_cmd =
     Term.(
       ret
         (const top $ name_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ policy_arg $ interval_arg $ seed_arg $ runs_arg))
+       $ policy_arg $ buffers_term $ interval_arg $ seed_arg $ runs_arg))
 
 (* --- chaos --------------------------------------------------------------- *)
 

@@ -81,12 +81,13 @@ type shape = {
   inner : int;
 }
 
-let n_templates = 3
+let n_templates = 4
 
 let template_name = function
   | 0 -> "chain"
   | 1 -> "conflict"
-  | _ -> "tree"
+  | 2 -> "tree"
+  | _ -> "storm"
 
 let source_of_shape s =
   let expr = pp_expr (gen_expr (Rng.create s.expr_seed) s.expr_size) in
@@ -139,6 +140,40 @@ int main() {
 }
 |}
       s.chunks s.chunks expr s.inner s.chunks
+  | 3 ->
+    (* overflow-pressure storm: every chunk writes a skewed hot/cold
+       mix over a working set far larger than the shrunken buffers —
+       parks, spill-tier traffic and genuine Overflow rollbacks arise
+       from capacity alone, no injection needed *)
+    let size = 512 + (64 * s.chunks) in
+    Printf.sprintf
+      {|
+int A[%d];
+int N = %d;
+int out[%d];
+int main() {
+  for (int c = 0; c < %d; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int v0 = c; int v1 = c * 5; int v2 = 11 - c; int v3 = c + 2;
+    int r = %s;
+    for (int k = 0; k < %d; k++) {
+      int idx = ((k %% 3 == 0) ? (k %% 8) : ((c * 97 + k * 31) %% N));
+      A[idx] = A[idx] + (r %% 50) + k;
+    }
+    out[c] = A[c %% N] + A[c %% 8];
+    __builtin_MUTLS_join(0);
+  }
+  int t = 0;
+  for (int c = 0; c < %d; c++) t = t + out[c] %% 100000;
+  for (int i = 0; i < 8; i++) t = t + A[i] %% 1000;
+  print_int(t);
+  print_newline();
+  return 0;
+}
+|}
+      size size s.chunks s.chunks expr
+      (32 + (8 * s.inner))
+      s.chunks
   | _ ->
     (* recursive divide and conquer: tree-form forking, stale-local
        validation at every join, NOSYNC cascades under injection *)
@@ -179,6 +214,9 @@ type case = {
   ncpus : int;
   buffer_slots : int;
   temp_slots : int;
+  shards : int; (* GlobalBuffer shard count *)
+  spill_slots : int; (* spill-tier capacity; 0 = seed-era behaviour *)
+  line_words : int; (* validation/commit granularity (1 or 8) *)
   plan : Fault.plan;
   backoff : bool;
   degrade_after : int;
@@ -197,34 +235,61 @@ let gen_rate rng =
 let gen_case ~seed i =
   let rng = Rng.create (seed + ((i + 1) * 0x9E3779B9)) in
   let pick a = a.(Rng.next_int rng (Array.length a)) in
+  let base =
+    {
+      label = i;
+      run_seed = Rng.next_int rng 0x3FFFFFFF;
+      ncpus = 1 + Rng.next_int rng 8;
+      buffer_slots = pick [| 256; 1024; 65536 |];
+      temp_slots = pick [| 0; 2; 8; 64 |];
+      (* Seed-era geometry; the memory-band draws below override. *)
+      shards = 1;
+      spill_slots = 0;
+      line_words = 1;
+      plan =
+        {
+          Fault.validation = gen_rate rng;
+          overflow = gen_rate rng;
+          spurious = gen_rate rng;
+          nosync = gen_rate rng;
+          deny = gen_rate rng;
+          spill_exhaust = 0.0;
+        };
+      backoff = Rng.next_float rng < 0.5;
+      degrade_after =
+        (if Rng.next_float rng < 0.5 then 0 else 2 + Rng.next_int rng 6);
+      (* Generated Static (no RNG draw, so pre-policy campaigns replay
+         bit-identically); campaigns override post-generation. *)
+      policy = Config.Policy.Static;
+      shape =
+        {
+          (* Bound 3, not [n_templates]: the draw values for the three
+             seed-era templates must not shift.  The storm template is
+             chosen by a dedicated draw below. *)
+          template = Rng.next_int rng 3;
+          expr_seed = Rng.next_int rng 0x3FFFFFFF;
+          expr_size = Rng.next_int rng 6;
+          chunks = 4 + Rng.next_int rng 13;
+          inner = Rng.next_int rng 24;
+        };
+    }
+  in
+  (* Memory-band draws come after every seed-era draw, so cases from
+     campaigns recorded before the spill tier existed replay their
+     programs and fault schedules bit-identically. *)
+  let shards = pick [| 1; 1; 2; 4; 8 |] in
+  let spill_slots = pick [| 0; 0; 16; 256 |] in
+  let line_words = pick [| 1; 1; 1; 8 |] in
+  let spill_exhaust = gen_rate rng in
+  let storm = Rng.next_float rng < 0.25 in
   {
-    label = i;
-    run_seed = Rng.next_int rng 0x3FFFFFFF;
-    ncpus = 1 + Rng.next_int rng 8;
-    buffer_slots = pick [| 256; 1024; 65536 |];
-    temp_slots = pick [| 0; 2; 8; 64 |];
-    plan =
-      {
-        Fault.validation = gen_rate rng;
-        overflow = gen_rate rng;
-        spurious = gen_rate rng;
-        nosync = gen_rate rng;
-        deny = gen_rate rng;
-      };
-    backoff = Rng.next_float rng < 0.5;
-    degrade_after =
-      (if Rng.next_float rng < 0.5 then 0 else 2 + Rng.next_int rng 6);
-    (* Generated Static (no RNG draw, so pre-policy campaigns replay
-       bit-identically); campaigns override post-generation. *)
-    policy = Config.Policy.Static;
+    base with
+    shards;
+    spill_slots;
+    line_words;
+    plan = { base.plan with Fault.spill_exhaust };
     shape =
-      {
-        template = Rng.next_int rng n_templates;
-        expr_seed = Rng.next_int rng 0x3FFFFFFF;
-        expr_size = Rng.next_int rng 6;
-        chunks = 4 + Rng.next_int rng 13;
-        inner = Rng.next_int rng 24;
-      };
+      (if storm then { base.shape with template = 3 } else base.shape);
   }
 
 (* --- running one case ------------------------------------------------- *)
@@ -265,6 +330,13 @@ let run_case (case : case) =
       ncpus = case.ncpus;
       buffer_slots = case.buffer_slots;
       temp_slots = case.temp_slots;
+      buffers =
+        {
+          Config.Buffers.default with
+          Config.Buffers.shards = case.shards;
+          spill_slots = case.spill_slots;
+          line_words = case.line_words;
+        };
       seed = case.run_seed;
       fault = (if Fault.is_none case.plan then None else Some case.plan);
       backoff = case.backoff;
@@ -345,6 +417,15 @@ let shrink ?(budget = 64) case =
         if c.plan.Fault.deny > 0.0 then
           Some { c with plan = { c.plan with Fault.deny = 0.0 } }
         else None);
+      (fun c ->
+        if c.plan.Fault.spill_exhaust > 0.0 then
+          Some { c with plan = { c.plan with Fault.spill_exhaust = 0.0 } }
+        else None);
+      (fun c -> if c.shards > 1 then Some { c with shards = 1 } else None);
+      (fun c ->
+        if c.spill_slots > 0 then Some { c with spill_slots = 0 } else None);
+      (fun c ->
+        if c.line_words > 1 then Some { c with line_words = 1 } else None);
       (fun c -> if c.backoff then Some { c with backoff = false } else None);
       (fun c ->
         if c.degrade_after > 0 then Some { c with degrade_after = 0 }
@@ -405,6 +486,7 @@ let plan_to_json (p : Fault.plan) =
       ("spurious", Json.Num p.Fault.spurious);
       ("nosync", Json.Num p.Fault.nosync);
       ("deny", Json.Num p.Fault.deny);
+      ("spill_exhaust", Json.Num p.Fault.spill_exhaust);
     ]
 
 let case_to_json c =
@@ -415,6 +497,9 @@ let case_to_json c =
       ("ncpus", Json.Num (float_of_int c.ncpus));
       ("buffer_slots", Json.Num (float_of_int c.buffer_slots));
       ("temp_slots", Json.Num (float_of_int c.temp_slots));
+      ("shards", Json.Num (float_of_int c.shards));
+      ("spill_slots", Json.Num (float_of_int c.spill_slots));
+      ("line_words", Json.Num (float_of_int c.line_words));
       ("plan", plan_to_json c.plan);
       ("backoff", Json.Bool c.backoff);
       ("degrade_after", Json.Num (float_of_int c.degrade_after));
@@ -447,6 +532,17 @@ let get_bool j field =
   | Some v -> v
   | None -> bad field
 
+(* absent in repro files recorded before the field existed *)
+let get_int_default j field d =
+  match Option.bind (Json.member field j) Json.to_int with
+  | Some v -> v
+  | None -> d
+
+let get_float_default j field d =
+  match Option.bind (Json.member field j) Json.to_float with
+  | Some v -> v
+  | None -> d
+
 let case_of_json j =
   (* accept either a bare case object or a full repro file *)
   let j = match Json.member "case" j with Some c -> c | None -> j in
@@ -460,6 +556,10 @@ let case_of_json j =
     ncpus = get_int j "ncpus";
     buffer_slots = get_int j "buffer_slots";
     temp_slots = get_int j "temp_slots";
+    (* pre-spill repro files carry no geometry: seed-era defaults *)
+    shards = get_int_default j "shards" 1;
+    spill_slots = get_int_default j "spill_slots" 0;
+    line_words = get_int_default j "line_words" 1;
     plan =
       {
         Fault.validation = get_float plan "validation";
@@ -467,6 +567,7 @@ let case_of_json j =
         spurious = get_float plan "spurious";
         nosync = get_float plan "nosync";
         deny = get_float plan "deny";
+        spill_exhaust = get_float_default plan "spill_exhaust" 0.0;
       };
     backoff = get_bool j "backoff";
     degrade_after = get_int j "degrade_after";

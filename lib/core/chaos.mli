@@ -1,9 +1,10 @@
 (** Chaos harness: randomized robustness campaigns for the TLS runtime.
 
-    A {!case} crosses a random annotated MiniC program (three templates:
-    chained chunks, shared-accumulator conflicts, recursive tree) with a
-    random {!Mutls_runtime.Fault} schedule, CPU count and deliberately
-    shrunken buffer capacities.  {!run_case} executes it sequentially
+    A {!case} crosses a random annotated MiniC program (four templates:
+    chained chunks, shared-accumulator conflicts, recursive tree, and
+    an overflow-pressure storm) with a random {!Mutls_runtime.Fault}
+    schedule, CPU count, deliberately shrunken buffer capacities, and a
+    random memory geometry (shards, spill tier, line granularity).  {!run_case} executes it sequentially
     and under TLS with the {!Mutls_obs.Oracle} attached, failing on
     output divergence, protocol violation, or crash.  Everything
     derives from one seed, so campaigns replay bit-identically;
@@ -13,7 +14,10 @@
 (** {1 Programs} *)
 
 type shape = {
-  template : int;  (** 0 chain, 1 shared-accumulator conflicts, 2 tree *)
+  template : int;
+      (** 0 chain, 1 shared-accumulator conflicts, 2 tree, 3
+          overflow-pressure storm (working set far larger than the
+          shrunken buffers, skewed hot/cold writes) *)
   expr_seed : int;  (** regenerates the same random expression *)
   expr_size : int;
   chunks : int;  (** speculation count / problem size *)
@@ -34,6 +38,9 @@ type case = {
   ncpus : int;
   buffer_slots : int;
   temp_slots : int;
+  shards : int;  (** GlobalBuffer shard count *)
+  spill_slots : int;  (** spill-tier capacity; [0] = seed-era behaviour *)
+  line_words : int;  (** validation/commit granularity (1 or 8) *)
   plan : Mutls_runtime.Fault.plan;
   backoff : bool;
   degrade_after : int;
@@ -46,7 +53,10 @@ val gen_case : seed:int -> int -> case
 (** Case [i] of campaign [seed]; pure function of both.  The generated
     [policy] is always [Static] — no RNG draw, so pre-policy campaigns
     replay bit-identically; use {!run_campaign}'s [?policy] to run a
-    campaign under another policy kind. *)
+    campaign under another policy kind.  The memory-band draws (shards,
+    spill tier, line granularity, spill-exhaust rate, storm template)
+    come after every seed-era draw, so the programs and fault schedules
+    of pre-spill campaigns replay bit-identically too. *)
 
 (** {1 Running} *)
 

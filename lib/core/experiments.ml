@@ -26,11 +26,14 @@ type prepared = {
 let prepared_cache : (string * lang, prepared) Hashtbl.t = Hashtbl.create 32
 
 let metrics_cache :
-    (string * lang * int * int * int * Config.Policy.t, Metrics.t) Hashtbl.t =
+    ( string * lang * int * int * int * Config.Policy.t
+      * Config.Buffers.t option,
+      Metrics.t )
+    Hashtbl.t =
   Hashtbl.create 256
 (* key: name, lang, ncpus, model override (-1 none), rollback pct,
-   policy (an immutable record of scalars, so structural hashing is
-   sound) *)
+   policy and buffer geometry (immutable records of scalars, so
+   structural hashing is sound) *)
 
 let compile_of lang (w : Workloads.t) =
   match lang with
@@ -76,7 +79,7 @@ let run_counters () = (!run_requests, !fresh_runs)
    a cached row would record nothing into the registry. *)
 let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
     ?(trace_sink = Mutls_obs.Trace.null) ?profile ?telemetry ?metrics
-    ?(policy = Config.Policy.default) ~ncpus (w : Workloads.t) =
+    ?(policy = Config.Policy.default) ?buffers ~ncpus (w : Workloads.t) =
   let prof_agg = Option.map (fun _ -> Mutls_obs.Profile.create ()) profile in
   let trace_sink =
     match prof_agg with
@@ -102,7 +105,8 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
       | None -> -1
       | Some m -> Config.model_to_int m),
       int_of_float (rollback *. 100.0),
-      policy )
+      policy,
+      buffers )
   in
   match (if use_cache then Hashtbl.find_opt metrics_cache mkey else None) with
   | Some m -> m
@@ -120,6 +124,11 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
     let cfg =
       match telemetry with
       | Some reg -> { cfg with Config.telemetry = reg }
+      | None -> cfg
+    in
+    let cfg =
+      match buffers with
+      | Some b -> { cfg with Config.buffers = b }
       | None -> cfg
     in
     let r = Eval.run_tls_prepared cfg p.p_prog in

@@ -21,6 +21,7 @@ val run :
   ?telemetry:Mutls_obs.Telemetry.t ->
   ?metrics:(Mutls_obs.Telemetry.snapshot -> unit) ->
   ?policy:Mutls_runtime.Config.Policy.t ->
+  ?buffers:Mutls_runtime.Config.Buffers.t ->
   ncpus:int ->
   Mutls_workloads.Workloads.t ->
   Metrics.t
@@ -36,6 +37,9 @@ val run :
     cache — a cached row executes nothing and would record nothing).
     [policy] selects the speculation policy (default: static, matching
     the paper figures); it participates in the metrics-cache key.
+    [buffers] overrides the speculative-buffer geometry (sharding,
+    spill tier, line granularity); it also participates in the cache
+    key, so sweeps comparing geometries stay sound.
     @raise Divergence if outputs mismatch. *)
 
 (** [run_counters ()] is [(requests, fresh)]: how many times {!run}

@@ -25,6 +25,10 @@
      must consume a failed Validate;
    - overflow-rollback-without-overflow: a Buffer_overflow rollback
      must be announced by an Overflow record;
+   - overflow-before-spill-exhaustion: an Overflow record carrying a
+     spill-tier capacity must be preceded by at least that many Spill
+     records from the same thread — with the tier enabled, genuine
+     overflow is legal only once the tier really filled;
    - double-verdict / validate-after-verdict / fork-after-verdict:
      a thread reaches at most one terminal verdict and does nothing
      afterwards;
@@ -83,6 +87,7 @@ type tstate = {
   mutable retired : bool;
   mutable finalized : bool; (* saw a "finalize" charge *)
   mutable pending_overflow : bool; (* Overflow seen, Rollback due *)
+  mutable spills_seen : int; (* Spill records from this thread *)
 }
 
 type t = {
@@ -170,6 +175,7 @@ let emitter t (r : Trace.record) =
           retired = false;
           finalized = false;
           pending_overflow = false;
+          spills_seen = 0;
         }
       in
       Hashtbl.add t.threads r.Trace.thread ts;
@@ -239,6 +245,7 @@ let feed t (r : Trace.record) =
              retired = false;
              finalized = false;
              pending_overflow = false;
+             spills_seen = 0;
            }
        end)
      | Trace.Validate { ok; _ } -> (
@@ -304,10 +311,20 @@ let feed t (r : Trace.record) =
          ts.pending_overflow <- false;
          ts.last_validate <- None;
          ts.verdict <- Some V_rollback)
-     | Trace.Overflow -> (
+     | Trace.Overflow { spill_cap } -> (
        match spec_emitter t r ~invariant:"overflow" with
        | None -> ()
-       | Some ts -> ts.pending_overflow <- true)
+       | Some ts ->
+         (* with a spill tier in force, genuine overflow is legal only
+            after the tier really filled: the thread must have spilled
+            at least [spill_cap] times (the tier was empty when it took
+            the pooled buffer over — finalize clears it) *)
+         if spill_cap > 0 && ts.spills_seen < spill_cap then
+           report t ~invariant:"overflow-before-spill-exhaustion"
+             ~record:(Some r)
+             "thread %d overflowed with only %d of %d spill slots used"
+             ts.id ts.spills_seen spill_cap;
+         ts.pending_overflow <- true)
      | Trace.Nosync _ -> (
        (* NOSYNC may legitimately hit a thread that already rolled back
           unilaterally (its sync flag was still unset), so only the
@@ -390,7 +407,11 @@ let feed t (r : Trace.record) =
          match find t r.Trace.thread with
          | Some ts -> ts.finalized <- true
          | None -> ())
-     | Trace.Speculate _ | Trace.Check _ | Trace.Barrier _ | Trace.Spill _
+     | Trace.Spill _ -> (
+       match emitter t r with
+       | Some ts -> ts.spills_seen <- ts.spills_seen + 1
+       | None -> ())
+     | Trace.Speculate _ | Trace.Check _ | Trace.Barrier _ | Trace.Park _
      | Trace.Frame _ | Trace.Sched _ | Trace.Run_end ->
        ());
   remember t r

@@ -19,7 +19,7 @@
      at the rollback, so the split needs no replay here — and both are
      booked to the thread's fork point and to its rank;
    - main-thread [Charge]s feed rank 0 (the main thread never retires);
-   - [Validate {ok = false; addr}] and [Spill {addr}] build the
+   - [Validate {ok = false; addr}] and [Park]/[Spill {addr}] build the
      per-address conflict histograms. *)
 
 (* --- per-fork-point state ------------------------------------------- *)
@@ -202,7 +202,10 @@ let feed a (r : Trace.record) =
   | Trace.Validate { ok = false; addr = Some addr; _ } ->
     let h = addr_of a addr in
     h.h_conflicts <- h.h_conflicts + 1
-  | Trace.Spill { addr } ->
+  | Trace.Park { addr } | Trace.Spill { addr } ->
+    (* parks and spill-tier insertions both mark a capacity-pressured
+       word; old traces' "spill" records (parks, at the time) read back
+       as [Spill] and land in the same histogram *)
     let h = addr_of a addr in
     h.h_spills <- h.h_spills + 1
   | Trace.Run_end -> a.g_runtime <- r.Trace.time

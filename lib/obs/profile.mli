@@ -41,7 +41,9 @@ val wasted_ratio : point_stat -> float
 type hot_addr = {
   addr : int;  (** word address *)
   conflicts : int;  (** failed validations first-conflicting here *)
-  spills : int;  (** hash-conflict spills parked here *)
+  spills : int;
+      (** capacity pressure here: hash-conflict parks plus spill-tier
+          insertions (old traces' "spill" records included) *)
 }
 
 type rank_util = {

@@ -32,6 +32,7 @@ type t = {
   forks : int;
   commits : int;
   rollbacks : int;
+  parks : int;
   spills : int;
   overflows : int;
   events : int;
@@ -136,6 +137,7 @@ let of_records records =
   let forks = ref 0 in
   let commits = ref 0 in
   let rollbacks = ref 0 in
+  let parks = ref 0 in
   let spills = ref 0 in
   let overflows = ref 0 in
   let events = ref 0 in
@@ -149,8 +151,9 @@ let of_records records =
         spec_runtime := !spec_runtime +. rt;
         if committed then incr commits else incr rollbacks
       | Trace.Fork _ -> incr forks
+      | Trace.Park _ -> incr parks
       | Trace.Spill _ -> incr spills
-      | Trace.Overflow -> incr overflows
+      | Trace.Overflow _ -> incr overflows
       | Trace.Run_end -> runtime := r.Trace.time
       | _ -> ())
     records;
@@ -171,6 +174,7 @@ let of_records records =
     forks = !forks;
     commits = !commits;
     rollbacks = !rollbacks;
+    parks = !parks;
     spills = !spills;
     overflows = !overflows;
     events = !events;
@@ -277,8 +281,9 @@ let pp fmt r =
     "trace: %d events, runtime %.0f cycles, %d forks, %d commits, %d \
      rollbacks@."
     r.events r.runtime r.forks r.commits r.rollbacks;
-  if r.spills > 0 || r.overflows > 0 then
-    Format.fprintf fmt "buffer: %d hash-conflict spills, %d overflows@."
+  if r.parks > 0 || r.spills > 0 || r.overflows > 0 then
+    Format.fprintf fmt
+      "buffer: %d hash-conflict parks, %d spills, %d overflows@." r.parks
       r.spills r.overflows;
   Format.fprintf fmt
     "critical path breakdown (Fig. 8), runtime %.0f cycles:@." r.runtime;

@@ -18,7 +18,11 @@ type t = {
   forks : int;
   commits : int;
   rollbacks : int;
-  spills : int;  (** GlobalBuffer hash-conflict spills *)
+  parks : int;  (** GlobalBuffer hash-conflict parks (temporary buffer) *)
+  spills : int;
+      (** GlobalBuffer spill-tier insertions; traces written before the
+          spill tier existed count their park events here (the old
+          "spill" wire name reads back as [Trace.Spill]) *)
   overflows : int;
   events : int;  (** total records folded *)
 }

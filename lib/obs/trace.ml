@@ -53,7 +53,12 @@ type event =
          can be attributed to the speculation decision that caused
          them; -1 in traces from older versions *)
   | Nosync of { point : int } (* this thread's subtree was abandoned *)
-  | Overflow (* GlobalBuffer overflow; a Rollback record follows *)
+  | Overflow of { spill_cap : int }
+    (* GlobalBuffer overflow-region exhaustion; a Rollback record
+       follows.  [spill_cap] is the spill tier's capacity when the tier
+       was enabled (so the oracle can check the tier really filled
+       first); -1 for spill-off overflows, injected overflows, and
+       traces from older versions *)
   | Join of { child : int; committed : bool } (* parent-side verdict *)
   | Barrier of { counter : int }
   | Retire of { committed : bool; runtime : float; stats : (string * float) list }
@@ -62,7 +67,10 @@ type event =
   | Charge of { category : string; cost : float }
       (* virtual time charged to one accounting category; the stream of
          charges is what Report folds into the Fig. 8/9 breakdowns *)
-  | Spill of { addr : int } (* GlobalBuffer hash conflict parked in temp *)
+  | Park of { addr : int }
+    (* GlobalBuffer hash conflict parked in the temporary buffer (the
+       event older traces called "spill") *)
+  | Spill of { addr : int } (* GlobalBuffer spill-tier insertion *)
   | Frame of { push : bool; depth : int } (* LocalBuffer frame tracking *)
   | Sched of { what : string; info : int } (* engine-level scheduling *)
   | Run_end (* the non-speculative thread finished *)
@@ -83,11 +91,12 @@ let event_name = function
   | Commit _ -> "commit"
   | Rollback _ -> "rollback"
   | Nosync _ -> "nosync"
-  | Overflow -> "overflow"
+  | Overflow _ -> "overflow"
   | Join _ -> "join"
   | Barrier _ -> "barrier"
   | Retire _ -> "retire"
   | Charge _ -> "charge"
+  | Park _ -> "park"
   | Spill _ -> "spill"
   | Frame _ -> "frame"
   | Sched _ -> "sched"
@@ -120,7 +129,11 @@ let args_of_event ev : (string * Json.t) list =
     [ ("reason", Json.Str (rollback_reason_to_string reason));
       ("point", Json.Num (float_of_int point)) ]
   | Nosync { point } -> [ ("point", Json.Num (float_of_int point)) ]
-  | Overflow -> []
+  | Overflow { spill_cap } ->
+    (* [spill_cap] is emitted only when a spill tier was in force, so
+       spill-off traces keep the pre-spill wire format byte for byte *)
+    if spill_cap > 0 then [ ("spill_cap", Json.Num (float_of_int spill_cap)) ]
+    else []
   | Join { child; committed } ->
     [ ("child", Json.Num (float_of_int child)); ("committed", Json.Bool committed) ]
   | Barrier { counter } -> [ ("counter", Json.Num (float_of_int counter)) ]
@@ -130,6 +143,7 @@ let args_of_event ev : (string * Json.t) list =
       ("stats", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) stats)) ]
   | Charge { category; cost } ->
     [ ("category", Json.Str category); ("cost", Json.Num cost) ]
+  | Park { addr } -> [ ("addr", Json.Num (float_of_int addr)) ]
   | Spill { addr } -> [ ("addr", Json.Num (float_of_int addr)) ]
   | Frame { push; depth } ->
     [ ("push", Json.Bool push); ("depth", Json.Num (float_of_int depth)) ]
@@ -185,7 +199,13 @@ let event_of_json name args =
             | None -> -1) }
     | None -> schema_error "unknown rollback reason %S" (str "reason"))
   | "nosync" -> Nosync { point = int "point" }
-  | "overflow" -> Overflow
+  | "overflow" ->
+    (* [spill_cap] is absent in spill-off and older traces: default *)
+    Overflow
+      { spill_cap =
+          (match Option.bind (Json.member "spill_cap" args) Json.to_int with
+          | Some c -> c
+          | None -> -1) }
   | "join" -> Join { child = int "child"; committed = bool "committed" }
   | "barrier" -> Barrier { counter = int "counter" }
   | "retire" ->
@@ -199,6 +219,7 @@ let event_of_json name args =
     in
     Retire { committed = bool "committed"; runtime = float "runtime"; stats }
   | "charge" -> Charge { category = str "category"; cost = float "cost" }
+  | "park" -> Park { addr = int "addr" }
   | "spill" -> Spill { addr = int "addr" }
   | "frame" -> Frame { push = bool "push"; depth = int "depth" }
   | "sched" -> Sched { what = str "what"; info = int "info" }
@@ -313,7 +334,8 @@ let pretty_line r =
     | Rollback { reason; point } ->
       Printf.sprintf "%s point=%d" (rollback_reason_to_string reason) point
     | Nosync { point } -> Printf.sprintf "point=%d" point
-    | Overflow -> ""
+    | Overflow { spill_cap } ->
+      if spill_cap > 0 then Printf.sprintf "spill_cap=%d" spill_cap else ""
     | Join { child; committed } ->
       Printf.sprintf "child=%d %s" child (if committed then "COMMIT" else "ROLLBACK")
     | Barrier { counter } -> Printf.sprintf "counter=%d" counter
@@ -325,6 +347,7 @@ let pretty_line r =
                 if v > 0.0 then Some (Printf.sprintf "%s=%.0f" k v) else None)
               stats))
     | Charge { category; cost } -> Printf.sprintf "%s +%.1f" category cost
+    | Park { addr } -> Printf.sprintf "addr=0x%x" addr
     | Spill { addr } -> Printf.sprintf "addr=0x%x" addr
     | Frame { push; depth } ->
       Printf.sprintf "%s depth=%d" (if push then "push" else "pop") depth

@@ -40,7 +40,13 @@ type event =
           traces written before the enrichment), attributing every
           rollback to the speculation decision that caused it *)
   | Nosync of { point : int }
-  | Overflow  (** GlobalBuffer overflow; a [Rollback] record follows *)
+  | Overflow of { spill_cap : int }
+      (** GlobalBuffer overflow-region exhaustion; a [Rollback] record
+          follows.  [spill_cap] is the spill tier's capacity when the
+          tier was enabled (emitted on the wire only then, so spill-off
+          traces keep the old byte format); [-1] for spill-off
+          overflows, injected overflows, and traces written before the
+          spill tier existed *)
   | Join of { child : int; committed : bool }  (** parent-side verdict *)
   | Barrier of { counter : int }
   | Retire of { committed : bool; runtime : float; stats : (string * float) list }
@@ -49,8 +55,13 @@ type event =
       (** virtual time charged to one accounting category; the stream
           of charges is what {!Report} folds into the paper's Fig. 8/9
           execution breakdowns *)
+  | Park of { addr : int }
+      (** GlobalBuffer hash conflict parked in the temporary buffer —
+          the event traces written before the spill tier called
+          "spill" (old files still read back as [Spill]) *)
   | Spill of { addr : int }
-      (** GlobalBuffer hash conflict parked in the temporary buffer *)
+      (** GlobalBuffer spill-tier insertion: the access was absorbed at
+          a latency penalty instead of parking or overflowing *)
   | Frame of { push : bool; depth : int }  (** LocalBuffer frame tracking *)
   | Sched of { what : string; info : int }  (** engine-level scheduling *)
   | Run_end  (** the non-speculative thread finished *)

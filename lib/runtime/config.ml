@@ -116,6 +116,65 @@ module Policy = struct
         p.min_samples
 end
 
+(* --- speculative buffer geometry --------------------------------------- *)
+
+(* Structured replacement for the flat [buffer_slots]/[temp_slots]
+   knobs, mirroring the [Policy] pattern: one sub-record describing the
+   whole memory-system geometry — home-map sharding, the graceful spill
+   tier, and bulk line granularity — built through a smart constructor
+   and validated with the rest of the configuration.  The legacy flat
+   fields survive as deprecated shims that [effective_buffers] folds
+   in, so existing callers compile (and behave) unchanged. *)
+
+module Buffers = struct
+  type t = {
+    slots : int; (* total home-map slots (power of two);
+                    0 = inherit the deprecated flat [buffer_slots] *)
+    temp_slots : int; (* park-buffer entries for hash conflicts;
+                         -1 = inherit the deprecated flat [temp_slots] *)
+    shards : int; (* power-of-two shard count; address ranges interleave
+                     across shards at line granularity *)
+    spill_slots : int; (* spill-tier capacity (power of two); 0 turns the
+                          tier off and restores park-then-Overflow *)
+    line_words : int; (* bulk validate/commit granularity in words:
+                         1 = per-word (seed), 8 = 64-byte lines *)
+  }
+
+  let default =
+    { slots = 0; temp_slots = -1; shards = 1; spill_slots = 0; line_words = 1 }
+
+  let make ?(slots = default.slots) ?(temp_slots = default.temp_slots)
+      ?(shards = default.shards) ?(spill_slots = default.spill_slots)
+      ?(line_words = default.line_words) () =
+    { slots; temp_slots; shards; spill_slots; line_words }
+
+  let fail fmt = Printf.ksprintf invalid_arg fmt
+
+  let power_of_two n = n >= 1 && n land (n - 1) = 0
+
+  (* Validates a RESOLVED record (after [effective_buffers]): the
+     inherit sentinels 0/-1 are gone by then. *)
+  let validate b =
+    if not (power_of_two b.slots) then
+      fail "Config.Buffers.slots must be a positive power of two (got %d)"
+        b.slots;
+    if b.temp_slots < 0 then
+      fail "Config.Buffers.temp_slots must be non-negative (got %d)"
+        b.temp_slots;
+    if not (power_of_two b.shards) then
+      fail "Config.Buffers.shards must be a positive power of two (got %d)"
+        b.shards;
+    if b.shards > b.slots then
+      fail "Config.Buffers.shards must not exceed slots (got %d > %d)"
+        b.shards b.slots;
+    if b.spill_slots <> 0 && not (power_of_two b.spill_slots) then
+      fail "Config.Buffers.spill_slots must be 0 or a positive power of two \
+            (got %d)"
+        b.spill_slots;
+    if b.line_words <> 1 && b.line_words <> 8 then
+      fail "Config.Buffers.line_words must be 1 or 8 (got %d)" b.line_words
+end
+
 type cost = {
   instr : float; (* base cost of one IR instruction *)
   mem : float; (* additional cost of an unbuffered load/store *)
@@ -130,6 +189,8 @@ type cost = {
   check_point : float; (* polling the sync flag *)
   sync_fixed : float; (* fixed synchronization handshake cost *)
   call : float; (* function call/return overhead *)
+  spill : float; (* latency penalty per spill-tier insertion: the price
+                    of a capacity miss that no longer squashes *)
 }
 
 let default_cost =
@@ -147,6 +208,7 @@ let default_cost =
     check_point = 0.1;
     sync_fixed = 50.0;
     call = 4.0;
+    spill = 20.0;
   }
 
 type t = {
@@ -184,6 +246,10 @@ type t = {
                           [effective_policy] when policy.degrade_after
                           is 0 *)
   policy : Policy.t; (* the fork-decision strategy; see Config.Policy *)
+  buffers : Buffers.t; (* the memory-system geometry; see Config.Buffers.
+                          The flat [buffer_slots]/[temp_slots] above are
+                          DEPRECATED shims folded in by
+                          [effective_buffers] *)
 }
 
 let default =
@@ -205,6 +271,7 @@ let default =
     backoff = false;
     degrade_after = 0;
     policy = Policy.default;
+    buffers = Buffers.default;
   }
 
 (* The policy actually in force: the structured sub-record with the
@@ -218,6 +285,21 @@ let effective_policy t =
     degrade_after =
       (if t.policy.Policy.degrade_after > 0 then t.policy.Policy.degrade_after
        else t.degrade_after);
+  }
+
+(* The buffer geometry actually in force: the structured sub-record
+   with the deprecated flat fields folded in.  Flat [buffer_slots]
+   applies while the structured [slots] is 0 (its inherit sentinel);
+   flat [temp_slots] applies while structured [temp_slots] is -1. *)
+let effective_buffers t =
+  {
+    t.buffers with
+    Buffers.slots =
+      (if t.buffers.Buffers.slots > 0 then t.buffers.Buffers.slots
+       else t.buffer_slots);
+    temp_slots =
+      (if t.buffers.Buffers.temp_slots >= 0 then t.buffers.Buffers.temp_slots
+       else t.temp_slots);
   }
 
 (* --- validation ------------------------------------------------------- *)
@@ -239,7 +321,7 @@ let check_cost (c : cost) =
       ("per_local", c.per_local); ("validate_word", c.validate_word);
       ("commit_word", c.commit_word); ("finalize_word", c.finalize_word);
       ("check_point", c.check_point); ("sync_fixed", c.sync_fixed);
-      ("call", c.call) ]
+      ("call", c.call); ("spill", c.spill) ]
 
 let validate t =
   if t.ncpus < 1 then fail "Config.ncpus must be >= 1 (got %d)" t.ncpus;
@@ -258,5 +340,6 @@ let validate t =
   if t.degrade_after < 0 then
     fail "Config.degrade_after must be non-negative (got %d)" t.degrade_after;
   Policy.validate t.policy;
+  Buffers.validate (effective_buffers t);
   check_cost t.cost;
   match t.fault with None -> () | Some plan -> Fault.validate_plan plan

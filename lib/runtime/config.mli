@@ -86,6 +86,58 @@ module Policy : sig
   (** @raise Invalid_argument on the first violated constraint. *)
 end
 
+(** Structured memory-system geometry: home-map sharding, the graceful
+    spill tier and bulk line granularity of the speculative
+    GlobalBuffer (see {!Mutls_runtime.Global_buffer}).  Replaces the
+    deprecated flat [buffer_slots] / [temp_slots] fields of {!t}, which
+    remain as shims folded in by {!effective_buffers}. *)
+module Buffers : sig
+  type t = {
+    slots : int;
+        (** total home-map slots, a power of two, split evenly across
+            the shards; [0] (the default) inherits the deprecated flat
+            [buffer_slots] *)
+    temp_slots : int;
+        (** park-buffer entries absorbing hash conflicts when the spill
+            tier is off; [-1] (the default) inherits the deprecated
+            flat [temp_slots] *)
+    shards : int;
+        (** power-of-two shard count; address ranges interleave across
+            shards at 64-byte line granularity, each shard keeping its
+            own last-slot read and write caches *)
+    spill_slots : int;
+        (** spill-tier capacity, a power of two: an associative
+            overflow region that absorbs hash conflicts at a traced
+            latency penalty instead of parking or raising, with
+            [Global_buffer.Overflow] reserved for true tier
+            exhaustion.  [0] (the default) turns the tier off and
+            restores the seed park-then-[Overflow] behaviour *)
+    line_words : int;
+        (** bulk validate/commit granularity in words: [1] processes
+            the insertion-order stack per word (seed behaviour), [8]
+            validates and commits fully-resident 64-byte lines with
+            whole-line mark checks *)
+  }
+
+  val default : t
+  (** Inherit the flat fields, one shard, spill tier off, per-word
+      validate/commit — the seed behaviour. *)
+
+  val make :
+    ?slots:int ->
+    ?temp_slots:int ->
+    ?shards:int ->
+    ?spill_slots:int ->
+    ?line_words:int ->
+    unit ->
+    t
+
+  val validate : t -> unit
+  (** Validates a resolved record (after {!effective_buffers} folded
+      the inherit sentinels away).
+      @raise Invalid_argument on the first violated constraint. *)
+end
+
 (** Virtual-cycle costs of the runtime's operations. *)
 type cost = {
   instr : float;  (** base cost of one IR instruction *)
@@ -101,6 +153,9 @@ type cost = {
   check_point : float;  (** polling the sync flag *)
   sync_fixed : float;  (** fixed synchronization handshake cost *)
   call : float;  (** function call/return overhead *)
+  spill : float;
+      (** latency penalty per spill-tier insertion — the price of a
+          GlobalBuffer capacity miss that no longer squashes *)
 }
 
 val default_cost : cost
@@ -151,6 +206,10 @@ type t = {
   policy : Policy.t;
       (** the fork-decision strategy; [Policy.default] (static, no
           backoff, no degrade) preserves seed behaviour and traces *)
+  buffers : Buffers.t;
+      (** the memory-system geometry; [Buffers.default] (one shard,
+          spill tier off, per-word bulk granularity, sizes inherited
+          from the flat fields) preserves seed behaviour and traces *)
 }
 
 val default : t
@@ -160,6 +219,13 @@ val effective_policy : t -> Policy.t
     [backoff]/[degrade_after] fields folded in (flat [backoff] ORs in;
     flat [degrade_after] applies only when the structured field is 0).
     [Thread_manager.create] instantiates its engine from this. *)
+
+val effective_buffers : t -> Buffers.t
+(** The buffer geometry actually in force: [t.buffers] with the
+    deprecated flat [buffer_slots]/[temp_slots] fields folded in (each
+    flat field applies while the structured one is left at its inherit
+    sentinel, [0] for [slots] and [-1] for [temp_slots]).
+    [Thread_manager.create] sizes every GlobalBuffer from this. *)
 
 val validate : t -> unit
 (** Reject malformed configurations up front — [ncpus >= 1],

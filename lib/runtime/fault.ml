@@ -4,7 +4,7 @@
    to a subtree, buffers cleared on commit/rollback, NOSYNC mismatches
    popped safely — needs the runtime's failure paths exercised on
    demand, not just when a benchmark happens to hit them.  A [t] is a
-   seed-driven injector consulted by the ThreadManager at five
+   seed-driven injector consulted by the ThreadManager at six
    well-defined sites; every injected fault maps onto a failure path
    the runtime already has to survive (forced validation failure,
    buffer overflow, poisoned locals, NOSYNC join, fork denial), so a
@@ -22,8 +22,11 @@ type site =
   | Spurious_rollback (* poison a thread's locals at a check point *)
   | Nosync_join (* treat the matching child as a mismatch at a join *)
   | Fork_denial (* make MUTLS_get_CPU return 0 despite an idle CPU *)
+  | Spill_exhaust
+    (* Buffer_overflow's spill-tier target: force spill-tier exhaustion
+       on a buffered access while the tier is enabled *)
 
-let n_sites = 5
+let n_sites = 6
 
 let site_index = function
   | Validation_failure -> 0
@@ -31,6 +34,7 @@ let site_index = function
   | Spurious_rollback -> 2
   | Nosync_join -> 3
   | Fork_denial -> 4
+  | Spill_exhaust -> 5
 
 let site_name = function
   | Validation_failure -> "validation-failure"
@@ -38,6 +42,7 @@ let site_name = function
   | Spurious_rollback -> "spurious-rollback"
   | Nosync_join -> "nosync-join"
   | Fork_denial -> "fork-denial"
+  | Spill_exhaust -> "spill-exhaust"
 
 let site_of_name = function
   | "validation-failure" -> Some Validation_failure
@@ -45,11 +50,12 @@ let site_of_name = function
   | "spurious-rollback" -> Some Spurious_rollback
   | "nosync-join" -> Some Nosync_join
   | "fork-denial" -> Some Fork_denial
+  | "spill-exhaust" -> Some Spill_exhaust
   | _ -> None
 
 let all_sites =
   [ Validation_failure; Buffer_overflow; Spurious_rollback; Nosync_join;
-    Fork_denial ]
+    Fork_denial; Spill_exhaust ]
 
 (* Per-site injection probabilities, each applied once per occurrence
    of the site (per validation, per buffered access, per stopping check
@@ -60,10 +66,12 @@ type plan = {
   spurious : float;
   nosync : float;
   deny : float;
+  spill_exhaust : float;
 }
 
 let none =
-  { validation = 0.0; overflow = 0.0; spurious = 0.0; nosync = 0.0; deny = 0.0 }
+  { validation = 0.0; overflow = 0.0; spurious = 0.0; nosync = 0.0; deny = 0.0;
+    spill_exhaust = 0.0 }
 
 let rate plan = function
   | Validation_failure -> plan.validation
@@ -71,6 +79,7 @@ let rate plan = function
   | Spurious_rollback -> plan.spurious
   | Nosync_join -> plan.nosync
   | Fork_denial -> plan.deny
+  | Spill_exhaust -> plan.spill_exhaust
 
 let is_none plan = List.for_all (fun s -> rate plan s = 0.0) all_sites
 

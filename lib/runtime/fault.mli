@@ -1,7 +1,7 @@
 (** Deterministic fault injection for the TLS runtime.
 
     A {!t} is a seed-driven injector consulted by the ThreadManager at
-    five well-defined sites.  Every injected fault maps onto a failure
+    six well-defined sites.  Every injected fault maps onto a failure
     path the runtime must survive anyway — a forced validation failure,
     a GlobalBuffer overflow, poisoned locals (stale-local rollback at
     the next validation), a NOSYNC'd join, a denied fork — so a run
@@ -28,6 +28,10 @@ type site =
       (** treat the matching child as a mismatch at a join, NOSYNCing
           its subtree (the parent re-executes the region) *)
   | Fork_denial  (** make MUTLS_get_CPU return 0 despite an idle CPU *)
+  | Spill_exhaust
+      (** {!Buffer_overflow}'s spill-tier target: force spill-tier
+          exhaustion on a buffered access while the tier is enabled
+          (ignored at the seed geometry, where the tier is off) *)
 
 val all_sites : site list
 val site_name : site -> string
@@ -41,6 +45,8 @@ type plan = {
   spurious : float;  (** per stopping check point *)
   nosync : float;  (** per matched join *)
   deny : float;  (** per otherwise-possible fork *)
+  spill_exhaust : float;
+      (** per buffered access, spill tier enabled (0 elsewhere) *)
 }
 
 val none : plan

@@ -5,14 +5,33 @@
    paper describes: static memory only, a [buffer] byte array of WORD
    multiples, an [addresses] word-pointer array and an [offsets] stack
    (so validation/commit/finalization of threads touching little data
-   stay fast), plus a [mark] byte array for sub-word writes and a small
-   temporary buffer for hash conflicts. *)
+   stay fast), plus a [mark] byte array for sub-word writes.
+
+   On top of the paper's design, three pressure-resilience layers, all
+   off by default (Config.Buffers.default reproduces the seed
+   behaviour bit-for-bit):
+
+   - sharding: the read and write sets split into [shards] maps with
+     address ranges interleaved at 64-byte line granularity, each
+     shard keeping its own last-slot caches, so occupancy hot spots in
+     distinct ranges stop colliding;
+   - a spill tier: when enabled it replaces the fixed temporary park
+     buffer with a bounded associative overflow region that still
+     participates in validate/commit/finalize — a full home slot
+     spills the entry (the caller charges a latency penalty) instead
+     of parking-then-raising, and [Overflow] is reserved for true
+     spill-tier exhaustion;
+   - line-granular bulk validate/commit: fully-resident 64-byte lines
+     are validated and (when fully marked) committed eight words at a
+     time, extending the whole-word mark trick. *)
 
 let word = 8
 let word_mask = lnot 7
 
 exception Overflow
-(* Temporary buffer exhausted: the speculative thread must roll back. *)
+(* Overflow region exhausted — the fixed temporary buffer when the
+   spill tier is off, the spill tier itself when it is on: the
+   speculative thread must roll back. *)
 
 type map = {
   nslots : int; (* power of two *)
@@ -21,6 +40,9 @@ type map = {
   marks : Bytes.t; (* 0xFF per written byte (write set only) *)
   offsets : int array; (* stack of occupied slots *)
   mutable count : int;
+  line_gen : int array; (* line mode: per-slot-group bulk-walk stamps
+                           (empty when line_words = 1) *)
+  mutable stamp : int; (* line mode: current bulk-walk generation *)
 }
 
 type temp_entry = {
@@ -30,31 +52,54 @@ type temp_entry = {
   t_is_read : bool; (* fetched for a read: participates in validation *)
 }
 
+(* The spill tier: an open-addressed, linear-probed map with full mark
+   bytes and a read-origin flag per slot.  Entries are only cleared
+   wholesale in [finalize], so probing never has to handle
+   deletions. *)
+type spill = {
+  s_nslots : int; (* power of two; 0 = tier disabled *)
+  s_data : Bytes.t;
+  s_marks : Bytes.t;
+  s_addrs : int array; (* 0 = empty *)
+  s_read : Bytes.t; (* '\001' = read-origin: participates in validation *)
+  s_offsets : int array;
+  mutable s_count : int;
+}
+
 type t = {
-  read_set : map;
-  write_set : map;
+  shards : int; (* power of two *)
+  shard_mask : int;
+  line_words : int; (* 1 = per-word walks (seed); 8 = 64-byte lines *)
+  read_sets : map array; (* one per shard *)
+  write_sets : map array;
   temp : temp_entry option array;
   mutable temp_count : int;
+  spill : spill;
   mutable conflict_pending : bool; (* ask to be joined at next check point *)
-  mutable on_spill : (int -> unit) option;
+  mutable parks : int; (* cumulative temp-buffer parks *)
+  mutable spills : int; (* cumulative spill-tier insertions *)
+  mutable on_park : (int -> unit) option;
   (* Observability hook: called with the word address whenever a hash
      conflict parks an entry in the temporary buffer.  Installed by the
      ThreadManager when tracing is on (pooled buffers serve successive
      threads, so it is re-bound per occupant). *)
-  (* Last-slot cache: loops re-touch the same word, so remembering the
-     last hit skips the probe sequence entirely.  [c_waddr]/[c_wslot]
-     name a write-set entry (which shadows everything until
-     [finalize]); [c_raddr]/[c_rslot] name a read-set entry and are
-     only valid while the word has no write-set or temp entry — any
-     write to the word invalidates them.  0 = empty, like
-     [addresses]. *)
-  mutable c_waddr : int;
-  mutable c_wslot : int;
-  mutable c_raddr : int;
-  mutable c_rslot : int;
+  mutable on_spill : (int -> unit) option;
+  (* Same, for real spill-tier insertions (only fires when the tier is
+     enabled). *)
+  (* Per-shard last-slot caches: loops re-touch the same word, so
+     remembering the last hit skips the probe sequence entirely.
+     [c_waddr]/[c_wslot] name a write-set entry (which shadows
+     everything until [finalize]); [c_raddr]/[c_rslot] name a read-set
+     entry and are only valid while the word has no write-set or
+     overflow entry — any write to the word invalidates them.  0 =
+     empty, like [addresses]. *)
+  c_waddr : int array;
+  c_wslot : int array;
+  c_raddr : int array;
+  c_rslot : int array;
 }
 
-let make_map nslots =
+let make_map ~line_words nslots =
   {
     nslots;
     buffer = Bytes.make (nslots * word) '\000';
@@ -62,25 +107,65 @@ let make_map nslots =
     marks = Bytes.make (nslots * word) '\000';
     offsets = Array.make nslots 0;
     count = 0;
+    line_gen =
+      (if line_words > 1 && nslots >= line_words then
+         Array.make (nslots / line_words) 0
+       else [||]);
+    stamp = 0;
   }
 
-let create ~slots ~temp_slots =
+let make_spill nslots =
+  {
+    s_nslots = nslots;
+    s_data = Bytes.make (nslots * word) '\000';
+    s_marks = Bytes.make (nslots * word) '\000';
+    s_addrs = Array.make nslots 0;
+    s_read = Bytes.make nslots '\000';
+    s_offsets = Array.make nslots 0;
+    s_count = 0;
+  }
+
+let create ?(shards = 1) ?(spill_slots = 0) ?(line_words = 1) ~slots
+    ~temp_slots () =
   if slots land (slots - 1) <> 0 then
     invalid_arg "Global_buffer.create: slots must be a power of two";
+  if shards < 1 || shards land (shards - 1) <> 0 then
+    invalid_arg "Global_buffer.create: shards must be a power of two";
+  if shards > slots then
+    invalid_arg "Global_buffer.create: shards must not exceed slots";
+  if spill_slots <> 0 && (spill_slots < 1 || spill_slots land (spill_slots - 1) <> 0)
+  then invalid_arg "Global_buffer.create: spill_slots must be 0 or a power of two";
+  if line_words <> 1 && line_words <> 8 then
+    invalid_arg "Global_buffer.create: line_words must be 1 or 8";
+  let per_shard = slots / shards in
   {
-    read_set = make_map slots;
-    write_set = make_map slots;
+    shards;
+    shard_mask = shards - 1;
+    line_words;
+    read_sets = Array.init shards (fun _ -> make_map ~line_words per_shard);
+    write_sets = Array.init shards (fun _ -> make_map ~line_words per_shard);
     temp = Array.make temp_slots None;
     temp_count = 0;
+    spill = make_spill spill_slots;
     conflict_pending = false;
+    parks = 0;
+    spills = 0;
+    on_park = None;
     on_spill = None;
-    c_waddr = 0;
-    c_wslot = 0;
-    c_raddr = 0;
-    c_rslot = 0;
+    c_waddr = Array.make shards 0;
+    c_wslot = Array.make shards 0;
+    c_raddr = Array.make shards 0;
+    c_rslot = Array.make shards 0;
   }
 
+let set_park_hook t hook = t.on_park <- hook
 let set_spill_hook t hook = t.on_spill <- hook
+
+(* Shard selection: 64-byte lines interleave across shards, so any
+   dense hot region spreads evenly and strided streams that would pile
+   into one home slot fan out by their line bits.  One shard (the
+   default) makes this the identity. *)
+let shard_of t np = (np lsr 6) land t.shard_mask
 
 (* Efficient hash: low bits of the word address (paper §IV-G2). *)
 let slot_of m np = (np lsr 3) land (m.nslots - 1)
@@ -118,7 +203,45 @@ let add_temp t entry =
   t.temp.(t.temp_count) <- Some entry;
   t.temp_count <- t.temp_count + 1;
   t.conflict_pending <- true;
-  match t.on_spill with None -> () | Some f -> f entry.t_addr
+  t.parks <- t.parks + 1;
+  match t.on_park with None -> () | Some f -> f entry.t_addr
+
+(* --- spill tier ----------------------------------------------------- *)
+
+let spill_enabled t = t.spill.s_nslots > 0
+let spill_capacity t = t.spill.s_nslots
+let spill_size t = t.spill.s_count
+
+(* Probe slot of [np], or -1 when absent.  The table never deletes
+   mid-run, so the probe chain is empty-terminated unless the table is
+   full — then the probe count bounds the scan. *)
+let find_spill_slot s np =
+  let mask = s.s_nslots - 1 in
+  let rec go i probes =
+    if probes >= s.s_nslots then -1
+    else
+      let a = s.s_addrs.(i) in
+      if a = 0 then -1
+      else if a = np then i
+      else go ((i + 1) land mask) (probes + 1)
+  in
+  go ((np lsr 3) land mask) 0
+
+(* Insert a fresh entry for [np] and return its slot.
+   @raise Overflow on true tier exhaustion. *)
+let spill_insert t np ~is_read =
+  let s = t.spill in
+  if s.s_count >= s.s_nslots then raise Overflow;
+  let mask = s.s_nslots - 1 in
+  let rec free i = if s.s_addrs.(i) = 0 then i else free ((i + 1) land mask) in
+  let i = free ((np lsr 3) land mask) in
+  s.s_addrs.(i) <- np;
+  if is_read then Bytes.set s.s_read i '\001';
+  s.s_offsets.(s.s_count) <- i;
+  s.s_count <- s.s_count + 1;
+  t.spills <- t.spills + 1;
+  (match t.on_spill with None -> () | Some f -> f np);
+  i
 
 (* --- byte-level helpers -------------------------------------------- *)
 
@@ -154,42 +277,58 @@ let read t (mem : Memio.t) p size =
   if p land (size - 1) <> 0 then invalid_arg "Global_buffer.read: alignment";
   let np = p land word_mask in
   let off = p land (word - 1) in
-  if np = t.c_waddr then
-    (get_sized t.write_set.buffer ((t.c_wslot * word) + off) size, true)
-  else if np = t.c_raddr then
-    (get_sized t.read_set.buffer ((t.c_rslot * word) + off) size, true)
+  let s = shard_of t np in
+  if np = t.c_waddr.(s) then
+    (get_sized t.write_sets.(s).buffer ((t.c_wslot.(s) * word) + off) size, true)
+  else if np = t.c_raddr.(s) then
+    (get_sized t.read_sets.(s).buffer ((t.c_rslot.(s) * word) + off) size, true)
   else
-    match lookup t.write_set np with
+    match lookup t.write_sets.(s) np with
     | Hit i ->
-      t.c_waddr <- np;
-      t.c_wslot <- i;
-      (get_sized t.write_set.buffer ((i * word) + off) size, true)
+      t.c_waddr.(s) <- np;
+      t.c_wslot.(s) <- i;
+      (get_sized t.write_sets.(s).buffer ((i * word) + off) size, true)
     | Empty _ | Conflict -> (
-      (* A write that hash-conflicted earlier may live in the temporary
-         buffer; it must shadow a read-set fetch. *)
+      (* A write that hash-conflicted earlier may live in the overflow
+         region (temp park buffer or spill tier); it must shadow a
+         read-set fetch. *)
       match (if t.temp_count = 0 then None else find_temp t np) with
       | Some e -> (get_sized e.t_data off size, true)
       | None -> (
-        match lookup t.read_set np with
-        | Hit i ->
-          t.c_raddr <- np;
-          t.c_rslot <- i;
-          (get_sized t.read_set.buffer ((i * word) + off) size, true)
-        | Empty i ->
-          let w = mem.Memio.read_word np in
-          occupy t.read_set i np;
-          write_word_of t.read_set i w;
-          t.c_raddr <- np;
-          t.c_rslot <- i;
-          (get_sized t.read_set.buffer ((i * word) + off) size, false)
-        | Conflict ->
-          let w = mem.Memio.read_word np in
-          let data = Bytes.make word '\000' in
-          Bytes.set_int64_le data 0 w;
-          add_temp t
-            { t_addr = np; t_data = data; t_mark = Bytes.make word '\000';
-              t_is_read = true };
-          (get_sized data off size, false)))
+        let si =
+          if t.spill.s_count = 0 then -1 else find_spill_slot t.spill np
+        in
+        if si >= 0 then
+          (get_sized t.spill.s_data ((si * word) + off) size, true)
+        else
+          match lookup t.read_sets.(s) np with
+          | Hit i ->
+            t.c_raddr.(s) <- np;
+            t.c_rslot.(s) <- i;
+            (get_sized t.read_sets.(s).buffer ((i * word) + off) size, true)
+          | Empty i ->
+            let w = mem.Memio.read_word np in
+            occupy t.read_sets.(s) i np;
+            write_word_of t.read_sets.(s) i w;
+            t.c_raddr.(s) <- np;
+            t.c_rslot.(s) <- i;
+            (get_sized t.read_sets.(s).buffer ((i * word) + off) size, false)
+          | Conflict ->
+            if spill_enabled t then begin
+              let w = mem.Memio.read_word np in
+              let i = spill_insert t np ~is_read:true in
+              Bytes.set_int64_le t.spill.s_data (i * word) w;
+              (get_sized t.spill.s_data ((i * word) + off) size, false)
+            end
+            else begin
+              let w = mem.Memio.read_word np in
+              let data = Bytes.make word '\000' in
+              Bytes.set_int64_le data 0 w;
+              add_temp t
+                { t_addr = np; t_data = data; t_mark = Bytes.make word '\000';
+                  t_is_read = true };
+              (get_sized data off size, false)
+            end))
 
 (* --- speculative write --------------------------------------------- *)
 
@@ -197,21 +336,22 @@ let write t (mem : Memio.t) p size v =
   if p land (size - 1) <> 0 then invalid_arg "Global_buffer.write: alignment";
   let np = p land word_mask in
   let off = p land (word - 1) in
-  if np = t.c_waddr then begin
-    set_sized t.write_set.buffer ((t.c_wslot * word) + off) size v;
-    set_marks t.write_set.marks ((t.c_wslot * word) + off) size;
+  let s = shard_of t np in
+  if np = t.c_waddr.(s) then begin
+    set_sized t.write_sets.(s).buffer ((t.c_wslot.(s) * word) + off) size v;
+    set_marks t.write_sets.(s).marks ((t.c_wslot.(s) * word) + off) size;
     true
   end
   else begin
-  (* the word is gaining a write-set or temp entry, so a cached
+  (* the word is gaining a write-set or overflow entry, so a cached
      read-set location for it goes stale *)
-  if np = t.c_raddr then t.c_raddr <- 0;
-  match lookup t.write_set np with
+  if np = t.c_raddr.(s) then t.c_raddr.(s) <- 0;
+  match lookup t.write_sets.(s) np with
   | Hit i ->
-    t.c_waddr <- np;
-    t.c_wslot <- i;
-    set_sized t.write_set.buffer ((i * word) + off) size v;
-    set_marks t.write_set.marks ((i * word) + off) size;
+    t.c_waddr.(s) <- np;
+    t.c_wslot.(s) <- i;
+    set_sized t.write_sets.(s).buffer ((i * word) + off) size v;
+    set_marks t.write_sets.(s).marks ((i * word) + off) size;
     true
   | Empty i ->
     (* Fill the slot with the word's current contents so later whole-
@@ -220,32 +360,51 @@ let write t (mem : Memio.t) p size v =
     let fill =
       if size = word then 0L
       else
-        match lookup t.read_set np with
-        | Hit j -> read_word_of t.read_set j
+        match lookup t.read_sets.(s) np with
+        | Hit j -> read_word_of t.read_sets.(s) j
         | Empty _ | Conflict -> mem.Memio.read_word np
     in
-    occupy t.write_set i np;
-    write_word_of t.write_set i fill;
-    t.c_waddr <- np;
-    t.c_wslot <- i;
-    set_sized t.write_set.buffer ((i * word) + off) size v;
-    set_marks t.write_set.marks ((i * word) + off) size;
+    occupy t.write_sets.(s) i np;
+    write_word_of t.write_sets.(s) i fill;
+    t.c_waddr.(s) <- np;
+    t.c_wslot.(s) <- i;
+    set_sized t.write_sets.(s).buffer ((i * word) + off) size v;
+    set_marks t.write_sets.(s).marks ((i * word) + off) size;
     false
   | Conflict -> (
-    match find_temp t np with
+    match (if t.temp_count = 0 then None else find_temp t np) with
     | Some e ->
       set_sized e.t_data off size v;
       set_marks e.t_mark off size;
       true
     | None ->
-      let fill = if size = word then 0L else mem.Memio.read_word np in
-      let data = Bytes.make word '\000' in
-      Bytes.set_int64_le data 0 fill;
-      let mark = Bytes.make word '\000' in
-      set_sized data off size v;
-      set_marks mark off size;
-      add_temp t { t_addr = np; t_data = data; t_mark = mark; t_is_read = false };
-      false)
+      let si =
+        if t.spill.s_count = 0 then -1 else find_spill_slot t.spill np
+      in
+      if si >= 0 then begin
+        set_sized t.spill.s_data ((si * word) + off) size v;
+        set_marks t.spill.s_marks ((si * word) + off) size;
+        true
+      end
+      else if spill_enabled t then begin
+        let fill = if size = word then 0L else mem.Memio.read_word np in
+        let i = spill_insert t np ~is_read:false in
+        Bytes.set_int64_le t.spill.s_data (i * word) fill;
+        set_sized t.spill.s_data ((i * word) + off) size v;
+        set_marks t.spill.s_marks ((i * word) + off) size;
+        false
+      end
+      else begin
+        let fill = if size = word then 0L else mem.Memio.read_word np in
+        let data = Bytes.make word '\000' in
+        Bytes.set_int64_le data 0 fill;
+        let mark = Bytes.make word '\000' in
+        set_sized data off size v;
+        set_marks mark off size;
+        add_temp t
+          { t_addr = np; t_data = data; t_mark = mark; t_is_read = false };
+        false
+      end)
   end
 
 (* --- validation / commit / finalization ---------------------------- *)
@@ -257,31 +416,92 @@ let write t (mem : Memio.t) p size v =
    word that caused them. *)
 exception Invalid_read of int
 
-let validate t (mem : Memio.t) =
-  let checked = ref 0 in
-  let m = t.read_set in
+(* Line mode: an aligned group of [line_words] consecutive slots holds
+   a fully-resident 64-byte line when its first slot carries a
+   64-aligned address and the rest follow word by word (the low-bits
+   hash places consecutive words in consecutive slots, so residency is
+   decidable from the addresses alone). *)
+let line_resident m g0 =
+  let a0 = m.addresses.(g0) in
+  a0 <> 0 && a0 land 63 = 0
+  && (let ok = ref true in
+      for b = 1 to 7 do
+        if m.addresses.(g0 + b) <> a0 + (b * word) then ok := false
+      done;
+      !ok)
+
+let validate_map_words mem m checked =
   for k = 0 to m.count - 1 do
     let i = m.offsets.(k) in
     incr checked;
     if mem.Memio.read_word m.addresses.(i) <> read_word_of m i then
       raise (Invalid_read m.addresses.(i))
+  done
+
+(* Line-granular walk: fully-resident lines validate eight words at a
+   time in address order (stamped so later members of the line skip);
+   partial lines fall back to the per-word path.  The validated word
+   count is identical to the per-word walk, so virtual time does not
+   depend on the granularity. *)
+let validate_map_lines mem m checked =
+  m.stamp <- m.stamp + 1;
+  for k = 0 to m.count - 1 do
+    let i = m.offsets.(k) in
+    let g0 = i land lnot 7 in
+    let li = g0 lsr 3 in
+    if m.line_gen.(li) = m.stamp then () (* line already bulk-validated *)
+    else if line_resident m g0 then begin
+      m.line_gen.(li) <- m.stamp;
+      for j = g0 to g0 + 7 do
+        incr checked;
+        if mem.Memio.read_word m.addresses.(j) <> read_word_of m j then
+          raise (Invalid_read m.addresses.(j))
+      done
+    end
+    else begin
+      incr checked;
+      if mem.Memio.read_word m.addresses.(i) <> read_word_of m i then
+        raise (Invalid_read m.addresses.(i))
+    end
+  done
+
+(* Byte-wise compare of an overflow entry's unmarked bytes: bytes this
+   thread overwrote after fetching are its own and must not be
+   compared against main memory. *)
+let validate_masked mem addr data dpos mark mpos =
+  let cur = mem.Memio.read_word addr in
+  let buf = Bytes.make word '\000' in
+  Bytes.set_int64_le buf 0 cur;
+  for b = 0 to word - 1 do
+    if Bytes.get mark (mpos + b) <> '\xff'
+       && Bytes.get buf b <> Bytes.get data (dpos + b)
+    then raise (Invalid_read addr)
+  done
+
+let validate t (mem : Memio.t) =
+  let checked = ref 0 in
+  let line_mode m = t.line_words > 1 && Array.length m.line_gen > 0 in
+  for s = 0 to t.shards - 1 do
+    let m = t.read_sets.(s) in
+    if line_mode m then validate_map_lines mem m checked
+    else validate_map_words mem m checked
   done;
   Array.iter
     (function
       | Some e when e.t_is_read ->
-        (* Bytes this thread overwrote after fetching are its own and
-           must not be compared against main memory. *)
         incr checked;
-        let cur = mem.Memio.read_word e.t_addr in
-        let buf = Bytes.make word '\000' in
-        Bytes.set_int64_le buf 0 cur;
-        for b = 0 to word - 1 do
-          if Bytes.get e.t_mark b <> '\xff'
-             && Bytes.get buf b <> Bytes.get e.t_data b
-          then raise (Invalid_read e.t_addr)
-        done
+        validate_masked mem e.t_addr e.t_data 0 e.t_mark 0
       | _ -> ())
     t.temp;
+  (let sp = t.spill in
+   for k = 0 to sp.s_count - 1 do
+     let i = sp.s_offsets.(k) in
+     if Bytes.get sp.s_read i = '\001' then begin
+       incr checked;
+       validate_masked mem sp.s_addrs.(i) sp.s_data (i * word) sp.s_marks
+         (i * word)
+     end
+   done);
   !checked
 
 let all_marked mark pos = Bytes.get_int64_le mark pos = -1L
@@ -299,15 +519,53 @@ let commit_word (mem : Memio.t) addr data mark pos =
     mem.Memio.write_word addr (Bytes.get_int64_le buf 0)
   end
 
-(* Write every marked byte of the write set to main memory.  Returns
-   the number of words committed. *)
-let commit t (mem : Memio.t) =
-  let m = t.write_set in
-  let written = ref 0 in
+let commit_map_words mem m written =
   for k = 0 to m.count - 1 do
     let i = m.offsets.(k) in
     incr written;
     commit_word mem m.addresses.(i) m.buffer m.marks (i * word)
+  done
+
+(* Line-granular commit: a fully-resident, fully-marked line commits
+   as eight whole-word stores with a single whole-line mark check;
+   anything less falls back to the per-word path.  The committed word
+   count is identical to the per-word walk. *)
+let commit_map_lines mem m written =
+  m.stamp <- m.stamp + 1;
+  for k = 0 to m.count - 1 do
+    let i = m.offsets.(k) in
+    let g0 = i land lnot 7 in
+    let li = g0 lsr 3 in
+    if m.line_gen.(li) = m.stamp then () (* line already bulk-committed *)
+    else if
+      line_resident m g0
+      && (let full = ref true in
+          for j = g0 to g0 + 7 do
+            if not (all_marked m.marks (j * word)) then full := false
+          done;
+          !full)
+    then begin
+      m.line_gen.(li) <- m.stamp;
+      for j = g0 to g0 + 7 do
+        incr written;
+        mem.Memio.write_word m.addresses.(j) (read_word_of m j)
+      done
+    end
+    else begin
+      incr written;
+      commit_word mem m.addresses.(i) m.buffer m.marks (i * word)
+    end
+  done
+
+(* Write every marked byte of the write set to main memory.  Returns
+   the number of words committed. *)
+let commit t (mem : Memio.t) =
+  let written = ref 0 in
+  let line_mode m = t.line_words > 1 && Array.length m.line_gen > 0 in
+  for s = 0 to t.shards - 1 do
+    let m = t.write_sets.(s) in
+    if line_mode m then commit_map_lines mem m written
+    else commit_map_words mem m written
   done;
   Array.iter
     (function
@@ -322,6 +580,19 @@ let commit t (mem : Memio.t) =
         end
       | None -> ())
     t.temp;
+  (let sp = t.spill in
+   for k = 0 to sp.s_count - 1 do
+     let i = sp.s_offsets.(k) in
+     let is_read = Bytes.get sp.s_read i = '\001' in
+     if
+       (not is_read)
+       || Bytes.exists (fun c -> c = '\xff')
+            (Bytes.sub sp.s_marks (i * word) word)
+     then begin
+       incr written;
+       commit_word mem sp.s_addrs.(i) sp.s_data sp.s_marks (i * word)
+     end
+   done);
   !written
 
 (* Reset both maps for reuse.  Returns the number of slots cleared. *)
@@ -336,17 +607,37 @@ let finalize t =
     m.count <- 0;
     n
   in
-  let n = clear t.read_set + clear t.write_set + t.temp_count in
+  let n = ref t.temp_count in
+  for s = 0 to t.shards - 1 do
+    n := !n + clear t.read_sets.(s)
+  done;
+  for s = 0 to t.shards - 1 do
+    n := !n + clear t.write_sets.(s)
+  done;
+  (let sp = t.spill in
+   for k = 0 to sp.s_count - 1 do
+     let i = sp.s_offsets.(k) in
+     sp.s_addrs.(i) <- 0;
+     Bytes.set sp.s_read i '\000';
+     Bytes.fill sp.s_marks (i * word) word '\000'
+   done;
+   n := !n + sp.s_count;
+   sp.s_count <- 0);
   Array.fill t.temp 0 (Array.length t.temp) None;
   t.temp_count <- 0;
   t.conflict_pending <- false;
-  t.c_waddr <- 0;
-  t.c_raddr <- 0;
-  n
+  Array.fill t.c_waddr 0 t.shards 0;
+  Array.fill t.c_raddr 0 t.shards 0;
+  !n
 
-let read_set_size t = t.read_set.count
-let write_set_size t = t.write_set.count
+let map_total ms = Array.fold_left (fun a m -> a + m.count) 0 ms
+let read_set_size t = map_total t.read_sets
+let write_set_size t = map_total t.write_sets
 let conflict_pending t = t.conflict_pending
+let parks t = t.parks
+let spills t = t.spills
+let shard_count t = t.shards
+let shard_occupancy t s = t.read_sets.(s).count + t.write_sets.(s).count
 
 (* --- nested speculation support ------------------------------------ *)
 
@@ -370,65 +661,100 @@ let overlay bytes pos mark mpos base =
    marked write bytes. *)
 let view t (mem : Memio.t) np =
   let base = mem.Memio.read_word np in
-  match lookup t.write_set np with
-  | Hit i -> overlay t.write_set.buffer (i * word) t.write_set.marks (i * word) base
+  let s = shard_of t np in
+  match lookup t.write_sets.(s) np with
+  | Hit i ->
+    overlay t.write_sets.(s).buffer (i * word) t.write_sets.(s).marks (i * word)
+      base
   | Empty _ | Conflict -> (
     match (if t.temp_count = 0 then None else find_temp t np) with
     | Some e -> overlay e.t_data 0 e.t_mark 0 base
-    | None -> base)
+    | None ->
+      let si = if t.spill.s_count = 0 then -1 else find_spill_slot t.spill np in
+      if si >= 0 then
+        overlay t.spill.s_data (si * word) t.spill.s_marks (si * word) base
+      else base)
 
 (* Iterate read-set words as (address, observed word, mask option);
    the mask, when present, flags bytes locally overwritten after the
    fetch (they must not participate in validation). *)
 let iter_read_words t f =
-  let m = t.read_set in
-  for k = 0 to m.count - 1 do
-    let i = m.offsets.(k) in
-    f m.addresses.(i) (read_word_of m i) None
+  for s = 0 to t.shards - 1 do
+    let m = t.read_sets.(s) in
+    for k = 0 to m.count - 1 do
+      let i = m.offsets.(k) in
+      f m.addresses.(i) (read_word_of m i) None
+    done
   done;
   Array.iter
     (function
       | Some e when e.t_is_read ->
         f e.t_addr (Bytes.get_int64_le e.t_data 0) (Some (Bytes.copy e.t_mark))
       | _ -> ())
-    t.temp
+    t.temp;
+  let sp = t.spill in
+  for k = 0 to sp.s_count - 1 do
+    let i = sp.s_offsets.(k) in
+    if Bytes.get sp.s_read i = '\001' then
+      f sp.s_addrs.(i)
+        (Bytes.get_int64_le sp.s_data (i * word))
+        (Some (Bytes.sub sp.s_marks (i * word) word))
+  done
 
 (* Iterate write-set words as (address, data bytes, data pos, mark
    bytes, mark pos). *)
 let iter_write_words t f =
-  let m = t.write_set in
-  for k = 0 to m.count - 1 do
-    let i = m.offsets.(k) in
-    f m.addresses.(i) m.buffer (i * word) m.marks (i * word)
+  for s = 0 to t.shards - 1 do
+    let m = t.write_sets.(s) in
+    for k = 0 to m.count - 1 do
+      let i = m.offsets.(k) in
+      f m.addresses.(i) m.buffer (i * word) m.marks (i * word)
+    done
   done;
   Array.iter
     (function
       | Some e when (not e.t_is_read) || Bytes.exists (fun c -> c = '\xff') e.t_mark
         -> f e.t_addr e.t_data 0 e.t_mark 0
       | _ -> ())
-    t.temp
+    t.temp;
+  let sp = t.spill in
+  for k = 0 to sp.s_count - 1 do
+    let i = sp.s_offsets.(k) in
+    if
+      Bytes.get sp.s_read i <> '\001'
+      || Bytes.exists (fun c -> c = '\xff') (Bytes.sub sp.s_marks (i * word) word)
+    then f sp.s_addrs.(i) sp.s_data (i * word) sp.s_marks (i * word)
+  done
 
 (* Record that this thread observed [value] at [addr] (merging a
    committed child's read set for later re-validation).  Words this
    thread has already read or written need no new entry. *)
 let merge_read t addr value =
-  match lookup t.write_set addr with
+  let s = shard_of t addr in
+  match lookup t.write_sets.(s) addr with
   | Hit _ -> ()
   | Empty _ | Conflict -> (
     match (if t.temp_count = 0 then None else find_temp t addr) with
     | Some _ -> ()
-    | None -> (
-      match lookup t.read_set addr with
-      | Hit _ -> ()
-      | Empty i ->
-        occupy t.read_set i addr;
-        write_word_of t.read_set i value
-      | Conflict ->
-        let data = Bytes.make word '\000' in
-        Bytes.set_int64_le data 0 value;
-        add_temp t
-          { t_addr = addr; t_data = data; t_mark = Bytes.make word '\000';
-            t_is_read = true }))
+    | None ->
+      if t.spill.s_count > 0 && find_spill_slot t.spill addr >= 0 then ()
+      else (
+        match lookup t.read_sets.(s) addr with
+        | Hit _ -> ()
+        | Empty i ->
+          occupy t.read_sets.(s) i addr;
+          write_word_of t.read_sets.(s) i value
+        | Conflict ->
+          if spill_enabled t then begin
+            let i = spill_insert t addr ~is_read:true in
+            Bytes.set_int64_le t.spill.s_data (i * word) value
+          end
+          else
+            let data = Bytes.make word '\000' in
+            Bytes.set_int64_le data 0 value;
+            add_temp t
+              { t_addr = addr; t_data = data; t_mark = Bytes.make word '\000';
+                t_is_read = true }))
 
 (* Merge one committed-child word's marked bytes into this buffer. *)
 let merge_write t (mem : Memio.t) addr data pos mark mpos =

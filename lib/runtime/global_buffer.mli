@@ -6,11 +6,27 @@
     multiples, an address array and an offsets stack (so validation,
     commit and finalization of threads touching little data stay fast),
     a mark byte array for sub-word writes, and a small temporary buffer
-    for hash conflicts. *)
+    for hash conflicts.
+
+    Three optional pressure-resilience layers extend the paper's
+    design, all off by default (the defaults reproduce the seed
+    behaviour bit-for-bit):
+
+    - {b sharding} splits each map into power-of-two shards with
+      address ranges interleaved at 64-byte line granularity, each
+      shard keeping its own last-slot caches;
+    - the {b spill tier} replaces the fixed temporary park buffer with
+      a bounded associative overflow region that still participates in
+      validate/commit/finalize — a hash conflict spills at a latency
+      penalty instead of parking-then-raising, and {!Overflow} is
+      reserved for true tier exhaustion;
+    - {b line-granular} bulk validate/commit processes fully-resident
+      64-byte lines eight words at a time. *)
 
 exception Overflow
-(** The temporary buffer is exhausted: the speculative thread must roll
-    back (paper §IV-G2). *)
+(** The overflow region is exhausted — the temporary park buffer when
+    the spill tier is off (paper §IV-G2), the spill tier itself when it
+    is on: the speculative thread must roll back. *)
 
 exception Invalid_read of int
 (** Raised by {!validate} on the first read-set word whose current
@@ -19,8 +35,19 @@ exception Invalid_read of int
 
 type t
 
-val create : slots:int -> temp_slots:int -> t
-(** [slots] must be a power of two. *)
+val create :
+  ?shards:int ->
+  ?spill_slots:int ->
+  ?line_words:int ->
+  slots:int ->
+  temp_slots:int ->
+  unit ->
+  t
+(** [slots] must be a power of two and is split evenly across [shards]
+    (default [1], a power of two not exceeding [slots]).
+    [spill_slots] (default [0] = tier off) must be [0] or a power of
+    two.  [line_words] is [1] (per-word walks, the default) or [8]
+    (64-byte-line bulk validate/commit). *)
 
 val read : t -> Memio.t -> int -> int -> int64 * bool
 (** [read t mem p size] reads [size] bytes ([1], [4] or [8]) at [p]
@@ -28,7 +55,8 @@ val read : t -> Memio.t -> int -> int -> int64 * bool
     Returns the raw bits zero-extended, and whether the access hit an
     existing buffer entry (hits are much cheaper than insert-and-fetch
     misses — the data-reuse benefit the paper emphasises for matmult).
-    @raise Overflow when a hash conflict cannot be parked. *)
+    @raise Overflow when a hash conflict cannot be parked (spill tier
+    off) or the spill tier is exhausted (spill tier on). *)
 
 val write : t -> Memio.t -> int -> int -> int64 -> bool
 (** Buffered write; marks exactly the written bytes.  Returns the hit
@@ -36,28 +64,58 @@ val write : t -> Memio.t -> int -> int -> int64 -> bool
 
 val validate : t -> Memio.t -> int
 (** Value-based conflict detection: compare every read-set word against
-    current main memory.  Returns the number of words checked.
+    current main memory (home shards, then parked and spilled read
+    entries).  Returns the number of words checked — independent of
+    sharding and line granularity, so virtual time is too.
     @raise Invalid_read on the first mismatch. *)
 
 val commit : t -> Memio.t -> int
 (** Write every marked byte of the write set to main memory (whole
-    words at once when fully marked).  Returns the word count. *)
+    words — or whole lines, in line mode — at once when fully marked).
+    Returns the word count. *)
 
 val finalize : t -> int
-(** Reset both maps for reuse; returns the number of slots cleared. *)
+(** Reset both maps, the park buffer and the spill tier for reuse;
+    returns the number of slots cleared. *)
 
 val read_set_size : t -> int
 val write_set_size : t -> int
 
 val conflict_pending : t -> bool
-(** A hash conflict spilled into the temporary buffer: the thread
-    should wait to be joined at its next check point. *)
+(** A hash conflict parked into the temporary buffer: the thread
+    should wait to be joined at its next check point.  Never set when
+    the spill tier is on — spilling is a latency penalty, not a stall
+    request. *)
 
-val set_spill_hook : t -> (int -> unit) option -> unit
+val parks : t -> int
+(** Cumulative hash conflicts parked in the temporary buffer over this
+    buffer's lifetime (pooled buffers are reused across threads). *)
+
+val spills : t -> int
+(** Cumulative spill-tier insertions over this buffer's lifetime. *)
+
+val spill_capacity : t -> int
+(** The spill tier's slot count; [0] when the tier is off. *)
+
+val spill_size : t -> int
+(** Spill-tier entries currently occupied. *)
+
+val shard_count : t -> int
+
+val shard_occupancy : t -> int -> int
+(** [shard_occupancy t s] is the occupied home-map slot count (read
+    plus write set) of shard [s]. *)
+
+val set_park_hook : t -> (int -> unit) option -> unit
 (** Observability hook, called with the word address whenever a hash
     conflict parks an entry in the temporary buffer.  The ThreadManager
     installs it when tracing is enabled; pooled buffers serve
     successive threads, so it is re-bound per occupant. *)
+
+val set_spill_hook : t -> (int -> unit) option -> unit
+(** Same, for real spill-tier insertions (only fires when the tier is
+    enabled).  Before the spill tier existed this name denoted today's
+    {!set_park_hook}. *)
 
 (** {1 Nested speculation support}
 
@@ -72,18 +130,20 @@ val view : t -> Memio.t -> int -> int64
     its own marked write bytes. *)
 
 val iter_read_words : t -> (int -> int64 -> Bytes.t option -> unit) -> unit
-(** [(address, observed word, mask)] per read-set entry; the mask, when
-    present, flags bytes locally overwritten after the fetch (excluded
-    from validation). *)
+(** [(address, observed word, mask)] per read-set entry (home shards,
+    parked and spilled); the mask, when present, flags bytes locally
+    overwritten after the fetch (excluded from validation). *)
 
 val iter_write_words : t -> (int -> Bytes.t -> int -> Bytes.t -> int -> unit) -> unit
 (** [(address, data bytes, data pos, mark bytes, mark pos)] per
-    write-set entry. *)
+    write-set entry (home shards, parked and spilled). *)
 
 val merge_read : t -> int -> int64 -> unit
 (** Record that this thread observed [value] at an address (adopting a
     committed child's read set for later re-validation); words already
-    present are left alone. *)
+    present are left alone.
+    @raise Overflow as for {!read}. *)
 
 val merge_write : t -> Memio.t -> int -> Bytes.t -> int -> Bytes.t -> int -> unit
-(** Merge one committed-child word's marked bytes into this buffer. *)
+(** Merge one committed-child word's marked bytes into this buffer.
+    @raise Overflow as for {!write}. *)

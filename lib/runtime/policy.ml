@@ -43,19 +43,28 @@ type request = {
 
 type event = { ev_what : string; ev_info : int }
 
+(* Memory-pressure severity ladder (see Global_buffer): a [Park] is a
+   hash conflict absorbed by the temporary buffer, a [Spill] is an
+   insertion into the spill tier (latency penalty, no squash), and
+   [Exhaust] is true overflow-region exhaustion — the only level that
+   forces a rollback and therefore the only one the shipped policies
+   count against their degrade streak. *)
+type pressure = Park | Spill | Exhaust
+
 type t = {
   p_name : string;
   p_decide : request -> decision;
   p_on_commit : point:int -> unit;
   p_on_rollback : point:int -> event option;
-  p_on_overflow : point:int -> event option;
+  p_on_overflow : point:int -> pressure:pressure -> event option;
   p_on_retire : point:int -> committed:float -> wasted:float -> event option;
   p_on_expand_store : point:int -> unit;
   p_degraded : unit -> bool;
 }
 
 let make ?(on_commit = fun ~point:_ -> ())
-    ?(on_rollback = fun ~point:_ -> None) ?(on_overflow = fun ~point:_ -> None)
+    ?(on_rollback = fun ~point:_ -> None)
+    ?(on_overflow = fun ~point:_ ~pressure:_ -> None)
     ?(on_retire = fun ~point:_ ~committed:_ ~wasted:_ -> None)
     ?(on_expand_store = fun ~point:_ -> ()) ?(degraded = fun () -> false)
     ~name decide =
@@ -74,7 +83,7 @@ let name t = t.p_name
 let decide t rq = t.p_decide rq
 let on_commit t ~point = t.p_on_commit ~point
 let on_rollback t ~point = t.p_on_rollback ~point
-let on_overflow t ~point = t.p_on_overflow ~point
+let on_overflow t ~point ~pressure = t.p_on_overflow ~point ~pressure
 
 let on_retire t ~point ~committed ~wasted =
   t.p_on_retire ~point ~committed ~wasted
@@ -123,17 +132,23 @@ let static (cp : Config.Policy.t) =
         Some { ev_what = "backoff"; ev_info = b.bk_penalty }
       end
       else None)
-    ~on_overflow:(fun ~point:_ ->
-      incr overflow_streak;
-      if
-        cp.Config.Policy.degrade_after > 0
-        && !overflow_streak >= cp.Config.Policy.degrade_after
-        && not !degraded
-      then begin
-        degraded := true;
-        Some { ev_what = "degrade"; ev_info = !overflow_streak }
-      end
-      else None)
+    ~on_overflow:(fun ~point:_ ~pressure ->
+      (* parks and spills are graceful (no rollback happened): they
+         never feed the degrade streak, so the seed event stream is
+         untouched *)
+      match pressure with
+      | Park | Spill -> None
+      | Exhaust ->
+        incr overflow_streak;
+        if
+          cp.Config.Policy.degrade_after > 0
+          && !overflow_streak >= cp.Config.Policy.degrade_after
+          && not !degraded
+        then begin
+          degraded := true;
+          Some { ev_what = "degrade"; ev_info = !overflow_streak }
+        end
+        else None)
     ~degraded:(fun () -> !degraded)
     (fun rq ->
       if !degraded then Deny
@@ -232,19 +247,23 @@ let adaptive (cp : Config.Policy.t) =
         end
         else None
       end)
-    ~on_overflow:(fun ~point:_ ->
+    ~on_overflow:(fun ~point:_ ~pressure ->
       (* global resource pressure only; the per-point trouble is counted
-         once, by the accompanying on_rollback *)
-      incr overflow_streak;
-      if
-        cp.Config.Policy.degrade_after > 0
-        && !overflow_streak >= cp.Config.Policy.degrade_after
-        && not !degraded
-      then begin
-        degraded := true;
-        Some { ev_what = "degrade"; ev_info = !overflow_streak }
-      end
-      else None)
+         once, by the accompanying on_rollback.  Graceful parks/spills
+         carry no squash and do not count. *)
+      match pressure with
+      | Park | Spill -> None
+      | Exhaust ->
+        incr overflow_streak;
+        if
+          cp.Config.Policy.degrade_after > 0
+          && !overflow_streak >= cp.Config.Policy.degrade_after
+          && not !degraded
+        then begin
+          degraded := true;
+          Some { ev_what = "degrade"; ev_info = !overflow_streak }
+        end
+        else None)
     ~on_retire:(fun ~point ~committed ~wasted ->
       if point < 0 then None
       else begin

@@ -37,13 +37,21 @@ type request = {
     whether tracing is enabled. *)
 type event = { ev_what : string; ev_info : int }
 
+(** Memory-pressure severity reported through {!on_overflow}: a [Park]
+    is a hash conflict absorbed by the GlobalBuffer's temporary buffer,
+    a [Spill] is a spill-tier insertion (latency penalty, no squash),
+    and [Exhaust] is true overflow-region exhaustion — the only level
+    that forces a rollback, and the only one the shipped policies count
+    against their degrade streak. *)
+type pressure = Park | Spill | Exhaust
+
 type t
 (** A policy instance.  Stateful: one per Thread_manager. *)
 
 val make :
   ?on_commit:(point:int -> unit) ->
   ?on_rollback:(point:int -> event option) ->
-  ?on_overflow:(point:int -> event option) ->
+  ?on_overflow:(point:int -> pressure:pressure -> event option) ->
   ?on_retire:(point:int -> committed:float -> wasted:float -> event option) ->
   ?on_expand_store:(point:int -> unit) ->
   ?degraded:(unit -> bool) ->
@@ -67,10 +75,12 @@ val on_rollback : t -> point:int -> event option
 (** A genuine misspeculation at [point] (conflict, stale local,
     overflow, bad access — not an abandoned subtree). *)
 
-val on_overflow : t -> point:int -> event option
-(** A buffer-overflow rollback is about to happen at [point]; called
-    in addition to {!on_rollback} (which does the per-point counting —
-    this hook tracks global resource pressure only). *)
+val on_overflow : t -> point:int -> pressure:pressure -> event option
+(** Memory-pressure feedback at [point].  [Exhaust] means a
+    buffer-overflow rollback is about to happen and is called in
+    addition to {!on_rollback} (which does the per-point counting —
+    this hook tracks global resource pressure only); [Park] and
+    [Spill] are graceful notifications that carry no rollback. *)
 
 val on_retire : t -> point:int -> committed:float -> wasted:float -> event option
 (** A thread forked at [point] retired with the given committed

@@ -41,8 +41,8 @@ and restore = {
   mutable r_mappings : (int * int * int) list; (* spec addr, parent addr, size *)
 }
 
-let create ?gbuf ~id ~rank ~fork_point ~is_main ~buffer_slots ~temp_slots
-    ~max_locals () =
+let create ?gbuf ?(shards = 1) ?(spill_slots = 0) ?(line_words = 1) ~id ~rank
+    ~fork_point ~is_main ~buffer_slots ~temp_slots ~max_locals () =
   {
     id;
     rank;
@@ -54,7 +54,9 @@ let create ?gbuf ~id ~rank ~fork_point ~is_main ~buffer_slots ~temp_slots
     gbuf =
       (match gbuf with
       | Some g -> g
-      | None -> Global_buffer.create ~slots:buffer_slots ~temp_slots);
+      | None ->
+        Global_buffer.create ~shards ~spill_slots ~line_words
+          ~slots:buffer_slots ~temp_slots ());
     lbuf = Local_buffer.create ~max_locals;
     stats = Stats.create ();
     alive = true;

@@ -53,6 +53,9 @@ and restore = {
 
 val create :
   ?gbuf:Global_buffer.t ->
+  ?shards:int ->
+  ?spill_slots:int ->
+  ?line_words:int ->
   id:int ->
   rank:int ->
   fork_point:int ->
@@ -63,7 +66,9 @@ val create :
   unit ->
   t
 (** [gbuf] lets the manager pool one GlobalBuffer per CPU rank, as in
-    the paper. *)
+    the paper; the geometry options (defaults [1]/[0]/[1] — the seed
+    layout) are forwarded to {!Global_buffer.create} when no pooled
+    buffer is supplied. *)
 
 val map_pointer : restore -> int -> int option
 (** Map a committed pointer into the speculative stack to the

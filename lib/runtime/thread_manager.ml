@@ -58,14 +58,18 @@ type tele = {
   t_loads : Telemetry.counter;
   t_stores : Telemetry.counter;
   t_spills : Telemetry.counter;
+  t_parks : Telemetry.counter;
+  t_gbuf_spills : Telemetry.counter;
   t_frames : Telemetry.counter;
   t_live_spec : Telemetry.gauge;
   t_vtime : Telemetry.gauge;
   t_degraded : Telemetry.gauge;
+  t_spill_depth : Telemetry.gauge;
   t_h_runtime : Telemetry.histogram;
   t_h_validate_words : Telemetry.histogram;
   t_h_commit_words : Telemetry.histogram;
   t_h_occupancy : Telemetry.histogram;
+  t_h_shard_occupancy : Telemetry.histogram;
   t_h_frame_depth : Telemetry.histogram;
 }
 
@@ -118,14 +122,24 @@ let make_tele reg =
     t_loads = c ~help:"speculative loads" "mutls_loads_total";
     t_stores = c ~help:"speculative stores" "mutls_stores_total";
     t_spills =
-      c ~help:"GlobalBuffer hash conflicts parked in the temp buffer"
+      c
+        ~help:
+          "GlobalBuffer hash conflicts parked in the temp buffer \
+           (deprecated alias of mutls_gbuf_parks_total)"
         "mutls_spills_total";
+    t_parks =
+      c ~help:"GlobalBuffer hash conflicts parked in the temp buffer"
+        "mutls_gbuf_parks_total";
+    t_gbuf_spills =
+      c ~help:"GlobalBuffer spill-tier insertions" "mutls_gbuf_spills_total";
     t_frames = c ~help:"LocalBuffer frames pushed" "mutls_frames_total";
     t_live_spec =
       g ~help:"live speculative threads" "mutls_live_spec_threads";
     t_vtime = g ~help:"virtual clock, cycles" "mutls_virtual_time_cycles";
     t_degraded =
       g ~help:"1 after the policy degraded to sequential" "mutls_policy_degraded";
+    t_spill_depth =
+      g ~help:"GlobalBuffer spill-tier entries in use" "mutls_gbuf_spill_depth";
     t_h_runtime =
       h ~help:"speculative thread lifetime, cycles" "mutls_thread_runtime_cycles";
     t_h_validate_words =
@@ -135,6 +149,9 @@ let make_tele reg =
     t_h_occupancy =
       h ~help:"GlobalBuffer slots occupied at finalize"
         "mutls_buffer_occupancy_words";
+    t_h_shard_occupancy =
+      h ~help:"GlobalBuffer home-map slots occupied per shard at finalize"
+        "mutls_gbuf_shard_occupancy_words";
     t_h_frame_depth =
       h ~help:"LocalBuffer depth at frame push" "mutls_frame_depth";
   }
@@ -191,10 +208,23 @@ let emit mgr (td : Thread_data.t) event =
 let observing mgr = tracing mgr || mgr.tele.on
 
 let install_hooks mgr (td : Thread_data.t) =
+  Global_buffer.set_park_hook td.gbuf
+    (Some
+       (fun addr ->
+         if mgr.tele.on then begin
+           (* mutls_spills_total is the deprecated alias of parks. *)
+           Telemetry.incr mgr.tele.t_spills;
+           Telemetry.incr mgr.tele.t_parks
+         end;
+         if tracing mgr then emit mgr td (Trace.Park { addr })));
   Global_buffer.set_spill_hook td.gbuf
     (Some
        (fun addr ->
-         if mgr.tele.on then Telemetry.incr mgr.tele.t_spills;
+         if mgr.tele.on then begin
+           Telemetry.incr mgr.tele.t_gbuf_spills;
+           Telemetry.set mgr.tele.t_spill_depth
+             (float_of_int (Global_buffer.spill_size td.gbuf))
+         end;
          if tracing mgr then emit mgr td (Trace.Spill { addr })));
   Local_buffer.set_frame_hook td.lbuf
     (Some
@@ -207,10 +237,14 @@ let install_hooks mgr (td : Thread_data.t) =
 
 let create ?policy (cfg : Config.t) engine mem =
   Config.validate cfg;
+  let bufs = Config.effective_buffers cfg in
   let main =
     Thread_data.create ~id:0 ~rank:0 ~fork_point:(-1) ~is_main:true
-      ~buffer_slots:cfg.buffer_slots ~temp_slots:cfg.temp_slots
-      ~max_locals:cfg.max_locals ()
+      ~buffer_slots:bufs.Config.Buffers.slots
+      ~temp_slots:bufs.Config.Buffers.temp_slots
+      ~shards:bufs.Config.Buffers.shards
+      ~spill_slots:bufs.Config.Buffers.spill_slots
+      ~line_words:bufs.Config.Buffers.line_words ~max_locals:cfg.max_locals ()
   in
   let mgr =
     {
@@ -228,8 +262,11 @@ let create ?policy (cfg : Config.t) engine mem =
       strides = Hashtbl.create 64;
       buffer_pool =
         Array.init (max 1 cfg.ncpus) (fun _ ->
-            Global_buffer.create ~slots:cfg.buffer_slots
-              ~temp_slots:cfg.temp_slots);
+            Global_buffer.create ~slots:bufs.Config.Buffers.slots
+              ~temp_slots:bufs.Config.Buffers.temp_slots
+              ~shards:bufs.Config.Buffers.shards
+              ~spill_slots:bufs.Config.Buffers.spill_slots
+              ~line_words:bufs.Config.Buffers.line_words ());
       fault = Option.map (Fault.create ~seed:cfg.seed) cfg.fault;
       policy =
         (match policy with Some p -> p | None -> Policy.of_config cfg);
@@ -293,8 +330,8 @@ let note_rollback mgr (td : Thread_data.t) =
 let note_commit mgr (td : Thread_data.t) =
   Policy.on_commit mgr.policy ~point:td.fork_point
 
-let note_overflow mgr (td : Thread_data.t) =
-  emit_sched mgr td (Policy.on_overflow mgr.policy ~point:td.fork_point)
+let note_overflow mgr (td : Thread_data.t) ~pressure =
+  emit_sched mgr td (Policy.on_overflow mgr.policy ~point:td.fork_point ~pressure)
 
 (* --- virtual-time accounting --------------------------------------- *)
 
@@ -663,6 +700,13 @@ let commit_into_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
   !words
 
 let finalize_buffers mgr (td : Thread_data.t) =
+  if mgr.tele.on then begin
+    let g = td.gbuf in
+    for s = 0 to Global_buffer.shard_count g - 1 do
+      Telemetry.observe mgr.tele.t_h_shard_occupancy
+        (Global_buffer.shard_occupancy g s)
+    done
+  end;
   let n = Global_buffer.finalize td.gbuf in
   if mgr.tele.on then Telemetry.observe mgr.tele.t_h_occupancy n;
   charge mgr td Stats.Finalize (float_of_int (max 1 n) *. mgr.cfg.cost.finalize_word)
@@ -745,15 +789,36 @@ let rollback_self mgr (td : Thread_data.t) ~reason ~kill_subtree =
   | Some _ -> ());
   raise Spec_finished
 
-let rollback_overflow mgr (td : Thread_data.t) =
+(* [spill_cap] is the spill-tier capacity for genuine exhaustion (the
+   oracle checks that the tier really was full first) and [-1] for
+   injected overflows and spill-off runs, where no such promise holds.
+   At [-1] (or [0]) the Overflow record carries no arguments, so
+   spill-off traces keep their seed-era bytes. *)
+let rollback_overflow ?(spill_cap = -1) mgr (td : Thread_data.t) =
   Stats.incr td.stats Stats.Overflows;
   Stats.add td.stats Stats.Overflow 0.0;
   if mgr.tele.on then Telemetry.incr mgr.tele.t_overflows;
-  if tracing mgr then emit mgr td Trace.Overflow;
-  note_overflow mgr td;
+  if tracing mgr then emit mgr td (Trace.Overflow { spill_cap });
+  note_overflow mgr td ~pressure:Policy.Exhaust;
   rollback_self mgr td ~reason:Trace.Buffer_overflow ~kill_subtree:false
 
 (* --- speculative memory access --------------------------------------- *)
+
+(* Graceful-degradation feedback for a buffered access that hit
+   capacity pressure.  A spill-tier insertion pays the configured
+   latency penalty (booked as overflow time, the category the paper
+   charges buffer pressure to) and notifies the policy at [Spill]
+   severity; a temporary-buffer park is free (it is the seed-era
+   mechanism) but still notifies at [Park] severity.  Shipped policies
+   ignore both, so default-config traces are unchanged.  The cost on
+   the hot path is two counter loads per access. *)
+let note_pressure mgr (td : Thread_data.t) ~parks0 ~spills0 =
+  if Global_buffer.spills td.gbuf > spills0 then begin
+    charge mgr td Stats.Overflow mgr.cfg.cost.spill;
+    note_overflow mgr td ~pressure:Policy.Spill
+  end;
+  if Global_buffer.parks td.gbuf > parks0 then
+    note_overflow mgr td ~pressure:Policy.Park
 
 let plain_load mgr addr size =
   match size with
@@ -792,13 +857,23 @@ let spec_load mgr (td : Thread_data.t) ~addr ~size =
     end
     else if (not td.is_main) && inject mgr Fault.Buffer_overflow then
       rollback_overflow mgr td
+    else if
+      (not td.is_main)
+      && Global_buffer.spill_capacity td.gbuf > 0
+      && inject mgr Fault.Spill_exhaust
+    then rollback_overflow mgr td
     else
+      let parks0 = Global_buffer.parks td.gbuf in
+      let spills0 = Global_buffer.spills td.gbuf in
       match Global_buffer.read td.gbuf mgr.mem addr size with
       | v, hit ->
         td.buffered <- td.buffered + 1;
         tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss);
+        note_pressure mgr td ~parks0 ~spills0;
         v
-      | exception Global_buffer.Overflow -> rollback_overflow mgr td
+      | exception Global_buffer.Overflow ->
+        rollback_overflow mgr td
+          ~spill_cap:(Global_buffer.spill_capacity td.gbuf)
   end
   else begin
     td.bad_access <- true;
@@ -823,12 +898,22 @@ let spec_store mgr (td : Thread_data.t) ~addr ~size v =
     end
     else if (not td.is_main) && inject mgr Fault.Buffer_overflow then
       rollback_overflow mgr td
+    else if
+      (not td.is_main)
+      && Global_buffer.spill_capacity td.gbuf > 0
+      && inject mgr Fault.Spill_exhaust
+    then rollback_overflow mgr td
     else
+      let parks0 = Global_buffer.parks td.gbuf in
+      let spills0 = Global_buffer.spills td.gbuf in
       match Global_buffer.write td.gbuf mgr.mem addr size v with
       | hit ->
         td.buffered <- td.buffered + 1;
-        tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss)
-      | exception Global_buffer.Overflow -> rollback_overflow mgr td
+        tick mgr td (if hit then mgr.cfg.cost.spec_hit else mgr.cfg.cost.spec_miss);
+        note_pressure mgr td ~parks0 ~spills0
+      | exception Global_buffer.Overflow ->
+        rollback_overflow mgr td
+          ~spill_cap:(Global_buffer.spill_capacity td.gbuf)
   end
   else begin
     td.bad_access <- true;

@@ -60,7 +60,7 @@ let run_with cfg source =
 (* --- fault injector ---------------------------------------------------- *)
 
 let test_fault_determinism () =
-  let plan = { Fault.validation = 0.3; overflow = 0.1; spurious = 0.5; nosync = 0.2; deny = 1.0 } in
+  let plan = { Fault.validation = 0.3; overflow = 0.1; spurious = 0.5; nosync = 0.2; deny = 1.0; spill_exhaust = 0.0 } in
   let seq t = List.init 50 (fun _ -> Fault.fire t Fault.Validation_failure) in
   let a = Fault.create ~seed:7 plan in
   let b = Fault.create ~seed:7 plan in
@@ -72,7 +72,7 @@ let test_fault_determinism () =
 let test_fault_site_isolation () =
   (* Zeroing one site's rate must not perturb another site's stream:
      rate-0 sites never draw from their RNG. *)
-  let p1 = { Fault.validation = 0.5; overflow = 0.5; spurious = 0.0; nosync = 0.0; deny = 0.0 } in
+  let p1 = { Fault.validation = 0.5; overflow = 0.5; spurious = 0.0; nosync = 0.0; deny = 0.0; spill_exhaust = 0.0 } in
   let p2 = { p1 with Fault.overflow = 0.0 } in
   let drive t =
     List.init 40 (fun _ ->
@@ -85,7 +85,7 @@ let test_fault_site_isolation () =
     (Fault.injected b Fault.Buffer_overflow)
 
 let test_fault_rates () =
-  let plan = { Fault.validation = 1.0; overflow = 0.0; spurious = 0.0; nosync = 0.0; deny = 0.0 } in
+  let plan = { Fault.validation = 1.0; overflow = 0.0; spurious = 0.0; nosync = 0.0; deny = 0.0; spill_exhaust = 0.0 } in
   let t = Fault.create ~seed:1 plan in
   for _ = 1 to 20 do
     Alcotest.(check bool) "rate 1 always fires" true (Fault.fire t Fault.Validation_failure);
@@ -141,6 +141,7 @@ let test_fault_schedule_property =
           spurious = float_of_int s /. 10.0;
           nosync = float_of_int n /. 10.0;
           deny = float_of_int d /. 10.0;
+          spill_exhaust = 0.0;
         }
       in
       let cfg =
@@ -169,7 +170,10 @@ let test_overflow_rollback () =
   in
   Alcotest.(check bool) "at least one overflow rollback" true (overflows > 0);
   let ovf_events =
-    List.filter (fun (e : Trace.record) -> e.Trace.event = Trace.Overflow) !events
+    List.filter
+      (fun (e : Trace.record) ->
+        match e.Trace.event with Trace.Overflow _ -> true | _ -> false)
+      !events
   in
   let ovf_rollbacks =
     List.filter
@@ -356,13 +360,64 @@ let test_oracle_catches_violations () =
     | exception Oracle.Violation v ->
       v.Oracle.invariant = "commit-without-validate" && v.Oracle.window <> [])
 
+(* An Overflow record claiming a spill-tier capacity is legal only once
+   the thread really filled the tier — at least [cap] Spill records. *)
+let test_oracle_spill_exhaustion () =
+  let thread_records ~spills ~cap =
+    [ fork_child ~parent:0 ~child:1 ~rank:1 () ]
+    @ List.init spills (fun i ->
+          rec_at
+            (1.0 +. float_of_int i)
+            (Trace.Spill { addr = 0x100 + (8 * i) }))
+    @ [
+        rec_at 10.0 (Trace.Overflow { spill_cap = cap });
+        rec_at 10.0 (Trace.Rollback { reason = Trace.Buffer_overflow; point = 0 });
+        rec_at 10.0 (Trace.Charge { category = "finalize"; cost = 1.0 });
+        rec_at ~thread:0 ~rank:0 11.0 (Trace.Join { child = 1; committed = false });
+        rec_at 12.0 (Trace.Retire { committed = false; runtime = 3.0; stats = [] });
+      ]
+  in
+  Alcotest.(check (list string)) "premature overflow flagged"
+    [ "overflow-before-spill-exhaustion" ]
+    (violations_of (thread_records ~spills:2 ~cap:4));
+  Alcotest.(check (list string)) "exhausted tier is legal" []
+    (violations_of (thread_records ~spills:4 ~cap:4));
+  Alcotest.(check (list string)) "tier off carries no capacity claim" []
+    (violations_of (thread_records ~spills:0 ~cap:0))
+
+(* The Spill_exhaust fault site: injected spill-tier exhaustion forces
+   the overflow rollback path even though the tier has room.  Output
+   must stay sequential, and certainty must degrade to the fallback. *)
+let test_spill_exhaust_fault () =
+  let expected = seq_output conflict_source in
+  List.iter
+    (fun rate ->
+      let cfg =
+        {
+          Config.default with
+          ncpus = 4;
+          fault = Some { Fault.none with Fault.spill_exhaust = rate };
+          degrade_after = 4;
+          seed = 11;
+          buffers =
+            { Config.Buffers.default with Config.Buffers.spill_slots = 64 };
+        }
+      in
+      let r, out = run_with cfg conflict_source in
+      Alcotest.(check string) (Printf.sprintf "output (rate %.2f)" rate)
+        expected out;
+      if rate = 1.0 then
+        Alcotest.(check bool) "certainty degrades to sequential" true
+          (TM.degraded r.Eval.tmgr))
+    [ 0.5; 1.0 ]
+
 let test_oracle_on_real_runs () =
   (* The oracle attached to genuinely chaotic runs must stay silent. *)
   List.iter
     (fun seed ->
       let oracle = Oracle.create ~halt:false () in
       let plan =
-        { Fault.validation = 0.4; overflow = 0.2; spurious = 0.3; nosync = 0.2; deny = 0.2 }
+        { Fault.validation = 0.4; overflow = 0.2; spurious = 0.3; nosync = 0.2; deny = 0.2; spill_exhaust = 0.0 }
       in
       let cfg =
         {
@@ -405,6 +460,27 @@ let test_chaos_json_roundtrip () =
   let reparsed = Chaos.case_of_json (Mutls.Json.of_string (Mutls.Json.to_string repro)) in
   Alcotest.(check bool) "repro wire round trip" true (reparsed = case)
 
+(* The overflow-pressure storm band: find a generated case drawn from
+   the storm template and run it — the working set dwarfs the shrunken
+   buffers, so the case exercises parks, spills or genuine overflow,
+   and must still match sequential output under the oracle. *)
+let test_chaos_storm_band () =
+  let rec find i =
+    if i > 100 then Alcotest.fail "no storm case within 100 draws"
+    else
+      let c = Chaos.gen_case ~seed:77 i in
+      if c.Chaos.shape.Chaos.template = 3 then c else find (i + 1)
+  in
+  let case = find 0 in
+  Alcotest.(check string) "band name" "storm"
+    (Chaos.template_name case.Chaos.shape.Chaos.template);
+  let r = Chaos.run_case case in
+  (match r.Chaos.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "storm case failed: %s" (Chaos.failure_to_string f));
+  Alcotest.(check string) "storm output matches sequential" r.Chaos.expected
+    r.Chaos.actual
+
 let test_chaos_campaign () =
   let c = Chaos.run_campaign ~seed:2026 ~runs:12 () in
   Alcotest.(check int) "all cases pass" 12 c.Chaos.passed;
@@ -425,8 +501,12 @@ let tests =
     Alcotest.test_case "local buffer unset" `Quick test_local_buffer_unset;
     Alcotest.test_case "oracle accepts clean stream" `Quick test_oracle_clean_stream;
     Alcotest.test_case "oracle catches violations" `Quick test_oracle_catches_violations;
+    Alcotest.test_case "oracle spill-tier exhaustion rule" `Quick
+      test_oracle_spill_exhaustion;
+    Alcotest.test_case "spill-exhaust fault site" `Quick test_spill_exhaust_fault;
     Alcotest.test_case "oracle silent on real runs" `Quick test_oracle_on_real_runs;
     Alcotest.test_case "chaos case determinism" `Quick test_chaos_case_determinism;
     Alcotest.test_case "chaos json round trip" `Quick test_chaos_json_roundtrip;
+    Alcotest.test_case "chaos storm band" `Quick test_chaos_storm_band;
     Alcotest.test_case "chaos campaign" `Quick test_chaos_campaign;
   ]

@@ -75,7 +75,7 @@ let sample_records =
     mk (Trace.Rollback { reason = Trace.Conflict; point = 2 });
     mk (Trace.Rollback { reason = Trace.Buffer_overflow; point = -1 });
     mk (Trace.Nosync { point = 3 });
-    mk Trace.Overflow;
+    mk (Trace.Overflow { spill_cap = -1 });
     mk (Trace.Join { child = 4; committed = true });
     mk (Trace.Barrier { counter = 2 });
     mk

@@ -137,19 +137,19 @@ let test_static_no_backoff_is_permissive () =
 let test_static_degrade () =
   let p = Policy.static (Config.Policy.static ~degrade_after:2 ()) in
   Alcotest.(check (option string)) "first overflow: no event" None
-    (ev_what (Policy.on_overflow p ~point:0));
+    (ev_what (Policy.on_overflow p ~point:0 ~pressure:Policy.Exhaust));
   Alcotest.(check bool) "not yet degraded" false (Policy.degraded p);
   Alcotest.(check (option string)) "second overflow degrades" (Some "degrade")
-    (ev_what (Policy.on_overflow p ~point:0));
+    (ev_what (Policy.on_overflow p ~point:0 ~pressure:Policy.Exhaust));
   Alcotest.(check bool) "degraded" true (Policy.degraded p);
   Alcotest.check decision "degraded denies everything" Policy.Deny
     (Policy.decide p (rq ()));
   (* a commit before the threshold would have reset the streak *)
   let p = Policy.static (Config.Policy.static ~degrade_after:2 ()) in
-  ignore (Policy.on_overflow p ~point:0);
+  ignore (Policy.on_overflow p ~point:0 ~pressure:Policy.Exhaust);
   Policy.on_commit p ~point:0;
   Alcotest.(check (option string)) "commit resets the streak" None
-    (ev_what (Policy.on_overflow p ~point:0))
+    (ev_what (Policy.on_overflow p ~point:0 ~pressure:Policy.Exhaust))
 
 (* --- adaptive engine --------------------------------------------------- *)
 
@@ -271,10 +271,10 @@ let test_adaptive_expand_gate () =
    Thread_manager double count). *)
 let test_adaptive_unified_counting () =
   let p = adaptive ~deny_after:3 () in
-  ignore (Policy.on_overflow p ~point:0);
+  ignore (Policy.on_overflow p ~point:0 ~pressure:Policy.Exhaust);
   Alcotest.(check (option string)) "pair 1" None
     (ev_what (Policy.on_rollback p ~point:0));
-  ignore (Policy.on_overflow p ~point:0);
+  ignore (Policy.on_overflow p ~point:0 ~pressure:Policy.Exhaust);
   (* if overflows were double-counted the streak would be 4 here *)
   Alcotest.(check (option string)) "pair 2: single-counted" None
     (ev_what (Policy.on_rollback p ~point:0));

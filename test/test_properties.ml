@@ -165,6 +165,111 @@ int main() {
       r.Mutls_interp.Eval.toutput = seq.Mutls_interp.Eval.soutput)
   |> QCheck_alcotest.to_alcotest
 
+(* --- memory-pressure resilience ----------------------------------------- *)
+
+(* Enabling the spill tier must be free until pressure: for a program
+   whose per-thread footprint fits the home slots without hash
+   conflicts (park-free by construction: a small contiguous array),
+   output AND virtual time are identical with the tier off and on. *)
+let test_spill_tier_free =
+  QCheck.Test.make
+    ~name:"spill tier free for park-free programs (output and cycles)"
+    ~count:8 arb_expr_small
+    (fun expr ->
+      let src =
+        Printf.sprintf
+          {|
+int out[16];
+int main() {
+  for (int c = 0; c < 8; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int v0 = c; int v1 = c + 1; int v2 = c * 2; int v3 = 7 - c;
+    int r = %s;
+    for (int k = 0; k < 12; k++) r = r + k * c;
+    out[c] = r;
+    __builtin_MUTLS_join(0);
+  }
+  int t = 0;
+  for (int c = 0; c < 8; c++) t = t + out[c] %% 100000;
+  print_int(t);
+  print_newline();
+  return 0;
+}
+|}
+          (pp expr)
+      in
+      let m = Mutls_minic.Codegen.compile src in
+      let t = Mutls_speculator.Pass.run m in
+      let run buffers =
+        let cfg = { Mutls_runtime.Config.default with ncpus = 4; buffers } in
+        Mutls_interp.Eval.run_tls cfg t
+      in
+      let off = run Mutls_runtime.Config.Buffers.default in
+      let on_ =
+        run
+          { Mutls_runtime.Config.Buffers.default with
+            Mutls_runtime.Config.Buffers.spill_slots = 4096
+          }
+      in
+      off.Mutls_interp.Eval.toutput = on_.Mutls_interp.Eval.toutput
+      && off.Mutls_interp.Eval.tfinish = on_.Mutls_interp.Eval.tfinish)
+  |> QCheck_alcotest.to_alcotest
+
+(* Forced overflow pressure: home slots far smaller than the scattered
+   per-chunk footprint, so every speculative thread spills (and
+   cross-chunk aliasing forces genuine rollbacks too).  Whatever the
+   memory system does under pressure, TLS output must equal
+   sequential. *)
+let test_pressure_tls_equivalence =
+  QCheck.Test.make
+    ~name:"random loops TLS == sequential under overflow pressure" ~count:6
+    arb_expr_small
+    (fun expr ->
+      let src =
+        Printf.sprintf
+          {|
+int out[16];
+int A[512];
+int main() {
+  for (int c = 0; c < 12; c++) {
+    __builtin_MUTLS_fork(0, mixed);
+    int v0 = c; int v1 = c + 1; int v2 = c * 2; int v3 = 7 - c;
+    int r = %s;
+    for (int k = 0; k < 40; k++) {
+      int i = (c * 97 + k * 31) %% 512;
+      A[i] = A[i] + r + k;
+    }
+    out[c] = r;
+    __builtin_MUTLS_join(0);
+  }
+  int t = 0;
+  for (int c = 0; c < 12; c++) t = t + out[c] %% 100000;
+  for (int i = 0; i < 512; i++) t = t + A[i] %% 1000;
+  print_int(t);
+  print_newline();
+  return 0;
+}
+|}
+          (pp expr)
+      in
+      let m = Mutls_minic.Codegen.compile src in
+      let seq = Mutls_interp.Eval.run_sequential m in
+      let t = Mutls_speculator.Pass.run m in
+      let cfg =
+        { Mutls_runtime.Config.default with
+          ncpus = 4;
+          buffer_slots = 16;
+          temp_slots = 2;
+          buffers =
+            { Mutls_runtime.Config.Buffers.default with
+              Mutls_runtime.Config.Buffers.spill_slots = 128
+            }
+        }
+      in
+      let r = Mutls_interp.Eval.run_tls cfg t in
+      r.Mutls_interp.Eval.toutput = seq.Mutls_interp.Eval.soutput)
+  |> QCheck_alcotest.to_alcotest
+
 (* --- trace serialisation properties ------------------------------------- *)
 
 module Trace = Mutls_obs.Trace
@@ -215,13 +320,17 @@ let gen_record =
           small_nat;
         map2 (fun reason point -> Trace.Rollback { reason; point }) reason id;
         map (fun point -> Trace.Nosync { point }) id;
-        return Trace.Overflow;
+        (* -1/0 both serialise argless and parse back as -1, so the
+           line-level round trip stays byte-stable for all three *)
+        map (fun spill_cap -> Trace.Overflow { spill_cap })
+          (oneofl [ -1; 0; 16; 4096 ]);
         map2 (fun child committed -> Trace.Join { child; committed }) id bool;
         map (fun counter -> Trace.Barrier { counter }) small_nat;
         map3 (fun committed runtime stats -> Trace.Retire { committed; runtime; stats })
           bool cost stats;
         map2 (fun category cost -> Trace.Charge { category; cost }) category cost;
         map (fun addr -> Trace.Spill { addr }) (int_range 0 0xFFFFFF);
+        map (fun addr -> Trace.Park { addr }) (int_range 0 0xFFFFFF);
         map2 (fun push depth -> Trace.Frame { push; depth }) bool small_nat;
         map2 (fun what info -> Trace.Sched { what; info })
           (oneofl [ "wake"; "sleep"; "schedule" ]) id;
@@ -251,6 +360,8 @@ let tests =
   [
     test_expr_semantics;
     test_random_tls_equivalence;
+    test_spill_tier_free;
+    test_pressure_tls_equivalence;
     Alcotest.test_case "rollback_reason string round trip" `Quick
       test_reason_round_trip;
     test_jsonl_byte_stable;

@@ -81,7 +81,7 @@ let test_address_space_model =
 
 let test_gb_read_your_writes () =
   let _, mem = make_mem () in
-  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  let gb = GB.create ~slots:256 ~temp_slots:8 () in
   ignore (GB.write gb mem 0x100 8 42L);
   let v, hit = GB.read gb mem 0x100 8 in
   Alcotest.(check int64) "read back" 42L v;
@@ -90,7 +90,7 @@ let test_gb_read_your_writes () =
 let test_gb_read_from_memory () =
   let backing, mem = make_mem () in
   Bytes.set_int64_le backing 0x200 7L;
-  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  let gb = GB.create ~slots:256 ~temp_slots:8 () in
   let v, hit = GB.read gb mem 0x200 8 in
   Alcotest.(check int64) "fetched" 7L v;
   Alcotest.(check bool) "first read is a miss" false hit;
@@ -99,7 +99,7 @@ let test_gb_read_from_memory () =
 
 let test_gb_writes_not_visible_before_commit () =
   let backing, mem = make_mem () in
-  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  let gb = GB.create ~slots:256 ~temp_slots:8 () in
   ignore (GB.write gb mem 0x300 8 99L);
   Alcotest.(check int64) "memory untouched" 0L (Bytes.get_int64_le backing 0x300);
   ignore (GB.commit gb mem);
@@ -108,7 +108,7 @@ let test_gb_writes_not_visible_before_commit () =
 let test_gb_validate () =
   let backing, mem = make_mem () in
   Bytes.set_int64_le backing 0x400 5L;
-  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  let gb = GB.create ~slots:256 ~temp_slots:8 () in
   ignore (GB.read gb mem 0x400 8);
   Alcotest.(check int) "validates clean" 1 (GB.validate gb mem);
   (* non-speculative write changes the value under our feet *)
@@ -120,7 +120,7 @@ let test_gb_validate () =
 let test_gb_subword () =
   let backing, mem = make_mem () in
   Bytes.set_int64_le backing 0x500 0x1122334455667788L;
-  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  let gb = GB.create ~slots:256 ~temp_slots:8 () in
   (* write one byte speculatively *)
   ignore (GB.write gb mem 0x502 1 0xABL);
   let v, _ = GB.read gb mem 0x502 1 in
@@ -136,7 +136,7 @@ let test_gb_subword () =
 let test_gb_subword_i32 () =
   let backing, mem = make_mem () in
   Bytes.set_int64_le backing 0x600 (-1L);
-  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  let gb = GB.create ~slots:256 ~temp_slots:8 () in
   ignore (GB.write gb mem 0x600 4 0x12345678L);
   ignore (GB.commit gb mem);
   Alcotest.(check int64) "low half replaced" 0xFFFFFFFF12345678L
@@ -144,7 +144,7 @@ let test_gb_subword_i32 () =
 
 let test_gb_hash_conflict_temp () =
   let backing, mem = make_mem () in
-  let gb = GB.create ~slots:16 ~temp_slots:4 in
+  let gb = GB.create ~slots:16 ~temp_slots:4 () in
   (* slots=16: addresses 0x100 and 0x100 + 16*8 collide *)
   let a1 = 0x100 and a2 = 0x100 + (16 * 8) in
   ignore (GB.write gb mem a1 8 1L);
@@ -160,7 +160,7 @@ let test_gb_hash_conflict_temp () =
 
 let test_gb_overflow () =
   let _, mem = make_mem () in
-  let gb = GB.create ~slots:2 ~temp_slots:2 in
+  let gb = GB.create ~slots:2 ~temp_slots:2 () in
   (* all addresses collide into 2 slots; temp holds 2; the next raises *)
   Alcotest.check_raises "overflow" GB.Overflow (fun () ->
       for i = 0 to 10 do
@@ -169,7 +169,7 @@ let test_gb_overflow () =
 
 let test_gb_finalize_reuse () =
   let backing, mem = make_mem () in
-  let gb = GB.create ~slots:64 ~temp_slots:4 in
+  let gb = GB.create ~slots:64 ~temp_slots:4 () in
   ignore (GB.write gb mem 0x700 8 1L);
   ignore (GB.read gb mem 0x708 8);
   let n = GB.finalize gb in
@@ -185,7 +185,7 @@ let test_gb_finalize_reuse () =
 let test_gb_wholeword_marks () =
   let backing, mem = make_mem () in
   Bytes.set_int64_le backing 0x800 0x0102030405060708L;
-  let gb = GB.create ~slots:256 ~temp_slots:8 in
+  let gb = GB.create ~slots:256 ~temp_slots:8 () in
   ignore (GB.write gb mem 0x800 8 0x1111111111111111L);
   ignore (GB.write gb mem 0x803 1 0xEEL);
   ignore (GB.commit gb mem);
@@ -194,7 +194,7 @@ let test_gb_wholeword_marks () =
   (* and the reverse order: byte marks first, then a whole-word store
      must cover them all *)
   Bytes.set_int64_le backing 0x900 (-1L);
-  let gb2 = GB.create ~slots:256 ~temp_slots:8 in
+  let gb2 = GB.create ~slots:256 ~temp_slots:8 () in
   ignore (GB.write gb2 mem 0x901 1 0x22L);
   ignore (GB.write gb2 mem 0x900 8 0x3333333333333333L);
   ignore (GB.commit gb2 mem);
@@ -205,7 +205,7 @@ let test_gb_wholeword_marks () =
    buffer must be fully reusable and old entries unreachable. *)
 let test_gb_temp_prefix_reuse () =
   let backing, mem = make_mem () in
-  let gb = GB.create ~slots:16 ~temp_slots:4 in
+  let gb = GB.create ~slots:16 ~temp_slots:4 () in
   let stride = 16 * 8 in
   (* 0x100 occupies the slot; the next three collide into temp *)
   ignore (GB.write gb mem 0x100 8 1L);
@@ -238,9 +238,202 @@ let test_gb_model =
     QCheck.(list (triple bool (int_range 0 500) small_int))
     (fun ops ->
       let backing, mem = make_mem () in
-      let gb = GB.create ~slots:1024 ~temp_slots:64 in
+      let gb = GB.create ~slots:1024 ~temp_slots:64 () in
       let shadow = Hashtbl.create 64 in
       (* addresses are 8-aligned in 0x1000.. *)
+      let ok = ref true in
+      (try
+         List.iter
+           (fun (is_write, slot, value) ->
+             let addr = 0x1000 + (8 * slot) in
+             if is_write then begin
+               ignore (GB.write gb mem addr 8 (Int64.of_int value));
+               Hashtbl.replace shadow addr (Int64.of_int value)
+             end
+             else begin
+               let v, _ = GB.read gb mem addr 8 in
+               let expect =
+                 match Hashtbl.find_opt shadow addr with
+                 | Some x -> x
+                 | None -> Bytes.get_int64_le backing addr
+               in
+               if v <> expect then ok := false
+             end)
+           ops;
+         ignore (GB.commit gb mem);
+         Hashtbl.iter
+           (fun addr v ->
+             if Bytes.get_int64_le backing addr <> v then ok := false)
+           shadow
+       with GB.Overflow -> ());
+      !ok)
+  |> QCheck_alcotest.to_alcotest
+
+(* --- pressure-resilience layers: spill tier, shards, line mode ---------- *)
+
+(* The exact access pattern that overflows the seed config must survive
+   with the spill tier on: conflicts spill instead of parking, nothing
+   stalls, and spilled entries read back and commit like home ones. *)
+let test_gb_spill_tier () =
+  let backing, mem = make_mem () in
+  let gb = GB.create ~spill_slots:16 ~slots:2 ~temp_slots:2 () in
+  Alcotest.(check int) "tier capacity" 16 (GB.spill_capacity gb);
+  for i = 0 to 10 do
+    ignore (GB.write gb mem (0x100 + (2 * 8 * i)) 8 (Int64.of_int i))
+  done;
+  Alcotest.(check bool) "entries spilled" true (GB.spills gb > 0);
+  Alcotest.(check int) "tier occupancy" (GB.spills gb) (GB.spill_size gb);
+  Alcotest.(check bool) "no stall request" false (GB.conflict_pending gb);
+  let v, hit = GB.read gb mem (0x100 + (2 * 8 * 7)) 8 in
+  Alcotest.(check int64) "spilled entry read back" 7L v;
+  Alcotest.(check bool) "spilled read hits" true hit;
+  ignore (GB.commit gb mem);
+  for i = 0 to 10 do
+    Alcotest.(check int64)
+      (Printf.sprintf "word %d committed" i)
+      (Int64.of_int i)
+      (Bytes.get_int64_le backing (0x100 + (2 * 8 * i)))
+  done
+
+let test_gb_spill_exhaust () =
+  let _, mem = make_mem () in
+  let gb = GB.create ~spill_slots:2 ~slots:2 ~temp_slots:2 () in
+  (* Overflow is reserved for true tier exhaustion *)
+  Alcotest.check_raises "tier exhaustion" GB.Overflow (fun () ->
+      for i = 0 to 10 do
+        ignore (GB.write gb mem (0x100 + (2 * 8 * i)) 8 (Int64.of_int i))
+      done);
+  Alcotest.(check int) "tier really filled first" 2 (GB.spills gb)
+
+let test_gb_spill_validate () =
+  let backing, mem = make_mem () in
+  Bytes.set_int64_le backing 0x100 5L;
+  Bytes.set_int64_le backing 0x110 6L;
+  let gb = GB.create ~spill_slots:16 ~slots:2 ~temp_slots:2 () in
+  ignore (GB.read gb mem 0x100 8);
+  (* collides with 0x100's home slot, lands in the spill tier *)
+  ignore (GB.read gb mem 0x110 8);
+  Alcotest.(check int) "both words checked" 2 (GB.validate gb mem);
+  (* a conflicting store under a *spilled* read must still be caught *)
+  Bytes.set_int64_le backing 0x110 7L;
+  Alcotest.check_raises "spilled read validated" (GB.Invalid_read 0x110)
+    (fun () -> ignore (GB.validate gb mem))
+
+let test_gb_spill_finalize_reuse () =
+  let backing, mem = make_mem () in
+  let gb = GB.create ~spill_slots:16 ~slots:2 ~temp_slots:2 () in
+  ignore (GB.write gb mem 0x100 8 1L);
+  ignore (GB.write gb mem 0x110 8 2L);
+  Alcotest.(check int) "one entry in the tier" 1 (GB.spill_size gb);
+  ignore (GB.finalize gb);
+  Alcotest.(check int) "tier cleared" 0 (GB.spill_size gb);
+  (* stale spill entries must not shadow post-finalize reads *)
+  Bytes.set_int64_le backing 0x110 77L;
+  let v, hit = GB.read gb mem 0x110 8 in
+  Alcotest.(check int64) "fetches fresh memory" 77L v;
+  Alcotest.(check bool) "no stale spill hit" false hit;
+  (* the lifetime counter survives finalize (pooled-buffer telemetry) *)
+  Alcotest.(check int) "cumulative spills kept" 1 (GB.spills gb);
+  (* discarded spilled writes never reach memory *)
+  Alcotest.(check int64) "discarded" 0L (Bytes.get_int64_le backing 0x100)
+
+let test_gb_shards () =
+  let backing, mem = make_mem () in
+  let gb = GB.create ~shards:4 ~slots:64 ~temp_slots:4 () in
+  Alcotest.(check int) "shard count" 4 (GB.shard_count gb);
+  (* consecutive 64-byte lines interleave round-robin across shards;
+     the word offset inside the line varies so the two lines landing in
+     each shard occupy distinct slots of its 16-slot map *)
+  let addr l = 0x1000 + (64 * l) + (8 * (l lsr 2)) in
+  for l = 0 to 7 do
+    ignore (GB.write gb mem (addr l) 8 (Int64.of_int l))
+  done;
+  let occ = ref 0 in
+  for s = 0 to GB.shard_count gb - 1 do
+    occ := !occ + GB.shard_occupancy gb s
+  done;
+  Alcotest.(check int) "occupancy totals the footprint" 8 !occ;
+  for s = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "shard %d balanced" s)
+      2
+      (GB.shard_occupancy gb s)
+  done;
+  for l = 0 to 7 do
+    let v, hit = GB.read gb mem (addr l) 8 in
+    Alcotest.(check int64) "read back across shards" (Int64.of_int l) v;
+    Alcotest.(check bool) "sharded hit" true hit
+  done;
+  ignore (GB.commit gb mem);
+  for l = 0 to 7 do
+    Alcotest.(check int64) "committed across shards" (Int64.of_int l)
+      (Bytes.get_int64_le backing (addr l))
+  done
+
+let test_gb_line_mode () =
+  let backing, mem = make_mem () in
+  let gb = GB.create ~line_words:8 ~slots:256 ~temp_slots:8 () in
+  (* one fully-marked line (bulk path) plus a partial line *)
+  for w = 0 to 7 do
+    ignore (GB.write gb mem (0x2000 + (8 * w)) 8 (Int64.of_int (100 + w)))
+  done;
+  ignore (GB.write gb mem 0x2100 8 9L);
+  ignore (GB.write gb mem 0x2108 1 0xABL);
+  let words = GB.commit gb mem in
+  Alcotest.(check int) "word count independent of line mode" 10 words;
+  for w = 0 to 7 do
+    Alcotest.(check int64) "full line committed"
+      (Int64.of_int (100 + w))
+      (Bytes.get_int64_le backing (0x2000 + (8 * w)))
+  done;
+  Alcotest.(check int64) "partial word" 9L (Bytes.get_int64_le backing 0x2100);
+  Alcotest.(check int64) "subword in line mode" 0xABL
+    (Bytes.get_int64_le backing 0x2108);
+  (* bulk validate still counts and attributes per word *)
+  let gb2 = GB.create ~line_words:8 ~slots:256 ~temp_slots:8 () in
+  for w = 0 to 7 do
+    ignore (GB.read gb2 mem (0x3000 + (8 * w)) 8)
+  done;
+  Alcotest.(check int) "line validate word count" 8 (GB.validate gb2 mem);
+  Bytes.set_int64_le backing 0x3020 99L;
+  Alcotest.check_raises "line validate attributes the word"
+    (GB.Invalid_read 0x3020) (fun () -> ignore (GB.validate gb2 mem))
+
+(* The shard fast path (write hit through the per-shard last-slot
+   cache) must not allocate: pin it with the minor-heap counter.  The
+   slack covers the boxed floats the counter reads themselves cost. *)
+let test_gb_shard_fastpath_no_alloc () =
+  let _, mem = make_mem () in
+  let gb = GB.create ~shards:4 ~slots:256 ~temp_slots:8 () in
+  ignore (GB.write gb mem 0x100 8 42L);
+  ignore (GB.write gb mem 0x100 8 42L);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (GB.write gb mem 0x100 8 42L)
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check bool)
+    (Printf.sprintf "no allocation on the write-hit fast path (%.0f words)"
+       (w1 -. w0))
+    true
+    (w1 -. w0 <= 16.0)
+
+(* The shadow-model property again, across the resilience geometry:
+   sharding, the spill tier, and line mode must be invisible to
+   read/write/commit semantics. *)
+let test_gb_model_geometry =
+  QCheck.Test.make ~name:"global buffer vs shadow model (sharded/spill/line)"
+    ~count:200
+    QCheck.(
+      pair
+        (triple (oneofl [ 1; 2; 4; 8 ]) (oneofl [ 0; 16; 64 ]) (oneofl [ 1; 8 ]))
+        (list (triple bool (int_range 0 500) small_int)))
+    (fun ((shards, spill_slots, line_words), ops) ->
+      let backing, mem = make_mem () in
+      let gb =
+        GB.create ~shards ~spill_slots ~line_words ~slots:128 ~temp_slots:8 ()
+      in
+      let shadow = Hashtbl.create 64 in
       let ok = ref true in
       (try
          List.iter
@@ -339,6 +532,15 @@ let tests =
     Alcotest.test_case "gb whole-word marks" `Quick test_gb_wholeword_marks;
     Alcotest.test_case "gb temp prefix reuse" `Quick test_gb_temp_prefix_reuse;
     test_gb_model;
+    Alcotest.test_case "gb spill tier absorbs conflicts" `Quick test_gb_spill_tier;
+    Alcotest.test_case "gb spill tier exhaustion" `Quick test_gb_spill_exhaust;
+    Alcotest.test_case "gb spill tier validates" `Quick test_gb_spill_validate;
+    Alcotest.test_case "gb spill tier finalize" `Quick test_gb_spill_finalize_reuse;
+    Alcotest.test_case "gb sharded maps" `Quick test_gb_shards;
+    Alcotest.test_case "gb line-granular bulk paths" `Quick test_gb_line_mode;
+    Alcotest.test_case "gb shard fast path allocation-free" `Quick
+      test_gb_shard_fastpath_no_alloc;
+    test_gb_model_geometry;
     Alcotest.test_case "lb frames" `Quick test_lb_frames_and_regs;
     Alcotest.test_case "lb bounds" `Quick test_lb_offset_bounds;
     Alcotest.test_case "lb fork regs isolated" `Quick test_lb_fork_regs_isolated;
