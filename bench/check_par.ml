@@ -1,0 +1,187 @@
+(* CI parallel-backend gate.
+
+     dune exec bench/check_par.exe -- BASELINE FRESH [--require-baseline]
+
+   Holds a freshly generated BENCH_par.json (bench/main.exe -- par)
+   against the committed bench/BASELINE_par.json.  Two kinds of check:
+
+   Intrinsic invariants (no baseline needed — checked on the fresh run
+   alone):
+     - a row exists for every paper benchmark at every domain count the
+       artifact declares, and every timing is positive.  Oracle
+       equality needs no row here: Experiments.run_par compares each
+       run's output against the sequential run and raises Divergence on
+       mismatch, so a complete artifact could only have been written by
+       runs that all matched;
+     - scaling: when the recording host has at least 4 cores (the
+       artifact's host_cores field) and the sweep includes 4 domains,
+       at least two workloads must show a speedup above 1.5x going from
+       1 to 4 domains.  On smaller hosts (e.g. a 1-core CI container)
+       domains time-slice one core and no speedup is physically
+       possible, so the bar is recorded but not enforced.
+
+   Baseline check: with --require-baseline (CI) the committed snapshot
+   must exist and satisfy the same invariants under its own recorded
+   host_cores.  There is deliberately no tight fresh-vs-baseline timing
+   band — these are wall-clock numbers from different hosts; the
+   machine-independent content is the scaling invariant, and that is
+   what the gate enforces. *)
+
+module Json = Mutls.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type artifact = {
+  host_cores : int;
+  domains : int list;
+  rows : (string * int * float) list; (* workload, domains, seconds *)
+}
+
+let artifact_of path j =
+  let int_field key =
+    match Option.bind (Json.member key j) Json.to_int with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: missing integer field %S" path key)
+  in
+  let domains =
+    match Json.member "domains" j with
+    | Some (Json.List ds) -> List.filter_map Json.to_int ds
+    | _ -> failwith (Printf.sprintf "%s: missing \"domains\" array" path)
+  in
+  let rows =
+    match Json.member "rows" j with
+    | Some (Json.List rows) ->
+      List.filter_map
+        (fun r ->
+          match
+            ( Option.bind (Json.member "workload" r) Json.to_str,
+              Option.bind (Json.member "domains" r) Json.to_int,
+              Option.bind (Json.member "seconds" r) Json.to_float )
+          with
+          | Some w, Some d, Some s -> Some (w, d, s)
+          | _ -> None)
+        rows
+    | _ -> failwith (Printf.sprintf "%s: missing \"rows\" array" path)
+  in
+  { host_cores = int_field "host_cores"; domains; rows }
+
+let benchmarks =
+  List.map (fun w -> w.Mutls.Workloads.name) Mutls.Workloads.all
+
+let find a workload domains =
+  match
+    List.find_opt (fun (w, d, _) -> w = workload && d = domains) a.rows
+  with
+  | Some (_, _, s) -> Some s
+  | None -> None
+
+(* Runs the invariants on one artifact; returns the number of failed
+   checks. *)
+let check_artifact label a =
+  let failures = ref 0 in
+  let check what ok =
+    Printf.printf "  %-58s %s\n" what (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  Printf.printf "%s (host_cores = %d):\n" label a.host_cores;
+  List.iter
+    (fun w ->
+      let complete =
+        List.for_all
+          (fun d ->
+            match find a w d with Some s -> s > 0.0 | None -> false)
+          a.domains
+      in
+      check (Printf.sprintf "%s: timed at every domain count" w) complete)
+    benchmarks;
+  if a.host_cores >= 4 && List.mem 1 a.domains && List.mem 4 a.domains then begin
+    let scaling =
+      List.filter
+        (fun w ->
+          match (find a w 1, find a w 4) with
+          | Some s1, Some s4 -> s1 /. s4 > 1.5
+          | _ -> false)
+        benchmarks
+    in
+    check
+      (Printf.sprintf ">=2 workloads above 1.5x at 4 domains (got %d: %s)"
+         (List.length scaling)
+         (String.concat " " scaling))
+      (List.length scaling >= 2)
+  end
+  else
+    Printf.printf
+      "  scaling bar not enforced (host_cores = %d < 4, or no 1-vs-4 pair)\n"
+      a.host_cores;
+  !failures
+
+let () =
+  let baseline = ref None and fresh = ref None in
+  let require_baseline = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--require-baseline" :: rest ->
+      require_baseline := true;
+      parse rest
+    | a :: rest ->
+      (match (!baseline, !fresh) with
+      | None, _ -> baseline := Some a
+      | Some _, None -> fresh := Some a
+      | Some _, Some _ -> failwith ("unexpected argument " ^ a));
+      parse rest
+  in
+  (try parse (List.tl (Array.to_list Sys.argv))
+   with Failure e ->
+     Printf.eprintf "check_par: %s\n" e;
+     exit 2);
+  let baseline_path, fresh_path =
+    match (!baseline, !fresh) with
+    | Some b, Some f -> (b, f)
+    | _ ->
+      Printf.eprintf "usage: check_par BASELINE FRESH [--require-baseline]\n";
+      exit 2
+  in
+  let load path =
+    try Json.of_string (read_file path) with
+    | Sys_error e ->
+      Printf.eprintf "check_par: %s\n" e;
+      exit 2
+    | Json.Parse_error e ->
+      Printf.eprintf "check_par: %s: %s\n" path e;
+      exit 2
+  in
+  try
+    let failures =
+      ref (check_artifact "fresh run invariants" (artifact_of fresh_path (load fresh_path)))
+    in
+    if not (Sys.file_exists baseline_path) then
+      if !require_baseline then begin
+        Printf.eprintf
+          "check_par: no baseline at %s (--require-baseline: the committed \
+           snapshot is part of the gate)\n"
+          baseline_path;
+        exit 1
+      end
+      else
+        Printf.printf
+          "check_par: no baseline at %s; skipping the baseline invariants \
+           (commit a snapshot to arm them)\n"
+          baseline_path
+    else
+      failures :=
+        !failures
+        + check_artifact "committed baseline invariants"
+            (artifact_of baseline_path (load baseline_path));
+    if !failures > 0 then begin
+      Printf.printf "check_par: %d check(s) failed\n" !failures;
+      exit 1
+    end;
+    print_string "check_par: parallel backend invariants hold\n"
+  with Failure e ->
+    Printf.eprintf "check_par: %s\n" e;
+    exit 2

@@ -4,6 +4,9 @@
      dune exec bench/main.exe              — everything
      dune exec bench/main.exe -- fig3      — one artifact
      dune exec bench/main.exe -- quick     — reduced CPU sweep
+     dune exec bench/main.exe -- --no-cache perf
+                                           — disable the metrics cache
+                                             (baseline regeneration)
 
    Absolute numbers come from the virtual-time cost model (see
    DESIGN.md); the paper's shapes — who wins, by what factor, where the
@@ -616,6 +619,63 @@ int main() {
   close_out oc;
   Printf.printf "[wrote BENCH_mem.json]\n"
 
+(* --- par: domains-backend sweep, emits BENCH_par.json ----------------- *)
+
+(* Wall-clocks every paper benchmark on the OCaml 5 domains backend
+   (Mutls_par.Sched) across domain counts, at a fixed virtual-CPU
+   budget.  Experiments.run_par checks each run's output against the
+   sequential oracle (raising Divergence on mismatch), so a written
+   artifact is itself evidence of correctness; the recorded
+   host_cores lets the CI gate (check_par.exe) demand real speedup
+   only on hosts that can physically provide it.  Never cached —
+   these are honest wall-clock timings by construction. *)
+let par () =
+  heading "Parallel backend: wall-clock vs domains (ncpus = 8)";
+  let domain_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let reps = if !quick then 1 else 3 in
+  let ncpus = 8 in
+  let host_cores = Domain.recommended_domain_count () in
+  let rows =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun domains ->
+            (* min-of-k: robust to scheduler noise on shared runners *)
+            let best = ref infinity in
+            for _ = 1 to reps do
+              let s = E.run_par ~domains ~ncpus w in
+              if s < !best then best := s
+            done;
+            Printf.printf "  %-11s %d domain(s)  %8.4f s wall\n" w.W.name
+              domains !best;
+            (w.W.name, domains, !best))
+          domain_counts)
+      W.all
+  in
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"par-domains-sweep\",\n\
+    \  \"ncpus\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"domains\": [%s],\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    ncpus reps host_cores
+    (String.concat ", " (List.map string_of_int domain_counts))
+    (String.concat ",\n"
+       (List.map
+          (fun (n, d, s) ->
+            Printf.sprintf
+              "    { \"workload\": %S, \"domains\": %d, \"seconds\": %.4f }" n d
+              s)
+          rows));
+  close_out oc;
+  Printf.printf "[wrote BENCH_par.json]\n"
+
 (* --- driver ----------------------------------------------------------- *)
 
 let artifacts =
@@ -640,6 +700,7 @@ let artifacts =
     ("obs", obs);
     ("mem", mem);
     ("perf", perf);
+    ("par", par);
   ]
 
 let () =
@@ -651,15 +712,25 @@ let () =
           quick := true;
           false
         end
+        else if a = "--no-cache" then begin
+          (* every row in a committed baseline must report a timing
+             that really executed, never a metrics-cache lookup *)
+          E.set_cache_enabled false;
+          E.clear_cache ();
+          false
+        end
         else true)
       args
   in
   let selected =
     match args with
-    (* perf re-runs the figure sweep under a timer and obs repeats
-       timed TLS runs; both only on request *)
+    (* perf re-runs the figure sweep under a timer, obs repeats timed
+       TLS runs, and par wall-clocks the domains backend; all three
+       only on request *)
     | [] ->
-      List.filter (fun n -> n <> "perf" && n <> "obs") (List.map fst artifacts)
+      List.filter
+        (fun n -> n <> "perf" && n <> "obs" && n <> "par")
+        (List.map fst artifacts)
     | names ->
       List.iter
         (fun n ->

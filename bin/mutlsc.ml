@@ -69,6 +69,14 @@ let lang_arg =
 let cpus_arg =
   Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N" ~doc:"Virtual CPUs.")
 
+let domains_arg =
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
+         ~doc:"Run on the parallel OCaml 5 domains backend with $(docv) \
+               domains (work stealing spreads the virtual CPUs' threads \
+               over them) instead of the deterministic simulator.  Timing \
+               becomes wall-clock; outputs still match the simulator.  0 \
+               (the default) selects the simulator.")
+
 let model_arg =
   Arg.(value & opt (some string) None & info [ "model" ]
          ~doc:"Force all fork points to one model: mixed, inorder, outoforder.")
@@ -272,8 +280,8 @@ let fold_trace_file feed path =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file lang cpus model rollback policy buffers seq stats optimize trace
-      profile metrics =
+  let run file lang cpus domains model rollback policy buffers seq stats
+      optimize trace profile metrics =
     try
       let source = read_file file in
       let m = compile_input ~optimize file lang source in
@@ -298,7 +306,8 @@ let run_cmd =
         let reg = Mutls.Telemetry.create () in
         let cfg =
           { (make_cfg cpus model rollback policy buffers sink) with
-            Mutls.Config.telemetry = reg }
+            Mutls.Config.telemetry = reg;
+            Mutls.Config.domains = max 1 domains }
         in
         let seq_r = Mutls.run_sequential ~cost:cfg.Mutls.Config.cost m in
         let t = Mutls.speculate m in
@@ -318,13 +327,22 @@ let run_cmd =
                       (fun path () ->
                         write_metrics path (Mutls.Telemetry.snapshot reg))
                       metrics))
-            (fun () -> Mutls.run_tls cfg t)
+            (fun () ->
+              if domains > 0 then Mutls.run_tls_par cfg t
+              else Mutls.run_tls cfg t)
         in
         print_string r.Mutls.Eval.toutput;
-        let metrics = Mutls.Metrics.compute ~ts:seq_r.Mutls.Eval.scost r in
-        Printf.printf "[TLS on %d CPUs: %.0f cycles, speedup %.2f]\n" cpus
-          r.Mutls.Eval.tfinish metrics.Mutls.Metrics.speedup;
-        if stats then Format.printf "%a@." Mutls.Metrics.pp metrics;
+        if domains > 0 then
+          (* wall-clock time; the virtual-cycle metrics belong to the
+             simulator path *)
+          Printf.printf "[TLS on %d CPUs over %d domains: %.4f s wall]\n" cpus
+            domains r.Mutls.Eval.tfinish
+        else begin
+          let metrics = Mutls.Metrics.compute ~ts:seq_r.Mutls.Eval.scost r in
+          Printf.printf "[TLS on %d CPUs: %.0f cycles, speedup %.2f]\n" cpus
+            r.Mutls.Eval.tfinish metrics.Mutls.Metrics.speedup;
+          if stats then Format.printf "%a@." Mutls.Metrics.pp metrics
+        end;
         if r.Mutls.Eval.toutput <> seq_r.Mutls.Eval.soutput then begin
           Printf.eprintf "error: TLS output diverged from sequential run\n";
           exit 2
@@ -341,9 +359,9 @@ let run_cmd =
   Cmd.v info
     Term.(
       ret
-        (const run $ file_arg $ lang_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ policy_arg $ buffers_term $ seq_arg $ stats_arg $ opt_arg $ trace_arg
-       $ profile_arg $ metrics_arg))
+        (const run $ file_arg $ lang_arg $ cpus_arg $ domains_arg $ model_arg
+       $ rollback_arg $ policy_arg $ buffers_term $ seq_arg $ stats_arg
+       $ opt_arg $ trace_arg $ profile_arg $ metrics_arg))
 
 (* --- dump --------------------------------------------------------------- *)
 
@@ -370,10 +388,23 @@ let dump_cmd =
 (* --- bench -------------------------------------------------------------- *)
 
 let bench_cmd =
-  let bench name cpus model rollback policy buffers stats trace profile
+  let bench name cpus domains model rollback policy buffers stats trace profile
       metrics_file =
     try
       let w = Mutls.Workloads.find name in
+      if domains > 0 then begin
+        (* parallel backend: a wall-clock measurement with the oracle
+           check; the virtual-time metrics and observability hooks
+           belong to the simulator path *)
+        let wall =
+          Mutls.Experiments.run_par ~policy:(policy_conv policy) ~domains
+            ~ncpus:cpus w
+        in
+        Printf.printf "%s on %d CPUs over %d domains: %.4f s wall\n" name cpus
+          domains wall;
+        `Ok ()
+      end
+      else begin
       let sink = make_sink trace in
       (* --metrics scopes telemetry to a fresh registry for this run;
          passing ?telemetry also bypasses the metrics cache so the
@@ -406,6 +437,7 @@ let bench_cmd =
           (fun (c, v) -> Printf.printf "  critical %-10s %5.1f%%\n" c (100. *. v))
           metrics.Mutls.Metrics.crit_breakdown;
       `Ok ()
+    end
     with
     | Invalid_argument e -> `Error (false, e)
     | Sys_error e -> `Error (false, e)
@@ -418,9 +450,9 @@ let bench_cmd =
   Cmd.v info
     Term.(
       ret
-        (const bench $ name_arg $ cpus_arg $ model_arg $ rollback_arg
-       $ policy_arg $ buffers_term $ stats_arg $ trace_arg $ profile_arg
-       $ metrics_arg))
+        (const bench $ name_arg $ cpus_arg $ domains_arg $ model_arg
+       $ rollback_arg $ policy_arg $ buffers_term $ stats_arg $ trace_arg
+       $ profile_arg $ metrics_arg))
 
 (* --- report ------------------------------------------------------------- *)
 

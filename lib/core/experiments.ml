@@ -70,6 +70,17 @@ let run_requests = ref 0
 let fresh_runs = ref 0
 let run_counters () = (!run_requests, !fresh_runs)
 
+(* The metrics cache makes figure sweeps that share configurations
+   cheap, but a cached row reports no fresh timing — committed bench
+   baselines want every row really executed ([bench/main.exe
+   --no-cache]). *)
+let cache_enabled = ref true
+let set_cache_enabled b = cache_enabled := b
+
+let clear_cache () =
+  Hashtbl.reset metrics_cache;
+  Hashtbl.reset prepared_cache
+
 (* Run one benchmark under TLS and compute its metrics.  A run with an
    enabled trace sink (or a profile hook, which works by attaching a
    streaming Profile sink) bypasses the metrics cache: a cache hit
@@ -95,7 +106,9 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
   in
   incr run_requests;
   let use_cache =
-    (not trace_sink.Mutls_obs.Trace.enabled) && Option.is_none telemetry
+    !cache_enabled
+    && (not trace_sink.Mutls_obs.Trace.enabled)
+    && Option.is_none telemetry
   in
   let mkey =
     ( w.Workloads.name,
@@ -151,6 +164,24 @@ let run ?(lang = C) ?(model_override = None) ?(rollback = 0.0)
     | Some f, Some reg -> f (Mutls_obs.Telemetry.snapshot reg)
     | _ -> ());
     m
+
+(* Run one benchmark on the domains backend (Mutls_par.Sched) and
+   return the wall-clock seconds from scheduler start to main's
+   completion.  Never cached: the point is a real timing and an oracle
+   check, both of which demand an actual execution.  The oracle is the
+   sequential output, which the simulator path is continuously checked
+   against — so equality here is equality with the simulator too. *)
+let run_par ?(lang = C) ?(policy = Config.Policy.default) ~domains ~ncpus
+    (w : Workloads.t) =
+  let p = prepare lang w in
+  let cfg = { Config.default with ncpus; domains; policy } in
+  let r = Eval.run_tls_par_prepared cfg p.p_prog in
+  if r.Eval.toutput <> p.p_seq_output then
+    raise
+      (Divergence
+         (Printf.sprintf "%s@%d domains: domains backend diverged: %S <> %S"
+            w.Workloads.name domains r.Eval.toutput p.p_seq_output));
+  r.Eval.tfinish
 
 (* ------------------------------------------------------------------ *)
 (* Tables                                                              *)

@@ -49,6 +49,27 @@ val run :
     cached metrics. *)
 val run_counters : unit -> int * int
 
+val set_cache_enabled : bool -> unit
+(** Turn the metrics cache off (or back on).  [bench/main.exe
+    --no-cache] disables it so every committed baseline row reports a
+    really-executed timing. *)
+
+val clear_cache : unit -> unit
+(** Drop every cached compilation and metric. *)
+
+val run_par :
+  ?lang:lang ->
+  ?policy:Mutls_runtime.Config.Policy.t ->
+  domains:int ->
+  ncpus:int ->
+  Mutls_workloads.Workloads.t ->
+  float
+(** Run one benchmark on the OCaml 5 domains backend
+    ([Mutls_par.Sched]) with [ncpus] virtual CPUs spread over [domains]
+    domains, and return wall-clock seconds from scheduler start to
+    completion.  Never cached.
+    @raise Divergence if the output differs from the sequential oracle. *)
+
 (** {1 Tables} *)
 
 val table1 : unit -> (string * string * string * string * string) list

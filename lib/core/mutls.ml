@@ -62,6 +62,9 @@ let run_sequential = Eval.run_sequential
 (* TLS run of a transformed module. *)
 let run_tls = Eval.run_tls
 
+(* TLS run on the OCaml 5 domains backend ([cfg.domains] domains). *)
+let run_tls_par = Eval.run_tls_par
+
 (* Convenience: compile, transform, and run both ways. *)
 type execution = {
   seq : Eval.seq_result;

@@ -95,6 +95,17 @@ val run_tls :
   Ir.modul ->
   Eval.tls_result
 
+val run_tls_par :
+  ?heap_size:int ->
+  ?globals_size:int ->
+  ?policy:Policy.t ->
+  Config.t ->
+  Ir.modul ->
+  Eval.tls_result
+(** Run on the work-stealing OCaml 5 domains backend with
+    [cfg.domains] domains instead of the deterministic simulator;
+    [tfinish] is wall-clock seconds.  See {!Eval.run_tls_par}. *)
+
 type execution = {
   seq : Eval.seq_result;
   tls : Eval.tls_result;

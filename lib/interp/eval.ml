@@ -156,3 +156,83 @@ let run_tls_prepared ?(heap_size = default_heap)
 let run_tls ?heap_size ?globals_size ?policy (cfg : Config.t) modul =
   run_tls_prepared ?heap_size ?globals_size ?policy cfg
     (Compile.compile ~cost:cfg.cost modul)
+
+(* --- parallel TLS execution ------------------------------------------- *)
+
+(* Same program, same runtime, different engine: speculative threads
+   run as fibers on [cfg.domains] real OCaml 5 domains under the
+   work-stealing scheduler (Mutls_par.Sched) instead of the
+   deterministic simulator.  Time is wall-clock seconds; fork decisions
+   and rollback counts are scheduling-dependent, but the TLS protocol
+   keeps outputs equal to the simulator oracle's.  Differences from
+   [run_tls_prepared]:
+     - the trace sink is wrapped in [Trace.synchronized] (one mutex per
+       run) because every domain emits into it;
+     - engine-level Sched records (spawn/block/wake) are not emitted —
+       the parallel scheduler has no deterministic event loop to
+       instrument;
+     - [tfinish] is wall-clock seconds from scheduler start to main's
+       completion. *)
+let run_tls_par_prepared ?(heap_size = default_heap)
+    ?(globals_size = default_globals) ?policy (cfg : Config.t) (prog : prog) =
+  tele_run cfg.Config.telemetry ~engine_label:"tls-par";
+  let prog = ensure_cost cfg.cost prog in
+  let modul = Compile.modul_of prog in
+  let mem =
+    Memory.create ~globals_size ~heap_size ~stack_size:default_stack
+      ~nstacks:(max 1 cfg.ncpus)
+  in
+  let globals_used = Memory.install_globals mem modul in
+  let cfg =
+    {
+      cfg with
+      Config.trace_sink = Mutls_obs.Trace.synchronized cfg.Config.trace_sink;
+    }
+  in
+  let ret = ref None in
+  let finish = ref 0.0 in
+  let out = Buffer.create 256 in
+  let mgr_ref = ref None in
+  (try
+     ignore
+       (Mutls_par.Sched.run ~telemetry:cfg.Config.telemetry
+          ~domains:cfg.Config.domains (fun sched ->
+            let exec = Mutls_par.Sched.exec sched in
+            let mgr =
+              Thread_manager.create_exec ?policy cfg exec (Memory.memio mem)
+            in
+            mgr_ref := Some mgr;
+            if globals_used > 0 then
+              Thread_manager.register_range mgr mem.Memory.globals_base
+                globals_used;
+            Thread_manager.register_range mgr mem.Memory.stack_base
+              (max 1 cfg.ncpus * default_stack);
+            let base, limit = Memory.stack_slot mem 0 in
+            let ec =
+              Compile.make_ectx prog ~mem
+                ~mode:(Compile.Tls (mgr, Thread_manager.main mgr))
+                ~out ~sp:base ~stack_limit:limit
+            in
+            ret := Compile.call ec "main" [||];
+            Thread_manager.shutdown mgr;
+            finish := Thread_manager.now mgr))
+   with Trap _ as e ->
+     tele_trap cfg.Config.telemetry;
+     raise e);
+  let mgr =
+    match !mgr_ref with
+    | Some mgr -> mgr
+    | None -> invalid_arg "run_tls_par: scheduler never ran main"
+  in
+  {
+    tret = !ret;
+    toutput = Buffer.contents out;
+    tfinish = !finish;
+    tmain_stats = (Thread_manager.main mgr).Thread_data.stats;
+    tretired = Thread_manager.retired mgr;
+    tmgr = mgr;
+  }
+
+let run_tls_par ?heap_size ?globals_size ?policy (cfg : Config.t) modul =
+  run_tls_par_prepared ?heap_size ?globals_size ?policy cfg
+    (Compile.compile ~cost:cfg.cost modul)

@@ -78,3 +78,33 @@ val run_tls_prepared :
   Mutls_runtime.Config.t ->
   prog ->
   tls_result
+
+(** {1 Parallel TLS execution}
+
+    Same program and runtime on the work-stealing domains backend
+    ({!Mutls_par.Sched}) instead of the deterministic simulator:
+    speculative threads are fibers spread over [cfg.domains] real
+    OCaml 5 domains.  Scheduling (and therefore fork decisions,
+    rollback counts, [tfinish] — here wall-clock seconds) varies run to
+    run, but the TLS protocol keeps [tret]/[toutput] equal to the
+    simulator oracle's on the same program and policy.  The configured
+    trace sink is automatically wrapped in
+    {!Mutls_obs.Trace.synchronized}; engine-level [Sched] records are
+    not emitted.
+    @raise Mutls_par.Sched.Deadlock (would indicate a runtime bug) *)
+
+val run_tls_par :
+  ?heap_size:int ->
+  ?globals_size:int ->
+  ?policy:Mutls_runtime.Policy.t ->
+  Mutls_runtime.Config.t ->
+  Mutls_mir.Ir.modul ->
+  tls_result
+
+val run_tls_par_prepared :
+  ?heap_size:int ->
+  ?globals_size:int ->
+  ?policy:Mutls_runtime.Policy.t ->
+  Mutls_runtime.Config.t ->
+  prog ->
+  tls_result

@@ -2,7 +2,7 @@
    allocation-free (pinned by a Gc.minor_words test), so every cell is
    a flat mutable record or array mutated in place:
 
-     counter    one-field int record            incr  = one store
+     counter    64-lane int array               incr  = one indexed store
      gauge      one-field float record (flat)   set   = one unboxed store
      histogram  int array + int fields          observe = shift-count + store
 
@@ -10,10 +10,21 @@
    aliases the live cell, so instrumentation resolves handles at
    creation time and the record path never touches the Hashtbl.
 
-   Snapshots are lock-free by construction: the simulator is
-   single-systhreaded, so [snapshot] just reads the cells. *)
+   Domain-safety: the parallel backend records from every domain.
+   Counters stripe increments across 64 lanes indexed by the current
+   domain id, so concurrent increments from distinct live domains never
+   collide (ids only collide modulo 64 after 64+ spawns with both
+   extremes still alive — then increments may be lost, benignly);
+   readers sum the lanes.  Gauges and histograms stay plain mutable
+   cells: single-word torn-free stores where last-writer-wins is
+   acceptable (racy-benign), except histogram count/sum pairs may skew
+   slightly under contention.  Snapshots read the cells without
+   synchronisation — exact when quiescent. *)
 
-type counter = { mutable c : int }
+let n_lanes = 64
+let lane_mask = n_lanes - 1
+
+type counter = { lanes : int array (* length n_lanes *) }
 
 (* A one-field float record is an all-float record: the field is
    stored flat and [set] does not box. *)
@@ -93,7 +104,10 @@ let lookup t ~help ~labels name make =
       cell
 
 let counter ?(help = "") ?(labels = []) t name =
-  match lookup t ~help ~labels name (fun () -> CCounter { c = 0 }) with
+  match
+    lookup t ~help ~labels name (fun () ->
+        CCounter { lanes = Array.make n_lanes 0 })
+  with
   | CCounter c -> c
   | cell ->
       invalid_arg
@@ -119,9 +133,17 @@ let histogram ?(help = "") ?(labels = []) t name =
         (Printf.sprintf "Telemetry: %S already registered as a %s" name
            (kind_word cell))
 
-let incr c = c.c <- c.c + 1
-let add c n = c.c <- c.c + n
-let counter_value c = c.c
+(* The record path: one domain-id masked index, one unsafe load, one
+   unsafe store — no bounds check, no allocation (the Gc.minor_words
+   pin).  [Domain.self] coerces to int without boxing. *)
+let[@inline] lane () = (Domain.self () :> int) land lane_mask
+let incr c =
+  let i = lane () in
+  Array.unsafe_set c.lanes i (Array.unsafe_get c.lanes i + 1)
+let add c n =
+  let i = lane () in
+  Array.unsafe_set c.lanes i (Array.unsafe_get c.lanes i + n)
+let counter_value c = Array.fold_left ( + ) 0 c.lanes
 let set g v = g.g <- v
 let gauge_value g = g.g
 
@@ -159,7 +181,7 @@ let snapshot t =
       (fun _ e acc ->
         let v =
           match e.e_cell with
-          | CCounter c -> Counter c.c
+          | CCounter c -> Counter (counter_value c)
           | CGauge g -> Gauge g.g
           | CHistogram h ->
               Histogram
@@ -187,7 +209,7 @@ let reset t =
   Hashtbl.iter
     (fun _ e ->
       match e.e_cell with
-      | CCounter c -> c.c <- 0
+      | CCounter c -> Array.fill c.lanes 0 n_lanes 0
       | CGauge g -> g.g <- 0.
       | CHistogram h ->
           Array.fill h.buckets 0 n_buckets 0;

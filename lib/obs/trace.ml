@@ -275,6 +275,30 @@ let tee sinks =
       close = (fun () -> List.iter (fun s -> s.close ()) sinks);
     }
 
+(* Sinks are written for one emitter; the parallel backend has one per
+   domain.  Serialise emit/close with a private mutex — record order
+   across domains is whatever the schedule produced. *)
+let synchronized sink =
+  if not sink.enabled then sink
+  else begin
+    let mu = Mutex.create () in
+    let locked f x =
+      Mutex.lock mu;
+      match f x with
+      | v ->
+        Mutex.unlock mu;
+        v
+      | exception e ->
+        Mutex.unlock mu;
+        raise e
+    in
+    {
+      enabled = true;
+      emit = (fun r -> locked sink.emit r);
+      close = (fun () -> locked sink.close ());
+    }
+  end
+
 (* Bounded ring buffer: keeps the newest [capacity] records, dropping
    the oldest first. *)
 type ring = {

@@ -113,6 +113,12 @@ val null : sink
 val tee : sink list -> sink
 (** Broadcast to every enabled sink in the list. *)
 
+val synchronized : sink -> sink
+(** Serialise [emit]/[close] behind a mutex, making a single-emitter
+    sink safe for the parallel backend's domains.  Record order across
+    domains is whatever the schedule produced.  Returns a disabled sink
+    unchanged. *)
+
 (** {2 Ring buffer}
 
     Bounded in-memory sink: keeps the newest [capacity] records,

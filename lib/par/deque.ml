@@ -1,0 +1,87 @@
+(* Chase–Lev work-stealing deque on OCaml 5 atomics.  Every cell is an
+   ['a option Atomic.t] and [top]/[bottom] are atomic ints, so all
+   cross-domain accesses are sequentially consistent — the classic
+   algorithm needs nothing weaker.
+
+   Invariants:
+     top <= bottom            (after transient owner-pop dips settle)
+     bottom - top <= capacity (push refuses at capacity)
+   The capacity bound doubles as the ABA guard: a slot is reused only
+   once [top] has moved past its previous occupant, so a thief holding
+   a stale index cannot win its CAS on [top]. *)
+
+type 'a t = {
+  mask : int;
+  cells : 'a option Atomic.t array;
+  top : int Atomic.t; (* next index to steal *)
+  bottom : int Atomic.t; (* next index to push *)
+}
+
+let rec ceil_pow2 n k = if k >= n then k else ceil_pow2 n (k * 2)
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Deque.create: capacity < 1";
+  let cap = ceil_pow2 capacity 1 in
+  {
+    mask = cap - 1;
+    cells = Array.init cap (fun _ -> Atomic.make None);
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  if b - t > q.mask then false
+  else begin
+    Atomic.set q.cells.(b land q.mask) (Some x);
+    Atomic.set q.bottom (b + 1);
+    true
+  end
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty: restore the invariant *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let cell = q.cells.(b land q.mask) in
+    let x = Atomic.get cell in
+    if b > t then begin
+      (* more than one element: no thief can reach index b *)
+      Atomic.set cell None;
+      x
+    end
+    else begin
+      (* last element: race the thieves for it via top *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        Atomic.set cell None;
+        x
+      end
+      else None
+    end
+  end
+
+let rec steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let x = Atomic.get q.cells.(t land q.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      match x with
+      | Some _ as r -> r
+      | None ->
+        (* unreachable by the reuse argument in the header; retry
+           defensively rather than lose a slot *)
+        steal q
+    else steal q
+  end

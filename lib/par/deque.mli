@@ -1,0 +1,33 @@
+(** Chase–Lev work-stealing deque (bounded, lock-free).
+
+    One owner pushes and pops at the bottom (LIFO — the hot path, no
+    CAS except for the last element); any number of thieves steal from
+    the top (FIFO — oldest task first, one CAS per steal).  The array
+    is fixed-size: [push] reports a full deque instead of growing, and
+    the scheduler falls back to its shared overflow queue, which keeps
+    the steal path free of resize coordination.
+
+    Safety of slot reuse: [push] refuses when [bottom - top] reaches
+    capacity, so a slot is only ever overwritten after [top] has
+    advanced past its previous index — a thief still holding the stale
+    index fails its CAS on [top] and never returns the overwritten
+    element. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 256) is rounded up to a power of two. *)
+
+val push : 'a t -> 'a -> bool
+(** Owner only.  [false] if the deque is full (the element was not
+    added). *)
+
+val pop : 'a t -> 'a option
+(** Owner only.  Takes the most recently pushed element (LIFO). *)
+
+val steal : 'a t -> 'a option
+(** Any thread.  Takes the oldest element (FIFO); [None] when the
+    deque is observed empty.  Retries internally on CAS contention. *)
+
+val size : 'a t -> int
+(** Approximate occupancy (racy snapshot; exact when quiescent). *)

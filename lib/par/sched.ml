@@ -1,0 +1,357 @@
+(* Work-stealing fiber scheduler on OCaml 5 domains.
+
+   Layout: one worker per domain; worker 0 is the caller of [run].
+   Each worker owns a Chase–Lev deque of ready tasks (owner LIFO pop,
+   thief FIFO steal); pushes that find the bounded deque full, and
+   pushes from outside any worker, go to a shared mutex-protected
+   overflow queue.
+
+   Fibers are Effect.Deep computations, as in the simulator.  A fiber
+   performing [Wait] on an unset flag parks its one-shot continuation
+   in the flag's waiter list (under the flag's leaf mutex) and returns
+   control to the worker loop; [set_flag] moves the parked
+   continuations onto the ready queues.  Continuations are resumable on
+   any domain — OCaml one-shot continuations do not pin to the domain
+   that captured them.
+
+   Memory model: the flag value is an [int option Atomic.t], so a
+   parent that observes [Some v] (peek fast path or wait) happens-after
+   everything the child wrote before setting it — in particular the
+   GlobalBuffer merges a commit performs just before publishing its
+   verdict.
+
+   Idle protocol (single condition variable): a worker that finds no
+   task increments [idle] *before* re-scanning the queues, and a pusher
+   signals the condvar only when [idle > 0].  If the pusher reads
+   [idle = 0], the increment (SC atomics give a total order) — and
+   therefore the re-scan — came after the push, so the re-scan finds
+   the task; if it reads [idle > 0], it broadcasts under the sleep
+   mutex, which either wakes the sleeper or serialises against its
+   final predicate check.  Deadlock is declared by the last worker to
+   go idle: all workers idle + queues empty + live fibers remaining
+   means every live fiber is parked on a flag no runnable fiber can
+   set. *)
+
+module Exec = Mutls_runtime.Exec
+module Telemetry = Mutls_obs.Telemetry
+
+exception Deadlock of int
+
+(* A one-shot flag.  [f_value] is the published value; [f_mu] guards
+   the waiter list (and orders a racing wait against set). *)
+type fval = {
+  f_value : int option Atomic.t;
+  f_mu : Mutex.t;
+  mutable f_waiters : (int, unit) Effect.Deep.continuation list;
+}
+
+type Exec.flag += Par_flag of fval
+type _ Effect.t += Wait : fval -> int Effect.t
+
+type task =
+  | Start of (unit -> unit)
+  | Resume of (int, unit) Effect.Deep.continuation * int
+
+type tele = {
+  on : bool;
+  t_steals : Telemetry.counter;
+  t_tasks_start : Telemetry.counter;
+  t_tasks_resume : Telemetry.counter;
+  t_busy : Telemetry.gauge array; (* per worker *)
+}
+
+type t = {
+  ndomains : int;
+  deques : task Deque.t array;
+  overflow : task Queue.t;
+  omu : Mutex.t;
+  ocount : int Atomic.t; (* overflow occupancy, for lock-free scans *)
+  live : int Atomic.t; (* fibers started and not yet finished *)
+  idle : int Atomic.t; (* workers currently out of work *)
+  stop : bool Atomic.t;
+  error : exn option Atomic.t; (* first fiber exception, or Deadlock *)
+  sleep_mu : Mutex.t;
+  sleep_cv : Condition.t;
+  lock : Mutex.t; (* the manager's shared-state lock (Exec.lock) *)
+  t0 : float;
+  tele : tele;
+  busy : float array; (* per-worker accumulated task seconds *)
+}
+
+let worker_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let make_tele reg ndomains =
+  {
+    on = Telemetry.enabled reg;
+    t_steals =
+      Telemetry.counter ~help:"tasks stolen from another domain's deque" reg
+        "mutls_domain_steals_total";
+    t_tasks_start =
+      Telemetry.counter ~help:"scheduler tasks executed"
+        ~labels:[ ("kind", "start") ] reg "mutls_domain_tasks_total";
+    t_tasks_resume =
+      Telemetry.counter ~labels:[ ("kind", "resume") ] reg
+        "mutls_domain_tasks_total";
+    t_busy =
+      Array.init ndomains (fun i ->
+          Telemetry.gauge ~help:"fraction of wall time spent running tasks"
+            ~labels:[ ("domain", string_of_int i) ]
+            reg "mutls_domain_busy_fraction");
+  }
+
+let make ?(telemetry = Telemetry.disabled) ~domains () =
+  if domains < 1 then invalid_arg "Sched.run: domains < 1";
+  {
+    ndomains = domains;
+    deques = Array.init domains (fun _ -> Deque.create ());
+    overflow = Queue.create ();
+    omu = Mutex.create ();
+    ocount = Atomic.make 0;
+    live = Atomic.make 0;
+    idle = Atomic.make 0;
+    stop = Atomic.make false;
+    error = Atomic.make None;
+    sleep_mu = Mutex.create ();
+    sleep_cv = Condition.create ();
+    lock = Mutex.create ();
+    t0 = Unix.gettimeofday ();
+    tele = make_tele telemetry domains;
+    busy = Array.make domains 0.0;
+  }
+
+let now sched = Unix.gettimeofday () -. sched.t0
+
+(* --- ready queues ----------------------------------------------------- *)
+
+let push_overflow sched task =
+  Mutex.lock sched.omu;
+  Queue.push task sched.overflow;
+  Atomic.incr sched.ocount;
+  Mutex.unlock sched.omu
+
+let pop_overflow sched =
+  if Atomic.get sched.ocount = 0 then None
+  else begin
+    Mutex.lock sched.omu;
+    let r =
+      match Queue.pop sched.overflow with
+      | task ->
+        Atomic.decr sched.ocount;
+        Some task
+      | exception Queue.Empty -> None
+    in
+    Mutex.unlock sched.omu;
+    r
+  end
+
+let work_available sched =
+  Atomic.get sched.ocount > 0
+  || Array.exists (fun d -> Deque.size d > 0) sched.deques
+
+let wake_idlers sched =
+  if Atomic.get sched.idle > 0 then begin
+    Mutex.lock sched.sleep_mu;
+    Condition.broadcast sched.sleep_cv;
+    Mutex.unlock sched.sleep_mu
+  end
+
+let push_task sched task =
+  let wid = Domain.DLS.get worker_key in
+  if not (wid >= 0 && Deque.push sched.deques.(wid) task) then
+    push_overflow sched task;
+  wake_idlers sched
+
+(* --- flags ------------------------------------------------------------ *)
+
+let new_flag () =
+  Par_flag
+    { f_value = Atomic.make None; f_mu = Mutex.create (); f_waiters = [] }
+
+let bad_flag what =
+  invalid_arg (Printf.sprintf "Mutls_par.Sched.%s: flag from another backend" what)
+
+let fval = function Par_flag f -> f | _ -> bad_flag "flag"
+
+let set_flag sched fl v =
+  let f = fval fl in
+  Mutex.lock f.f_mu;
+  match Atomic.get f.f_value with
+  | Some _ ->
+    Mutex.unlock f.f_mu;
+    invalid_arg "Sched: flag set twice"
+  | None ->
+    Atomic.set f.f_value (Some v);
+    let waiters = f.f_waiters in
+    f.f_waiters <- [];
+    Mutex.unlock f.f_mu;
+    List.iter (fun k -> push_task sched (Resume (k, v))) waiters
+
+let peek_flag fl = Atomic.get (fval fl).f_value
+
+(* --- fibers ----------------------------------------------------------- *)
+
+(* Caller already holds [sleep_mu] (the deadlock detector runs under
+   it); the plain wrapper takes it. *)
+let record_error_locked sched e =
+  if Atomic.compare_and_set sched.error None (Some e) then begin
+    Atomic.set sched.stop true;
+    Condition.broadcast sched.sleep_cv
+  end
+
+let record_error sched e =
+  Mutex.lock sched.sleep_mu;
+  record_error_locked sched e;
+  Mutex.unlock sched.sleep_mu
+
+let fiber_done sched =
+  if Atomic.fetch_and_add sched.live (-1) = 1 then begin
+    (* last fiber: release the workers *)
+    Atomic.set sched.stop true;
+    Mutex.lock sched.sleep_mu;
+    Condition.broadcast sched.sleep_cv;
+    Mutex.unlock sched.sleep_mu
+  end
+
+let spawn sched f =
+  Atomic.incr sched.live;
+  push_task sched (Start f)
+
+(* Run a new fiber under the scheduler's effect handler.  Suspending on
+   [Wait] simply returns () to the worker loop: the continuation is
+   already parked in the flag. *)
+let run_fiber sched f =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> fiber_done sched);
+      exnc =
+        (fun e ->
+          record_error sched e;
+          fiber_done sched);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait fv ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                let ready =
+                  (Mutex.lock fv.f_mu;
+                   match Atomic.get fv.f_value with
+                   | Some v ->
+                     Mutex.unlock fv.f_mu;
+                     Some v
+                   | None ->
+                     fv.f_waiters <- k :: fv.f_waiters;
+                     Mutex.unlock fv.f_mu;
+                     None)
+                in
+                match ready with
+                | Some v -> Effect.Deep.continue k v
+                | None -> ())
+          | _ -> None);
+    }
+
+let wait_flag fl =
+  let f = fval fl in
+  (* fast path: already set — no suspension, no allocation *)
+  match Atomic.get f.f_value with
+  | Some v -> v
+  | None -> Effect.perform (Wait f)
+
+(* --- worker loop ------------------------------------------------------ *)
+
+let exec_task sched wid task =
+  let tele = sched.tele.on in
+  let t_start = if tele then Unix.gettimeofday () else 0.0 in
+  (match task with
+  | Start f ->
+    if tele then Telemetry.incr sched.tele.t_tasks_start;
+    run_fiber sched f
+  | Resume (k, v) ->
+    if tele then Telemetry.incr sched.tele.t_tasks_resume;
+    Effect.Deep.continue k v);
+  if tele then begin
+    let t_end = Unix.gettimeofday () in
+    sched.busy.(wid) <- sched.busy.(wid) +. (t_end -. t_start);
+    let elapsed = t_end -. sched.t0 in
+    if elapsed > 0.0 then
+      Telemetry.set sched.tele.t_busy.(wid) (sched.busy.(wid) /. elapsed)
+  end
+
+let find_task sched wid =
+  match Deque.pop sched.deques.(wid) with
+  | Some _ as r -> r
+  | None -> (
+    match pop_overflow sched with
+    | Some _ as r -> r
+    | None ->
+      let n = sched.ndomains in
+      let rec go i =
+        if i >= n then None
+        else
+          match Deque.steal sched.deques.((wid + i) mod n) with
+          | Some _ as r ->
+            if sched.tele.on then Telemetry.incr sched.tele.t_steals;
+            r
+          | None -> go (i + 1)
+      in
+      go 1)
+
+let idle_wait sched =
+  Atomic.incr sched.idle;
+  (* Re-scan after announcing idleness: any pusher that saw idle = 0
+     completed its push before our increment, so this scan finds it. *)
+  if work_available sched || Atomic.get sched.stop then Atomic.decr sched.idle
+  else begin
+    Mutex.lock sched.sleep_mu;
+    (if Atomic.get sched.stop || work_available sched then ()
+     else if
+       Atomic.get sched.idle = sched.ndomains && Atomic.get sched.live > 0
+     then
+       (* every worker is idle, nothing is queued, fibers remain:
+          they are all parked on flags only they could have set *)
+       record_error_locked sched (Deadlock (Atomic.get sched.live))
+     else Condition.wait sched.sleep_cv sched.sleep_mu);
+    Mutex.unlock sched.sleep_mu;
+    Atomic.decr sched.idle
+  end
+
+let rec worker_loop sched wid =
+  if Atomic.get sched.stop then ()
+  else begin
+    (match find_task sched wid with
+    | Some task -> exec_task sched wid task
+    | None -> idle_wait sched);
+    worker_loop sched wid
+  end
+
+let worker sched wid =
+  Domain.DLS.set worker_key wid;
+  worker_loop sched wid
+
+(* --- entry points ------------------------------------------------------ *)
+
+let exec sched =
+  {
+    Exec.kind = Exec.Parallel;
+    now = (fun () -> now sched);
+    advance = (fun _ -> ());
+    spawn = (fun f -> spawn sched f);
+    new_flag;
+    peek = peek_flag;
+    set = (fun fl v -> set_flag sched fl v);
+    wait = wait_flag;
+    lock = Some sched.lock;
+  }
+
+let run ?telemetry ~domains main =
+  let sched = make ?telemetry ~domains () in
+  Atomic.set sched.live 1;
+  ignore (Deque.push sched.deques.(0) (Start (fun () -> main sched)));
+  let doms =
+    Array.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker sched (i + 1)))
+  in
+  worker sched 0;
+  Array.iter Domain.join doms;
+  (match Atomic.get sched.error with Some e -> raise e | None -> ());
+  now sched

@@ -1,0 +1,48 @@
+(** Work-stealing fiber scheduler on OCaml 5 domains: the parallel
+    implementation of the {!Mutls_runtime.Exec} execution layer.
+
+    One domain per virtual CPU worker.  Speculative threads are
+    effect-handler fibers (the same representation the deterministic
+    simulator uses); ready fibers sit in per-worker Chase–Lev deques
+    ({!Deque}) — owner LIFO, thief FIFO — with a mutex-protected
+    overflow queue backing the bounded deques.  A fiber that blocks on
+    an unset flag parks its continuation in the flag; setting the flag
+    re-enqueues the parked continuations as ready tasks on the setter's
+    deque.
+
+    Time is wall-clock seconds since {!run} started; [Exec.advance] is
+    a no-op (real time passes by itself), so the virtual-cost model is
+    inert and the schedule is whatever the hardware produces.  The TLS
+    protocol guarantees the *outputs* still equal the deterministic
+    simulator's on the same program — that is the oracle the tests and
+    the bench gate check — while fork decisions, rollback counts and
+    timings may differ run to run.
+
+    Exception policy: the first exception raised by any fiber stops the
+    scheduler and is re-raised from {!run} (mirrors the simulator,
+    where a fiber's exception aborts the event loop). *)
+
+type t
+
+exception Deadlock of int
+(** Raised from {!run} when every worker is idle, no task is queued,
+    and live fibers remain — they are all parked on flags nobody can
+    set.  Carries the number of stuck fibers. *)
+
+val run :
+  ?telemetry:Mutls_obs.Telemetry.t -> domains:int -> (t -> unit) -> float
+(** [run ~domains main] runs [main] as the root fiber on the calling
+    domain, with [domains - 1] additional worker domains, and returns
+    once every fiber has finished.  [main] receives the scheduler so it
+    can build an {!exec} for the thread manager; it executes inside a
+    fiber, so flag waits are legal anywhere below it.  Returns the
+    elapsed wall-clock seconds.  [telemetry] (default
+    {!Mutls_obs.Telemetry.disabled}) records steal / task counters and
+    per-domain busy fractions.
+
+    @raise Invalid_argument if [domains < 1]
+    @raise Deadlock (see above)  *)
+
+val exec : t -> Mutls_runtime.Exec.t
+(** The execution-layer view of this scheduler ([Exec.kind = Parallel],
+    [Exec.lock = Some _]). *)

@@ -214,6 +214,11 @@ let default_cost =
 type t = {
   ncpus : int; (* total CPUs as in the paper's x-axis: one runs the
                   non-speculative thread, the rest host speculation *)
+  domains : int; (* hardware parallelism of the domains backend: OCaml 5
+                    domains the parallel scheduler spreads the ncpus
+                    virtual CPUs' fibers over (work stealing multiplexes
+                    when domains < ncpus).  Ignored by the deterministic
+                    simulator, which always runs on one systhread. *)
   cost : cost;
   buffer_slots : int; (* GlobalBuffer map slots; power of two *)
   temp_slots : int; (* overflow buffer entries *)
@@ -255,6 +260,7 @@ type t = {
 let default =
   {
     ncpus = 4;
+    domains = 1;
     cost = default_cost;
     buffer_slots = 1 lsl 16;
     temp_slots = 64;
@@ -323,8 +329,20 @@ let check_cost (c : cost) =
       ("check_point", c.check_point); ("sync_fixed", c.sync_fixed);
       ("call", c.call); ("spill", c.spill) ]
 
+(* Caps on the parallelism knobs: far above anything the paper's
+   experiments use (64 CPUs), low enough to catch a units mistake (a
+   byte count or a negative wrapped through an int parse) before it
+   allocates ncpus stacks or spawns domains. *)
+let max_ncpus = 1024
+let max_domains = 128
+
 let validate t =
   if t.ncpus < 1 then fail "Config.ncpus must be >= 1 (got %d)" t.ncpus;
+  if t.ncpus > max_ncpus then
+    fail "Config.ncpus must be <= %d (got %d)" max_ncpus t.ncpus;
+  if t.domains < 1 then fail "Config.domains must be >= 1 (got %d)" t.domains;
+  if t.domains > max_domains then
+    fail "Config.domains must be <= %d (got %d)" max_domains t.domains;
   if t.buffer_slots < 1 || t.buffer_slots land (t.buffer_slots - 1) <> 0 then
     fail "Config.buffer_slots must be a positive power of two (got %d)"
       t.buffer_slots;

@@ -164,6 +164,12 @@ type t = {
   ncpus : int;
       (** total CPUs, as on the paper's x-axis: one runs the
           non-speculative thread, the rest host speculation *)
+  domains : int;
+      (** hardware parallelism of the domains backend
+          ([Mutls_par.Sched]): OCaml 5 domains the parallel scheduler
+          spreads the [ncpus] virtual CPUs' fibers over (work stealing
+          multiplexes when [domains < ncpus]).  Ignored by the
+          deterministic simulator.  Default [1]. *)
   cost : cost;
   buffer_slots : int;  (** GlobalBuffer map slots; a power of two *)
   temp_slots : int;  (** overflow buffer entries *)
@@ -228,9 +234,10 @@ val effective_buffers : t -> Buffers.t
     [Thread_manager.create] sizes every GlobalBuffer from this. *)
 
 val validate : t -> unit
-(** Reject malformed configurations up front — [ncpus >= 1],
-    [buffer_slots] a positive power of two, non-negative sizes, rates
-    and costs, probabilities in [[0, 1]] — with a field-specific
-    message instead of failing deep inside [Global_buffer.create].
-    Called by [Thread_manager.create].
+(** Reject malformed configurations up front — [1 <= ncpus <= 1024],
+    [1 <= domains <= 128], [buffer_slots] a positive power of two,
+    non-negative sizes, rates and costs, probabilities in [[0, 1]] —
+    with a field-specific message instead of failing deep inside
+    [Global_buffer.create] (or spawning a thousand domains).  Called by
+    [Thread_manager.create].
     @raise Invalid_argument on the first violated constraint. *)

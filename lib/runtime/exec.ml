@@ -1,0 +1,64 @@
+(* Pluggable execution layer: the seam that splits Thread_manager into
+   a pure fork-model core and an interchangeable engine underneath it.
+
+   The TLS protocol needs exactly five services from whatever runs its
+   threads: a clock, a way to consume time, a way to launch a thread,
+   and one-shot integer flags with peek/set/wait (the paper's volatile
+   sync_status / valid_status variables).  [t] packages those as a
+   closure record; Thread_manager calls through it and never names a
+   concrete engine.
+
+   Two implementations exist:
+     - [of_sim]: the deterministic discrete-event simulator
+       (Mutls_sim.Engine) — virtual time, byte-identical traces, the
+       oracle;
+     - Mutls_par.Sched.exec: real OCaml 5 domains with a work-stealing
+       scheduler — wall-clock time, true parallelism.
+
+   [flag] is an extensible variant so each backend can add its own
+   representation without this module depending on it. *)
+
+type flag = ..
+type flag += Sim_flag of Mutls_sim.Engine.ivar
+
+type kind = Sim | Parallel
+
+type t = {
+  kind : kind;
+  now : unit -> float;
+      (* virtual cycles on the sim path; wall-clock seconds since the
+         run started on the parallel path *)
+  advance : float -> unit; (* consume virtual time; a no-op in parallel *)
+  spawn : (unit -> unit) -> unit;
+  new_flag : unit -> flag;
+  peek : flag -> int option;
+  set : flag -> int -> unit;
+  wait : flag -> int;
+  lock : Mutex.t option;
+      (* Thread_manager's shared-state lock: None on the sim path
+         (single systhread, zero overhead), Some on the parallel path.
+         Owned here so the manager's locking discipline follows the
+         backend automatically. *)
+}
+
+let bad_flag what =
+  invalid_arg (Printf.sprintf "Exec.%s: flag from another backend" what)
+
+let of_sim engine =
+  let module E = Mutls_sim.Engine in
+  {
+    kind = Sim;
+    now = (fun () -> E.now engine);
+    advance = (fun dt -> E.advance engine dt);
+    spawn = (fun f -> E.spawn engine f);
+    new_flag = (fun () -> Sim_flag (E.new_ivar ()));
+    peek = (function Sim_flag iv -> E.ivar_peek iv | _ -> bad_flag "peek");
+    set =
+      (fun fl v ->
+        match fl with
+        | Sim_flag iv -> E.ivar_set engine iv v
+        | _ -> bad_flag "set");
+    wait =
+      (function Sim_flag iv -> E.wait engine iv | _ -> bad_flag "wait");
+    lock = None;
+  }

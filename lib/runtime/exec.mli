@@ -1,0 +1,49 @@
+(** Pluggable execution layer: the seam between the pure fork-model
+    core ({!Thread_manager}) and the engine that actually runs its
+    threads.
+
+    The TLS protocol needs exactly five services from an engine: a
+    clock ({!t.now}), time consumption ({!t.advance}), thread launch
+    ({!t.spawn}), and one-shot integer flags with peek/set/wait — the
+    paper's volatile [sync_status] / [valid_status] variables.  [t]
+    packages those as a closure record so {!Thread_manager} never names
+    a concrete engine.
+
+    Two implementations exist: {!of_sim} wraps the deterministic
+    discrete-event simulator (virtual time, byte-identical traces, the
+    oracle), and [Mutls_par.Sched.exec] runs threads on real OCaml 5
+    domains under a work-stealing scheduler (wall-clock time, true
+    parallelism). *)
+
+type flag = ..
+(** A one-shot integer flag; extensible so each backend supplies its
+    own representation.  Transitions exactly once from unset. *)
+
+type flag += Sim_flag of Mutls_sim.Engine.ivar
+
+type kind = Sim | Parallel
+
+type t = {
+  kind : kind;
+  now : unit -> float;
+      (** virtual cycles (sim) or wall-clock seconds since the run
+          started (parallel) *)
+  advance : float -> unit;
+      (** consume virtual time; a no-op on the parallel path, where
+          time passes by itself *)
+  spawn : (unit -> unit) -> unit;
+  new_flag : unit -> flag;
+  peek : flag -> int option;
+  set : flag -> int -> unit;
+      (** @raise Invalid_argument if the flag is already set *)
+  wait : flag -> int;
+      (** block until set; returns immediately if already set *)
+  lock : Mutex.t option;
+      (** {!Thread_manager}'s shared-state lock: [None] on the sim path
+          (single systhread, zero overhead), [Some] on the parallel
+          path *)
+}
+
+val of_sim : Mutls_sim.Engine.t -> t
+(** The deterministic simulator backend: every operation forwards to
+    {!Mutls_sim.Engine}, [lock] is [None]. *)

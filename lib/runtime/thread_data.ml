@@ -13,8 +13,8 @@ type t = {
   rank : int; (* virtual CPU, 1..ncpus; 0 for the non-speculative thread *)
   fork_point : int; (* fork/join point id this thread speculates on *)
   is_main : bool;
-  sync_status : Mutls_sim.Engine.ivar; (* NULL -> SYNC | NOSYNC *)
-  valid_status : Mutls_sim.Engine.ivar; (* NULL -> COMMIT | ROLLBACK *)
+  sync_status : Exec.flag; (* NULL -> SYNC | NOSYNC *)
+  valid_status : Exec.flag; (* NULL -> COMMIT | ROLLBACK *)
   children : t Stack.t;
   gbuf : Global_buffer.t;
   lbuf : Local_buffer.t;
@@ -41,15 +41,17 @@ and restore = {
   mutable r_mappings : (int * int * int) list; (* spec addr, parent addr, size *)
 }
 
-let create ?gbuf ?(shards = 1) ?(spill_slots = 0) ?(line_words = 1) ~id ~rank
-    ~fork_point ~is_main ~buffer_slots ~temp_slots ~max_locals () =
+(* [new_flag] comes from the manager's execution layer (Exec.t), so a
+   thread's flags match the engine that will wait on them. *)
+let create ?gbuf ?(shards = 1) ?(spill_slots = 0) ?(line_words = 1) ~new_flag
+    ~id ~rank ~fork_point ~is_main ~buffer_slots ~temp_slots ~max_locals () =
   {
     id;
     rank;
     fork_point;
     is_main;
-    sync_status = Mutls_sim.Engine.new_ivar ();
-    valid_status = Mutls_sim.Engine.new_ivar ();
+    sync_status = new_flag ();
+    valid_status = new_flag ();
     children = Stack.create ();
     gbuf =
       (match gbuf with

@@ -15,8 +15,8 @@ type t = {
   rank : int;  (** virtual CPU, 1..ncpus-1; 0 = the non-speculative thread *)
   fork_point : int;  (** fork/join point id this thread speculates on *)
   is_main : bool;
-  sync_status : Mutls_sim.Engine.ivar;  (** NULL -> SYNC | NOSYNC *)
-  valid_status : Mutls_sim.Engine.ivar;  (** NULL -> COMMIT | ROLLBACK *)
+  sync_status : Exec.flag;  (** NULL -> SYNC | NOSYNC *)
+  valid_status : Exec.flag;  (** NULL -> COMMIT | ROLLBACK *)
   children : t Stack.t;
   gbuf : Global_buffer.t;
   lbuf : Local_buffer.t;
@@ -56,6 +56,7 @@ val create :
   ?shards:int ->
   ?spill_slots:int ->
   ?line_words:int ->
+  new_flag:(unit -> Exec.flag) ->
   id:int ->
   rank:int ->
   fork_point:int ->
@@ -68,7 +69,8 @@ val create :
 (** [gbuf] lets the manager pool one GlobalBuffer per CPU rank, as in
     the paper; the geometry options (defaults [1]/[0]/[1] — the seed
     layout) are forwarded to {!Global_buffer.create} when no pooled
-    buffer is supplied. *)
+    buffer is supplied.  [new_flag] supplies the backend-specific flag
+    representation (see {!Exec}). *)
 
 val map_pointer : restore -> int -> int option
 (** Map a committed pointer into the speculative stack to the

@@ -1,8 +1,20 @@
 (* ThreadManager (paper §IV): virtual CPU management, fork model
    enforcement, speculation, synchronization with the tree-form mixed
    model (§IV-F), validation/commit/rollback and stack frame
-   reconstruction (§IV-H).  All timing goes through the simulation
-   engine; the category accounting feeds Figures 8 and 9.
+   reconstruction (§IV-H).  All timing goes through the execution
+   layer (Exec); the category accounting feeds Figures 8 and 9.
+
+   This module is the pure fork-model core: it never names a concrete
+   engine.  The Exec record decides whether threads are simulator
+   fibers on one systhread (Exec.of_sim — deterministic, the oracle)
+   or real fibers scheduled across OCaml 5 domains (Mutls_par.Sched).
+   On the parallel path Exec.lock is Some, and every touch of shared
+   manager state (CPU table, speculation order, policy engine, retired
+   list, foreign children stacks) goes through [with_lock]; the hot
+   paths — spec_load/spec_store, tick, check-point polls — stay
+   lock-free by construction (per-thread state plus one-shot flag
+   peeks).  On the sim path the lock is None and [with_lock] is a
+   direct call, so simulator behaviour and traces are unchanged.
 
    Every lifecycle transition and every accounting charge is also
    reported to the trace sink configured in [Config.trace_sink]
@@ -10,9 +22,12 @@
    into the same Fig. 8/9 breakdowns, so the trace is a faithful
    superset of [Stats]. *)
 
-open Mutls_sim
 module Trace = Mutls_obs.Trace
 module Telemetry = Mutls_obs.Telemetry
+
+(* The deterministic PRNG is backend-neutral (pure state machine); only
+   the engine itself is abstracted behind Exec. *)
+module Rng = Mutls_sim.Rng
 
 exception Spec_finished
 (* Raised inside a speculative thread's fiber after it has committed or
@@ -158,7 +173,7 @@ let make_tele reg =
 
 type t = {
   cfg : Config.t;
-  engine : Engine.t;
+  exec : Exec.t;
   mem : Memio.t;
   addr_space : Address_space.t;
   cpus : cpu_state array; (* ranks 1..ncpus; slot 0 unused *)
@@ -183,7 +198,44 @@ type t = {
                         the deprecated flat fields folded in); this
                         module keeps only mechanism *)
   tele : tele; (* pre-resolved handles into Config.telemetry *)
+  aux_lock : Mutex.t option;
+  (* Leaf-level lock for the small shared leaves — the injection RNGs
+     (fault + rollback_probability) and the value-prediction strides
+     table — taken while the main lock may already be held (order:
+     main, then aux; never the reverse).  None on the sim path. *)
 }
+
+(* --- locking ---------------------------------------------------------- *)
+
+(* The main shared-state lock lives in the Exec record: None on the sim
+   path (single systhread — a direct call), Some under the parallel
+   backend.  Critical sections never block on a flag wait, so the two
+   locks cannot participate in a cycle with the scheduler. *)
+let[@inline] with_lock mgr f =
+  match mgr.exec.Exec.lock with
+  | None -> f ()
+  | Some mu -> (
+    Mutex.lock mu;
+    match f () with
+    | v ->
+      Mutex.unlock mu;
+      v
+    | exception e ->
+      Mutex.unlock mu;
+      raise e)
+
+let[@inline] with_aux mgr f =
+  match mgr.aux_lock with
+  | None -> f ()
+  | Some mu -> (
+    Mutex.lock mu;
+    match f () with
+    | v ->
+      Mutex.unlock mu;
+      v
+    | exception e ->
+      Mutex.unlock mu;
+      raise e)
 
 (* --- tracing --------------------------------------------------------- *)
 
@@ -194,7 +246,7 @@ let tracing mgr = mgr.cfg.Config.trace_sink.Trace.enabled
 let emit mgr (td : Thread_data.t) event =
   mgr.cfg.Config.trace_sink.Trace.emit
     {
-      Trace.time = Engine.now mgr.engine;
+      Trace.time = mgr.exec.Exec.now ();
       thread = td.id;
       rank = td.rank;
       main = td.is_main;
@@ -235,11 +287,12 @@ let install_hooks mgr (td : Thread_data.t) =
          end;
          if tracing mgr then emit mgr td (Trace.Frame { push; depth })))
 
-let create ?policy (cfg : Config.t) engine mem =
+let create_exec ?policy (cfg : Config.t) (exec : Exec.t) mem =
   Config.validate cfg;
   let bufs = Config.effective_buffers cfg in
   let main =
-    Thread_data.create ~id:0 ~rank:0 ~fork_point:(-1) ~is_main:true
+    Thread_data.create ~new_flag:exec.Exec.new_flag ~id:0 ~rank:0
+      ~fork_point:(-1) ~is_main:true
       ~buffer_slots:bufs.Config.Buffers.slots
       ~temp_slots:bufs.Config.Buffers.temp_slots
       ~shards:bufs.Config.Buffers.shards
@@ -249,7 +302,7 @@ let create ?policy (cfg : Config.t) engine mem =
   let mgr =
     {
       cfg;
-      engine;
+      exec;
       mem;
       addr_space = Address_space.create ();
       cpus = Array.make (max 1 cfg.ncpus) Idle;
@@ -271,10 +324,14 @@ let create ?policy (cfg : Config.t) engine mem =
       policy =
         (match policy with Some p -> p | None -> Policy.of_config cfg);
       tele = make_tele cfg.telemetry;
+      aux_lock = Option.map (fun _ -> Mutex.create ()) exec.Exec.lock;
     }
   in
   if observing mgr then install_hooks mgr main;
   mgr
+
+let create ?policy cfg engine mem =
+  create_exec ?policy cfg (Exec.of_sim engine) mem
 
 (* --- accessors ------------------------------------------------------- *)
 
@@ -300,14 +357,19 @@ let main mgr =
 
 let retired mgr = mgr.retired
 let cfg mgr = mgr.cfg
-let now mgr = Engine.now mgr.engine
+let now mgr = mgr.exec.Exec.now ()
 let degraded mgr = Policy.degraded mgr.policy
 let injector mgr = mgr.fault
 
 (* --- fault injection -------------------------------------------------- *)
 
+(* The injector's RNG streams are shared mutable state; [with_aux]
+   (leaf lock, may nest inside the main lock) keeps their draws atomic
+   under the parallel backend. *)
 let inject mgr site =
-  match mgr.fault with None -> false | Some f -> Fault.fire f site
+  match mgr.fault with
+  | None -> false
+  | Some f -> with_aux mgr (fun () -> Fault.fire f site)
 
 (* --- policy feedback -------------------------------------------------- *)
 
@@ -323,15 +385,20 @@ let emit_sched mgr (td : Thread_data.t) = function
       emit mgr td (Trace.Sched { what = ev_what; info = ev_info })
 
 (* A genuine misspeculation (conflict, stale local, overflow — not an
-   abandoned subtree, which says nothing about the point itself). *)
+   abandoned subtree, which says nothing about the point itself).  The
+   policy engine is stateful and shared, so every feedback call is a
+   critical section under the parallel backend. *)
 let note_rollback mgr (td : Thread_data.t) =
-  emit_sched mgr td (Policy.on_rollback mgr.policy ~point:td.fork_point)
+  emit_sched mgr td
+    (with_lock mgr (fun () -> Policy.on_rollback mgr.policy ~point:td.fork_point))
 
 let note_commit mgr (td : Thread_data.t) =
-  Policy.on_commit mgr.policy ~point:td.fork_point
+  with_lock mgr (fun () -> Policy.on_commit mgr.policy ~point:td.fork_point)
 
 let note_overflow mgr (td : Thread_data.t) ~pressure =
-  emit_sched mgr td (Policy.on_overflow mgr.policy ~point:td.fork_point ~pressure)
+  emit_sched mgr td
+    (with_lock mgr (fun () ->
+         Policy.on_overflow mgr.policy ~point:td.fork_point ~pressure))
 
 (* --- virtual-time accounting --------------------------------------- *)
 
@@ -341,9 +408,9 @@ let flush mgr (td : Thread_data.t) =
     Stats.add td.stats Stats.Work td.acc_cost;
     let c = td.acc_cost in
     td.acc_cost <- 0.0;
-    Engine.advance mgr.engine c;
+    mgr.exec.Exec.advance c;
     if mgr.tele.on then
-      Telemetry.set mgr.tele.t_vtime (Engine.now mgr.engine);
+      Telemetry.set mgr.tele.t_vtime (mgr.exec.Exec.now ());
     if tracing mgr then
       emit mgr td
         (Trace.Charge { category = Stats.category_name Stats.Work; cost = c })
@@ -380,7 +447,7 @@ let tick_batch mgr (td : Thread_data.t) (costs : float array) n =
 let charge mgr (td : Thread_data.t) cat c =
   flush mgr td;
   Stats.add td.stats cat c;
-  Engine.advance mgr.engine c;
+  mgr.exec.Exec.advance c;
   if tracing mgr then
     emit mgr td (Trace.Charge { category = Stats.category_name cat; cost = c })
 
@@ -435,11 +502,15 @@ let find_idle mgr =
    performance but never soundness. *)
 let get_cpu mgr (td : Thread_data.t) ~model ~expandable ~point =
   charge mgr td Stats.Find_cpu mgr.cfg.cost.find_cpu;
-
+  (* Everything below reads and writes shared manager state (CPU table,
+     speculation order, policy engine), so the whole decision is one
+     critical section under the parallel backend.  Nothing inside
+     blocks: the injection draw takes only the aux leaf lock. *)
+  with_lock mgr (fun () ->
   let model = Option.value mgr.cfg.model_override ~default:model in
   (* A thread already asked to synchronize or roll back must not fork:
      its children would be orphaned. *)
-  let doomed = Engine.ivar_peek td.sync_status <> None in
+  let doomed = mgr.exec.Exec.peek td.sync_status <> None in
   if doomed || not (may_fork mgr td model) then begin
     if mgr.tele.on then Telemetry.incr mgr.tele.t_denied_model;
     0
@@ -492,7 +563,8 @@ let get_cpu mgr (td : Thread_data.t) ~model ~expandable ~point =
           end
           else begin
       let child =
-        Thread_data.create ~gbuf:mgr.buffer_pool.(rank) ~id:mgr.next_id ~rank
+        Thread_data.create ~gbuf:mgr.buffer_pool.(rank)
+          ~new_flag:mgr.exec.Exec.new_flag ~id:mgr.next_id ~rank
           ~fork_point:point ~is_main:false ~buffer_slots:mgr.cfg.buffer_slots
           ~temp_slots:mgr.cfg.temp_slots ~max_locals:mgr.cfg.max_locals ()
       in
@@ -518,7 +590,7 @@ let get_cpu mgr (td : Thread_data.t) ~model ~expandable ~point =
         emit mgr td (Trace.Fork { child = child.id; child_rank = rank; point });
       rank
           end)
-  end
+  end)
 
 let busy_exn mgr rank =
   match mgr.cpus.(rank) with
@@ -539,7 +611,10 @@ let set_fork_reg mgr (parent : Thread_data.t) ~rank ~off value =
       Local_buffer.set_fork_orig child.lbuf off value;
       match value with
       | Local_buffer.Vi v -> (
-        match Hashtbl.find_opt mgr.strides (child.fork_point, off) with
+        match
+          with_aux mgr (fun () ->
+              Hashtbl.find_opt mgr.strides (child.fork_point, off))
+        with
         | Some stride -> Local_buffer.Vi (Int64.add v stride)
         | None -> value)
       | Local_buffer.Vf _ -> value
@@ -562,21 +637,25 @@ let speculate mgr (parent : Thread_data.t) ~rank ~counter body =
   child.entry_counter <- counter;
   if tracing mgr then
     emit mgr parent (Trace.Speculate { child_rank = rank; counter });
-  Engine.spawn mgr.engine (fun () ->
-      let t0 = Engine.now mgr.engine in
+  mgr.exec.Exec.spawn (fun () ->
+      let t0 = mgr.exec.Exec.now () in
       let committed =
         match body child with
         | () -> false (* body returned without commit: treat as rollback *)
         | exception Spec_finished ->
-          Engine.ivar_peek child.valid_status = Some Thread_data.commit
+          mgr.exec.Exec.peek child.valid_status = Some Thread_data.commit
       in
       flush mgr child;
-      child.alive <- false;
-      (match mgr.cpus.(rank) with
-      | Busy td when td.id = child.id -> mgr.cpus.(rank) <- Idle
-      | _ -> ());
-      mgr.live_spec <- mgr.live_spec - 1;
-      let runtime = Engine.now mgr.engine -. t0 in
+      (* Retirement releases the rank: the locked section here
+         happens-before the locked claim in [get_cpu], so the next
+         occupant of the rank sees every plain write this thread made. *)
+      with_lock mgr (fun () ->
+          child.alive <- false;
+          (match mgr.cpus.(rank) with
+          | Busy td when td.id = child.id -> mgr.cpus.(rank) <- Idle
+          | _ -> ());
+          mgr.live_spec <- mgr.live_spec - 1);
+      let runtime = mgr.exec.Exec.now () -. t0 in
       if mgr.tele.on then begin
         Telemetry.observe mgr.tele.t_h_runtime (int_of_float runtime);
         Telemetry.set mgr.tele.t_live_spec (float_of_int mgr.live_spec);
@@ -589,14 +668,21 @@ let speculate mgr (parent : Thread_data.t) ~rank ~counter body =
              { committed; runtime; stats = Stats.to_assoc child.stats });
       (* feed the policy's payoff accumulator — the same committed /
          wasted split the profiler books from the Retire record *)
-      emit_sched mgr child
-        (Policy.on_retire mgr.policy ~point:child.fork_point
-           ~committed:(Stats.get child.stats Stats.Work)
-           ~wasted:(Stats.get child.stats Stats.Wasted_work));
-      mgr.retired <-
-        { r_stats = child.stats; r_runtime = runtime; r_committed = committed;
-          r_buffered = child.buffered; r_expand = child.expand }
-        :: mgr.retired)
+      let sched_ev =
+        with_lock mgr (fun () ->
+            let ev =
+              Policy.on_retire mgr.policy ~point:child.fork_point
+                ~committed:(Stats.get child.stats Stats.Work)
+                ~wasted:(Stats.get child.stats Stats.Wasted_work)
+            in
+            mgr.retired <-
+              { r_stats = child.stats; r_runtime = runtime;
+                r_committed = committed; r_buffered = child.buffered;
+                r_expand = child.expand }
+              :: mgr.retired;
+            ev)
+      in
+      emit_sched mgr child sched_ev)
 
 (* --- speculative entry (stub side) ----------------------------------- *)
 
@@ -659,7 +745,8 @@ let validate_against_parent mgr (td : Thread_data.t) (parent : Thread_data.t) =
     if ok && td.local_invalid then false
     else if ok && inject mgr Fault.Validation_failure then false
     else if ok && mgr.cfg.rollback_probability > 0.0 then
-      Rng.next_float mgr.rng >= mgr.cfg.rollback_probability
+      with_aux mgr (fun () -> Rng.next_float mgr.rng)
+      >= mgr.cfg.rollback_probability
     else ok
   in
   (* stale-local and injected failures have no conflicting address *)
@@ -738,7 +825,9 @@ let commit_or_rollback mgr (td : Thread_data.t) ~counter =
       Telemetry.observe mgr.tele.t_h_commit_words words
     end;
     if tracing mgr then emit mgr td (Trace.Commit { words; counter });
-    Engine.ivar_set mgr.engine td.valid_status Thread_data.commit
+    (* Setting the flag publishes the buffer merges above: the waiting
+       parent's read of the verdict happens-after this set. *)
+    mgr.exec.Exec.set td.valid_status Thread_data.commit
   end
   else begin
     (* The Rollback record must precede the finalize charge: the Report
@@ -758,19 +847,22 @@ let commit_or_rollback mgr (td : Thread_data.t) ~counter =
     finalize_buffers mgr td;
     Stats.incr td.stats Stats.Rollbacks;
     note_rollback mgr td;
-    Engine.ivar_set mgr.engine td.valid_status Thread_data.rollback
+    mgr.exec.Exec.set td.valid_status Thread_data.rollback
   end;
   raise Spec_finished
 
 (* Kill an entire abandoned subtree: these threads will never be
    joined, so they must be told to roll back (tree-form cascading
-   rollback, confined to the subtree). *)
+   rollback, confined to the subtree).  Callers hold the main lock:
+   two killers can otherwise race the peek-before-set on a shared
+   descendant, and the children stacks being walked are mutated under
+   the same lock. *)
 let rec nosync_subtree mgr (td : Thread_data.t) =
-  (match Engine.ivar_peek td.sync_status with
+  (match mgr.exec.Exec.peek td.sync_status with
   | None ->
     if mgr.tele.on then Telemetry.incr mgr.tele.t_nosyncs;
     if tracing mgr then emit mgr td (Trace.Nosync { point = td.fork_point });
-    Engine.ivar_set mgr.engine td.sync_status Thread_data.nosync
+    mgr.exec.Exec.set td.sync_status Thread_data.nosync
   | Some _ -> ());
   Stack.iter (nosync_subtree mgr) td.children
 
@@ -783,9 +875,12 @@ let rollback_self mgr (td : Thread_data.t) ~reason ~kill_subtree =
   finalize_buffers mgr td;
   Stats.incr td.stats Stats.Rollbacks;
   if reason <> Trace.Abandoned then note_rollback mgr td;
-  if kill_subtree then Stack.iter (nosync_subtree mgr) td.children;
-  (match Engine.ivar_peek td.valid_status with
-  | None -> Engine.ivar_set mgr.engine td.valid_status Thread_data.rollback
+  if kill_subtree then
+    with_lock mgr (fun () -> Stack.iter (nosync_subtree mgr) td.children);
+  (* valid_status is only ever set by the thread itself, so the
+     peek-then-set below cannot race. *)
+  (match mgr.exec.Exec.peek td.valid_status with
+  | None -> mgr.exec.Exec.set td.valid_status Thread_data.rollback
   | Some _ -> ());
   raise Spec_finished
 
@@ -926,9 +1021,9 @@ let spec_store mgr (td : Thread_data.t) ~addr ~size v =
    returns normally unless the verdict allows continuing. *)
 let await_join mgr (td : Thread_data.t) ~counter =
   flush mgr td;
-  let t0 = Engine.now mgr.engine in
-  let v = Engine.wait mgr.engine td.sync_status in
-  charge_elapsed mgr td Stats.Idle (Engine.now mgr.engine -. t0);
+  let t0 = mgr.exec.Exec.now () in
+  let v = mgr.exec.Exec.wait td.sync_status in
+  charge_elapsed mgr td Stats.Idle (mgr.exec.Exec.now () -. t0);
   if v = Thread_data.sync then commit_or_rollback mgr td ~counter
   else rollback_self mgr td ~reason:Trace.Abandoned ~kill_subtree:true
 
@@ -939,7 +1034,7 @@ let check_point mgr (td : Thread_data.t) ~counter =
   Stats.incr td.stats Stats.Checkpoints;
   if mgr.tele.on then Telemetry.incr mgr.tele.t_checkpoints;
   tick mgr td mgr.cfg.cost.check_point;
-  match Engine.ivar_peek td.sync_status with
+  match mgr.exec.Exec.peek td.sync_status with
   | Some s when s = Thread_data.nosync ->
     if tracing mgr then emit mgr td (Trace.Check { counter; stop = true });
     rollback_self mgr td ~reason:Trace.Abandoned ~kill_subtree:true
@@ -1030,8 +1125,9 @@ let validate_local mgr (parent : Thread_data.t) ~rank ~point ~off value =
     (if mgr.cfg.value_prediction then
        match (Local_buffer.get_fork_orig child.lbuf off, value) with
        | Some (Local_buffer.Vi orig), Local_buffer.Vi actual ->
-         Hashtbl.replace mgr.strides (child.fork_point, off)
-           (Int64.sub actual orig)
+         with_aux mgr (fun () ->
+             Hashtbl.replace mgr.strides (child.fork_point, off)
+               (Int64.sub actual orig))
        | _ -> ());
     (match Local_buffer.get_fork_reg child.lbuf off with
     | v when v = value -> ()
@@ -1050,7 +1146,7 @@ let synchronize mgr (parent : Thread_data.t) ~point ~rank =
       let c = Stack.pop parent.children in
       if
         c.rank = rank && c.fork_point = point
-        && Engine.ivar_peek c.sync_status = None
+        && mgr.exec.Exec.peek c.sync_status = None
         (* injected NOSYNC: treat the matching child as a mismatch *)
         && not (inject mgr Fault.Nosync_join)
       then Some c
@@ -1060,18 +1156,22 @@ let synchronize mgr (parent : Thread_data.t) ~point ~rank =
       end
     end
   in
-  match pop_until () with
+  (* Popping under the lock removes the child from every path an
+     ancestor's NOSYNC sweep could reach it by, so the SYNC request
+     below (outside the lock — it precedes a wait) cannot race a
+     concurrent NOSYNC on the same flag. *)
+  match with_lock mgr pop_until with
   | None -> false
   | Some child ->
     let verdict =
-      match Engine.ivar_peek child.valid_status with
+      match mgr.exec.Exec.peek child.valid_status with
       | Some v -> v (* unilateral rollback already decided *)
       | None ->
-        Engine.ivar_set mgr.engine child.sync_status Thread_data.sync;
-        let t0 = Engine.now mgr.engine in
-        let v = Engine.wait mgr.engine child.valid_status in
+        mgr.exec.Exec.set child.sync_status Thread_data.sync;
+        let t0 = mgr.exec.Exec.now () in
+        let v = mgr.exec.Exec.wait child.valid_status in
         charge_elapsed mgr parent (join_cat parent)
-          (Engine.now mgr.engine -. t0);
+          (mgr.exec.Exec.now () -. t0);
         v
     in
     (* Inherit grandchildren only now that the child has stopped: it
@@ -1082,19 +1182,22 @@ let synchronize mgr (parent : Thread_data.t) ~point ~rank =
        Under the Linear_cascade ablation, a rolled-back child squashes
        its whole subtree instead — the behaviour of previous linear
        mixed-model systems the paper improves on. *)
-    (if mgr.cfg.cascade = Config.Linear_cascade && verdict <> Thread_data.commit
-     then Stack.iter (nosync_subtree mgr) child.children
-     else begin
-       let inherited = ref [] in
-       while not (Stack.is_empty child.children) do
-         inherited := Stack.pop child.children :: !inherited
-       done;
-       List.iter
-         (fun (g : Thread_data.t) ->
-           g.parent <- Some parent;
-           Stack.push g parent.children)
-         !inherited
-     end);
+    with_lock mgr (fun () ->
+        if
+          mgr.cfg.cascade = Config.Linear_cascade
+          && verdict <> Thread_data.commit
+        then Stack.iter (nosync_subtree mgr) child.children
+        else begin
+          let inherited = ref [] in
+          while not (Stack.is_empty child.children) do
+            inherited := Stack.pop child.children :: !inherited
+          done;
+          List.iter
+            (fun (g : Thread_data.t) ->
+              g.parent <- Some parent;
+              Stack.push g parent.children)
+            !inherited
+        end);
     let committed = verdict = Thread_data.commit in
     if mgr.tele.on then
       Telemetry.incr
@@ -1175,10 +1278,11 @@ let sync_entry mgr (parent : Thread_data.t) =
    abandoned (its region was re-executed or never needed). *)
 let shutdown mgr =
   flush mgr mgr.main;
-  Stack.iter (nosync_subtree mgr) mgr.main.children;
-  Stack.clear mgr.main.children;
+  with_lock mgr (fun () ->
+      Stack.iter (nosync_subtree mgr) mgr.main.children;
+      Stack.clear mgr.main.children);
   if mgr.tele.on then begin
-    Telemetry.set mgr.tele.t_vtime (Engine.now mgr.engine);
+    Telemetry.set mgr.tele.t_vtime (mgr.exec.Exec.now ());
     Telemetry.set mgr.tele.t_live_spec (float_of_int mgr.live_spec);
     Telemetry.set mgr.tele.t_degraded
       (if Policy.degraded mgr.policy then 1.0 else 0.0)

@@ -1,8 +1,16 @@
 (** ThreadManager (paper §IV): virtual CPU management, fork-model
     enforcement, speculation, the tree-form synchronization protocol of
     §IV-F, validation/commit/rollback, and stack-frame reconstruction
-    (§IV-H).  All timing flows through the simulation engine; the
-    per-category accounting feeds Figures 8 and 9.
+    (§IV-H).  All timing flows through the execution layer ({!Exec});
+    the per-category accounting feeds Figures 8 and 9.
+
+    This module is the pure fork-model core: it never names a concrete
+    engine.  {!create_exec} accepts any {!Exec.t} — the deterministic
+    simulator ({!Exec.of_sim}, the oracle) or the parallel
+    domains-backed scheduler ([Mutls_par.Sched]).  When the backend
+    supplies a lock ([Exec.lock]), all shared manager state is guarded
+    by it; on the sim path the guards compile to direct calls and
+    behaviour (including trace bytes) is unchanged.
 
     Every lifecycle transition and accounting charge is also reported
     to the trace sink configured in [Config.trace_sink] (see
@@ -27,12 +35,16 @@ type retired = {
 
 type t
 
-val create : ?policy:Policy.t -> Config.t -> Mutls_sim.Engine.t -> Memio.t -> t
+val create_exec : ?policy:Policy.t -> Config.t -> Exec.t -> Memio.t -> t
 (** [policy] overrides the policy engine instance ({!Policy.of_config}
     on the configuration otherwise) — tests use it to pin corner
     behaviours with {!Policy.make}.
     @raise Invalid_argument on a malformed configuration
     (see {!Config.validate}). *)
+
+val create : ?policy:Policy.t -> Config.t -> Mutls_sim.Engine.t -> Memio.t -> t
+(** [create cfg engine mem] is
+    [create_exec cfg (Exec.of_sim engine) mem]. *)
 
 (** {1 Accessors} *)
 

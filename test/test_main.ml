@@ -21,4 +21,5 @@ let () =
       ("parse", Test_parse.tests);
       ("chaos", Test_chaos.tests);
       ("policy", Test_policy.tests);
+      ("par", Test_par.tests);
     ]

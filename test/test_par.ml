@@ -1,0 +1,425 @@
+(* The parallel execution backend: Chase–Lev deque unit tests, the
+   work-stealing domains scheduler, lane-striped telemetry counters
+   under real parallelism, and the headline acceptance property — the
+   domains backend produces the same program outputs as the
+   deterministic simulator oracle, whatever schedule the hardware
+   produces. *)
+
+module Config = Mutls_runtime.Config
+module Exec = Mutls_runtime.Exec
+module TM = Mutls_runtime.Thread_manager
+module Deque = Mutls_par.Deque
+module Sched = Mutls_par.Sched
+module Telemetry = Mutls_obs.Telemetry
+module Trace = Mutls_obs.Trace
+module Eval = Mutls_interp.Eval
+module Chaos = Mutls.Chaos
+module Workloads = Mutls_workloads.Workloads
+
+let compile source =
+  Mutls_speculator.Pass.run (Mutls_minic.Codegen.compile source)
+
+let seq_output source =
+  (Eval.run_sequential (Mutls_minic.Codegen.compile source)).Eval.soutput
+
+(* --- deque ------------------------------------------------------------- *)
+
+let test_deque_lifo_pop () =
+  let q = Deque.create () in
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop q);
+  for i = 1 to 10 do
+    Alcotest.(check bool) "push accepted" true (Deque.push q i)
+  done;
+  Alcotest.(check int) "size" 10 (Deque.size q);
+  for i = 10 downto 1 do
+    Alcotest.(check (option int)) "owner pops newest first" (Some i)
+      (Deque.pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Deque.pop q)
+
+let test_deque_fifo_steal () =
+  let q = Deque.create () in
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal q);
+  for i = 1 to 10 do
+    ignore (Deque.push q i)
+  done;
+  for i = 1 to 10 do
+    Alcotest.(check (option int)) "thief steals oldest first" (Some i)
+      (Deque.steal q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Deque.steal q)
+
+let test_deque_bounded () =
+  let q = Deque.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "fits" true (Deque.push q i)
+  done;
+  Alcotest.(check bool) "full push refused" false (Deque.push q 5);
+  Alcotest.(check (option int)) "pop after refusal" (Some 4) (Deque.pop q);
+  Alcotest.(check bool) "space reclaimed" true (Deque.push q 5);
+  (* capacity rounds up to a power of two *)
+  let q3 = Deque.create ~capacity:3 () in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "rounded capacity" true (Deque.push q3 i)
+  done;
+  Alcotest.(check bool) "rounded bound" false (Deque.push q3 5)
+
+let test_deque_pop_steal_mix () =
+  let q = Deque.create () in
+  for i = 1 to 6 do
+    ignore (Deque.push q i)
+  done;
+  Alcotest.(check (option int)) "steal oldest" (Some 1) (Deque.steal q);
+  Alcotest.(check (option int)) "pop newest" (Some 6) (Deque.pop q);
+  Alcotest.(check (option int)) "steal next" (Some 2) (Deque.steal q);
+  Alcotest.(check (option int)) "pop next" (Some 5) (Deque.pop q);
+  Alcotest.(check (option int)) "meet in the middle" (Some 4) (Deque.pop q);
+  Alcotest.(check (option int)) "last element" (Some 3) (Deque.pop q);
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop q);
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal q)
+
+(* The race test: one owner pushing (and popping when full) against 7
+   thieves on a deliberately small deque.  Every item must be consumed
+   exactly once, across whatever interleaving the hardware gives us. *)
+let test_deque_contended () =
+  let n = 10_000 and nthieves = 7 in
+  let q = Deque.create ~capacity:64 () in
+  let stop = Atomic.make false in
+  let thief () =
+    let got = ref [] in
+    let rec loop () =
+      match Deque.steal q with
+      | Some x ->
+        got := x :: !got;
+        loop ()
+      | None ->
+        if Atomic.get stop then !got
+        else begin
+          Domain.cpu_relax ();
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let doms = Array.init nthieves (fun _ -> Domain.spawn thief) in
+  let mine = ref [] in
+  for i = 0 to n - 1 do
+    while not (Deque.push q i) do
+      match Deque.pop q with
+      | Some x -> mine := x :: !mine
+      | None -> ()
+    done
+  done;
+  let rec drain () =
+    match Deque.pop q with
+    | Some x ->
+      mine := x :: !mine;
+      drain ()
+    | None -> ()
+  in
+  (* the owner is the only pusher, so a [None] pop here is definitive *)
+  drain ();
+  Atomic.set stop true;
+  let stolen = Array.fold_left (fun acc d -> Domain.join d @ acc) [] doms in
+  let all = List.sort compare (!mine @ stolen) in
+  Alcotest.(check int) "every item consumed exactly once" n (List.length all);
+  List.iteri
+    (fun i x ->
+      if i <> x then Alcotest.failf "lost or duplicated item: slot %d holds %d" i x)
+    all
+
+(* --- scheduler --------------------------------------------------------- *)
+
+let test_sched_spawn_and_flags () =
+  let k = 20 in
+  let total = ref (-1) in
+  let dt =
+    Sched.run ~domains:4 (fun sched ->
+        let exec = Sched.exec sched in
+        Alcotest.(check bool) "parallel kind" true (exec.Exec.kind = Exec.Parallel);
+        Alcotest.(check bool) "exposes a lock" true (exec.Exec.lock <> None);
+        let flags = Array.init k (fun _ -> exec.Exec.new_flag ()) in
+        Array.iteri
+          (fun i f -> exec.Exec.spawn (fun () -> exec.Exec.set f (i * i)))
+          flags;
+        total := Array.fold_left (fun acc f -> acc + exec.Exec.wait f) 0 flags)
+  in
+  Alcotest.(check bool) "wall clock is nonnegative" true (dt >= 0.0);
+  Alcotest.(check int) "every fiber delivered its value"
+    (k * (k - 1) * (2 * k - 1) / 6)
+    !total
+
+(* Fibers forking fibers: the tree shape the TLS runtime produces. *)
+let test_sched_nested_spawn () =
+  let leaves = ref 0 in
+  ignore
+    (Sched.run ~domains:3 (fun sched ->
+         let exec = Sched.exec sched in
+         let rec node depth =
+           if depth = 0 then 1
+           else begin
+             let l = exec.Exec.new_flag () and r = exec.Exec.new_flag () in
+             exec.Exec.spawn (fun () -> exec.Exec.set l (node (depth - 1)));
+             exec.Exec.spawn (fun () -> exec.Exec.set r (node (depth - 1)));
+             exec.Exec.wait l + exec.Exec.wait r
+           end
+         in
+         leaves := node 5));
+  Alcotest.(check int) "depth-5 binary tree" 32 !leaves
+
+let test_sched_flag_once () =
+  let second_set_rejected = ref false in
+  ignore
+    (Sched.run ~domains:1 (fun sched ->
+         let exec = Sched.exec sched in
+         let f = exec.Exec.new_flag () in
+         Alcotest.(check (option int)) "unset peek" None (exec.Exec.peek f);
+         exec.Exec.set f 7;
+         Alcotest.(check (option int)) "set peek" (Some 7) (exec.Exec.peek f);
+         Alcotest.(check int) "wait on a set flag returns" 7 (exec.Exec.wait f);
+         try exec.Exec.set f 8
+         with Invalid_argument _ -> second_set_rejected := true));
+  Alcotest.(check bool) "second set rejected" true !second_set_rejected
+
+let test_sched_deadlock () =
+  Alcotest.check_raises "all fibers parked is a detected deadlock"
+    (Sched.Deadlock 1) (fun () ->
+      ignore
+        (Sched.run ~domains:2 (fun sched ->
+             let exec = Sched.exec sched in
+             ignore (exec.Exec.wait (exec.Exec.new_flag ())))))
+
+let test_sched_exception () =
+  Alcotest.check_raises "fiber exception re-raised from run" (Failure "boom")
+    (fun () ->
+      ignore
+        (Sched.run ~domains:2 (fun sched ->
+             let exec = Sched.exec sched in
+             exec.Exec.spawn (fun () -> failwith "boom");
+             let f = exec.Exec.new_flag () in
+             (* park so the failure has somewhere to interrupt *)
+             ignore (exec.Exec.wait f))))
+
+let test_sched_bad_domains () =
+  Alcotest.check_raises "domains < 1 rejected"
+    (Invalid_argument "Sched.run: domains < 1") (fun () ->
+      ignore (Sched.run ~domains:0 (fun _ -> ())))
+
+(* --- lane counters under real parallelism ------------------------------ *)
+
+(* Freshly spawned domains have consecutive ids, so their lanes are
+   distinct and no increment can be lost; the caller stays out of the
+   race (its lane could collide with a spawned id modulo the stripe
+   count). *)
+let test_counter_lanes_parallel () =
+  let reg = Telemetry.create () in
+  let c = Telemetry.counter reg "test_lanes_total" in
+  let per_domain = 10_000 in
+  let doms =
+    Array.init 5 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Telemetry.incr c
+            done))
+  in
+  Array.iter Domain.join doms;
+  Alcotest.(check int) "no increment lost across domains" (5 * per_domain)
+    (Telemetry.counter_value c);
+  Telemetry.reset reg;
+  Alcotest.(check int) "reset zeros every lane" 0 (Telemetry.counter_value c)
+
+(* The lane-striped record path must stay allocation-free on every
+   domain, not just the main one: measure minor words around 100k
+   increments from inside a spawned domain (each domain has its own
+   minor heap, so the measurement is domain-local by construction). *)
+let test_counter_no_alloc_in_domain () =
+  let reg = Telemetry.create () in
+  let c = Telemetry.counter reg "test_lanes_alloc_total" in
+  let delta =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Telemetry.incr c;
+           (* warm-up *)
+           let before = Gc.minor_words () in
+           for _ = 1 to 100_000 do
+             Telemetry.incr c;
+             Telemetry.add c 2
+           done;
+           Gc.minor_words () -. before))
+  in
+  if delta > 256.0 then
+    Alcotest.failf "domain record path allocated %.0f minor words" delta
+
+let test_sched_telemetry () =
+  let reg = Telemetry.create () in
+  ignore
+    (Sched.run ~telemetry:reg ~domains:2 (fun sched ->
+         let exec = Sched.exec sched in
+         let flags = Array.init 8 (fun _ -> exec.Exec.new_flag ()) in
+         Array.iteri (fun i f -> exec.Exec.spawn (fun () -> exec.Exec.set f i)) flags;
+         Array.iter (fun f -> ignore (exec.Exec.wait f)) flags));
+  let tasks =
+    Telemetry.counter_value
+      (Telemetry.counter ~labels:[ ("kind", "start") ] reg
+         "mutls_domain_tasks_total")
+  in
+  (* root fiber + 8 spawned fibers *)
+  Alcotest.(check int) "task starts counted" 9 tasks
+
+(* --- the oracle property ----------------------------------------------- *)
+
+(* Shared harness: run one program under the deterministic simulator
+   and under the domains backend with the same configuration, and
+   insist the outputs match (and match the sequential semantics). *)
+let check_par_equals_sim ~name ~cfg source =
+  let expected = seq_output source in
+  let prog = Eval.prepare ~cost:cfg.Config.cost (compile source) in
+  let sim = Eval.run_tls_prepared cfg prog in
+  let par = Eval.run_tls_par_prepared cfg prog in
+  Alcotest.(check string) (name ^ ": simulator matches sequential") expected
+    sim.Eval.toutput;
+  Alcotest.(check string) (name ^ ": domains backend matches simulator")
+    sim.Eval.toutput par.Eval.toutput;
+  (sim, par)
+
+let test_par_oracle_property =
+  QCheck.Test.make ~name:"domains backend output equals simulator oracle"
+    ~count:12
+    QCheck.(
+      quad (int_range 0 (Chaos.n_templates - 1))
+        (pair (int_range 0 1000) (int_range 4 10))
+        (int_range 1 4) (int_range 2 6))
+    (fun (template, (expr_seed, chunks), domains, ncpus) ->
+      let shape =
+        { Chaos.template; expr_seed; expr_size = 6; chunks; inner = 3 }
+      in
+      let source = Chaos.source_of_shape shape in
+      let cfg = { Config.default with ncpus; domains } in
+      let expected = seq_output source in
+      let prog = Eval.prepare (compile source) in
+      let sim = Eval.run_tls_prepared cfg prog in
+      let par = Eval.run_tls_par_prepared cfg prog in
+      if sim.Eval.toutput <> expected then
+        QCheck.Test.fail_reportf "simulator diverged from sequential on %s"
+          (Chaos.template_name template);
+      if par.Eval.toutput <> expected then
+        QCheck.Test.fail_reportf
+          "domains backend diverged on %s (seed %d, chunks %d, domains %d, \
+           ncpus %d):\nexpected %S\ngot      %S"
+          (Chaos.template_name template)
+          expr_seed chunks domains ncpus expected par.Eval.toutput;
+      true)
+
+(* Retirement counts are schedule-dependent in general: a speculative
+   thread halts at the first check point that observes its parent's
+   sync flag, so how far a child runs before the join — and therefore
+   how many fork builtins the resumed parent executes itself — depends
+   on the interleaving.  (The chain template retires a different thread
+   count at different domain counts, with identical outputs.)
+
+   They ARE deterministic when every speculated continuation reaches a
+   terminate point before any check point: the child always stops at
+   that same terminate, validates an empty read set, and commits.  A
+   straight-line sequence of fork/join regions whose continuations
+   start with a print of a constant (an unsafe extern, hence a
+   terminate point, with no shared load feeding its argument) is
+   exactly that family — each region retires exactly one committed
+   thread in both engines, under any schedule. *)
+let deterministic_count_source n =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "int a[%d];\nint main() {\n" n);
+  for i = 0 to n - 1 do
+    Buffer.add_string b
+      (Printf.sprintf
+         "  __builtin_MUTLS_fork(%d, mixed);\n  a[%d] = %d;\n  __builtin_MUTLS_join(%d);\n  print_int(%d);\n  print_newline();\n"
+         i i ((i + 3) * 7) i (1000 + i))
+  done;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  int t = 0;\n  for (int c = 0; c < %d; c++) t = t + a[c];\n  print_int(t);\n  print_newline();\n  return 0;\n}\n"
+       n);
+  Buffer.contents b
+
+let test_par_deterministic_counts () =
+  List.iter
+    (fun (label, model_override) ->
+      let n = 5 in
+      let cfg =
+        { Config.default with ncpus = 8; domains = 3; model_override }
+      in
+      let sim, par =
+        check_par_equals_sim
+          ~name:(Printf.sprintf "counts/%s" label)
+          ~cfg
+          (deterministic_count_source n)
+      in
+      let counts r =
+        ( List.length r.Eval.tretired,
+          List.length
+            (List.filter (fun t -> t.TM.r_committed) r.Eval.tretired) )
+      in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%s: one committed thread per region, both engines"
+           label)
+        (n, n) (counts sim);
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%s: retired/committed counts equal" label)
+        (counts sim) (counts par))
+    [ ("mixed", None); ("out-of-order", Some Config.Out_of_order) ]
+
+(* Two paper workloads end to end on the domains backend. *)
+let test_par_workloads () =
+  List.iteri
+    (fun i w ->
+      let source = w.Workloads.small () in
+      let cfg = { Config.default with ncpus = 4; domains = 2; seed = i } in
+      ignore (check_par_equals_sim ~name:w.Workloads.name ~cfg source))
+    [ List.nth Workloads.all 0; List.nth Workloads.all 1 ]
+
+(* The synchronized trace sink: every domain emits into one recording
+   sink without loss; the stream still contains the run's lifecycle. *)
+let test_par_trace_smoke () =
+  let events = ref [] in
+  let sink =
+    {
+      Trace.enabled = true;
+      emit = (fun r -> events := r :: !events);
+      close = (fun () -> ());
+    }
+  in
+  let shape = { Chaos.template = 0; expr_seed = 9; expr_size = 6; chunks = 6; inner = 3 } in
+  let source = Chaos.source_of_shape shape in
+  let cfg = { Config.default with ncpus = 4; domains = 2; trace_sink = sink } in
+  let par = Eval.run_tls_par cfg (compile source) in
+  Alcotest.(check string) "output still correct" (seq_output source)
+    par.Eval.toutput;
+  let names = List.map (fun r -> Trace.event_name r.Trace.event) !events in
+  Alcotest.(check bool) "trace recorded forks" true (List.mem "fork" names);
+  Alcotest.(check bool) "trace recorded retirements" true
+    (List.mem "retire" names)
+
+let tests =
+  [
+    Alcotest.test_case "deque: owner pops LIFO" `Quick test_deque_lifo_pop;
+    Alcotest.test_case "deque: thief steals FIFO" `Quick test_deque_fifo_steal;
+    Alcotest.test_case "deque: bounded push" `Quick test_deque_bounded;
+    Alcotest.test_case "deque: pop/steal interleave" `Quick test_deque_pop_steal_mix;
+    Alcotest.test_case "deque: 7 thieves, exactly-once" `Quick test_deque_contended;
+    Alcotest.test_case "sched: spawn and flags" `Quick test_sched_spawn_and_flags;
+    Alcotest.test_case "sched: nested fiber tree" `Quick test_sched_nested_spawn;
+    Alcotest.test_case "sched: one-shot flags" `Quick test_sched_flag_once;
+    Alcotest.test_case "sched: deadlock detection" `Quick test_sched_deadlock;
+    Alcotest.test_case "sched: exception propagation" `Quick test_sched_exception;
+    Alcotest.test_case "sched: domains validation" `Quick test_sched_bad_domains;
+    Alcotest.test_case "telemetry: lane counters across domains" `Quick
+      test_counter_lanes_parallel;
+    Alcotest.test_case "telemetry: domain record path alloc-free" `Quick
+      test_counter_no_alloc_in_domain;
+    Alcotest.test_case "sched: task telemetry" `Quick test_sched_telemetry;
+    QCheck_alcotest.to_alcotest test_par_oracle_property;
+    Alcotest.test_case "par: deterministic retirement counts" `Quick
+      test_par_deterministic_counts;
+    Alcotest.test_case "par: paper workloads match oracle" `Quick
+      test_par_workloads;
+    Alcotest.test_case "par: synchronized trace sink" `Quick test_par_trace_smoke;
+  ]
